@@ -1,0 +1,138 @@
+// Ablations for the design choices DESIGN.md calls out.
+//
+// A1 — randomized vs deterministic post-processing (Section 2.7): minimax
+//      consumers need *randomized* interactions; a deterministic remap
+//      (the Bayes rule under a uniform prior) leaves loss on the table.
+// A2 — closed-form G^{-1} vs generic LU inversion: the tridiagonal closed
+//      form is both faster and exactly accurate, which is why
+//      derivability checks use it.
+// A3 — prepared alias samplers vs per-call construction in
+//      Mechanism::Sample: why PrepareSamplers exists.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bayesian.h"
+#include "core/consumer.h"
+#include "core/geometric.h"
+#include "core/optimal.h"
+#include "linalg/matrix.h"
+#include "rng/engine.h"
+
+namespace {
+
+using namespace geopriv;
+
+void PrintA1RandomizedVsDeterministic() {
+  const int n = 8;
+  std::printf(
+      "# A1: minimax consumers need randomized post-processing "
+      "(deterministic = Bayes remap under uniform prior)\n");
+  std::printf("# %-9s %-8s %6s | %12s %12s %10s\n", "loss", "S", "alpha",
+              "deterministic", "randomized", "gap %%");
+  struct Case {
+    const char* name;
+    LossFunction loss;
+    int lo, hi;
+  };
+  std::vector<Case> cases = {
+      {"absolute", LossFunction::AbsoluteError(), 0, n},
+      {"absolute", LossFunction::AbsoluteError(), 3, n},
+      {"squared", LossFunction::SquaredError(), 0, n},
+      {"squared", LossFunction::SquaredError(), 2, 5},
+      {"zero-one", LossFunction::ZeroOne(), 0, n},
+  };
+  for (const Case& c : cases) {
+    for (double alpha : {0.3, 0.6}) {
+      auto deployed = GeometricMechanism::Create(n, alpha)->ToMechanism();
+      auto consumer = MinimaxConsumer::Create(
+          c.loss, *SideInformation::Interval(c.lo, c.hi, n));
+      auto bayes = BayesianConsumer::WithUniformPrior(c.loss, n);
+      if (!deployed.ok() || !consumer.ok() || !bayes.ok()) return;
+      auto remap = bayes->OptimalRemap(*deployed);
+      if (!remap.ok()) return;
+      auto det_induced = deployed->ApplyInteraction(
+          BayesianConsumer::RemapToInteraction(*remap));
+      if (!det_induced.ok()) return;
+      auto det_loss = consumer->WorstCaseLoss(*det_induced);
+      auto rand = SolveOptimalInteraction(*deployed, *consumer);
+      if (!det_loss.ok() || !rand.ok()) return;
+      double gap =
+          rand->loss > 0 ? 100.0 * (*det_loss - rand->loss) / rand->loss
+                         : 0.0;
+      char side[16];
+      std::snprintf(side, sizeof(side), "{%d..%d}", c.lo, c.hi);
+      std::printf("  %-9s %-8s %6.2f | %12.5f %12.5f %10.2f\n", c.name,
+                  side, alpha, *det_loss, rand->loss, gap);
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintA2InverseAccuracy() {
+  std::printf("# A2: closed-form G^{-1} vs LU inversion, residual "
+              "max|G*Ginv - I|\n");
+  std::printf("# %4s %8s %14s %14s\n", "n", "alpha", "closed-form", "LU");
+  for (int n : {8, 32, 128}) {
+    for (double alpha : {0.5, 0.9}) {
+      auto g = GeometricMechanism::BuildMatrix(n, alpha);
+      auto closed = GeometricMechanism::BuildInverse(n, alpha);
+      if (!g.ok() || !closed.ok()) return;
+      auto lu = LuDecomposition::Compute(*g);
+      if (!lu.ok()) return;
+      auto lu_inv = lu->Inverse();
+      if (!lu_inv.ok()) return;
+      Matrix eye = Matrix::Identity(static_cast<size_t>(n) + 1);
+      double closed_resid = Matrix::MaxAbsDiff(*g * *closed, eye);
+      double lu_resid = Matrix::MaxAbsDiff(*g * *lu_inv, eye);
+      std::printf("  %4d %8.1f %14.3e %14.3e\n", n, alpha, closed_resid,
+                  lu_resid);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_InverseClosedForm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeometricMechanism::BuildInverse(n, 0.5));
+  }
+}
+BENCHMARK(BM_InverseClosedForm)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_InverseLu(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto g = *GeometricMechanism::BuildMatrix(n, 0.5);
+  for (auto _ : state) {
+    auto lu = LuDecomposition::Compute(g);
+    benchmark::DoNotOptimize(lu->Inverse());
+  }
+}
+BENCHMARK(BM_InverseLu)->Arg(32)->Arg(128);
+
+void BM_SampleWithPreparedAlias(benchmark::State& state) {
+  auto m = *GeometricMechanism::Create(64, 0.5)->ToMechanism();
+  (void)m.PrepareSamplers();
+  Xoshiro256 rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(m.Sample(32, rng));
+}
+BENCHMARK(BM_SampleWithPreparedAlias);
+
+void BM_SampleWithoutPreparedAlias(benchmark::State& state) {
+  auto m = *GeometricMechanism::Create(64, 0.5)->ToMechanism();
+  Xoshiro256 rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(m.Sample(32, rng));
+}
+BENCHMARK(BM_SampleWithoutPreparedAlias);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintA1RandomizedVsDeterministic();
+  PrintA2InverseAccuracy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Artifact X5 — the Bayesian-consumer baseline of Section 2.7 (Ghosh,
+// Roughgarden, Sundararajan STOC'09).
+//
+// Prints the Bayesian analogue of the universality table: the expected
+// loss of the geometric mechanism after the Bayes-optimal deterministic
+// remap equals the per-consumer optimal Bayesian LP loss.  Also contrasts
+// deterministic vs randomized post-processing needs (minimax consumers
+// need randomization — Table 1(c); Bayesian consumers do not), then
+// benchmarks the remap and the LP.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/bayesian.h"
+#include "core/geometric.h"
+
+namespace {
+
+using namespace geopriv;
+
+std::vector<double> PeakedPrior(int n) {
+  std::vector<double> prior(static_cast<size_t>(n) + 1);
+  double total = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    prior[static_cast<size_t>(i)] = 1.0 + std::min(i, n - i);
+    total += prior[static_cast<size_t>(i)];
+  }
+  for (double& p : prior) p /= total;
+  return prior;
+}
+
+void PrintBayesianTable() {
+  const int n = 8;
+  std::printf(
+      "# X5: Bayesian consumers (n = %d): geometric + deterministic remap "
+      "matches the optimal Bayesian DP mechanism\n",
+      n);
+  std::printf("# %-9s %-8s %6s | %10s %10s %10s\n", "loss", "prior", "alpha",
+              "LP-opt", "geo+remap", "naive-geo");
+  struct LossEntry {
+    const char* name;
+    LossFunction fn;
+  };
+  std::vector<LossEntry> losses = {{"absolute", LossFunction::AbsoluteError()},
+                                   {"squared", LossFunction::SquaredError()},
+                                   {"zero-one", LossFunction::ZeroOne()}};
+  for (const auto& loss : losses) {
+    for (bool uniform : {true, false}) {
+      for (double alpha : {0.3, 0.6}) {
+        auto consumer =
+            uniform ? BayesianConsumer::WithUniformPrior(loss.fn, n)
+                    : BayesianConsumer::Create(loss.fn, PeakedPrior(n));
+        if (!consumer.ok()) return;
+        auto lp = SolveOptimalBayesianMechanism(n, alpha, *consumer);
+        auto geo = GeometricMechanism::Create(n, alpha)->ToMechanism();
+        if (!lp.ok() || !geo.ok()) return;
+        auto remap_loss = consumer->LossAfterOptimalRemap(*geo);
+        auto naive = consumer->ExpectedLoss(*geo);
+        if (!remap_loss.ok() || !naive.ok()) return;
+        std::printf("  %-9s %-8s %6.2f | %10.6f %10.6f %10.6f\n", loss.name,
+                    uniform ? "uniform" : "peaked", alpha, lp->loss,
+                    *remap_loss, *naive);
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_BayesOptimalRemap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto consumer =
+      *BayesianConsumer::WithUniformPrior(LossFunction::SquaredError(), n);
+  auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consumer.OptimalRemap(geo));
+  }
+}
+BENCHMARK(BM_BayesOptimalRemap)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_BayesianLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto consumer =
+      *BayesianConsumer::WithUniformPrior(LossFunction::AbsoluteError(), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveOptimalBayesianMechanism(n, 0.5, consumer));
+  }
+}
+BENCHMARK(BM_BayesianLp)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintBayesianTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

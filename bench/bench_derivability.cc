@@ -1,0 +1,91 @@
+// Artifacts X1/X4 — Theorem 2 (derivability characterization) and the
+// Appendix B counterexample.
+//
+// Prints (1) an exact sweep confirming that G_{n,beta} is derivable from
+// G_{n,alpha} iff alpha <= beta, (2) the Appendix B verdict with its
+// violated triple, then benchmarks the condition check and the
+// closed-form factorization T = G^{-1}M.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/derivability.h"
+#include "core/examples_catalog.h"
+#include "core/geometric.h"
+#include "core/privacy.h"
+
+namespace {
+
+using namespace geopriv;
+
+void PrintDerivabilitySweep() {
+  std::printf(
+      "# X1: is G_{6,beta} derivable from G_{6,alpha}?  (Theorem 2 / "
+      "Lemma 3 predict: iff alpha <= beta)\n");
+  std::printf("# alpha\\beta ");
+  for (int b = 1; b <= 9; b += 2) std::printf("%6s", ("0." + std::to_string(b)).c_str());
+  std::printf("\n");
+  for (int a = 1; a <= 9; a += 2) {
+    Rational alpha = *Rational::FromInts(a, 10);
+    std::printf("  %8s ", ("0." + std::to_string(a)).c_str());
+    for (int b = 1; b <= 9; b += 2) {
+      Rational beta = *Rational::FromInts(b, 10);
+      auto t = PrivacyTransitionExact(6, alpha, beta);
+      std::printf("%6s", t.ok() ? "yes" : "no");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# X4: Appendix B counterexample (alpha = 1/2)\n");
+  auto m = PaperAppendixBMechanism();
+  if (!m.ok()) return;
+  Rational half = *Rational::FromInts(1, 2);
+  auto dp = CheckDifferentialPrivacyExact(*m, half);
+  auto verdict = CheckDerivabilityExact(*m, half);
+  if (!dp.ok() || !verdict.ok()) return;
+  std::printf("  1/2-DP: %s; derivable: %s; violated triple: column %d "
+              "rows (%d-1,%d,%d+1), slack %.6f (paper: -0.75/9)\n\n",
+              *dp ? "yes" : "no", verdict->derivable ? "yes" : "no",
+              verdict->column, verdict->row, verdict->row, verdict->row,
+              verdict->slack);
+}
+
+void BM_CheckDerivabilityDouble(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto geo = *GeometricMechanism::Create(n, 0.7);
+  auto m = *geo.ToMechanism();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckDerivability(m, 0.5));
+  }
+}
+BENCHMARK(BM_CheckDerivabilityDouble)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DeriveInteractionDouble(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto geo = *GeometricMechanism::Create(n, 0.7);
+  auto m = *geo.ToMechanism();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveInteraction(m, 0.5));
+  }
+}
+BENCHMARK(BM_DeriveInteractionDouble)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_PrivacyTransitionExactBench(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rational alpha = *Rational::FromInts(1, 4);
+  Rational beta = *Rational::FromInts(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrivacyTransitionExact(n, alpha, beta));
+  }
+}
+BENCHMARK(BM_PrivacyTransitionExactBench)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDerivabilitySweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

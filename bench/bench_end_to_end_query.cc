@@ -1,0 +1,111 @@
+// Artifact X8 — the end-to-end running example Q: synthetic survey
+// database -> count query -> geometric release -> rational consumer.
+//
+// Prints the pipeline trace for the flu query at three privacy levels,
+// then benchmarks each stage (query evaluation, release, post-processing
+// application).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/geopriv.h"
+
+namespace {
+
+using namespace geopriv;
+
+void PrintPipeline() {
+  SyntheticPopulationOptions options;
+  options.num_rows = 16;
+  // A 16-person pilot survey during an outbreak: high flu incidence so the
+  // true count lands mid-range instead of at 0.
+  options.adult_flu_probability = 0.5;
+  options.minor_flu_probability = 0.5;
+  Xoshiro256 rng(123);
+  auto table = GenerateSyntheticSurvey(options, rng);
+  if (!table.ok()) return;
+  const int n = static_cast<int>(table->size());
+  auto truth = FluCountQuery().Evaluate(*table);
+  if (!truth.ok()) return;
+  std::printf("# X8: end-to-end flu query (n = %d, true count = %lld)\n", n,
+              static_cast<long long>(*truth));
+  std::printf("# %6s %10s %16s %16s\n", "alpha", "released",
+              "naive loss", "rational loss");
+  for (double alpha : {0.25, 0.5, 0.75}) {
+    auto geo = GeometricMechanism::Create(n, alpha);
+    if (!geo.ok()) return;
+    auto released = geo->Sample(static_cast<int>(*truth), rng);
+    auto mechanism = geo->ToMechanism();
+    if (!released.ok() || !mechanism.ok()) return;
+    auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                            SideInformation::All(n));
+    if (!consumer.ok()) return;
+    auto naive = consumer->WorstCaseLoss(*mechanism);
+    auto rational = SolveOptimalInteraction(*mechanism, *consumer);
+    if (!naive.ok() || !rational.ok()) return;
+    std::printf("  %6.2f %10d %16.6f %16.6f\n", alpha, *released, *naive,
+                rational->loss);
+  }
+  std::printf("\n");
+}
+
+void BM_CountQueryEvaluation(benchmark::State& state) {
+  SyntheticPopulationOptions options;
+  options.num_rows = state.range(0);
+  Xoshiro256 rng(5);
+  auto table = *GenerateSyntheticSurvey(options, rng);
+  CountQuery q = FluCountQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(table));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountQueryEvaluation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  SyntheticPopulationOptions options;
+  options.num_rows = state.range(0);
+  Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateSyntheticSurvey(options, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(1000)->Arg(10000);
+
+void BM_FullReleasePath(benchmark::State& state) {
+  // truth -> geometric sample, the hot path of a deployed mechanism.
+  const int n = 10000;
+  auto geo = *GeometricMechanism::Create(n, 0.5);
+  Xoshiro256 rng(5);
+  int truth = 4217;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo.Sample(truth, rng));
+  }
+}
+BENCHMARK(BM_FullReleasePath);
+
+void BM_ApplyInteraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
+  Matrix blur(static_cast<size_t>(n) + 1, static_cast<size_t>(n) + 1);
+  for (size_t r = 0; r <= static_cast<size_t>(n); ++r) {
+    blur.At(r, r) = 0.5;
+    blur.At(r, (r + 1) % (static_cast<size_t>(n) + 1)) = 0.5;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo.ApplyInteraction(blur));
+  }
+}
+BENCHMARK(BM_ApplyInteraction)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintPipeline();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

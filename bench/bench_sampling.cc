@@ -1,0 +1,96 @@
+// Artifact X7 — sampling throughput for every randomness primitive the
+// release pipeline uses: the raw engines, the two-sided geometric and
+// Laplace noise, and the generic discrete/alias samplers that drive
+// mechanism rows and Algorithm 1 transitions.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "rng/distributions.h"
+#include "rng/engine.h"
+
+namespace {
+
+using namespace geopriv;
+
+void BM_Xoshiro256Next(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_Xoshiro256Next);
+
+void BM_Xoshiro256NextDouble(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextDouble());
+}
+BENCHMARK(BM_Xoshiro256NextDouble);
+
+void BM_Xoshiro256NextBounded(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextBounded(1000));
+}
+BENCHMARK(BM_Xoshiro256NextBounded);
+
+void BM_TwoSidedGeometric(benchmark::State& state) {
+  auto sampler = *TwoSidedGeometricSampler::Create(0.5);
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
+}
+BENCHMARK(BM_TwoSidedGeometric);
+
+void BM_Laplace(benchmark::State& state) {
+  auto sampler = *LaplaceSampler::Create(0.0, 1.5);
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
+}
+BENCHMARK(BM_Laplace);
+
+std::vector<double> GeometricRow(int n, double alpha) {
+  std::vector<double> row(static_cast<size_t>(n) + 1);
+  for (int r = 0; r <= n; ++r) {
+    row[static_cast<size_t>(r)] = std::pow(alpha, std::abs(r - n / 2));
+  }
+  return row;
+}
+
+void BM_DiscreteSamplerDraw(benchmark::State& state) {
+  auto sampler =
+      *DiscreteSampler::Create(GeometricRow(static_cast<int>(state.range(0)), 0.5));
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
+}
+BENCHMARK(BM_DiscreteSamplerDraw)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AliasSamplerDraw(benchmark::State& state) {
+  auto sampler =
+      *AliasSampler::Create(GeometricRow(static_cast<int>(state.range(0)), 0.5));
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
+}
+BENCHMARK(BM_AliasSamplerDraw)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AliasSamplerBuild(benchmark::State& state) {
+  auto row = GeometricRow(static_cast<int>(state.range(0)), 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(AliasSampler::Create(row));
+}
+BENCHMARK(BM_AliasSamplerBuild)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MechanismSamplePrepared(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Mechanism m = Mechanism::Uniform(n);
+  (void)m.PrepareSamplers();
+  Xoshiro256 rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Sample(i, rng));
+    i = (i + 1) % (n + 1);
+  }
+}
+BENCHMARK(BM_MechanismSamplePrepared)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

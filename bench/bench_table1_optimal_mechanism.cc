@@ -1,0 +1,92 @@
+// Artifacts T1a/T1b/T1c — Table 1 of the paper (n = 3, alpha = 1/4,
+// consumer loss |i-r|, side information {0..3}).
+//
+// Regenerates all three parts of the table:
+//   (a) the optimal mechanism from the Section 2.5 LP,
+//   (b) G_{3,1/4} in the paper's scaled form,
+//   (c) the consumer's optimal interaction from the Section 2.4.3 LP,
+// then benchmarks the two LP solves and the exact factorization.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/consumer.h"
+#include "core/derivability.h"
+#include "core/examples_catalog.h"
+#include "core/geometric.h"
+#include "core/optimal.h"
+
+namespace {
+
+using namespace geopriv;
+
+void PrintTable1() {
+  Table1Parameters params;
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(params.n));
+  if (!consumer.ok()) return;
+
+  auto optimal =
+      SolveOptimalMechanism(params.n, params.alpha.ToDouble(), *consumer);
+  if (!optimal.ok()) return;
+  std::printf("# Table 1(a): optimal mechanism (minimax loss %.6f)\n%s\n",
+              optimal->loss, optimal->mechanism.ToString(5).c_str());
+
+  auto g = GeometricMechanism::BuildExactMatrix(params.n, params.alpha);
+  if (!g.ok()) return;
+  Rational scale = *Rational::Divide(Rational(1) + params.alpha,
+                                     Rational(1) - params.alpha);
+  std::printf("# Table 1(b): G_{3,1/4} scaled by (1+a)/(1-a) = 5/3\n%s\n",
+              g->ScaledBy(scale).ToString().c_str());
+
+  auto deployed = Mechanism::FromExact(*g);
+  if (!deployed.ok()) return;
+  auto interaction = SolveOptimalInteraction(*deployed, *consumer);
+  if (!interaction.ok()) return;
+  std::printf(
+      "# Table 1(c): consumer interaction (induced loss %.6f == (a))\n%s\n",
+      interaction->loss, interaction->interaction.ToString(5).c_str());
+}
+
+void BM_Table1OptimalMechanismLp(benchmark::State& state) {
+  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                           SideInformation::All(3));
+  for (auto _ : state) {
+    auto result = SolveOptimalMechanism(3, 0.25, consumer);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Table1OptimalMechanismLp);
+
+void BM_Table1InteractionLp(benchmark::State& state) {
+  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                           SideInformation::All(3));
+  auto geo = *GeometricMechanism::Create(3, 0.25);
+  auto deployed = *geo.ToMechanism();
+  for (auto _ : state) {
+    auto result = SolveOptimalInteraction(deployed, consumer);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Table1InteractionLp);
+
+void BM_Table1ExactFactorization(benchmark::State& state) {
+  Rational alpha = *Rational::FromInts(1, 4);
+  auto m = *GeometricMechanism::BuildExactMatrix(3, *Rational::FromInts(1, 2));
+  for (auto _ : state) {
+    auto t = DeriveInteractionExact(m, alpha);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_Table1ExactFactorization);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

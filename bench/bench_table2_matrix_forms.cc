@@ -1,0 +1,94 @@
+// Artifact T2 — Table 2 of the paper: the matrix forms G_{n,alpha} and
+// G'_{n,alpha}, the scaling relation between them, and the Lemma 1
+// determinant identity det G' = (1 - alpha^2)^n.
+//
+// Prints both matrices (n = 4, alpha = 1/3) and the determinant check for
+// a sweep of n, then benchmarks construction, determinants and the
+// closed-form inverse (double and exact).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/geometric.h"
+
+namespace {
+
+using namespace geopriv;
+
+void PrintTable2() {
+  Rational third = *Rational::FromInts(1, 3);
+  auto g = GeometricMechanism::BuildExactMatrix(4, third);
+  auto gp = GeometricMechanism::BuildExactGPrime(4, third);
+  if (!g.ok() || !gp.ok()) return;
+  std::printf("# Table 2 left: G_{4,1/3}\n%s\n", g->ToString().c_str());
+  std::printf("# Table 2 right: G'_{4,1/3} = alpha^|i-j|\n%s\n",
+              gp->ToString().c_str());
+
+  std::printf("# Lemma 1: det G'_{n,1/3} == (1 - 1/9)^n, exactly\n");
+  std::printf("# %3s %24s %24s %8s\n", "n", "elimination", "closed form",
+              "equal");
+  for (int n : {1, 2, 3, 5, 8, 10}) {
+    auto gpn = GeometricMechanism::BuildExactGPrime(n, third);
+    if (!gpn.ok()) return;
+    Rational elim = *gpn->Determinant();
+    Rational closed = *GeometricMechanism::ExactGPrimeDeterminant(n, third);
+    std::printf("  %3d %24s %24s %8s\n", n, elim.ToString().c_str(),
+                closed.ToString().c_str(), elim == closed ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_BuildMatrixDouble(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeometricMechanism::BuildMatrix(n, 0.5));
+  }
+}
+BENCHMARK(BM_BuildMatrixDouble)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BuildMatrixExact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rational half = *Rational::FromInts(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeometricMechanism::BuildExactMatrix(n, half));
+  }
+}
+BENCHMARK(BM_BuildMatrixExact)->Arg(8)->Arg(32);
+
+void BM_ExactDeterminantByElimination(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rational half = *Rational::FromInts(1, 2);
+  auto gp = *GeometricMechanism::BuildExactGPrime(n, half);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.Determinant());
+  }
+}
+BENCHMARK(BM_ExactDeterminantByElimination)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ClosedFormInverseDouble(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeometricMechanism::BuildInverse(n, 0.5));
+  }
+}
+BENCHMARK(BM_ClosedFormInverseDouble)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ClosedFormInverseExact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rational half = *Rational::FromInts(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeometricMechanism::BuildExactInverse(n, half));
+  }
+}
+BENCHMARK(BM_ClosedFormInverseExact)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "core/accounting.h"
+
+#include <algorithm>
+
+namespace geopriv {
+
+namespace {
+
+Status ValidateAlphas(const std::vector<double>& alphas) {
+  if (alphas.empty()) {
+    return Status::InvalidArgument("at least one privacy level is required");
+  }
+  for (double a : alphas) {
+    if (!(a >= 0.0 && a <= 1.0)) {
+      return Status::InvalidArgument("privacy levels must lie in [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> ComposeSequential(const std::vector<double>& alphas) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateAlphas(alphas));
+  double product = 1.0;
+  for (double a : alphas) product *= a;
+  return product;
+}
+
+Result<double> ComposeChained(const std::vector<double>& alphas) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateAlphas(alphas));
+  return *std::min_element(alphas.begin(), alphas.end());
+}
+
+Result<Matrix> IndependentJointMatrix(const Mechanism& y1,
+                                      const Mechanism& y2) {
+  if (y1.size() != y2.size()) {
+    return Status::InvalidArgument("mechanism sizes must match");
+  }
+  const size_t size = static_cast<size_t>(y1.size());
+  Matrix joint(size, size * size);
+  for (size_t i = 0; i < size; ++i) {
+    for (size_t r1 = 0; r1 < size; ++r1) {
+      double p1 = y1.Probability(static_cast<int>(i), static_cast<int>(r1));
+      if (p1 == 0.0) continue;
+      for (size_t r2 = 0; r2 < size; ++r2) {
+        joint.At(i, r1 * size + r2) =
+            p1 * y2.Probability(static_cast<int>(i), static_cast<int>(r2));
+      }
+    }
+  }
+  if (!joint.IsRowStochastic(1e-9)) {
+    return Status::Internal("joint release rows failed stochasticity");
+  }
+  return joint;
+}
+
+Result<Matrix> ChainedJointMatrix(const Mechanism& y1,
+                                  const Matrix& transition) {
+  const size_t size = static_cast<size_t>(y1.size());
+  if (transition.rows() != size || transition.cols() != size) {
+    return Status::InvalidArgument("transition shape mismatch");
+  }
+  if (!transition.IsRowStochastic(1e-9)) {
+    return Status::InvalidArgument("transition must be row-stochastic");
+  }
+  Matrix joint(size, size * size);
+  for (size_t i = 0; i < size; ++i) {
+    for (size_t r1 = 0; r1 < size; ++r1) {
+      double p1 = y1.Probability(static_cast<int>(i), static_cast<int>(r1));
+      if (p1 == 0.0) continue;
+      for (size_t r2 = 0; r2 < size; ++r2) {
+        joint.At(i, r1 * size + r2) = p1 * transition.At(r1, r2);
+      }
+    }
+  }
+  if (!joint.IsRowStochastic(1e-9)) {
+    return Status::Internal("joint release rows failed stochasticity");
+  }
+  return joint;
+}
+
+double StrongestJointAlpha(const Matrix& joint) {
+  double alpha = 1.0;
+  for (size_t i = 0; i + 1 < joint.rows(); ++i) {
+    for (size_t c = 0; c < joint.cols(); ++c) {
+      double a = joint.At(i, c);
+      double b = joint.At(i + 1, c);
+      if (a == 0.0 && b == 0.0) continue;
+      double lo = std::min(a, b);
+      double hi = std::max(a, b);
+      alpha = std::min(alpha, lo / hi);
+    }
+  }
+  return alpha;
+}
+
+}  // namespace geopriv

@@ -1,0 +1,56 @@
+// Privacy accounting: how guarantees compose across releases.
+//
+// In the paper's α convention (α = e^-ε), guarantees multiply where ε's
+// add:
+//   * sequential composition — releasing k independent mechanisms at
+//     levels α₁..α_k about the same database is Πα_i-DP;
+//   * post-processing — applying any data-independent transformation
+//     (Definition 3) preserves the level exactly;
+//   * Algorithm 1's chained release — α_min(C)-DP for any coalition C
+//     (Lemma 4), i.e. the *best* level in the coalition, NOT the product:
+//     this is the quantitative content of collusion resistance.
+//
+// This module provides those combinators plus numeric verification
+// helpers used by tests and the CLI.
+
+#ifndef GEOPRIV_CORE_ACCOUNTING_H_
+#define GEOPRIV_CORE_ACCOUNTING_H_
+
+#include <vector>
+
+#include "core/mechanism.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Level of k independent releases at levels `alphas` combined
+/// (sequential composition): Πα_i.  Fails when any α ∉ [0, 1].
+Result<double> ComposeSequential(const std::vector<double>& alphas);
+
+/// Level guaranteed by Lemma 4 for a coalition holding chained releases
+/// at levels `alphas` (Algorithm 1): min α_i — the most trusted member's
+/// level, independent of coalition size.  Fails on empty input or
+/// α ∉ [0, 1].
+Result<double> ComposeChained(const std::vector<double>& alphas);
+
+/// The joint law of two *independent* releases y1, y2 of the same count:
+/// a row-stochastic (n+1) x (n+1)^2 matrix whose columns are output pairs
+/// (r1, r2) flattened to r1*(n+1)+r2.  Used to verify sequential
+/// composition numerically.  Shapes must match.
+Result<Matrix> IndependentJointMatrix(const Mechanism& y1,
+                                      const Mechanism& y2);
+
+/// The joint law of a two-stage chained release (Algorithm 1 with two
+/// levels): r1 ~ y1(i), then r2 ~ T(r1).  Same layout as
+/// IndependentJointMatrix.  T must be (n+1)x(n+1) row-stochastic.
+Result<Matrix> ChainedJointMatrix(const Mechanism& y1,
+                                  const Matrix& transition);
+
+/// Largest α such that a (possibly rectangular) joint release matrix
+/// satisfies Definition 2 down its adjacent input rows.  Rows are indexed
+/// by inputs {0..n}; columns may be any output alphabet.
+double StrongestJointAlpha(const Matrix& joint);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_ACCOUNTING_H_

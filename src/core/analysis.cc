@@ -1,0 +1,90 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/geometric.h"
+#include "core/optimal.h"
+#include "core/privacy.h"
+
+namespace geopriv {
+
+std::vector<RowErrorStats> ComputeRowErrorStats(const Mechanism& mechanism) {
+  const int n = mechanism.n();
+  std::vector<RowErrorStats> out;
+  out.reserve(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    RowErrorStats stats;
+    stats.input = i;
+    for (int r = 0; r <= n; ++r) {
+      double p = mechanism.Probability(i, r);
+      double err = static_cast<double>(r - i);
+      stats.mean_error += p * err;
+      stats.mean_abs_error += p * std::abs(err);
+      stats.mean_sq_error += p * err * err;
+      if (r == i) stats.prob_exact += p;
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+MechanismSummary Summarize(const Mechanism& mechanism) {
+  MechanismSummary summary;
+  for (const RowErrorStats& row : ComputeRowErrorStats(mechanism)) {
+    summary.worst_mean_abs_error =
+        std::max(summary.worst_mean_abs_error, row.mean_abs_error);
+    summary.worst_mean_sq_error =
+        std::max(summary.worst_mean_sq_error, row.mean_sq_error);
+    summary.worst_prob_error =
+        std::max(summary.worst_prob_error, 1.0 - row.prob_exact);
+    summary.max_bias_magnitude =
+        std::max(summary.max_bias_magnitude, std::abs(row.mean_error));
+  }
+  summary.strongest_alpha = StrongestAlpha(mechanism);
+  return summary;
+}
+
+Result<std::vector<TradeoffPoint>> GeometricTradeoffCurve(
+    const MinimaxConsumer& consumer, const std::vector<double>& alphas) {
+  const int n = consumer.side_information().n();
+  std::vector<TradeoffPoint> curve;
+  curve.reserve(alphas.size());
+  for (double alpha : alphas) {
+    GEOPRIV_ASSIGN_OR_RETURN(GeometricMechanism geo,
+                             GeometricMechanism::Create(n, alpha));
+    GEOPRIV_ASSIGN_OR_RETURN(Mechanism deployed, geo.ToMechanism());
+    GEOPRIV_ASSIGN_OR_RETURN(OptimalInteractionResult interaction,
+                             SolveOptimalInteraction(deployed, consumer));
+    curve.push_back(TradeoffPoint{alpha, interaction.loss});
+  }
+  return curve;
+}
+
+Result<double> PostProcessingRegret(const Mechanism& deployed,
+                                    const MinimaxConsumer& consumer) {
+  GEOPRIV_ASSIGN_OR_RETURN(double naive, consumer.WorstCaseLoss(deployed));
+  GEOPRIV_ASSIGN_OR_RETURN(OptimalInteractionResult rational,
+                           SolveOptimalInteraction(deployed, consumer));
+  if (rational.loss <= 0.0) {
+    return naive <= 1e-12 ? 0.0
+                          : std::numeric_limits<double>::infinity();
+  }
+  return (naive - rational.loss) / rational.loss;
+}
+
+std::string FormatRowErrorStats(const std::vector<RowErrorStats>& stats) {
+  std::string out =
+      "  input       bias   E|error|   E[error^2]   Pr[exact]\n";
+  char line[128];
+  for (const RowErrorStats& row : stats) {
+    std::snprintf(line, sizeof(line), "  %5d %10.4f %10.4f %12.4f %11.4f\n",
+                  row.input, row.mean_error, row.mean_abs_error,
+                  row.mean_sq_error, row.prob_exact);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace geopriv

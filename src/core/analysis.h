@@ -1,0 +1,69 @@
+// Mechanism analysis: the summary statistics a practitioner inspects
+// before deploying a privacy mechanism.
+//
+// Everything here is derived from the mechanism matrix alone (no
+// sampling): per-input error moments, worst-case profiles, accuracy
+// curves as the privacy level varies, and head-to-head comparisons.
+// The benches and the CLI build their reports on this module.
+
+#ifndef GEOPRIV_CORE_ANALYSIS_H_
+#define GEOPRIV_CORE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/consumer.h"
+#include "core/mechanism.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Error moments of one input row of a mechanism.
+struct RowErrorStats {
+  int input = 0;
+  double mean_error = 0.0;      ///< E[out - i] (signed bias)
+  double mean_abs_error = 0.0;  ///< E|out - i|
+  double mean_sq_error = 0.0;   ///< E[(out - i)^2]
+  double prob_exact = 0.0;      ///< Pr[out == i]
+};
+
+/// Per-input error statistics for every input in {0..n}.
+std::vector<RowErrorStats> ComputeRowErrorStats(const Mechanism& mechanism);
+
+/// Worst-case (over all inputs) summary of a mechanism.
+struct MechanismSummary {
+  double worst_mean_abs_error = 0.0;
+  double worst_mean_sq_error = 0.0;
+  double worst_prob_error = 0.0;  ///< max over i of Pr[out != i]
+  double max_bias_magnitude = 0.0;
+  double strongest_alpha = 0.0;   ///< see StrongestAlpha (privacy.h)
+};
+
+/// Computes the summary (single pass over the matrix).
+MechanismSummary Summarize(const Mechanism& mechanism);
+
+/// One point of a privacy-utility curve.
+struct TradeoffPoint {
+  double alpha = 0.0;
+  double loss = 0.0;
+};
+
+/// Sweeps the geometric mechanism's minimax loss for `consumer` over the
+/// privacy levels `alphas` (each in [0,1)); the consumer interacts
+/// rationally at every level (Section 2.4.3 LP).  This is the
+/// privacy-utility trade-off curve of the Introduction.
+Result<std::vector<TradeoffPoint>> GeometricTradeoffCurve(
+    const MinimaxConsumer& consumer, const std::vector<double>& alphas);
+
+/// Relative regret of consuming `deployed` naively instead of rationally:
+/// (naive loss - rational loss) / rational loss.  Zero means
+/// post-processing cannot help this consumer.
+Result<double> PostProcessingRegret(const Mechanism& deployed,
+                                    const MinimaxConsumer& consumer);
+
+/// Renders ComputeRowErrorStats as an aligned text table.
+std::string FormatRowErrorStats(const std::vector<RowErrorStats>& stats);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_ANALYSIS_H_

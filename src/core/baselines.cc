@@ -1,0 +1,62 @@
+#include "core/baselines.h"
+
+#include <cmath>
+
+namespace geopriv {
+
+namespace {
+
+/// CDF of the zero-centered Laplace distribution with scale b.
+double LaplaceCdf(double x, double b) {
+  if (x < 0.0) return 0.5 * std::exp(x / b);
+  return 1.0 - 0.5 * std::exp(-x / b);
+}
+
+}  // namespace
+
+Result<Mechanism> DiscretizedLaplaceMechanism(int n, double alpha) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must lie in (0, 1)");
+  }
+  // Matching privacy budget: ε = -ln α, Laplace scale b = 1/ε.
+  const double b = -1.0 / std::log(alpha);
+  const size_t size = static_cast<size_t>(n) + 1;
+  Matrix m(size, size);
+  for (int i = 0; i <= n; ++i) {
+    if (n == 0) {
+      m.At(0, 0) = 1.0;
+      break;
+    }
+    // out = clamp(round(i + X)): cell z gets the density mass of the
+    // interval [z-1/2, z+1/2) shifted by i, the endpoints absorb the tails.
+    m.At(static_cast<size_t>(i), 0) = LaplaceCdf(0.5 - i, b);
+    for (int z = 1; z < n; ++z) {
+      m.At(static_cast<size_t>(i), static_cast<size_t>(z)) =
+          LaplaceCdf(z + 0.5 - i, b) - LaplaceCdf(z - 0.5 - i, b);
+    }
+    m.At(static_cast<size_t>(i), static_cast<size_t>(n)) =
+        1.0 - LaplaceCdf(n - 0.5 - i, b);
+  }
+  return Mechanism::Create(std::move(m));
+}
+
+Result<Mechanism> RandomizedResponseMechanism(int n, double alpha) {
+  if (n < 1) return Status::InvalidArgument("n must be at least 1");
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must lie in (0, 1)");
+  }
+  // Largest truth bonus λ keeping every adjacent-row ratio within [α, 1/α]:
+  // the binding cell pairs are (u+λ, u), giving λ = (1-α)/(α·n + 1).
+  const double lambda = (1.0 - alpha) / (alpha * n + 1.0);
+  const double uniform = (1.0 - lambda) / (n + 1.0);
+  const size_t size = static_cast<size_t>(n) + 1;
+  Matrix m(size, size);
+  for (size_t i = 0; i < size; ++i) {
+    for (size_t j = 0; j < size; ++j) m.At(i, j) = uniform;
+    m.At(i, i) += lambda;
+  }
+  return Mechanism::Create(std::move(m));
+}
+
+}  // namespace geopriv

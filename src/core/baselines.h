@@ -1,0 +1,37 @@
+// Baseline mechanisms the paper compares against (implicitly or in the
+// cited literature).
+//
+// * DiscretizedLaplaceMechanism — the Laplace mechanism of Dwork et al.
+//   (TCC 2006), of which the geometric mechanism is "a discrete version"
+//   (paper, Definition 1).  We discretize by rounding to the nearest
+//   integer and clamping into {0..n}, yielding a proper oblivious count
+//   mechanism whose utility can be compared head-to-head with G_{n,α}.
+// * RandomizedResponseMechanism — a classical non-geometric DP mechanism:
+//   with probability (1+γ) keep a uniform draw biased toward the truth.
+//   Useful as a "strictly worse for some consumers" contrast in X3 and as
+//   a source of DP-but-not-derivable matrices for Theorem 2 tests.
+
+#ifndef GEOPRIV_CORE_BASELINES_H_
+#define GEOPRIV_CORE_BASELINES_H_
+
+#include "core/mechanism.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Builds the clamped, rounded Laplace mechanism with scale b = -1/ln(α),
+/// matching the α-geometric mechanism's privacy budget ε = -ln α.
+/// Fails unless n >= 0 and alpha ∈ (0, 1).
+Result<Mechanism> DiscretizedLaplaceMechanism(int n, double alpha);
+
+/// Builds the randomized-response style mechanism
+///   x[i][r] = (1-λ)/(n+1) + λ·[i == r],
+/// which keeps the truth with bonus weight λ and otherwise answers
+/// uniformly.  It is α-DP for λ <= (1-α)/(α·n + 1) (per-column ratio
+/// bound); Create computes the largest valid λ for the requested alpha.
+/// Fails unless n >= 1 and alpha ∈ (0, 1).
+Result<Mechanism> RandomizedResponseMechanism(int n, double alpha);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_BASELINES_H_

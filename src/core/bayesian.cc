@@ -1,0 +1,171 @@
+#include "core/bayesian.h"
+
+#include <cmath>
+#include <string>
+
+#include "lp/problem.h"
+
+namespace geopriv {
+
+Result<BayesianConsumer> BayesianConsumer::Create(LossFunction loss,
+                                                  std::vector<double> prior,
+                                                  double tol) {
+  if (prior.empty()) {
+    return Status::InvalidArgument("prior must be non-empty");
+  }
+  double sum = 0.0;
+  for (double p : prior) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      return Status::InvalidArgument("prior entries must be in [0, 1]");
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > tol) {
+    return Status::InvalidArgument("prior must sum to 1");
+  }
+  GEOPRIV_RETURN_IF_ERROR(
+      loss.ValidateMonotone(static_cast<int>(prior.size()) - 1));
+  return BayesianConsumer(std::move(loss), std::move(prior));
+}
+
+Result<BayesianConsumer> BayesianConsumer::WithUniformPrior(LossFunction loss,
+                                                            int n) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  std::vector<double> prior(static_cast<size_t>(n) + 1,
+                            1.0 / (static_cast<double>(n) + 1.0));
+  return Create(std::move(loss), std::move(prior));
+}
+
+Result<double> BayesianConsumer::ExpectedLoss(
+    const Mechanism& mechanism) const {
+  if (mechanism.n() != n()) {
+    return Status::InvalidArgument("mechanism size mismatch");
+  }
+  double acc = 0.0;
+  for (int i = 0; i <= n(); ++i) {
+    double pi = prior_[static_cast<size_t>(i)];
+    if (pi == 0.0) continue;
+    for (int r = 0; r <= n(); ++r) {
+      acc += pi * loss_(i, r) * mechanism.Probability(i, r);
+    }
+  }
+  return acc;
+}
+
+Result<std::vector<int>> BayesianConsumer::OptimalRemap(
+    const Mechanism& deployed) const {
+  if (deployed.n() != n()) {
+    return Status::InvalidArgument("mechanism size mismatch");
+  }
+  const int size = n() + 1;
+  std::vector<int> remap(static_cast<size_t>(size), 0);
+  for (int r = 0; r < size; ++r) {
+    // Bayes decision: minimize Σ_i p_i·y[i][r]·l(i, r') over r'.  The
+    // normalization by Pr[observe r] is a positive constant and can be
+    // dropped (when Pr[observe r] = 0 any choice is fine).
+    double best = 0.0;
+    int best_rp = 0;
+    for (int rp = 0; rp < size; ++rp) {
+      double risk = 0.0;
+      for (int i = 0; i < size; ++i) {
+        risk += prior_[static_cast<size_t>(i)] * deployed.Probability(i, r) *
+                loss_(i, rp);
+      }
+      if (rp == 0 || risk < best) {
+        best = risk;
+        best_rp = rp;
+      }
+    }
+    remap[static_cast<size_t>(r)] = best_rp;
+  }
+  return remap;
+}
+
+Matrix BayesianConsumer::RemapToInteraction(const std::vector<int>& remap) {
+  const size_t size = remap.size();
+  Matrix t(size, size);
+  for (size_t r = 0; r < size; ++r) {
+    t.At(r, static_cast<size_t>(remap[r])) = 1.0;
+  }
+  return t;
+}
+
+Result<double> BayesianConsumer::LossAfterOptimalRemap(
+    const Mechanism& deployed) const {
+  GEOPRIV_ASSIGN_OR_RETURN(std::vector<int> remap, OptimalRemap(deployed));
+  GEOPRIV_ASSIGN_OR_RETURN(
+      Mechanism induced,
+      deployed.ApplyInteraction(RemapToInteraction(remap)));
+  return ExpectedLoss(induced);
+}
+
+Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
+    int n, double alpha, const BayesianConsumer& consumer,
+    const SimplexOptions& options) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  if (consumer.n() != n) {
+    return Status::InvalidArgument("consumer's n does not match");
+  }
+
+  LpProblem lp;
+  const int size = n + 1;
+  auto cell = [n](int i, int r) { return i * (n + 1) + r; };
+  for (int i = 0; i < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      // Objective coefficient: p_i · l(i, r).
+      double c = consumer.prior()[static_cast<size_t>(i)] *
+                 consumer.loss()(i, r);
+      lp.AddNonNegativeVariable(
+          "x_" + std::to_string(i) + "_" + std::to_string(r), c);
+    }
+  }
+  for (int i = 0; i + 1 < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.AddConstraint("dp_down", RowRelation::kGreaterEqual, 0.0,
+                       {{cell(i, r), 1.0}, {cell(i + 1, r), -alpha}});
+      lp.AddConstraint("dp_up", RowRelation::kGreaterEqual, 0.0,
+                       {{cell(i + 1, r), 1.0}, {cell(i, r), -alpha}});
+    }
+  }
+  for (int i = 0; i < size; ++i) {
+    std::vector<LpTerm> terms;
+    for (int r = 0; r < size; ++r) terms.push_back({cell(i, r), 1.0});
+    lp.AddConstraint("row_" + std::to_string(i), RowRelation::kEqual, 1.0,
+                     std::move(terms));
+  }
+
+  SimplexSolver solver(options);
+  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+  if (solution.status != LpStatus::kOptimal) {
+    return Status::NumericalError(
+        "simplex did not reach optimality on the Bayesian LP");
+  }
+  // Absorb simplex round-off: clip negatives and renormalize rows.
+  Matrix probs(static_cast<size_t>(size), static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    double row_sum = 0.0;
+    for (int r = 0; r < size; ++r) {
+      double v = solution.values[static_cast<size_t>(cell(i, r))];
+      if (v < 0.0) v = 0.0;
+      probs.At(static_cast<size_t>(i), static_cast<size_t>(r)) = v;
+      row_sum += v;
+    }
+    if (!(row_sum > 0.5)) {
+      return Status::NumericalError(
+          "LP solution row does not resemble a distribution");
+    }
+    for (int r = 0; r < size; ++r) {
+      probs.At(static_cast<size_t>(i), static_cast<size_t>(r)) /= row_sum;
+    }
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism,
+                           Mechanism::Create(std::move(probs), 1e-9));
+  return OptimalBayesianMechanismResult{std::move(mechanism),
+                                        solution.objective,
+                                        solution.iterations};
+}
+
+}  // namespace geopriv

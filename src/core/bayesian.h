@@ -1,0 +1,80 @@
+// Bayesian information consumers (Section 2.7 / Ghosh-Roughgarden-
+// Sundararajan STOC'09) — the paper's comparison baseline.
+//
+// A Bayesian consumer replaces the side-information set with a prior p over
+// {0..n} and the minimax rule with expected loss
+//     L(x) = Σ_i p_i · Σ_r l(i,r)·x[i][r].
+// For a fixed deployed mechanism y the optimal post-processing is
+// *deterministic*: remap each output r to
+//     argmin_{r'} Σ_i p_i · y[i][r] · l(i, r'),
+// the Bayes decision against the posterior given r.  (Minimax consumers, by
+// contrast, need randomized interactions — Table 1(c) in the paper.)
+// Ghosh et al. prove the geometric mechanism is universally optimal in this
+// model too; we reproduce that claim empirically as experiment X5.
+
+#ifndef GEOPRIV_CORE_BAYESIAN_H_
+#define GEOPRIV_CORE_BAYESIAN_H_
+
+#include <vector>
+
+#include "core/loss.h"
+#include "core/mechanism.h"
+#include "lp/simplex.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// A Bayesian (risk-neutral) information consumer.
+class BayesianConsumer {
+ public:
+  /// `prior` is a distribution over {0..n} (n = prior.size()-1); it must be
+  /// non-negative and sum to 1 within `tol`.  The loss must be monotone.
+  static Result<BayesianConsumer> Create(LossFunction loss,
+                                         std::vector<double> prior,
+                                         double tol = 1e-9);
+
+  /// Uniform prior over {0..n}.
+  static Result<BayesianConsumer> WithUniformPrior(LossFunction loss, int n);
+
+  int n() const { return static_cast<int>(prior_.size()) - 1; }
+  const LossFunction& loss() const { return loss_; }
+  const std::vector<double>& prior() const { return prior_; }
+
+  /// Expected loss Σ_i p_i Σ_r l(i,r)·x[i][r].
+  Result<double> ExpectedLoss(const Mechanism& mechanism) const;
+
+  /// The optimal deterministic remap against `deployed`: element r is the
+  /// output the consumer substitutes when it observes r.
+  Result<std::vector<int>> OptimalRemap(const Mechanism& deployed) const;
+
+  /// Expected loss after applying OptimalRemap to `deployed`.
+  Result<double> LossAfterOptimalRemap(const Mechanism& deployed) const;
+
+  /// Converts a deterministic remap to a (0/1) interaction matrix.
+  static Matrix RemapToInteraction(const std::vector<int>& remap);
+
+ private:
+  BayesianConsumer(LossFunction loss, std::vector<double> prior)
+      : loss_(std::move(loss)), prior_(std::move(prior)) {}
+
+  LossFunction loss_;
+  std::vector<double> prior_;
+};
+
+/// Result of the optimal Bayesian mechanism LP.
+struct OptimalBayesianMechanismResult {
+  Mechanism mechanism;
+  double loss = 0.0;
+  int lp_iterations = 0;
+};
+
+/// The Bayesian analogue of the Section 2.5 LP: over α-DP mechanisms,
+/// minimize expected (rather than worst-case) loss.  The objective is
+/// linear, so no epigraph variable is needed.
+Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
+    int n, double alpha, const BayesianConsumer& consumer,
+    const SimplexOptions& options = {});
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_BAYESIAN_H_

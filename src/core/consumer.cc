@@ -1,0 +1,88 @@
+#include "core/consumer.h"
+
+#include <algorithm>
+
+namespace geopriv {
+
+SideInformation SideInformation::All(int n) {
+  std::vector<int> members(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) members[static_cast<size_t>(i)] = i;
+  return SideInformation(std::move(members), n);
+}
+
+Result<SideInformation> SideInformation::Interval(int lo, int hi, int n) {
+  if (lo < 0 || hi > n || lo > hi) {
+    return Status::InvalidArgument(
+        "interval side information requires 0 <= lo <= hi <= n");
+  }
+  std::vector<int> members;
+  members.reserve(static_cast<size_t>(hi - lo) + 1);
+  for (int i = lo; i <= hi; ++i) members.push_back(i);
+  return SideInformation(std::move(members), n);
+}
+
+Result<SideInformation> SideInformation::FromSet(std::vector<int> members,
+                                                 int n) {
+  if (members.empty()) {
+    return Status::InvalidArgument("side information must be non-empty");
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  if (members.front() < 0 || members.back() > n) {
+    return Status::OutOfRange("side information must lie inside {0..n}");
+  }
+  return SideInformation(std::move(members), n);
+}
+
+bool SideInformation::Contains(int i) const {
+  return std::binary_search(members_.begin(), members_.end(), i);
+}
+
+std::string SideInformation::ToString() const {
+  // Contiguous sets render as ranges, otherwise as explicit lists.
+  if (static_cast<int>(members_.size()) ==
+      members_.back() - members_.front() + 1) {
+    return "{" + std::to_string(members_.front()) + ".." +
+           std::to_string(members_.back()) + "}";
+  }
+  std::string out = "{";
+  for (size_t k = 0; k < members_.size(); ++k) {
+    if (k != 0) out += ",";
+    out += std::to_string(members_[k]);
+  }
+  return out + "}";
+}
+
+Result<MinimaxConsumer> MinimaxConsumer::Create(
+    LossFunction loss, SideInformation side_information) {
+  GEOPRIV_RETURN_IF_ERROR(loss.ValidateMonotone(side_information.n()));
+  return MinimaxConsumer(std::move(loss), std::move(side_information));
+}
+
+Result<double> MinimaxConsumer::ExpectedLossAt(const Mechanism& mechanism,
+                                               int i) const {
+  if (mechanism.n() != side_.n()) {
+    return Status::InvalidArgument(
+        "mechanism size does not match consumer's n");
+  }
+  if (i < 0 || i > side_.n()) {
+    return Status::OutOfRange("input outside {0..n}");
+  }
+  double acc = 0.0;
+  for (int r = 0; r <= mechanism.n(); ++r) {
+    acc += loss_(i, r) * mechanism.Probability(i, r);
+  }
+  return acc;
+}
+
+Result<double> MinimaxConsumer::WorstCaseLoss(
+    const Mechanism& mechanism) const {
+  double worst = 0.0;
+  for (int i : side_.members()) {
+    GEOPRIV_ASSIGN_OR_RETURN(double loss, ExpectedLossAt(mechanism, i));
+    worst = std::max(worst, loss);
+  }
+  return worst;
+}
+
+}  // namespace geopriv

@@ -1,0 +1,73 @@
+// Minimax information consumers (Sections 2.3–2.4).
+//
+// A consumer has a monotone loss function and side information S ⊆ {0..n}
+// (the true count is known to lie in S).  Its dis-utility for a mechanism x
+// is the worst case over S:  L(x) = max_{i∈S} Σ_r l(i,r)·x[i][r]   (Eq. 1).
+
+#ifndef GEOPRIV_CORE_CONSUMER_H_
+#define GEOPRIV_CORE_CONSUMER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/mechanism.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Side information: the set S of still-possible true counts.
+class SideInformation {
+ public:
+  /// S = {0..n} (no side information).
+  static SideInformation All(int n);
+  /// S = {lo..hi}; fails unless 0 <= lo <= hi <= n.  The paper's Example 1
+  /// (drug company knowing a lower bound) is Interval(l, n, n).
+  static Result<SideInformation> Interval(int lo, int hi, int n);
+  /// Arbitrary non-empty subset of {0..n}; duplicates are removed.
+  static Result<SideInformation> FromSet(std::vector<int> members, int n);
+
+  /// The members of S in increasing order.
+  const std::vector<int>& members() const { return members_; }
+  /// The ambient n (S ⊆ {0..n}).
+  int n() const { return n_; }
+  bool Contains(int i) const;
+
+  std::string ToString() const;
+
+ private:
+  SideInformation(std::vector<int> members, int n)
+      : members_(std::move(members)), n_(n) {}
+
+  std::vector<int> members_;  // sorted, unique
+  int n_;
+};
+
+/// A minimax (risk-averse) information consumer.
+class MinimaxConsumer {
+ public:
+  /// Fails when the loss is not monotone over {0..side_information.n()}.
+  static Result<MinimaxConsumer> Create(LossFunction loss,
+                                        SideInformation side_information);
+
+  const LossFunction& loss() const { return loss_; }
+  const SideInformation& side_information() const { return side_; }
+
+  /// Expected loss of mechanism row i:  Σ_r l(i,r)·x[i][r].
+  Result<double> ExpectedLossAt(const Mechanism& mechanism, int i) const;
+
+  /// The minimax dis-utility L(x) of Eq. 1 (worst case over S).
+  /// Fails when the mechanism's n differs from the consumer's.
+  Result<double> WorstCaseLoss(const Mechanism& mechanism) const;
+
+ private:
+  MinimaxConsumer(LossFunction loss, SideInformation side)
+      : loss_(std::move(loss)), side_(std::move(side)) {}
+
+  LossFunction loss_;
+  SideInformation side_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_CONSUMER_H_

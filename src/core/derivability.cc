@@ -1,0 +1,148 @@
+#include "core/derivability.h"
+
+#include <cmath>
+
+#include "core/geometric.h"
+
+namespace geopriv {
+
+Result<DerivabilityVerdict> CheckDerivability(const Mechanism& mechanism,
+                                              double alpha, double tol) {
+  if (!(alpha >= 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1)");
+  }
+  DerivabilityVerdict verdict;
+  verdict.derivable = true;
+  const int n = mechanism.n();
+  const double alpha2 = alpha * alpha;
+  for (int j = 0; j <= n; ++j) {
+    // Boundary conditions (Lemma 2, cases i = 1 and i = n).
+    if (n >= 1) {
+      double first = mechanism.Probability(0, j) -
+                     alpha * mechanism.Probability(1, j);
+      if (first < -tol) {
+        return DerivabilityVerdict{false, j, 0, first};
+      }
+      double last = mechanism.Probability(n, j) -
+                    alpha * mechanism.Probability(n - 1, j);
+      if (last < -tol) {
+        return DerivabilityVerdict{false, j, n, last};
+      }
+    }
+    // Interior triples (Lemma 2, cases 2 <= i <= n-1).
+    for (int i = 1; i + 1 <= n; ++i) {
+      double slack = (1.0 + alpha2) * mechanism.Probability(i, j) -
+                     alpha * (mechanism.Probability(i - 1, j) +
+                              mechanism.Probability(i + 1, j));
+      if (slack < -tol) {
+        return DerivabilityVerdict{false, j, i, slack};
+      }
+    }
+  }
+  return verdict;
+}
+
+Result<DerivabilityVerdict> CheckDerivabilityExact(
+    const RationalMatrix& mechanism, const Rational& alpha) {
+  if (mechanism.rows() != mechanism.cols() || mechanism.rows() == 0) {
+    return Status::InvalidArgument("mechanism must be square and non-empty");
+  }
+  if (alpha.IsNegative() || alpha >= Rational(1)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1)");
+  }
+  const size_t size = mechanism.rows();
+  const Rational one(1);
+  const Rational coeff = one + alpha * alpha;
+  for (size_t j = 0; j < size; ++j) {
+    if (size >= 2) {
+      Rational first = mechanism.At(0, j) - alpha * mechanism.At(1, j);
+      if (first.IsNegative()) {
+        return DerivabilityVerdict{false, static_cast<int>(j), 0,
+                                   first.ToDouble()};
+      }
+      Rational last = mechanism.At(size - 1, j) -
+                      alpha * mechanism.At(size - 2, j);
+      if (last.IsNegative()) {
+        return DerivabilityVerdict{false, static_cast<int>(j),
+                                   static_cast<int>(size) - 1,
+                                   last.ToDouble()};
+      }
+    }
+    for (size_t i = 1; i + 1 < size; ++i) {
+      Rational slack = coeff * mechanism.At(i, j) -
+                       alpha * (mechanism.At(i - 1, j) +
+                                mechanism.At(i + 1, j));
+      if (slack.IsNegative()) {
+        return DerivabilityVerdict{false, static_cast<int>(j),
+                                   static_cast<int>(i), slack.ToDouble()};
+      }
+    }
+  }
+  DerivabilityVerdict verdict;
+  verdict.derivable = true;
+  return verdict;
+}
+
+Result<Matrix> DeriveInteraction(const Mechanism& mechanism, double alpha,
+                                 double tol) {
+  GEOPRIV_ASSIGN_OR_RETURN(
+      Matrix ginv, GeometricMechanism::BuildInverse(mechanism.n(), alpha));
+  Matrix t = ginv * mechanism.matrix();
+  // Clean round-off, then insist on stochasticity: Theorem 2 says this is
+  // exactly the derivability test.
+  for (size_t i = 0; i < t.rows(); ++i) {
+    for (size_t j = 0; j < t.cols(); ++j) {
+      if (t.At(i, j) < 0.0 && t.At(i, j) > -tol) t.At(i, j) = 0.0;
+    }
+  }
+  if (!t.IsRowStochastic(tol)) {
+    return Status::FailedPrecondition(
+        "mechanism is not derivable from the geometric mechanism "
+        "(G^{-1}M has a negative entry)");
+  }
+  return t;
+}
+
+Result<RationalMatrix> DeriveInteractionExact(const RationalMatrix& mechanism,
+                                              const Rational& alpha) {
+  if (mechanism.rows() != mechanism.cols() || mechanism.rows() < 2) {
+    return Status::InvalidArgument("mechanism must be square with n >= 1");
+  }
+  const int n = static_cast<int>(mechanism.rows()) - 1;
+  GEOPRIV_ASSIGN_OR_RETURN(RationalMatrix ginv,
+                           GeometricMechanism::BuildExactInverse(n, alpha));
+  RationalMatrix t = ginv * mechanism;
+  if (!t.IsRowStochastic()) {
+    return Status::FailedPrecondition(
+        "mechanism is not derivable from the geometric mechanism "
+        "(exact G^{-1}M has a negative entry or a row not summing to 1)");
+  }
+  return t;
+}
+
+Result<Matrix> PrivacyTransition(int n, double alpha, double beta,
+                                 double tol) {
+  if (beta < alpha) {
+    return Status::FailedPrecondition(
+        "Lemma 3 requires alpha <= beta: post-processing can only add "
+        "privacy");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(GeometricMechanism geo,
+                           GeometricMechanism::Create(n, beta));
+  GEOPRIV_ASSIGN_OR_RETURN(Mechanism target, geo.ToMechanism());
+  return DeriveInteraction(target, alpha, tol);
+}
+
+Result<RationalMatrix> PrivacyTransitionExact(int n, const Rational& alpha,
+                                              const Rational& beta) {
+  if (beta < alpha) {
+    return Status::FailedPrecondition(
+        "Lemma 3 requires alpha <= beta: post-processing can only add "
+        "privacy");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(RationalMatrix target,
+                           GeometricMechanism::BuildExactMatrix(n, beta));
+  return DeriveInteractionExact(target, alpha);
+}
+
+}  // namespace geopriv

@@ -1,0 +1,73 @@
+// Derivability from the geometric mechanism (Section 3, Theorem 2).
+//
+// A mechanism x is *derivable* from a deployed mechanism y when a
+// row-stochastic T exists with x = y·T (Definition 3) — T is the consumer's
+// randomized post-processing.  Theorem 2 characterizes derivability from
+// G_{n,α}: an oblivious DP mechanism M is derivable iff every three
+// consecutive entries x1, x2, x3 of every column satisfy
+//     (1+α²)·x2 >= α·(x1 + x3),
+// together with the boundary conditions x_first >= α·x_second and
+// x_last >= α·x_secondlast (Lemma 2 cases 1 and n; DP already implies
+// those).  The witness is T = G⁻¹·M, computed here via the closed-form
+// inverse — exactly over rationals or in doubles.
+//
+// Lemma 3 is the special case M = G_{n,β} with β >= α: the resulting
+// stochastic T_{α,β} "adds privacy" and drives Algorithm 1 (multilevel.h).
+
+#ifndef GEOPRIV_CORE_DERIVABILITY_H_
+#define GEOPRIV_CORE_DERIVABILITY_H_
+
+#include "core/mechanism.h"
+#include "exact/rational.h"
+#include "exact/rational_matrix.h"
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Outcome of the Theorem 2 three-entry test.
+struct DerivabilityVerdict {
+  bool derivable = false;
+  /// When !derivable: the column and the center row of the violating triple
+  /// (or the boundary row), and the (negative) slack
+  /// (1+α²)·x2 − α·(x1+x3).
+  int column = -1;
+  int row = -1;
+  double slack = 0.0;
+};
+
+/// Checks the Theorem 2 condition on a mechanism against G_{n,α}.
+/// The theorem presumes `mechanism` is α-differentially private; verify
+/// that separately with CheckDifferentialPrivacy.  `tol` absorbs round-off.
+Result<DerivabilityVerdict> CheckDerivability(const Mechanism& mechanism,
+                                              double alpha,
+                                              double tol = 1e-9);
+
+/// Exact Theorem 2 test over rationals; no tolerance.
+Result<DerivabilityVerdict> CheckDerivabilityExact(
+    const RationalMatrix& mechanism, const Rational& alpha);
+
+/// Computes the witness interaction T with mechanism = G_{n,α}·T via the
+/// closed-form inverse and verifies it is row-stochastic (within tol).
+/// Returns FailedPrecondition when the mechanism is not derivable.
+Result<Matrix> DeriveInteraction(const Mechanism& mechanism, double alpha,
+                                 double tol = 1e-7);
+
+/// Exact witness; fails with FailedPrecondition when some entry of
+/// G⁻¹·M is negative (not derivable), with no numeric ambiguity.
+Result<RationalMatrix> DeriveInteractionExact(const RationalMatrix& mechanism,
+                                              const Rational& alpha);
+
+/// Lemma 3: the stochastic transition T_{α,β} with
+/// G_{n,β} = G_{n,α}·T_{α,β}.  Fails (FailedPrecondition) when β < α —
+/// privacy can be added but never removed by post-processing.
+Result<Matrix> PrivacyTransition(int n, double alpha, double beta,
+                                 double tol = 1e-7);
+
+/// Exact Lemma 3 transition.
+Result<RationalMatrix> PrivacyTransitionExact(int n, const Rational& alpha,
+                                              const Rational& beta);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_DERIVABILITY_H_

@@ -1,0 +1,65 @@
+#include "core/examples_catalog.h"
+
+#include <vector>
+
+namespace geopriv {
+
+namespace {
+
+Result<RationalMatrix> FromFractionTable(
+    const std::vector<std::vector<std::pair<int64_t, int64_t>>>& rows) {
+  const size_t r = rows.size();
+  const size_t c = rows.empty() ? 0 : rows[0].size();
+  std::vector<Rational> data;
+  data.reserve(r * c);
+  for (const auto& row : rows) {
+    if (row.size() != c) {
+      return Status::InvalidArgument("ragged fraction table");
+    }
+    for (const auto& [num, den] : row) {
+      GEOPRIV_ASSIGN_OR_RETURN(Rational value, Rational::FromInts(num, den));
+      data.push_back(std::move(value));
+    }
+  }
+  return RationalMatrix::FromRows(r, c, std::move(data));
+}
+
+}  // namespace
+
+Result<RationalMatrix> PaperTable1aAsPrinted() {
+  return FromFractionTable({
+      {{2, 3}, {5, 17}, {1, 25}, {1, 98}},
+      {{1, 6}, {7, 11}, {7, 44}, {2, 49}},
+      {{2, 49}, {7, 44}, {7, 11}, {1, 6}},
+      {{1, 98}, {1, 25}, {5, 17}, {2, 3}},
+  });
+}
+
+Result<RationalMatrix> PaperTable1bAsPrinted() {
+  return FromFractionTable({
+      {{4, 3}, {1, 4}, {1, 16}, {1, 48}},
+      {{1, 3}, {1, 1}, {1, 4}, {1, 12}},
+      {{1, 12}, {1, 4}, {1, 1}, {1, 3}},
+      {{1, 48}, {1, 16}, {1, 4}, {4, 3}},
+  });
+}
+
+Result<RationalMatrix> PaperTable1cInteraction() {
+  return FromFractionTable({
+      {{9, 11}, {2, 11}, {0, 1}, {0, 1}},
+      {{0, 1}, {1, 1}, {0, 1}, {0, 1}},
+      {{0, 1}, {0, 1}, {1, 1}, {0, 1}},
+      {{0, 1}, {0, 1}, {2, 11}, {9, 11}},
+  });
+}
+
+Result<RationalMatrix> PaperAppendixBMechanism() {
+  return FromFractionTable({
+      {{1, 9}, {2, 9}, {4, 9}, {2, 9}},
+      {{2, 9}, {1, 9}, {2, 9}, {4, 9}},
+      {{4, 9}, {2, 9}, {1, 9}, {2, 9}},
+      {{13, 18}, {1, 9}, {1, 18}, {1, 9}},
+  });
+}
+
+}  // namespace geopriv

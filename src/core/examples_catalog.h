@@ -1,0 +1,49 @@
+// The paper's concrete worked examples, as exact library constants.
+//
+// * Table 1 (n = 3, α = 1/4, consumer: l = |i-r|, S = {0..3}):
+//     (a) "the optimal mechanism" as printed in the paper.  NOTE: the
+//         printed fractions are inexact — the rows of (a) do not sum to 1
+//         (e.g. 2/3 + 5/17 + 1/25 + 1/98 ≈ 1.011), so we expose it as
+//         PaperTable1aAsPrinted for provenance and let tests compare
+//         against the LP-computed optimum instead.
+//     (b) G_{3,1/4} scaled by (1+α)/(1-α) = 5/3, exactly as printed.
+//     (c) the consumer-interaction matrix (exactly row-stochastic).
+// * Appendix B: the 1/2-DP mechanism that is NOT derivable from G_{3,1/2};
+//   its Theorem-2 slack at column 1, rows (0,1,2) is exactly -1/12
+//   ((1+α²)·1/9 − α·(2/9+2/9) = 5/36 − 2/9).
+//
+// These are used by tests (exactness checks) and by the Table-1/Appendix-B
+// benches that reprint the paper's artifacts.
+
+#ifndef GEOPRIV_CORE_EXAMPLES_CATALOG_H_
+#define GEOPRIV_CORE_EXAMPLES_CATALOG_H_
+
+#include "exact/rational_matrix.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Parameters of the Table 1 example.
+struct Table1Parameters {
+  int n = 3;
+  /// α = 1/4.
+  Rational alpha = *Rational::FromInts(1, 4);
+};
+
+/// Table 1(a) exactly as printed in the paper (rows do NOT sum to 1; see
+/// file comment).
+Result<RationalMatrix> PaperTable1aAsPrinted();
+
+/// Table 1(b) exactly as printed: G_{3,1/4}·(1+α)/(1-α).
+Result<RationalMatrix> PaperTable1bAsPrinted();
+
+/// Table 1(c): the minimax consumer's interaction matrix (row-stochastic).
+Result<RationalMatrix> PaperTable1cInteraction();
+
+/// Appendix B: the 1/2-DP mechanism not derivable from the geometric
+/// mechanism.
+Result<RationalMatrix> PaperAppendixBMechanism();
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_EXAMPLES_CATALOG_H_

@@ -1,0 +1,226 @@
+#include "core/geometric.h"
+
+#include <cmath>
+
+namespace geopriv {
+
+namespace {
+
+Status ValidateShape(int n, double alpha) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (!(alpha >= 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1)");
+  }
+  return Status::OK();
+}
+
+Status ValidateShapeExact(int n, const Rational& alpha) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (alpha.IsNegative() || alpha >= Rational(1)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+GeometricMechanism::GeometricMechanism(int n, double alpha)
+    : n_(n),
+      alpha_(alpha),
+      log_alpha_(std::log(alpha)),
+      mass_zero_((1.0 - alpha) / (1.0 + alpha)) {}
+
+Result<GeometricMechanism> GeometricMechanism::Create(int n, double alpha) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateShape(n, alpha));
+  return GeometricMechanism(n, alpha);
+}
+
+Result<int> GeometricMechanism::Sample(int i, Xoshiro256& rng) const {
+  if (i < 0 || i > n_) return Status::OutOfRange("true count outside {0..n}");
+  if (alpha_ == 0.0) return i;  // no noise
+  // Draw Z from the two-sided geometric, then clamp (Definition 4 collapses
+  // each tail onto the nearest endpoint, which is exactly clamping).
+  double u = rng.NextDouble();
+  int64_t z = 0;
+  if (u >= mass_zero_) {
+    double v = rng.NextDoublePositive();
+    int64_t magnitude =
+        1 + static_cast<int64_t>(std::floor(std::log(v) / log_alpha_));
+    z = (rng.Next() & 1) ? magnitude : -magnitude;
+  }
+  int64_t out = static_cast<int64_t>(i) + z;
+  if (out < 0) out = 0;
+  if (out > n_) out = n_;
+  return static_cast<int>(out);
+}
+
+Result<Mechanism> GeometricMechanism::ToMechanism() const {
+  GEOPRIV_ASSIGN_OR_RETURN(Matrix m, BuildMatrix(n_, alpha_));
+  return Mechanism::Create(std::move(m));
+}
+
+Result<Matrix> GeometricMechanism::BuildMatrix(int n, double alpha) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateShape(n, alpha));
+  const size_t size = static_cast<size_t>(n) + 1;
+  Matrix m(size, size);
+  if (n == 0) {
+    m.At(0, 0) = 1.0;
+    return m;
+  }
+  const double interior = (1.0 - alpha) / (1.0 + alpha);
+  const double edge = 1.0 / (1.0 + alpha);
+  for (int k = 0; k <= n; ++k) {
+    // Endpoint columns absorb the clamped tails: Pr[out = 0] = Pr[Z <= -k]
+    // = α^k/(1+α), symmetrically for n.  std::pow(0, 0) == 1 makes the
+    // α = 0 (identity) case fall out naturally.
+    m.At(static_cast<size_t>(k), 0) = edge * std::pow(alpha, k);
+    m.At(static_cast<size_t>(k), static_cast<size_t>(n)) =
+        edge * std::pow(alpha, n - k);
+    for (int z = 1; z < n; ++z) {
+      m.At(static_cast<size_t>(k), static_cast<size_t>(z)) =
+          interior * std::pow(alpha, std::abs(z - k));
+    }
+  }
+  return m;
+}
+
+Result<Matrix> GeometricMechanism::BuildGPrime(int n, double alpha) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateShape(n, alpha));
+  const size_t size = static_cast<size_t>(n) + 1;
+  Matrix m(size, size);
+  for (size_t i = 0; i < size; ++i) {
+    for (size_t j = 0; j < size; ++j) {
+      m.At(i, j) = std::pow(alpha, std::abs(static_cast<int>(i) -
+                                            static_cast<int>(j)));
+    }
+  }
+  return m;
+}
+
+Result<Matrix> GeometricMechanism::BuildInverse(int n, double alpha) {
+  if (n < 1) {
+    return Status::InvalidArgument("closed-form inverse needs n >= 1");
+  }
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument(
+        "closed-form inverse needs alpha in (0, 1)");
+  }
+  const size_t size = static_cast<size_t>(n) + 1;
+  const double denom = 1.0 - alpha * alpha;
+  // (G')⁻¹ is tridiagonal; G = G'·D with D = diag(d_j), so
+  // G⁻¹ = D⁻¹·(G')⁻¹ scales the *rows* of (G')⁻¹ by 1/d_i.
+  Matrix inv(size, size);
+  for (size_t i = 0; i < size; ++i) {
+    double diag = (i == 0 || i + 1 == size) ? 1.0 : 1.0 + alpha * alpha;
+    inv.At(i, i) = diag / denom;
+    if (i > 0) inv.At(i, i - 1) = -alpha / denom;
+    if (i + 1 < size) inv.At(i, i + 1) = -alpha / denom;
+  }
+  for (size_t i = 0; i < size; ++i) {
+    double d = (i == 0 || i + 1 == size) ? 1.0 / (1.0 + alpha)
+                                         : (1.0 - alpha) / (1.0 + alpha);
+    double scale = 1.0 / d;
+    for (size_t j = 0; j < size; ++j) inv.At(i, j) *= scale;
+  }
+  return inv;
+}
+
+Result<RationalMatrix> GeometricMechanism::BuildExactMatrix(
+    int n, const Rational& alpha) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateShapeExact(n, alpha));
+  const size_t size = static_cast<size_t>(n) + 1;
+  RationalMatrix m(size, size);
+  if (n == 0) {
+    m.At(0, 0) = Rational(1);
+    return m;
+  }
+  const Rational one(1);
+  GEOPRIV_ASSIGN_OR_RETURN(Rational edge,
+                           Rational::Divide(one, one + alpha));
+  GEOPRIV_ASSIGN_OR_RETURN(Rational interior,
+                           Rational::Divide(one - alpha, one + alpha));
+  for (int k = 0; k <= n; ++k) {
+    m.At(static_cast<size_t>(k), 0) = edge * *alpha.Pow(k);
+    m.At(static_cast<size_t>(k), static_cast<size_t>(n)) =
+        edge * *alpha.Pow(n - k);
+    for (int z = 1; z < n; ++z) {
+      m.At(static_cast<size_t>(k), static_cast<size_t>(z)) =
+          interior * *alpha.Pow(std::abs(z - k));
+    }
+  }
+  return m;
+}
+
+Result<RationalMatrix> GeometricMechanism::BuildExactGPrime(
+    int n, const Rational& alpha) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateShapeExact(n, alpha));
+  const size_t size = static_cast<size_t>(n) + 1;
+  RationalMatrix m(size, size);
+  for (size_t i = 0; i < size; ++i) {
+    for (size_t j = 0; j < size; ++j) {
+      int d = std::abs(static_cast<int>(i) - static_cast<int>(j));
+      m.At(i, j) = *alpha.Pow(d);
+    }
+  }
+  return m;
+}
+
+Result<RationalMatrix> GeometricMechanism::BuildExactInverse(
+    int n, const Rational& alpha) {
+  if (n < 1) {
+    return Status::InvalidArgument("closed-form inverse needs n >= 1");
+  }
+  if (alpha.Sign() <= 0 || alpha >= Rational(1)) {
+    return Status::InvalidArgument(
+        "closed-form inverse needs alpha in (0, 1)");
+  }
+  const size_t size = static_cast<size_t>(n) + 1;
+  const Rational one(1);
+  const Rational alpha2 = alpha * alpha;
+  GEOPRIV_ASSIGN_OR_RETURN(Rational inv_denom,
+                           (one - alpha2).Inverse());
+  RationalMatrix inv(size, size);
+  for (size_t i = 0; i < size; ++i) {
+    Rational diag = (i == 0 || i + 1 == size) ? one : one + alpha2;
+    inv.At(i, i) = diag * inv_denom;
+    Rational off = -alpha * inv_denom;
+    if (i > 0) inv.At(i, i - 1) = off;
+    if (i + 1 < size) inv.At(i, i + 1) = off;
+  }
+  // Row-scale by 1/d_i (G = G'·D).
+  GEOPRIV_ASSIGN_OR_RETURN(Rational edge_scale,
+                           Rational::Divide(one + alpha, one));
+  GEOPRIV_ASSIGN_OR_RETURN(Rational interior_scale,
+                           Rational::Divide(one + alpha, one - alpha));
+  for (size_t i = 0; i < size; ++i) {
+    const Rational& scale =
+        (i == 0 || i + 1 == size) ? edge_scale : interior_scale;
+    for (size_t j = 0; j < size; ++j) {
+      if (!inv.At(i, j).IsZero()) inv.At(i, j) *= scale;
+    }
+  }
+  return inv;
+}
+
+Result<Rational> GeometricMechanism::ExactGPrimeDeterminant(
+    int n, const Rational& alpha) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateShapeExact(n, alpha));
+  const Rational one(1);
+  return *(one - alpha * alpha).Pow(n);
+}
+
+Result<Rational> GeometricMechanism::ExactDeterminant(int n,
+                                                      const Rational& alpha) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateShapeExact(n, alpha));
+  const Rational one(1);
+  if (n == 0) return one;
+  GEOPRIV_ASSIGN_OR_RETURN(Rational gprime_det,
+                           ExactGPrimeDeterminant(n, alpha));
+  GEOPRIV_ASSIGN_OR_RETURN(Rational edge,
+                           Rational::Divide(one, one + alpha));
+  GEOPRIV_ASSIGN_OR_RETURN(Rational interior,
+                           Rational::Divide(one - alpha, one + alpha));
+  return gprime_det * edge * edge * *interior.Pow(n - 1);
+}
+
+}  // namespace geopriv

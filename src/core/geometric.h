@@ -1,0 +1,92 @@
+// The geometric mechanism (Definitions 1 and 4) and its linear algebra.
+//
+// The α-geometric mechanism adds two-sided geometric noise
+// Pr[Z=z] = (1-α)/(1+α)·α^|z| to the true count.  Its range-restricted
+// version (Definition 4) clamps the output to {0..n}, collapsing each tail
+// onto the nearest endpoint; as a matrix G_{n,α} it is the paper's central
+// object.  The scaled form G'_{n,α}[i][j] = α^|i-j| (Table 2) is a
+// Kac–Murdock–Szegő Toeplitz matrix whose determinant and inverse have
+// closed forms:
+//     det G'_{n,α} = (1-α²)^n                       (Lemma 1, 0-indexed)
+//     (G')⁻¹ = 1/(1-α²) · tridiag(-α; 1, 1+α², ..., 1+α², 1; -α)
+// from which G⁻¹ follows by column scaling.  These closed forms make
+// derivability factorizations (Theorem 2, derivability.h) exact and fast.
+
+#ifndef GEOPRIV_CORE_GEOMETRIC_H_
+#define GEOPRIV_CORE_GEOMETRIC_H_
+
+#include "core/mechanism.h"
+#include "exact/rational.h"
+#include "exact/rational_matrix.h"
+#include "linalg/matrix.h"
+#include "rng/engine.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// The α-geometric mechanism for a count query with results in {0..n}.
+/// Sampling is O(1) (noise addition + clamp); the matrix forms are built on
+/// demand.
+class GeometricMechanism {
+ public:
+  /// Fails unless n >= 0 and alpha ∈ [0, 1).  (alpha == 1 is the vacuous
+  /// "identical distributions" extreme and has no sampler or inverse.)
+  static Result<GeometricMechanism> Create(int n, double alpha);
+
+  int n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// Samples the range-restricted release for true count i (Definition 4):
+  /// draws two-sided geometric noise and clamps i+Z into {0..n}.
+  Result<int> Sample(int i, Xoshiro256& rng) const;
+
+  /// G_{n,α} as a Mechanism.
+  Result<Mechanism> ToMechanism() const;
+
+  // ---- double-precision matrix forms --------------------------------------
+
+  /// The (n+1)x(n+1) matrix of Definition 4.
+  static Result<Matrix> BuildMatrix(int n, double alpha);
+
+  /// G'_{n,α}[i][j] = α^|i-j|  (Table 2 right).
+  static Result<Matrix> BuildGPrime(int n, double alpha);
+
+  /// Closed-form G⁻¹_{n,α}; fails when alpha is not in (0, 1) (G is
+  /// singular at the extremes) or n < 1.
+  static Result<Matrix> BuildInverse(int n, double alpha);
+
+  // ---- exact (rational) forms ---------------------------------------------
+
+  /// Exact G_{n,α}; alpha must satisfy 0 <= alpha < 1.
+  static Result<RationalMatrix> BuildExactMatrix(int n,
+                                                 const Rational& alpha);
+
+  /// Exact G'_{n,α}.
+  static Result<RationalMatrix> BuildExactGPrime(int n,
+                                                 const Rational& alpha);
+
+  /// Exact closed-form G⁻¹_{n,α}; requires 0 < alpha < 1 and n >= 1.
+  static Result<RationalMatrix> BuildExactInverse(int n,
+                                                  const Rational& alpha);
+
+  /// Lemma 1 closed form det G'_{n,α} = (1-α²)^n for the (n+1)x(n+1)
+  /// matrix over {0..n}.
+  static Result<Rational> ExactGPrimeDeterminant(int n,
+                                                 const Rational& alpha);
+
+  /// det G_{n,α} = det G' · (1/(1+α))² · ((1-α)/(1+α))^{n-1}   (n >= 1),
+  /// obtained from the column scaling between G and G'.
+  static Result<Rational> ExactDeterminant(int n, const Rational& alpha);
+
+ private:
+  GeometricMechanism(int n, double alpha);
+
+  int n_;
+  double alpha_;
+  double log_alpha_;   // log(alpha); -inf when alpha == 0
+  double mass_zero_;   // (1-α)/(1+α)
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_GEOMETRIC_H_

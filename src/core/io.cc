@@ -1,0 +1,80 @@
+#include "core/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace geopriv {
+
+namespace {
+constexpr char kHeader[] = "geopriv-mechanism v1";
+}  // namespace
+
+std::string SerializeMechanism(const Mechanism& mechanism) {
+  std::string out = kHeader;
+  out += "\nn " + std::to_string(mechanism.n()) + "\n";
+  char buf[40];
+  for (int i = 0; i <= mechanism.n(); ++i) {
+    out += "row";
+    for (int r = 0; r <= mechanism.n(); ++r) {
+      std::snprintf(buf, sizeof(buf), " %.17g", mechanism.Probability(i, r));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Mechanism> ParseMechanism(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument(
+        "missing 'geopriv-mechanism v1' header");
+  }
+  std::string keyword;
+  int n = -1;
+  if (!(in >> keyword >> n) || keyword != "n" || n < 0) {
+    return Status::InvalidArgument("missing or malformed 'n <size>' line");
+  }
+  const size_t size = static_cast<size_t>(n) + 1;
+  Matrix probs(size, size);
+  for (size_t i = 0; i < size; ++i) {
+    if (!(in >> keyword) || keyword != "row") {
+      return Status::InvalidArgument("expected 'row' line " +
+                                     std::to_string(i));
+    }
+    for (size_t r = 0; r < size; ++r) {
+      double v = 0.0;
+      if (!(in >> v)) {
+        return Status::InvalidArgument("row " + std::to_string(i) +
+                                       " has too few probabilities");
+      }
+      probs.At(i, r) = v;
+    }
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::InvalidArgument("trailing content after last row");
+  }
+  return Mechanism::Create(std::move(probs));
+}
+
+Status SaveMechanism(const Mechanism& mechanism, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for write");
+  out << SerializeMechanism(mechanism);
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Mechanism> LoadMechanism(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseMechanism(buffer.str());
+}
+
+}  // namespace geopriv

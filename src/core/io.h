@@ -1,0 +1,38 @@
+// Text serialization for mechanisms and interaction matrices.
+//
+// A deployed mechanism is an artifact that gets reviewed, versioned and
+// shipped between the data owner and consumers, so the library provides a
+// stable, human-readable format:
+//
+//   geopriv-mechanism v1
+//   n <n>
+//   row <p_0> <p_1> ... <p_n>     (n+1 rows, each a distribution)
+//
+// Probabilities are written with 17 significant digits (round-trip safe
+// for doubles).  Parsing validates shape and stochasticity.
+
+#ifndef GEOPRIV_CORE_IO_H_
+#define GEOPRIV_CORE_IO_H_
+
+#include <string>
+
+#include "core/mechanism.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Serializes a mechanism to the v1 text format.
+std::string SerializeMechanism(const Mechanism& mechanism);
+
+/// Parses the v1 text format; validates header, shape and stochasticity.
+Result<Mechanism> ParseMechanism(const std::string& text);
+
+/// Writes a mechanism to `path` (overwrites).  Fails on I/O errors.
+Status SaveMechanism(const Mechanism& mechanism, const std::string& path);
+
+/// Reads a mechanism from `path`.
+Result<Mechanism> LoadMechanism(const std::string& path);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_IO_H_

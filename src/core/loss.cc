@@ -1,0 +1,78 @@
+#include "core/loss.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace geopriv {
+
+LossFunction LossFunction::AbsoluteError() {
+  return LossFunction("absolute", [](int i, int r) {
+    return static_cast<double>(std::abs(i - r));
+  });
+}
+
+LossFunction LossFunction::SquaredError() {
+  return LossFunction("squared", [](int i, int r) {
+    double d = static_cast<double>(i - r);
+    return d * d;
+  });
+}
+
+LossFunction LossFunction::ZeroOne() {
+  return LossFunction("zero-one",
+                      [](int i, int r) { return i == r ? 0.0 : 1.0; });
+}
+
+Result<LossFunction> LossFunction::CappedAbsoluteError(double cap) {
+  if (!(cap > 0.0) || !std::isfinite(cap)) {
+    return Status::InvalidArgument("cap must be positive and finite");
+  }
+  return LossFunction("capped-absolute", [cap](int i, int r) {
+    return std::min(static_cast<double>(std::abs(i - r)), cap);
+  });
+}
+
+Result<LossFunction> LossFunction::PowerError(double p) {
+  if (!(p >= 0.0) || !std::isfinite(p)) {
+    return Status::InvalidArgument("exponent must be non-negative and finite");
+  }
+  return LossFunction("power-" + std::to_string(p), [p](int i, int r) {
+    return std::pow(static_cast<double>(std::abs(i - r)), p);
+  });
+}
+
+LossFunction LossFunction::FromFunction(std::string name,
+                                        std::function<double(int, int)> fn) {
+  return LossFunction(std::move(name), std::move(fn));
+}
+
+Status LossFunction::ValidateMonotone(int n) const {
+  for (int i = 0; i <= n; ++i) {
+    for (int r = 0; r <= n; ++r) {
+      double value = (*this)(i, r);
+      if (!(value >= 0.0) || !std::isfinite(value)) {
+        return Status::InvalidArgument(
+            "loss must be finite and non-negative at (" + std::to_string(i) +
+            ", " + std::to_string(r) + ")");
+      }
+    }
+    // Non-decreasing as r moves away from i on either side.
+    for (int r = i; r + 1 <= n; ++r) {
+      if ((*this)(i, r + 1) < (*this)(i, r)) {
+        return Status::InvalidArgument(
+            "loss decreases with distance to the right of i=" +
+            std::to_string(i) + " at r=" + std::to_string(r + 1));
+      }
+    }
+    for (int r = i; r - 1 >= 0; --r) {
+      if ((*this)(i, r - 1) < (*this)(i, r)) {
+        return Status::InvalidArgument(
+            "loss decreases with distance to the left of i=" +
+            std::to_string(i) + " at r=" + std::to_string(r - 1));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace geopriv

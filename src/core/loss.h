@@ -1,0 +1,63 @@
+// Loss functions (Section 2.3).
+//
+// A loss function l(i, r) gives the consumer's dis-utility when the
+// mechanism outputs r while the true count is i.  The paper's only
+// assumption is monotonicity: l(i, r) is non-decreasing in |i - r| for each
+// fixed i.  This module provides the paper's three worked examples
+// (absolute error for the government, squared error for the drug company,
+// 0/1 error), plus capped variants and an escape hatch for arbitrary
+// losses, together with a monotonicity validator.
+
+#ifndef GEOPRIV_CORE_LOSS_H_
+#define GEOPRIV_CORE_LOSS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace geopriv {
+
+/// A monotone loss function l : N x N -> R>=0.  Cheap to copy.
+class LossFunction {
+ public:
+  /// l(i, r) = |i - r|  (mean error; the paper's government example).
+  static LossFunction AbsoluteError();
+  /// l(i, r) = (i - r)^2  (error variance; the drug-company example).
+  static LossFunction SquaredError();
+  /// l(i, r) = [i != r]  (frequency of error).
+  static LossFunction ZeroOne();
+  /// l(i, r) = min(|i - r|, cap); models consumers indifferent beyond a
+  /// blowout threshold.  cap must be positive.
+  static Result<LossFunction> CappedAbsoluteError(double cap);
+  /// l(i, r) = |i - r|^p for p >= 0 (p = 1, 2 recover the above).
+  static Result<LossFunction> PowerError(double p);
+  /// Arbitrary loss; caller promises monotonicity (check with
+  /// ValidateMonotone before relying on the paper's theorems).
+  static LossFunction FromFunction(std::string name,
+                                   std::function<double(int, int)> fn);
+
+  /// Evaluates l(i, r).
+  double operator()(int i, int r) const { return (*fn_)(i, r); }
+
+  const std::string& name() const { return name_; }
+
+  /// Verifies, for inputs/outputs in {0..n}, that l(i, r) is non-negative
+  /// and non-decreasing in |i - r| for every fixed i — the paper's validity
+  /// condition.  Returns the first violation found.
+  Status ValidateMonotone(int n) const;
+
+ private:
+  using Fn = std::function<double(int, int)>;
+  LossFunction(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::make_shared<const Fn>(std::move(fn))) {}
+
+  std::string name_;
+  std::shared_ptr<const Fn> fn_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_LOSS_H_

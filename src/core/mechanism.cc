@@ -1,0 +1,99 @@
+#include "core/mechanism.h"
+
+#include <cmath>
+
+namespace geopriv {
+
+Result<Mechanism> Mechanism::Create(Matrix probabilities, double tol) {
+  if (probabilities.rows() == 0 ||
+      probabilities.rows() != probabilities.cols()) {
+    return Status::InvalidArgument(
+        "a mechanism needs a non-empty square matrix");
+  }
+  if (!probabilities.IsRowStochastic(tol)) {
+    return Status::InvalidArgument(
+        "mechanism matrix must be row-stochastic (rows sum to 1, entries "
+        ">= 0)");
+  }
+  return Mechanism(std::move(probabilities));
+}
+
+Result<Mechanism> Mechanism::FromExact(const RationalMatrix& probabilities) {
+  if (!probabilities.IsRowStochastic()) {
+    return Status::InvalidArgument(
+        "exact mechanism matrix must be exactly row-stochastic");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(
+      Matrix m, Matrix::FromRows(probabilities.rows(), probabilities.cols(),
+                                 probabilities.ToDoubles()));
+  return Mechanism(std::move(m));
+}
+
+Mechanism Mechanism::Identity(int n) {
+  return Mechanism(Matrix::Identity(static_cast<size_t>(n) + 1));
+}
+
+Mechanism Mechanism::Uniform(int n) {
+  size_t size = static_cast<size_t>(n) + 1;
+  Matrix m(size, size);
+  double p = 1.0 / static_cast<double>(size);
+  for (size_t i = 0; i < size; ++i) {
+    for (size_t j = 0; j < size; ++j) m.At(i, j) = p;
+  }
+  return Mechanism(std::move(m));
+}
+
+Result<Mechanism> Mechanism::ApplyInteraction(const Matrix& interaction,
+                                              double tol) const {
+  if (interaction.rows() != probs_.cols() ||
+      interaction.cols() != probs_.cols()) {
+    return Status::InvalidArgument("interaction matrix shape mismatch");
+  }
+  if (!interaction.IsRowStochastic(tol)) {
+    return Status::InvalidArgument(
+        "a feasible interaction must be row-stochastic (Definition 3)");
+  }
+  return Mechanism(probs_ * interaction);
+}
+
+Result<int> Mechanism::Sample(int i, Xoshiro256& rng) const {
+  if (i < 0 || i > n()) {
+    return Status::OutOfRange("true count outside {0..n}");
+  }
+  if (!samplers_.empty()) {
+    return static_cast<int>(samplers_[static_cast<size_t>(i)].Sample(rng));
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(
+      AliasSampler sampler,
+      AliasSampler::Create(probs_.Row(static_cast<size_t>(i))));
+  return static_cast<int>(sampler.Sample(rng));
+}
+
+Status Mechanism::PrepareSamplers() {
+  std::vector<AliasSampler> samplers;
+  samplers.reserve(probs_.rows());
+  for (size_t i = 0; i < probs_.rows(); ++i) {
+    Result<AliasSampler> sampler = AliasSampler::Create(probs_.Row(i));
+    if (!sampler.ok()) return sampler.status();
+    samplers.push_back(std::move(sampler).value());
+  }
+  samplers_ = std::move(samplers);
+  return Status::OK();
+}
+
+Result<double> Mechanism::MaxTotalVariation(const Mechanism& other) const {
+  if (other.size() != size()) {
+    return Status::InvalidArgument("mechanism size mismatch");
+  }
+  double worst = 0.0;
+  for (size_t i = 0; i < probs_.rows(); ++i) {
+    double tv = 0.0;
+    for (size_t j = 0; j < probs_.cols(); ++j) {
+      tv += std::abs(probs_.At(i, j) - other.probs_.At(i, j));
+    }
+    worst = std::max(worst, 0.5 * tv);
+  }
+  return worst;
+}
+
+}  // namespace geopriv

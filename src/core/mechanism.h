@@ -1,0 +1,90 @@
+// Mechanism: oblivious privacy mechanisms for count queries.
+//
+// Section 2.2 of the paper: an oblivious mechanism for a count query over a
+// database of size n is a row-stochastic (n+1)x(n+1) matrix x, where
+// x[i][r] = Pr[release r | true count i].  This type is the currency of the
+// whole library: the geometric mechanism, LP-optimal mechanisms, consumer
+// interactions and multi-level releases all produce or consume it.
+
+#ifndef GEOPRIV_CORE_MECHANISM_H_
+#define GEOPRIV_CORE_MECHANISM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exact/rational_matrix.h"
+#include "linalg/matrix.h"
+#include "rng/distributions.h"
+#include "rng/engine.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// An oblivious mechanism over inputs/outputs {0, ..., n}.
+/// Immutable after construction; value semantics.
+class Mechanism {
+ public:
+  /// Wraps a row-stochastic square matrix.  Fails when the matrix is not
+  /// square, empty, or not row-stochastic within `tol`.
+  static Result<Mechanism> Create(Matrix probabilities, double tol = 1e-9);
+
+  /// Converts an exact mechanism; fails when not exactly row-stochastic.
+  static Result<Mechanism> FromExact(const RationalMatrix& probabilities);
+
+  /// The identity (no-noise) mechanism on {0..n} — the α = 0 extreme.
+  static Mechanism Identity(int n);
+
+  /// The maximally private mechanism that outputs uniformly on {0..n}
+  /// regardless of the input — an α = 1 (vacuous utility) extreme.
+  static Mechanism Uniform(int n);
+
+  /// Largest query result, i.e. the database size n; inputs are {0..n}.
+  int n() const { return static_cast<int>(probs_.rows()) - 1; }
+  /// Number of inputs/outputs, n+1.
+  int size() const { return static_cast<int>(probs_.rows()); }
+
+  /// Pr[release r | true count i].
+  double Probability(int i, int r) const {
+    return probs_.At(static_cast<size_t>(i), static_cast<size_t>(r));
+  }
+
+  /// The full probability matrix.
+  const Matrix& matrix() const { return probs_; }
+
+  /// Output distribution for input i (row i).
+  Vector RowDistribution(int i) const {
+    return probs_.Row(static_cast<size_t>(i));
+  }
+
+  /// Applies a consumer interaction T (Definition 3): returns the induced
+  /// mechanism x = y·T.  Fails when T is not (n+1)x(n+1) row-stochastic.
+  Result<Mechanism> ApplyInteraction(const Matrix& interaction,
+                                     double tol = 1e-9) const;
+
+  /// Samples a released value for true count i.  Fails when i ∉ {0..n}.
+  Result<int> Sample(int i, Xoshiro256& rng) const;
+
+  /// Builds per-row alias samplers once; afterwards Sample is O(1)/draw.
+  /// (Sample works without this, constructing a sampler per call.)
+  Status PrepareSamplers();
+
+  /// Total variation distance between this mechanism's and `other`'s output
+  /// distributions, maximized over inputs.  Shapes must match.
+  Result<double> MaxTotalVariation(const Mechanism& other) const;
+
+  /// Multi-line text rendering of the matrix.
+  std::string ToString(int precision = 4) const {
+    return probs_.ToString(precision);
+  }
+
+ private:
+  explicit Mechanism(Matrix probs) : probs_(std::move(probs)) {}
+
+  Matrix probs_;
+  std::vector<AliasSampler> samplers_;  // empty until PrepareSamplers()
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_MECHANISM_H_

@@ -1,0 +1,66 @@
+#include "core/multilevel.h"
+
+#include "core/derivability.h"
+#include "core/geometric.h"
+#include "rng/distributions.h"
+
+namespace geopriv {
+
+Result<MultiLevelRelease> MultiLevelRelease::Create(
+    int n, std::vector<double> alphas) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (alphas.empty()) {
+    return Status::InvalidArgument("at least one privacy level is required");
+  }
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    if (!(alphas[i] > 0.0) || !(alphas[i] < 1.0)) {
+      return Status::InvalidArgument("privacy levels must lie in (0, 1)");
+    }
+    if (i > 0 && !(alphas[i] > alphas[i - 1])) {
+      return Status::InvalidArgument(
+          "privacy levels must be strictly increasing (alpha_1 < ... < "
+          "alpha_k)");
+    }
+  }
+
+  std::vector<Mechanism> stages;
+  stages.reserve(alphas.size());
+  for (double a : alphas) {
+    GEOPRIV_ASSIGN_OR_RETURN(GeometricMechanism geo,
+                             GeometricMechanism::Create(n, a));
+    GEOPRIV_ASSIGN_OR_RETURN(Mechanism m, geo.ToMechanism());
+    stages.push_back(std::move(m));
+  }
+
+  std::vector<Matrix> transitions;
+  transitions.reserve(alphas.size() - 1);
+  for (size_t i = 0; i + 1 < alphas.size(); ++i) {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        Matrix t, PrivacyTransition(n, alphas[i], alphas[i + 1]));
+    transitions.push_back(std::move(t));
+  }
+  return MultiLevelRelease(n, std::move(alphas), std::move(stages),
+                           std::move(transitions));
+}
+
+Result<std::vector<int>> MultiLevelRelease::Release(int true_count,
+                                                    Xoshiro256& rng) const {
+  if (true_count < 0 || true_count > n_) {
+    return Status::OutOfRange("true count outside {0..n}");
+  }
+  std::vector<int> out;
+  out.reserve(alphas_.size());
+  GEOPRIV_ASSIGN_OR_RETURN(int current,
+                           stage_mechanisms_[0].Sample(true_count, rng));
+  out.push_back(current);
+  for (const Matrix& t : transitions_) {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        DiscreteSampler row_sampler,
+        DiscreteSampler::Create(t.Row(static_cast<size_t>(current))));
+    current = static_cast<int>(row_sampler.Sample(rng));
+    out.push_back(current);
+  }
+  return out;
+}
+
+}  // namespace geopriv

@@ -1,0 +1,68 @@
+// Multi-level, collusion-resistant release (Section 4.1, Algorithm 1).
+//
+// Releasing the same count independently at k privacy levels lets colluding
+// consumers average away the noise.  Algorithm 1 instead releases a *chain*:
+// r1 ~ G_{n,α1}(true count), then r_{i+1} ~ T_{αi,α_{i+1}}(r_i), where the
+// transitions come from Lemma 3 (derivability.h).  Marginally each r_i is
+// distributed exactly as G_{n,αi}(true count); jointly, every r_{i+1} is a
+// post-processing of r_i, so any coalition learns no more than its most
+// trusted member (Lemma 4) — the release is α_{min(C)}-DP for coalition C.
+
+#ifndef GEOPRIV_CORE_MULTILEVEL_H_
+#define GEOPRIV_CORE_MULTILEVEL_H_
+
+#include <vector>
+
+#include "core/mechanism.h"
+#include "linalg/matrix.h"
+#include "rng/engine.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// A prepared multi-level release plan for one count query.
+/// Create once, then call Release per publication.
+class MultiLevelRelease {
+ public:
+  /// Builds the chain for levels α1 < α2 < ... < αk (all in (0, 1)).
+  /// Fails when levels are not strictly increasing or out of range.
+  static Result<MultiLevelRelease> Create(int n, std::vector<double> alphas);
+
+  /// Runs Algorithm 1: samples r1 from G_{n,α1}(true_count) and each
+  /// subsequent r_{i+1} from row r_i of T_{αi,α_{i+1}}.  Returns one value
+  /// per level, ordered least private (most accurate) first.
+  Result<std::vector<int>> Release(int true_count, Xoshiro256& rng) const;
+
+  /// The marginal mechanism of level i (== G_{n,α_i}); i in [0, k).
+  const Mechanism& StageMechanism(size_t level) const {
+    return stage_mechanisms_[level];
+  }
+
+  /// The Lemma 3 transition applied between level i-1 and level i
+  /// (i in [1, k)).
+  const Matrix& Transition(size_t level) const {
+    return transitions_[level - 1];
+  }
+
+  size_t num_levels() const { return alphas_.size(); }
+  double alpha(size_t level) const { return alphas_[level]; }
+  int n() const { return n_; }
+
+ private:
+  MultiLevelRelease(int n, std::vector<double> alphas,
+                    std::vector<Mechanism> stage_mechanisms,
+                    std::vector<Matrix> transitions)
+      : n_(n),
+        alphas_(std::move(alphas)),
+        stage_mechanisms_(std::move(stage_mechanisms)),
+        transitions_(std::move(transitions)) {}
+
+  int n_;
+  std::vector<double> alphas_;
+  std::vector<Mechanism> stage_mechanisms_;  // k marginals
+  std::vector<Matrix> transitions_;          // k-1 chained transitions
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_MULTILEVEL_H_

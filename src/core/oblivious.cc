@@ -1,0 +1,70 @@
+#include "core/oblivious.h"
+
+#include <algorithm>
+
+namespace geopriv {
+
+Status ValidateDatabaseMechanism(const DatabaseMechanism& mechanism, int n) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (mechanism.counts.size() != mechanism.probs.rows()) {
+    return Status::InvalidArgument(
+        "counts and probability rows must correspond one-to-one");
+  }
+  if (mechanism.probs.cols() != static_cast<size_t>(n) + 1) {
+    return Status::InvalidArgument("output range must be {0..n}");
+  }
+  if (!mechanism.probs.IsRowStochastic()) {
+    return Status::InvalidArgument("database rows must be distributions");
+  }
+  for (int c : mechanism.counts) {
+    if (c < 0 || c > n) {
+      return Status::OutOfRange("a database count lies outside {0..n}");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Mechanism> ObliviousReduction(const DatabaseMechanism& mechanism,
+                                     int n) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateDatabaseMechanism(mechanism, n));
+  const size_t size = static_cast<size_t>(n) + 1;
+  Matrix avg(size, size);
+  std::vector<int> class_sizes(size, 0);
+  for (size_t d = 0; d < mechanism.counts.size(); ++d) {
+    size_t c = static_cast<size_t>(mechanism.counts[d]);
+    ++class_sizes[c];
+    for (size_t r = 0; r < size; ++r) {
+      avg.At(c, r) += mechanism.probs.At(d, r);
+    }
+  }
+  for (size_t c = 0; c < size; ++c) {
+    if (class_sizes[c] == 0) {
+      return Status::FailedPrecondition(
+          "count class " + std::to_string(c) +
+          " has no database; the oblivious row is undefined");
+    }
+    double inv = 1.0 / class_sizes[c];
+    for (size_t r = 0; r < size; ++r) avg.At(c, r) *= inv;
+  }
+  return Mechanism::Create(std::move(avg));
+}
+
+Result<double> DatabaseMechanismWorstCaseLoss(
+    const DatabaseMechanism& mechanism, const MinimaxConsumer& consumer) {
+  const int n = consumer.side_information().n();
+  GEOPRIV_RETURN_IF_ERROR(ValidateDatabaseMechanism(mechanism, n));
+  double worst = 0.0;
+  for (size_t d = 0; d < mechanism.counts.size(); ++d) {
+    int count = mechanism.counts[d];
+    if (!consumer.side_information().Contains(count)) continue;
+    double loss = 0.0;
+    for (int r = 0; r <= n; ++r) {
+      loss += consumer.loss()(count, r) *
+              mechanism.probs.At(d, static_cast<size_t>(r));
+    }
+    worst = std::max(worst, loss);
+  }
+  return worst;
+}
+
+}  // namespace geopriv

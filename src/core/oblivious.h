@@ -1,0 +1,48 @@
+// Obliviousness is without loss of generality (Appendix A).
+//
+// A general (non-oblivious) mechanism assigns an output distribution to
+// each *database* rather than each count.  Appendix A shows that averaging
+// those distributions over the equivalence classes "same true count"
+// yields an oblivious mechanism that is still α-DP and never has larger
+// minimax loss.  This module implements that reduction and the loss
+// comparison used to validate it.
+
+#ifndef GEOPRIV_CORE_OBLIVIOUS_H_
+#define GEOPRIV_CORE_OBLIVIOUS_H_
+
+#include <vector>
+
+#include "core/consumer.h"
+#include "core/mechanism.h"
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// A mechanism defined directly on databases: row d of `probs` is the
+/// output distribution (over {0..n}) used when the database is d, and
+/// `counts[d]` is that database's true count.
+struct DatabaseMechanism {
+  std::vector<int> counts;  ///< true count per database, in {0..n}
+  Matrix probs;             ///< |databases| x (n+1), row-stochastic
+};
+
+/// Validates shapes and stochasticity of a DatabaseMechanism against n.
+Status ValidateDatabaseMechanism(const DatabaseMechanism& mechanism, int n);
+
+/// The Appendix A reduction: x'[c][r] = avg over databases d with
+/// counts[d] == c of probs[d][r].  Every count class in {0..n} must be
+/// non-empty (otherwise the oblivious row would be undefined).
+Result<Mechanism> ObliviousReduction(const DatabaseMechanism& mechanism,
+                                     int n);
+
+/// Worst-case loss of a non-oblivious mechanism for a minimax consumer
+/// whose side information restricts the *count*:
+///   max over databases d with counts[d] ∈ S of Σ_r l(counts[d], r)·probs[d][r].
+/// Appendix A (Lemma 6) guarantees this is >= the loss of the reduction.
+Result<double> DatabaseMechanismWorstCaseLoss(
+    const DatabaseMechanism& mechanism, const MinimaxConsumer& consumer);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_OBLIVIOUS_H_

@@ -1,0 +1,266 @@
+#include "core/optimal.h"
+
+#include <cmath>
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace geopriv {
+
+namespace {
+
+// Variable layout shared by both LPs: cell (i, r) of an (n+1)x(n+1) matrix
+// maps to column i*(n+1)+r; the epigraph variable d is appended last.
+int CellVar(int i, int r, int n) { return i * (n + 1) + r; }
+
+// Reads a row-stochastic matrix out of an LP solution, absorbing simplex
+// round-off: negative values are clipped to zero and each row is
+// renormalized.  At a vertex the true values are exact rationals; the
+// observed dirt is O(1e-6) for the largest LPs we solve, so this cleanup
+// perturbs the mechanism far below the loss tolerances used downstream.
+Result<Matrix> ExtractStochasticMatrix(const std::vector<double>& values,
+                                       int n) {
+  const int size = n + 1;
+  Matrix probs(static_cast<size_t>(size), static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    double row_sum = 0.0;
+    for (int r = 0; r < size; ++r) {
+      double v = values[static_cast<size_t>(CellVar(i, r, n))];
+      if (v < 0.0) v = 0.0;
+      probs.At(static_cast<size_t>(i), static_cast<size_t>(r)) = v;
+      row_sum += v;
+    }
+    if (!(row_sum > 0.5)) {
+      return Status::NumericalError(
+          "LP solution row does not resemble a distribution");
+    }
+    double inv = 1.0 / row_sum;
+    for (int r = 0; r < size; ++r) {
+      probs.At(static_cast<size_t>(i), static_cast<size_t>(r)) *= inv;
+    }
+  }
+  return probs;
+}
+
+}  // namespace
+
+namespace {
+
+// Builds the Section 2.5 LP shared by SolveOptimalMechanism and
+// SolveCanonicalOptimalMechanism; returns the index of the epigraph
+// variable d through `d_var_out`.
+Result<LpProblem> BuildOptimalMechanismLp(int n, double alpha,
+                                          const MinimaxConsumer& consumer,
+                                          int* d_var_out) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  if (consumer.side_information().n() != n) {
+    return Status::InvalidArgument("consumer's n does not match");
+  }
+
+  LpProblem lp;
+  const int size = n + 1;
+  for (int i = 0; i < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.AddNonNegativeVariable(
+          "x_" + std::to_string(i) + "_" + std::to_string(r), 0.0);
+    }
+  }
+  const int d_var = lp.AddNonNegativeVariable("d", 1.0);  // objective: min d
+
+  // Epigraph rows: Σ_r l(i,r)·x[i][r] - d <= 0 for each i in S.
+  for (int i : consumer.side_information().members()) {
+    std::vector<LpTerm> terms;
+    terms.reserve(static_cast<size_t>(size) + 1);
+    for (int r = 0; r < size; ++r) {
+      double l = consumer.loss()(i, r);
+      if (l != 0.0) terms.push_back({CellVar(i, r, n), l});
+    }
+    terms.push_back({d_var, -1.0});
+    lp.AddConstraint("loss_" + std::to_string(i), RowRelation::kLessEqual,
+                     0.0, std::move(terms));
+  }
+
+  // Differential privacy (Definition 2), per adjacent input pair and column.
+  for (int i = 0; i + 1 < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.AddConstraint(
+          "dp_down_" + std::to_string(i) + "_" + std::to_string(r),
+          RowRelation::kGreaterEqual, 0.0,
+          {{CellVar(i, r, n), 1.0}, {CellVar(i + 1, r, n), -alpha}});
+      lp.AddConstraint(
+          "dp_up_" + std::to_string(i) + "_" + std::to_string(r),
+          RowRelation::kGreaterEqual, 0.0,
+          {{CellVar(i + 1, r, n), 1.0}, {CellVar(i, r, n), -alpha}});
+    }
+  }
+
+  // Row-stochasticity.
+  for (int i = 0; i < size; ++i) {
+    std::vector<LpTerm> terms;
+    terms.reserve(static_cast<size_t>(size));
+    for (int r = 0; r < size; ++r) terms.push_back({CellVar(i, r, n), 1.0});
+    lp.AddConstraint("row_" + std::to_string(i), RowRelation::kEqual, 1.0,
+                     std::move(terms));
+  }
+
+  *d_var_out = d_var;
+  return lp;
+}
+
+}  // namespace
+
+Result<OptimalMechanismResult> SolveOptimalMechanism(
+    int n, double alpha, const MinimaxConsumer& consumer,
+    const SimplexOptions& options) {
+  int d_var = -1;
+  GEOPRIV_ASSIGN_OR_RETURN(
+      LpProblem lp, BuildOptimalMechanismLp(n, alpha, consumer, &d_var));
+
+  SimplexSolver solver(options);
+  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+  if (solution.status == LpStatus::kInfeasible) {
+    return Status::Infeasible(
+        "optimal-mechanism LP infeasible (should never happen: the uniform "
+        "mechanism is feasible for every alpha in [0,1])");
+  }
+  if (solution.status != LpStatus::kOptimal) {
+    return Status::NumericalError(
+        "simplex did not reach optimality on the optimal-mechanism LP");
+  }
+
+  GEOPRIV_ASSIGN_OR_RETURN(Matrix probs,
+                           ExtractStochasticMatrix(solution.values, n));
+  GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism,
+                           Mechanism::Create(std::move(probs), 1e-9));
+  // Ground-truth the objective: the returned loss is recomputed from the
+  // cleaned mechanism, and a large disagreement with the LP objective
+  // means the tableau drifted — fail loudly rather than return garbage.
+  GEOPRIV_ASSIGN_OR_RETURN(double actual_loss,
+                           consumer.WorstCaseLoss(mechanism));
+  if (std::abs(actual_loss - solution.objective) >
+      1e-4 * (1.0 + std::abs(actual_loss))) {
+    return Status::NumericalError(
+        "simplex objective disagrees with the recomputed minimax loss; "
+        "the LP is too large for the dense tableau's numerics");
+  }
+  return OptimalMechanismResult{std::move(mechanism), actual_loss,
+                                solution.iterations};
+}
+
+Result<OptimalMechanismResult> SolveCanonicalOptimalMechanism(
+    int n, double alpha, const MinimaxConsumer& consumer,
+    const SimplexOptions& options) {
+  // Stage 1: the optimal loss d*.
+  GEOPRIV_ASSIGN_OR_RETURN(OptimalMechanismResult stage1,
+                           SolveOptimalMechanism(n, alpha, consumer, options));
+
+  // Stage 2: among mechanisms with loss <= d* (+ numeric slack), minimize
+  // the paper's secondary objective L'(x) = Σ_i Σ_r |i−r|·x[i][r].
+  int d_var = -1;
+  GEOPRIV_ASSIGN_OR_RETURN(
+      LpProblem lp, BuildOptimalMechanismLp(n, alpha, consumer, &d_var));
+  lp.SetObjectiveCoefficient(d_var, 0.0);
+  const int size = n + 1;
+  for (int i = 0; i < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.SetObjectiveCoefficient(CellVar(i, r, n),
+                                 static_cast<double>(std::abs(i - r)));
+    }
+  }
+  lp.AddConstraint("pin_d", RowRelation::kLessEqual,
+                   stage1.loss + 1e-7 * (1.0 + stage1.loss),
+                   {{d_var, 1.0}});
+
+  SimplexSolver solver(options);
+  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+  if (solution.status != LpStatus::kOptimal) {
+    return Status::NumericalError(
+        "simplex did not reach optimality on the Lemma-5 stage-2 LP");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(Matrix probs,
+                           ExtractStochasticMatrix(solution.values, n));
+  GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism,
+                           Mechanism::Create(std::move(probs), 1e-9));
+  GEOPRIV_ASSIGN_OR_RETURN(double actual_loss,
+                           consumer.WorstCaseLoss(mechanism));
+  if (actual_loss > stage1.loss + 1e-5 * (1.0 + stage1.loss)) {
+    return Status::NumericalError(
+        "Lemma-5 stage-2 mechanism lost optimality beyond tolerance");
+  }
+  return OptimalMechanismResult{std::move(mechanism), actual_loss,
+                                stage1.lp_iterations + solution.iterations};
+}
+
+Result<OptimalInteractionResult> SolveOptimalInteraction(
+    const Mechanism& deployed, const MinimaxConsumer& consumer,
+    const SimplexOptions& options) {
+  const int n = deployed.n();
+  if (consumer.side_information().n() != n) {
+    return Status::InvalidArgument("consumer's n does not match");
+  }
+
+  LpProblem lp;
+  const int size = n + 1;
+  for (int r = 0; r < size; ++r) {
+    for (int rp = 0; rp < size; ++rp) {
+      lp.AddNonNegativeVariable(
+          "T_" + std::to_string(r) + "_" + std::to_string(rp), 0.0);
+    }
+  }
+  const int d_var = lp.AddNonNegativeVariable("d", 1.0);
+
+  // Induced loss rows: for i in S,
+  //   Σ_{r'} l(i,r')·Σ_r y[i][r]·T[r][r']  <=  d.
+  for (int i : consumer.side_information().members()) {
+    std::vector<LpTerm> terms;
+    for (int r = 0; r < size; ++r) {
+      double y = deployed.Probability(i, r);
+      if (y == 0.0) continue;
+      for (int rp = 0; rp < size; ++rp) {
+        double l = consumer.loss()(i, rp);
+        if (l != 0.0) terms.push_back({CellVar(r, rp, n), y * l});
+      }
+    }
+    terms.push_back({d_var, -1.0});
+    lp.AddConstraint("loss_" + std::to_string(i), RowRelation::kLessEqual,
+                     0.0, std::move(terms));
+  }
+
+  // T is row-stochastic.
+  for (int r = 0; r < size; ++r) {
+    std::vector<LpTerm> terms;
+    terms.reserve(static_cast<size_t>(size));
+    for (int rp = 0; rp < size; ++rp) terms.push_back({CellVar(r, rp, n), 1.0});
+    lp.AddConstraint("rowT_" + std::to_string(r), RowRelation::kEqual, 1.0,
+                     std::move(terms));
+  }
+
+  SimplexSolver solver(options);
+  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+  if (solution.status != LpStatus::kOptimal) {
+    return Status::NumericalError(
+        "simplex did not reach optimality on the optimal-interaction LP");
+  }
+
+  GEOPRIV_ASSIGN_OR_RETURN(Matrix t,
+                           ExtractStochasticMatrix(solution.values, n));
+  GEOPRIV_ASSIGN_OR_RETURN(Mechanism induced,
+                           deployed.ApplyInteraction(t, 1e-9));
+  GEOPRIV_ASSIGN_OR_RETURN(double actual_loss,
+                           consumer.WorstCaseLoss(induced));
+  if (std::abs(actual_loss - solution.objective) >
+      1e-4 * (1.0 + std::abs(actual_loss))) {
+    return Status::NumericalError(
+        "simplex objective disagrees with the recomputed minimax loss; "
+        "the LP is too large for the dense tableau's numerics");
+  }
+  return OptimalInteractionResult{std::move(t), std::move(induced),
+                                  actual_loss, solution.iterations};
+}
+
+}  // namespace geopriv

@@ -1,0 +1,76 @@
+// Optimal mechanisms and optimal interactions (Sections 2.4.3 and 2.5).
+//
+// Two LP families, both solved with the in-tree simplex (lp/simplex.h):
+//
+// 1. SolveOptimalMechanism — the LP of Section 2.5: over all α-DP oblivious
+//    mechanisms x, minimize the consumer's minimax loss
+//        min d  s.t.  d >= Σ_r l(i,r)·x[i][r]   ∀ i ∈ S
+//                     α·x[i+1][r] <= x[i][r],  α·x[i][r] <= x[i+1][r]
+//                     Σ_r x[i][r] = 1,  x >= 0.
+//    This is the per-consumer benchmark the geometric mechanism must match
+//    (Theorem 1 part 2).
+//
+// 2. SolveOptimalInteraction — the LP of Section 2.4.3: given a *deployed*
+//    mechanism y, find the row-stochastic reinterpretation T minimizing the
+//    minimax loss of the induced mechanism x = y·T.
+//
+// The headline theorem says: deploying G_{n,α} and letting each rational
+// consumer run LP 2 achieves exactly the LP 1 optimum, for every consumer.
+
+#ifndef GEOPRIV_CORE_OPTIMAL_H_
+#define GEOPRIV_CORE_OPTIMAL_H_
+
+#include "core/consumer.h"
+#include "core/mechanism.h"
+#include "linalg/matrix.h"
+#include "lp/simplex.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Result of the Section 2.5 LP.
+struct OptimalMechanismResult {
+  Mechanism mechanism;   ///< an optimal α-DP mechanism for the consumer
+  double loss = 0.0;     ///< its minimax loss (the LP optimum)
+  int lp_iterations = 0; ///< simplex pivots spent
+};
+
+/// Solves LP 1 for a known consumer.  Fails on malformed inputs, when the
+/// LP is infeasible (cannot happen for α ∈ [0,1] — the uniform mechanism is
+/// always feasible — so infeasibility signals a solver problem), or when
+/// the solution fails validation.
+Result<OptimalMechanismResult> SolveOptimalMechanism(
+    int n, double alpha, const MinimaxConsumer& consumer,
+    const SimplexOptions& options = {});
+
+/// Result of the Section 2.4.3 LP.
+struct OptimalInteractionResult {
+  Matrix interaction;    ///< row-stochastic T, (n+1)x(n+1)
+  Mechanism induced;     ///< y·T
+  double loss = 0.0;     ///< minimax loss of the induced mechanism
+  int lp_iterations = 0;
+};
+
+/// Solves LP 2: the consumer's rational response to a deployed mechanism.
+Result<OptimalInteractionResult> SolveOptimalInteraction(
+    const Mechanism& deployed, const MinimaxConsumer& consumer,
+    const SimplexOptions& options = {});
+
+/// The Lemma 5 construction: among all optimal mechanisms for the
+/// consumer, returns one minimizing the secondary objective
+/// L'(x) = Σ_i Σ_r |i−r|·x[i][r] (the lexicographic (L, L') optimum used
+/// in the paper's proof).  Unlike an arbitrary LP vertex, this canonical
+/// optimum satisfies Lemma 5's row pattern and is therefore derivable
+/// from G_{n,α} (Section 4.2) — SolveOptimalMechanism alone does not
+/// guarantee that, because LP optima are not unique.
+///
+/// Implemented as a two-stage solve: stage 1 finds the optimal loss d*,
+/// stage 2 minimizes L' subject to the loss staying within
+/// d* (plus a small numeric slack).
+Result<OptimalMechanismResult> SolveCanonicalOptimalMechanism(
+    int n, double alpha, const MinimaxConsumer& consumer,
+    const SimplexOptions& options = {});
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_OPTIMAL_H_

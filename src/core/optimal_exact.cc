@@ -1,0 +1,228 @@
+#include "core/optimal_exact.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "lp/exact_simplex.h"
+
+namespace geopriv {
+
+ExactLossFunction ExactLossFunction::AbsoluteError() {
+  return ExactLossFunction("absolute", [](int i, int r) {
+    return Rational(std::abs(i - r));
+  });
+}
+
+ExactLossFunction ExactLossFunction::SquaredError() {
+  return ExactLossFunction("squared", [](int i, int r) {
+    int64_t d = i - r;
+    return Rational(d * d);
+  });
+}
+
+ExactLossFunction ExactLossFunction::ZeroOne() {
+  return ExactLossFunction("zero-one", [](int i, int r) {
+    return Rational(i == r ? 0 : 1);
+  });
+}
+
+ExactLossFunction ExactLossFunction::FromFunction(
+    std::string name, std::function<Rational(int, int)> fn) {
+  return ExactLossFunction(std::move(name), std::move(fn));
+}
+
+Status ExactLossFunction::ValidateMonotone(int n) const {
+  for (int i = 0; i <= n; ++i) {
+    for (int r = 0; r <= n; ++r) {
+      if ((*this)(i, r).IsNegative()) {
+        return Status::InvalidArgument("exact loss must be non-negative");
+      }
+    }
+    for (int r = i; r + 1 <= n; ++r) {
+      if ((*this)(i, r + 1) < (*this)(i, r)) {
+        return Status::InvalidArgument(
+            "exact loss decreases with distance right of i=" +
+            std::to_string(i));
+      }
+    }
+    for (int r = i; r - 1 >= 0; --r) {
+      if ((*this)(i, r - 1) < (*this)(i, r)) {
+        return Status::InvalidArgument(
+            "exact loss decreases with distance left of i=" +
+            std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Rational> ExactWorstCaseLoss(const RationalMatrix& mechanism,
+                                    const ExactLossFunction& loss,
+                                    const SideInformation& side) {
+  if (mechanism.rows() != mechanism.cols() ||
+      mechanism.rows() != static_cast<size_t>(side.n()) + 1) {
+    return Status::InvalidArgument("mechanism shape does not match n");
+  }
+  Rational worst(0);
+  bool first = true;
+  for (int i : side.members()) {
+    Rational acc(0);
+    for (size_t r = 0; r < mechanism.cols(); ++r) {
+      acc += loss(i, static_cast<int>(r)) *
+             mechanism.At(static_cast<size_t>(i), r);
+    }
+    if (first || acc > worst) {
+      worst = std::move(acc);
+      first = false;
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+constexpr int CellVar(int i, int r, int n) { return i * (n + 1) + r; }
+
+Status ValidateExactArgs(int n, const Rational& alpha,
+                         const ExactLossFunction& loss,
+                         const SideInformation& side) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  if (alpha.IsNegative() || alpha > Rational(1)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  if (side.n() != n) {
+    return Status::InvalidArgument("side information n does not match");
+  }
+  return loss.ValidateMonotone(n);
+}
+
+// Extracts the (n+1)x(n+1) cell block of an exact LP solution.
+RationalMatrix ExtractMatrix(const std::vector<Rational>& values, int n) {
+  const int size = n + 1;
+  RationalMatrix out(static_cast<size_t>(size), static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      out.At(static_cast<size_t>(i), static_cast<size_t>(r)) =
+          values[static_cast<size_t>(CellVar(i, r, n))];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExactOptimalResult> SolveOptimalMechanismExact(
+    int n, const Rational& alpha, const ExactLossFunction& loss,
+    const SideInformation& side) {
+  GEOPRIV_RETURN_IF_ERROR(ValidateExactArgs(n, alpha, loss, side));
+
+  ExactLpProblem lp;
+  const int size = n + 1;
+  for (int i = 0; i < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.AddVariable("x_" + std::to_string(i) + "_" + std::to_string(r),
+                     Rational(0));
+    }
+  }
+  const int d_var = lp.AddVariable("d", Rational(1));
+
+  for (int i : side.members()) {
+    std::vector<ExactLpTerm> terms;
+    for (int r = 0; r < size; ++r) {
+      Rational l = loss(i, r);
+      if (!l.IsZero()) terms.push_back({CellVar(i, r, n), std::move(l)});
+    }
+    terms.push_back({d_var, Rational(-1)});
+    lp.AddConstraint(RowRelation::kLessEqual, Rational(0), std::move(terms));
+  }
+  for (int i = 0; i + 1 < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.AddConstraint(RowRelation::kGreaterEqual, Rational(0),
+                       {{CellVar(i, r, n), Rational(1)},
+                        {CellVar(i + 1, r, n), -alpha}});
+      lp.AddConstraint(RowRelation::kGreaterEqual, Rational(0),
+                       {{CellVar(i + 1, r, n), Rational(1)},
+                        {CellVar(i, r, n), -alpha}});
+    }
+  }
+  for (int i = 0; i < size; ++i) {
+    std::vector<ExactLpTerm> terms;
+    for (int r = 0; r < size; ++r) {
+      terms.push_back({CellVar(i, r, n), Rational(1)});
+    }
+    lp.AddConstraint(RowRelation::kEqual, Rational(1), std::move(terms));
+  }
+
+  ExactSimplexSolver solver;
+  GEOPRIV_ASSIGN_OR_RETURN(ExactLpSolution solution, solver.Solve(lp));
+  if (solution.status != LpStatus::kOptimal) {
+    return Status::Infeasible("exact optimal-mechanism LP did not solve");
+  }
+  RationalMatrix mechanism = ExtractMatrix(solution.values, n);
+  if (!mechanism.IsRowStochastic()) {
+    return Status::Internal("exact LP produced a non-stochastic mechanism");
+  }
+  return ExactOptimalResult{std::move(mechanism),
+                            std::move(solution.objective),
+                            solution.iterations};
+}
+
+Result<ExactOptimalResult> SolveOptimalInteractionExact(
+    const RationalMatrix& deployed, const ExactLossFunction& loss,
+    const SideInformation& side) {
+  const int n = side.n();
+  if (deployed.rows() != deployed.cols() ||
+      deployed.rows() != static_cast<size_t>(n) + 1) {
+    return Status::InvalidArgument("deployed mechanism shape mismatch");
+  }
+  if (!deployed.IsRowStochastic()) {
+    return Status::InvalidArgument("deployed mechanism must be stochastic");
+  }
+  GEOPRIV_RETURN_IF_ERROR(loss.ValidateMonotone(n));
+
+  ExactLpProblem lp;
+  const int size = n + 1;
+  for (int r = 0; r < size; ++r) {
+    for (int rp = 0; rp < size; ++rp) {
+      lp.AddVariable("T_" + std::to_string(r) + "_" + std::to_string(rp),
+                     Rational(0));
+    }
+  }
+  const int d_var = lp.AddVariable("d", Rational(1));
+
+  for (int i : side.members()) {
+    std::vector<ExactLpTerm> terms;
+    for (int r = 0; r < size; ++r) {
+      const Rational& y =
+          deployed.At(static_cast<size_t>(i), static_cast<size_t>(r));
+      if (y.IsZero()) continue;
+      for (int rp = 0; rp < size; ++rp) {
+        Rational l = loss(i, rp);
+        if (!l.IsZero()) terms.push_back({CellVar(r, rp, n), y * l});
+      }
+    }
+    terms.push_back({d_var, Rational(-1)});
+    lp.AddConstraint(RowRelation::kLessEqual, Rational(0), std::move(terms));
+  }
+  for (int r = 0; r < size; ++r) {
+    std::vector<ExactLpTerm> terms;
+    for (int rp = 0; rp < size; ++rp) {
+      terms.push_back({CellVar(r, rp, n), Rational(1)});
+    }
+    lp.AddConstraint(RowRelation::kEqual, Rational(1), std::move(terms));
+  }
+
+  ExactSimplexSolver solver;
+  GEOPRIV_ASSIGN_OR_RETURN(ExactLpSolution solution, solver.Solve(lp));
+  if (solution.status != LpStatus::kOptimal) {
+    return Status::Infeasible("exact optimal-interaction LP did not solve");
+  }
+  RationalMatrix t = ExtractMatrix(solution.values, n);
+  if (!t.IsRowStochastic()) {
+    return Status::Internal("exact LP produced a non-stochastic interaction");
+  }
+  return ExactOptimalResult{std::move(t), std::move(solution.objective),
+                            solution.iterations};
+}
+
+}  // namespace geopriv

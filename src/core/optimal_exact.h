@@ -1,0 +1,83 @@
+// Exact (rational-arithmetic) versions of the paper's two LPs.
+//
+// When alpha and the loss are rational, the optimal mechanism LP
+// (Section 2.5) and the optimal interaction LP (Section 2.4.3) have exact
+// rational optima.  This module builds them over lp/exact_simplex.h, so
+// Theorem 1 part 2 — "rational interaction with the geometric mechanism
+// achieves the per-consumer optimum" — can be verified with exact
+// equality, and EXPERIMENTS.md can state optimal losses as fractions
+// (e.g. the Table 1 consumer's optimum).
+//
+// Intended for paper-scale n (the exact tableau costs grow quickly);
+// use core/optimal.h for larger numeric instances.
+
+#ifndef GEOPRIV_CORE_OPTIMAL_EXACT_H_
+#define GEOPRIV_CORE_OPTIMAL_EXACT_H_
+
+#include <functional>
+#include <string>
+
+#include "core/consumer.h"
+#include "exact/rational.h"
+#include "exact/rational_matrix.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// A monotone loss with exact rational values.
+class ExactLossFunction {
+ public:
+  /// l(i, r) = |i - r|.
+  static ExactLossFunction AbsoluteError();
+  /// l(i, r) = (i - r)^2.
+  static ExactLossFunction SquaredError();
+  /// l(i, r) = [i != r].
+  static ExactLossFunction ZeroOne();
+  /// Arbitrary exact loss; caller promises monotonicity in |i - r|.
+  static ExactLossFunction FromFunction(
+      std::string name, std::function<Rational(int, int)> fn);
+
+  Rational operator()(int i, int r) const { return fn_(i, r); }
+  const std::string& name() const { return name_; }
+
+  /// Verifies non-negativity and monotonicity in |i - r| over {0..n}.
+  Status ValidateMonotone(int n) const;
+
+ private:
+  ExactLossFunction(std::string name, std::function<Rational(int, int)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name_;
+  std::function<Rational(int, int)> fn_;
+};
+
+/// Exact minimax loss of a mechanism for (loss, S):
+/// max_{i in S} sum_r l(i,r)·x[i][r].
+Result<Rational> ExactWorstCaseLoss(const RationalMatrix& mechanism,
+                                    const ExactLossFunction& loss,
+                                    const SideInformation& side);
+
+/// Exact result of either LP.
+struct ExactOptimalResult {
+  RationalMatrix matrix;  ///< the mechanism (Sec 2.5) or interaction T (2.4.3)
+  Rational loss;          ///< the exact optimal minimax loss
+  int lp_iterations = 0;
+};
+
+/// Section 2.5 LP over Q: the optimal alpha-DP mechanism for the consumer
+/// (loss, side).  alpha must lie in [0, 1].
+Result<ExactOptimalResult> SolveOptimalMechanismExact(
+    int n, const Rational& alpha, const ExactLossFunction& loss,
+    const SideInformation& side);
+
+/// Section 2.4.3 LP over Q: the consumer's optimal interaction with a
+/// deployed mechanism.  `deployed` must be (n+1)x(n+1) row-stochastic.
+/// The returned matrix is T; the loss is of the induced mechanism
+/// deployed·T.
+Result<ExactOptimalResult> SolveOptimalInteractionExact(
+    const RationalMatrix& deployed, const ExactLossFunction& loss,
+    const SideInformation& side);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_OPTIMAL_EXACT_H_

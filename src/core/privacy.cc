@@ -1,0 +1,71 @@
+#include "core/privacy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geopriv {
+
+Result<PrivacyCheck> CheckDifferentialPrivacy(const Mechanism& mechanism,
+                                              double alpha, double tol) {
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  PrivacyCheck check;
+  check.is_private = true;
+  const int n = mechanism.n();
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r <= n; ++r) {
+      double a = mechanism.Probability(i, r);
+      double b = mechanism.Probability(i + 1, r);
+      // Definition 2: b >= α·a and a >= α·b.
+      if (b + tol < alpha * a || a + tol < alpha * b) {
+        check.is_private = false;
+        double lo = std::min(a, b);
+        double hi = std::max(a, b);
+        check.violation = PrivacyViolation{i, r, hi > 0.0 ? lo / hi : 0.0};
+        return check;
+      }
+    }
+  }
+  return check;
+}
+
+double StrongestAlpha(const Mechanism& mechanism) {
+  double alpha = 1.0;
+  const int n = mechanism.n();
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r <= n; ++r) {
+      double a = mechanism.Probability(i, r);
+      double b = mechanism.Probability(i + 1, r);
+      if (a == 0.0 && b == 0.0) continue;  // unconstrained column pair
+      double lo = std::min(a, b);
+      double hi = std::max(a, b);
+      alpha = std::min(alpha, lo / hi);  // 0 when exactly one is zero
+    }
+  }
+  return alpha;
+}
+
+Result<bool> CheckDifferentialPrivacyExact(const RationalMatrix& mechanism,
+                                           const Rational& alpha) {
+  if (mechanism.rows() != mechanism.cols() || mechanism.rows() == 0) {
+    return Status::InvalidArgument("mechanism must be square and non-empty");
+  }
+  if (alpha.IsNegative() || alpha > Rational(1)) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  for (size_t i = 0; i + 1 < mechanism.rows(); ++i) {
+    for (size_t r = 0; r < mechanism.cols(); ++r) {
+      const Rational& a = mechanism.At(i, r);
+      const Rational& b = mechanism.At(i + 1, r);
+      if (b < alpha * a || a < alpha * b) return false;
+    }
+  }
+  return true;
+}
+
+double AlphaFromEpsilon(double epsilon) { return std::exp(-epsilon); }
+
+double EpsilonFromAlpha(double alpha) { return -std::log(alpha); }
+
+}  // namespace geopriv

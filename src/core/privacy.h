@@ -1,0 +1,59 @@
+// Differential-privacy verification (Definitions in Sections 2.1–2.2).
+//
+// For count queries adjacent databases change the true count by at most 1,
+// so α-DP for an oblivious mechanism reduces to the per-column two-entry
+// condition of Definition 2:  α·x[i][r] <= x[i+1][r] <= x[i][r]/α.
+//
+// The parameter convention follows the paper: α ∈ [0, 1], α = 0 vacuous
+// (no privacy), α = 1 absolute privacy.  The relation to the common ε
+// convention is α = e^{-ε}.
+
+#ifndef GEOPRIV_CORE_PRIVACY_H_
+#define GEOPRIV_CORE_PRIVACY_H_
+
+#include "core/mechanism.h"
+#include "exact/rational_matrix.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// A violation of Definition 2, reported by CheckDifferentialPrivacy.
+struct PrivacyViolation {
+  int input;    ///< the smaller of the two adjacent inputs (i vs i+1)
+  int output;   ///< the column r where the ratio condition fails
+  double ratio; ///< min(x[i][r]/x[i+1][r], x[i+1][r]/x[i][r]) observed
+};
+
+/// Verdict of a DP check.
+struct PrivacyCheck {
+  bool is_private = false;
+  /// Populated with the first violation when is_private == false.
+  PrivacyViolation violation{};
+};
+
+/// Checks Definition 2 for `alpha` ∈ [0, 1] with numeric tolerance `tol`.
+/// Fails only for malformed arguments (alpha outside [0, 1]).
+Result<PrivacyCheck> CheckDifferentialPrivacy(const Mechanism& mechanism,
+                                              double alpha,
+                                              double tol = 1e-9);
+
+/// The strongest (largest) α the mechanism satisfies:
+///   α* = min over adjacent pairs and columns of
+///        min(x[i][r], x[i+1][r]) / max(x[i][r], x[i+1][r]),
+/// with the convention that a column where exactly one of the pair is zero
+/// forces α* = 0, and a column where both are zero is unconstrained.
+/// The identity mechanism therefore has α* = 0, the uniform mechanism 1.
+double StrongestAlpha(const Mechanism& mechanism);
+
+/// Exact version of Definition 2 over rationals: no tolerances.
+/// Fails when `alpha` ∉ [0, 1] or the matrix is not square.
+Result<bool> CheckDifferentialPrivacyExact(const RationalMatrix& mechanism,
+                                           const Rational& alpha);
+
+/// Converts between the paper's α and the standard ε = -ln α.
+double AlphaFromEpsilon(double epsilon);
+double EpsilonFromAlpha(double alpha);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_CORE_PRIVACY_H_

@@ -1,0 +1,199 @@
+#include "db/database.h"
+
+#include <cmath>
+#include <utility>
+
+namespace geopriv {
+
+bool ValueMatchesType(const Value& v, Column::Type t) {
+  switch (t) {
+    case Column::Type::kInt:
+      return std::holds_alternative<int64_t>(v);
+    case Column::Type::kDouble:
+      return std::holds_alternative<double>(v);
+    case Column::Type::kBool:
+      return std::holds_alternative<bool>(v);
+    case Column::Type::kString:
+      return std::holds_alternative<std::string>(v);
+  }
+  return false;
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!ValueMatchesType(row[i], columns_[i].type)) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     columns_[i].name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads a numeric cell as double; fails for bool/string cells.
+Result<double> NumericCell(const Schema& schema, const Row& row,
+                           const std::string& field) {
+  GEOPRIV_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(field));
+  const Value& v = row[idx];
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return Status::InvalidArgument("column '" + field + "' is not numeric");
+}
+
+std::string ValueToString(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return std::to_string(*d);
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  return "\"" + std::get<std::string>(v) + "\"";
+}
+
+}  // namespace
+
+Predicate::Predicate(std::string description, Fn fn)
+    : description_(std::move(description)),
+      fn_(std::make_shared<const Fn>(std::move(fn))) {}
+
+Predicate::Predicate()
+    : Predicate("true",
+                [](const Schema&, const Row&) -> Result<bool> {
+                  return true;
+                }) {}
+
+Predicate Predicate::Equals(std::string field, Value value) {
+  std::string desc = field + " == " + ValueToString(value);
+  return Predicate(
+      std::move(desc),
+      [field = std::move(field), value = std::move(value)](
+          const Schema& schema, const Row& row) -> Result<bool> {
+        GEOPRIV_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(field));
+        return row[idx] == value;
+      });
+}
+
+Predicate Predicate::AtLeast(std::string field, double threshold) {
+  std::string desc = field + " >= " + std::to_string(threshold);
+  return Predicate(std::move(desc),
+                   [field = std::move(field), threshold](
+                       const Schema& schema, const Row& row) -> Result<bool> {
+                     GEOPRIV_ASSIGN_OR_RETURN(
+                         double v, NumericCell(schema, row, field));
+                     return v >= threshold;
+                   });
+}
+
+Predicate Predicate::AtMost(std::string field, double threshold) {
+  std::string desc = field + " <= " + std::to_string(threshold);
+  return Predicate(std::move(desc),
+                   [field = std::move(field), threshold](
+                       const Schema& schema, const Row& row) -> Result<bool> {
+                     GEOPRIV_ASSIGN_OR_RETURN(
+                         double v, NumericCell(schema, row, field));
+                     return v <= threshold;
+                   });
+}
+
+Predicate Predicate::Between(std::string field, double lo, double hi) {
+  return AtLeast(field, lo) && AtMost(std::move(field), hi);
+}
+
+Predicate Predicate::FromFunction(
+    std::string description,
+    std::function<Result<bool>(const Schema&, const Row&)> fn) {
+  return Predicate(std::move(description), std::move(fn));
+}
+
+Predicate Predicate::operator&&(const Predicate& other) const {
+  std::string desc = "(" + description_ + " AND " + other.description_ + ")";
+  auto lhs = fn_;
+  auto rhs = other.fn_;
+  return Predicate(std::move(desc),
+                   [lhs, rhs](const Schema& schema,
+                              const Row& row) -> Result<bool> {
+                     GEOPRIV_ASSIGN_OR_RETURN(bool a, (*lhs)(schema, row));
+                     if (!a) return false;
+                     return (*rhs)(schema, row);
+                   });
+}
+
+Predicate Predicate::operator||(const Predicate& other) const {
+  std::string desc = "(" + description_ + " OR " + other.description_ + ")";
+  auto lhs = fn_;
+  auto rhs = other.fn_;
+  return Predicate(std::move(desc),
+                   [lhs, rhs](const Schema& schema,
+                              const Row& row) -> Result<bool> {
+                     GEOPRIV_ASSIGN_OR_RETURN(bool a, (*lhs)(schema, row));
+                     if (a) return true;
+                     return (*rhs)(schema, row);
+                   });
+}
+
+Predicate Predicate::operator!() const {
+  std::string desc = "NOT " + description_;
+  auto inner = fn_;
+  return Predicate(std::move(desc),
+                   [inner](const Schema& schema,
+                           const Row& row) -> Result<bool> {
+                     GEOPRIV_ASSIGN_OR_RETURN(bool a, (*inner)(schema, row));
+                     return !a;
+                   });
+}
+
+Result<bool> Predicate::Evaluate(const Schema& schema, const Row& row) const {
+  return (*fn_)(schema, row);
+}
+
+Status Table::Append(Row row) {
+  GEOPRIV_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::Replace(size_t index, Row row) {
+  if (index >= rows_.size()) {
+    return Status::OutOfRange("row index out of range");
+  }
+  GEOPRIV_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  rows_[index] = std::move(row);
+  return Status::OK();
+}
+
+Result<int64_t> CountQuery::Evaluate(const Table& table) const {
+  int64_t count = 0;
+  for (size_t i = 0; i < table.size(); ++i) {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        bool match, predicate_.Evaluate(table.schema(), table.row(i)));
+    if (match) ++count;
+  }
+  return count;
+}
+
+Result<bool> AreNeighbors(const Table& a, const Table& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "neighboring databases must have equal size");
+  }
+  size_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.row(i) != b.row(i)) ++diff;
+    if (diff > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace geopriv

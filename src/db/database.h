@@ -1,0 +1,144 @@
+// In-memory database substrate.
+//
+// The paper's mechanisms answer *count queries* over a database of rows,
+// one per individual (Section 2.1).  This module provides the concrete
+// substrate: typed rows, schemas, composable predicates, count queries, and
+// the neighbor relation ("databases differing in one individual's data")
+// that differential privacy quantifies over.  It also backs the Appendix A
+// reduction and the end-to-end examples (the running flu query Q).
+//
+// No real data is available offline; db/synthetic.h generates populations
+// whose *count* matches any scenario — sufficient because the mechanisms
+// are oblivious and only ever see the true count.
+
+#ifndef GEOPRIV_DB_DATABASE_H_
+#define GEOPRIV_DB_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace geopriv {
+
+/// A single cell: the domains D the paper allows are arbitrary, we support
+/// the types that cover survey-style data.
+using Value = std::variant<int64_t, double, bool, std::string>;
+
+/// Column description.
+struct Column {
+  std::string name;
+  enum class Type { kInt, kDouble, kBool, kString } type;
+};
+
+/// Returns whether `v` holds the type `t` declares.
+bool ValueMatchesType(const Value& v, Column::Type t);
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Index of a column by name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Verifies a row's arity and cell types against this schema.
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// One individual's record.
+using Row = std::vector<Value>;
+
+/// Composable boolean predicate over rows — the `p : D -> {True, False}`
+/// of a count query.  Built from field comparisons and boolean algebra.
+class Predicate {
+ public:
+  /// Always-true predicate.
+  Predicate();
+
+  /// field == value.
+  static Predicate Equals(std::string field, Value value);
+  /// Numeric field >= threshold (int or double fields).
+  static Predicate AtLeast(std::string field, double threshold);
+  /// Numeric field <= threshold.
+  static Predicate AtMost(std::string field, double threshold);
+  /// lo <= field <= hi.
+  static Predicate Between(std::string field, double lo, double hi);
+  /// Arbitrary user predicate (escape hatch).
+  static Predicate FromFunction(
+      std::string description,
+      std::function<Result<bool>(const Schema&, const Row&)> fn);
+
+  Predicate operator&&(const Predicate& other) const;
+  Predicate operator||(const Predicate& other) const;
+  Predicate operator!() const;
+
+  /// Evaluates on a row; fails when a referenced field is missing or has an
+  /// incompatible type.
+  Result<bool> Evaluate(const Schema& schema, const Row& row) const;
+
+  /// Human-readable rendering, e.g. "(city == \"San Diego\" AND flu == 1)".
+  const std::string& description() const { return description_; }
+
+ private:
+  using Fn = std::function<Result<bool>(const Schema&, const Row&)>;
+  Predicate(std::string description, Fn fn);
+
+  std::string description_;
+  std::shared_ptr<const Fn> fn_;
+};
+
+/// An in-memory table: schema + rows.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a row after validating it against the schema.
+  Status Append(Row row);
+
+  /// Replaces row `index`; fails when out of range or invalid.  This is the
+  /// "change one individual's data" operation of the neighbor relation.
+  Status Replace(size_t index, Row row);
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// A count query: |{rows r : p(r)}|, an integer in {0..n}.
+class CountQuery {
+ public:
+  explicit CountQuery(Predicate predicate)
+      : predicate_(std::move(predicate)) {}
+
+  /// Evaluates the true (unperturbed) count.
+  Result<int64_t> Evaluate(const Table& table) const;
+
+  const Predicate& predicate() const { return predicate_; }
+
+ private:
+  Predicate predicate_;
+};
+
+/// True when `a` and `b` have the same schema arity and differ in at most
+/// one row (the differential-privacy neighbor relation over D^n).
+Result<bool> AreNeighbors(const Table& a, const Table& b);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_DB_DATABASE_H_

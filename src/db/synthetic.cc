@@ -1,0 +1,62 @@
+#include "db/synthetic.h"
+
+namespace geopriv {
+
+Schema SyntheticSurveySchema() {
+  return Schema({
+      {"city", Column::Type::kString},
+      {"age", Column::Type::kInt},
+      {"has_flu", Column::Type::kBool},
+      {"bought_drug", Column::Type::kBool},
+  });
+}
+
+Result<Table> GenerateSyntheticSurvey(
+    const SyntheticPopulationOptions& options, Xoshiro256& rng) {
+  if (options.num_rows < 0) {
+    return Status::InvalidArgument("num_rows must be non-negative");
+  }
+  if (options.cities.empty()) {
+    return Status::InvalidArgument("at least one city is required");
+  }
+  for (double p :
+       {options.adult_probability, options.adult_flu_probability,
+        options.minor_flu_probability, options.drug_purchase_probability}) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("probabilities must lie in [0, 1]");
+    }
+  }
+
+  Table table(SyntheticSurveySchema());
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    const std::string& city =
+        options.cities[rng.NextBounded(options.cities.size())];
+    bool adult = rng.NextDouble() < options.adult_probability;
+    // Adults 18..90, minors 0..17.
+    int64_t age = adult ? 18 + static_cast<int64_t>(rng.NextBounded(73))
+                        : static_cast<int64_t>(rng.NextBounded(18));
+    double flu_p = adult ? options.adult_flu_probability
+                         : options.minor_flu_probability;
+    bool has_flu = rng.NextDouble() < flu_p;
+    bool bought =
+        has_flu && rng.NextDouble() < options.drug_purchase_probability;
+    GEOPRIV_RETURN_IF_ERROR(table.Append({city, age, has_flu, bought}));
+  }
+  return table;
+}
+
+CountQuery FluCountQuery() {
+  Predicate p = Predicate::Equals("city", std::string("San Diego")) &&
+                Predicate::AtLeast("age", 18) &&
+                Predicate::Equals("has_flu", true);
+  return CountQuery(std::move(p));
+}
+
+CountQuery DrugPurchaseCountQuery() {
+  Predicate p = Predicate::Equals("city", std::string("San Diego")) &&
+                Predicate::AtLeast("age", 18) &&
+                Predicate::Equals("bought_drug", true);
+  return CountQuery(std::move(p));
+}
+
+}  // namespace geopriv

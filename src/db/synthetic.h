@@ -1,0 +1,55 @@
+// Synthetic population generator.
+//
+// The paper's running example queries real survey data (San Diego flu
+// counts) that is not available offline.  Because every mechanism in the
+// library is oblivious — it only ever sees the true count — any database
+// realizing a given count exercises identical code paths, so a synthetic
+// Bernoulli-mixture population is a faithful substitute (DESIGN.md §4).
+
+#ifndef GEOPRIV_DB_SYNTHETIC_H_
+#define GEOPRIV_DB_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "rng/engine.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Parameters of the synthetic survey population.
+struct SyntheticPopulationOptions {
+  /// Number of individuals (database rows).
+  int64_t num_rows = 1000;
+  /// Cities individuals are drawn from (uniformly at random).
+  std::vector<std::string> cities = {"San Diego", "Sacramento", "Fresno"};
+  /// Probability that an individual is an adult.
+  double adult_probability = 0.75;
+  /// Probability that an adult contracted the flu this month.
+  double adult_flu_probability = 0.08;
+  /// Probability that a minor contracted the flu this month.
+  double minor_flu_probability = 0.15;
+  /// Probability that an individual with flu bought the surveyed drug.
+  double drug_purchase_probability = 0.4;
+};
+
+/// Schema: {city: string, age: int, has_flu: bool, bought_drug: bool}.
+Schema SyntheticSurveySchema();
+
+/// Generates a population table under `options` using `rng`.
+Result<Table> GenerateSyntheticSurvey(const SyntheticPopulationOptions& options,
+                                      Xoshiro256& rng);
+
+/// The paper's running query Q: "How many adults from San Diego contracted
+/// the flu this October?" against SyntheticSurveySchema().
+CountQuery FluCountQuery();
+
+/// Lower-bound side information of the drug company in Example 1: the count
+/// of individuals who bought the drug (each of whom has the flu).
+CountQuery DrugPurchaseCountQuery();
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_DB_SYNTHETIC_H_

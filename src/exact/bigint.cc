@@ -1,0 +1,392 @@
+#include "exact/bigint.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace geopriv {
+
+namespace {
+constexpr uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t value) : negative_(value < 0) {
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(value) + 1
+                           : static_cast<uint64_t>(value);
+  if (mag != 0) limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
+  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+}
+
+void BigInt::Trim(std::vector<uint32_t>* v) {
+  while (!v->empty() && v->back() == 0) v->pop_back();
+}
+
+void BigInt::Normalize() {
+  Trim(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty integer literal");
+  bool negative = false;
+  size_t pos = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) {
+    return Status::InvalidArgument("integer literal has no digits");
+  }
+  BigInt out;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("invalid digit in integer literal");
+    }
+    out = out * ten + BigInt(c - '0');
+  }
+  out.negative_ = negative;
+  out.Normalize();
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  // Repeatedly divide the magnitude by 10^9 and emit 9-digit chunks.
+  std::vector<uint32_t> mag = limbs_;
+  std::string digits;
+  while (!mag.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = mag.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    Trim(&mag);
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  if (limbs_.size() > 2) return Status::OutOfRange("BigInt exceeds int64");
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag |= limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > (1ULL << 63)) return Status::OutOfRange("BigInt exceeds int64");
+    return static_cast<int64_t>(~mag + 1);
+  }
+  if (mag > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::OutOfRange("BigInt exceeds int64");
+  }
+  return static_cast<int64_t>(mag);
+}
+
+double BigInt::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * static_cast<double>(kBase) + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& big = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& small = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> out;
+  out.reserve(big.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < big.size(); ++i) {
+    uint64_t sum = carry + big[i] + (i < small.size() ? small[i] : 0);
+    out.push_back(static_cast<uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  Trim(&out);
+  return out;
+}
+
+void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b,
+                             std::vector<uint32_t>* quot,
+                             std::vector<uint32_t>* rem) {
+  quot->clear();
+  rem->clear();
+  if (CompareMagnitude(a, b) < 0) {
+    *rem = a;
+    Trim(rem);
+    return;
+  }
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    uint64_t d = b[0];
+    quot->assign(a.size(), 0);
+    uint64_t r = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+      uint64_t cur = (r << 32) | a[i];
+      (*quot)[i] = static_cast<uint32_t>(cur / d);
+      r = cur % d;
+    }
+    Trim(quot);
+    if (r) rem->push_back(static_cast<uint32_t>(r));
+    return;
+  }
+
+  // Knuth Algorithm D.  Normalize so the top divisor limb has its high bit
+  // set, which makes the 2-limb quotient estimate off by at most 2.
+  int shift = 0;
+  uint32_t top = b.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  auto shifted = [shift](const std::vector<uint32_t>& v) {
+    std::vector<uint32_t> out(v.size() + 1, 0);
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << shift;
+      if (shift)
+        out[i + 1] |= static_cast<uint32_t>(
+            static_cast<uint64_t>(v[i]) >> (32 - shift));
+    }
+    return out;  // intentionally not trimmed: u keeps an extra high limb
+  };
+  std::vector<uint32_t> u = shifted(a);
+  std::vector<uint32_t> v = shifted(b);
+  Trim(&v);
+  const size_t n = v.size();
+  const size_t m = u.size() - n - 1 + 1;  // number of quotient limbs
+  quot->assign(m, 0);
+
+  const uint64_t vtop = v[n - 1];
+  const uint64_t vsecond = n >= 2 ? v[n - 2] : 0;
+  for (size_t j = m; j-- > 0;) {
+    uint64_t numerator =
+        (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t qhat = numerator / vtop;
+    uint64_t rhat = numerator % vtop;
+    if (qhat > 0xffffffffULL) {
+      qhat = 0xffffffffULL;
+      rhat = numerator - qhat * vtop;
+    }
+    // n >= 2 here (single-limb divisors take the fast path above), so
+    // u[j + n - 2] is always a valid index.
+    while (rhat <= 0xffffffffULL &&
+           qhat * vsecond > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      int64_t t = static_cast<int64_t>(u[i + j]) -
+                  static_cast<int64_t>(p & 0xffffffffULL) - borrow;
+      if (t < 0) {
+        t += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(t);
+    }
+    int64_t t = static_cast<int64_t>(u[j + n]) -
+                static_cast<int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      t += static_cast<int64_t>(kBase);
+      --qhat;
+      uint64_t c2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t s = static_cast<uint64_t>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<uint32_t>(s & 0xffffffffULL);
+        c2 = s >> 32;
+      }
+      t += static_cast<int64_t>(c2);
+      t &= static_cast<int64_t>(kBase) - 1;
+    }
+    u[j + n] = static_cast<uint32_t>(t);
+    (*quot)[j] = static_cast<uint32_t>(qhat);
+  }
+  Trim(quot);
+
+  // Denormalize the remainder.
+  std::vector<uint32_t> r(u.begin(), u.begin() + static_cast<long>(n));
+  if (shift) {
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+      r[i] = (r[i] >> shift) |
+             static_cast<uint32_t>(static_cast<uint64_t>(r[i + 1])
+                                   << (32 - shift));
+    }
+    r[r.size() - 1] >>= shift;
+  }
+  Trim(&r);
+  *rem = std::move(r);
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMagnitude(limbs_, other.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMagnitude(other.limbs_, limbs_);
+      out.negative_ = other.negative_;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out;
+  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+Result<BigInt> BigInt::Divide(const BigInt& num, const BigInt& den) {
+  if (den.IsZero()) return Status::InvalidArgument("division by zero");
+  BigInt out;
+  std::vector<uint32_t> q, r;
+  DivModMagnitude(num.limbs_, den.limbs_, &q, &r);
+  out.limbs_ = std::move(q);
+  out.negative_ = num.negative_ != den.negative_;
+  out.Normalize();
+  return out;
+}
+
+Result<BigInt> BigInt::Remainder(const BigInt& num, const BigInt& den) {
+  if (den.IsZero()) return Status::InvalidArgument("division by zero");
+  BigInt out;
+  std::vector<uint32_t> q, r;
+  DivModMagnitude(num.limbs_, den.limbs_, &q, &r);
+  out.limbs_ = std::move(r);
+  out.negative_ = num.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Pow(const BigInt& base, uint64_t exp) {
+  BigInt result(1);
+  BigInt b = base;
+  while (exp > 0) {
+    if (exp & 1) result *= b;
+    b *= b;
+    exp >>= 1;
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.IsZero()) {
+    BigInt r = *Remainder(a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+}  // namespace geopriv

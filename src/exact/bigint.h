@@ -1,0 +1,109 @@
+// BigInt: arbitrary-precision signed integer.
+//
+// The paper's derivation matrices T = G⁻¹·M and the determinant identity
+// det G'_{n,α} = (1−α²)^n involve rationals whose numerators/denominators
+// grow like α^n; with α = p/q these quickly overflow 64-bit (and even
+// 128-bit) integers.  BigInt gives the exact substrate on which Rational
+// (rational.h) is built, so Theorem 2 / Lemma 3 can be verified with zero
+// numerical error.
+//
+// Representation: sign + little-endian magnitude in base 2^32.  Division is
+// Knuth's Algorithm D.  The magnitude vector never has trailing zero limbs;
+// zero is the empty vector with positive sign.
+
+#ifndef GEOPRIV_EXACT_BIGINT_H_
+#define GEOPRIV_EXACT_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Arbitrary-precision signed integer with value semantics.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() : negative_(false) {}
+  /// From a machine integer.
+  BigInt(int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses a base-10 string, optionally signed ("-123", "+7", "0").
+  static Result<BigInt> FromString(std::string_view text);
+
+  /// Base-10 rendering.
+  std::string ToString() const;
+
+  // Queries -------------------------------------------------------------
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsNegative() const { return negative_; }
+  /// -1, 0 or +1.
+  int Sign() const { return IsZero() ? 0 : (negative_ ? -1 : 1); }
+  /// Number of bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+  /// Converts to int64 when representable.
+  Result<int64_t> ToInt64() const;
+  /// Closest double (may lose precision for large magnitudes).
+  double ToDouble() const;
+
+  // Arithmetic ------------------------------------------------------------
+  BigInt operator-() const;
+  BigInt Abs() const;
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  /// Fails on division by zero.
+  static Result<BigInt> Divide(const BigInt& num, const BigInt& den);
+  /// Remainder matching Divide: num == q*den + r, |r| < |den|, sign(r) ==
+  /// sign(num).  Fails on division by zero.
+  static Result<BigInt> Remainder(const BigInt& num, const BigInt& den);
+  /// num^exp for exp >= 0.
+  static BigInt Pow(const BigInt& base, uint64_t exp);
+  /// Greatest common divisor (always non-negative).
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  // Comparison ------------------------------------------------------------
+  /// Three-way compare: -1, 0, +1.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+ private:
+  // Magnitude helpers (sign-agnostic, little-endian base 2^32 vectors).
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  /// Knuth Algorithm D; b must be non-empty.
+  static void DivModMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b,
+                              std::vector<uint32_t>* quot,
+                              std::vector<uint32_t>* rem);
+  static void Trim(std::vector<uint32_t>* v);
+
+  void Normalize();
+
+  bool negative_;
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_EXACT_BIGINT_H_

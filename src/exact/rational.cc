@@ -1,0 +1,124 @@
+#include "exact/rational.h"
+
+#include <utility>
+
+namespace geopriv {
+
+void Rational::Reduce() {
+  if (den_.IsNegative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.IsZero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = *BigInt::Divide(num_, g);
+    den_ = *BigInt::Divide(den_, g);
+  }
+}
+
+Result<Rational> Rational::Create(BigInt num, BigInt den) {
+  if (den.IsZero()) {
+    return Status::InvalidArgument("rational with zero denominator");
+  }
+  Rational out(std::move(num), std::move(den), /*normalized_tag=*/true);
+  out.Reduce();
+  return out;
+}
+
+Result<Rational> Rational::FromInts(int64_t num, int64_t den) {
+  return Create(BigInt(num), BigInt(den));
+}
+
+Result<Rational> Rational::FromString(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    GEOPRIV_ASSIGN_OR_RETURN(BigInt num,
+                             BigInt::FromString(text.substr(0, slash)));
+    GEOPRIV_ASSIGN_OR_RETURN(BigInt den,
+                             BigInt::FromString(text.substr(slash + 1)));
+    return Create(std::move(num), std::move(den));
+  }
+  size_t dot = text.find('.');
+  if (dot != std::string_view::npos) {
+    std::string digits(text.substr(0, dot));
+    std::string_view frac = text.substr(dot + 1);
+    if (frac.empty()) {
+      return Status::InvalidArgument("decimal literal has no fraction part");
+    }
+    digits.append(frac);
+    GEOPRIV_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(digits));
+    BigInt den = BigInt::Pow(BigInt(10), frac.size());
+    return Create(std::move(num), std::move(den));
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(text));
+  return Rational(std::move(num));
+}
+
+std::string Rational::ToString() const {
+  if (den_ == BigInt(1)) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+double Rational::ToDouble() const { return num_.ToDouble() / den_.ToDouble(); }
+
+Rational Rational::operator-() const {
+  return Rational(-num_, den_, /*normalized_tag=*/true);
+}
+
+Rational Rational::Abs() const {
+  return Rational(num_.Abs(), den_, /*normalized_tag=*/true);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  Rational out(num_ * o.den_ + o.num_ * den_, den_ * o.den_,
+               /*normalized_tag=*/true);
+  out.Reduce();
+  return out;
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  Rational out(num_ * o.num_, den_ * o.den_, /*normalized_tag=*/true);
+  out.Reduce();
+  return out;
+}
+
+Result<Rational> Rational::Divide(const Rational& num, const Rational& den) {
+  if (den.IsZero()) return Status::InvalidArgument("division by zero");
+  Rational out(num.num_ * den.den_, num.den_ * den.num_,
+               /*normalized_tag=*/true);
+  out.Reduce();
+  return out;
+}
+
+Result<Rational> Rational::Inverse() const {
+  if (IsZero()) return Status::InvalidArgument("inverse of zero");
+  Rational out(den_, num_, /*normalized_tag=*/true);
+  out.Reduce();
+  return out;
+}
+
+Result<Rational> Rational::Pow(int64_t exp) const {
+  if (exp >= 0) {
+    return Rational(BigInt::Pow(num_, static_cast<uint64_t>(exp)),
+                    BigInt::Pow(den_, static_cast<uint64_t>(exp)),
+                    /*normalized_tag=*/true);
+  }
+  if (IsZero()) {
+    return Status::InvalidArgument("zero raised to a negative power");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(Rational inv, Inverse());
+  return inv.Pow(-exp);
+}
+
+int Rational::Compare(const Rational& o) const {
+  // Cross-multiply; denominators are positive so the sign is preserved.
+  return (num_ * o.den_).Compare(o.num_ * den_);
+}
+
+}  // namespace geopriv

@@ -1,0 +1,89 @@
+// Rational: exact arithmetic over Q, built on BigInt.
+//
+// All of the paper's matrices (the geometric mechanism G_{n,α}, its scaled
+// form G', derivation matrices T = G⁻¹·M, the Table 1 / Appendix B examples)
+// have rational entries once α = p/q is rational.  Rational lets us verify
+// Theorem 2, Lemma 1 and Lemma 3 with equality instead of tolerances.
+
+#ifndef GEOPRIV_EXACT_RATIONAL_H_
+#define GEOPRIV_EXACT_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exact/bigint.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Exact rational number, always stored in lowest terms with a positive
+/// denominator.  Value semantics.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// Integer value.
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  /// Integer value.
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+
+  /// num/den; fails when den == 0.
+  static Result<Rational> Create(BigInt num, BigInt den);
+  /// num/den from machine integers; fails when den == 0.
+  static Result<Rational> FromInts(int64_t num, int64_t den);
+  /// Parses "p/q", "p" or decimal "0.25".
+  static Result<Rational> FromString(std::string_view text);
+
+  const BigInt& numerator() const { return num_; }
+  const BigInt& denominator() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+  bool IsNegative() const { return num_.IsNegative(); }
+  /// -1, 0 or +1.
+  int Sign() const { return num_.Sign(); }
+
+  /// "p/q" (or just "p" when q == 1).
+  std::string ToString() const;
+  /// Closest double.
+  double ToDouble() const;
+
+  Rational operator-() const;
+  Rational Abs() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Fails on division by zero.
+  static Result<Rational> Divide(const Rational& num, const Rational& den);
+  /// Reciprocal; fails when zero.
+  Result<Rational> Inverse() const;
+  /// this^exp; exp may be negative (then fails when zero).
+  Result<Rational> Pow(int64_t exp) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+
+  /// Three-way compare: -1, 0, +1.
+  int Compare(const Rational& o) const;
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+ private:
+  Rational(BigInt num, BigInt den, bool /*normalized_tag*/)
+      : num_(std::move(num)), den_(std::move(den)) {}
+
+  /// Divides out gcd and moves the sign to the numerator.
+  void Reduce();
+
+  BigInt num_;
+  BigInt den_;  // always positive
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_EXACT_RATIONAL_H_

@@ -1,0 +1,186 @@
+#include "exact/rational_matrix.h"
+
+#include <cassert>
+#include <utility>
+
+namespace geopriv {
+
+RationalMatrix RationalMatrix::Identity(size_t n) {
+  RationalMatrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out.At(i, i) = Rational(1);
+  return out;
+}
+
+Result<RationalMatrix> RationalMatrix::FromRows(
+    size_t rows, size_t cols, std::vector<Rational> row_major_data) {
+  if (row_major_data.size() != rows * cols) {
+    return Status::InvalidArgument("matrix data size does not match shape");
+  }
+  RationalMatrix out(rows, cols);
+  out.data_ = std::move(row_major_data);
+  return out;
+}
+
+RationalMatrix RationalMatrix::operator+(const RationalMatrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  RationalMatrix out(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] + o.data_[k];
+  return out;
+}
+
+RationalMatrix RationalMatrix::operator-(const RationalMatrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  RationalMatrix out(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] - o.data_[k];
+  return out;
+}
+
+RationalMatrix RationalMatrix::operator*(const RationalMatrix& o) const {
+  assert(cols_ == o.rows_);
+  RationalMatrix out(rows_, o.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const Rational& a = At(i, k);
+      if (a.IsZero()) continue;
+      for (size_t j = 0; j < o.cols_; ++j) {
+        out.At(i, j) += a * o.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+RationalMatrix RationalMatrix::ScaledBy(const Rational& s) const {
+  RationalMatrix out(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] * s;
+  return out;
+}
+
+RationalMatrix RationalMatrix::Transposed() const {
+  RationalMatrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+Result<Rational> RationalMatrix::Determinant() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("determinant requires a square matrix");
+  }
+  RationalMatrix a = *this;
+  const size_t n = rows_;
+  Rational det(1);
+  for (size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    size_t pivot = col;
+    while (pivot < n && a.At(pivot, col).IsZero()) ++pivot;
+    if (pivot == n) return Rational(0);
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(a.At(pivot, j), a.At(col, j));
+      }
+      det = -det;
+    }
+    det *= a.At(col, col);
+    Rational inv = *a.At(col, col).Inverse();
+    for (size_t i = col + 1; i < n; ++i) {
+      if (a.At(i, col).IsZero()) continue;
+      Rational factor = a.At(i, col) * inv;
+      for (size_t j = col; j < n; ++j) {
+        a.At(i, j) -= factor * a.At(col, j);
+      }
+    }
+  }
+  return det;
+}
+
+Result<RationalMatrix> RationalMatrix::Solve(const RationalMatrix& b) const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("solve requires a square matrix");
+  }
+  if (b.rows_ != rows_) {
+    return Status::InvalidArgument("right-hand side has mismatched rows");
+  }
+  const size_t n = rows_;
+  RationalMatrix a = *this;
+  RationalMatrix x = b;
+  // Forward elimination with partial (first non-zero) pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && a.At(pivot, col).IsZero()) ++pivot;
+    if (pivot == n) {
+      return Status::NumericalError("matrix is singular over Q");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a.At(pivot, j), a.At(col, j));
+      for (size_t j = 0; j < x.cols_; ++j) std::swap(x.At(pivot, j), x.At(col, j));
+    }
+    Rational inv = *a.At(col, col).Inverse();
+    for (size_t i = col + 1; i < n; ++i) {
+      if (a.At(i, col).IsZero()) continue;
+      Rational factor = a.At(i, col) * inv;
+      for (size_t j = col; j < n; ++j) a.At(i, j) -= factor * a.At(col, j);
+      for (size_t j = 0; j < x.cols_; ++j) x.At(i, j) -= factor * x.At(col, j);
+    }
+  }
+  // Back substitution.
+  for (size_t col = n; col-- > 0;) {
+    Rational inv = *a.At(col, col).Inverse();
+    for (size_t j = 0; j < x.cols_; ++j) {
+      Rational acc = x.At(col, j);
+      for (size_t k = col + 1; k < n; ++k) {
+        acc -= a.At(col, k) * x.At(k, j);
+      }
+      x.At(col, j) = acc * inv;
+    }
+  }
+  return x;
+}
+
+Result<RationalMatrix> RationalMatrix::Inverse() const {
+  return Solve(Identity(rows_));
+}
+
+bool RationalMatrix::IsRowStochastic() const {
+  for (size_t i = 0; i < rows_; ++i) {
+    Rational sum(0);
+    for (size_t j = 0; j < cols_; ++j) {
+      if (At(i, j).IsNegative()) return false;
+      sum += At(i, j);
+    }
+    if (sum != Rational(1)) return false;
+  }
+  return true;
+}
+
+bool RationalMatrix::IsGeneralizedRowStochastic() const {
+  for (size_t i = 0; i < rows_; ++i) {
+    Rational sum(0);
+    for (size_t j = 0; j < cols_; ++j) sum += At(i, j);
+    if (sum != Rational(1)) return false;
+  }
+  return true;
+}
+
+std::vector<double> RationalMatrix::ToDoubles() const {
+  std::vector<double> out;
+  out.reserve(data_.size());
+  for (const Rational& r : data_) out.push_back(r.ToDouble());
+  return out;
+}
+
+std::string RationalMatrix::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    out += "[ ";
+    for (size_t j = 0; j < cols_; ++j) {
+      out += At(i, j).ToString();
+      if (j + 1 < cols_) out += "  ";
+    }
+    out += " ]\n";
+  }
+  return out;
+}
+
+}  // namespace geopriv

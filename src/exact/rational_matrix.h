@@ -1,0 +1,87 @@
+// RationalMatrix: dense matrices over exact rationals.
+//
+// Supports exactly the operations the paper's proofs need: products
+// (mechanism composition x = y·T), Gaussian elimination (determinants for
+// Lemma 1/2, inverses and solves for T = G⁻¹·M in Theorem 2 and Lemma 3)
+// and stochasticity checks (Definition 3's feasible interactions).
+
+#ifndef GEOPRIV_EXACT_RATIONAL_MATRIX_H_
+#define GEOPRIV_EXACT_RATIONAL_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exact/rational.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Dense rows×cols matrix of Rational with value semantics.
+class RationalMatrix {
+ public:
+  /// Zero matrix of the given shape (shape may be 0x0).
+  RationalMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  /// Identity of order n.
+  static RationalMatrix Identity(size_t n);
+
+  /// Builds from a row-major initializer; fails when the data size does not
+  /// equal rows*cols.
+  static Result<RationalMatrix> FromRows(
+      size_t rows, size_t cols, std::vector<Rational> row_major_data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  const Rational& At(size_t i, size_t j) const {
+    return data_[i * cols_ + j];
+  }
+  Rational& At(size_t i, size_t j) { return data_[i * cols_ + j]; }
+
+  bool operator==(const RationalMatrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  RationalMatrix operator+(const RationalMatrix& o) const;
+  RationalMatrix operator-(const RationalMatrix& o) const;
+  /// Matrix product; shapes must be compatible (asserted).
+  RationalMatrix operator*(const RationalMatrix& o) const;
+  /// Scales every entry.
+  RationalMatrix ScaledBy(const Rational& s) const;
+  RationalMatrix Transposed() const;
+
+  /// Exact determinant by fraction-preserving Gaussian elimination.
+  /// Requires a square matrix.
+  Result<Rational> Determinant() const;
+
+  /// Exact inverse; fails when singular or non-square.
+  Result<RationalMatrix> Inverse() const;
+
+  /// Solves A·X = B exactly (X has B's shape); fails when A is singular.
+  Result<RationalMatrix> Solve(const RationalMatrix& b) const;
+
+  /// True when every row sums to exactly 1 and all entries are >= 0
+  /// (a feasible consumer interaction / mechanism in the paper's sense).
+  bool IsRowStochastic() const;
+
+  /// True when every row sums to exactly 1 (entries may be negative) —
+  /// the paper's "generalized stochastic matrix".
+  bool IsGeneralizedRowStochastic() const;
+
+  /// Converts to a row-major double vector (for printing / numeric code).
+  std::vector<double> ToDoubles() const;
+
+  /// Multi-line text rendering with "p/q" entries.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<Rational> data_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_EXACT_RATIONAL_MATRIX_H_

@@ -1,0 +1,217 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace geopriv {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out.At(i, i) = 1.0;
+  return out;
+}
+
+Result<Matrix> Matrix::FromRows(size_t rows, size_t cols,
+                                std::vector<double> row_major_data) {
+  if (row_major_data.size() != rows * cols) {
+    return Status::InvalidArgument("matrix data size does not match shape");
+  }
+  Matrix out(rows, cols);
+  out.data_ = std::move(row_major_data);
+  return out;
+}
+
+Vector Matrix::Row(size_t i) const {
+  return Vector(data_.begin() + static_cast<long>(i * cols_),
+                data_.begin() + static_cast<long>((i + 1) * cols_));
+}
+
+Vector Matrix::Col(size_t j) const {
+  Vector out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = At(i, j);
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] + o.data_[k];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] - o.data_[k];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  assert(cols_ == o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(i, k);
+      if (a == 0.0) continue;
+      const double* brow = &o.data_[k * o.cols_];
+      double* orow = &out.data_[i * o.cols_];
+      for (size_t j = 0; j < o.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::Apply(const Vector& v) const {
+  assert(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* row = &data_[i * cols_];
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::ScaledBy(double s) const {
+  Matrix out(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] * s;
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  assert(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  double out = 0.0;
+  for (size_t k = 0; k < a.data_.size(); ++k) {
+    out = std::max(out, std::abs(a.data_[k] - b.data_[k]));
+  }
+  return out;
+}
+
+double Matrix::MaxAbs() const {
+  double out = 0.0;
+  for (double v : data_) out = std::max(out, std::abs(v));
+  return out;
+}
+
+bool Matrix::IsRowStochastic(double tol) const {
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) {
+      double v = At(i, j);
+      if (v < -tol || !std::isfinite(v)) return false;
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  return FormatMatrix(data_, static_cast<int>(rows_),
+                      static_cast<int>(cols_), precision);
+}
+
+// ---------------------------------------------------------------------------
+// LuDecomposition
+// ---------------------------------------------------------------------------
+
+Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a,
+                                                 double pivot_tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude in the column.
+    size_t best = col;
+    double best_abs = std::abs(lu.At(col, col));
+    for (size_t i = col + 1; i < n; ++i) {
+      double v = std::abs(lu.At(i, col));
+      if (v > best_abs) {
+        best = i;
+        best_abs = v;
+      }
+    }
+    if (best_abs < pivot_tol) {
+      return Status::NumericalError("matrix is numerically singular");
+    }
+    if (best != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(lu.At(best, j), lu.At(col, j));
+      std::swap(perm[best], perm[col]);
+      sign = -sign;
+    }
+    double inv = 1.0 / lu.At(col, col);
+    for (size_t i = col + 1; i < n; ++i) {
+      double factor = lu.At(i, col) * inv;
+      lu.At(i, col) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (size_t j = col + 1; j < n; ++j) {
+        lu.At(i, j) -= factor * lu.At(col, j);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+double LuDecomposition::Determinant() const {
+  double det = sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_.At(i, i);
+  return det;
+}
+
+Result<Vector> LuDecomposition::Solve(const Vector& b) const {
+  const size_t n = lu_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("right-hand side length mismatch");
+  }
+  Vector x(n);
+  // Forward substitution with the permutation applied: L·y = P·b.
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) acc -= lu_.At(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution: U·x = y.
+  for (size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= lu_.At(i, j) * x[j];
+    x[i] = acc / lu_.At(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> LuDecomposition::Solve(const Matrix& b) const {
+  const size_t n = lu_.rows();
+  if (b.rows() != n) {
+    return Status::InvalidArgument("right-hand side rows mismatch");
+  }
+  Matrix x(n, b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    GEOPRIV_ASSIGN_OR_RETURN(Vector col, Solve(b.Col(j)));
+    for (size_t i = 0; i < n; ++i) x.At(i, j) = col[i];
+  }
+  return x;
+}
+
+Result<Matrix> LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(lu_.rows()));
+}
+
+}  // namespace geopriv

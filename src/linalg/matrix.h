@@ -1,0 +1,110 @@
+// Dense double-precision matrices and vectors.
+//
+// The numeric counterpart of exact/rational_matrix.h: used by the LP solver,
+// the samplers and everywhere a tolerance-based computation is enough.
+
+#ifndef GEOPRIV_LINALG_MATRIX_H_
+#define GEOPRIV_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Dense column vector of doubles.
+using Vector = std::vector<double>;
+
+/// Dense rows×cols row-major matrix of doubles with value semantics.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Zero matrix of the given shape.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Identity of order n.
+  static Matrix Identity(size_t n);
+
+  /// Builds from row-major data; fails when sizes mismatch.
+  static Result<Matrix> FromRows(size_t rows, size_t cols,
+                                 std::vector<double> row_major_data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double At(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+  double& At(size_t i, size_t j) { return data_[i * cols_ + j]; }
+
+  /// Raw row-major storage (row i occupies [i*cols, (i+1)*cols)).
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copy of row i as a vector.
+  Vector Row(size_t i) const;
+  /// Copy of column j as a vector.
+  Vector Col(size_t j) const;
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  /// Matrix product; inner dimensions must agree (asserted).
+  Matrix operator*(const Matrix& o) const;
+  /// Matrix-vector product.
+  Vector Apply(const Vector& v) const;
+  Matrix ScaledBy(double s) const;
+  Matrix Transposed() const;
+
+  /// max_ij |a_ij - b_ij|; shapes must agree (asserted).
+  static double MaxAbsDiff(const Matrix& a, const Matrix& b);
+  /// max_ij |a_ij|.
+  double MaxAbs() const;
+
+  /// True when all entries >= -tol and every row sums to 1 within tol.
+  bool IsRowStochastic(double tol = 1e-9) const;
+
+  /// Aligned multi-line rendering.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting (PA = LU), computed once and used
+/// for determinants, solves and inverses.
+class LuDecomposition {
+ public:
+  /// Factors `a`; fails when `a` is not square or is numerically singular
+  /// (a pivot smaller than `pivot_tol` in magnitude).
+  static Result<LuDecomposition> Compute(const Matrix& a,
+                                         double pivot_tol = 1e-12);
+
+  /// det(A), including the permutation sign.
+  double Determinant() const;
+
+  /// Solves A·x = b; b must have length n.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Solves A·X = B column by column.
+  Result<Matrix> Solve(const Matrix& b) const;
+
+  /// A⁻¹.
+  Result<Matrix> Inverse() const;
+
+  size_t order() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                 // L (unit diagonal, below) and U (on/above)
+  std::vector<size_t> perm_;  // row permutation: solves use b[perm_[i]]
+  int sign_;                  // permutation parity: +1 or -1
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_LINALG_MATRIX_H_

@@ -1,0 +1,260 @@
+#include "lp/exact_simplex.h"
+
+#include <utility>
+
+namespace geopriv {
+
+int ExactLpProblem::AddVariable(std::string name, Rational cost) {
+  names_.push_back(std::move(name));
+  costs_.push_back(std::move(cost));
+  return static_cast<int>(costs_.size()) - 1;
+}
+
+int ExactLpProblem::AddConstraint(RowRelation relation, Rational rhs,
+                                  std::vector<ExactLpTerm> terms) {
+  rows_.push_back(Row{relation, std::move(rhs), std::move(terms)});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+Status ExactLpProblem::Validate() const {
+  for (const Row& row : rows_) {
+    for (const ExactLpTerm& t : row.terms) {
+      if (t.var < 0 || t.var >= num_variables()) {
+        return Status::InvalidArgument(
+            "constraint references an unknown variable");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Dense exact tableau with the objective in the last row and the rhs in
+// the last column, mirroring lp/simplex.cc but over Rational and with
+// Bland's pivoting rule throughout (no tolerances, no cycling).
+class ExactTableau {
+ public:
+  ExactTableau(size_t m, size_t n)
+      : m_(m), n_(n), cells_((m + 1) * (n + 1)) {}
+
+  Rational& At(size_t i, size_t j) { return cells_[i * (n_ + 1) + j]; }
+  const Rational& At(size_t i, size_t j) const {
+    return cells_[i * (n_ + 1) + j];
+  }
+  Rational& Rhs(size_t i) { return cells_[i * (n_ + 1) + n_]; }
+  Rational& Obj(size_t j) { return cells_[m_ * (n_ + 1) + j]; }
+
+  void Pivot(size_t row, size_t col) {
+    Rational inv = *At(row, col).Inverse();
+    for (size_t j = 0; j <= n_; ++j) At(row, j) *= inv;
+    At(row, col) = Rational(1);
+    for (size_t i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      Rational factor = At(i, col);
+      if (factor.IsZero()) continue;
+      for (size_t j = 0; j <= n_; ++j) {
+        if (!At(row, j).IsZero()) At(i, j) -= factor * At(row, j);
+      }
+      At(i, col) = Rational(0);
+    }
+  }
+
+ private:
+  size_t m_;
+  size_t n_;
+  std::vector<Rational> cells_;
+};
+
+}  // namespace
+
+Result<ExactLpSolution> ExactSimplexSolver::Solve(
+    const ExactLpProblem& problem) const {
+  GEOPRIV_RETURN_IF_ERROR(problem.Validate());
+
+  const size_t num_struct = static_cast<size_t>(problem.num_variables());
+  const size_t m = static_cast<size_t>(problem.num_constraints());
+
+  // Normalize rows to rhs >= 0 and count slack/artificial columns.
+  struct NormRow {
+    std::vector<ExactLpTerm> terms;
+    RowRelation relation;
+    Rational rhs;
+  };
+  std::vector<NormRow> rows;
+  rows.reserve(m);
+  size_t num_slack = 0, num_artificial = 0;
+  for (int i = 0; i < problem.num_constraints(); ++i) {
+    const ExactLpProblem::Row& src = problem.row(i);
+    NormRow row{src.terms, src.relation, src.rhs};
+    if (row.rhs.IsNegative()) {
+      for (ExactLpTerm& t : row.terms) t.coeff = -t.coeff;
+      row.rhs = -row.rhs;
+      if (row.relation == RowRelation::kLessEqual) {
+        row.relation = RowRelation::kGreaterEqual;
+      } else if (row.relation == RowRelation::kGreaterEqual) {
+        row.relation = RowRelation::kLessEqual;
+      }
+    }
+    switch (row.relation) {
+      case RowRelation::kLessEqual:
+        ++num_slack;
+        break;
+      case RowRelation::kGreaterEqual:
+        ++num_slack;
+        ++num_artificial;
+        break;
+      case RowRelation::kEqual:
+        ++num_artificial;
+        break;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const size_t n_std = num_struct + num_slack + num_artificial;
+  const size_t artificial_begin = n_std - num_artificial;
+
+  ExactTableau tab(m, n_std);
+  std::vector<size_t> basis(m);
+  {
+    size_t slack_cursor = num_struct;
+    size_t art_cursor = artificial_begin;
+    for (size_t i = 0; i < m; ++i) {
+      for (const ExactLpTerm& t : rows[i].terms) {
+        tab.At(i, static_cast<size_t>(t.var)) += t.coeff;
+      }
+      tab.Rhs(i) = rows[i].rhs;
+      switch (rows[i].relation) {
+        case RowRelation::kLessEqual:
+          tab.At(i, slack_cursor) = Rational(1);
+          basis[i] = slack_cursor++;
+          break;
+        case RowRelation::kGreaterEqual:
+          tab.At(i, slack_cursor) = Rational(-1);
+          ++slack_cursor;
+          tab.At(i, art_cursor) = Rational(1);
+          basis[i] = art_cursor++;
+          break;
+        case RowRelation::kEqual:
+          tab.At(i, art_cursor) = Rational(1);
+          basis[i] = art_cursor++;
+          break;
+      }
+    }
+  }
+
+  ExactLpSolution solution;
+  int iterations = 0;
+
+  // Bland's rule phase runner: smallest-index entering column with
+  // negative reduced cost; leaving row by exact minimum ratio with
+  // smallest basis index on ties.  Cannot cycle, so it always terminates.
+  auto run_phase = [&](size_t allowed_end, bool* unbounded) {
+    *unbounded = false;
+    for (;;) {
+      size_t enter = n_std;
+      for (size_t j = 0; j < allowed_end; ++j) {
+        if (tab.Obj(j).IsNegative()) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n_std) return;  // optimal for this phase
+
+      size_t leave = m;
+      Rational best_ratio;
+      for (size_t i = 0; i < m; ++i) {
+        const Rational& a = tab.At(i, enter);
+        if (a.Sign() > 0) {
+          Rational ratio = *Rational::Divide(tab.Rhs(i), a);
+          if (leave == m || ratio < best_ratio ||
+              (ratio == best_ratio && basis[i] < basis[leave])) {
+            leave = i;
+            best_ratio = std::move(ratio);
+          }
+        }
+      }
+      if (leave == m) {
+        *unbounded = true;
+        return;
+      }
+      tab.Pivot(leave, enter);
+      basis[leave] = enter;
+      ++iterations;
+    }
+  };
+
+  // Phase 1.
+  if (num_artificial > 0) {
+    for (size_t j = artificial_begin; j < n_std; ++j) {
+      tab.Obj(j) = Rational(1);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= artificial_begin) {
+        for (size_t j = 0; j <= n_std; ++j) {
+          tab.Obj(j) -= tab.At(i, j);
+        }
+      }
+    }
+    bool unbounded = false;
+    run_phase(n_std, &unbounded);
+    // Phase-1 objective value is stored negated in the corner cell.
+    Rational phase1 = -tab.Obj(n_std);
+    if (!phase1.IsZero()) {
+      solution.status = LpStatus::kInfeasible;
+      solution.iterations = iterations;
+      return solution;
+    }
+    // Pivot leftover basic artificials out where possible; rows that
+    // cannot be pivoted are exactly redundant (all structural and slack
+    // coefficients are zero) and can be ignored.
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] < artificial_begin) continue;
+      for (size_t j = 0; j < artificial_begin; ++j) {
+        if (!tab.At(i, j).IsZero()) {
+          tab.Pivot(i, j);
+          basis[i] = j;
+          ++iterations;
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2.
+  for (size_t j = 0; j <= n_std; ++j) tab.Obj(j) = Rational(0);
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    tab.Obj(static_cast<size_t>(j)) = problem.cost(j);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    Rational c = tab.Obj(basis[i]);
+    if (c.IsZero()) continue;
+    for (size_t j = 0; j <= n_std; ++j) {
+      if (!tab.At(i, j).IsZero()) tab.Obj(j) -= c * tab.At(i, j);
+    }
+  }
+  bool unbounded = false;
+  run_phase(artificial_begin, &unbounded);
+  if (unbounded) {
+    solution.status = LpStatus::kUnbounded;
+    solution.iterations = iterations;
+    return solution;
+  }
+
+  solution.values.assign(num_struct, Rational(0));
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < num_struct) {
+      solution.values[basis[i]] = tab.Rhs(i);
+    }
+  }
+  Rational objective(0);
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    objective += problem.cost(j) * solution.values[static_cast<size_t>(j)];
+  }
+  solution.status = LpStatus::kOptimal;
+  solution.objective = std::move(objective);
+  solution.iterations = iterations;
+  return solution;
+}
+
+}  // namespace geopriv

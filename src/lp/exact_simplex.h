@@ -1,0 +1,95 @@
+// ExactSimplexSolver: linear programming over exact rationals.
+//
+// The paper's LPs (Sections 2.4.3 and 2.5) have rational data whenever the
+// privacy parameter alpha and the loss values are rational.  Solving them
+// over Q with Bland's rule removes every numerical question at once:
+// termination is guaranteed, optimality certificates are exact, and
+// Theorem 1's loss equality can be asserted with operator== instead of a
+// tolerance.  Intended for the paper-scale instances (tens of variables);
+// for larger numeric instances use SimplexSolver (simplex.h) or
+// RevisedSimplexSolver (revised_simplex.h).
+//
+// Model restrictions relative to LpProblem: all variables are >= 0 and
+// unbounded above (exactly what the paper's LPs need — the epigraph
+// variable d is also non-negative because losses are non-negative).
+
+#ifndef GEOPRIV_LP_EXACT_SIMPLEX_H_
+#define GEOPRIV_LP_EXACT_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "exact/rational.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"  // for LpStatus
+#include "util/result.h"
+
+namespace geopriv {
+
+/// A sparse coefficient in an exact constraint row.
+struct ExactLpTerm {
+  int var;
+  Rational coeff;
+};
+
+/// LP model with exact rational data; all variables are non-negative.
+class ExactLpProblem {
+ public:
+  ExactLpProblem() = default;
+
+  /// Adds a variable with bounds [0, +inf) and objective coefficient
+  /// `cost` (minimization).  Returns its column index.
+  int AddVariable(std::string name, Rational cost);
+
+  /// Adds a constraint `terms · x <relation> rhs`.  Returns its row index.
+  int AddConstraint(RowRelation relation, Rational rhs,
+                    std::vector<ExactLpTerm> terms);
+
+  int num_variables() const { return static_cast<int>(costs_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  const std::string& variable_name(int var) const {
+    return names_[static_cast<size_t>(var)];
+  }
+  const Rational& cost(int var) const {
+    return costs_[static_cast<size_t>(var)];
+  }
+
+  struct Row {
+    RowRelation relation;
+    Rational rhs;
+    std::vector<ExactLpTerm> terms;
+  };
+  const Row& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+
+  /// First structural problem found (bad variable indices), or OK.
+  Status Validate() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Rational> costs_;
+  std::vector<Row> rows_;
+};
+
+/// Exact primal solution.
+struct ExactLpSolution {
+  LpStatus status = LpStatus::kOptimal;
+  Rational objective;
+  std::vector<Rational> values;  ///< one per variable, exact
+  int iterations = 0;
+};
+
+/// Two-phase primal simplex with Bland's rule over Q.  Deterministic,
+/// tolerance-free, guaranteed to terminate.
+class ExactSimplexSolver {
+ public:
+  ExactSimplexSolver() = default;
+
+  /// Solves `problem` to provable optimality (or reports infeasible /
+  /// unbounded exactly).
+  Result<ExactLpSolution> Solve(const ExactLpProblem& problem) const;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_LP_EXACT_SIMPLEX_H_

@@ -1,0 +1,58 @@
+#include "lp/problem.h"
+
+#include <cmath>
+
+namespace geopriv {
+
+int LpProblem::AddVariable(std::string name, double lb, double ub,
+                           double cost) {
+  var_names_.push_back(std::move(name));
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  costs_.push_back(cost);
+  return static_cast<int>(costs_.size()) - 1;
+}
+
+int LpProblem::AddConstraint(std::string name, RowRelation relation,
+                             double rhs, std::vector<LpTerm> terms) {
+  rows_.push_back(Row{std::move(name), relation, rhs, std::move(terms)});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+Status LpProblem::Validate() const {
+  const int n = num_variables();
+  for (int j = 0; j < n; ++j) {
+    double lb = lb_[static_cast<size_t>(j)];
+    double ub = ub_[static_cast<size_t>(j)];
+    if (std::isnan(lb) || std::isnan(ub)) {
+      return Status::InvalidArgument("NaN bound on variable " +
+                                     var_names_[static_cast<size_t>(j)]);
+    }
+    if (lb > ub) {
+      return Status::InvalidArgument("lb > ub on variable " +
+                                     var_names_[static_cast<size_t>(j)]);
+    }
+    if (!std::isfinite(costs_[static_cast<size_t>(j)])) {
+      return Status::InvalidArgument("non-finite cost on variable " +
+                                     var_names_[static_cast<size_t>(j)]);
+    }
+  }
+  for (const Row& row : rows_) {
+    if (!std::isfinite(row.rhs)) {
+      return Status::InvalidArgument("non-finite rhs in row " + row.name);
+    }
+    for (const LpTerm& t : row.terms) {
+      if (t.var < 0 || t.var >= n) {
+        return Status::InvalidArgument("term references unknown variable in " +
+                                       row.name);
+      }
+      if (!std::isfinite(t.coeff)) {
+        return Status::InvalidArgument("non-finite coefficient in row " +
+                                       row.name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace geopriv

@@ -1,0 +1,105 @@
+// LpProblem: declarative linear-program model.
+//
+// The paper solves two families of "simple linear programs" (Sections 2.4.3
+// and 2.5).  The repro-calibration note says this needs an LP library
+// (GLPK/CPLEX); neither is available offline, so src/lp/ implements the
+// substitute from scratch: this model type plus a dense two-phase primal
+// simplex (simplex.h).  Any exact-optimal LP solver yields the same optimal
+// value, so the substitution preserves the paper's results.
+//
+// Model:   minimize (or maximize)  c'x
+//          subject to  row_lo_i <=/=/>= a_i'x  (per-row relation vs rhs)
+//                      lb_j <= x_j <= ub_j     (bounds; may be infinite)
+
+#ifndef GEOPRIV_LP_PROBLEM_H_
+#define GEOPRIV_LP_PROBLEM_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Relation of a constraint row to its right-hand side.
+enum class RowRelation {
+  kLessEqual,     ///< a'x <= rhs
+  kGreaterEqual,  ///< a'x >= rhs
+  kEqual,         ///< a'x == rhs
+};
+
+/// Optimization direction.
+enum class LpSense { kMinimize, kMaximize };
+
+/// Positive infinity used for unbounded variable bounds.
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+/// A sparse coefficient (column index, value) inside a constraint row.
+struct LpTerm {
+  int var;
+  double coeff;
+};
+
+/// Mutable LP model.  Build with AddVariable / AddConstraint, then hand to
+/// SimplexSolver::Solve.
+class LpProblem {
+ public:
+  LpProblem() = default;
+
+  /// Adds a variable with bounds [lb, ub] and objective coefficient `cost`.
+  /// Returns its column index.  lb may be -inf, ub may be +inf.
+  int AddVariable(std::string name, double lb, double ub, double cost);
+
+  /// Adds a variable with bounds [0, +inf) and objective coefficient `cost`.
+  int AddNonNegativeVariable(std::string name, double cost) {
+    return AddVariable(std::move(name), 0.0, kLpInfinity, cost);
+  }
+
+  /// Adds a constraint `terms · x  <relation>  rhs`.  Returns its row index.
+  /// Terms referencing out-of-range variables make Validate() fail.
+  int AddConstraint(std::string name, RowRelation relation, double rhs,
+                    std::vector<LpTerm> terms);
+
+  /// Changes the objective coefficient of an existing variable.
+  void SetObjectiveCoefficient(int var, double cost) {
+    costs_[static_cast<size_t>(var)] = cost;
+  }
+
+  void SetSense(LpSense sense) { sense_ = sense; }
+  LpSense sense() const { return sense_; }
+
+  int num_variables() const { return static_cast<int>(costs_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  const std::string& variable_name(int var) const {
+    return var_names_[static_cast<size_t>(var)];
+  }
+  double lower_bound(int var) const { return lb_[static_cast<size_t>(var)]; }
+  double upper_bound(int var) const { return ub_[static_cast<size_t>(var)]; }
+  double cost(int var) const { return costs_[static_cast<size_t>(var)]; }
+
+  struct Row {
+    std::string name;
+    RowRelation relation;
+    double rhs;
+    std::vector<LpTerm> terms;
+  };
+  const Row& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+
+  /// Checks internal consistency (indices in range, finite coefficients,
+  /// lb <= ub).  Returns the first problem found.
+  Status Validate() const;
+
+ private:
+  LpSense sense_ = LpSense::kMinimize;
+  std::vector<std::string> var_names_;
+  std::vector<double> lb_;
+  std::vector<double> ub_;
+  std::vector<double> costs_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_LP_PROBLEM_H_

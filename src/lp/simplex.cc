@@ -1,0 +1,435 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace geopriv {
+
+namespace {
+
+// How a model variable was rewritten into standard-form columns.
+struct VarMap {
+  int col_plus = -1;   // column for the non-negative (or positive) part
+  int col_minus = -1;  // column for the negative part of a free variable
+  double shift = 0.0;  // x = shift + x'      (lb-shifted variables)
+  bool negated = false;  // x = shift - x'    (ub-only variables)
+};
+
+struct StandardRow {
+  std::vector<double> coeffs;  // dense over standard columns
+  RowRelation relation;
+  double rhs;
+};
+
+// Dense simplex tableau: `rows` working rows plus one objective row.
+class Tableau {
+ public:
+  Tableau(size_t m, size_t n) : m_(m), n_(n), cells_((m + 1) * (n + 1), 0.0) {}
+
+  double& At(size_t i, size_t j) { return cells_[i * (n_ + 1) + j]; }
+  double At(size_t i, size_t j) const { return cells_[i * (n_ + 1) + j]; }
+  double& Rhs(size_t i) { return cells_[i * (n_ + 1) + n_]; }
+  double Rhs(size_t i) const { return cells_[i * (n_ + 1) + n_]; }
+  double& Obj(size_t j) { return cells_[m_ * (n_ + 1) + j]; }
+  double Obj(size_t j) const { return cells_[m_ * (n_ + 1) + j]; }
+  double& ObjValue() { return cells_[m_ * (n_ + 1) + n_]; }
+
+  size_t m() const { return m_; }
+  size_t n() const { return n_; }
+
+  // Performs a pivot on (row, col): scales the pivot row and eliminates the
+  // column from every other row including the objective row.
+  void Pivot(size_t row, size_t col) {
+    double inv = 1.0 / At(row, col);
+    double* prow = &cells_[row * (n_ + 1)];
+    for (size_t j = 0; j <= n_; ++j) prow[j] *= inv;
+    prow[col] = 1.0;
+    for (size_t i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      double factor = At(i, col);
+      if (factor == 0.0) continue;
+      double* irow = &cells_[i * (n_ + 1)];
+      for (size_t j = 0; j <= n_; ++j) irow[j] -= factor * prow[j];
+      irow[col] = 0.0;
+    }
+  }
+
+ private:
+  size_t m_;
+  size_t n_;
+  std::vector<double> cells_;
+};
+
+}  // namespace
+
+Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
+  GEOPRIV_RETURN_IF_ERROR(problem.Validate());
+
+  const double tol = options_.tol;
+  const int num_vars = problem.num_variables();
+  const bool maximize = problem.sense() == LpSense::kMaximize;
+
+  // ---- 1. Rewrite variables so every standard column is >= 0. -------------
+  std::vector<VarMap> vmap(static_cast<size_t>(num_vars));
+  int next_col = 0;
+  // Extra rows produced by finite two-sided bounds: x' <= ub - lb.
+  std::vector<std::pair<int, double>> upper_rows;  // (column, bound)
+  for (int j = 0; j < num_vars; ++j) {
+    double lb = problem.lower_bound(j);
+    double ub = problem.upper_bound(j);
+    VarMap& vm = vmap[static_cast<size_t>(j)];
+    if (std::isinf(lb) && std::isinf(ub)) {
+      vm.col_plus = next_col++;
+      vm.col_minus = next_col++;
+    } else if (!std::isinf(lb)) {
+      vm.col_plus = next_col++;
+      vm.shift = lb;
+      if (!std::isinf(ub)) upper_rows.emplace_back(vm.col_plus, ub - lb);
+    } else {
+      // lb == -inf, finite ub: x = ub - x'.
+      vm.col_plus = next_col++;
+      vm.shift = ub;
+      vm.negated = true;
+    }
+  }
+  const int num_struct_cols = next_col;
+
+  // ---- 2. Materialize rows over standard columns. -------------------------
+  std::vector<StandardRow> rows;
+  rows.reserve(static_cast<size_t>(problem.num_constraints()) +
+               upper_rows.size());
+  for (int i = 0; i < problem.num_constraints(); ++i) {
+    const LpProblem::Row& row = problem.row(i);
+    StandardRow srow;
+    srow.coeffs.assign(static_cast<size_t>(num_struct_cols), 0.0);
+    srow.relation = row.relation;
+    srow.rhs = row.rhs;
+    for (const LpTerm& t : row.terms) {
+      const VarMap& vm = vmap[static_cast<size_t>(t.var)];
+      double sign = vm.negated ? -1.0 : 1.0;
+      srow.coeffs[static_cast<size_t>(vm.col_plus)] += sign * t.coeff;
+      if (vm.col_minus >= 0) {
+        srow.coeffs[static_cast<size_t>(vm.col_minus)] -= t.coeff;
+      }
+      srow.rhs -= t.coeff * vm.shift;
+    }
+    rows.push_back(std::move(srow));
+  }
+  for (const auto& [col, bound] : upper_rows) {
+    StandardRow srow;
+    srow.coeffs.assign(static_cast<size_t>(num_struct_cols), 0.0);
+    srow.coeffs[static_cast<size_t>(col)] = 1.0;
+    srow.relation = RowRelation::kLessEqual;
+    srow.rhs = bound;
+    rows.push_back(std::move(srow));
+  }
+
+  // Normalize to rhs >= 0.
+  for (StandardRow& row : rows) {
+    if (row.rhs < 0.0) {
+      for (double& c : row.coeffs) c = -c;
+      row.rhs = -row.rhs;
+      if (row.relation == RowRelation::kLessEqual) {
+        row.relation = RowRelation::kGreaterEqual;
+      } else if (row.relation == RowRelation::kGreaterEqual) {
+        row.relation = RowRelation::kLessEqual;
+      }
+    }
+  }
+
+  // ---- 3. Count slack / artificial columns and lay out the tableau. -------
+  const size_t m = rows.size();
+  size_t num_slack = 0, num_artificial = 0;
+  for (const StandardRow& row : rows) {
+    switch (row.relation) {
+      case RowRelation::kLessEqual:
+        ++num_slack;
+        break;
+      case RowRelation::kGreaterEqual:
+        ++num_slack;
+        ++num_artificial;
+        break;
+      case RowRelation::kEqual:
+        ++num_artificial;
+        break;
+    }
+  }
+  const size_t n_std = static_cast<size_t>(num_struct_cols) + num_slack +
+                       num_artificial;
+  const size_t artificial_begin = n_std - num_artificial;
+
+  Tableau tab(m, n_std);
+  std::vector<size_t> basis(m);
+  {
+    size_t slack_cursor = static_cast<size_t>(num_struct_cols);
+    size_t art_cursor = artificial_begin;
+    for (size_t i = 0; i < m; ++i) {
+      const StandardRow& row = rows[i];
+      for (size_t j = 0; j < static_cast<size_t>(num_struct_cols); ++j) {
+        tab.At(i, j) = row.coeffs[j];
+      }
+      tab.Rhs(i) = row.rhs;
+      switch (row.relation) {
+        case RowRelation::kLessEqual:
+          tab.At(i, slack_cursor) = 1.0;
+          basis[i] = slack_cursor++;
+          break;
+        case RowRelation::kGreaterEqual:
+          tab.At(i, slack_cursor) = -1.0;
+          ++slack_cursor;
+          tab.At(i, art_cursor) = 1.0;
+          basis[i] = art_cursor++;
+          break;
+        case RowRelation::kEqual:
+          tab.At(i, art_cursor) = 1.0;
+          basis[i] = art_cursor++;
+          break;
+      }
+    }
+  }
+
+  int max_iters = options_.max_iterations;
+  if (max_iters <= 0) {
+    max_iters = 200 * static_cast<int>(m + n_std) + 2000;
+  }
+
+  LpSolution solution;
+  int iterations = 0;
+
+  // Runs simplex iterations until optimality for the objective currently in
+  // the tableau's objective row.  `allowed_end` caps entering columns (used
+  // to freeze artificials in phase 2).  Returns false on unboundedness.
+  auto run_phase = [&](size_t allowed_end, bool* unbounded) {
+    *unbounded = false;
+    bool bland = false;
+    int stall = 0;
+    double last_obj = tab.ObjValue();
+    while (iterations < max_iters) {
+      // Entering column.
+      size_t enter = n_std;
+      if (bland) {
+        for (size_t j = 0; j < allowed_end; ++j) {
+          if (tab.Obj(j) < -tol) {
+            enter = j;
+            break;
+          }
+        }
+      } else {
+        double best = -tol;
+        for (size_t j = 0; j < allowed_end; ++j) {
+          if (tab.Obj(j) < best) {
+            best = tab.Obj(j);
+            enter = j;
+          }
+        }
+      }
+      if (enter == n_std) return;  // optimal
+
+      // Leaving row: two-pass Harris ratio test.  Pass 1 computes the
+      // loosest step theta_max that keeps every basic value above
+      // -delta (a tiny feasibility slack).  Pass 2 picks, among rows
+      // whose exact ratio fits under theta_max, the LARGEST pivot
+      // element; ties go to the smallest basis index (anti-cycling).
+      // The slack is the whole point: when the exact minimum ratio is
+      // attained only by a near-zero coefficient, pivoting on it would
+      // amplify round-off by 1/coefficient and corrupt the tableau.
+      // Harris instead admits a slightly longer step on a well-scaled
+      // pivot, paying at most delta of transient infeasibility.
+      const double delta = tol;  // per-pivot feasibility slack
+      double theta_max = -1.0;
+      for (size_t i = 0; i < m; ++i) {
+        double a = tab.At(i, enter);
+        if (a > tol) {
+          double ratio = (std::max(tab.Rhs(i), 0.0) + delta) / a;
+          if (theta_max < 0.0 || ratio < theta_max) theta_max = ratio;
+        }
+      }
+      if (theta_max < 0.0) {
+        *unbounded = true;
+        return;
+      }
+      size_t leave = m;
+      double best_pivot = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        double a = tab.At(i, enter);
+        if (a <= tol) continue;
+        double ratio = std::max(tab.Rhs(i), 0.0) / a;
+        if (ratio > theta_max) continue;
+        if (leave == m || a > best_pivot * (1.0 + 1e-9) ||
+            (a >= best_pivot * (1.0 - 1e-9) && basis[i] < basis[leave])) {
+          leave = i;
+          best_pivot = a;
+        }
+      }
+
+      tab.Pivot(leave, enter);
+      basis[leave] = enter;
+      // Clamp tiny negative right-hand sides introduced by round-off so
+      // later ratio tests cannot amplify them.
+      for (size_t i = 0; i < m; ++i) {
+        if (tab.Rhs(i) < 0.0 && tab.Rhs(i) > -1e-11) tab.Rhs(i) = 0.0;
+      }
+      ++iterations;
+
+      // Degeneracy watchdog: if the objective stops moving, fall back to
+      // Bland's rule, which cannot cycle.
+      double obj = tab.ObjValue();
+      if (std::abs(obj - last_obj) <= tol) {
+        if (++stall >= options_.stall_threshold) bland = true;
+      } else {
+        stall = 0;
+        last_obj = obj;
+      }
+    }
+  };
+
+  // ---- 4. Phase 1: minimize the sum of artificials. ------------------------
+  if (num_artificial > 0) {
+    for (size_t j = artificial_begin; j < n_std; ++j) tab.Obj(j) = 1.0;
+    // Reduce: basic artificials carry cost 1, so subtract their rows.
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= artificial_begin) {
+        for (size_t j = 0; j <= n_std; ++j) {
+          tab.Obj(j) = tab.Obj(j) - tab.At(i, j);
+        }
+      }
+    }
+    bool unbounded = false;
+    run_phase(n_std, &unbounded);
+    if (iterations >= max_iters) {
+      solution.status = LpStatus::kIterationLimit;
+      solution.iterations = iterations;
+      return solution;
+    }
+    // Objective row stores -z; phase-1 optimum must be ~0 for feasibility.
+    double phase1 = -tab.ObjValue();
+    solution.phase1_objective = phase1;
+    if (phase1 > options_.feasibility_tol) {
+      solution.status = LpStatus::kInfeasible;
+      solution.iterations = iterations;
+      return solution;
+    }
+    // Drive remaining basic artificials out (they sit at value ~0).  The
+    // pivot column must be chosen by largest magnitude: a near-zero pivot
+    // here would create elimination factors of 1/pivot and corrupt the
+    // whole tableau.  The row's rhs is phase-1 residual noise (<=
+    // feasibility_tol); zero it before pivoting so the noise cannot be
+    // smeared into other rows.
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] < artificial_begin) continue;
+      size_t pivot_col = n_std;
+      double best_abs = 1e-5;  // refuse pivots smaller than this
+      for (size_t j = 0; j < artificial_begin; ++j) {
+        double a = std::abs(tab.At(i, j));
+        if (a > best_abs) {
+          best_abs = a;
+          pivot_col = j;
+        }
+      }
+      if (pivot_col != n_std) {
+        tab.Rhs(i) = 0.0;
+        tab.Pivot(i, pivot_col);
+        basis[i] = pivot_col;
+        ++iterations;
+      }
+      // Otherwise the row is (numerically) redundant; the artificial stays
+      // basic at ~0 and artificial columns are frozen below, so it can
+      // never grow.
+    }
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= artificial_begin) ++solution.residual_artificials;
+    }
+  }
+
+  // ---- 5. Phase 2: optimize the real objective. ----------------------------
+  for (size_t j = 0; j <= n_std; ++j) tab.Obj(j) = 0.0;
+  for (int j = 0; j < num_vars; ++j) {
+    double c = problem.cost(j) * (maximize ? -1.0 : 1.0);
+    const VarMap& vm = vmap[static_cast<size_t>(j)];
+    double sign = vm.negated ? -1.0 : 1.0;
+    tab.Obj(static_cast<size_t>(vm.col_plus)) += sign * c;
+    if (vm.col_minus >= 0) {
+      tab.Obj(static_cast<size_t>(vm.col_minus)) -= c;
+    }
+  }
+  // Reduce the objective row over the current basis.
+  for (size_t i = 0; i < m; ++i) {
+    double c = tab.Obj(basis[i]);
+    if (c == 0.0) continue;
+    for (size_t j = 0; j <= n_std; ++j) {
+      tab.Obj(j) -= c * tab.At(i, j);
+    }
+  }
+  bool unbounded = false;
+  run_phase(artificial_begin, &unbounded);
+  if (iterations >= max_iters) {
+    solution.status = LpStatus::kIterationLimit;
+    solution.iterations = iterations;
+    return solution;
+  }
+  if (unbounded) {
+    solution.status = LpStatus::kUnbounded;
+    solution.iterations = iterations;
+    return solution;
+  }
+
+  // ---- 6. Read the solution back through the variable map. ----------------
+  std::vector<double> std_values(n_std, 0.0);
+  for (size_t i = 0; i < m; ++i) std_values[basis[i]] = tab.Rhs(i);
+  solution.values.assign(static_cast<size_t>(num_vars), 0.0);
+  double objective = 0.0;
+  for (int j = 0; j < num_vars; ++j) {
+    const VarMap& vm = vmap[static_cast<size_t>(j)];
+    double xp = std_values[static_cast<size_t>(vm.col_plus)];
+    double value;
+    if (vm.col_minus >= 0) {
+      value = xp - std_values[static_cast<size_t>(vm.col_minus)];
+    } else if (vm.negated) {
+      value = vm.shift - xp;
+    } else {
+      value = vm.shift + xp;
+    }
+    solution.values[static_cast<size_t>(j)] = value;
+    objective += problem.cost(j) * value;
+  }
+  solution.status = LpStatus::kOptimal;
+  solution.objective = objective;
+  solution.iterations = iterations;
+
+  // Recompute residuals against the ORIGINAL model — the tableau's own
+  // feasibility can silently drift over thousands of pivots, and callers
+  // need a trustworthy signal.
+  double violation = 0.0;
+  for (int i = 0; i < problem.num_constraints(); ++i) {
+    const LpProblem::Row& row = problem.row(i);
+    double lhs = 0.0;
+    for (const LpTerm& t : row.terms) {
+      lhs += t.coeff * solution.values[static_cast<size_t>(t.var)];
+    }
+    switch (row.relation) {
+      case RowRelation::kLessEqual:
+        violation = std::max(violation, lhs - row.rhs);
+        break;
+      case RowRelation::kGreaterEqual:
+        violation = std::max(violation, row.rhs - lhs);
+        break;
+      case RowRelation::kEqual:
+        violation = std::max(violation, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  for (int j = 0; j < num_vars; ++j) {
+    double v = solution.values[static_cast<size_t>(j)];
+    if (std::isfinite(problem.lower_bound(j))) {
+      violation = std::max(violation, problem.lower_bound(j) - v);
+    }
+    if (std::isfinite(problem.upper_bound(j))) {
+      violation = std::max(violation, v - problem.upper_bound(j));
+    }
+  }
+  solution.max_violation = violation;
+  return solution;
+}
+
+}  // namespace geopriv

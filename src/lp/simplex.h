@@ -1,0 +1,83 @@
+// SimplexSolver: dense two-phase primal simplex.
+//
+// Standard-form reduction: every variable is shifted/split to be
+// non-negative, finite upper bounds become extra rows, then slack and
+// artificial columns are appended.  Phase 1 minimizes the sum of the
+// artificials to find a basic feasible point; phase 2 optimizes the real
+// objective.  Pricing is Dantzig's rule with an automatic switch to Bland's
+// rule (which provably terminates) once degeneracy stalls progress.
+//
+// This is the library's substitute for GLPK/CPLEX (see problem.h).  The
+// paper's LPs have (n+1)^2 + 1 variables and O(n^2) rows, well within what
+// a dense tableau handles.
+
+#ifndef GEOPRIV_LP_SIMPLEX_H_
+#define GEOPRIV_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "lp/problem.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// Outcome category of a solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+/// Primal solution of an LP.
+struct LpSolution {
+  LpStatus status = LpStatus::kOptimal;
+  /// Objective value in the problem's own sense (min or max).
+  double objective = 0.0;
+  /// One value per model variable, in AddVariable order.
+  std::vector<double> values;
+  /// Simplex pivots performed across both phases.
+  int iterations = 0;
+  /// Largest violation of any original constraint or bound at `values`,
+  /// recomputed from the model (not the tableau) after the solve.  A value
+  /// far above the tolerances signals numerical trouble.
+  double max_violation = 0.0;
+  /// Optimum of the phase-1 (artificial) objective; ~0 when feasible.
+  double phase1_objective = 0.0;
+  /// Artificial variables still basic after phase 1's drive-out pass
+  /// (redundant or near-redundant rows).
+  int residual_artificials = 0;
+};
+
+/// Tuning knobs for SimplexSolver.
+struct SimplexOptions {
+  /// Anything with |value| below this is treated as zero in pricing/ratio.
+  double tol = 1e-9;
+  /// Minimum magnitude of an acceptable pivot element.  Pivoting on tiny
+  /// elements amplifies round-off catastrophically, so candidate rows in
+  /// the ratio test must have a coefficient at least this large.
+  double pivot_tol = 1e-7;
+  /// Residual tolerance when declaring phase-1 success.
+  double feasibility_tol = 1e-7;
+  /// Hard cap on total pivots (0 means "choose automatically").
+  int max_iterations = 0;
+  /// Pivots of no objective progress before switching to Bland's rule.
+  int stall_threshold = 64;
+};
+
+/// Solves LpProblem instances.  Stateless; safe to reuse across solves.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves `problem`.  Returns a Status error only for malformed models;
+  /// infeasibility/unboundedness are reported inside LpSolution.
+  Result<LpSolution> Solve(const LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_LP_SIMPLEX_H_

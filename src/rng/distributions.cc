@@ -1,0 +1,171 @@
+#include "rng/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace geopriv {
+
+// ---------------------------------------------------------------------------
+// TwoSidedGeometricSampler
+// ---------------------------------------------------------------------------
+
+Result<TwoSidedGeometricSampler> TwoSidedGeometricSampler::Create(
+    double alpha) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument(
+        "two-sided geometric requires alpha in (0, 1)");
+  }
+  return TwoSidedGeometricSampler(alpha);
+}
+
+TwoSidedGeometricSampler::TwoSidedGeometricSampler(double alpha)
+    : alpha_(alpha),
+      log_alpha_(std::log(alpha)),
+      mass_zero_((1.0 - alpha) / (1.0 + alpha)) {}
+
+int64_t TwoSidedGeometricSampler::Sample(Xoshiro256& rng) const {
+  // With probability (1-α)/(1+α) the noise is exactly 0.  Otherwise the
+  // magnitude m >= 1 follows Pr[m = k] ∝ α^k (a shifted geometric) and the
+  // sign is a fair coin.
+  double u = rng.NextDouble();
+  if (u < mass_zero_) return 0;
+  double v = rng.NextDoublePositive();
+  int64_t magnitude =
+      1 + static_cast<int64_t>(std::floor(std::log(v) / log_alpha_));
+  return (rng.Next() & 1) ? magnitude : -magnitude;
+}
+
+double TwoSidedGeometricSampler::Pmf(int64_t z) const {
+  return mass_zero_ * std::pow(alpha_, static_cast<double>(std::llabs(z)));
+}
+
+double TwoSidedGeometricSampler::Cdf(int64_t z) const {
+  if (z < 0) {
+    return std::pow(alpha_, static_cast<double>(-z)) / (1.0 + alpha_);
+  }
+  return 1.0 -
+         std::pow(alpha_, static_cast<double>(z + 1)) / (1.0 + alpha_);
+}
+
+// ---------------------------------------------------------------------------
+// LaplaceSampler
+// ---------------------------------------------------------------------------
+
+Result<LaplaceSampler> LaplaceSampler::Create(double mu, double b) {
+  if (!(b > 0.0) || !std::isfinite(b) || !std::isfinite(mu)) {
+    return Status::InvalidArgument("Laplace requires finite mu and b > 0");
+  }
+  return LaplaceSampler(mu, b);
+}
+
+double LaplaceSampler::Sample(Xoshiro256& rng) const {
+  // Inverse-CDF sampling from a uniform in (-1/2, 1/2].
+  double u = rng.NextDoublePositive() - 0.5;
+  double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return mu_ - b_ * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double LaplaceSampler::Pdf(double x) const {
+  return std::exp(-std::abs(x - mu_) / b_) / (2.0 * b_);
+}
+
+double LaplaceSampler::Cdf(double x) const {
+  if (x < mu_) return 0.5 * std::exp((x - mu_) / b_);
+  return 1.0 - 0.5 * std::exp(-(x - mu_) / b_);
+}
+
+// ---------------------------------------------------------------------------
+// DiscreteSampler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status ValidateWeights(const std::vector<double>& weights, double* total) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("weight vector must be non-empty");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "weights must be finite and non-negative");
+    }
+    sum += w;
+  }
+  if (!(sum > 0.0)) {
+    return Status::InvalidArgument("weights must have a positive sum");
+  }
+  *total = sum;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DiscreteSampler> DiscreteSampler::Create(std::vector<double> weights) {
+  double total = 0.0;
+  GEOPRIV_RETURN_IF_ERROR(ValidateWeights(weights, &total));
+  std::vector<double> probs(weights.size());
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    probs[i] = weights[i] / total;
+    acc += probs[i];
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;  // guard against round-off leaving the tail short
+  return DiscreteSampler(std::move(probs), std::move(cdf));
+}
+
+size_t DiscreteSampler::Sample(Xoshiro256& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+// ---------------------------------------------------------------------------
+// AliasSampler (Vose's stable construction)
+// ---------------------------------------------------------------------------
+
+Result<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {
+  double total = 0.0;
+  GEOPRIV_RETURN_IF_ERROR(ValidateWeights(weights, &total));
+  const size_t n = weights.size();
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] / total * static_cast<double>(n);
+  }
+
+  std::vector<double> prob(n, 0.0);
+  std::vector<uint32_t> alias(n, 0);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1.0 up to round-off.
+  for (uint32_t l : large) prob[l] = 1.0;
+  for (uint32_t s : small) prob[s] = 1.0;
+
+  return AliasSampler(std::move(prob), std::move(alias));
+}
+
+size_t AliasSampler::Sample(Xoshiro256& rng) const {
+  size_t bucket = static_cast<size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace geopriv

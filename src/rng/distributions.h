@@ -1,0 +1,128 @@
+// Samplers for the distributions the paper's mechanisms need.
+//
+// * TwoSidedGeometricSampler — the noise of the α-geometric mechanism
+//   (Definition 1 of the paper): Pr[Z=z] = (1-α)/(1+α) · α^|z|.
+// * LaplaceSampler — the continuous analogue from Dwork et al. (TCC 2006),
+//   used as a comparison baseline.
+// * DiscreteSampler / AliasSampler — generic finite discrete distributions;
+//   AliasSampler is Walker's alias method with Vose's O(n) construction and
+//   O(1) per sample, used to sample mechanism rows.
+
+#ifndef GEOPRIV_RNG_DISTRIBUTIONS_H_
+#define GEOPRIV_RNG_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/engine.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace geopriv {
+
+/// Samples the two-sided geometric distribution
+/// Pr[Z = z] = (1-α)/(1+α) · α^|z| for integer z, with α in (0, 1).
+///
+/// Sampling: |Z| is 0 with probability (1-α)/(1+α); otherwise |Z| is a
+/// shifted geometric and the sign is a fair coin.  Implemented by inversion:
+/// draw the positive/zero/negative region from a single uniform.
+class TwoSidedGeometricSampler {
+ public:
+  /// Creates a sampler.  Fails unless 0 < alpha < 1 (alpha == 0 would be a
+  /// point mass, alpha == 1 is not a distribution).
+  static Result<TwoSidedGeometricSampler> Create(double alpha);
+
+  /// Draws one noise value Z.
+  int64_t Sample(Xoshiro256& rng) const;
+
+  /// Pr[Z = z]; exact closed form.
+  double Pmf(int64_t z) const;
+
+  /// Pr[Z <= z]; exact closed form.
+  double Cdf(int64_t z) const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  explicit TwoSidedGeometricSampler(double alpha);
+
+  double alpha_;
+  double log_alpha_;
+  double mass_zero_;  // (1-α)/(1+α)
+};
+
+/// Samples the Laplace distribution with density (1/2b)·exp(-|x-mu|/b).
+class LaplaceSampler {
+ public:
+  /// Creates a sampler.  Fails unless scale b > 0.
+  static Result<LaplaceSampler> Create(double mu, double b);
+
+  /// Draws one value.
+  double Sample(Xoshiro256& rng) const;
+
+  /// Density at x.
+  double Pdf(double x) const;
+
+  /// Pr[X <= x].
+  double Cdf(double x) const;
+
+  double mu() const { return mu_; }
+  double scale() const { return b_; }
+
+ private:
+  LaplaceSampler(double mu, double b) : mu_(mu), b_(b) {}
+
+  double mu_;
+  double b_;
+};
+
+/// Samples a finite discrete distribution by CDF inversion (binary search).
+/// O(log n) per sample; construction validates the weight vector.
+class DiscreteSampler {
+ public:
+  /// Creates a sampler over {0, ..., weights.size()-1}.  Weights must be
+  /// non-negative, finite, and sum to a positive value; they are normalized
+  /// internally.
+  static Result<DiscreteSampler> Create(std::vector<double> weights);
+
+  /// Draws one index.
+  size_t Sample(Xoshiro256& rng) const;
+
+  /// Normalized probability of index i.
+  double Probability(size_t i) const { return probs_[i]; }
+
+  size_t size() const { return probs_.size(); }
+
+ private:
+  explicit DiscreteSampler(std::vector<double> probs,
+                           std::vector<double> cdf)
+      : probs_(std::move(probs)), cdf_(std::move(cdf)) {}
+
+  std::vector<double> probs_;
+  std::vector<double> cdf_;
+};
+
+/// Walker/Vose alias method: O(n) construction, O(1) per sample.
+/// Preferred when many samples are drawn from the same row.
+class AliasSampler {
+ public:
+  /// Creates a sampler over {0, ..., weights.size()-1}.  Same validity
+  /// requirements as DiscreteSampler.
+  static Result<AliasSampler> Create(const std::vector<double>& weights);
+
+  /// Draws one index.
+  size_t Sample(Xoshiro256& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  AliasSampler(std::vector<double> prob, std::vector<uint32_t> alias)
+      : prob_(std::move(prob)), alias_(std::move(alias)) {}
+
+  std::vector<double> prob_;     // acceptance probability per bucket
+  std::vector<uint32_t> alias_;  // fallback index per bucket
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_RNG_DISTRIBUTIONS_H_

@@ -1,0 +1,53 @@
+#include "rng/engine.h"
+
+#ifdef __SIZEOF_INT128__
+using geopriv_uint128 = unsigned __int128;
+#endif
+
+namespace geopriv {
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+#ifdef __SIZEOF_INT128__
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  geopriv_uint128 m = static_cast<geopriv_uint128>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<geopriv_uint128>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+#else
+  // Classic rejection sampling fallback.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+#endif
+}
+
+void Xoshiro256::Jump() {
+  static constexpr uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      Next();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+}  // namespace geopriv

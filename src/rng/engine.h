@@ -1,0 +1,94 @@
+// Deterministic pseudo-random engines.
+//
+// The library needs reproducible randomness for tests, benches and the
+// release algorithms (Algorithm 1 of the paper samples repeatedly).  We
+// implement SplitMix64 (seeding / stream splitting) and Xoshiro256++ (the
+// workhorse generator) from their public-domain reference definitions, so
+// that no behavior depends on the standard library's unspecified engines.
+
+#ifndef GEOPRIV_RNG_ENGINE_H_
+#define GEOPRIV_RNG_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace geopriv {
+
+/// SplitMix64: a tiny 64-bit generator used to expand seeds.
+/// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256++ 1.0 by Blackman & Vigna: fast, high-quality, 256-bit state.
+/// Satisfies the UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the 256-bit state by expanding `seed` through SplitMix64.
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0 (safe for log()).
+  double NextDoublePositive() {
+    return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Jump function: advances the state by 2^128 steps, equivalent to
+  /// generating 2^128 outputs.  Used to create non-overlapping streams.
+  void Jump();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_RNG_ENGINE_H_

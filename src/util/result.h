@@ -1,0 +1,71 @@
+// Result<T>: value-or-Status, the library's equivalent of StatusOr/expected.
+
+#ifndef GEOPRIV_UTIL_RESULT_H_
+#define GEOPRIV_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace geopriv {
+
+/// Holds either a value of type `T` or a non-OK Status explaining why the
+/// value could not be produced.  Accessing the value of a failed Result is a
+/// programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value.  Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a failed Result; otherwise binds the value.
+#define GEOPRIV_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto GEOPRIV_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!GEOPRIV_CONCAT_(_res_, __LINE__).ok())          \
+    return GEOPRIV_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(GEOPRIV_CONCAT_(_res_, __LINE__)).value()
+
+#define GEOPRIV_CONCAT_INNER_(a, b) a##b
+#define GEOPRIV_CONCAT_(a, b) GEOPRIV_CONCAT_INNER_(a, b)
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_UTIL_RESULT_H_

@@ -1,0 +1,109 @@
+// Status: lightweight error propagation for the geopriv library.
+//
+// Modeled on the RocksDB/Arrow convention: functions that can fail return a
+// Status (or a Result<T>, see result.h) instead of throwing.  A Status is
+// cheap to copy and carries an error code plus a human-readable message.
+
+#ifndef GEOPRIV_UTIL_STATUS_H_
+#define GEOPRIV_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace geopriv {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller supplied a malformed input
+  kFailedPrecondition,///< object state does not permit the operation
+  kOutOfRange,        ///< index or parameter outside its legal interval
+  kNotFound,          ///< requested entity does not exist
+  kInfeasible,        ///< optimization problem has no feasible point
+  kUnbounded,         ///< optimization objective is unbounded below
+  kNumericalError,    ///< numerical breakdown (singular matrix, overflow...)
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail.  Immutable after construction.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Named constructors -----------------------------------------------------
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// Predicates --------------------------------------------------------------
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  bool IsUnbounded() const { return code_ == StatusCode::kUnbounded; }
+  bool IsNumericalError() const {
+    return code_ == StatusCode::kNumericalError;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a failed Status to the caller; evaluates `expr` exactly once.
+#define GEOPRIV_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::geopriv::Status _geopriv_status = (expr);       \
+    if (!_geopriv_status.ok()) return _geopriv_status; \
+  } while (0)
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Stopwatch: monotonic wall-clock timer used by benches and examples.
+
+#ifndef GEOPRIV_UTIL_STOPWATCH_H_
+#define GEOPRIV_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace geopriv {
+
+/// Measures elapsed wall time from construction (or the last Reset).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_UTIL_STOPWATCH_H_

@@ -1,0 +1,47 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace geopriv {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return std::string(buf);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatMatrix(const std::vector<double>& data, int rows, int cols,
+                         int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(data.size());
+  size_t width = 0;
+  for (double v : data) {
+    cells.push_back(FormatDouble(v, precision));
+    width = std::max(width, cells.back().size());
+  }
+  std::string out;
+  for (int i = 0; i < rows; ++i) {
+    out += "[ ";
+    for (int j = 0; j < cols; ++j) {
+      const std::string& cell = cells[static_cast<size_t>(i) * cols + j];
+      out.append(width - cell.size(), ' ');
+      out += cell;
+      if (j + 1 < cols) out += "  ";
+    }
+    out += " ]\n";
+  }
+  return out;
+}
+
+}  // namespace geopriv

@@ -1,0 +1,25 @@
+// Small string helpers shared by the library, tests and benches.
+
+#ifndef GEOPRIV_UTIL_STRING_UTIL_H_
+#define GEOPRIV_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace geopriv {
+
+/// Formats `value` with `precision` significant digits (shortest form).
+std::string FormatDouble(double value, int precision = 6);
+
+/// Joins `parts` with `sep` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Renders a row-major matrix as an aligned text table for terminal output.
+/// `rows` x `cols` must match `data.size()`.
+std::string FormatMatrix(const std::vector<double>& data, int rows, int cols,
+                         int precision = 4);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_UTIL_STRING_UTIL_H_

@@ -1,0 +1,92 @@
+// Tests for privacy accounting: sequential vs chained composition, and
+// the numerical verification of Lemma 4's guarantee.
+
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "core/derivability.h"
+#include "core/geometric.h"
+
+namespace geopriv {
+namespace {
+
+TEST(AccountingTest, SequentialCompositionMultiplies) {
+  auto level = ComposeSequential({0.5, 0.5});
+  ASSERT_TRUE(level.ok());
+  EXPECT_DOUBLE_EQ(*level, 0.25);
+  EXPECT_DOUBLE_EQ(*ComposeSequential({0.9}), 0.9);
+  EXPECT_DOUBLE_EQ(*ComposeSequential({0.5, 0.4, 1.0}), 0.2);
+  EXPECT_FALSE(ComposeSequential({}).ok());
+  EXPECT_FALSE(ComposeSequential({1.5}).ok());
+}
+
+TEST(AccountingTest, ChainedCompositionTakesTheMin) {
+  auto level = ComposeChained({0.3, 0.6, 0.9});
+  ASSERT_TRUE(level.ok());
+  EXPECT_DOUBLE_EQ(*level, 0.3);
+  EXPECT_FALSE(ComposeChained({}).ok());
+  EXPECT_FALSE(ComposeChained({-0.1}).ok());
+}
+
+TEST(AccountingTest, IndependentJointDegradesToTheProduct) {
+  // Two independent geometric releases at alpha each: the joint law is
+  // only alpha^2-DP — the quantitative privacy leak of re-randomizing.
+  const int n = 5;
+  const double alpha = 0.6;
+  auto y = GeometricMechanism::Create(n, alpha)->ToMechanism();
+  ASSERT_TRUE(y.ok());
+  auto joint = IndependentJointMatrix(*y, *y);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_NEAR(StrongestJointAlpha(*joint), alpha * alpha, 1e-9);
+}
+
+TEST(AccountingTest, ChainedJointKeepsTheFirstLevel) {
+  // Lemma 4 numerically: chaining through T_{alpha,beta} keeps the joint
+  // at the first (strongest-utility) level alpha, not alpha*beta.
+  const int n = 5;
+  const double alpha = 0.4, beta = 0.7;
+  auto y1 = GeometricMechanism::Create(n, alpha)->ToMechanism();
+  ASSERT_TRUE(y1.ok());
+  auto t = PrivacyTransition(n, alpha, beta);
+  ASSERT_TRUE(t.ok());
+  auto joint = ChainedJointMatrix(*y1, *t);
+  ASSERT_TRUE(joint.ok());
+  double joint_alpha = StrongestJointAlpha(*joint);
+  EXPECT_NEAR(joint_alpha, alpha, 1e-6);
+  // Strictly better than what independent releases would give.
+  EXPECT_GT(joint_alpha, alpha * beta + 0.05);
+}
+
+TEST(AccountingTest, JointMatrixShapesAndErrors) {
+  auto y5 = GeometricMechanism::Create(5, 0.5)->ToMechanism();
+  auto y3 = GeometricMechanism::Create(3, 0.5)->ToMechanism();
+  ASSERT_TRUE(y5.ok() && y3.ok());
+  EXPECT_FALSE(IndependentJointMatrix(*y5, *y3).ok());
+  auto joint = IndependentJointMatrix(*y5, *y5);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->rows(), 6u);
+  EXPECT_EQ(joint->cols(), 36u);
+  Matrix bad_t(6, 6);  // all-zero, not stochastic
+  EXPECT_FALSE(ChainedJointMatrix(*y5, bad_t).ok());
+  Matrix wrong_shape = Matrix::Identity(4);
+  EXPECT_FALSE(ChainedJointMatrix(*y5, wrong_shape).ok());
+}
+
+TEST(AccountingTest, PostProcessingPreservesLevelExactly) {
+  // Definition 3 transformations never change the guarantee: the induced
+  // mechanism of any stochastic T is still alpha-DP with the same
+  // strongest level (for the geometric deployment, exactly alpha).
+  const int n = 6;
+  const double alpha = 0.5;
+  auto y = GeometricMechanism::Create(n, alpha)->ToMechanism();
+  ASSERT_TRUE(y.ok());
+  auto t = PrivacyTransition(n, alpha, 0.8);
+  ASSERT_TRUE(t.ok());
+  auto induced = y->ApplyInteraction(*t);
+  ASSERT_TRUE(induced.ok());
+  // Post-processing to G_{0.8}: strongest alpha becomes 0.8 >= 0.5.
+  EXPECT_GE(StrongestJointAlpha(induced->matrix()), alpha - 1e-9);
+}
+
+}  // namespace
+}  // namespace geopriv

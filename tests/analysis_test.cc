@@ -1,0 +1,99 @@
+// Tests for the mechanism-analysis module.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "core/geometric.h"
+
+namespace geopriv {
+namespace {
+
+TEST(AnalysisTest, IdentityMechanismHasPerfectStats) {
+  Mechanism id = Mechanism::Identity(4);
+  auto stats = ComputeRowErrorStats(id);
+  ASSERT_EQ(stats.size(), 5u);
+  for (const RowErrorStats& row : stats) {
+    EXPECT_DOUBLE_EQ(row.mean_error, 0.0);
+    EXPECT_DOUBLE_EQ(row.mean_abs_error, 0.0);
+    EXPECT_DOUBLE_EQ(row.mean_sq_error, 0.0);
+    EXPECT_DOUBLE_EQ(row.prob_exact, 1.0);
+  }
+  MechanismSummary summary = Summarize(id);
+  EXPECT_DOUBLE_EQ(summary.worst_mean_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(summary.worst_prob_error, 0.0);
+  EXPECT_DOUBLE_EQ(summary.strongest_alpha, 0.0);
+}
+
+TEST(AnalysisTest, UniformMechanismStats) {
+  Mechanism uni = Mechanism::Uniform(2);
+  auto stats = ComputeRowErrorStats(uni);
+  // Input 0: errors {0, 1, 2} each with prob 1/3.
+  EXPECT_NEAR(stats[0].mean_error, 1.0, 1e-12);
+  EXPECT_NEAR(stats[0].mean_abs_error, 1.0, 1e-12);
+  EXPECT_NEAR(stats[0].mean_sq_error, 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats[0].prob_exact, 1.0 / 3.0, 1e-12);
+  // Input 1 is unbiased by symmetry.
+  EXPECT_NEAR(stats[1].mean_error, 0.0, 1e-12);
+  MechanismSummary summary = Summarize(uni);
+  EXPECT_NEAR(summary.worst_prob_error, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(summary.strongest_alpha, 1.0, 1e-12);
+}
+
+TEST(AnalysisTest, GeometricBiasOnlyAtBoundary) {
+  // The range-restricted geometric mechanism clamps, so interior inputs
+  // are unbiased while boundary inputs are biased inward.
+  auto geo = *GeometricMechanism::Create(10, 0.5)->ToMechanism();
+  auto stats = ComputeRowErrorStats(geo);
+  EXPECT_GT(stats[0].mean_error, 0.1);    // pushed up from 0
+  EXPECT_LT(stats[10].mean_error, -0.1);  // pushed down from n
+  EXPECT_NEAR(stats[5].mean_error, 0.0, 1e-9);
+}
+
+TEST(AnalysisTest, TradeoffCurveIsMonotone) {
+  // More privacy (larger alpha) can only increase minimax loss.
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(6));
+  ASSERT_TRUE(consumer.ok());
+  auto curve =
+      GeometricTradeoffCurve(*consumer, {0.1, 0.3, 0.5, 0.7, 0.9});
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 5u);
+  for (size_t k = 1; k < curve->size(); ++k) {
+    EXPECT_GE((*curve)[k].loss, (*curve)[k - 1].loss - 1e-7)
+        << "alpha=" << (*curve)[k].alpha;
+  }
+  // Extremes: near-zero loss at alpha -> 0.
+  EXPECT_LT((*curve)[0].loss, 0.3);
+}
+
+TEST(AnalysisTest, PostProcessingRegretNonNegative) {
+  auto consumer = MinimaxConsumer::Create(LossFunction::SquaredError(),
+                                          *SideInformation::Interval(2, 6, 6));
+  ASSERT_TRUE(consumer.ok());
+  auto geo = *GeometricMechanism::Create(6, 0.5)->ToMechanism();
+  auto regret = PostProcessingRegret(geo, *consumer);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_GT(*regret, 0.0);  // side information makes remapping valuable
+
+  // A consumer with no side information and symmetric loss still gains
+  // nothing or little, but regret is never negative.
+  auto plain = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                       SideInformation::All(6));
+  ASSERT_TRUE(plain.ok());
+  auto regret2 = PostProcessingRegret(geo, *plain);
+  ASSERT_TRUE(regret2.ok());
+  EXPECT_GE(*regret2, -1e-9);
+}
+
+TEST(AnalysisTest, FormatRowErrorStatsContainsColumns) {
+  auto geo = *GeometricMechanism::Create(3, 0.5)->ToMechanism();
+  std::string table = FormatRowErrorStats(ComputeRowErrorStats(geo));
+  EXPECT_NE(table.find("bias"), std::string::npos);
+  EXPECT_NE(table.find("Pr[exact]"), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 5);  // header + 4
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,127 @@
+// Tests for the baseline mechanisms (discretized Laplace, randomized
+// response) and their relationship to the geometric mechanism.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/consumer.h"
+#include "core/derivability.h"
+#include "core/geometric.h"
+#include "core/optimal.h"
+#include "core/privacy.h"
+
+namespace geopriv {
+namespace {
+
+TEST(LaplaceBaselineTest, ValidatesArguments) {
+  EXPECT_FALSE(DiscretizedLaplaceMechanism(-1, 0.5).ok());
+  EXPECT_FALSE(DiscretizedLaplaceMechanism(3, 0.0).ok());
+  EXPECT_FALSE(DiscretizedLaplaceMechanism(3, 1.0).ok());
+  EXPECT_TRUE(DiscretizedLaplaceMechanism(3, 0.5).ok());
+}
+
+TEST(LaplaceBaselineTest, IsRowStochasticAndPrivate) {
+  for (int n : {1, 4, 10}) {
+    for (double alpha : {0.2, 0.5, 0.8}) {
+      auto m = DiscretizedLaplaceMechanism(n, alpha);
+      ASSERT_TRUE(m.ok()) << "n=" << n << " alpha=" << alpha;
+      EXPECT_TRUE(m->matrix().IsRowStochastic(1e-9));
+      auto dp = CheckDifferentialPrivacy(*m, alpha, 1e-9);
+      ASSERT_TRUE(dp.ok());
+      EXPECT_TRUE(dp->is_private) << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(LaplaceBaselineTest, ConcentratesAroundTruth) {
+  auto m = DiscretizedLaplaceMechanism(10, 0.3);
+  ASSERT_TRUE(m.ok());
+  for (int i = 1; i < 10; ++i) {
+    double at_truth = m->Probability(i, i);
+    for (int r = 0; r <= 10; ++r) {
+      if (r == i) continue;
+      EXPECT_GE(at_truth, m->Probability(i, r)) << "i=" << i << " r=" << r;
+    }
+  }
+}
+
+TEST(RandomizedResponseTest, ValidatesArguments) {
+  EXPECT_FALSE(RandomizedResponseMechanism(0, 0.5).ok());
+  EXPECT_FALSE(RandomizedResponseMechanism(3, 0.0).ok());
+  EXPECT_FALSE(RandomizedResponseMechanism(3, 1.0).ok());
+  EXPECT_TRUE(RandomizedResponseMechanism(3, 0.5).ok());
+}
+
+TEST(RandomizedResponseTest, IsExactlyAlphaPrivate) {
+  for (int n : {2, 5, 9}) {
+    for (double alpha : {0.25, 0.5, 0.75}) {
+      auto m = RandomizedResponseMechanism(n, alpha);
+      ASSERT_TRUE(m.ok());
+      EXPECT_TRUE(m->matrix().IsRowStochastic(1e-9));
+      EXPECT_NEAR(StrongestAlpha(*m), alpha, 1e-9)
+          << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(RandomizedResponseTest, NotDerivableFromGeometric) {
+  // Randomized response is a DP mechanism that the geometric mechanism
+  // cannot induce: its columns are flat with one bump, so the three-entry
+  // condition fails at the bump for reasonable n and alpha.
+  auto m = RandomizedResponseMechanism(6, 0.5);
+  ASSERT_TRUE(m.ok());
+  auto verdict = CheckDerivability(*m, 0.5);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(verdict->derivable);
+}
+
+TEST(BaselineComparisonTest, GeometricWeaklyBeatsBaselinesAfterInteraction) {
+  // The quantitative content of universal optimality: for every consumer,
+  // the optimally post-processed geometric mechanism is at least as good
+  // as the optimally post-processed Laplace / randomized-response
+  // deployments at the same privacy level.
+  const int n = 6;
+  const double alpha = 0.5;
+  auto geo = GeometricMechanism::Create(n, alpha)->ToMechanism();
+  auto lap = DiscretizedLaplaceMechanism(n, alpha);
+  auto rr = RandomizedResponseMechanism(n, alpha);
+  ASSERT_TRUE(geo.ok() && lap.ok() && rr.ok());
+
+  for (const LossFunction& loss :
+       {LossFunction::AbsoluteError(), LossFunction::SquaredError(),
+        LossFunction::ZeroOne()}) {
+    for (int lo : {0, 2}) {
+      auto consumer = MinimaxConsumer::Create(
+          loss, *SideInformation::Interval(lo, n, n));
+      ASSERT_TRUE(consumer.ok());
+      auto from_geo = SolveOptimalInteraction(*geo, *consumer);
+      auto from_lap = SolveOptimalInteraction(*lap, *consumer);
+      auto from_rr = SolveOptimalInteraction(*rr, *consumer);
+      ASSERT_TRUE(from_geo.ok() && from_lap.ok() && from_rr.ok());
+      EXPECT_LE(from_geo->loss, from_lap->loss + 1e-6)
+          << loss.name() << " lo=" << lo;
+      EXPECT_LE(from_geo->loss, from_rr->loss + 1e-6)
+          << loss.name() << " lo=" << lo;
+    }
+  }
+}
+
+TEST(BaselineComparisonTest, RandomizedResponseStrictlyWorseForSomeone) {
+  // Universality is non-trivial: there exists a consumer for whom the
+  // baseline is strictly worse than the geometric deployment.
+  const int n = 6;
+  const double alpha = 0.5;
+  auto geo = GeometricMechanism::Create(n, alpha)->ToMechanism();
+  auto rr = RandomizedResponseMechanism(n, alpha);
+  ASSERT_TRUE(geo.ok() && rr.ok());
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(n));
+  ASSERT_TRUE(consumer.ok());
+  auto from_geo = SolveOptimalInteraction(*geo, *consumer);
+  auto from_rr = SolveOptimalInteraction(*rr, *consumer);
+  ASSERT_TRUE(from_geo.ok() && from_rr.ok());
+  EXPECT_LT(from_geo->loss, from_rr->loss - 1e-3);
+}
+
+}  // namespace
+}  // namespace geopriv

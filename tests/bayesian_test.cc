@@ -1,0 +1,153 @@
+// Tests for the Bayesian-consumer baseline (Section 2.7 / Ghosh et al.).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bayesian.h"
+#include "core/geometric.h"
+#include "core/privacy.h"
+
+namespace geopriv {
+namespace {
+
+TEST(BayesianConsumerTest, CreateValidatesPrior) {
+  LossFunction l = LossFunction::AbsoluteError();
+  EXPECT_FALSE(BayesianConsumer::Create(l, {}).ok());
+  EXPECT_FALSE(BayesianConsumer::Create(l, {0.5, 0.4}).ok());  // sums to .9
+  EXPECT_FALSE(BayesianConsumer::Create(l, {1.5, -0.5}).ok());
+  EXPECT_TRUE(BayesianConsumer::Create(l, {0.25, 0.75}).ok());
+  auto uniform = BayesianConsumer::WithUniformPrior(l, 4);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_EQ(uniform->n(), 4);
+  EXPECT_DOUBLE_EQ(uniform->prior()[2], 0.2);
+}
+
+TEST(BayesianConsumerTest, ExpectedLossOfUniformMechanism) {
+  auto c =
+      BayesianConsumer::WithUniformPrior(LossFunction::AbsoluteError(), 2);
+  ASSERT_TRUE(c.ok());
+  // Uniform mechanism over {0,1,2}: E loss = mean over i of mean |i-r|
+  // = (1 + 2/3 + 1)/3 = 8/9.
+  EXPECT_NEAR(*c->ExpectedLoss(Mechanism::Uniform(2)), 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(*c->ExpectedLoss(Mechanism::Identity(2)), 0.0, 1e-15);
+  EXPECT_FALSE(c->ExpectedLoss(Mechanism::Uniform(3)).ok());
+}
+
+TEST(BayesianConsumerTest, OptimalRemapIsBayesDecision) {
+  // Point-mass prior at 3: every observation should be remapped to 3.
+  std::vector<double> prior(5, 0.0);
+  prior[3] = 1.0;
+  auto c = BayesianConsumer::Create(LossFunction::SquaredError(), prior);
+  ASSERT_TRUE(c.ok());
+  auto geo = GeometricMechanism::Create(4, 0.5);
+  auto deployed = geo->ToMechanism();
+  ASSERT_TRUE(deployed.ok());
+  auto remap = c->OptimalRemap(*deployed);
+  ASSERT_TRUE(remap.ok());
+  for (int r = 0; r <= 4; ++r) EXPECT_EQ((*remap)[static_cast<size_t>(r)], 3);
+  EXPECT_NEAR(*c->LossAfterOptimalRemap(*deployed), 0.0, 1e-12);
+}
+
+TEST(BayesianConsumerTest, RemapNeverHurts) {
+  auto c =
+      BayesianConsumer::WithUniformPrior(LossFunction::SquaredError(), 6);
+  ASSERT_TRUE(c.ok());
+  for (double alpha : {0.2, 0.5, 0.8}) {
+    auto geo = GeometricMechanism::Create(6, alpha);
+    auto deployed = geo->ToMechanism();
+    ASSERT_TRUE(deployed.ok());
+    EXPECT_LE(*c->LossAfterOptimalRemap(*deployed),
+              *c->ExpectedLoss(*deployed) + 1e-12)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(BayesianConsumerTest, RemapToInteractionIsDeterministicStochastic) {
+  Matrix t = BayesianConsumer::RemapToInteraction({2, 2, 0});
+  EXPECT_TRUE(t.IsRowStochastic());
+  EXPECT_DOUBLE_EQ(t.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 1), 0.0);
+}
+
+TEST(OptimalBayesianMechanismTest, ValidatesArguments) {
+  auto c =
+      BayesianConsumer::WithUniformPrior(LossFunction::AbsoluteError(), 3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(SolveOptimalBayesianMechanism(-1, 0.5, *c).ok());
+  EXPECT_FALSE(SolveOptimalBayesianMechanism(3, 2.0, *c).ok());
+  EXPECT_FALSE(SolveOptimalBayesianMechanism(4, 0.5, *c).ok());
+}
+
+TEST(OptimalBayesianMechanismTest, ResultIsPrivateAndConsistent) {
+  auto c =
+      BayesianConsumer::WithUniformPrior(LossFunction::AbsoluteError(), 4);
+  ASSERT_TRUE(c.ok());
+  auto result = SolveOptimalBayesianMechanism(4, 0.4, *c);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto dp = CheckDifferentialPrivacy(result->mechanism, 0.4, 1e-6);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_TRUE(dp->is_private);
+  EXPECT_NEAR(*c->ExpectedLoss(result->mechanism), result->loss, 1e-6);
+}
+
+// Ghosh et al.'s headline, reproduced in our framework: deterministic
+// post-processing of the geometric mechanism matches the per-consumer
+// optimal Bayesian mechanism.
+struct BayesianCase {
+  int n;
+  double alpha;
+  bool uniform_prior;
+};
+
+class BayesianUniversalityTest
+    : public ::testing::TestWithParam<BayesianCase> {};
+
+TEST_P(BayesianUniversalityTest, GeometricPlusRemapMatchesLpOptimum) {
+  const BayesianCase& tc = GetParam();
+  std::vector<double> prior(static_cast<size_t>(tc.n) + 1);
+  if (tc.uniform_prior) {
+    for (double& p : prior) p = 1.0 / (tc.n + 1.0);
+  } else {
+    // A peaked but full-support prior.
+    double total = 0.0;
+    for (int i = 0; i <= tc.n; ++i) {
+      prior[static_cast<size_t>(i)] = 1.0 + std::min(i, tc.n - i);
+      total += prior[static_cast<size_t>(i)];
+    }
+    for (double& p : prior) p /= total;
+  }
+  auto c = BayesianConsumer::Create(LossFunction::AbsoluteError(), prior);
+  ASSERT_TRUE(c.ok());
+
+  auto lp = SolveOptimalBayesianMechanism(tc.n, tc.alpha, *c);
+  ASSERT_TRUE(lp.ok()) << lp.status().ToString();
+
+  auto geo = GeometricMechanism::Create(tc.n, tc.alpha);
+  auto deployed = geo->ToMechanism();
+  ASSERT_TRUE(deployed.ok());
+  double remap_loss = *c->LossAfterOptimalRemap(*deployed);
+
+  EXPECT_NEAR(remap_loss, lp->loss, 1e-5)
+      << "n=" << tc.n << " alpha=" << tc.alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BayesianUniversalityTest,
+    ::testing::Values(BayesianCase{3, 0.25, true},
+                      BayesianCase{3, 0.25, false},
+                      BayesianCase{5, 0.5, true},
+                      BayesianCase{5, 0.5, false},
+                      BayesianCase{8, 0.3, true},
+                      BayesianCase{8, 0.7, false},
+                      BayesianCase{10, 0.5, true}),
+    [](const ::testing::TestParamInfo<BayesianCase>& info) {
+      const BayesianCase& c = info.param;
+      return "n" + std::to_string(c.n) + "_a" +
+             std::to_string(static_cast<int>(c.alpha * 100)) +
+             (c.uniform_prior ? "_uniform" : "_peaked");
+    });
+
+}  // namespace
+}  // namespace geopriv

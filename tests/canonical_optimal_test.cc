@@ -1,0 +1,97 @@
+// Tests for the Lemma 5 construction: the lexicographically canonical
+// optimal mechanism is derivable from the geometric mechanism even when
+// an arbitrary LP-optimal vertex is not.
+
+#include <gtest/gtest.h>
+
+#include "core/derivability.h"
+#include "core/optimal.h"
+
+namespace geopriv {
+namespace {
+
+TEST(CanonicalOptimalTest, MatchesPlainOptimalLoss) {
+  const int n = 6;
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(n));
+  ASSERT_TRUE(consumer.ok());
+  auto plain = SolveOptimalMechanism(n, 0.5, *consumer);
+  auto canonical = SolveCanonicalOptimalMechanism(n, 0.5, *consumer);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  EXPECT_NEAR(canonical->loss, plain->loss, 1e-5);
+}
+
+struct CanonicalCase {
+  int n;
+  double alpha;
+  int lo;
+  int hi;
+};
+
+class CanonicalDerivabilityTest
+    : public ::testing::TestWithParam<CanonicalCase> {};
+
+TEST_P(CanonicalDerivabilityTest, CanonicalOptimumIsDerivable) {
+  // These side-information-restricted instances are exactly the ones
+  // where the plain LP returns non-derivable optimal vertices (see
+  // integration_test.cc); the Lemma 5 refinement must fix that.
+  const CanonicalCase& tc = GetParam();
+  auto consumer = MinimaxConsumer::Create(
+      LossFunction::AbsoluteError(),
+      *SideInformation::Interval(tc.lo, tc.hi, tc.n));
+  ASSERT_TRUE(consumer.ok());
+  auto canonical =
+      SolveCanonicalOptimalMechanism(tc.n, tc.alpha, *consumer);
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  auto verdict =
+      CheckDerivability(canonical->mechanism, tc.alpha, /*tol=*/1e-5);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->derivable)
+      << "violated at column " << verdict->column << " row "
+      << verdict->row << " slack " << verdict->slack;
+  auto factor = DeriveInteraction(canonical->mechanism, tc.alpha, 1e-4);
+  EXPECT_TRUE(factor.ok()) << factor.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CanonicalDerivabilityTest,
+    ::testing::Values(CanonicalCase{6, 0.25, 2, 6},
+                      CanonicalCase{6, 0.5, 2, 6},
+                      CanonicalCase{6, 0.75, 2, 6},
+                      CanonicalCase{6, 0.5, 0, 6},
+                      CanonicalCase{5, 0.4, 1, 3},
+                      CanonicalCase{8, 0.6, 3, 8}),
+    [](const ::testing::TestParamInfo<CanonicalCase>& info) {
+      const CanonicalCase& c = info.param;
+      return "n" + std::to_string(c.n) + "_a" +
+             std::to_string(static_cast<int>(c.alpha * 100)) + "_S" +
+             std::to_string(c.lo) + "to" + std::to_string(c.hi);
+    });
+
+TEST(CanonicalOptimalTest, SecondaryObjectiveActuallyImproves) {
+  // With restricted S the plain vertex wastes probability mass far from
+  // the diagonal on rows outside S; the canonical mechanism must have a
+  // (weakly) smaller total |i-r| mass.
+  const int n = 6;
+  auto consumer = MinimaxConsumer::Create(
+      LossFunction::AbsoluteError(), *SideInformation::Interval(2, n, n));
+  ASSERT_TRUE(consumer.ok());
+  auto plain = SolveOptimalMechanism(n, 0.5, *consumer);
+  auto canonical = SolveCanonicalOptimalMechanism(n, 0.5, *consumer);
+  ASSERT_TRUE(plain.ok() && canonical.ok());
+  auto lprime = [n](const Mechanism& m) {
+    double acc = 0.0;
+    for (int i = 0; i <= n; ++i) {
+      for (int r = 0; r <= n; ++r) {
+        acc += std::abs(i - r) * m.Probability(i, r);
+      }
+    }
+    return acc;
+  };
+  EXPECT_LE(lprime(canonical->mechanism),
+            lprime(plain->mechanism) + 1e-6);
+}
+
+}  // namespace
+}  // namespace geopriv

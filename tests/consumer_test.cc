@@ -1,0 +1,112 @@
+// Tests for side information and minimax consumers (Eq. 1).
+
+#include <gtest/gtest.h>
+
+#include "core/consumer.h"
+#include "core/loss.h"
+#include "core/mechanism.h"
+
+namespace geopriv {
+namespace {
+
+TEST(SideInformationTest, AllCoversRange) {
+  SideInformation s = SideInformation::All(4);
+  EXPECT_EQ(s.members().size(), 5u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_EQ(s.ToString(), "{0..4}");
+}
+
+TEST(SideInformationTest, IntervalValidates) {
+  auto s = SideInformation::Interval(2, 5, 8);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->Contains(2));
+  EXPECT_TRUE(s->Contains(5));
+  EXPECT_FALSE(s->Contains(1));
+  EXPECT_FALSE(s->Contains(6));
+  EXPECT_FALSE(SideInformation::Interval(-1, 5, 8).ok());
+  EXPECT_FALSE(SideInformation::Interval(3, 9, 8).ok());
+  EXPECT_FALSE(SideInformation::Interval(5, 3, 8).ok());
+}
+
+TEST(SideInformationTest, FromSetSortsAndDedupes) {
+  auto s = SideInformation::FromSet({5, 1, 3, 1}, 8);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->members(), (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(s->ToString(), "{1,3,5}");
+  EXPECT_FALSE(SideInformation::FromSet({}, 8).ok());
+  EXPECT_FALSE(SideInformation::FromSet({9}, 8).ok());
+  EXPECT_FALSE(SideInformation::FromSet({-1}, 8).ok());
+}
+
+TEST(MinimaxConsumerTest, CreateValidatesLoss) {
+  LossFunction bad = LossFunction::FromFunction(
+      "bad", [](int i, int r) { return -std::abs(i - r); });
+  EXPECT_FALSE(
+      MinimaxConsumer::Create(bad, SideInformation::All(3)).ok());
+  EXPECT_TRUE(MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                      SideInformation::All(3))
+                  .ok());
+}
+
+TEST(MinimaxConsumerTest, ExpectedLossAtRow) {
+  // Uniform mechanism on {0..2} with absolute loss at i=0:
+  // (0 + 1 + 2)/3 = 1.
+  auto c = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                   SideInformation::All(2));
+  ASSERT_TRUE(c.ok());
+  Mechanism uni = Mechanism::Uniform(2);
+  EXPECT_NEAR(*c->ExpectedLossAt(uni, 0), 1.0, 1e-12);
+  EXPECT_NEAR(*c->ExpectedLossAt(uni, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_FALSE(c->ExpectedLossAt(uni, 5).ok());
+}
+
+TEST(MinimaxConsumerTest, WorstCaseOverSideInformation) {
+  auto all = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                     SideInformation::All(2));
+  ASSERT_TRUE(all.ok());
+  Mechanism uni = Mechanism::Uniform(2);
+  // Worst row is i=0 or i=2 with loss 1; middle row has 2/3.
+  EXPECT_NEAR(*all->WorstCaseLoss(uni), 1.0, 1e-12);
+
+  auto middle_only = MinimaxConsumer::Create(
+      LossFunction::AbsoluteError(), *SideInformation::FromSet({1}, 2));
+  ASSERT_TRUE(middle_only.ok());
+  EXPECT_NEAR(*middle_only->WorstCaseLoss(uni), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MinimaxConsumerTest, SideInformationNeverHurts) {
+  // Shrinking S can only lower (or keep) the minimax loss.
+  Mechanism uni = Mechanism::Uniform(5);
+  auto full = MinimaxConsumer::Create(LossFunction::SquaredError(),
+                                      SideInformation::All(5));
+  ASSERT_TRUE(full.ok());
+  double full_loss = *full->WorstCaseLoss(uni);
+  for (int lo = 0; lo <= 5; ++lo) {
+    for (int hi = lo; hi <= 5; ++hi) {
+      auto sub = MinimaxConsumer::Create(
+          LossFunction::SquaredError(),
+          *SideInformation::Interval(lo, hi, 5));
+      ASSERT_TRUE(sub.ok());
+      EXPECT_LE(*sub->WorstCaseLoss(uni), full_loss + 1e-12);
+    }
+  }
+}
+
+TEST(MinimaxConsumerTest, IdentityMechanismHasZeroLoss) {
+  auto c = MinimaxConsumer::Create(LossFunction::SquaredError(),
+                                   SideInformation::All(4));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c->WorstCaseLoss(Mechanism::Identity(4)), 0.0, 1e-15);
+}
+
+TEST(MinimaxConsumerTest, MechanismSizeMismatchFails) {
+  auto c = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                   SideInformation::All(3));
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->WorstCaseLoss(Mechanism::Uniform(4)).ok());
+}
+
+}  // namespace
+}  // namespace geopriv

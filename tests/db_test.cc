@@ -1,0 +1,211 @@
+// Tests for the database substrate: schemas, predicates, count queries,
+// the neighbor relation, and the synthetic population generator.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/synthetic.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      {"city", Column::Type::kString},
+      {"age", Column::Type::kInt},
+      {"has_flu", Column::Type::kBool},
+  });
+}
+
+TEST(SchemaTest, IndexOfFindsColumns) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(*schema.IndexOf("city"), 0u);
+  EXPECT_EQ(*schema.IndexOf("has_flu"), 2u);
+  EXPECT_FALSE(schema.IndexOf("missing").ok());
+}
+
+TEST(SchemaTest, ValidateRowChecksArityAndTypes) {
+  Schema schema = TestSchema();
+  EXPECT_TRUE(
+      schema.ValidateRow({std::string("SD"), int64_t{30}, true}).ok());
+  EXPECT_FALSE(schema.ValidateRow({std::string("SD"), int64_t{30}}).ok());
+  EXPECT_FALSE(
+      schema.ValidateRow({std::string("SD"), 30.0, true}).ok());  // double
+  EXPECT_FALSE(
+      schema.ValidateRow({int64_t{1}, int64_t{30}, true}).ok());
+}
+
+TEST(TableTest, AppendValidates) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.Append({std::string("SD"), int64_t{40}, false}).ok());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.Append({std::string("SD")}).ok());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, ReplaceIsTheNeighborOperation) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Append({std::string("SD"), int64_t{40}, false}).ok());
+  EXPECT_TRUE(t.Replace(0, {std::string("SD"), int64_t{40}, true}).ok());
+  EXPECT_EQ(std::get<bool>(t.row(0)[2]), true);
+  EXPECT_FALSE(t.Replace(5, {std::string("SD"), int64_t{40}, true}).ok());
+  EXPECT_FALSE(t.Replace(0, {std::string("SD")}).ok());
+}
+
+TEST(PredicateTest, EqualsAndBooleanAlgebra) {
+  Schema schema = TestSchema();
+  Row sd_flu = {std::string("San Diego"), int64_t{30}, true};
+  Row sd_healthy = {std::string("San Diego"), int64_t{30}, false};
+  Row la_flu = {std::string("LA"), int64_t{30}, true};
+
+  Predicate sd = Predicate::Equals("city", std::string("San Diego"));
+  Predicate flu = Predicate::Equals("has_flu", true);
+  EXPECT_TRUE(*sd.Evaluate(schema, sd_flu));
+  EXPECT_FALSE(*sd.Evaluate(schema, la_flu));
+
+  Predicate both = sd && flu;
+  EXPECT_TRUE(*both.Evaluate(schema, sd_flu));
+  EXPECT_FALSE(*both.Evaluate(schema, sd_healthy));
+  EXPECT_FALSE(*both.Evaluate(schema, la_flu));
+
+  Predicate either = sd || flu;
+  EXPECT_TRUE(*either.Evaluate(schema, la_flu));
+  EXPECT_TRUE(*either.Evaluate(schema, sd_healthy));
+
+  Predicate not_sd = !sd;
+  EXPECT_FALSE(*not_sd.Evaluate(schema, sd_flu));
+  EXPECT_TRUE(*not_sd.Evaluate(schema, la_flu));
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  Schema schema = TestSchema();
+  Row adult = {std::string("SD"), int64_t{20}, false};
+  Row minor = {std::string("SD"), int64_t{10}, false};
+  Predicate adult_p = Predicate::AtLeast("age", 18);
+  EXPECT_TRUE(*adult_p.Evaluate(schema, adult));
+  EXPECT_FALSE(*adult_p.Evaluate(schema, minor));
+  Predicate teen = Predicate::Between("age", 13, 19);
+  EXPECT_FALSE(*teen.Evaluate(schema, adult));
+  EXPECT_FALSE(*teen.Evaluate(schema, minor));
+  Row fifteen = {std::string("SD"), int64_t{15}, false};
+  EXPECT_TRUE(*teen.Evaluate(schema, fifteen));
+}
+
+TEST(PredicateTest, ErrorsOnMissingOrNonNumericField) {
+  Schema schema = TestSchema();
+  Row row = {std::string("SD"), int64_t{30}, true};
+  Predicate missing = Predicate::Equals("nope", int64_t{1});
+  EXPECT_FALSE(missing.Evaluate(schema, row).ok());
+  Predicate non_numeric = Predicate::AtLeast("city", 3.0);
+  EXPECT_FALSE(non_numeric.Evaluate(schema, row).ok());
+}
+
+TEST(PredicateTest, DescriptionIsHumanReadable) {
+  Predicate p = Predicate::Equals("city", std::string("SD")) &&
+                Predicate::AtLeast("age", 18);
+  EXPECT_NE(p.description().find("city"), std::string::npos);
+  EXPECT_NE(p.description().find("AND"), std::string::npos);
+}
+
+TEST(CountQueryTest, CountsMatchingRows) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Append({std::string("SD"), int64_t{30}, true}).ok());
+  ASSERT_TRUE(t.Append({std::string("SD"), int64_t{10}, true}).ok());
+  ASSERT_TRUE(t.Append({std::string("LA"), int64_t{40}, true}).ok());
+  ASSERT_TRUE(t.Append({std::string("SD"), int64_t{50}, false}).ok());
+  CountQuery q(Predicate::Equals("city", std::string("SD")) &&
+               Predicate::Equals("has_flu", true));
+  EXPECT_EQ(*q.Evaluate(t), 2);
+}
+
+TEST(CountQueryTest, SensitivityIsOne) {
+  // Changing one row changes the count by at most 1 — the property that
+  // justifies Definition 2.
+  Table t(TestSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        t.Append({std::string("SD"), int64_t{20 + i}, i % 2 == 0}).ok());
+  }
+  CountQuery q(Predicate::Equals("has_flu", true));
+  int64_t before = *q.Evaluate(t);
+  for (size_t idx = 0; idx < t.size(); ++idx) {
+    Table modified = t;
+    bool was_flu = std::get<bool>(t.row(idx)[2]);
+    ASSERT_TRUE(
+        modified.Replace(idx, {std::string("SD"), int64_t{99}, !was_flu})
+            .ok());
+    int64_t after = *q.Evaluate(modified);
+    EXPECT_LE(std::abs(after - before), 1);
+  }
+}
+
+TEST(NeighborsTest, DetectsSingleRowDifference) {
+  Table a(TestSchema());
+  ASSERT_TRUE(a.Append({std::string("SD"), int64_t{1}, true}).ok());
+  ASSERT_TRUE(a.Append({std::string("SD"), int64_t{2}, false}).ok());
+  Table b = a;
+  EXPECT_TRUE(*AreNeighbors(a, b));  // identical counts as differing in <= 1
+  ASSERT_TRUE(b.Replace(1, {std::string("LA"), int64_t{2}, false}).ok());
+  EXPECT_TRUE(*AreNeighbors(a, b));
+  ASSERT_TRUE(b.Replace(0, {std::string("LA"), int64_t{1}, true}).ok());
+  EXPECT_FALSE(*AreNeighbors(a, b));
+}
+
+TEST(NeighborsTest, SizeMismatchFails) {
+  Table a(TestSchema());
+  Table b(TestSchema());
+  ASSERT_TRUE(a.Append({std::string("SD"), int64_t{1}, true}).ok());
+  EXPECT_FALSE(AreNeighbors(a, b).ok());
+}
+
+TEST(SyntheticTest, GeneratesRequestedRows) {
+  SyntheticPopulationOptions options;
+  options.num_rows = 500;
+  Xoshiro256 rng(1);
+  auto table = GenerateSyntheticSurvey(options, rng);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 500u);
+}
+
+TEST(SyntheticTest, ValidatesOptions) {
+  Xoshiro256 rng(1);
+  SyntheticPopulationOptions bad;
+  bad.num_rows = -1;
+  EXPECT_FALSE(GenerateSyntheticSurvey(bad, rng).ok());
+  SyntheticPopulationOptions no_city;
+  no_city.cities.clear();
+  EXPECT_FALSE(GenerateSyntheticSurvey(no_city, rng).ok());
+  SyntheticPopulationOptions bad_p;
+  bad_p.adult_probability = 1.5;
+  EXPECT_FALSE(GenerateSyntheticSurvey(bad_p, rng).ok());
+}
+
+TEST(SyntheticTest, FluQueryCountsPlausibly) {
+  SyntheticPopulationOptions options;
+  options.num_rows = 3000;
+  Xoshiro256 rng(42);
+  auto table = GenerateSyntheticSurvey(options, rng);
+  ASSERT_TRUE(table.ok());
+  int64_t flu = *FluCountQuery().Evaluate(*table);
+  int64_t drug = *DrugPurchaseCountQuery().Evaluate(*table);
+  // Drug purchases imply flu, so drug count <= flu count.
+  EXPECT_LE(drug, flu);
+  EXPECT_GT(flu, 0);
+  EXPECT_LT(flu, options.num_rows);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticPopulationOptions options;
+  options.num_rows = 100;
+  Xoshiro256 rng1(7), rng2(7);
+  auto t1 = GenerateSyntheticSurvey(options, rng1);
+  auto t2 = GenerateSyntheticSurvey(options, rng2);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  for (size_t i = 0; i < t1->size(); ++i) {
+    EXPECT_EQ(t1->row(i), t2->row(i));
+  }
+}
+
+}  // namespace
+}  // namespace geopriv

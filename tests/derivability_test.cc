@@ -1,0 +1,222 @@
+// Tests for Theorem 2 (derivability characterization), Lemma 3 privacy
+// transitions, and the Appendix B counterexample.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/derivability.h"
+#include "core/examples_catalog.h"
+#include "core/geometric.h"
+#include "core/mechanism.h"
+#include "core/privacy.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+TEST(DerivabilityTest, GeometricDerivableFromItself) {
+  auto geo = GeometricMechanism::Create(4, 0.5);
+  ASSERT_TRUE(geo.ok());
+  auto m = geo->ToMechanism();
+  ASSERT_TRUE(m.ok());
+  auto verdict = CheckDerivability(*m, 0.5);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->derivable);
+  auto t = DeriveInteraction(*m, 0.5);
+  ASSERT_TRUE(t.ok());
+  // T should be (numerically) the identity.
+  EXPECT_LT(Matrix::MaxAbsDiff(*t, Matrix::Identity(5)), 1e-8);
+}
+
+TEST(DerivabilityTest, Lemma3MorePrivateIsDerivable) {
+  // For α <= β, G_β is derivable from G_α; the transition is stochastic.
+  for (double alpha : {0.2, 0.4}) {
+    for (double beta : {0.4, 0.6, 0.9}) {
+      if (beta < alpha) continue;
+      auto t = PrivacyTransition(6, alpha, beta);
+      ASSERT_TRUE(t.ok()) << "alpha=" << alpha << " beta=" << beta;
+      EXPECT_TRUE(t->IsRowStochastic(1e-7));
+      // Composing reproduces G_β.
+      auto g_alpha = GeometricMechanism::BuildMatrix(6, alpha);
+      auto g_beta = GeometricMechanism::BuildMatrix(6, beta);
+      ASSERT_TRUE(g_alpha.ok() && g_beta.ok());
+      EXPECT_LT(Matrix::MaxAbsDiff(*g_alpha * *t, *g_beta), 1e-9);
+    }
+  }
+}
+
+TEST(DerivabilityTest, Lemma3ReverseDirectionFails) {
+  // Removing privacy by post-processing is impossible.
+  auto t = PrivacyTransition(6, 0.6, 0.3);
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsFailedPrecondition());
+}
+
+TEST(DerivabilityTest, Lemma3ExactTransitionsAreStochastic) {
+  Rational alpha = *Rational::FromInts(1, 4);
+  Rational beta = *Rational::FromInts(1, 2);
+  auto t = PrivacyTransitionExact(5, alpha, beta);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->IsRowStochastic());
+  // Exact composition: G_α · T == G_β with zero error.
+  auto g_alpha = GeometricMechanism::BuildExactMatrix(5, alpha);
+  auto g_beta = GeometricMechanism::BuildExactMatrix(5, beta);
+  ASSERT_TRUE(g_alpha.ok() && g_beta.ok());
+  EXPECT_EQ(*g_alpha * *t, *g_beta);
+}
+
+TEST(DerivabilityTest, Lemma3ExactReverseFails) {
+  Rational alpha = *Rational::FromInts(1, 2);
+  Rational beta = *Rational::FromInts(1, 4);
+  EXPECT_FALSE(PrivacyTransitionExact(5, alpha, beta).ok());
+}
+
+TEST(DerivabilityTest, AppendixBCounterexample) {
+  // The Appendix B matrix is 1/2-DP but NOT derivable from G_{3,1/2}; the
+  // violated triple is column 1, rows (0,1,2), with slack exactly -1/12.
+  auto m = PaperAppendixBMechanism();
+  ASSERT_TRUE(m.ok());
+  Rational half = *Rational::FromInts(1, 2);
+  EXPECT_TRUE(*CheckDifferentialPrivacyExact(*m, half));
+  auto verdict = CheckDerivabilityExact(*m, half);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(verdict->derivable);
+  EXPECT_EQ(verdict->column, 1);
+  EXPECT_EQ(verdict->row, 1);
+  EXPECT_NEAR(verdict->slack, -1.0 / 12.0, 1e-15);
+  // And the factorization indeed fails.
+  EXPECT_FALSE(DeriveInteractionExact(*m, half).ok());
+  auto numeric = Mechanism::FromExact(*m);
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_FALSE(DeriveInteraction(*numeric, 0.5).ok());
+}
+
+TEST(DerivabilityTest, RoundTripThroughRandomStochasticPostProcessing) {
+  // Any y = G·T with stochastic T must pass the Theorem 2 test, and the
+  // recovered factor must reproduce y.
+  Xoshiro256 rng(2025);
+  const int n = 5;
+  const double alpha = 0.35;
+  auto g = GeometricMechanism::BuildMatrix(n, alpha);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix t(static_cast<size_t>(n) + 1, static_cast<size_t>(n) + 1);
+    for (size_t r = 0; r < t.rows(); ++r) {
+      double sum = 0.0;
+      for (size_t c = 0; c < t.cols(); ++c) {
+        t.At(r, c) = rng.NextDoublePositive();
+        sum += t.At(r, c);
+      }
+      for (size_t c = 0; c < t.cols(); ++c) t.At(r, c) /= sum;
+    }
+    Matrix derived_matrix = *g * t;
+    auto m = Mechanism::Create(derived_matrix, 1e-9);
+    ASSERT_TRUE(m.ok());
+    auto verdict = CheckDerivability(*m, alpha);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_TRUE(verdict->derivable) << "trial " << trial;
+    auto recovered = DeriveInteraction(*m, alpha);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_LT(Matrix::MaxAbsDiff(*g * *recovered, derived_matrix), 1e-8);
+  }
+}
+
+TEST(DerivabilityTest, ConditionAndFactorizationAgreeOnRandomDpMechanisms) {
+  // Property: for random α-DP mechanisms, the three-entry condition and
+  // the sign pattern of G⁻¹M give the same verdict (Theorem 2 both ways).
+  Xoshiro256 rng(777);
+  const int n = 4;
+  const double alpha = 0.5;
+  int derivable_seen = 0, underivable_seen = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random DP mechanism: start from uniform and apply bounded random
+    // multiplicative bumps that keep adjacent ratios within [α, 1/α].
+    Matrix m(static_cast<size_t>(n) + 1, static_cast<size_t>(n) + 1);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      double v = 0.5 + rng.NextDouble();
+      for (size_t r = 0; r < m.rows(); ++r) {
+        // Multiply by a factor in [α^(1/2), α^(-1/2)] per step.
+        double f = std::pow(alpha, (rng.NextDouble() - 0.5));
+        v *= f;
+        m.At(r, c) = v;
+      }
+    }
+    // Normalize rows... but row normalization breaks column ratios, so
+    // instead normalize the whole matrix per-row via a common column scale:
+    // rescale each column by 1, then divide each row by its sum — to keep
+    // DP we verify after the fact and skip failures.
+    for (size_t r = 0; r < m.rows(); ++r) {
+      double sum = 0.0;
+      for (size_t c = 0; c < m.cols(); ++c) sum += m.At(r, c);
+      for (size_t c = 0; c < m.cols(); ++c) m.At(r, c) /= sum;
+    }
+    auto mech = Mechanism::Create(m, 1e-9);
+    ASSERT_TRUE(mech.ok());
+    auto dp = CheckDifferentialPrivacy(*mech, alpha);
+    ASSERT_TRUE(dp.ok());
+    if (!dp->is_private) continue;  // normalization broke DP; skip
+
+    auto verdict = CheckDerivability(*mech, alpha);
+    ASSERT_TRUE(verdict.ok());
+    auto factor = DeriveInteraction(*mech, alpha);
+    EXPECT_EQ(verdict->derivable, factor.ok())
+        << "Theorem 2 condition and factorization disagree on trial "
+        << trial;
+    if (verdict->derivable) {
+      ++derivable_seen;
+    } else {
+      ++underivable_seen;
+    }
+  }
+  // The generator should exercise both sides of the characterization.
+  EXPECT_GT(derivable_seen + underivable_seen, 50);
+}
+
+TEST(DerivabilityTest, TransitionChainComposesExactly) {
+  // T_{α1,α2}·T_{α2,α3} == T_{α1,α3} (exact) — the algebra behind
+  // Algorithm 1's correlated noise.
+  Rational a1 = *Rational::FromInts(1, 5);
+  Rational a2 = *Rational::FromInts(2, 5);
+  Rational a3 = *Rational::FromInts(4, 5);
+  auto t12 = PrivacyTransitionExact(4, a1, a2);
+  auto t23 = PrivacyTransitionExact(4, a2, a3);
+  auto t13 = PrivacyTransitionExact(4, a1, a3);
+  ASSERT_TRUE(t12.ok() && t23.ok() && t13.ok());
+  EXPECT_EQ(*t12 * *t23, *t13);
+}
+
+TEST(DerivabilityTest, CheckValidatesArguments) {
+  Mechanism uni = Mechanism::Uniform(3);
+  EXPECT_FALSE(CheckDerivability(uni, -0.2).ok());
+  EXPECT_FALSE(CheckDerivability(uni, 1.0).ok());
+  RationalMatrix rect(2, 3);
+  EXPECT_FALSE(
+      CheckDerivabilityExact(rect, *Rational::FromInts(1, 2)).ok());
+}
+
+TEST(DerivabilityTest, UniformIsDerivableFromGeometric) {
+  // The uniform mechanism is y = G·T with T = G⁻¹·U; since U's columns are
+  // constant the three-entry condition (1+α²)c >= 2αc holds, so it must
+  // pass.
+  Mechanism uni = Mechanism::Uniform(4);
+  auto verdict = CheckDerivability(uni, 0.5);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->derivable);
+  EXPECT_TRUE(DeriveInteraction(uni, 0.5).ok());
+}
+
+TEST(DerivabilityTest, IdentityIsNotDerivableFromGeometric) {
+  // The identity (no-noise) mechanism is 0-DP only; deriving it from a
+  // noisy G_{n,α} with α > 0 would remove noise, which Theorem 2 forbids:
+  // column 0 has entries (1, 0, 0, ...) and the triple (1, 0, 0) violates
+  // (1+α²)·0 >= α·(1+0).
+  Mechanism id = Mechanism::Identity(4);
+  auto verdict = CheckDerivability(id, 0.5);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(verdict->derivable);
+  EXPECT_FALSE(DeriveInteraction(id, 0.5).ok());
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,197 @@
+// Tests for the exact rational simplex (Bland's rule over Q).
+
+#include <gtest/gtest.h>
+
+#include "lp/exact_simplex.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+TEST(ExactSimplexTest, ValidatesVariableReferences) {
+  ExactLpProblem lp;
+  lp.AddVariable("x", R(1));
+  lp.AddConstraint(RowRelation::kEqual, R(1), {{5, R(1)}});
+  ExactSimplexSolver solver;
+  EXPECT_FALSE(solver.Solve(lp).ok());
+}
+
+TEST(ExactSimplexTest, TextbookProblemExactOptimum) {
+  // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: optimum -36 at (2,6).
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(-3));
+  int y = lp.AddVariable("y", R(-5));
+  lp.AddConstraint(RowRelation::kLessEqual, R(4), {{x, R(1)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(12), {{y, R(2)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(18), {{x, R(3)}, {y, R(2)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->objective, R(-36));
+  EXPECT_EQ(s->values[static_cast<size_t>(x)], R(2));
+  EXPECT_EQ(s->values[static_cast<size_t>(y)], R(6));
+}
+
+TEST(ExactSimplexTest, FractionalOptimumIsExact) {
+  // min x + y s.t. 3x + y >= 1, x + 3y >= 1: optimum 1/2 at (1/4, 1/4).
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  int y = lp.AddVariable("y", R(1));
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(1), {{x, R(3)}, {y, R(1)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(1), {{x, R(1)}, {y, R(3)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->objective, R(1, 2));
+  EXPECT_EQ(s->values[static_cast<size_t>(x)], R(1, 4));
+  EXPECT_EQ(s->values[static_cast<size_t>(y)], R(1, 4));
+}
+
+TEST(ExactSimplexTest, EqualityConstraints) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  int y = lp.AddVariable("y", R(1));
+  lp.AddConstraint(RowRelation::kEqual, R(4), {{x, R(1)}, {y, R(2)}});
+  lp.AddConstraint(RowRelation::kEqual, R(7), {{x, R(3)}, {y, R(1)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->values[static_cast<size_t>(x)], R(2));
+  EXPECT_EQ(s->values[static_cast<size_t>(y)], R(1));
+}
+
+TEST(ExactSimplexTest, DetectsInfeasibilityExactly) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x, R(1)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(2), {{x, R(1)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kInfeasible);
+}
+
+TEST(ExactSimplexTest, BarelyFeasibleIsNotInfeasible) {
+  // x <= 1 and x >= 1 simultaneously: exactly feasible at the point 1 —
+  // a case where tolerance-based solvers can go either way.
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x, R(1)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(1), {{x, R(1)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->values[static_cast<size_t>(x)], R(1));
+}
+
+TEST(ExactSimplexTest, DetectsUnboundedness) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(-1));
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(0), {{x, R(1)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kUnbounded);
+}
+
+TEST(ExactSimplexTest, NegativeRhsNormalization) {
+  // min x s.t. -x <= -2  (x >= 2).
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  lp.AddConstraint(RowRelation::kLessEqual, R(-2), {{x, R(-1)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->values[static_cast<size_t>(x)], R(2));
+}
+
+TEST(ExactSimplexTest, BlandTerminatesOnCyclingExample) {
+  // Chvatal's cycling instance (Dantzig pricing cycles without
+  // safeguards); Bland must terminate with optimum 1.
+  ExactLpProblem lp;
+  int x1 = lp.AddVariable("x1", R(-10));
+  int x2 = lp.AddVariable("x2", R(57));
+  int x3 = lp.AddVariable("x3", R(9));
+  int x4 = lp.AddVariable("x4", R(24));
+  lp.AddConstraint(RowRelation::kLessEqual, R(0),
+                   {{x1, R(1, 2)}, {x2, R(-11, 2)}, {x3, R(-5, 2)}, {x4, R(9)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(0),
+                   {{x1, R(1, 2)}, {x2, R(-3, 2)}, {x3, R(-1, 2)}, {x4, R(1)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x1, R(1)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->objective, R(-1));
+}
+
+TEST(ExactSimplexTest, RedundantEqualityRows) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  int y = lp.AddVariable("y", R(2));
+  lp.AddConstraint(RowRelation::kEqual, R(3), {{x, R(1)}, {y, R(1)}});
+  lp.AddConstraint(RowRelation::kEqual, R(3), {{x, R(1)}, {y, R(1)}});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->objective, R(3));
+}
+
+TEST(ExactSimplexTest, AgreesWithDoubleSimplexOnRandomProblems) {
+  // Property: on small random LPs with modest rational data, the exact
+  // optimum equals the double solver's optimum within round-off.
+  uint64_t seed = 12345;
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int64_t>((seed >> 33) % 11) - 5;
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    ExactLpProblem exact;
+    LpProblem approx;
+    const int nv = 3, nc = 3;
+    for (int j = 0; j < nv; ++j) {
+      int64_t c = next();
+      exact.AddVariable("x", R(c));
+      approx.AddNonNegativeVariable("x", static_cast<double>(c));
+    }
+    for (int i = 0; i < nc; ++i) {
+      std::vector<ExactLpTerm> eterms;
+      std::vector<LpTerm> aterms;
+      for (int j = 0; j < nv; ++j) {
+        int64_t a = next();
+        if (a == 0) continue;
+        eterms.push_back({j, R(a)});
+        aterms.push_back({j, static_cast<double>(a)});
+      }
+      int64_t b = std::abs(next()) + 1;
+      // <= rows with positive rhs keep the instance feasible (origin).
+      exact.AddConstraint(RowRelation::kLessEqual, R(b), std::move(eterms));
+      approx.AddConstraint("c", RowRelation::kLessEqual,
+                           static_cast<double>(b), std::move(aterms));
+    }
+    ExactSimplexSolver esolver;
+    SimplexSolver asolver;
+    auto es = esolver.Solve(exact);
+    auto as = asolver.Solve(approx);
+    ASSERT_TRUE(es.ok() && as.ok());
+    ASSERT_EQ(es->status == LpStatus::kOptimal,
+              as->status == LpStatus::kOptimal)
+        << "trial " << trial;
+    if (es->status == LpStatus::kOptimal) {
+      EXPECT_NEAR(es->objective.ToDouble(), as->objective, 1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,230 @@
+// Tests for the geometric mechanism: Definition 4 matrix, Table 2 forms,
+// Lemma 1 determinants, closed-form inverses, and the sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/geometric.h"
+#include "core/privacy.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+TEST(GeometricTest, CreateValidates) {
+  EXPECT_FALSE(GeometricMechanism::Create(-1, 0.5).ok());
+  EXPECT_FALSE(GeometricMechanism::Create(3, -0.1).ok());
+  EXPECT_FALSE(GeometricMechanism::Create(3, 1.0).ok());
+  EXPECT_TRUE(GeometricMechanism::Create(3, 0.0).ok());
+  EXPECT_TRUE(GeometricMechanism::Create(0, 0.5).ok());
+}
+
+TEST(GeometricTest, MatrixIsRowStochastic) {
+  for (int n : {1, 2, 5, 10, 25}) {
+    for (double alpha : {0.0, 0.1, 0.5, 0.9, 0.99}) {
+      auto m = GeometricMechanism::BuildMatrix(n, alpha);
+      ASSERT_TRUE(m.ok());
+      EXPECT_TRUE(m->IsRowStochastic(1e-12))
+          << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(GeometricTest, AlphaZeroIsIdentity) {
+  auto m = GeometricMechanism::BuildMatrix(4, 0.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(*m, Matrix::Identity(5)), 1e-15);
+}
+
+TEST(GeometricTest, SizeZeroDatabase) {
+  auto m = GeometricMechanism::BuildMatrix(0, 0.5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->At(0, 0), 1.0);
+}
+
+TEST(GeometricTest, MatchesDefinitionFourEntrywise) {
+  const int n = 5;
+  const double alpha = 0.3;
+  auto m = GeometricMechanism::BuildMatrix(n, alpha);
+  ASSERT_TRUE(m.ok());
+  for (int k = 0; k <= n; ++k) {
+    for (int z = 0; z <= n; ++z) {
+      double expected;
+      if (z == 0 || z == n) {
+        expected = std::pow(alpha, std::abs(z - k)) / (1.0 + alpha);
+      } else {
+        expected = (1.0 - alpha) / (1.0 + alpha) *
+                   std::pow(alpha, std::abs(z - k));
+      }
+      EXPECT_NEAR(m->At(static_cast<size_t>(k), static_cast<size_t>(z)),
+                  expected, 1e-14)
+          << "k=" << k << " z=" << z;
+    }
+  }
+}
+
+TEST(GeometricTest, GPrimeScalingRelation) {
+  // G = G'·D with column scaling d_0 = d_n = 1/(1+α), else (1-α)/(1+α)
+  // (this is the content of Table 2).
+  const int n = 6;
+  const double alpha = 0.4;
+  auto g = GeometricMechanism::BuildMatrix(n, alpha);
+  auto gp = GeometricMechanism::BuildGPrime(n, alpha);
+  ASSERT_TRUE(g.ok() && gp.ok());
+  for (size_t i = 0; i <= static_cast<size_t>(n); ++i) {
+    for (size_t j = 0; j <= static_cast<size_t>(n); ++j) {
+      double d = (j == 0 || j == static_cast<size_t>(n))
+                     ? 1.0 / (1.0 + alpha)
+                     : (1.0 - alpha) / (1.0 + alpha);
+      EXPECT_NEAR(g->At(i, j), gp->At(i, j) * d, 1e-14);
+    }
+  }
+}
+
+TEST(GeometricTest, ClosedFormInverseIsExactInverse) {
+  for (int n : {1, 2, 4, 8}) {
+    for (double alpha : {0.1, 0.5, 0.9}) {
+      auto g = GeometricMechanism::BuildMatrix(n, alpha);
+      auto inv = GeometricMechanism::BuildInverse(n, alpha);
+      ASSERT_TRUE(g.ok() && inv.ok());
+      Matrix eye = Matrix::Identity(static_cast<size_t>(n) + 1);
+      EXPECT_LT(Matrix::MaxAbsDiff(*g * *inv, eye), 1e-10)
+          << "n=" << n << " alpha=" << alpha;
+      EXPECT_LT(Matrix::MaxAbsDiff(*inv * *g, eye), 1e-10);
+    }
+  }
+}
+
+TEST(GeometricTest, InverseRejectsDegenerateParameters) {
+  EXPECT_FALSE(GeometricMechanism::BuildInverse(0, 0.5).ok());
+  EXPECT_FALSE(GeometricMechanism::BuildInverse(3, 0.0).ok());
+  EXPECT_FALSE(GeometricMechanism::BuildInverse(3, 1.0).ok());
+}
+
+TEST(GeometricTest, ExactMatrixMatchesDoubleMatrix) {
+  Rational alpha = *Rational::FromInts(1, 4);
+  auto exact = GeometricMechanism::BuildExactMatrix(3, alpha);
+  auto approx = GeometricMechanism::BuildMatrix(3, 0.25);
+  ASSERT_TRUE(exact.ok() && approx.ok());
+  std::vector<double> e = exact->ToDoubles();
+  for (size_t k = 0; k < e.size(); ++k) {
+    EXPECT_NEAR(e[k], approx->data()[k], 1e-15);
+  }
+  EXPECT_TRUE(exact->IsRowStochastic());
+}
+
+TEST(GeometricTest, ExactInverseTimesMatrixIsIdentity) {
+  Rational alpha = *Rational::FromInts(2, 7);
+  for (int n : {1, 3, 6}) {
+    auto g = GeometricMechanism::BuildExactMatrix(n, alpha);
+    auto inv = GeometricMechanism::BuildExactInverse(n, alpha);
+    ASSERT_TRUE(g.ok() && inv.ok());
+    EXPECT_EQ(*g * *inv,
+              RationalMatrix::Identity(static_cast<size_t>(n) + 1));
+    EXPECT_EQ(*inv * *g,
+              RationalMatrix::Identity(static_cast<size_t>(n) + 1));
+  }
+}
+
+TEST(GeometricTest, Lemma1DeterminantClosedForm) {
+  // det G'_{n,α} = (1-α²)^n for the (n+1)x(n+1) matrix — verified against
+  // exact Gaussian elimination.
+  Rational alpha = *Rational::FromInts(1, 3);
+  for (int n : {1, 2, 3, 5, 8}) {
+    auto gp = GeometricMechanism::BuildExactGPrime(n, alpha);
+    ASSERT_TRUE(gp.ok());
+    Rational elim = *gp->Determinant();
+    Rational closed = *GeometricMechanism::ExactGPrimeDeterminant(n, alpha);
+    EXPECT_EQ(elim, closed) << "n=" << n;
+    EXPECT_GT(closed, Rational(0));  // Lemma 1: strictly positive
+  }
+}
+
+TEST(GeometricTest, ExactDeterminantMatchesElimination) {
+  Rational alpha = *Rational::FromInts(2, 5);
+  for (int n : {1, 2, 4, 6}) {
+    auto g = GeometricMechanism::BuildExactMatrix(n, alpha);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(*g->Determinant(),
+              *GeometricMechanism::ExactDeterminant(n, alpha))
+        << "n=" << n;
+  }
+}
+
+TEST(GeometricTest, DeterminantPositiveForAllAlpha) {
+  // Lemma 1's consequence: G is invertible, columns span the simplex face.
+  for (int num = 1; num <= 9; ++num) {
+    Rational alpha = *Rational::FromInts(num, 10);
+    Rational det = *GeometricMechanism::ExactDeterminant(6, alpha);
+    EXPECT_GT(det, Rational(0)) << "alpha=" << alpha.ToString();
+  }
+}
+
+TEST(GeometricTest, SamplerMatchesMatrixDistribution) {
+  const int n = 6;
+  const double alpha = 0.45;
+  auto geo = GeometricMechanism::Create(n, alpha);
+  ASSERT_TRUE(geo.ok());
+  auto matrix = GeometricMechanism::BuildMatrix(n, alpha);
+  ASSERT_TRUE(matrix.ok());
+  Xoshiro256 rng(31337);
+  const int kDraws = 200000;
+  for (int input : {0, 3, 6}) {
+    std::vector<int> counts(static_cast<size_t>(n) + 1, 0);
+    for (int d = 0; d < kDraws; ++d) {
+      auto s = geo->Sample(input, rng);
+      ASSERT_TRUE(s.ok());
+      ++counts[static_cast<size_t>(*s)];
+    }
+    for (int z = 0; z <= n; ++z) {
+      double expected =
+          matrix->At(static_cast<size_t>(input), static_cast<size_t>(z)) *
+          kDraws;
+      EXPECT_NEAR(counts[static_cast<size_t>(z)], expected,
+                  5.0 * std::sqrt(expected) + 10.0)
+          << "input=" << input << " z=" << z;
+    }
+  }
+}
+
+TEST(GeometricTest, SampleRangeChecks) {
+  auto geo = GeometricMechanism::Create(4, 0.5);
+  ASSERT_TRUE(geo.ok());
+  Xoshiro256 rng(1);
+  EXPECT_FALSE(geo->Sample(-1, rng).ok());
+  EXPECT_FALSE(geo->Sample(5, rng).ok());
+}
+
+TEST(GeometricTest, ToMechanismIsAlphaPrivate) {
+  auto geo = GeometricMechanism::Create(7, 0.6);
+  ASSERT_TRUE(geo.ok());
+  auto m = geo->ToMechanism();
+  ASSERT_TRUE(m.ok());
+  auto check = CheckDifferentialPrivacy(*m, 0.6);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->is_private);
+}
+
+// Parameterized sweep: exact stochasticity + exact DP across a grid.
+class GeometricSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeometricSweepTest, ExactMatrixIsStochasticAndAlphaPrivate) {
+  const int n = std::get<0>(GetParam());
+  const int num = std::get<1>(GetParam());
+  Rational alpha = *Rational::FromInts(num, 10);
+  auto g = GeometricMechanism::BuildExactMatrix(n, alpha);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsRowStochastic());
+  EXPECT_TRUE(*CheckDifferentialPrivacyExact(*g, alpha));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeometricSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 12),
+                       ::testing::Values(1, 3, 5, 7, 9)));
+
+}  // namespace
+}  // namespace geopriv

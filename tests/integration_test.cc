@@ -1,0 +1,185 @@
+// Cross-module integration tests: the full pipelines a deployment would
+// run, plus theorem-level consistency between independently implemented
+// components.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/geopriv.h"
+
+namespace geopriv {
+namespace {
+
+TEST(IntegrationTest, SurveyToMultiLevelReleaseToConsumers) {
+  // database -> count -> Algorithm 1 -> two consumers, end to end.
+  SyntheticPopulationOptions options;
+  options.num_rows = 12;
+  options.adult_flu_probability = 0.5;
+  options.minor_flu_probability = 0.5;
+  Xoshiro256 rng(2026);
+  auto table = GenerateSyntheticSurvey(options, rng);
+  ASSERT_TRUE(table.ok());
+  const int n = static_cast<int>(table->size());
+  auto truth = FluCountQuery().Evaluate(*table);
+  ASSERT_TRUE(truth.ok());
+
+  auto release = MultiLevelRelease::Create(n, {0.3, 0.7});
+  ASSERT_TRUE(release.ok());
+  auto values = release->Release(static_cast<int>(*truth), rng);
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 2u);
+  for (int v : *values) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, n);
+  }
+
+  // The internal consumer at level 0 and the public consumer at level 1
+  // both achieve their per-consumer optimum by rational interaction.
+  for (size_t level = 0; level < 2; ++level) {
+    auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                            SideInformation::All(n));
+    ASSERT_TRUE(consumer.ok());
+    auto interaction =
+        SolveOptimalInteraction(release->StageMechanism(level), *consumer);
+    auto tailored =
+        SolveOptimalMechanism(n, release->alpha(level), *consumer);
+    ASSERT_TRUE(interaction.ok() && tailored.ok());
+    EXPECT_NEAR(interaction->loss, tailored->loss, 1e-5)
+        << "level " << level;
+  }
+}
+
+TEST(IntegrationTest, ADerivableOptimalMechanismAlwaysExists) {
+  // Section 4.2 / Lemma 5 claim EXISTENCE: *some* optimal mechanism is
+  // derivable from the geometric mechanism.  (LP optima are not unique —
+  // with restricted side information our vertex solver can and does
+  // return optimal mechanisms that are NOT derivable, which is fine.)
+  // The constructive witness is the interaction route: G·T* is derivable
+  // by construction and achieves the LP-optimal loss.
+  for (double alpha : {0.25, 0.5, 0.75}) {
+    for (int lo : {0, 2}) {
+      const int n = 6;
+      auto consumer = MinimaxConsumer::Create(
+          LossFunction::AbsoluteError(),
+          *SideInformation::Interval(lo, n, n));
+      ASSERT_TRUE(consumer.ok());
+      auto optimal = SolveOptimalMechanism(n, alpha, *consumer);
+      ASSERT_TRUE(optimal.ok());
+
+      auto geo = GeometricMechanism::Create(n, alpha);
+      ASSERT_TRUE(geo.ok());
+      auto deployed = geo->ToMechanism();
+      ASSERT_TRUE(deployed.ok());
+      auto interaction = SolveOptimalInteraction(*deployed, *consumer);
+      ASSERT_TRUE(interaction.ok());
+
+      // The induced mechanism is the derivable optimal witness.
+      EXPECT_NEAR(interaction->loss, optimal->loss, 1e-5)
+          << "alpha=" << alpha << " lo=" << lo;
+      auto verdict =
+          CheckDerivability(interaction->induced, alpha, /*tol=*/1e-6);
+      ASSERT_TRUE(verdict.ok());
+      EXPECT_TRUE(verdict->derivable)
+          << "alpha=" << alpha << " lo=" << lo;
+      // And its factor through G reproduces it.
+      auto recovered = DeriveInteraction(interaction->induced, alpha);
+      ASSERT_TRUE(recovered.ok()) << "alpha=" << alpha << " lo=" << lo;
+    }
+  }
+}
+
+TEST(IntegrationTest, SerializeOptimalMechanismAndReuse) {
+  // optimal LP -> serialize -> parse -> analyze/check, as the CLI does.
+  const int n = 5;
+  auto consumer = MinimaxConsumer::Create(LossFunction::SquaredError(),
+                                          SideInformation::All(n));
+  ASSERT_TRUE(consumer.ok());
+  auto optimal = SolveOptimalMechanism(n, 0.5, *consumer);
+  ASSERT_TRUE(optimal.ok());
+
+  std::string path = ::testing::TempDir() + "/integration.mech";
+  ASSERT_TRUE(SaveMechanism(optimal->mechanism, path).ok());
+  auto loaded = LoadMechanism(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  auto dp = CheckDifferentialPrivacy(*loaded, 0.5, 1e-6);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_TRUE(dp->is_private);
+  auto loss = consumer->WorstCaseLoss(*loaded);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(*loss, optimal->loss, 1e-9);
+}
+
+TEST(IntegrationTest, ExactAndNumericPipelinesAgreeEndToEnd) {
+  // The exact-rational and double pipelines must tell the same story.
+  const int n = 4;
+  Rational alpha_q = *Rational::FromInts(2, 5);
+  double alpha = 0.4;
+  auto side = *SideInformation::Interval(1, 4, n);
+
+  auto exact = SolveOptimalMechanismExact(
+      n, alpha_q, ExactLossFunction::SquaredError(), side);
+  ASSERT_TRUE(exact.ok());
+
+  auto consumer = MinimaxConsumer::Create(LossFunction::SquaredError(), side);
+  ASSERT_TRUE(consumer.ok());
+  auto numeric = SolveOptimalMechanism(n, alpha, *consumer);
+  ASSERT_TRUE(numeric.ok());
+
+  EXPECT_NEAR(exact->loss.ToDouble(), numeric->loss, 1e-7);
+
+  // A derivable exact-optimal mechanism exists: the one induced by the
+  // exact optimal interaction (the LP's own vertex need not be
+  // derivable — only existence is claimed; see Lemma 5).
+  auto g = GeometricMechanism::BuildExactMatrix(n, alpha_q);
+  ASSERT_TRUE(g.ok());
+  auto interaction = SolveOptimalInteractionExact(
+      *g, ExactLossFunction::SquaredError(), side);
+  ASSERT_TRUE(interaction.ok());
+  EXPECT_EQ(interaction->loss, exact->loss);
+  RationalMatrix induced = *g * interaction->matrix;
+  auto verdict = CheckDerivabilityExact(induced, alpha_q);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->derivable);
+  auto t = DeriveInteractionExact(induced, alpha_q);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*g * *t, induced);
+}
+
+TEST(IntegrationTest, TradeoffCurveBracketsTheoreticalExtremes) {
+  const int n = 6;
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(n));
+  ASSERT_TRUE(consumer.ok());
+  auto curve = GeometricTradeoffCurve(*consumer, {0.01, 0.99});
+  ASSERT_TRUE(curve.ok());
+  // Near alpha = 0: almost no noise, loss near 0.
+  EXPECT_LT((*curve)[0].loss, 0.05);
+  // Near alpha = 1: approaching the best constant-row loss.  For absolute
+  // loss on {0..6} the constant optimum is 12/7 (mass split between
+  // outputs 0 and 6... actually the best single output is the median, 3,
+  // with worst loss 3); the LP can mix, giving at most 3.
+  EXPECT_GT((*curve)[1].loss, 1.0);
+  EXPECT_LE((*curve)[1].loss, 3.0 + 1e-6);
+}
+
+TEST(IntegrationTest, BaselinesAreDominatedAfterPostProcessing) {
+  // A compact version of bench X3 as a regression test.
+  const int n = 5;
+  const double alpha = 0.5;
+  auto geo = GeometricMechanism::Create(n, alpha)->ToMechanism();
+  auto lap = DiscretizedLaplaceMechanism(n, alpha);
+  ASSERT_TRUE(geo.ok() && lap.ok());
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          *SideInformation::Interval(2, 5, n));
+  ASSERT_TRUE(consumer.ok());
+  auto from_geo = SolveOptimalInteraction(*geo, *consumer);
+  auto from_lap = SolveOptimalInteraction(*lap, *consumer);
+  ASSERT_TRUE(from_geo.ok() && from_lap.ok());
+  EXPECT_LE(from_geo->loss, from_lap->loss + 1e-7);
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,74 @@
+// Tests for mechanism text serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/geometric.h"
+#include "core/io.h"
+
+namespace geopriv {
+namespace {
+
+TEST(IoTest, RoundTripPreservesEveryProbability) {
+  auto geo = *GeometricMechanism::Create(7, 0.37)->ToMechanism();
+  std::string text = SerializeMechanism(geo);
+  auto back = ParseMechanism(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->n(), 7);
+  for (int i = 0; i <= 7; ++i) {
+    for (int r = 0; r <= 7; ++r) {
+      EXPECT_DOUBLE_EQ(back->Probability(i, r), geo.Probability(i, r));
+    }
+  }
+}
+
+TEST(IoTest, HeaderIsRequired) {
+  EXPECT_FALSE(ParseMechanism("").ok());
+  EXPECT_FALSE(ParseMechanism("wrong header\nn 1\nrow 1 0\nrow 0 1\n").ok());
+}
+
+TEST(IoTest, ShapeErrorsAreCaught) {
+  std::string base = "geopriv-mechanism v1\n";
+  EXPECT_FALSE(ParseMechanism(base + "m 1\n").ok());        // wrong keyword
+  EXPECT_FALSE(ParseMechanism(base + "n -2\n").ok());       // negative n
+  EXPECT_FALSE(ParseMechanism(base + "n 1\nrow 1\n").ok()); // short row
+  EXPECT_FALSE(
+      ParseMechanism(base + "n 1\nrow 1 0\n").ok());        // missing row
+  EXPECT_FALSE(
+      ParseMechanism(base + "n 0\nrow 1\nrow 1\n").ok());   // extra row
+}
+
+TEST(IoTest, StochasticityIsValidatedOnParse) {
+  std::string text =
+      "geopriv-mechanism v1\nn 1\nrow 0.9 0.3\nrow 0.5 0.5\n";
+  auto parsed = ParseMechanism(text);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(IoTest, SaveAndLoadFile) {
+  auto geo = *GeometricMechanism::Create(4, 0.5)->ToMechanism();
+  std::string path = ::testing::TempDir() + "/geopriv_io_test.mech";
+  ASSERT_TRUE(SaveMechanism(geo, path).ok());
+  auto back = LoadMechanism(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->n(), 4);
+  EXPECT_DOUBLE_EQ(back->Probability(2, 2), geo.Probability(2, 2));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  auto missing = LoadMechanism("/nonexistent/path/x.mech");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(IoTest, SerializedFormIsStable) {
+  Mechanism id = Mechanism::Identity(1);
+  std::string text = SerializeMechanism(id);
+  EXPECT_EQ(text, "geopriv-mechanism v1\nn 1\nrow 1 0\nrow 0 1\n");
+}
+
+}  // namespace
+}  // namespace geopriv

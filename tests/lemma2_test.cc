@@ -1,0 +1,124 @@
+// Direct verification of Lemma 2 (the determinant computations behind
+// Theorem 2): for G = G_{n,alpha} and a vector x,
+//   det G(1, x)   > 0  iff  x_1 > alpha*x_2           (first column)
+//   det G(n, x)   > 0  iff  x_n > alpha*x_{n-1}       (last column)
+//   det G(i, x)  >= 0  iff  (1+alpha^2)*x_i >= alpha*(x_{i-1}+x_{i+1})
+// where G(i, x) replaces column i of G by x.  All checked over exact
+// rationals, so the sign comparisons are unambiguous.
+
+#include <gtest/gtest.h>
+
+#include "core/geometric.h"
+#include "exact/rational_matrix.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+// Replaces column `col` of `g` with `x`.
+RationalMatrix ReplaceColumn(const RationalMatrix& g, size_t col,
+                             const std::vector<Rational>& x) {
+  RationalMatrix out = g;
+  for (size_t i = 0; i < g.rows(); ++i) out.At(i, col) = x[i];
+  return out;
+}
+
+std::vector<Rational> RandomVector(size_t size, Xoshiro256& rng) {
+  std::vector<Rational> x(size);
+  for (Rational& v : x) {
+    // Positive rationals with small numerators/denominators; Lemma 2 is
+    // applied to probability-mass columns, which are non-negative.
+    v = R(static_cast<int64_t>(rng.NextBounded(20)),
+          static_cast<int64_t>(rng.NextBounded(6)) + 1);
+  }
+  return x;
+}
+
+class Lemma2Test : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Lemma2Test, FirstColumnSignCharacterization) {
+  const int n = std::get<0>(GetParam());
+  Rational alpha = R(std::get<1>(GetParam()), 10);
+  auto g = GeometricMechanism::BuildExactMatrix(n, alpha);
+  ASSERT_TRUE(g.ok());
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rational> x = RandomVector(g->rows(), rng);
+    Rational det = *ReplaceColumn(*g, 0, x).Determinant();
+    bool condition = x[0] > alpha * x[1];
+    EXPECT_EQ(det > Rational(0), condition)
+        << "n=" << n << " alpha=" << alpha.ToString() << " trial " << trial;
+  }
+}
+
+TEST_P(Lemma2Test, LastColumnSignCharacterization) {
+  const int n = std::get<0>(GetParam());
+  Rational alpha = R(std::get<1>(GetParam()), 10);
+  auto g = GeometricMechanism::BuildExactMatrix(n, alpha);
+  ASSERT_TRUE(g.ok());
+  Xoshiro256 rng(23);
+  const size_t last = g->rows() - 1;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rational> x = RandomVector(g->rows(), rng);
+    Rational det = *ReplaceColumn(*g, last, x).Determinant();
+    bool condition = x[last] > alpha * x[last - 1];
+    EXPECT_EQ(det > Rational(0), condition)
+        << "n=" << n << " alpha=" << alpha.ToString() << " trial " << trial;
+  }
+}
+
+TEST_P(Lemma2Test, InteriorColumnSignCharacterization) {
+  const int n = std::get<0>(GetParam());
+  if (n < 2) return;  // needs an interior column
+  Rational alpha = R(std::get<1>(GetParam()), 10);
+  auto g = GeometricMechanism::BuildExactMatrix(n, alpha);
+  ASSERT_TRUE(g.ok());
+  Xoshiro256 rng(29);
+  const Rational coeff = Rational(1) + alpha * alpha;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rational> x = RandomVector(g->rows(), rng);
+    for (size_t col = 1; col + 1 < g->rows(); ++col) {
+      Rational det = *ReplaceColumn(*g, col, x).Determinant();
+      bool condition =
+          coeff * x[col] >= alpha * (x[col - 1] + x[col + 1]);
+      EXPECT_EQ(det >= Rational(0), condition)
+          << "n=" << n << " alpha=" << alpha.ToString() << " col=" << col
+          << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma2Test,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(2, 5, 8)));
+
+TEST(Lemma2Test, CramerEntriesMatchClosedFormFactorization) {
+  // Theorem 2's proof computes T entries by Cramer's rule:
+  // t_{i,j} = det G(i, m_j) / det G.  Cross-check against the
+  // closed-form-inverse factorization on a mechanism known derivable.
+  const int n = 3;
+  Rational alpha = R(1, 4);
+  Rational beta = R(1, 2);
+  auto g = GeometricMechanism::BuildExactMatrix(n, alpha);
+  auto m = GeometricMechanism::BuildExactMatrix(n, beta);
+  ASSERT_TRUE(g.ok() && m.ok());
+  auto t = g->Solve(*m);  // the factor via elimination
+  ASSERT_TRUE(t.ok());
+  Rational det_g = *g->Determinant();
+  for (size_t i = 0; i < g->rows(); ++i) {
+    for (size_t j = 0; j < g->cols(); ++j) {
+      std::vector<Rational> mj(g->rows());
+      for (size_t k = 0; k < g->rows(); ++k) mj[k] = m->At(k, j);
+      Rational cramer =
+          *Rational::Divide(*ReplaceColumn(*g, i, mj).Determinant(), det_g);
+      EXPECT_EQ(cramer, t->At(i, j)) << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geopriv

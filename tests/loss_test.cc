@@ -1,0 +1,85 @@
+// Tests for loss functions and the monotonicity validator (Section 2.3).
+
+#include <gtest/gtest.h>
+
+#include "core/loss.h"
+
+namespace geopriv {
+namespace {
+
+TEST(LossTest, AbsoluteError) {
+  LossFunction l = LossFunction::AbsoluteError();
+  EXPECT_DOUBLE_EQ(l(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(l(3, 7), 4.0);
+  EXPECT_DOUBLE_EQ(l(7, 3), 4.0);
+  EXPECT_TRUE(l.ValidateMonotone(20).ok());
+}
+
+TEST(LossTest, SquaredError) {
+  LossFunction l = LossFunction::SquaredError();
+  EXPECT_DOUBLE_EQ(l(2, 5), 9.0);
+  EXPECT_DOUBLE_EQ(l(5, 2), 9.0);
+  EXPECT_TRUE(l.ValidateMonotone(20).ok());
+}
+
+TEST(LossTest, ZeroOne) {
+  LossFunction l = LossFunction::ZeroOne();
+  EXPECT_DOUBLE_EQ(l(4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(l(4, 5), 1.0);
+  EXPECT_DOUBLE_EQ(l(4, 0), 1.0);
+  EXPECT_TRUE(l.ValidateMonotone(20).ok());
+}
+
+TEST(LossTest, CappedAbsolute) {
+  auto l = LossFunction::CappedAbsoluteError(2.0);
+  ASSERT_TRUE(l.ok());
+  EXPECT_DOUBLE_EQ((*l)(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ((*l)(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ((*l)(0, 9), 2.0);
+  EXPECT_TRUE(l->ValidateMonotone(20).ok());
+  EXPECT_FALSE(LossFunction::CappedAbsoluteError(0.0).ok());
+  EXPECT_FALSE(LossFunction::CappedAbsoluteError(-3.0).ok());
+}
+
+TEST(LossTest, PowerError) {
+  auto linear = LossFunction::PowerError(1.0);
+  auto quad = LossFunction::PowerError(2.0);
+  auto sqrt_loss = LossFunction::PowerError(0.5);
+  ASSERT_TRUE(linear.ok() && quad.ok() && sqrt_loss.ok());
+  EXPECT_DOUBLE_EQ((*linear)(0, 4), 4.0);
+  EXPECT_DOUBLE_EQ((*quad)(0, 4), 16.0);
+  EXPECT_DOUBLE_EQ((*sqrt_loss)(0, 4), 2.0);
+  EXPECT_TRUE(sqrt_loss->ValidateMonotone(20).ok());
+  EXPECT_FALSE(LossFunction::PowerError(-1.0).ok());
+}
+
+TEST(LossTest, ValidateMonotoneCatchesViolations) {
+  // A loss that *decreases* with distance is invalid.
+  LossFunction inverted = LossFunction::FromFunction(
+      "inverted", [](int i, int r) { return 10.0 - std::abs(i - r); });
+  EXPECT_FALSE(inverted.ValidateMonotone(5).ok());
+  // Negative losses are invalid too.
+  LossFunction negative = LossFunction::FromFunction(
+      "negative", [](int i, int r) { return static_cast<double>(i - r); });
+  EXPECT_FALSE(negative.ValidateMonotone(5).ok());
+}
+
+TEST(LossTest, NonSymmetricButMonotoneIsAccepted) {
+  // Monotonicity in |i - r| per the paper does not require symmetry in
+  // (i, r) across different i; this loss penalizes under-estimates twice.
+  LossFunction asymmetric = LossFunction::FromFunction(
+      "one-sided", [](int i, int r) {
+        int d = std::abs(i - r);
+        return r < i ? 2.0 * d : 1.0 * d;
+      });
+  EXPECT_TRUE(asymmetric.ValidateMonotone(10).ok());
+}
+
+TEST(LossTest, NamesAreStable) {
+  EXPECT_EQ(LossFunction::AbsoluteError().name(), "absolute");
+  EXPECT_EQ(LossFunction::SquaredError().name(), "squared");
+  EXPECT_EQ(LossFunction::ZeroOne().name(), "zero-one");
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,281 @@
+// Tests for the LP model and the two-phase simplex solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/problem.h"
+#include "lp/simplex.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+LpSolution SolveOrDie(const LpProblem& lp) {
+  SimplexSolver solver;
+  auto result = solver.Solve(lp);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(LpProblemTest, ValidateCatchesBadModels) {
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", 1.0);
+  lp.AddConstraint("ok", RowRelation::kLessEqual, 1.0, {{x, 1.0}});
+  EXPECT_TRUE(lp.Validate().ok());
+
+  LpProblem bad_var;
+  bad_var.AddVariable("x", 2.0, 1.0, 0.0);  // lb > ub
+  EXPECT_FALSE(bad_var.Validate().ok());
+
+  LpProblem bad_ref;
+  bad_ref.AddNonNegativeVariable("x", 0.0);
+  bad_ref.AddConstraint("bad", RowRelation::kEqual, 0.0, {{5, 1.0}});
+  EXPECT_FALSE(bad_ref.Validate().ok());
+
+  LpProblem bad_rhs;
+  int y = bad_rhs.AddNonNegativeVariable("y", 0.0);
+  bad_rhs.AddConstraint("bad", RowRelation::kEqual,
+                        std::numeric_limits<double>::infinity(),
+                        {{y, 1.0}});
+  EXPECT_FALSE(bad_rhs.Validate().ok());
+}
+
+TEST(SimplexTest, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  (2, 6), obj 36.
+  LpProblem lp;
+  lp.SetSense(LpSense::kMaximize);
+  int x = lp.AddNonNegativeVariable("x", 3.0);
+  int y = lp.AddNonNegativeVariable("y", 5.0);
+  lp.AddConstraint("c1", RowRelation::kLessEqual, 4.0, {{x, 1.0}});
+  lp.AddConstraint("c2", RowRelation::kLessEqual, 12.0, {{y, 2.0}});
+  lp.AddConstraint("c3", RowRelation::kLessEqual, 18.0,
+                   {{x, 3.0}, {y, 2.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6  ->  (3, 1), obj 9.
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", 2.0);
+  int y = lp.AddNonNegativeVariable("y", 3.0);
+  lp.AddConstraint("c1", RowRelation::kGreaterEqual, 4.0,
+                   {{x, 1.0}, {y, 1.0}});
+  lp.AddConstraint("c2", RowRelation::kGreaterEqual, 6.0,
+                   {{x, 1.0}, {y, 3.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], 1.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + y s.t. x + 2y = 4, 3x + y = 7  ->  x = 2, y = 1, obj 3.
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", 1.0);
+  int y = lp.AddNonNegativeVariable("y", 1.0);
+  lp.AddConstraint("e1", RowRelation::kEqual, 4.0, {{x, 1.0}, {y, 2.0}});
+  lp.AddConstraint("e2", RowRelation::kEqual, 7.0, {{x, 3.0}, {y, 1.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], 1.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", 1.0);
+  lp.AddConstraint("c1", RowRelation::kLessEqual, 1.0, {{x, 1.0}});
+  lp.AddConstraint("c2", RowRelation::kGreaterEqual, 2.0, {{x, 1.0}});
+  LpSolution s = SolveOrDie(lp);
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  LpProblem lp;
+  lp.SetSense(LpSense::kMaximize);
+  int x = lp.AddNonNegativeVariable("x", 1.0);
+  int y = lp.AddNonNegativeVariable("y", 1.0);
+  lp.AddConstraint("c1", RowRelation::kGreaterEqual, 1.0,
+                   {{x, 1.0}, {y, -1.0}});
+  LpSolution s = SolveOrDie(lp);
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, FreeVariables) {
+  // min |shift|-style: x free, min x s.t. x >= -5 is modeled via bounds.
+  // Here: min y s.t. y >= x - 3, y >= 3 - x with x free  ->  y = 0, x = 3.
+  LpProblem lp;
+  int x = lp.AddVariable("x", -kLpInfinity, kLpInfinity, 0.0);
+  int y = lp.AddNonNegativeVariable("y", 1.0);
+  lp.AddConstraint("c1", RowRelation::kGreaterEqual, -3.0,
+                   {{y, 1.0}, {x, -1.0}});
+  lp.AddConstraint("c2", RowRelation::kGreaterEqual, 3.0,
+                   {{y, 1.0}, {x, 1.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x s.t. x >= -5 (bound)  ->  x = -5.
+  LpProblem lp;
+  int x = lp.AddVariable("x", -5.0, kLpInfinity, 1.0);
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], -5.0, 1e-9);
+}
+
+TEST(SimplexTest, TwoSidedBounds) {
+  // max x + y with 1 <= x <= 2, -3 <= y <= -1  ->  (2, -1).
+  LpProblem lp;
+  lp.SetSense(LpSense::kMaximize);
+  int x = lp.AddVariable("x", 1.0, 2.0, 1.0);
+  int y = lp.AddVariable("y", -3.0, -1.0, 1.0);
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], -1.0, 1e-9);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, UpperBoundOnlyVariable) {
+  // max x with x <= 7 and x unbounded below; objective pushes up.
+  LpProblem lp;
+  lp.SetSense(LpSense::kMaximize);
+  int x = lp.AddVariable("x", -kLpInfinity, 7.0, 1.0);
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 7.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Classic degenerate LP (multiple constraints active at the optimum).
+  LpProblem lp;
+  lp.SetSense(LpSense::kMaximize);
+  int x = lp.AddNonNegativeVariable("x", 10.0);
+  int y = lp.AddNonNegativeVariable("y", -57.0);
+  int z = lp.AddNonNegativeVariable("z", -9.0);
+  int w = lp.AddNonNegativeVariable("w", -24.0);
+  lp.AddConstraint("c1", RowRelation::kLessEqual, 0.0,
+                   {{x, 0.5}, {y, -5.5}, {z, -2.5}, {w, 9.0}});
+  lp.AddConstraint("c2", RowRelation::kLessEqual, 0.0,
+                   {{x, 0.5}, {y, -1.5}, {z, -0.5}, {w, 1.0}});
+  lp.AddConstraint("c3", RowRelation::kLessEqual, 1.0, {{x, 1.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Known optimum of Chvatal's cycling example: x = (1, 0, 1, 0), obj 1.
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // Duplicate equality rows leave a basic artificial at zero; the solver
+  // must still finish and report the right optimum.
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", 1.0);
+  int y = lp.AddNonNegativeVariable("y", 2.0);
+  lp.AddConstraint("e1", RowRelation::kEqual, 3.0, {{x, 1.0}, {y, 1.0}});
+  lp.AddConstraint("e1_dup", RowRelation::kEqual, 3.0,
+                   {{x, 1.0}, {y, 1.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x s.t. -x <= -2  (i.e. x >= 2).
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", 1.0);
+  lp.AddConstraint("c", RowRelation::kLessEqual, -2.0, {{x, -1.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjectiveFindsFeasiblePoint) {
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", 0.0);
+  int y = lp.AddNonNegativeVariable("y", 0.0);
+  lp.AddConstraint("e", RowRelation::kEqual, 5.0, {{x, 1.0}, {y, 1.0}});
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)] +
+                  s.values[static_cast<size_t>(y)],
+              5.0, 1e-9);
+}
+
+// Property sweep: randomized transportation problems have known optimal
+// cost structure we can sanity-check via feasibility + duality bound.
+class SimplexRandomizedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomizedTest, TransportationProblemsSolveAndAreFeasible) {
+  Xoshiro256 rng(static_cast<uint64_t>(GetParam()));
+  const int suppliers = 3 + GetParam() % 3;
+  const int consumers = 2 + GetParam() % 4;
+  std::vector<double> supply(suppliers), demand(consumers);
+  double total = 0.0;
+  for (int i = 0; i < suppliers; ++i) {
+    supply[static_cast<size_t>(i)] = 1.0 + static_cast<double>(rng.NextBounded(9));
+    total += supply[static_cast<size_t>(i)];
+  }
+  // Make demand sum equal supply sum.
+  double remaining = total;
+  for (int j = 0; j < consumers; ++j) {
+    double d = (j == consumers - 1)
+                   ? remaining
+                   : remaining * 0.5 * rng.NextDouble();
+    demand[static_cast<size_t>(j)] = d;
+    remaining -= d;
+  }
+
+  LpProblem lp;
+  std::vector<std::vector<int>> var(static_cast<size_t>(suppliers),
+                                    std::vector<int>(consumers));
+  for (int i = 0; i < suppliers; ++i) {
+    for (int j = 0; j < consumers; ++j) {
+      double cost = 1.0 + static_cast<double>(rng.NextBounded(20));
+      var[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          lp.AddNonNegativeVariable("t", cost);
+    }
+  }
+  for (int i = 0; i < suppliers; ++i) {
+    std::vector<LpTerm> terms;
+    for (int j = 0; j < consumers; ++j) {
+      terms.push_back({var[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0});
+    }
+    lp.AddConstraint("supply", RowRelation::kEqual,
+                     supply[static_cast<size_t>(i)], std::move(terms));
+  }
+  for (int j = 0; j < consumers; ++j) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < suppliers; ++i) {
+      terms.push_back({var[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0});
+    }
+    lp.AddConstraint("demand", RowRelation::kEqual,
+                     demand[static_cast<size_t>(j)], std::move(terms));
+  }
+
+  LpSolution s = SolveOrDie(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Feasibility: all flows non-negative, rows satisfied.
+  double shipped = 0.0;
+  for (double v : s.values) {
+    EXPECT_GE(v, -1e-9);
+    shipped += v;
+  }
+  EXPECT_NEAR(shipped, total, 1e-6);
+  EXPECT_GE(s.objective, total * 1.0 - 1e-6);  // every unit costs >= 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandomizedTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace geopriv

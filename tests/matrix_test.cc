@@ -1,0 +1,165 @@
+// Tests for dense double matrices and the LU decomposition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/rational_matrix.h"
+#include "linalg/matrix.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(MatrixTest, FromRowsValidates) {
+  EXPECT_FALSE(Matrix::FromRows(2, 2, {1.0}).ok());
+  auto m = Matrix::FromRows(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RowAndColCopies) {
+  Matrix m = *Matrix::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  Vector row = m.Row(1);
+  EXPECT_EQ(row, (Vector{4, 5, 6}));
+  Vector col = m.Col(2);
+  EXPECT_EQ(col, (Vector{3, 6}));
+}
+
+TEST(MatrixTest, ArithmeticAndTranspose) {
+  Matrix a = *Matrix::FromRows(2, 2, {1, 2, 3, 4});
+  Matrix b = *Matrix::FromRows(2, 2, {5, 6, 7, 8});
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.At(0, 1), 8.0);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.At(1, 1), 4.0);
+  Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod.At(1, 1), 50.0);
+  Matrix t = a.Transposed();
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 3.0);
+  Matrix s = a.ScaledBy(2.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 6.0);
+}
+
+TEST(MatrixTest, ApplyVector) {
+  Matrix a = *Matrix::FromRows(2, 3, {1, 0, 2, 0, 1, -1});
+  Vector v = {3, 4, 5};
+  Vector out = a.Apply(v);
+  EXPECT_DOUBLE_EQ(out[0], 13.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(MatrixTest, MaxAbsDiffAndMaxAbs) {
+  Matrix a = *Matrix::FromRows(2, 2, {1, 2, 3, 4});
+  Matrix b = *Matrix::FromRows(2, 2, {1, 2.5, 3, 3});
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, RowStochasticPredicate) {
+  Matrix good = *Matrix::FromRows(2, 2, {0.25, 0.75, 1.0, 0.0});
+  EXPECT_TRUE(good.IsRowStochastic());
+  Matrix negative = *Matrix::FromRows(2, 2, {1.5, -0.5, 0.5, 0.5});
+  EXPECT_FALSE(negative.IsRowStochastic());
+  Matrix bad_sum = *Matrix::FromRows(2, 2, {0.5, 0.4, 0.5, 0.5});
+  EXPECT_FALSE(bad_sum.IsRowStochastic());
+  EXPECT_TRUE(bad_sum.IsRowStochastic(/*tol=*/0.2));
+}
+
+TEST(LuTest, RequiresSquare) {
+  Matrix rect(2, 3);
+  EXPECT_FALSE(LuDecomposition::Compute(rect).ok());
+}
+
+TEST(LuTest, DetectsSingular) {
+  Matrix singular = *Matrix::FromRows(2, 2, {1, 2, 2, 4});
+  EXPECT_FALSE(LuDecomposition::Compute(singular).ok());
+}
+
+TEST(LuTest, DeterminantKnownCases) {
+  Matrix a = *Matrix::FromRows(2, 2, {1, 2, 3, 4});
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -2.0, 1e-12);
+  auto eye = LuDecomposition::Compute(Matrix::Identity(5));
+  ASSERT_TRUE(eye.ok());
+  EXPECT_NEAR(eye->Determinant(), 1.0, 1e-12);
+}
+
+TEST(LuTest, SolveRoundTrip) {
+  Matrix a = *Matrix::FromRows(3, 3, {4, 1, 0, 1, 3, 1, 0, 1, 2});
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  Vector b = {1, 2, 3};
+  auto x = lu->Solve(b);
+  ASSERT_TRUE(x.ok());
+  Vector back = a.Apply(*x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], b[i], 1e-12);
+}
+
+TEST(LuTest, SolveRejectsWrongLength) {
+  auto lu = LuDecomposition::Compute(Matrix::Identity(3));
+  ASSERT_TRUE(lu.ok());
+  EXPECT_FALSE(lu->Solve(Vector{1, 2}).ok());
+}
+
+TEST(LuTest, InverseRoundTrip) {
+  Matrix a = *Matrix::FromRows(3, 3, {2, 1, 0, 1, 3, 1, 0, 1, 2});
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto inv = lu->Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(a * *inv, Matrix::Identity(3)), 1e-12);
+  EXPECT_LT(Matrix::MaxAbsDiff(*inv * a, Matrix::Identity(3)), 1e-12);
+}
+
+TEST(LuTest, PivotingHandlesZeroDiagonal) {
+  Matrix a = *Matrix::FromRows(2, 2, {0, 1, 1, 0});
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -1.0, 1e-12);
+  auto x = lu->Solve(Vector{5, 7});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 5.0, 1e-12);
+}
+
+TEST(LuTest, RandomizedAgainstExactRationals) {
+  // Cross-validate double LU determinant/solve against the exact kernel.
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = 4;
+    RationalMatrix exact(n, n);
+    Matrix approx(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        int64_t num = static_cast<int64_t>(rng.Next() % 19) - 9;
+        int64_t den = static_cast<int64_t>(rng.Next() % 5) + 1;
+        exact.At(i, j) = *Rational::FromInts(num, den);
+        approx.At(i, j) = static_cast<double>(num) / den;
+      }
+    }
+    Rational exact_det = *exact.Determinant();
+    auto lu = LuDecomposition::Compute(approx);
+    if (exact_det.IsZero()) {
+      // Numeric LU may or may not flag exactly-singular inputs; skip.
+      continue;
+    }
+    ASSERT_TRUE(lu.ok());
+    EXPECT_NEAR(lu->Determinant(), exact_det.ToDouble(),
+                1e-9 * std::max(1.0, std::abs(exact_det.ToDouble())));
+  }
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,151 @@
+// Tests for the Mechanism type: validation, canned mechanisms,
+// interactions (Definition 3) and sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "exact/rational_matrix.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+TEST(MechanismTest, CreateRejectsNonStochastic) {
+  EXPECT_FALSE(Mechanism::Create(Matrix(0, 0)).ok());
+  EXPECT_FALSE(Mechanism::Create(Matrix(2, 3)).ok());
+  Matrix bad_sum = *Matrix::FromRows(2, 2, {0.5, 0.4, 0.5, 0.5});
+  EXPECT_FALSE(Mechanism::Create(bad_sum).ok());
+  Matrix negative = *Matrix::FromRows(2, 2, {1.5, -0.5, 0.5, 0.5});
+  EXPECT_FALSE(Mechanism::Create(negative).ok());
+  Matrix good = *Matrix::FromRows(2, 2, {0.25, 0.75, 0.5, 0.5});
+  EXPECT_TRUE(Mechanism::Create(good).ok());
+}
+
+TEST(MechanismTest, FromExactRequiresExactStochasticity) {
+  RationalMatrix good(2, 2);
+  good.At(0, 0) = *Rational::FromInts(1, 3);
+  good.At(0, 1) = *Rational::FromInts(2, 3);
+  good.At(1, 0) = Rational(1);
+  EXPECT_TRUE(Mechanism::FromExact(good).ok());
+  good.At(1, 0) = *Rational::FromInts(99, 100);
+  EXPECT_FALSE(Mechanism::FromExact(good).ok());
+}
+
+TEST(MechanismTest, IdentityAndUniform) {
+  Mechanism id = Mechanism::Identity(3);
+  EXPECT_EQ(id.n(), 3);
+  EXPECT_DOUBLE_EQ(id.Probability(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id.Probability(2, 1), 0.0);
+  Mechanism uni = Mechanism::Uniform(3);
+  for (int i = 0; i <= 3; ++i) {
+    for (int r = 0; r <= 3; ++r) {
+      EXPECT_DOUBLE_EQ(uni.Probability(i, r), 0.25);
+    }
+  }
+}
+
+TEST(MechanismTest, RowDistributionSums) {
+  Mechanism uni = Mechanism::Uniform(4);
+  Vector row = uni.RowDistribution(2);
+  double sum = 0.0;
+  for (double p : row) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MechanismTest, ApplyInteractionComposesDistributions) {
+  Mechanism id = Mechanism::Identity(1);
+  Matrix flip = *Matrix::FromRows(2, 2, {0.0, 1.0, 1.0, 0.0});
+  auto flipped = id.ApplyInteraction(flip);
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_DOUBLE_EQ(flipped->Probability(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(flipped->Probability(1, 0), 1.0);
+}
+
+TEST(MechanismTest, ApplyInteractionRejectsNonStochasticT) {
+  Mechanism id = Mechanism::Identity(1);
+  Matrix not_stochastic = *Matrix::FromRows(2, 2, {0.5, 0.4, 1.0, 0.0});
+  EXPECT_FALSE(id.ApplyInteraction(not_stochastic).ok());
+  Matrix wrong_shape = *Matrix::FromRows(1, 1, {1.0});
+  EXPECT_FALSE(id.ApplyInteraction(wrong_shape).ok());
+}
+
+TEST(MechanismTest, InteractionPreservesStochasticity) {
+  // Any stochastic y composed with stochastic T stays a mechanism.
+  Matrix y = *Matrix::FromRows(3, 3,
+                               {0.6, 0.3, 0.1,  //
+                                0.2, 0.5, 0.3,  //
+                                0.1, 0.2, 0.7});
+  Matrix t = *Matrix::FromRows(3, 3,
+                               {1.0, 0.0, 0.0,  //
+                                0.4, 0.6, 0.0,  //
+                                0.0, 0.5, 0.5});
+  auto m = Mechanism::Create(y);
+  ASSERT_TRUE(m.ok());
+  auto induced = m->ApplyInteraction(t);
+  ASSERT_TRUE(induced.ok());
+  EXPECT_TRUE(induced->matrix().IsRowStochastic());
+}
+
+TEST(MechanismTest, SampleRespectsRowDistribution) {
+  Matrix y = *Matrix::FromRows(2, 2, {0.8, 0.2, 0.3, 0.7});
+  auto m = Mechanism::Create(y);
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(5);
+  int kDraws = 100000;
+  int count_zero = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    auto s = m->Sample(0, rng);
+    ASSERT_TRUE(s.ok());
+    if (*s == 0) ++count_zero;
+  }
+  EXPECT_NEAR(count_zero, 0.8 * kDraws, 5 * std::sqrt(0.16 * kDraws));
+}
+
+TEST(MechanismTest, SampleOutOfRangeFails) {
+  Mechanism id = Mechanism::Identity(2);
+  Xoshiro256 rng(1);
+  EXPECT_FALSE(id.Sample(-1, rng).ok());
+  EXPECT_FALSE(id.Sample(3, rng).ok());
+  EXPECT_TRUE(id.Sample(2, rng).ok());
+}
+
+TEST(MechanismTest, PreparedSamplersMatchAdHocSampling) {
+  Matrix y = *Matrix::FromRows(3, 3,
+                               {0.5, 0.25, 0.25,  //
+                                0.1, 0.8, 0.1,    //
+                                0.0, 0.0, 1.0});
+  auto m = Mechanism::Create(y);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->PrepareSamplers().ok());
+  Xoshiro256 rng(9);
+  std::vector<int> counts(3, 0);
+  const int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(*m->Sample(0, rng))];
+  EXPECT_NEAR(counts[0], 0.5 * kDraws, 5 * std::sqrt(0.25 * kDraws));
+  EXPECT_NEAR(counts[1], 0.25 * kDraws, 5 * std::sqrt(0.1875 * kDraws));
+  // Deterministic row stays deterministic.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(*m->Sample(2, rng), 2);
+}
+
+TEST(MechanismTest, MaxTotalVariation) {
+  Mechanism id = Mechanism::Identity(1);
+  Mechanism uni = Mechanism::Uniform(1);
+  auto tv = id.MaxTotalVariation(uni);
+  ASSERT_TRUE(tv.ok());
+  EXPECT_NEAR(*tv, 0.5, 1e-12);
+  EXPECT_NEAR(*id.MaxTotalVariation(id), 0.0, 1e-15);
+  Mechanism bigger = Mechanism::Identity(2);
+  EXPECT_FALSE(id.MaxTotalVariation(bigger).ok());
+}
+
+TEST(MechanismTest, ToStringContainsEntries) {
+  Mechanism uni = Mechanism::Uniform(1);
+  std::string s = uni.ToString();
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,138 @@
+// Tests for the Appendix A reduction: obliviousness is WLOG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/consumer.h"
+#include "core/geometric.h"
+#include "core/oblivious.h"
+#include "core/privacy.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+DatabaseMechanism MakeSimple() {
+  // 4 databases over n = 1: two with count 0, two with count 1.
+  DatabaseMechanism m;
+  m.counts = {0, 0, 1, 1};
+  m.probs = *Matrix::FromRows(4, 2,
+                              {0.8, 0.2,   //
+                               0.6, 0.4,   //
+                               0.3, 0.7,   //
+                               0.5, 0.5});
+  return m;
+}
+
+TEST(ObliviousTest, ValidateCatchesShapeErrors) {
+  DatabaseMechanism m = MakeSimple();
+  EXPECT_TRUE(ValidateDatabaseMechanism(m, 1).ok());
+  EXPECT_FALSE(ValidateDatabaseMechanism(m, 2).ok());  // wrong output range
+  m.counts = {0, 0, 1};
+  EXPECT_FALSE(ValidateDatabaseMechanism(m, 1).ok());  // count/row mismatch
+  m = MakeSimple();
+  m.counts = {0, 0, 1, 5};
+  EXPECT_FALSE(ValidateDatabaseMechanism(m, 1).ok());  // count out of range
+  m = MakeSimple();
+  m.probs.At(0, 0) = 0.9;  // row no longer sums to 1
+  EXPECT_FALSE(ValidateDatabaseMechanism(m, 1).ok());
+}
+
+TEST(ObliviousTest, ReductionAveragesClasses) {
+  auto reduced = ObliviousReduction(MakeSimple(), 1);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_NEAR(reduced->Probability(0, 0), 0.7, 1e-12);  // avg(0.8, 0.6)
+  EXPECT_NEAR(reduced->Probability(1, 0), 0.4, 1e-12);  // avg(0.3, 0.5)
+  EXPECT_TRUE(reduced->matrix().IsRowStochastic());
+}
+
+TEST(ObliviousTest, EmptyCountClassFails) {
+  DatabaseMechanism m;
+  m.counts = {0, 0};
+  m.probs = *Matrix::FromRows(2, 3,
+                              {0.5, 0.3, 0.2,  //
+                               0.2, 0.5, 0.3});
+  auto reduced = ObliviousReduction(m, 2);
+  EXPECT_FALSE(reduced.ok());
+  EXPECT_TRUE(reduced.status().IsFailedPrecondition());
+}
+
+TEST(ObliviousTest, ReductionPreservesDifferentialPrivacy) {
+  // Lemma 6 first half: if the database mechanism satisfies the DP ratio
+  // across all neighbor pairs, the averaged mechanism satisfies count-DP.
+  // Build a DP database mechanism by perturbing a geometric-like base.
+  const int n = 3;
+  const double alpha = 0.5;
+  DatabaseMechanism dbm;
+  // Several databases per count class, all using the (exactly α-DP)
+  // range-restricted geometric rows as their output distributions.
+  Matrix base = *GeometricMechanism::BuildMatrix(n, alpha);
+  std::vector<double> rows;
+  for (int i = 0; i <= n; ++i) {
+    for (int copy = 0; copy < 3; ++copy) {
+      dbm.counts.push_back(i);
+      for (int r = 0; r <= n; ++r) {
+        rows.push_back(base.At(static_cast<size_t>(i),
+                               static_cast<size_t>(r)));
+      }
+    }
+  }
+  dbm.probs = *Matrix::FromRows(dbm.counts.size(),
+                                static_cast<size_t>(n) + 1, rows);
+
+  auto reduced = ObliviousReduction(dbm, n);
+  ASSERT_TRUE(reduced.ok());
+  auto dp = CheckDifferentialPrivacy(*reduced, alpha, 1e-9);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_TRUE(dp->is_private);
+}
+
+TEST(ObliviousTest, ReductionNeverIncreasesWorstCaseLoss) {
+  // Lemma 6 second half, on randomized inputs: L(x') <= L(x).
+  Xoshiro256 rng(123);
+  const int n = 2;
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(n));
+  ASSERT_TRUE(consumer.ok());
+  for (int trial = 0; trial < 50; ++trial) {
+    DatabaseMechanism dbm;
+    std::vector<double> rows;
+    // 2-4 databases per class, random distributions.
+    for (int c = 0; c <= n; ++c) {
+      int copies = 2 + static_cast<int>(rng.NextBounded(3));
+      for (int k = 0; k < copies; ++k) {
+        dbm.counts.push_back(c);
+        double sum = 0.0;
+        std::vector<double> row(static_cast<size_t>(n) + 1);
+        for (double& v : row) {
+          v = rng.NextDoublePositive();
+          sum += v;
+        }
+        for (double& v : row) rows.push_back(v / sum);
+      }
+    }
+    dbm.probs = *Matrix::FromRows(dbm.counts.size(),
+                                  static_cast<size_t>(n) + 1, rows);
+    auto reduced = ObliviousReduction(dbm, n);
+    ASSERT_TRUE(reduced.ok());
+    double non_oblivious_loss =
+        *DatabaseMechanismWorstCaseLoss(dbm, *consumer);
+    double oblivious_loss = *consumer->WorstCaseLoss(*reduced);
+    EXPECT_LE(oblivious_loss, non_oblivious_loss + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ObliviousTest, WorstCaseLossRespectsSideInformation) {
+  DatabaseMechanism m = MakeSimple();
+  auto only_one = MinimaxConsumer::Create(
+      LossFunction::AbsoluteError(), *SideInformation::FromSet({1}, 1));
+  ASSERT_TRUE(only_one.ok());
+  // Only databases with count 1 matter: rows 2 and 3, losses
+  // 0.3·1 = 0.3 and 0.5·1 = 0.5.
+  EXPECT_NEAR(*DatabaseMechanismWorstCaseLoss(m, *only_one), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace geopriv

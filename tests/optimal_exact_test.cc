@@ -1,0 +1,196 @@
+// Tests for the exact-rational versions of the paper's LPs: Theorem 1
+// part 2 with exact equality, and the exact Table 1 artifacts.
+
+#include <gtest/gtest.h>
+
+#include "core/geometric.h"
+#include "core/optimal.h"
+#include "core/optimal_exact.h"
+#include "core/privacy.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+TEST(ExactLossTest, FactoriesAndMonotonicity) {
+  EXPECT_EQ(ExactLossFunction::AbsoluteError()(2, 5), R(3));
+  EXPECT_EQ(ExactLossFunction::SquaredError()(2, 5), R(9));
+  EXPECT_EQ(ExactLossFunction::ZeroOne()(2, 5), R(1));
+  EXPECT_EQ(ExactLossFunction::ZeroOne()(5, 5), R(0));
+  EXPECT_TRUE(ExactLossFunction::AbsoluteError().ValidateMonotone(8).ok());
+  auto bad = ExactLossFunction::FromFunction(
+      "bad", [](int i, int r) { return R(10 - std::abs(i - r)); });
+  EXPECT_FALSE(bad.ValidateMonotone(12).ok());
+}
+
+TEST(ExactWorstCaseLossTest, MatchesHandComputation) {
+  // Uniform mechanism over {0,1,2}: worst absolute loss is 1 (at i=0,2).
+  RationalMatrix uniform(3, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) uniform.At(i, j) = R(1, 3);
+  }
+  auto loss = ExactWorstCaseLoss(uniform, ExactLossFunction::AbsoluteError(),
+                                 SideInformation::All(2));
+  ASSERT_TRUE(loss.ok());
+  EXPECT_EQ(*loss, R(1));
+  auto middle = ExactWorstCaseLoss(uniform,
+                                   ExactLossFunction::AbsoluteError(),
+                                   *SideInformation::FromSet({1}, 2));
+  ASSERT_TRUE(middle.ok());
+  EXPECT_EQ(*middle, R(2, 3));
+}
+
+TEST(ExactOptimalTest, Table1ExactOptimumIs168Over415) {
+  // The exact optimal minimax loss for the paper's Table 1 consumer
+  // (n = 3, alpha = 1/4, l = |i-r|, S = {0..3}).  The paper's printed
+  // tables are rounded; the exact value is 168/415 ≈ 0.404819.
+  Rational alpha = R(1, 4);
+  auto result = SolveOptimalMechanismExact(
+      3, alpha, ExactLossFunction::AbsoluteError(), SideInformation::All(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->loss, R(168, 415));
+  EXPECT_TRUE(result->matrix.IsRowStochastic());
+  EXPECT_TRUE(*CheckDifferentialPrivacyExact(result->matrix, alpha));
+}
+
+TEST(ExactOptimalTest, Table1ExactInteractionEntries) {
+  // The exact optimal interaction with G_{3,1/4} maps output 0 to
+  // {0: 68/83, 1: 15/83} (the paper prints the rounded 9/11, 2/11).
+  Rational alpha = R(1, 4);
+  auto g = GeometricMechanism::BuildExactMatrix(3, alpha);
+  ASSERT_TRUE(g.ok());
+  auto result = SolveOptimalInteractionExact(
+      *g, ExactLossFunction::AbsoluteError(), SideInformation::All(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->loss, R(168, 415));
+  EXPECT_EQ(result->matrix.At(0, 0), R(68, 83));
+  EXPECT_EQ(result->matrix.At(0, 1), R(15, 83));
+  EXPECT_EQ(result->matrix.At(1, 1), R(1));
+  EXPECT_EQ(result->matrix.At(2, 2), R(1));
+  EXPECT_EQ(result->matrix.At(3, 2), R(15, 83));
+  EXPECT_EQ(result->matrix.At(3, 3), R(68, 83));
+}
+
+struct ExactCase {
+  int n;
+  int alpha_num;
+  int alpha_den;
+  const char* loss;
+  int lo;
+  int hi;
+};
+
+class ExactUniversalityTest : public ::testing::TestWithParam<ExactCase> {};
+
+ExactLossFunction ExactLossByName(const std::string& name) {
+  if (name == "absolute") return ExactLossFunction::AbsoluteError();
+  if (name == "squared") return ExactLossFunction::SquaredError();
+  return ExactLossFunction::ZeroOne();
+}
+
+TEST_P(ExactUniversalityTest, Theorem1HoldsWithExactEquality) {
+  const ExactCase& tc = GetParam();
+  Rational alpha = R(tc.alpha_num, tc.alpha_den);
+  ExactLossFunction loss = ExactLossByName(tc.loss);
+  auto side = SideInformation::Interval(tc.lo, tc.hi, tc.n);
+  ASSERT_TRUE(side.ok());
+
+  auto optimal = SolveOptimalMechanismExact(tc.n, alpha, loss, *side);
+  ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
+
+  auto g = GeometricMechanism::BuildExactMatrix(tc.n, alpha);
+  ASSERT_TRUE(g.ok());
+  auto interaction = SolveOptimalInteractionExact(*g, loss, *side);
+  ASSERT_TRUE(interaction.ok()) << interaction.status().ToString();
+
+  // Theorem 1 part 2 with zero tolerance.
+  EXPECT_EQ(interaction->loss, optimal->loss)
+      << "exact losses differ: interaction "
+      << interaction->loss.ToString() << " vs optimal "
+      << optimal->loss.ToString();
+
+  // The induced mechanism is exactly alpha-DP and achieves that loss.
+  RationalMatrix induced = *g * interaction->matrix;
+  EXPECT_TRUE(induced.IsRowStochastic());
+  EXPECT_TRUE(*CheckDifferentialPrivacyExact(induced, alpha));
+  auto induced_loss = ExactWorstCaseLoss(induced, loss, *side);
+  ASSERT_TRUE(induced_loss.ok());
+  EXPECT_EQ(*induced_loss, interaction->loss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactUniversalityTest,
+    ::testing::Values(ExactCase{3, 1, 4, "absolute", 0, 3},
+                      ExactCase{3, 1, 4, "squared", 0, 3},
+                      ExactCase{3, 1, 4, "zero-one", 0, 3},
+                      ExactCase{4, 1, 2, "absolute", 1, 4},
+                      ExactCase{4, 1, 2, "squared", 0, 2},
+                      ExactCase{5, 2, 3, "absolute", 0, 5},
+                      ExactCase{5, 1, 3, "zero-one", 2, 5},
+                      ExactCase{6, 1, 2, "squared", 2, 4}),
+    [](const ::testing::TestParamInfo<ExactCase>& info) {
+      const ExactCase& c = info.param;
+      std::string name = "n" + std::to_string(c.n) + "_a" +
+                         std::to_string(c.alpha_num) + "over" +
+                         std::to_string(c.alpha_den) + "_" + c.loss + "_S" +
+                         std::to_string(c.lo) + "to" + std::to_string(c.hi);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(ExactOptimalTest, ExactAndDoubleLpAgree) {
+  // Cross-validation: the double pipeline's optimum matches the exact one
+  // to solver tolerance.
+  Rational alpha = R(1, 2);
+  auto side = SideInformation::All(4);
+  auto exact = SolveOptimalMechanismExact(
+      4, alpha, ExactLossFunction::AbsoluteError(), side);
+  ASSERT_TRUE(exact.ok());
+  auto consumer =
+      MinimaxConsumer::Create(LossFunction::AbsoluteError(), side);
+  ASSERT_TRUE(consumer.ok());
+  auto approx = SolveOptimalMechanism(4, 0.5, *consumer);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(exact->loss.ToDouble(), approx->loss, 1e-8);
+}
+
+TEST(ExactOptimalTest, ValidatesArguments) {
+  auto loss = ExactLossFunction::AbsoluteError();
+  EXPECT_FALSE(
+      SolveOptimalMechanismExact(-1, R(1, 2), loss, SideInformation::All(3))
+          .ok());
+  EXPECT_FALSE(
+      SolveOptimalMechanismExact(3, R(3, 2), loss, SideInformation::All(3))
+          .ok());
+  EXPECT_FALSE(
+      SolveOptimalMechanismExact(4, R(1, 2), loss, SideInformation::All(3))
+          .ok());
+  RationalMatrix not_stochastic(3, 3);
+  EXPECT_FALSE(SolveOptimalInteractionExact(not_stochastic, loss,
+                                            SideInformation::All(2))
+                   .ok());
+}
+
+TEST(ExactOptimalTest, AbsolutePrivacyExactOptimum) {
+  // alpha = 1 forces constant rows; for absolute loss on {0..2} the best
+  // constant distribution has worst-case loss exactly 1.
+  auto result = SolveOptimalMechanismExact(
+      2, R(1), ExactLossFunction::AbsoluteError(), SideInformation::All(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->loss, R(1));
+}
+
+TEST(ExactOptimalTest, NoPrivacyZeroLoss) {
+  auto result = SolveOptimalMechanismExact(
+      3, R(0), ExactLossFunction::SquaredError(), SideInformation::All(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->loss, R(0));
+}
+
+}  // namespace
+}  // namespace geopriv

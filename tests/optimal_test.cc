@@ -1,0 +1,239 @@
+// Tests for the two LPs of Sections 2.4.3 / 2.5 and the paper's headline
+// Theorem 1 part 2: optimally post-processing the geometric mechanism is
+// exactly as good as the per-consumer optimal DP mechanism.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/consumer.h"
+#include "core/geometric.h"
+#include "core/loss.h"
+#include "core/optimal.h"
+#include "core/privacy.h"
+
+namespace geopriv {
+namespace {
+
+MinimaxConsumer MakeConsumer(const LossFunction& loss,
+                             const SideInformation& side) {
+  auto c = MinimaxConsumer::Create(loss, side);
+  EXPECT_TRUE(c.ok());
+  return *c;
+}
+
+TEST(OptimalMechanismTest, ValidatesArguments) {
+  MinimaxConsumer c =
+      MakeConsumer(LossFunction::AbsoluteError(), SideInformation::All(3));
+  EXPECT_FALSE(SolveOptimalMechanism(-1, 0.5, c).ok());
+  EXPECT_FALSE(SolveOptimalMechanism(3, 1.5, c).ok());
+  EXPECT_FALSE(SolveOptimalMechanism(4, 0.5, c).ok());  // n mismatch
+  EXPECT_TRUE(SolveOptimalMechanism(3, 0.5, c).ok());
+}
+
+TEST(OptimalMechanismTest, ResultIsAlphaPrivateAndStochastic) {
+  MinimaxConsumer c =
+      MakeConsumer(LossFunction::AbsoluteError(), SideInformation::All(4));
+  auto result = SolveOptimalMechanism(4, 0.4, c);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->mechanism.matrix().IsRowStochastic(1e-6));
+  auto dp = CheckDifferentialPrivacy(result->mechanism, 0.4, 1e-6);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_TRUE(dp->is_private);
+  // The reported loss matches the mechanism's actual minimax loss.
+  EXPECT_NEAR(*c.WorstCaseLoss(result->mechanism), result->loss, 1e-6);
+}
+
+TEST(OptimalMechanismTest, AlphaZeroAllowsPerfectAccuracy) {
+  MinimaxConsumer c =
+      MakeConsumer(LossFunction::SquaredError(), SideInformation::All(3));
+  auto result = SolveOptimalMechanism(3, 0.0, c);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->loss, 0.0, 1e-9);
+}
+
+TEST(OptimalMechanismTest, AbsolutePrivacyForcesConstantRows) {
+  // α = 1 forces identical rows; the best constant distribution's worst
+  // case for absolute loss on {0..2} is 1 (put all mass on the middle).
+  MinimaxConsumer c =
+      MakeConsumer(LossFunction::AbsoluteError(), SideInformation::All(2));
+  auto result = SolveOptimalMechanism(2, 1.0, c);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->loss, 1.0, 1e-6);
+  for (int r = 0; r <= 2; ++r) {
+    EXPECT_NEAR(result->mechanism.Probability(0, r),
+                result->mechanism.Probability(2, r), 1e-6);
+  }
+}
+
+TEST(OptimalMechanismTest, LossDecreasesAsAlphaDecreases) {
+  // Less privacy (smaller α) can only help utility.
+  MinimaxConsumer c =
+      MakeConsumer(LossFunction::AbsoluteError(), SideInformation::All(5));
+  double previous = 1e100;
+  for (double alpha : {0.9, 0.7, 0.5, 0.3, 0.1}) {
+    auto result = SolveOptimalMechanism(5, alpha, c);
+    ASSERT_TRUE(result.ok()) << "alpha=" << alpha;
+    EXPECT_LE(result->loss, previous + 1e-7) << "alpha=" << alpha;
+    previous = result->loss;
+  }
+}
+
+TEST(OptimalInteractionTest, InducedMechanismAndLossConsistent) {
+  auto geo = GeometricMechanism::Create(4, 0.5);
+  ASSERT_TRUE(geo.ok());
+  auto deployed = geo->ToMechanism();
+  ASSERT_TRUE(deployed.ok());
+  MinimaxConsumer c = MakeConsumer(LossFunction::SquaredError(),
+                                   *SideInformation::Interval(1, 3, 4));
+  auto result = SolveOptimalInteraction(*deployed, c);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->interaction.IsRowStochastic(1e-6));
+  EXPECT_NEAR(*c.WorstCaseLoss(result->induced), result->loss, 1e-6);
+  // Rational interaction can only improve on taking y at face value.
+  EXPECT_LE(result->loss, *c.WorstCaseLoss(*deployed) + 1e-7);
+}
+
+TEST(OptimalInteractionTest, SideInformationIsExploited) {
+  // A consumer who knows the count is exactly 2 can achieve zero loss by
+  // remapping every output to 2.
+  auto geo = GeometricMechanism::Create(4, 0.5);
+  ASSERT_TRUE(geo.ok());
+  auto deployed = geo->ToMechanism();
+  ASSERT_TRUE(deployed.ok());
+  MinimaxConsumer c = MakeConsumer(LossFunction::AbsoluteError(),
+                                   *SideInformation::FromSet({2}, 4));
+  auto result = SolveOptimalInteraction(*deployed, c);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->loss, 0.0, 1e-9);
+}
+
+TEST(OptimalInteractionTest, PaperExample1DrugCompanyRemap) {
+  // Example 1: side information S = {l..n}; the rational consumer remaps
+  // outputs below l, and its loss strictly improves over face value.
+  const int n = 8, l = 5;
+  auto geo = GeometricMechanism::Create(n, 0.5);
+  ASSERT_TRUE(geo.ok());
+  auto deployed = geo->ToMechanism();
+  ASSERT_TRUE(deployed.ok());
+  MinimaxConsumer c = MakeConsumer(LossFunction::AbsoluteError(),
+                                   *SideInformation::Interval(l, n, n));
+  auto result = SolveOptimalInteraction(*deployed, c);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->loss, *c.WorstCaseLoss(*deployed) - 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// The headline: Theorem 1 part 2 (universal optimality), swept over
+// consumers (loss x side-information), privacy levels and database sizes.
+// ---------------------------------------------------------------------------
+
+struct UniversalCase {
+  int n;
+  double alpha;
+  std::string loss_name;
+  int side_lo;
+  int side_hi;
+};
+
+class UniversalOptimalityTest
+    : public ::testing::TestWithParam<UniversalCase> {};
+
+LossFunction LossByName(const std::string& name) {
+  if (name == "absolute") return LossFunction::AbsoluteError();
+  if (name == "squared") return LossFunction::SquaredError();
+  if (name == "zero-one") return LossFunction::ZeroOne();
+  return *LossFunction::CappedAbsoluteError(2.0);
+}
+
+TEST_P(UniversalOptimalityTest,
+       PostProcessedGeometricMatchesPerConsumerOptimum) {
+  const UniversalCase& tc = GetParam();
+  MinimaxConsumer consumer = MakeConsumer(
+      LossByName(tc.loss_name),
+      *SideInformation::Interval(tc.side_lo, tc.side_hi, tc.n));
+
+  // Per-consumer optimum (Section 2.5 LP).
+  auto optimal = SolveOptimalMechanism(tc.n, tc.alpha, consumer);
+  ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
+
+  // Rational interaction with the deployed geometric mechanism
+  // (Section 2.4.3 LP).
+  auto geo = GeometricMechanism::Create(tc.n, tc.alpha);
+  ASSERT_TRUE(geo.ok());
+  auto deployed = geo->ToMechanism();
+  ASSERT_TRUE(deployed.ok());
+  auto interaction = SolveOptimalInteraction(*deployed, consumer);
+  ASSERT_TRUE(interaction.ok()) << interaction.status().ToString();
+
+  // Theorem 1 part 2: equal losses.  The interaction can never beat the
+  // optimum (its induced mechanism is itself α-DP), and by universality it
+  // must achieve it.
+  EXPECT_NEAR(interaction->loss, optimal->loss, 1e-5)
+      << "n=" << tc.n << " alpha=" << tc.alpha << " loss=" << tc.loss_name
+      << " S={" << tc.side_lo << ".." << tc.side_hi << "}";
+
+  // The induced mechanism stays differentially private.
+  auto dp = CheckDifferentialPrivacy(interaction->induced, tc.alpha, 1e-6);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_TRUE(dp->is_private);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UniversalOptimalityTest,
+    ::testing::Values(
+        // The paper's Table 1 instance.
+        UniversalCase{3, 0.25, "absolute", 0, 3},
+        UniversalCase{3, 0.25, "squared", 0, 3},
+        UniversalCase{3, 0.25, "zero-one", 0, 3},
+        // Varying privacy level.
+        UniversalCase{4, 0.1, "absolute", 0, 4},
+        UniversalCase{4, 0.5, "absolute", 0, 4},
+        UniversalCase{4, 0.8, "absolute", 0, 4},
+        // Varying side information (drug-company lower bounds, upper
+        // bounds, tight windows).
+        UniversalCase{5, 0.5, "absolute", 2, 5},
+        UniversalCase{5, 0.5, "squared", 0, 3},
+        UniversalCase{5, 0.5, "zero-one", 1, 4},
+        UniversalCase{5, 0.4, "capped", 2, 4},
+        // Larger databases.
+        UniversalCase{8, 0.3, "absolute", 0, 8},
+        UniversalCase{8, 0.6, "squared", 3, 8},
+        UniversalCase{10, 0.5, "zero-one", 0, 10},
+        UniversalCase{10, 0.7, "absolute", 4, 7},
+        UniversalCase{12, 0.45, "squared", 0, 12}),
+    [](const ::testing::TestParamInfo<UniversalCase>& info) {
+      const UniversalCase& c = info.param;
+      std::string name = "n" + std::to_string(c.n) + "_a" +
+                         std::to_string(static_cast<int>(c.alpha * 100)) +
+                         "_" + c.loss_name + "_S" +
+                         std::to_string(c.side_lo) + "to" +
+                         std::to_string(c.side_hi);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(UniversalOptimalityTest, SingletonSideInformationAchievesZero) {
+  // Degenerate consumers (|S| = 1) reach zero loss both ways.
+  const int n = 6;
+  for (int known = 0; known <= n; ++known) {
+    MinimaxConsumer consumer =
+        MakeConsumer(LossFunction::AbsoluteError(),
+                     *SideInformation::FromSet({known}, n));
+    auto optimal = SolveOptimalMechanism(n, 0.5, consumer);
+    ASSERT_TRUE(optimal.ok());
+    EXPECT_NEAR(optimal->loss, 0.0, 1e-8);
+    auto geo = GeometricMechanism::Create(n, 0.5);
+    auto deployed = geo->ToMechanism();
+    ASSERT_TRUE(deployed.ok());
+    auto interaction = SolveOptimalInteraction(*deployed, consumer);
+    ASSERT_TRUE(interaction.ok());
+    EXPECT_NEAR(interaction->loss, 0.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace geopriv

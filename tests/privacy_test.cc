@@ -1,0 +1,120 @@
+// Tests for differential-privacy verification (Definition 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/geometric.h"
+#include "core/mechanism.h"
+#include "core/privacy.h"
+
+namespace geopriv {
+namespace {
+
+TEST(PrivacyTest, UniformIsPerfectlyPrivate) {
+  Mechanism uni = Mechanism::Uniform(4);
+  auto check = CheckDifferentialPrivacy(uni, 1.0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->is_private);
+  EXPECT_DOUBLE_EQ(StrongestAlpha(uni), 1.0);
+}
+
+TEST(PrivacyTest, IdentityHasNoPrivacy) {
+  Mechanism id = Mechanism::Identity(4);
+  EXPECT_DOUBLE_EQ(StrongestAlpha(id), 0.0);
+  auto vacuous = CheckDifferentialPrivacy(id, 0.0);
+  ASSERT_TRUE(vacuous.ok());
+  EXPECT_TRUE(vacuous->is_private);  // α = 0 is the vacuous guarantee
+  auto strict = CheckDifferentialPrivacy(id, 0.5);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->is_private);
+  EXPECT_EQ(strict->violation.output, 0);
+}
+
+TEST(PrivacyTest, RejectsAlphaOutsideUnitInterval) {
+  Mechanism uni = Mechanism::Uniform(2);
+  EXPECT_FALSE(CheckDifferentialPrivacy(uni, -0.1).ok());
+  EXPECT_FALSE(CheckDifferentialPrivacy(uni, 1.5).ok());
+}
+
+TEST(PrivacyTest, GeometricIsExactlyAlphaPrivate) {
+  for (double alpha : {0.1, 0.25, 0.5, 0.8}) {
+    auto geo = GeometricMechanism::Create(8, alpha);
+    ASSERT_TRUE(geo.ok());
+    auto m = geo->ToMechanism();
+    ASSERT_TRUE(m.ok());
+    auto at_alpha = CheckDifferentialPrivacy(*m, alpha);
+    ASSERT_TRUE(at_alpha.ok());
+    EXPECT_TRUE(at_alpha->is_private) << "alpha=" << alpha;
+    // The geometric mechanism achieves its α tightly: a stronger guarantee
+    // must fail.
+    auto stronger = CheckDifferentialPrivacy(*m, alpha + 0.05);
+    ASSERT_TRUE(stronger.ok());
+    EXPECT_FALSE(stronger->is_private) << "alpha=" << alpha;
+    EXPECT_NEAR(StrongestAlpha(*m), alpha, 1e-9);
+  }
+}
+
+TEST(PrivacyTest, StrongestAlphaMonotoneUnderPostProcessing) {
+  // Post-processing never weakens privacy: α*(y·T) >= α*(y).
+  auto geo = GeometricMechanism::Create(5, 0.3);
+  ASSERT_TRUE(geo.ok());
+  auto y = geo->ToMechanism();
+  ASSERT_TRUE(y.ok());
+  // A blur interaction.
+  Matrix t(6, 6);
+  for (size_t r = 0; r < 6; ++r) {
+    t.At(r, r) = 0.5;
+    t.At(r, (r + 1) % 6) = 0.5;
+  }
+  auto induced = y->ApplyInteraction(t);
+  ASSERT_TRUE(induced.ok());
+  EXPECT_GE(StrongestAlpha(*induced), StrongestAlpha(*y) - 1e-12);
+}
+
+TEST(PrivacyTest, ExactCheckerAgreesWithDoubleChecker) {
+  Rational half = *Rational::FromInts(1, 2);
+  auto exact = GeometricMechanism::BuildExactMatrix(5, half);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(*CheckDifferentialPrivacyExact(*exact, half));
+  Rational stronger = *Rational::FromInts(3, 5);
+  EXPECT_FALSE(*CheckDifferentialPrivacyExact(*exact, stronger));
+  Rational weaker = *Rational::FromInts(2, 5);
+  EXPECT_TRUE(*CheckDifferentialPrivacyExact(*exact, weaker));
+}
+
+TEST(PrivacyTest, ExactCheckerValidatesInput) {
+  RationalMatrix rect(2, 3);
+  EXPECT_FALSE(
+      CheckDifferentialPrivacyExact(rect, *Rational::FromInts(1, 2)).ok());
+  RationalMatrix square(2, 2);
+  EXPECT_FALSE(
+      CheckDifferentialPrivacyExact(square, Rational(2)).ok());
+  EXPECT_FALSE(
+      CheckDifferentialPrivacyExact(square, Rational(-1)).ok());
+}
+
+TEST(PrivacyTest, AlphaEpsilonConversionRoundTrips) {
+  for (double eps : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(EpsilonFromAlpha(AlphaFromEpsilon(eps)), eps, 1e-12);
+  }
+  EXPECT_NEAR(AlphaFromEpsilon(std::log(2.0)), 0.5, 1e-12);
+}
+
+TEST(PrivacyTest, ViolationReportIsActionable) {
+  // Build a mechanism with a single sharp violation and confirm it is
+  // located correctly.
+  Matrix m = *Matrix::FromRows(3, 3,
+                               {0.9, 0.05, 0.05,   //
+                                0.05, 0.9, 0.05,   //
+                                0.05, 0.05, 0.9});
+  auto mech = Mechanism::Create(m);
+  ASSERT_TRUE(mech.ok());
+  auto check = CheckDifferentialPrivacy(*mech, 0.5);
+  ASSERT_TRUE(check.ok());
+  ASSERT_FALSE(check->is_private);
+  EXPECT_NEAR(check->violation.ratio, 0.05 / 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,181 @@
+// Tests for exact rational matrices: products, determinants, inverses,
+// solves and stochasticity predicates.
+
+#include <gtest/gtest.h>
+
+#include "exact/rational_matrix.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+TEST(RationalMatrixTest, IdentityActsNeutrally) {
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 2, {R(1), R(2), R(3), R(4)});
+  RationalMatrix eye = RationalMatrix::Identity(2);
+  EXPECT_EQ(a * eye, a);
+  EXPECT_EQ(eye * a, a);
+}
+
+TEST(RationalMatrixTest, FromRowsValidatesShape) {
+  EXPECT_FALSE(RationalMatrix::FromRows(2, 2, {R(1)}).ok());
+  EXPECT_TRUE(RationalMatrix::FromRows(1, 3, {R(1), R(2), R(3)}).ok());
+}
+
+TEST(RationalMatrixTest, ProductMatchesHandComputation) {
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 2, {R(1, 2), R(1, 2), R(1, 3), R(2, 3)});
+  RationalMatrix b = *RationalMatrix::FromRows(
+      2, 2, {R(1), R(0), R(1, 2), R(1, 2)});
+  RationalMatrix c = a * b;
+  EXPECT_EQ(c.At(0, 0), R(3, 4));
+  EXPECT_EQ(c.At(0, 1), R(1, 4));
+  EXPECT_EQ(c.At(1, 0), R(2, 3));
+  EXPECT_EQ(c.At(1, 1), R(1, 3));
+}
+
+TEST(RationalMatrixTest, DeterminantClosedCases) {
+  EXPECT_EQ(*RationalMatrix::Identity(4).Determinant(), R(1));
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 2, {R(1), R(2), R(3), R(4)});
+  EXPECT_EQ(*a.Determinant(), R(-2));
+  RationalMatrix singular = *RationalMatrix::FromRows(
+      2, 2, {R(1), R(2), R(2), R(4)});
+  EXPECT_EQ(*singular.Determinant(), R(0));
+  RationalMatrix rect(2, 3);
+  EXPECT_FALSE(rect.Determinant().ok());
+}
+
+TEST(RationalMatrixTest, DeterminantMultiplicative) {
+  Xoshiro256 rng(101);
+  auto random_matrix = [&rng](size_t n) {
+    RationalMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        m.At(i, j) = R(static_cast<int64_t>(rng.Next() % 11) - 5,
+                       static_cast<int64_t>(rng.Next() % 4) + 1);
+      }
+    }
+    return m;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    RationalMatrix a = random_matrix(4);
+    RationalMatrix b = random_matrix(4);
+    EXPECT_EQ(*(a * b).Determinant(), *a.Determinant() * *b.Determinant());
+  }
+}
+
+TEST(RationalMatrixTest, InverseRoundTrip) {
+  RationalMatrix a = *RationalMatrix::FromRows(
+      3, 3,
+      {R(2), R(1), R(0), R(1), R(3), R(1), R(0), R(1), R(2)});
+  auto inv = a.Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(a * *inv, RationalMatrix::Identity(3));
+  EXPECT_EQ(*inv * a, RationalMatrix::Identity(3));
+}
+
+TEST(RationalMatrixTest, SingularInverseFails) {
+  RationalMatrix s = *RationalMatrix::FromRows(
+      2, 2, {R(1), R(2), R(2), R(4)});
+  EXPECT_FALSE(s.Inverse().ok());
+}
+
+TEST(RationalMatrixTest, SolveIsExact) {
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 2, {R(1, 3), R(1, 7), R(2, 5), R(3, 11)});
+  RationalMatrix b = *RationalMatrix::FromRows(2, 1, {R(1), R(2)});
+  auto x = a.Solve(b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(a * *x, b);
+}
+
+TEST(RationalMatrixTest, SolveNeedsMatchingShapes) {
+  RationalMatrix a(2, 2);
+  RationalMatrix b(3, 1);
+  EXPECT_FALSE(a.Solve(b).ok());
+  RationalMatrix rect(2, 3);
+  EXPECT_FALSE(rect.Solve(b).ok());
+}
+
+TEST(RationalMatrixTest, SolveWithZeroPivotUsesRowSwap) {
+  // a(0,0) == 0 forces pivoting.
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 2, {R(0), R(1), R(1), R(0)});
+  RationalMatrix b = *RationalMatrix::FromRows(2, 1, {R(5), R(7)});
+  auto x = a.Solve(b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->At(0, 0), R(7));
+  EXPECT_EQ(x->At(1, 0), R(5));
+}
+
+TEST(RationalMatrixTest, StochasticityPredicates) {
+  RationalMatrix stochastic = *RationalMatrix::FromRows(
+      2, 2, {R(1, 3), R(2, 3), R(1), R(0)});
+  EXPECT_TRUE(stochastic.IsRowStochastic());
+  EXPECT_TRUE(stochastic.IsGeneralizedRowStochastic());
+
+  RationalMatrix generalized = *RationalMatrix::FromRows(
+      2, 2, {R(3, 2), R(-1, 2), R(0), R(1)});
+  EXPECT_FALSE(generalized.IsRowStochastic());  // negative entry
+  EXPECT_TRUE(generalized.IsGeneralizedRowStochastic());
+
+  RationalMatrix bad_sum = *RationalMatrix::FromRows(
+      2, 2, {R(1, 2), R(1, 3), R(1), R(0)});
+  EXPECT_FALSE(bad_sum.IsRowStochastic());
+  EXPECT_FALSE(bad_sum.IsGeneralizedRowStochastic());
+}
+
+TEST(RationalMatrixTest, StochasticGroupClosure) {
+  // Product of stochastic matrices is stochastic; inverse of a nonsingular
+  // generalized stochastic matrix is generalized stochastic (Poole 1995,
+  // cited by the paper's Theorem 2 proof).
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 2, {R(3, 4), R(1, 4), R(1, 2), R(1, 2)});
+  RationalMatrix b = *RationalMatrix::FromRows(
+      2, 2, {R(1, 5), R(4, 5), R(2, 5), R(3, 5)});
+  EXPECT_TRUE((a * b).IsRowStochastic());
+  auto inv = a.Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(inv->IsGeneralizedRowStochastic());
+}
+
+TEST(RationalMatrixTest, TransposeAndScale) {
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 3, {R(1), R(2), R(3), R(4), R(5), R(6)});
+  RationalMatrix at = a.Transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_EQ(at.At(2, 1), R(6));
+  RationalMatrix scaled = a.ScaledBy(R(1, 2));
+  EXPECT_EQ(scaled.At(0, 1), R(1));
+  EXPECT_EQ(scaled.At(1, 2), R(3));
+}
+
+TEST(RationalMatrixTest, AdditionSubtraction) {
+  RationalMatrix a = *RationalMatrix::FromRows(2, 2,
+                                               {R(1), R(2), R(3), R(4)});
+  RationalMatrix b = *RationalMatrix::FromRows(
+      2, 2, {R(1, 2), R(1, 2), R(1, 2), R(1, 2)});
+  RationalMatrix sum = a + b;
+  EXPECT_EQ(sum.At(0, 0), R(3, 2));
+  EXPECT_EQ((sum - b), a);
+}
+
+TEST(RationalMatrixTest, ToDoublesPreservesLayout) {
+  RationalMatrix a = *RationalMatrix::FromRows(
+      2, 2, {R(1, 4), R(3, 4), R(1), R(0)});
+  std::vector<double> d = a.ToDoubles();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_DOUBLE_EQ(d[1], 0.75);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+  EXPECT_DOUBLE_EQ(d[3], 0.0);
+}
+
+}  // namespace
+}  // namespace geopriv

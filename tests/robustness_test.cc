@@ -1,0 +1,189 @@
+// Robustness and failure-injection tests: malformed inputs, extreme
+// parameters, and randomized garbage must produce clean Status errors —
+// never crashes, hangs or silent nonsense.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/geopriv.h"
+#include "lp/exact_simplex.h"
+
+namespace geopriv {
+namespace {
+
+TEST(RobustnessTest, ParseMechanismSurvivesRandomGarbage) {
+  Xoshiro256 rng(0xfeedface);
+  const std::string alphabet =
+      "geopriv-mechanism v1\nrow 0.5 .e+- \t7";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage;
+    size_t len = rng.NextBounded(200);
+    for (size_t k = 0; k < len; ++k) {
+      garbage.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    auto parsed = ParseMechanism(garbage);
+    if (parsed.ok()) {
+      // Only a structurally valid mechanism may parse.
+      EXPECT_TRUE(parsed->matrix().IsRowStochastic(1e-9));
+    }
+  }
+}
+
+TEST(RobustnessTest, ParseMechanismRejectsNonFiniteValues) {
+  EXPECT_FALSE(
+      ParseMechanism("geopriv-mechanism v1\nn 1\nrow nan nan\nrow 0 1\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseMechanism("geopriv-mechanism v1\nn 1\nrow inf 0\nrow 0 1\n")
+          .ok());
+}
+
+TEST(RobustnessTest, ExtremePrivacyParameters) {
+  // Alphas very close to the ends of (0, 1) must not break anything.
+  for (double alpha : {1e-9, 1.0 - 1e-9}) {
+    auto geo = GeometricMechanism::Create(8, alpha);
+    ASSERT_TRUE(geo.ok()) << alpha;
+    auto m = geo->ToMechanism();
+    ASSERT_TRUE(m.ok()) << alpha;
+    EXPECT_TRUE(m->matrix().IsRowStochastic(1e-9)) << alpha;
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 100; ++i) {
+      auto s = geo->Sample(4, rng);
+      ASSERT_TRUE(s.ok());
+      EXPECT_GE(*s, 0);
+      EXPECT_LE(*s, 8);
+    }
+  }
+}
+
+TEST(RobustnessTest, TinyAndSingletonDomains) {
+  // n = 0: the only mechanism is [1]; everything should degenerate
+  // gracefully.
+  auto geo = GeometricMechanism::Create(0, 0.5);
+  ASSERT_TRUE(geo.ok());
+  auto m = geo->ToMechanism();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->n(), 0);
+  EXPECT_DOUBLE_EQ(m->Probability(0, 0), 1.0);
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(0));
+  ASSERT_TRUE(consumer.ok());
+  EXPECT_DOUBLE_EQ(*consumer->WorstCaseLoss(*m), 0.0);
+  auto optimal = SolveOptimalMechanism(0, 0.5, *consumer);
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_NEAR(optimal->loss, 0.0, 1e-12);
+}
+
+TEST(RobustnessTest, RandomizedLpProblemsNeverCrashAndStayConsistent) {
+  Xoshiro256 rng(4242);
+  SimplexSolver solver;
+  int optimal_count = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    LpProblem lp;
+    const int nv = 1 + static_cast<int>(rng.NextBounded(5));
+    const int nc = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int j = 0; j < nv; ++j) {
+      double cost = static_cast<double>(rng.NextBounded(21)) - 10.0;
+      // Mix of bounded and free variables.
+      switch (rng.NextBounded(3)) {
+        case 0:
+          lp.AddNonNegativeVariable("x", cost);
+          break;
+        case 1:
+          lp.AddVariable("x", -5.0, 5.0, cost);
+          break;
+        default:
+          lp.AddVariable("x", -kLpInfinity, kLpInfinity, cost);
+          break;
+      }
+    }
+    for (int i = 0; i < nc; ++i) {
+      std::vector<LpTerm> terms;
+      for (int j = 0; j < nv; ++j) {
+        double a = static_cast<double>(rng.NextBounded(11)) - 5.0;
+        if (a != 0.0) terms.push_back({j, a});
+      }
+      RowRelation rel = static_cast<RowRelation>(rng.NextBounded(3));
+      double rhs = static_cast<double>(rng.NextBounded(21)) - 10.0;
+      lp.AddConstraint("c", rel, rhs, std::move(terms));
+    }
+    auto solution = solver.Solve(lp);
+    ASSERT_TRUE(solution.ok()) << "trial " << trial;
+    if (solution->status == LpStatus::kOptimal) {
+      ++optimal_count;
+      EXPECT_LT(solution->max_violation, 1e-6) << "trial " << trial;
+    }
+  }
+  // The generator must exercise the optimal path meaningfully.
+  EXPECT_GT(optimal_count, 30);
+}
+
+TEST(RobustnessTest, ExactSolverHandlesZeroRowsAndColumns) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", Rational(1));
+  lp.AddVariable("unused", Rational(0));
+  lp.AddConstraint(RowRelation::kGreaterEqual, Rational(2),
+                   {{x, Rational(1)}});
+  // An all-zero constraint row (0 >= 0) is vacuous but must not break.
+  lp.AddConstraint(RowRelation::kGreaterEqual, Rational(0), {});
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->values[static_cast<size_t>(x)], Rational(2));
+}
+
+TEST(RobustnessTest, MultiLevelReleaseExtremeLevels) {
+  auto release = MultiLevelRelease::Create(10, {0.001, 0.999});
+  ASSERT_TRUE(release.ok());
+  Xoshiro256 rng(3);
+  for (int t = 0; t < 200; ++t) {
+    auto values = release->Release(5, rng);
+    ASSERT_TRUE(values.ok());
+    for (int v : *values) {
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, 10);
+    }
+  }
+}
+
+TEST(RobustnessTest, BigIntStringRoundTripRandomized) {
+  Xoshiro256 rng(0xabc);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random decimal strings up to 60 digits.
+    std::string digits;
+    if (rng.Next() & 1) digits.push_back('-');
+    size_t len = 1 + rng.NextBounded(60);
+    digits.push_back(static_cast<char>('1' + rng.NextBounded(9)));
+    for (size_t k = 1; k < len; ++k) {
+      digits.push_back(static_cast<char>('0' + rng.NextBounded(10)));
+    }
+    auto v = BigInt::FromString(digits);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->ToString(), digits);
+  }
+}
+
+TEST(RobustnessTest, LossFunctionWithNanIsRejected) {
+  LossFunction nan_loss = LossFunction::FromFunction(
+      "nan", [](int i, int r) {
+        return i == 2 && r == 3 ? std::nan("") : std::abs(i - r) * 1.0;
+      });
+  EXPECT_FALSE(nan_loss.ValidateMonotone(5).ok());
+}
+
+TEST(RobustnessTest, InteractionShapeMismatchesFailCleanly) {
+  auto geo = GeometricMechanism::Create(4, 0.5)->ToMechanism();
+  ASSERT_TRUE(geo.ok());
+  EXPECT_FALSE(geo->ApplyInteraction(Matrix(3, 3)).ok());
+  EXPECT_FALSE(geo->ApplyInteraction(Matrix(5, 4)).ok());
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(7));
+  ASSERT_TRUE(consumer.ok());
+  EXPECT_FALSE(SolveOptimalInteraction(*geo, *consumer).ok());
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,227 @@
+// geopriv — command-line front end for the library.
+//
+// Subcommands:
+//   release    sample a geometric release for a true count
+//   multilevel run Algorithm 1 at several privacy levels
+//   optimal    solve the Section 2.5 LP and write the mechanism to a file
+//   interact   solve the Section 2.4.3 LP against a saved mechanism
+//   check      verify differential privacy of a saved mechanism
+//   analyze    print error statistics of a saved mechanism
+//
+// Example:
+//   geopriv optimal --n 8 --alpha 0.5 --loss absolute --out mech.txt
+//   geopriv check --file mech.txt --alpha 0.5
+//   geopriv release --n 100 --alpha 0.5 --count 42 --seed 7
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/geopriv.h"
+#include "core/io.h"
+
+namespace {
+
+using namespace geopriv;
+
+// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int begin) {
+    for (int i = begin; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<LossFunction> LossByName(const std::string& name) {
+  if (name == "absolute") return LossFunction::AbsoluteError();
+  if (name == "squared") return LossFunction::SquaredError();
+  if (name == "zero-one" || name == "zeroone") return LossFunction::ZeroOne();
+  return Status::InvalidArgument("unknown loss '" + name +
+                                 "' (absolute|squared|zero-one)");
+}
+
+Result<MinimaxConsumer> ConsumerFromArgs(const Args& args, int n) {
+  auto loss = LossByName(args.GetString("loss", "absolute"));
+  if (!loss.ok()) return loss.status();
+  int lo = args.GetInt("lo", 0);
+  int hi = args.GetInt("hi", n);
+  auto side = SideInformation::Interval(lo, hi, n);
+  if (!side.ok()) return side.status();
+  return MinimaxConsumer::Create(*loss, *side);
+}
+
+int CmdRelease(const Args& args) {
+  int n = args.GetInt("n", 100);
+  double alpha = args.GetDouble("alpha", 0.5);
+  int count = args.GetInt("count", -1);
+  if (count < 0) {
+    return Fail(Status::InvalidArgument("--count is required"));
+  }
+  auto geo = GeometricMechanism::Create(n, alpha);
+  if (!geo.ok()) return Fail(geo.status());
+  Xoshiro256 rng(static_cast<uint64_t>(args.GetInt("seed", 1)));
+  auto released = geo->Sample(count, rng);
+  if (!released.ok()) return Fail(released.status());
+  std::printf("%d\n", *released);
+  return 0;
+}
+
+int CmdMultilevel(const Args& args) {
+  int n = args.GetInt("n", 100);
+  int count = args.GetInt("count", -1);
+  if (count < 0) {
+    return Fail(Status::InvalidArgument("--count is required"));
+  }
+  // --alphas "0.3,0.5,0.8"
+  std::vector<double> alphas;
+  std::string spec = args.GetString("alphas", "0.3,0.6");
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    alphas.push_back(std::atof(spec.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  auto release = MultiLevelRelease::Create(n, alphas);
+  if (!release.ok()) return Fail(release.status());
+  Xoshiro256 rng(static_cast<uint64_t>(args.GetInt("seed", 1)));
+  auto values = release->Release(count, rng);
+  if (!values.ok()) return Fail(values.status());
+  for (size_t level = 0; level < values->size(); ++level) {
+    std::printf("alpha=%.3f released=%d\n", release->alpha(level),
+                (*values)[level]);
+  }
+  return 0;
+}
+
+int CmdOptimal(const Args& args) {
+  int n = args.GetInt("n", 8);
+  double alpha = args.GetDouble("alpha", 0.5);
+  auto consumer = ConsumerFromArgs(args, n);
+  if (!consumer.ok()) return Fail(consumer.status());
+  auto result = SolveOptimalMechanism(n, alpha, *consumer);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("optimal minimax loss: %.9f (%d simplex pivots)\n",
+              result->loss, result->lp_iterations);
+  if (args.Has("out")) {
+    Status s = SaveMechanism(result->mechanism, args.GetString("out", ""));
+    if (!s.ok()) return Fail(s);
+    std::printf("mechanism written to %s\n",
+                args.GetString("out", "").c_str());
+  } else {
+    std::printf("%s", result->mechanism.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdInteract(const Args& args) {
+  auto deployed = LoadMechanism(args.GetString("file", ""));
+  if (!deployed.ok()) return Fail(deployed.status());
+  auto consumer = ConsumerFromArgs(args, deployed->n());
+  if (!consumer.ok()) return Fail(consumer.status());
+  auto naive = consumer->WorstCaseLoss(*deployed);
+  auto result = SolveOptimalInteraction(*deployed, *consumer);
+  if (!naive.ok()) return Fail(naive.status());
+  if (!result.ok()) return Fail(result.status());
+  std::printf("naive loss:    %.9f\n", *naive);
+  std::printf("rational loss: %.9f\n", result->loss);
+  std::printf("interaction matrix:\n%s", result->interaction.ToString().c_str());
+  return 0;
+}
+
+int CmdCheck(const Args& args) {
+  auto mechanism = LoadMechanism(args.GetString("file", ""));
+  if (!mechanism.ok()) return Fail(mechanism.status());
+  double alpha = args.GetDouble("alpha", 0.5);
+  auto check = CheckDifferentialPrivacy(*mechanism, alpha);
+  if (!check.ok()) return Fail(check.status());
+  std::printf("%.4f-differentially private: %s\n", alpha,
+              check->is_private ? "yes" : "no");
+  if (!check->is_private) {
+    std::printf("violation at inputs (%d, %d), output %d, ratio %.6f\n",
+                check->violation.input, check->violation.input + 1,
+                check->violation.output, check->violation.ratio);
+  }
+  std::printf("strongest alpha satisfied: %.6f (epsilon = %.6f)\n",
+              StrongestAlpha(*mechanism),
+              EpsilonFromAlpha(StrongestAlpha(*mechanism)));
+  return 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  auto mechanism = LoadMechanism(args.GetString("file", ""));
+  if (!mechanism.ok()) return Fail(mechanism.status());
+  MechanismSummary summary = Summarize(*mechanism);
+  std::printf("n: %d\n", mechanism->n());
+  std::printf("strongest alpha: %.6f\n", summary.strongest_alpha);
+  std::printf("worst E|error|: %.6f\n", summary.worst_mean_abs_error);
+  std::printf("worst E[error^2]: %.6f\n", summary.worst_mean_sq_error);
+  std::printf("worst Pr[error]: %.6f\n", summary.worst_prob_error);
+  std::printf("max |bias|: %.6f\n\n", summary.max_bias_magnitude);
+  std::printf("%s",
+              FormatRowErrorStats(ComputeRowErrorStats(*mechanism)).c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: geopriv <command> [--key value ...]\n"
+      "\n"
+      "commands:\n"
+      "  release    --n N --alpha A --count C [--seed S]\n"
+      "  multilevel --n N --alphas a1,a2,... --count C [--seed S]\n"
+      "  optimal    --n N --alpha A [--loss absolute|squared|zero-one]\n"
+      "             [--lo L --hi H] [--out FILE]\n"
+      "  interact   --file FILE [--loss ...] [--lo L --hi H]\n"
+      "  check      --file FILE --alpha A\n"
+      "  analyze    --file FILE\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "release") return CmdRelease(args);
+  if (command == "multilevel") return CmdMultilevel(args);
+  if (command == "optimal") return CmdOptimal(args);
+  if (command == "interact") return CmdInteract(args);
+  if (command == "check") return CmdCheck(args);
+  if (command == "analyze") return CmdAnalyze(args);
+  PrintUsage();
+  return 1;
+}
