@@ -9,10 +9,10 @@
 // A3 — prepared alias samplers vs per-call construction in
 //      Mechanism::Sample: why PrepareSamplers exists.
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
 
+#include "bench/harness.h"
 #include "core/bayesian.h"
 #include "core/consumer.h"
 #include "core/geometric.h"
@@ -93,46 +93,38 @@ void PrintA2InverseAccuracy() {
   std::printf("\n");
 }
 
-void BM_InverseClosedForm(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GeometricMechanism::BuildInverse(n, 0.5));
-  }
-}
-BENCHMARK(BM_InverseClosedForm)->Arg(32)->Arg(128)->Arg(512);
-
-void BM_InverseLu(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto g = *GeometricMechanism::BuildMatrix(n, 0.5);
-  for (auto _ : state) {
-    auto lu = LuDecomposition::Compute(g);
-    benchmark::DoNotOptimize(lu->Inverse());
-  }
-}
-BENCHMARK(BM_InverseLu)->Arg(32)->Arg(128);
-
-void BM_SampleWithPreparedAlias(benchmark::State& state) {
-  auto m = *GeometricMechanism::Create(64, 0.5)->ToMechanism();
-  (void)m.PrepareSamplers();
-  Xoshiro256 rng(3);
-  for (auto _ : state) benchmark::DoNotOptimize(m.Sample(32, rng));
-}
-BENCHMARK(BM_SampleWithPreparedAlias);
-
-void BM_SampleWithoutPreparedAlias(benchmark::State& state) {
-  auto m = *GeometricMechanism::Create(64, 0.5)->ToMechanism();
-  Xoshiro256 rng(3);
-  for (auto _ : state) benchmark::DoNotOptimize(m.Sample(32, rng));
-}
-BENCHMARK(BM_SampleWithoutPreparedAlias);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintA1RandomizedVsDeterministic();
   PrintA2InverseAccuracy();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_ablation", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  for (int n : {32, 128, 512}) {
+    h.Run("InverseClosedForm/n=" + std::to_string(n),
+          [n] { DoNotOptimize(GeometricMechanism::BuildInverse(n, 0.5)); });
+  }
+  for (int n : {32, 128}) {
+    auto g = *GeometricMechanism::BuildMatrix(n, 0.5);
+    h.Run("InverseLu/n=" + std::to_string(n), [&g] {
+      auto lu = LuDecomposition::Compute(g);
+      DoNotOptimize(lu->Inverse());
+    });
+  }
+  {
+    auto m = *GeometricMechanism::Create(64, 0.5)->ToMechanism();
+    (void)m.PrepareSamplers();
+    Xoshiro256 rng(3);
+    h.Run("SampleWithPreparedAlias",
+          [&] { DoNotOptimize(m.Sample(32, rng)); });
+  }
+  {
+    auto m = *GeometricMechanism::Create(64, 0.5)->ToMechanism();
+    Xoshiro256 rng(3);
+    h.Run("SampleWithoutPreparedAlias",
+          [&] { DoNotOptimize(m.Sample(32, rng)); });
+  }
+  return h.Finish();
 }

@@ -8,11 +8,11 @@
 // need randomization — Table 1(c); Bayesian consumers do not), then
 // benchmarks the remap and the LP.
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/bayesian.h"
 #include "core/geometric.h"
 
@@ -68,33 +68,27 @@ void PrintBayesianTable() {
   std::printf("\n");
 }
 
-void BM_BayesOptimalRemap(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto consumer =
-      *BayesianConsumer::WithUniformPrior(LossFunction::SquaredError(), n);
-  auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(consumer.OptimalRemap(geo));
-  }
-}
-BENCHMARK(BM_BayesOptimalRemap)->Arg(8)->Arg(32)->Arg(64);
-
-void BM_BayesianLp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto consumer =
-      *BayesianConsumer::WithUniformPrior(LossFunction::AbsoluteError(), n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveOptimalBayesianMechanism(n, 0.5, consumer));
-  }
-}
-BENCHMARK(BM_BayesianLp)->Arg(4)->Arg(8)->Arg(12);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintBayesianTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_bayesian_baseline", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  for (int n : {8, 32, 64}) {
+    auto consumer =
+        *BayesianConsumer::WithUniformPrior(LossFunction::SquaredError(), n);
+    auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
+    h.Run("BayesOptimalRemap/n=" + std::to_string(n),
+          [&] { DoNotOptimize(consumer.OptimalRemap(geo)); });
+  }
+  for (int n : {4, 8, 12}) {
+    auto consumer =
+        *BayesianConsumer::WithUniformPrior(LossFunction::AbsoluteError(), n);
+    h.Run("BayesianLp/n=" + std::to_string(n), [n, &consumer] {
+      DoNotOptimize(SolveOptimalBayesianMechanism(n, 0.5, consumer));
+    });
+  }
+  return h.Finish();
 }

@@ -6,10 +6,10 @@
 // violated triple, then benchmarks the condition check and the
 // closed-form factorization T = G^{-1}M.
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
 
+#include "bench/harness.h"
 #include "core/derivability.h"
 #include "core/examples_catalog.h"
 #include "core/geometric.h"
@@ -50,42 +50,34 @@ void PrintDerivabilitySweep() {
               verdict->slack);
 }
 
-void BM_CheckDerivabilityDouble(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto geo = *GeometricMechanism::Create(n, 0.7);
-  auto m = *geo.ToMechanism();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(CheckDerivability(m, 0.5));
-  }
-}
-BENCHMARK(BM_CheckDerivabilityDouble)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_DeriveInteractionDouble(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto geo = *GeometricMechanism::Create(n, 0.7);
-  auto m = *geo.ToMechanism();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(DeriveInteraction(m, 0.5));
-  }
-}
-BENCHMARK(BM_DeriveInteractionDouble)->Arg(8)->Arg(32)->Arg(64);
-
-void BM_PrivacyTransitionExactBench(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rational alpha = *Rational::FromInts(1, 4);
-  Rational beta = *Rational::FromInts(1, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(PrivacyTransitionExact(n, alpha, beta));
-  }
-}
-BENCHMARK(BM_PrivacyTransitionExactBench)->Arg(4)->Arg(8)->Arg(16);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintDerivabilitySweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_derivability", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  for (int n : {8, 32, 128}) {
+    auto geo = *GeometricMechanism::Create(n, 0.7);
+    auto m = *geo.ToMechanism();
+    h.Run("CheckDerivabilityDouble/n=" + std::to_string(n),
+          [&m] { DoNotOptimize(CheckDerivability(m, 0.5)); });
+  }
+  for (int n : {8, 32, 64}) {
+    auto geo = *GeometricMechanism::Create(n, 0.7);
+    auto m = *geo.ToMechanism();
+    h.Run("DeriveInteractionDouble/n=" + std::to_string(n),
+          [&m] { DoNotOptimize(DeriveInteraction(m, 0.5)); });
+  }
+  {
+    Rational alpha = *Rational::FromInts(1, 4);
+    Rational beta = *Rational::FromInts(1, 2);
+    for (int n : {4, 8, 16}) {
+      h.Run("PrivacyTransitionExact/n=" + std::to_string(n), [&, n] {
+        DoNotOptimize(PrivacyTransitionExact(n, alpha, beta));
+      });
+    }
+  }
+  return h.Finish();
 }

@@ -5,10 +5,10 @@
 // then benchmarks each stage (query evaluation, release, post-processing
 // application).
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
 
+#include "bench/harness.h"
 #include "core/geopriv.h"
 
 namespace {
@@ -50,62 +50,45 @@ void PrintPipeline() {
   std::printf("\n");
 }
 
-void BM_CountQueryEvaluation(benchmark::State& state) {
-  SyntheticPopulationOptions options;
-  options.num_rows = state.range(0);
-  Xoshiro256 rng(5);
-  auto table = *GenerateSyntheticSurvey(options, rng);
-  CountQuery q = FluCountQuery();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(q.Evaluate(table));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_CountQueryEvaluation)->Arg(1000)->Arg(10000)->Arg(100000);
-
-void BM_SyntheticGeneration(benchmark::State& state) {
-  SyntheticPopulationOptions options;
-  options.num_rows = state.range(0);
-  Xoshiro256 rng(5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GenerateSyntheticSurvey(options, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_SyntheticGeneration)->Arg(1000)->Arg(10000);
-
-void BM_FullReleasePath(benchmark::State& state) {
-  // truth -> geometric sample, the hot path of a deployed mechanism.
-  const int n = 10000;
-  auto geo = *GeometricMechanism::Create(n, 0.5);
-  Xoshiro256 rng(5);
-  int truth = 4217;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(geo.Sample(truth, rng));
-  }
-}
-BENCHMARK(BM_FullReleasePath);
-
-void BM_ApplyInteraction(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
-  Matrix blur(static_cast<size_t>(n) + 1, static_cast<size_t>(n) + 1);
-  for (size_t r = 0; r <= static_cast<size_t>(n); ++r) {
-    blur.At(r, r) = 0.5;
-    blur.At(r, (r + 1) % (static_cast<size_t>(n) + 1)) = 0.5;
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(geo.ApplyInteraction(blur));
-  }
-}
-BENCHMARK(BM_ApplyInteraction)->Arg(16)->Arg(64)->Arg(128);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintPipeline();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_end_to_end_query", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  for (int rows : {1000, 10000, 100000}) {
+    SyntheticPopulationOptions options;
+    options.num_rows = rows;
+    Xoshiro256 rng(5);
+    auto table = *GenerateSyntheticSurvey(options, rng);
+    CountQuery q = FluCountQuery();
+    h.Run("CountQueryEvaluation/rows=" + std::to_string(rows),
+          [&] { DoNotOptimize(q.Evaluate(table)); });
+  }
+  for (int rows : {1000, 10000}) {
+    SyntheticPopulationOptions options;
+    options.num_rows = rows;
+    Xoshiro256 rng(5);
+    h.Run("SyntheticGeneration/rows=" + std::to_string(rows),
+          [&] { DoNotOptimize(GenerateSyntheticSurvey(options, rng)); });
+  }
+  {
+    // truth -> geometric sample, the hot path of a deployed mechanism.
+    auto geo = *GeometricMechanism::Create(10000, 0.5);
+    Xoshiro256 rng(5);
+    h.Run("FullReleasePath", [&] { DoNotOptimize(geo.Sample(4217, rng)); });
+  }
+  for (int n : {16, 64, 128}) {
+    auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
+    Matrix blur(static_cast<size_t>(n) + 1, static_cast<size_t>(n) + 1);
+    for (size_t r = 0; r <= static_cast<size_t>(n); ++r) {
+      blur.At(r, r) = 0.5;
+      blur.At(r, (r + 1) % (static_cast<size_t>(n) + 1)) = 0.5;
+    }
+    h.Run("ApplyInteraction/n=" + std::to_string(n),
+          [&] { DoNotOptimize(geo.ApplyInteraction(blur)); });
+  }
+  return h.Finish();
 }

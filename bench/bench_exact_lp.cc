@@ -1,14 +1,19 @@
 // Exact-rational LP harness: prints the paper's headline equalities with
 // zero tolerance (Theorem 1 over Q) and the exact Table 1 artifacts, then
-// benchmarks the exact simplex against the double simplex.
-
-#include <benchmark/benchmark.h>
+// benchmarks the fraction-free exact simplex against the dense-Rational
+// reference engine (the seed implementation) and the double simplex.
+//
+// Pass --large (or GEOPRIV_BENCH_LARGE=1) for the expensive cases: the
+// fraction-free engine at n = 12/16 (sizes the dense engine cannot reach)
+// and the dense reference at n = 8.
 
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "core/geometric.h"
 #include "core/optimal.h"
 #include "core/optimal_exact.h"
+#include "lp/exact_simplex.h"
 
 namespace {
 
@@ -65,36 +70,51 @@ void PrintExactResults() {
   std::printf("%s\n", interaction->matrix.ToString().c_str());
 }
 
-void BM_ExactOptimalMechanismLp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+// The production Section 2.5 LP over Q through a specific pivot engine.
+void SolveExactLp(int n, ExactPivotEngine engine) {
   Rational half = *Rational::FromInts(1, 2);
-  auto side = SideInformation::All(n);
-  auto loss = ExactLossFunction::AbsoluteError();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        SolveOptimalMechanismExact(n, half, loss, side));
-  }
+  auto lp = BuildOptimalMechanismLpExact(n, half,
+                                         ExactLossFunction::AbsoluteError(),
+                                         SideInformation::All(n));
+  if (!lp.ok()) return;
+  ExactSimplexSolver solver(engine);
+  geopriv::bench::DoNotOptimize(solver.Solve(*lp));
 }
-BENCHMARK(BM_ExactOptimalMechanismLp)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_DoubleOptimalMechanismLp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
-                                           SideInformation::All(n));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveOptimalMechanism(n, 0.5, consumer));
-  }
-}
-BENCHMARK(BM_DoubleOptimalMechanismLp)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintExactResults();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_exact_lp", argc, argv);
+  for (int n : {2, 3, 4, 5, 8}) {
+    h.Run("ExactOptimalMechanismLp/fraction_free/n=" + std::to_string(n),
+          [n] { SolveExactLp(n, ExactPivotEngine::kFractionFree); });
+  }
+  // The dense reference (the seed implementation) is quadratically more
+  // expensive per pivot; keep its sweep short by default.
+  for (int n : {2, 3, 4, 5}) {
+    h.Run("ExactOptimalMechanismLp/dense_rational/n=" + std::to_string(n),
+          [n] { SolveExactLp(n, ExactPivotEngine::kDenseRational); });
+  }
+  if (h.large()) {
+    for (int n : {12, 16}) {
+      h.Run("ExactOptimalMechanismLp/fraction_free/n=" + std::to_string(n),
+            [n] { SolveExactLp(n, ExactPivotEngine::kFractionFree); },
+            {/*repetitions=*/3, /*warmup=*/0, /*min_rep_ms=*/0.0,
+             /*budget_ms=*/1800000.0});
+    }
+    h.Run("ExactOptimalMechanismLp/dense_rational/n=8",
+          [] { SolveExactLp(8, ExactPivotEngine::kDenseRational); },
+          {/*repetitions=*/3, /*warmup=*/0, /*min_rep_ms=*/0.0,
+           /*budget_ms=*/1800000.0});
+  }
+  for (int n : {2, 3, 4, 5}) {
+    h.Run("DoubleOptimalMechanismLp/n=" + std::to_string(n), [n] {
+      auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                               SideInformation::All(n));
+      geopriv::bench::DoNotOptimize(SolveOptimalMechanism(n, 0.5, consumer));
+    });
+  }
+  return h.Finish();
 }

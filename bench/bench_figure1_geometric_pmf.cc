@@ -5,11 +5,11 @@
 // both from the closed-form pmf and from the empirical sampler, then
 // benchmarks pmf evaluation and sampling.
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <map>
+#include <string>
 
+#include "bench/harness.h"
 #include "core/geometric.h"
 #include "rng/distributions.h"
 #include "rng/engine.h"
@@ -44,44 +44,37 @@ void PrintFigure1() {
   std::printf("\n");
 }
 
-void BM_PmfEvaluation(benchmark::State& state) {
-  auto sampler = *TwoSidedGeometricSampler::Create(0.2);
-  int64_t z = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.Pmf(z));
-    z = (z + 1) % 41 - 20;
-  }
-}
-BENCHMARK(BM_PmfEvaluation);
-
-void BM_NoiseSampling(benchmark::State& state) {
-  auto sampler = *TwoSidedGeometricSampler::Create(
-      static_cast<double>(state.range(0)) / 100.0);
-  Xoshiro256 rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.Sample(rng));
-  }
-}
-BENCHMARK(BM_NoiseSampling)->Arg(20)->Arg(50)->Arg(80);
-
-void BM_RangeRestrictedSampling(benchmark::State& state) {
-  auto geo = *GeometricMechanism::Create(static_cast<int>(state.range(0)),
-                                         0.2);
-  Xoshiro256 rng(7);
-  int i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(*geo.Sample(i, rng));
-    i = (i + 1) % (geo.n() + 1);
-  }
-}
-BENCHMARK(BM_RangeRestrictedSampling)->Arg(10)->Arg(100)->Arg(1000);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFigure1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_figure1_geometric_pmf", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  {
+    auto sampler = *TwoSidedGeometricSampler::Create(0.2);
+    int64_t z = 0;
+    h.Run("PmfEvaluation", [&] {
+      DoNotOptimize(sampler.Pmf(z));
+      z = (z + 1) % 41 - 20;
+    });
+  }
+  for (int centi_alpha : {20, 50, 80}) {
+    auto sampler = *TwoSidedGeometricSampler::Create(
+        static_cast<double>(centi_alpha) / 100.0);
+    Xoshiro256 rng(7);
+    h.Run("NoiseSampling/alpha=0." + std::to_string(centi_alpha),
+          [&] { DoNotOptimize(sampler.Sample(rng)); });
+  }
+  for (int n : {10, 100, 1000}) {
+    auto geo = *GeometricMechanism::Create(n, 0.2);
+    Xoshiro256 rng(7);
+    int i = 0;
+    h.Run("RangeRestrictedSampling/n=" + std::to_string(n), [&] {
+      DoNotOptimize(*geo.Sample(i, rng));
+      i = (i + 1) % (geo.n() + 1);
+    });
+  }
+  return h.Finish();
 }

@@ -5,12 +5,11 @@
 // dense two-phase simplex instead.  This harness reports how the Section
 // 2.5 LP ((n+1)^2 + 1 variables, O(n^2) rows) scales with the database
 // size n, printing a size/time/iterations table and then running the
-// google-benchmark timings.
-
-#include <benchmark/benchmark.h>
+// timed benchmarks.
 
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "core/consumer.h"
 #include "core/optimal.h"
 #include "util/stopwatch.h"
@@ -46,23 +45,28 @@ void PrintScalingTable() {
               "sparse revised simplex for larger instances)\n\n");
 }
 
-void BM_OptimalMechanismLp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
-                                           SideInformation::All(n));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveOptimalMechanism(n, 0.5, consumer));
-  }
-}
-BENCHMARK(BM_OptimalMechanismLp)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
-    ->Unit(benchmark::kMillisecond);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintScalingTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_lp_scaling", argc, argv);
+  for (int n : {4, 8, 12, 16}) {
+    auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                             SideInformation::All(n));
+    h.Run("OptimalMechanismLp/n=" + std::to_string(n), [n, &consumer] {
+      geopriv::bench::DoNotOptimize(SolveOptimalMechanism(n, 0.5, consumer));
+    });
+  }
+  if (h.large()) {
+    for (int n : {20, 24}) {
+      auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                               SideInformation::All(n));
+      h.Run("OptimalMechanismLp/n=" + std::to_string(n), [n, &consumer] {
+        geopriv::bench::DoNotOptimize(
+            SolveOptimalMechanism(n, 0.5, consumer));
+      });
+    }
+  }
+  return h.Finish();
 }

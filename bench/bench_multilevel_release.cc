@@ -5,12 +5,12 @@
 // experiment contrasting Algorithm 1 with naive independent noise, then
 // benchmarks plan construction and release throughput.
 
-#include <benchmark/benchmark.h>
-
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/geometric.h"
 #include "core/multilevel.h"
 #include "rng/engine.h"
@@ -103,33 +103,28 @@ void PrintCollusion() {
   std::printf("\n");
 }
 
-void BM_CreateReleasePlan(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MultiLevelRelease::Create(n, {0.3, 0.5, 0.7}));
-  }
-}
-BENCHMARK(BM_CreateReleasePlan)->Arg(8)->Arg(32)->Arg(64);
-
-void BM_ReleaseThroughput(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto release = *MultiLevelRelease::Create(n, {0.3, 0.5, 0.7});
-  Xoshiro256 rng(5);
-  int truth = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(release.Release(truth, rng));
-    truth = (truth + 1) % (n + 1);
-  }
-}
-BENCHMARK(BM_ReleaseThroughput)->Arg(8)->Arg(32)->Arg(64);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintMarginals();
   PrintCollusion();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_multilevel_release", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  for (int n : {8, 32, 64}) {
+    h.Run("CreateReleasePlan/n=" + std::to_string(n), [n] {
+      DoNotOptimize(MultiLevelRelease::Create(n, {0.3, 0.5, 0.7}));
+    });
+  }
+  for (int n : {8, 32, 64}) {
+    auto release = *MultiLevelRelease::Create(n, {0.3, 0.5, 0.7});
+    Xoshiro256 rng(5);
+    int truth = 0;
+    h.Run("ReleaseThroughput/n=" + std::to_string(n), [&, n] {
+      DoNotOptimize(release.Release(truth, rng));
+      truth = (truth + 1) % (n + 1);
+    });
+  }
+  return h.Finish();
 }

@@ -3,11 +3,11 @@
 // Laplace noise, and the generic discrete/alias samplers that drive
 // mechanism rows and Algorithm 1 transitions.
 
-#include <benchmark/benchmark.h>
-
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/mechanism.h"
 #include "rng/distributions.h"
 #include "rng/engine.h"
@@ -15,38 +15,7 @@
 namespace {
 
 using namespace geopriv;
-
-void BM_Xoshiro256Next(benchmark::State& state) {
-  Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
-}
-BENCHMARK(BM_Xoshiro256Next);
-
-void BM_Xoshiro256NextDouble(benchmark::State& state) {
-  Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.NextDouble());
-}
-BENCHMARK(BM_Xoshiro256NextDouble);
-
-void BM_Xoshiro256NextBounded(benchmark::State& state) {
-  Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.NextBounded(1000));
-}
-BENCHMARK(BM_Xoshiro256NextBounded);
-
-void BM_TwoSidedGeometric(benchmark::State& state) {
-  auto sampler = *TwoSidedGeometricSampler::Create(0.5);
-  Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
-}
-BENCHMARK(BM_TwoSidedGeometric);
-
-void BM_Laplace(benchmark::State& state) {
-  auto sampler = *LaplaceSampler::Create(0.0, 1.5);
-  Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
-}
-BENCHMARK(BM_Laplace);
+using geopriv::bench::DoNotOptimize;
 
 std::vector<double> GeometricRow(int n, double alpha) {
   std::vector<double> row(static_cast<size_t>(n) + 1);
@@ -56,41 +25,60 @@ std::vector<double> GeometricRow(int n, double alpha) {
   return row;
 }
 
-void BM_DiscreteSamplerDraw(benchmark::State& state) {
-  auto sampler =
-      *DiscreteSampler::Create(GeometricRow(static_cast<int>(state.range(0)), 0.5));
-  Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
-}
-BENCHMARK(BM_DiscreteSamplerDraw)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_AliasSamplerDraw(benchmark::State& state) {
-  auto sampler =
-      *AliasSampler::Create(GeometricRow(static_cast<int>(state.range(0)), 0.5));
-  Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
-}
-BENCHMARK(BM_AliasSamplerDraw)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_AliasSamplerBuild(benchmark::State& state) {
-  auto row = GeometricRow(static_cast<int>(state.range(0)), 0.5);
-  for (auto _ : state) benchmark::DoNotOptimize(AliasSampler::Create(row));
-}
-BENCHMARK(BM_AliasSamplerBuild)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_MechanismSamplePrepared(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Mechanism m = Mechanism::Uniform(n);
-  (void)m.PrepareSamplers();
-  Xoshiro256 rng(1);
-  int i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.Sample(i, rng));
-    i = (i + 1) % (n + 1);
-  }
-}
-BENCHMARK(BM_MechanismSamplePrepared)->Arg(16)->Arg(256);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  geopriv::bench::Harness h("bench_sampling", argc, argv);
+
+  {
+    Xoshiro256 rng(1);
+    h.Run("Xoshiro256Next", [&] { DoNotOptimize(rng.Next()); });
+  }
+  {
+    Xoshiro256 rng(1);
+    h.Run("Xoshiro256NextDouble", [&] { DoNotOptimize(rng.NextDouble()); });
+  }
+  {
+    Xoshiro256 rng(1);
+    h.Run("Xoshiro256NextBounded",
+          [&] { DoNotOptimize(rng.NextBounded(1000)); });
+  }
+  {
+    auto sampler = *TwoSidedGeometricSampler::Create(0.5);
+    Xoshiro256 rng(1);
+    h.Run("TwoSidedGeometric", [&] { DoNotOptimize(sampler.Sample(rng)); });
+  }
+  {
+    auto sampler = *LaplaceSampler::Create(0.0, 1.5);
+    Xoshiro256 rng(1);
+    h.Run("Laplace", [&] { DoNotOptimize(sampler.Sample(rng)); });
+  }
+  for (int n : {16, 256, 4096}) {
+    auto sampler = *DiscreteSampler::Create(GeometricRow(n, 0.5));
+    Xoshiro256 rng(1);
+    h.Run("DiscreteSamplerDraw/n=" + std::to_string(n),
+          [&] { DoNotOptimize(sampler.Sample(rng)); });
+  }
+  for (int n : {16, 256, 4096}) {
+    auto sampler = *AliasSampler::Create(GeometricRow(n, 0.5));
+    Xoshiro256 rng(1);
+    h.Run("AliasSamplerDraw/n=" + std::to_string(n),
+          [&] { DoNotOptimize(sampler.Sample(rng)); });
+  }
+  for (int n : {16, 256, 4096}) {
+    auto row = GeometricRow(n, 0.5);
+    h.Run("AliasSamplerBuild/n=" + std::to_string(n),
+          [&] { DoNotOptimize(AliasSampler::Create(row)); });
+  }
+  for (int n : {16, 256}) {
+    Mechanism m = Mechanism::Uniform(n);
+    (void)m.PrepareSamplers();
+    Xoshiro256 rng(1);
+    int i = 0;
+    h.Run("MechanismSamplePrepared/n=" + std::to_string(n), [&, n] {
+      DoNotOptimize(m.Sample(i, rng));
+      i = (i + 1) % (n + 1);
+    });
+  }
+  return h.Finish();
+}

@@ -7,10 +7,9 @@
 //   (c) the consumer's optimal interaction from the Section 2.4.3 LP,
 // then benchmarks the two LP solves and the exact factorization.
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "core/consumer.h"
 #include "core/derivability.h"
 #include "core/examples_catalog.h"
@@ -49,44 +48,35 @@ void PrintTable1() {
       interaction->loss, interaction->interaction.ToString(5).c_str());
 }
 
-void BM_Table1OptimalMechanismLp(benchmark::State& state) {
-  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
-                                           SideInformation::All(3));
-  for (auto _ : state) {
-    auto result = SolveOptimalMechanism(3, 0.25, consumer);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Table1OptimalMechanismLp);
-
-void BM_Table1InteractionLp(benchmark::State& state) {
-  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
-                                           SideInformation::All(3));
-  auto geo = *GeometricMechanism::Create(3, 0.25);
-  auto deployed = *geo.ToMechanism();
-  for (auto _ : state) {
-    auto result = SolveOptimalInteraction(deployed, consumer);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Table1InteractionLp);
-
-void BM_Table1ExactFactorization(benchmark::State& state) {
-  Rational alpha = *Rational::FromInts(1, 4);
-  auto m = *GeometricMechanism::BuildExactMatrix(3, *Rational::FromInts(1, 2));
-  for (auto _ : state) {
-    auto t = DeriveInteractionExact(m, alpha);
-    benchmark::DoNotOptimize(t);
-  }
-}
-BENCHMARK(BM_Table1ExactFactorization);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintTable1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_table1_optimal_mechanism", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  {
+    auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                             SideInformation::All(3));
+    h.Run("Table1OptimalMechanismLp",
+          [&] { DoNotOptimize(SolveOptimalMechanism(3, 0.25, consumer)); });
+  }
+  {
+    auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                             SideInformation::All(3));
+    auto geo = *GeometricMechanism::Create(3, 0.25);
+    auto deployed = *geo.ToMechanism();
+    h.Run("Table1InteractionLp", [&] {
+      DoNotOptimize(SolveOptimalInteraction(deployed, consumer));
+    });
+  }
+  {
+    Rational alpha = *Rational::FromInts(1, 4);
+    auto m =
+        *GeometricMechanism::BuildExactMatrix(3, *Rational::FromInts(1, 2));
+    h.Run("Table1ExactFactorization",
+          [&] { DoNotOptimize(DeriveInteractionExact(m, alpha)); });
+  }
+  return h.Finish();
 }

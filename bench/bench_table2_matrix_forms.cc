@@ -6,15 +6,16 @@
 // a sweep of n, then benchmarks construction, determinants and the
 // closed-form inverse (double and exact).
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
 
+#include "bench/harness.h"
 #include "core/geometric.h"
 
 namespace {
 
 using namespace geopriv;
+using geopriv::bench::DoNotOptimize;
 
 void PrintTable2() {
   Rational third = *Rational::FromInts(1, 3);
@@ -39,56 +40,36 @@ void PrintTable2() {
   std::printf("\n");
 }
 
-void BM_BuildMatrixDouble(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GeometricMechanism::BuildMatrix(n, 0.5));
-  }
-}
-BENCHMARK(BM_BuildMatrixDouble)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_BuildMatrixExact(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rational half = *Rational::FromInts(1, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GeometricMechanism::BuildExactMatrix(n, half));
-  }
-}
-BENCHMARK(BM_BuildMatrixExact)->Arg(8)->Arg(32);
-
-void BM_ExactDeterminantByElimination(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rational half = *Rational::FromInts(1, 2);
-  auto gp = *GeometricMechanism::BuildExactGPrime(n, half);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gp.Determinant());
-  }
-}
-BENCHMARK(BM_ExactDeterminantByElimination)->Arg(4)->Arg(8)->Arg(12);
-
-void BM_ClosedFormInverseDouble(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GeometricMechanism::BuildInverse(n, 0.5));
-  }
-}
-BENCHMARK(BM_ClosedFormInverseDouble)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_ClosedFormInverseExact(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rational half = *Rational::FromInts(1, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GeometricMechanism::BuildExactInverse(n, half));
-  }
-}
-BENCHMARK(BM_ClosedFormInverseExact)->Arg(8)->Arg(32);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintTable2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_table2_matrix_forms", argc, argv);
+  Rational half = *Rational::FromInts(1, 2);
+
+  for (int n : {8, 32, 128}) {
+    h.Run("BuildMatrixDouble/n=" + std::to_string(n),
+          [n] { DoNotOptimize(GeometricMechanism::BuildMatrix(n, 0.5)); });
+  }
+  for (int n : {8, 32}) {
+    h.Run("BuildMatrixExact/n=" + std::to_string(n), [n, &half] {
+      DoNotOptimize(GeometricMechanism::BuildExactMatrix(n, half));
+    });
+  }
+  for (int n : {4, 8, 12}) {
+    auto gp = *GeometricMechanism::BuildExactGPrime(n, half);
+    h.Run("ExactDeterminantByElimination/n=" + std::to_string(n),
+          [&gp] { DoNotOptimize(gp.Determinant()); });
+  }
+  for (int n : {8, 32, 128}) {
+    h.Run("ClosedFormInverseDouble/n=" + std::to_string(n),
+          [n] { DoNotOptimize(GeometricMechanism::BuildInverse(n, 0.5)); });
+  }
+  for (int n : {8, 32}) {
+    h.Run("ClosedFormInverseExact/n=" + std::to_string(n), [n, &half] {
+      DoNotOptimize(GeometricMechanism::BuildExactInverse(n, half));
+    });
+  }
+  return h.Finish();
 }

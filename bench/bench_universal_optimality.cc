@@ -7,11 +7,11 @@
 // Prints the loss table over a consumer grid (loss function x side
 // information x alpha), then benchmarks the consumer-side LP.
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/baselines.h"
 #include "core/consumer.h"
 #include "core/geometric.h"
@@ -71,33 +71,28 @@ void PrintUniversalityTable() {
               "consumer)\n\n");
 }
 
-void BM_ConsumerInteractionLp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
-                                           SideInformation::All(n));
-  auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveOptimalInteraction(geo, consumer));
-  }
-}
-BENCHMARK(BM_ConsumerInteractionLp)->Arg(4)->Arg(8)->Arg(12);
-
-void BM_PerConsumerOptimalLp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
-                                           SideInformation::All(n));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveOptimalMechanism(n, 0.5, consumer));
-  }
-}
-BENCHMARK(BM_PerConsumerOptimalLp)->Arg(4)->Arg(8)->Arg(12);
-
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintUniversalityTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  geopriv::bench::Harness h("bench_universal_optimality", argc, argv);
+  using geopriv::bench::DoNotOptimize;
+
+  for (int n : {4, 8, 12}) {
+    auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                             SideInformation::All(n));
+    auto geo = *GeometricMechanism::Create(n, 0.5)->ToMechanism();
+    h.Run("ConsumerInteractionLp/n=" + std::to_string(n), [&] {
+      DoNotOptimize(SolveOptimalInteraction(geo, consumer));
+    });
+  }
+  for (int n : {4, 8, 12}) {
+    auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                             SideInformation::All(n));
+    h.Run("PerConsumerOptimalLp/n=" + std::to_string(n), [&, n] {
+      DoNotOptimize(SolveOptimalMechanism(n, 0.5, consumer));
+    });
+  }
+  return h.Finish();
 }

@@ -1,0 +1,252 @@
+// Shared micro-benchmark harness for the bench_* binaries.
+//
+// Replaces the per-binary google-benchmark boilerplate with one small
+// runner that produces machine-readable output: every benchmark is timed
+// with warmup + calibration, repeated measurements, and median/p95/min/mean
+// statistics, and each suite can emit its results as JSON.
+// tools/run_benches.sh runs every suite with a fixed environment and
+// consolidates the per-suite files into BENCH_exact.json, so the perf
+// trajectory of the repo is diffable across PRs.
+//
+// Usage:
+//   int main(int argc, char** argv) {
+//     geopriv::bench::Harness h("bench_foo", argc, argv);
+//     h.Run("Thing/n=8", [&] { DoNotOptimize(Compute(8)); });
+//     return h.Finish();
+//   }
+//
+// Knobs (flag / environment variable, flag wins):
+//   --json=PATH    GEOPRIV_BENCH_JSON        write suite JSON to PATH
+//   --reps=N       GEOPRIV_BENCH_REPS        measured repetitions (default 7)
+//   --warmup=N     GEOPRIV_BENCH_WARMUP      extra warmup runs (default 1)
+//   --min-rep-ms=X GEOPRIV_BENCH_MIN_REP_MS  auto-batch until one repetition
+//                                            takes at least X ms (default 20)
+//   --budget-ms=X  GEOPRIV_BENCH_BUDGET_MS   soft per-benchmark time budget;
+//                                            repetitions stop early once it
+//                                            is exhausted (default 3000)
+//   --large        GEOPRIV_BENCH_LARGE       opt into expensive cases that
+//                                            suites gate behind large()
+
+#ifndef GEOPRIV_BENCH_HARNESS_H_
+#define GEOPRIV_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace geopriv {
+namespace bench {
+
+/// Prevents the compiler from discarding a computed value.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <typename T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+/// Per-benchmark overrides; negative fields inherit the harness defaults.
+struct RunOptions {
+  int repetitions = -1;
+  int warmup = -1;
+  double min_rep_ms = -1.0;
+  double budget_ms = -1.0;
+};
+
+/// One finished benchmark.
+struct BenchResult {
+  std::string name;
+  int repetitions = 0;   // measured repetitions actually taken
+  long batch = 1;        // calls per repetition (auto-calibrated)
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+class Harness {
+ public:
+  explicit Harness(std::string suite, int argc = 0, char** argv = nullptr)
+      : suite_(std::move(suite)) {
+    json_path_ = EnvString("GEOPRIV_BENCH_JSON");
+    repetitions_ = EnvInt("GEOPRIV_BENCH_REPS", 7);
+    warmup_ = EnvInt("GEOPRIV_BENCH_WARMUP", 1);
+    min_rep_ms_ = EnvDouble("GEOPRIV_BENCH_MIN_REP_MS", 20.0);
+    budget_ms_ = EnvDouble("GEOPRIV_BENCH_BUDGET_MS", 3000.0);
+    large_ = EnvInt("GEOPRIV_BENCH_LARGE", 0) != 0;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (const char* v = FlagValue(arg, "--json=")) json_path_ = v;
+      if (const char* v = FlagValue(arg, "--reps=")) repetitions_ = atoi(v);
+      if (const char* v = FlagValue(arg, "--warmup=")) warmup_ = atoi(v);
+      if (const char* v = FlagValue(arg, "--min-rep-ms="))
+        min_rep_ms_ = atof(v);
+      if (const char* v = FlagValue(arg, "--budget-ms="))
+        budget_ms_ = atof(v);
+      if (std::strcmp(arg, "--large") == 0) large_ = true;
+    }
+  }
+
+  /// True when expensive benchmark cases were requested.
+  bool large() const { return large_; }
+
+  /// Times `fn` and records the result under `name`.
+  template <typename Fn>
+  void Run(const std::string& name, Fn&& fn, RunOptions opts = {}) {
+    const int reps = opts.repetitions > 0 ? opts.repetitions : repetitions_;
+    const int warmup = opts.warmup >= 0 ? opts.warmup : warmup_;
+    const double min_rep =
+        opts.min_rep_ms >= 0.0 ? opts.min_rep_ms : min_rep_ms_;
+    const double budget = opts.budget_ms > 0.0 ? opts.budget_ms : budget_ms_;
+
+    BenchResult result;
+    result.name = name;
+
+    // Calibration doubles the batch until one repetition is long enough to
+    // time reliably; these runs double as the first warmup.
+    long batch = 1;
+    double elapsed = TimeBatch(fn, batch);
+    double spent = elapsed;
+    while (elapsed < min_rep && spent < budget && batch < (1L << 24)) {
+      batch *= 2;
+      elapsed = TimeBatch(fn, batch);
+      spent += elapsed;
+    }
+    result.batch = batch;
+    for (int w = 0; w < warmup && spent + elapsed < budget; ++w) {
+      spent += TimeBatch(fn, batch);
+    }
+
+    // Measured repetitions; stop early when the budget runs out (the
+    // calibration measurement seeds the samples so slow benchmarks still
+    // report at least one data point).
+    std::vector<double> samples;
+    samples.push_back(elapsed / static_cast<double>(batch));
+    for (int r = 1; r < reps; ++r) {
+      if (spent >= budget) break;
+      double e = TimeBatch(fn, batch);
+      spent += e;
+      samples.push_back(e / static_cast<double>(batch));
+    }
+
+    std::sort(samples.begin(), samples.end());
+    const size_t n = samples.size();
+    result.repetitions = static_cast<int>(n);
+    result.min_ms = samples.front();
+    result.median_ms = n % 2 == 1
+                           ? samples[n / 2]
+                           : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+    // Nearest-rank p95; with few repetitions this degenerates to the max,
+    // which is the honest reading.
+    size_t p95_index = static_cast<size_t>(
+        std::ceil(0.95 * static_cast<double>(n)));
+    result.p95_ms = samples[std::min(n - 1, p95_index == 0 ? 0 : p95_index - 1)];
+    double sum = 0.0;
+    for (double s : samples) sum += s;
+    result.mean_ms = sum / static_cast<double>(n);
+    results_.push_back(result);
+
+    std::printf("  %-44s %12.6f ms (p95 %12.6f, reps %2d, batch %ld)\n",
+                name.c_str(), result.median_ms, result.p95_ms,
+                result.repetitions, result.batch);
+    std::fflush(stdout);
+  }
+
+  /// Prints the summary table and writes the suite JSON (if requested).
+  /// Returns a process exit code.
+  int Finish() {
+    std::printf("\n# %s: %zu benchmarks (median of up to %d reps)\n",
+                suite_.c_str(), results_.size(), repetitions_);
+    std::printf("# %-44s %16s %16s\n", "benchmark", "median [ms]",
+                "p95 [ms]");
+    for (const BenchResult& r : results_) {
+      std::printf("  %-44s %16.6f %16.6f\n", r.name.c_str(), r.median_ms,
+                  r.p95_ms);
+    }
+    if (!json_path_.empty() && !WriteJson()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path_.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  template <typename Fn>
+  double TimeBatch(Fn&& fn, long batch) {
+    auto start = Clock::now();
+    for (long i = 0; i < batch; ++i) fn();
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  }
+
+  static const char* FlagValue(const char* arg, const char* prefix) {
+    size_t len = std::strlen(prefix);
+    return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+  }
+  static std::string EnvString(const char* name) {
+    const char* v = std::getenv(name);
+    return v ? v : "";
+  }
+  static int EnvInt(const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v ? atoi(v) : fallback;
+  }
+  static double EnvDouble(const char* name, double fallback) {
+    const char* v = std::getenv(name);
+    return v ? atof(v) : fallback;
+  }
+
+  // Minimal JSON string escaping (names are ASCII identifiers).
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  bool WriteJson() const {
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"benchmarks\": [\n",
+                 Escape(suite_).c_str());
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"repetitions\": %d, "
+                   "\"batch\": %ld, \"median_ms\": %.6f, \"p95_ms\": %.6f, "
+                   "\"min_ms\": %.6f, \"mean_ms\": %.6f}%s\n",
+                   Escape(r.name).c_str(), r.repetitions, r.batch,
+                   r.median_ms, r.p95_ms, r.min_ms, r.mean_ms,
+                   i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  std::string suite_;
+  std::string json_path_;
+  int repetitions_;
+  int warmup_;
+  double min_rep_ms_;
+  double budget_ms_;
+  bool large_ = false;
+  std::vector<BenchResult> results_;
+};
+
+}  // namespace bench
+}  // namespace geopriv
+
+#endif  // GEOPRIV_BENCH_HARNESS_H_

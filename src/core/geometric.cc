@@ -1,6 +1,7 @@
 #include "core/geometric.h"
 
 #include <cmath>
+#include <vector>
 
 namespace geopriv {
 
@@ -20,6 +21,27 @@ Status ValidateShapeExact(int n, const Rational& alpha) {
     return Status::InvalidArgument("alpha must lie in [0, 1)");
   }
   return Status::OK();
+}
+
+// Power table alpha^0 .. alpha^n: O(n) multiplications once, instead of an
+// O(n²) storm of std::pow / Rational::Pow calls from the per-cell loops.
+// std::pow(0, 0) == 1, so powers[0] = 1 even for alpha == 0.
+std::vector<double> PowerTable(double alpha, int n) {
+  std::vector<double> powers(static_cast<size_t>(n) + 1);
+  powers[0] = 1.0;
+  for (int k = 1; k <= n; ++k) {
+    powers[static_cast<size_t>(k)] = powers[static_cast<size_t>(k) - 1] * alpha;
+  }
+  return powers;
+}
+
+std::vector<Rational> ExactPowerTable(const Rational& alpha, int n) {
+  std::vector<Rational> powers(static_cast<size_t>(n) + 1);
+  powers[0] = Rational(1);
+  for (int k = 1; k <= n; ++k) {
+    powers[static_cast<size_t>(k)] = powers[static_cast<size_t>(k) - 1] * alpha;
+  }
+  return powers;
 }
 
 }  // namespace
@@ -69,16 +91,17 @@ Result<Matrix> GeometricMechanism::BuildMatrix(int n, double alpha) {
   }
   const double interior = (1.0 - alpha) / (1.0 + alpha);
   const double edge = 1.0 / (1.0 + alpha);
+  const std::vector<double> powers = PowerTable(alpha, n);
   for (int k = 0; k <= n; ++k) {
     // Endpoint columns absorb the clamped tails: Pr[out = 0] = Pr[Z <= -k]
-    // = α^k/(1+α), symmetrically for n.  std::pow(0, 0) == 1 makes the
-    // α = 0 (identity) case fall out naturally.
-    m.At(static_cast<size_t>(k), 0) = edge * std::pow(alpha, k);
+    // = α^k/(1+α), symmetrically for n.  powers[0] == 1 makes the α = 0
+    // (identity) case fall out naturally.
+    m.At(static_cast<size_t>(k), 0) = edge * powers[static_cast<size_t>(k)];
     m.At(static_cast<size_t>(k), static_cast<size_t>(n)) =
-        edge * std::pow(alpha, n - k);
+        edge * powers[static_cast<size_t>(n - k)];
     for (int z = 1; z < n; ++z) {
       m.At(static_cast<size_t>(k), static_cast<size_t>(z)) =
-          interior * std::pow(alpha, std::abs(z - k));
+          interior * powers[static_cast<size_t>(std::abs(z - k))];
     }
   }
   return m;
@@ -88,10 +111,11 @@ Result<Matrix> GeometricMechanism::BuildGPrime(int n, double alpha) {
   GEOPRIV_RETURN_IF_ERROR(ValidateShape(n, alpha));
   const size_t size = static_cast<size_t>(n) + 1;
   Matrix m(size, size);
+  const std::vector<double> powers = PowerTable(alpha, n);
   for (size_t i = 0; i < size; ++i) {
     for (size_t j = 0; j < size; ++j) {
-      m.At(i, j) = std::pow(alpha, std::abs(static_cast<int>(i) -
-                                            static_cast<int>(j)));
+      m.At(i, j) = powers[static_cast<size_t>(
+          std::abs(static_cast<int>(i) - static_cast<int>(j)))];
     }
   }
   return m;
@@ -139,13 +163,15 @@ Result<RationalMatrix> GeometricMechanism::BuildExactMatrix(
                            Rational::Divide(one, one + alpha));
   GEOPRIV_ASSIGN_OR_RETURN(Rational interior,
                            Rational::Divide(one - alpha, one + alpha));
+  const std::vector<Rational> powers = ExactPowerTable(alpha, n);
   for (int k = 0; k <= n; ++k) {
-    m.At(static_cast<size_t>(k), 0) = edge * *alpha.Pow(k);
+    m.At(static_cast<size_t>(k), 0) =
+        edge * powers[static_cast<size_t>(k)];
     m.At(static_cast<size_t>(k), static_cast<size_t>(n)) =
-        edge * *alpha.Pow(n - k);
+        edge * powers[static_cast<size_t>(n - k)];
     for (int z = 1; z < n; ++z) {
       m.At(static_cast<size_t>(k), static_cast<size_t>(z)) =
-          interior * *alpha.Pow(std::abs(z - k));
+          interior * powers[static_cast<size_t>(std::abs(z - k))];
     }
   }
   return m;
@@ -156,10 +182,11 @@ Result<RationalMatrix> GeometricMechanism::BuildExactGPrime(
   GEOPRIV_RETURN_IF_ERROR(ValidateShapeExact(n, alpha));
   const size_t size = static_cast<size_t>(n) + 1;
   RationalMatrix m(size, size);
+  const std::vector<Rational> powers = ExactPowerTable(alpha, n);
   for (size_t i = 0; i < size; ++i) {
     for (size_t j = 0; j < size; ++j) {
       int d = std::abs(static_cast<int>(i) - static_cast<int>(j));
-      m.At(i, j) = *alpha.Pow(d);
+      m.At(i, j) = powers[static_cast<size_t>(d)];
     }
   }
   return m;

@@ -111,7 +111,7 @@ RationalMatrix ExtractMatrix(const std::vector<Rational>& values, int n) {
 
 }  // namespace
 
-Result<ExactOptimalResult> SolveOptimalMechanismExact(
+Result<ExactLpProblem> BuildOptimalMechanismLpExact(
     int n, const Rational& alpha, const ExactLossFunction& loss,
     const SideInformation& side) {
   GEOPRIV_RETURN_IF_ERROR(ValidateExactArgs(n, alpha, loss, side));
@@ -126,33 +126,41 @@ Result<ExactOptimalResult> SolveOptimalMechanismExact(
   }
   const int d_var = lp.AddVariable("d", Rational(1));
 
+  // Rows are streamed straight into the model's term arena; no intermediate
+  // term vectors are materialized.
+  const Rational neg_alpha = -alpha;
   for (int i : side.members()) {
-    std::vector<ExactLpTerm> terms;
+    lp.BeginConstraint(RowRelation::kLessEqual, Rational(0));
     for (int r = 0; r < size; ++r) {
       Rational l = loss(i, r);
-      if (!l.IsZero()) terms.push_back({CellVar(i, r, n), std::move(l)});
+      if (!l.IsZero()) lp.AddTerm(CellVar(i, r, n), std::move(l));
     }
-    terms.push_back({d_var, Rational(-1)});
-    lp.AddConstraint(RowRelation::kLessEqual, Rational(0), std::move(terms));
+    lp.AddTerm(d_var, Rational(-1));
   }
   for (int i = 0; i + 1 < size; ++i) {
     for (int r = 0; r < size; ++r) {
-      lp.AddConstraint(RowRelation::kGreaterEqual, Rational(0),
-                       {{CellVar(i, r, n), Rational(1)},
-                        {CellVar(i + 1, r, n), -alpha}});
-      lp.AddConstraint(RowRelation::kGreaterEqual, Rational(0),
-                       {{CellVar(i + 1, r, n), Rational(1)},
-                        {CellVar(i, r, n), -alpha}});
+      lp.BeginConstraint(RowRelation::kGreaterEqual, Rational(0));
+      lp.AddTerm(CellVar(i, r, n), Rational(1));
+      lp.AddTerm(CellVar(i + 1, r, n), neg_alpha);
+      lp.BeginConstraint(RowRelation::kGreaterEqual, Rational(0));
+      lp.AddTerm(CellVar(i + 1, r, n), Rational(1));
+      lp.AddTerm(CellVar(i, r, n), neg_alpha);
     }
   }
   for (int i = 0; i < size; ++i) {
-    std::vector<ExactLpTerm> terms;
+    lp.BeginConstraint(RowRelation::kEqual, Rational(1));
     for (int r = 0; r < size; ++r) {
-      terms.push_back({CellVar(i, r, n), Rational(1)});
+      lp.AddTerm(CellVar(i, r, n), Rational(1));
     }
-    lp.AddConstraint(RowRelation::kEqual, Rational(1), std::move(terms));
   }
+  return lp;
+}
 
+Result<ExactOptimalResult> SolveOptimalMechanismExact(
+    int n, const Rational& alpha, const ExactLossFunction& loss,
+    const SideInformation& side) {
+  GEOPRIV_ASSIGN_OR_RETURN(ExactLpProblem lp,
+                           BuildOptimalMechanismLpExact(n, alpha, loss, side));
   ExactSimplexSolver solver;
   GEOPRIV_ASSIGN_OR_RETURN(ExactLpSolution solution, solver.Solve(lp));
   if (solution.status != LpStatus::kOptimal) {
@@ -190,26 +198,30 @@ Result<ExactOptimalResult> SolveOptimalInteractionExact(
   }
   const int d_var = lp.AddVariable("d", Rational(1));
 
+  // Streamed rows, with the per-i loss values hoisted out of the inner
+  // product so loss(i, ·) is evaluated O(n) instead of O(n²) times per row.
+  std::vector<Rational> loss_row(static_cast<size_t>(size));
   for (int i : side.members()) {
-    std::vector<ExactLpTerm> terms;
+    for (int rp = 0; rp < size; ++rp) {
+      loss_row[static_cast<size_t>(rp)] = loss(i, rp);
+    }
+    lp.BeginConstraint(RowRelation::kLessEqual, Rational(0));
     for (int r = 0; r < size; ++r) {
       const Rational& y =
           deployed.At(static_cast<size_t>(i), static_cast<size_t>(r));
       if (y.IsZero()) continue;
       for (int rp = 0; rp < size; ++rp) {
-        Rational l = loss(i, rp);
-        if (!l.IsZero()) terms.push_back({CellVar(r, rp, n), y * l});
+        const Rational& l = loss_row[static_cast<size_t>(rp)];
+        if (!l.IsZero()) lp.AddTerm(CellVar(r, rp, n), y * l);
       }
     }
-    terms.push_back({d_var, Rational(-1)});
-    lp.AddConstraint(RowRelation::kLessEqual, Rational(0), std::move(terms));
+    lp.AddTerm(d_var, Rational(-1));
   }
   for (int r = 0; r < size; ++r) {
-    std::vector<ExactLpTerm> terms;
+    lp.BeginConstraint(RowRelation::kEqual, Rational(1));
     for (int rp = 0; rp < size; ++rp) {
-      terms.push_back({CellVar(r, rp, n), Rational(1)});
+      lp.AddTerm(CellVar(r, rp, n), Rational(1));
     }
-    lp.AddConstraint(RowRelation::kEqual, Rational(1), std::move(terms));
   }
 
   ExactSimplexSolver solver;

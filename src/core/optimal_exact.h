@@ -20,6 +20,7 @@
 #include "core/consumer.h"
 #include "exact/rational.h"
 #include "exact/rational_matrix.h"
+#include "lp/exact_simplex.h"
 #include "util/result.h"
 
 namespace geopriv {
@@ -67,6 +68,13 @@ struct ExactOptimalResult {
 /// Section 2.5 LP over Q: the optimal alpha-DP mechanism for the consumer
 /// (loss, side).  alpha must lie in [0, 1].
 Result<ExactOptimalResult> SolveOptimalMechanismExact(
+    int n, const Rational& alpha, const ExactLossFunction& loss,
+    const SideInformation& side);
+
+/// Builds (but does not solve) the Section 2.5 LP over Q.  Shared by
+/// SolveOptimalMechanismExact and by benchmarks/tests that want to run the
+/// identical model through a specific ExactPivotEngine.
+Result<ExactLpProblem> BuildOptimalMechanismLpExact(
     int n, const Rational& alpha, const ExactLossFunction& loss,
     const SideInformation& side);
 

@@ -6,24 +6,96 @@
 namespace geopriv {
 
 namespace {
+
 constexpr uint64_t kBase = 1ULL << 32;
+// Magnitude of INT64_MIN; the one int64 whose |value| has bit 63 set.
+constexpr uint64_t kInt64MinMagnitude = 1ULL << 63;
+
+uint64_t GcdU64(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
 }  // namespace
 
-BigInt::BigInt(int64_t value) : negative_(value < 0) {
-  // Careful with INT64_MIN: negate in unsigned space.
-  uint64_t mag = negative_ ? ~static_cast<uint64_t>(value) + 1
-                           : static_cast<uint64_t>(value);
-  if (mag != 0) limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
-  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+uint64_t BigInt::SmallMagnitude() const {
+  return small_ < 0 ? ~static_cast<uint64_t>(small_) + 1
+                    : static_cast<uint64_t>(small_);
+}
+
+BigInt::LimbSpan BigInt::Magnitude(uint32_t scratch[2]) const {
+  if (large_) return {limbs_.data(), limbs_.size()};
+  uint64_t mag = SmallMagnitude();
+  size_t n = 0;
+  if (mag != 0) {
+    scratch[n++] = static_cast<uint32_t>(mag & 0xffffffffULL);
+    if (mag >> 32) scratch[n++] = static_cast<uint32_t>(mag >> 32);
+  }
+  return {scratch, n};
+}
+
+void BigInt::AssignMagnitude(bool negative, std::vector<uint32_t>&& mag) {
+  Trim(&mag);
+  if (mag.size() <= 2) {
+    uint64_t v = 0;
+    if (mag.size() >= 1) v = mag[0];
+    if (mag.size() == 2) v |= static_cast<uint64_t>(mag[1]) << 32;
+    if (!negative && v <= static_cast<uint64_t>(INT64_MAX)) {
+      small_ = static_cast<int64_t>(v);
+      large_ = false;
+      negative_ = false;
+      limbs_.clear();
+      return;
+    }
+    if (negative && v <= kInt64MinMagnitude) {
+      small_ = static_cast<int64_t>(~v + 1);
+      large_ = false;
+      negative_ = false;
+      limbs_.clear();
+      return;
+    }
+  }
+  large_ = true;
+  negative_ = negative;
+  limbs_ = std::move(mag);
+}
+
+BigInt BigInt::FromMagnitude(bool negative, std::vector<uint32_t>&& mag) {
+  BigInt out;
+  out.AssignMagnitude(negative, std::move(mag));
+  return out;
+}
+
+BigInt BigInt::FromUnsigned(uint64_t mag, bool negative) {
+  if (!negative && mag <= static_cast<uint64_t>(INT64_MAX)) {
+    return BigInt(static_cast<int64_t>(mag));
+  }
+  if (negative && mag <= kInt64MinMagnitude) {
+    return BigInt(static_cast<int64_t>(~mag + 1));
+  }
+  std::vector<uint32_t> limbs;
+  limbs.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
+  if (mag >> 32) limbs.push_back(static_cast<uint32_t>(mag >> 32));
+  return FromMagnitude(negative, std::move(limbs));
 }
 
 void BigInt::Trim(std::vector<uint32_t>* v) {
   while (!v->empty() && v->back() == 0) v->pop_back();
 }
 
-void BigInt::Normalize() {
-  Trim(&limbs_);
-  if (limbs_.empty()) negative_ = false;
+void BigInt::MulAddSmallInPlace(std::vector<uint32_t>* v, uint32_t mul,
+                                uint32_t add) {
+  uint64_t carry = add;
+  for (uint32_t& limb : *v) {
+    uint64_t cur = static_cast<uint64_t>(limb) * mul + carry;
+    limb = static_cast<uint32_t>(cur & 0xffffffffULL);
+    carry = cur >> 32;
+  }
+  if (carry) v->push_back(static_cast<uint32_t>(carry));
 }
 
 Result<BigInt> BigInt::FromString(std::string_view text) {
@@ -37,22 +109,36 @@ Result<BigInt> BigInt::FromString(std::string_view text) {
   if (pos == text.size()) {
     return Status::InvalidArgument("integer literal has no digits");
   }
-  BigInt out;
-  const BigInt ten(10);
+  // Accumulate in a machine word while it fits; spill into limbs only for
+  // genuinely large literals.
+  uint64_t acc = 0;
+  bool overflowed = false;
+  std::vector<uint32_t> limbs;
   for (; pos < text.size(); ++pos) {
     char c = text[pos];
     if (!std::isdigit(static_cast<unsigned char>(c))) {
       return Status::InvalidArgument("invalid digit in integer literal");
     }
-    out = out * ten + BigInt(c - '0');
+    uint32_t digit = static_cast<uint32_t>(c - '0');
+    if (!overflowed) {
+      if (acc > (UINT64_MAX - digit) / 10) {
+        overflowed = true;
+        limbs.push_back(static_cast<uint32_t>(acc & 0xffffffffULL));
+        limbs.push_back(static_cast<uint32_t>(acc >> 32));
+        MulAddSmallInPlace(&limbs, 10, digit);
+      } else {
+        acc = acc * 10 + digit;
+      }
+    } else {
+      MulAddSmallInPlace(&limbs, 10, digit);
+    }
   }
-  out.negative_ = negative;
-  out.Normalize();
-  return out;
+  if (!overflowed) return FromUnsigned(acc, negative);
+  return FromMagnitude(negative, std::move(limbs));
 }
 
 std::string BigInt::ToString() const {
-  if (IsZero()) return "0";
+  if (!large_) return std::to_string(small_);
   // Repeatedly divide the magnitude by 10^9 and emit 9-digit chunks.
   std::vector<uint32_t> mag = limbs_;
   std::string digits;
@@ -76,7 +162,15 @@ std::string BigInt::ToString() const {
 }
 
 size_t BigInt::BitLength() const {
-  if (limbs_.empty()) return 0;
+  if (!large_) {
+    uint64_t mag = SmallMagnitude();
+    size_t bits = 0;
+    while (mag != 0) {
+      ++bits;
+      mag >>= 1;
+    }
+    return bits;
+  }
   uint32_t top = limbs_.back();
   size_t bits = (limbs_.size() - 1) * 32;
   while (top != 0) {
@@ -87,21 +181,13 @@ size_t BigInt::BitLength() const {
 }
 
 Result<int64_t> BigInt::ToInt64() const {
-  if (limbs_.size() > 2) return Status::OutOfRange("BigInt exceeds int64");
-  uint64_t mag = 0;
-  if (limbs_.size() >= 1) mag |= limbs_[0];
-  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
-  if (negative_) {
-    if (mag > (1ULL << 63)) return Status::OutOfRange("BigInt exceeds int64");
-    return static_cast<int64_t>(~mag + 1);
-  }
-  if (mag > static_cast<uint64_t>(INT64_MAX)) {
-    return Status::OutOfRange("BigInt exceeds int64");
-  }
-  return static_cast<int64_t>(mag);
+  // Canonical representation: large values never fit in int64.
+  if (large_) return Status::OutOfRange("BigInt exceeds int64");
+  return small_;
 }
 
 double BigInt::ToDouble() const {
+  if (!large_) return static_cast<double>(small_);
   double out = 0.0;
   for (size_t i = limbs_.size(); i-- > 0;) {
     out = out * static_cast<double>(kBase) + static_cast<double>(limbs_[i]);
@@ -110,41 +196,58 @@ double BigInt::ToDouble() const {
 }
 
 BigInt BigInt::operator-() const {
-  BigInt out = *this;
-  if (!out.IsZero()) out.negative_ = !out.negative_;
-  return out;
+  if (!large_) {
+    if (small_ != INT64_MIN) return BigInt(-small_);
+    return FromUnsigned(kInt64MinMagnitude, /*negative=*/false);
+  }
+  // Canonicalize: negating +2^63 lands back on INT64_MIN (small).
+  return FromMagnitude(!negative_, std::vector<uint32_t>(limbs_));
 }
 
 BigInt BigInt::Abs() const {
+  if (!large_) {
+    if (small_ != INT64_MIN) return BigInt(small_ < 0 ? -small_ : small_);
+    return FromUnsigned(kInt64MinMagnitude, /*negative=*/false);
+  }
   BigInt out = *this;
   out.negative_ = false;
   return out;
 }
 
-int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b) {
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  for (size_t i = a.size(); i-- > 0;) {
+int BigInt::CompareMagnitude(LimbSpan a, LimbSpan b) {
+  if (a.size != b.size) return a.size < b.size ? -1 : 1;
+  for (size_t i = a.size; i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
   }
   return 0;
 }
 
 int BigInt::Compare(const BigInt& other) const {
-  if (negative_ != other.negative_) return negative_ ? -1 : 1;
-  int mag = CompareMagnitude(limbs_, other.limbs_);
-  return negative_ ? -mag : mag;
+  if (!large_ && !other.large_) {
+    if (small_ != other.small_) return small_ < other.small_ ? -1 : 1;
+    return 0;
+  }
+  bool an = IsNegative(), bn = other.IsNegative();
+  if (an != bn) return an ? -1 : 1;
+  int mag;
+  if (large_ != other.large_) {
+    // Canonical: a large magnitude always exceeds a small one.
+    mag = large_ ? 1 : -1;
+  } else {
+    mag = CompareMagnitude({limbs_.data(), limbs_.size()},
+                           {other.limbs_.data(), other.limbs_.size()});
+  }
+  return an ? -mag : mag;
 }
 
-std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  const std::vector<uint32_t>& big = a.size() >= b.size() ? a : b;
-  const std::vector<uint32_t>& small = a.size() >= b.size() ? b : a;
+std::vector<uint32_t> BigInt::AddMagnitude(LimbSpan a, LimbSpan b) {
+  LimbSpan big = a.size >= b.size ? a : b;
+  LimbSpan small = a.size >= b.size ? b : a;
   std::vector<uint32_t> out;
-  out.reserve(big.size() + 1);
+  out.reserve(big.size + 1);
   uint64_t carry = 0;
-  for (size_t i = 0; i < big.size(); ++i) {
-    uint64_t sum = carry + big[i] + (i < small.size() ? small[i] : 0);
+  for (size_t i = 0; i < big.size; ++i) {
+    uint64_t sum = carry + big[i] + (i < small.size ? small[i] : 0);
     out.push_back(static_cast<uint32_t>(sum & 0xffffffffULL));
     carry = sum >> 32;
   }
@@ -152,14 +255,25 @@ std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
   return out;
 }
 
-std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
+void BigInt::AddMagnitudeInPlace(std::vector<uint32_t>* a, LimbSpan b) {
+  if (a->size() < b.size) a->resize(b.size, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if (carry == 0 && i >= b.size) return;  // nothing left to propagate
+    uint64_t sum = carry + (*a)[i] + (i < b.size ? b[i] : 0);
+    (*a)[i] = static_cast<uint32_t>(sum & 0xffffffffULL);
+    carry = sum >> 32;
+  }
+  if (carry) a->push_back(static_cast<uint32_t>(carry));
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(LimbSpan a, LimbSpan b) {
   std::vector<uint32_t> out;
-  out.reserve(a.size());
+  out.reserve(a.size);
   int64_t borrow = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < a.size; ++i) {
     int64_t diff = static_cast<int64_t>(a[i]) - borrow -
-                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+                   (i < b.size ? static_cast<int64_t>(b[i]) : 0);
     if (diff < 0) {
       diff += static_cast<int64_t>(kBase);
       borrow = 1;
@@ -172,19 +286,35 @@ std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
   return out;
 }
 
-std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
+void BigInt::SubMagnitudeInPlace(std::vector<uint32_t>* a, LimbSpan b) {
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if (borrow == 0 && i >= b.size) break;
+    int64_t diff = static_cast<int64_t>((*a)[i]) - borrow -
+                   (i < b.size ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<uint32_t>(diff);
+  }
+  Trim(a);
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(LimbSpan a, LimbSpan b) {
   if (a.empty() || b.empty()) return {};
-  std::vector<uint32_t> out(a.size() + b.size(), 0);
-  for (size_t i = 0; i < a.size(); ++i) {
+  std::vector<uint32_t> out(a.size + b.size, 0);
+  for (size_t i = 0; i < a.size; ++i) {
     uint64_t carry = 0;
     uint64_t ai = a[i];
-    for (size_t j = 0; j < b.size(); ++j) {
+    for (size_t j = 0; j < b.size; ++j) {
       uint64_t cur = out[i + j] + ai * b[j] + carry;
       out[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
       carry = cur >> 32;
     }
-    size_t k = i + b.size();
+    size_t k = i + b.size;
     while (carry) {
       uint64_t cur = out[k] + carry;
       out[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
@@ -196,23 +326,22 @@ std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
   return out;
 }
 
-void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b,
+void BigInt::DivModMagnitude(LimbSpan a, LimbSpan b,
                              std::vector<uint32_t>* quot,
                              std::vector<uint32_t>* rem) {
   quot->clear();
   rem->clear();
   if (CompareMagnitude(a, b) < 0) {
-    *rem = a;
+    rem->assign(a.data, a.data + a.size);
     Trim(rem);
     return;
   }
-  if (b.size() == 1) {
+  if (b.size == 1) {
     // Fast path: single-limb divisor.
     uint64_t d = b[0];
-    quot->assign(a.size(), 0);
+    quot->assign(a.size, 0);
     uint64_t r = 0;
-    for (size_t i = a.size(); i-- > 0;) {
+    for (size_t i = a.size; i-- > 0;) {
       uint64_t cur = (r << 32) | a[i];
       (*quot)[i] = static_cast<uint32_t>(cur / d);
       r = cur % d;
@@ -225,18 +354,18 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
   // Knuth Algorithm D.  Normalize so the top divisor limb has its high bit
   // set, which makes the 2-limb quotient estimate off by at most 2.
   int shift = 0;
-  uint32_t top = b.back();
+  uint32_t top = b[b.size - 1];
   while ((top & 0x80000000u) == 0) {
     top <<= 1;
     ++shift;
   }
-  auto shifted = [shift](const std::vector<uint32_t>& v) {
-    std::vector<uint32_t> out(v.size() + 1, 0);
-    for (size_t i = 0; i < v.size(); ++i) {
-      out[i] |= v[i] << shift;
+  auto shifted = [shift](LimbSpan src) {
+    std::vector<uint32_t> out(src.size + 1, 0);
+    for (size_t i = 0; i < src.size; ++i) {
+      out[i] |= src[i] << shift;
       if (shift)
         out[i + 1] |= static_cast<uint32_t>(
-            static_cast<uint64_t>(v[i]) >> (32 - shift));
+            static_cast<uint64_t>(src[i]) >> (32 - shift));
     }
     return out;  // intentionally not trimmed: u keeps an extra high limb
   };
@@ -315,56 +444,122 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
   *rem = std::move(r);
 }
 
-BigInt BigInt::operator+(const BigInt& other) const {
-  BigInt out;
-  if (negative_ == other.negative_) {
-    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
-    out.negative_ = negative_;
-  } else {
-    int cmp = CompareMagnitude(limbs_, other.limbs_);
-    if (cmp == 0) return BigInt();
-    if (cmp > 0) {
-      out.limbs_ = SubMagnitude(limbs_, other.limbs_);
-      out.negative_ = negative_;
-    } else {
-      out.limbs_ = SubMagnitude(other.limbs_, limbs_);
-      out.negative_ = other.negative_;
+void BigInt::AddSigned(const BigInt& o, bool negate_o) {
+  if (!large_ && !o.large_) {
+    // Negating INT64_MIN overflows; that single case takes the slow path.
+    if (!(negate_o && o.small_ == INT64_MIN)) {
+      int64_t rhs = negate_o ? -o.small_ : o.small_;
+      int64_t r;
+      if (!__builtin_add_overflow(small_, rhs, &r)) {
+        small_ = r;
+        return;
+      }
     }
   }
-  out.Normalize();
+  const bool an = IsNegative();
+  const bool bn = negate_o ? !o.IsNegative() : o.IsNegative();
+  uint32_t sa[2], sb[2];
+  LimbSpan ma = Magnitude(sa);
+  LimbSpan mb = o.Magnitude(sb);
+  if (an == bn) {
+    if (large_) {
+      // Same-sign addition only grows the magnitude: stays large.
+      AddMagnitudeInPlace(&limbs_, mb);
+      return;
+    }
+    AssignMagnitude(an, AddMagnitude(ma, mb));
+    return;
+  }
+  int cmp = CompareMagnitude(ma, mb);
+  if (cmp == 0) {
+    *this = BigInt();
+    return;
+  }
+  if (cmp > 0) {
+    if (large_) {
+      SubMagnitudeInPlace(&limbs_, mb);
+      std::vector<uint32_t> mag = std::move(limbs_);
+      AssignMagnitude(an, std::move(mag));
+    } else {
+      AssignMagnitude(an, SubMagnitude(ma, mb));
+    }
+    return;
+  }
+  AssignMagnitude(bn, SubMagnitude(mb, ma));
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (!large_ && !other.large_) {
+    int64_t r;
+    if (!__builtin_add_overflow(small_, other.small_, &r)) return BigInt(r);
+  }
+  BigInt out = *this;
+  out.AddSigned(other, /*negate_o=*/false);
   return out;
 }
 
-BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+BigInt BigInt::operator-(const BigInt& other) const {
+  if (!large_ && !other.large_) {
+    int64_t r;
+    if (!__builtin_sub_overflow(small_, other.small_, &r)) return BigInt(r);
+  }
+  BigInt out = *this;
+  out.AddSigned(other, /*negate_o=*/true);
+  return out;
+}
 
 BigInt BigInt::operator*(const BigInt& other) const {
-  BigInt out;
-  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
-  out.negative_ = negative_ != other.negative_;
-  out.Normalize();
-  return out;
+  if (!large_ && !other.large_) {
+    int64_t r;
+    if (!__builtin_mul_overflow(small_, other.small_, &r)) return BigInt(r);
+  }
+  uint32_t sa[2], sb[2];
+  return FromMagnitude(IsNegative() != other.IsNegative(),
+                       MulMagnitude(Magnitude(sa), other.Magnitude(sb)));
+}
+
+BigInt& BigInt::operator*=(const BigInt& o) {
+  if (!large_ && !o.large_) {
+    int64_t r;
+    if (!__builtin_mul_overflow(small_, o.small_, &r)) {
+      small_ = r;
+      return *this;
+    }
+  }
+  // A limb product cannot alias its inputs; build into a fresh vector and
+  // move it in (one allocation, no extra copy).
+  uint32_t sa[2], sb[2];
+  AssignMagnitude(IsNegative() != o.IsNegative(),
+                  MulMagnitude(Magnitude(sa), o.Magnitude(sb)));
+  return *this;
 }
 
 Result<BigInt> BigInt::Divide(const BigInt& num, const BigInt& den) {
   if (den.IsZero()) return Status::InvalidArgument("division by zero");
-  BigInt out;
+  if (!num.large_ && !den.large_) {
+    // INT64_MIN / -1 is the lone overflowing quotient.
+    if (!(num.small_ == INT64_MIN && den.small_ == -1)) {
+      return BigInt(num.small_ / den.small_);
+    }
+    return FromUnsigned(kInt64MinMagnitude, /*negative=*/false);
+  }
+  uint32_t sa[2], sb[2];
   std::vector<uint32_t> q, r;
-  DivModMagnitude(num.limbs_, den.limbs_, &q, &r);
-  out.limbs_ = std::move(q);
-  out.negative_ = num.negative_ != den.negative_;
-  out.Normalize();
-  return out;
+  DivModMagnitude(num.Magnitude(sa), den.Magnitude(sb), &q, &r);
+  return FromMagnitude(num.IsNegative() != den.IsNegative(), std::move(q));
 }
 
 Result<BigInt> BigInt::Remainder(const BigInt& num, const BigInt& den) {
   if (den.IsZero()) return Status::InvalidArgument("division by zero");
-  BigInt out;
+  if (!num.large_ && !den.large_) {
+    // den == ±1 divides everything (and INT64_MIN % -1 is UB in C++).
+    if (den.small_ == 1 || den.small_ == -1) return BigInt(0);
+    return BigInt(num.small_ % den.small_);
+  }
+  uint32_t sa[2], sb[2];
   std::vector<uint32_t> q, r;
-  DivModMagnitude(num.limbs_, den.limbs_, &q, &r);
-  out.limbs_ = std::move(r);
-  out.negative_ = num.negative_;
-  out.Normalize();
-  return out;
+  DivModMagnitude(num.Magnitude(sa), den.Magnitude(sb), &q, &r);
+  return FromMagnitude(num.IsNegative(), std::move(r));
 }
 
 BigInt BigInt::Pow(const BigInt& base, uint64_t exp) {
@@ -379,6 +574,20 @@ BigInt BigInt::Pow(const BigInt& base, uint64_t exp) {
 }
 
 BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  // Both small: native Euclid on unsigned magnitudes.
+  if (!a.large_ && !b.large_) {
+    return FromUnsigned(GcdU64(a.SmallMagnitude(), b.SmallMagnitude()),
+                        /*negative=*/false);
+  }
+  // Mixed small/large: one exact remainder collapses to the small case.
+  if (!a.large_ || !b.large_) {
+    BigInt& small = a.large_ ? b : a;
+    BigInt& large = a.large_ ? a : b;
+    if (small.IsZero()) return large.Abs();
+    BigInt r = *Remainder(large, small);  // |r| < |small| fits int64
+    return FromUnsigned(GcdU64(small.SmallMagnitude(), r.SmallMagnitude()),
+                        /*negative=*/false);
+  }
   a.negative_ = false;
   b.negative_ = false;
   while (!b.IsZero()) {
@@ -386,7 +595,7 @@ BigInt BigInt::Gcd(BigInt a, BigInt b) {
     a = std::move(b);
     b = std::move(r);
   }
-  return a;
+  return a.Abs();
 }
 
 }  // namespace geopriv

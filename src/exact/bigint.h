@@ -7,9 +7,19 @@
 // (rational.h) is built, so Theorem 2 / Lemma 3 can be verified with zero
 // numerical error.
 //
-// Representation: sign + little-endian magnitude in base 2^32.  Division is
-// Knuth's Algorithm D.  The magnitude vector never has trailing zero limbs;
-// zero is the empty vector with positive sign.
+// Representation: a two-state small/large design tuned for the exact LP and
+// matrix hot paths, where the overwhelming majority of values fit a machine
+// word.
+//   * Small: any value representable as int64_t is stored inline in
+//     `small_` with no heap allocation.  Add/sub/mul/div/gcd run on native
+//     integers with overflow checks and fall back to the slow path only on
+//     actual overflow.
+//   * Large: sign + little-endian magnitude in base 2^32.  Division is
+//     Knuth's Algorithm D.  The magnitude vector never has trailing zero
+//     limbs.
+// The representation is canonical: a BigInt is large if and only if its
+// value does not fit in int64_t, so small/large promotion and demotion are
+// deterministic and comparisons can shortcut on the state.
 
 #ifndef GEOPRIV_EXACT_BIGINT_H_
 #define GEOPRIV_EXACT_BIGINT_H_
@@ -27,9 +37,9 @@ namespace geopriv {
 class BigInt {
  public:
   /// Zero.
-  BigInt() : negative_(false) {}
-  /// From a machine integer.
-  BigInt(int64_t value);  // NOLINT(google-explicit-constructor)
+  BigInt() = default;
+  /// From a machine integer (always the small representation).
+  BigInt(int64_t value) : small_(value) {}  // NOLINT(google-explicit-constructor)
 
   /// Parses a base-10 string, optionally signed ("-123", "+7", "0").
   static Result<BigInt> FromString(std::string_view text);
@@ -38,10 +48,15 @@ class BigInt {
   std::string ToString() const;
 
   // Queries -------------------------------------------------------------
-  bool IsZero() const { return limbs_.empty(); }
-  bool IsNegative() const { return negative_; }
+  bool IsZero() const { return !large_ && small_ == 0; }
+  bool IsNegative() const { return large_ ? negative_ : small_ < 0; }
   /// -1, 0 or +1.
-  int Sign() const { return IsZero() ? 0 : (negative_ ? -1 : 1); }
+  int Sign() const {
+    if (large_) return negative_ ? -1 : 1;
+    return small_ == 0 ? 0 : (small_ < 0 ? -1 : 1);
+  }
+  /// True when the value fits in int64_t (the inline representation).
+  bool FitsInt64() const { return !large_; }
   /// Number of bits in the magnitude (0 for zero).
   size_t BitLength() const;
   /// Converts to int64 when representable.
@@ -66,9 +81,18 @@ class BigInt {
   /// Greatest common divisor (always non-negative).
   static BigInt Gcd(BigInt a, BigInt b);
 
-  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
-  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
-  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  /// In-place compound ops.  These mutate the receiver directly (native
+  /// arithmetic for small values, in-place limb add/sub for large ones)
+  /// instead of routing through a full temporary.
+  BigInt& operator+=(const BigInt& o) {
+    AddSigned(o, /*negate_o=*/false);
+    return *this;
+  }
+  BigInt& operator-=(const BigInt& o) {
+    AddSigned(o, /*negate_o=*/true);
+    return *this;
+  }
+  BigInt& operator*=(const BigInt& o);
 
   // Comparison ------------------------------------------------------------
   /// Three-way compare: -1, 0, +1.
@@ -81,27 +105,48 @@ class BigInt {
   bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
 
  private:
-  // Magnitude helpers (sign-agnostic, little-endian base 2^32 vectors).
-  static int CompareMagnitude(const std::vector<uint32_t>& a,
-                              const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
+  /// Borrowed view of a little-endian base-2^32 magnitude.
+  struct LimbSpan {
+    const uint32_t* data;
+    size_t size;
+    bool empty() const { return size == 0; }
+    uint32_t operator[](size_t i) const { return data[i]; }
+  };
+
+  /// |value| of the small representation in unsigned space (INT64_MIN-safe).
+  uint64_t SmallMagnitude() const;
+  /// Magnitude view; `scratch` backs the limbs of a small value.
+  LimbSpan Magnitude(uint32_t scratch[2]) const;
+  /// Installs sign+magnitude, trimming and demoting to small when it fits.
+  void AssignMagnitude(bool negative, std::vector<uint32_t>&& mag);
+  static BigInt FromMagnitude(bool negative, std::vector<uint32_t>&& mag);
+  /// Value from an unsigned machine word (promotes above INT64_MAX).
+  static BigInt FromUnsigned(uint64_t mag, bool negative);
+  /// *this += (negate_o ? -o : o), mutating in place where possible.
+  void AddSigned(const BigInt& o, bool negate_o);
+
+  // Magnitude helpers (sign-agnostic).
+  static int CompareMagnitude(LimbSpan a, LimbSpan b);
+  static std::vector<uint32_t> AddMagnitude(LimbSpan a, LimbSpan b);
+  static void AddMagnitudeInPlace(std::vector<uint32_t>* a, LimbSpan b);
   /// Requires |a| >= |b|.
-  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> SubMagnitude(LimbSpan a, LimbSpan b);
+  /// Requires |*a| >= |b|.
+  static void SubMagnitudeInPlace(std::vector<uint32_t>* a, LimbSpan b);
+  static std::vector<uint32_t> MulMagnitude(LimbSpan a, LimbSpan b);
   /// Knuth Algorithm D; b must be non-empty.
-  static void DivModMagnitude(const std::vector<uint32_t>& a,
-                              const std::vector<uint32_t>& b,
+  static void DivModMagnitude(LimbSpan a, LimbSpan b,
                               std::vector<uint32_t>* quot,
                               std::vector<uint32_t>* rem);
+  /// v = v * mul + add over the raw magnitude.
+  static void MulAddSmallInPlace(std::vector<uint32_t>* v, uint32_t mul,
+                                 uint32_t add);
   static void Trim(std::vector<uint32_t>* v);
 
-  void Normalize();
-
-  bool negative_;
-  std::vector<uint32_t> limbs_;
+  int64_t small_ = 0;            // value when !large_
+  bool large_ = false;           // discriminates the representation
+  bool negative_ = false;        // sign of the large magnitude
+  std::vector<uint32_t> limbs_;  // large magnitude; empty when small
 };
 
 }  // namespace geopriv

@@ -4,28 +4,58 @@
 
 namespace geopriv {
 
-void Rational::Reduce() {
+namespace {
+// Combined numerator+denominator bit size above which lazy reduction is
+// abandoned and the gcd is taken immediately (see Normalize()).
+constexpr size_t kLazyReduceBits = 512;
+}  // namespace
+
+void Rational::Normalize() {
+  // The caller just rewrote num_/den_ in place; any previous canonical-form
+  // claim is stale.
+  reduced_ = false;
   if (den_.IsNegative()) {
     num_ = -num_;
     den_ = -den_;
   }
   if (num_.IsZero()) {
     den_ = BigInt(1);
+    reduced_ = true;
     return;
   }
+  if (num_.FitsInt64() && den_.FitsInt64()) {
+    // A native-word gcd is nearly free; keep small values canonical so the
+    // fast paths keep firing downstream.
+    Reduce();
+    return;
+  }
+  // Deferring the gcd on unbounded chains of large ops (e.g. rational
+  // Gauss-Jordan) grows entries exponentially — reduced entries are minors
+  // and stay polynomial, unreduced ones compound.  Defer only while the
+  // representation stays modest, reduce eagerly beyond the threshold.
+  if (num_.BitLength() + den_.BitLength() > kLazyReduceBits) {
+    Reduce();
+    return;
+  }
+  reduced_ = false;
+}
+
+void Rational::Reduce() const {
+  if (reduced_) return;
   BigInt g = BigInt::Gcd(num_, den_);
   if (g != BigInt(1)) {
     num_ = *BigInt::Divide(num_, g);
     den_ = *BigInt::Divide(den_, g);
   }
+  reduced_ = true;
 }
 
 Result<Rational> Rational::Create(BigInt num, BigInt den) {
   if (den.IsZero()) {
     return Status::InvalidArgument("rational with zero denominator");
   }
-  Rational out(std::move(num), std::move(den), /*normalized_tag=*/true);
-  out.Reduce();
+  Rational out(std::move(num), std::move(den), /*reduced=*/false);
+  out.Normalize();
   return out;
 }
 
@@ -59,55 +89,83 @@ Result<Rational> Rational::FromString(std::string_view text) {
 }
 
 std::string Rational::ToString() const {
+  Reduce();
   if (den_ == BigInt(1)) return num_.ToString();
   return num_.ToString() + "/" + den_.ToString();
 }
 
-double Rational::ToDouble() const { return num_.ToDouble() / den_.ToDouble(); }
+double Rational::ToDouble() const {
+  // Reduce first: an unreduced pair can overflow double range even when the
+  // value itself is tame.
+  Reduce();
+  return num_.ToDouble() / den_.ToDouble();
+}
 
 Rational Rational::operator-() const {
-  return Rational(-num_, den_, /*normalized_tag=*/true);
+  return Rational(-num_, den_, reduced_);
 }
 
 Rational Rational::Abs() const {
-  return Rational(num_.Abs(), den_, /*normalized_tag=*/true);
+  return Rational(num_.Abs(), den_, reduced_);
 }
 
-Rational Rational::operator+(const Rational& o) const {
-  Rational out(num_ * o.den_ + o.num_ * den_, den_ * o.den_,
-               /*normalized_tag=*/true);
-  out.Reduce();
-  return out;
+Rational& Rational::operator+=(const Rational& o) {
+  if (den_ == o.den_) {
+    // Shared denominator (integers, tableau rows, accumulators): one add.
+    num_ += o.num_;
+  } else {
+    num_ *= o.den_;
+    num_ += o.num_ * den_;
+    den_ *= o.den_;
+  }
+  Normalize();
+  return *this;
 }
 
-Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+Rational& Rational::operator-=(const Rational& o) {
+  if (den_ == o.den_) {
+    num_ -= o.num_;
+  } else {
+    num_ *= o.den_;
+    num_ -= o.num_ * den_;
+    den_ *= o.den_;
+  }
+  Normalize();
+  return *this;
+}
 
-Rational Rational::operator*(const Rational& o) const {
-  Rational out(num_ * o.num_, den_ * o.den_, /*normalized_tag=*/true);
-  out.Reduce();
-  return out;
+Rational& Rational::operator*=(const Rational& o) {
+  num_ *= o.num_;
+  den_ *= o.den_;
+  Normalize();
+  return *this;
 }
 
 Result<Rational> Rational::Divide(const Rational& num, const Rational& den) {
   if (den.IsZero()) return Status::InvalidArgument("division by zero");
-  Rational out(num.num_ * den.den_, num.den_ * den.num_,
-               /*normalized_tag=*/true);
-  out.Reduce();
+  Rational out(num.num_ * den.den_, num.den_ * den.num_, /*reduced=*/false);
+  out.Normalize();
   return out;
 }
 
 Result<Rational> Rational::Inverse() const {
   if (IsZero()) return Status::InvalidArgument("inverse of zero");
-  Rational out(den_, num_, /*normalized_tag=*/true);
-  out.Reduce();
+  Rational out(den_, num_, reduced_);
+  if (out.den_.IsNegative()) {
+    out.num_ = -out.num_;
+    out.den_ = -out.den_;
+  }
   return out;
 }
 
 Result<Rational> Rational::Pow(int64_t exp) const {
   if (exp >= 0) {
+    // Reduce first so the powered pair is born canonical
+    // (gcd(p, q) == 1 implies gcd(p^k, q^k) == 1).
+    Reduce();
     return Rational(BigInt::Pow(num_, static_cast<uint64_t>(exp)),
                     BigInt::Pow(den_, static_cast<uint64_t>(exp)),
-                    /*normalized_tag=*/true);
+                    /*reduced=*/true);
   }
   if (IsZero()) {
     return Status::InvalidArgument("zero raised to a negative power");
@@ -117,7 +175,11 @@ Result<Rational> Rational::Pow(int64_t exp) const {
 }
 
 int Rational::Compare(const Rational& o) const {
-  // Cross-multiply; denominators are positive so the sign is preserved.
+  // Sign shortcut, then cross-multiply; denominators are positive so the
+  // sign is preserved.  Works on unreduced operands.
+  int sa = Sign(), sb = o.Sign();
+  if (sa != sb) return sa < sb ? -1 : 1;
+  if (sa == 0) return 0;
   return (num_ * o.den_).Compare(o.num_ * den_);
 }
 

@@ -4,6 +4,15 @@
 // form G', derivation matrices T = G⁻¹·M, the Table 1 / Appendix B examples)
 // have rational entries once α = p/q is rational.  Rational lets us verify
 // Theorem 2, Lemma 1 and Lemma 3 with equality instead of tolerances.
+//
+// Normalization is lazy: the denominator is kept positive at all times (so
+// IsZero/Sign/Compare never need the gcd), but the division by gcd(num, den)
+// is deferred.  After an arithmetic op the value is reduced immediately when
+// both components fit a machine word (a native gcd is nearly free) and
+// deferred otherwise; observers that need the canonical form (numerator(),
+// denominator(), ToString()) reduce on demand.  Compound ops (+=, -=, *=)
+// mutate in place on top of BigInt's in-place arithmetic.  Not thread-safe:
+// lazy reduction mutates `mutable` state under const observers.
 
 #ifndef GEOPRIV_EXACT_RATIONAL_H_
 #define GEOPRIV_EXACT_RATIONAL_H_
@@ -17,8 +26,8 @@
 
 namespace geopriv {
 
-/// Exact rational number, always stored in lowest terms with a positive
-/// denominator.  Value semantics.
+/// Exact rational number with a positive denominator; reported in lowest
+/// terms (reduction may run lazily).  Value semantics.
 class Rational {
  public:
   /// Zero.
@@ -35,24 +44,44 @@ class Rational {
   /// Parses "p/q", "p" or decimal "0.25".
   static Result<Rational> FromString(std::string_view text);
 
-  const BigInt& numerator() const { return num_; }
-  const BigInt& denominator() const { return den_; }
+  /// Canonical (lowest-terms) numerator; reduces on demand.
+  const BigInt& numerator() const {
+    Reduce();
+    return num_;
+  }
+  /// Canonical (positive, lowest-terms) denominator; reduces on demand.
+  const BigInt& denominator() const {
+    Reduce();
+    return den_;
+  }
 
   bool IsZero() const { return num_.IsZero(); }
   bool IsNegative() const { return num_.IsNegative(); }
   /// -1, 0 or +1.
   int Sign() const { return num_.Sign(); }
 
-  /// "p/q" (or just "p" when q == 1).
+  /// "p/q" (or just "p" when q == 1), always in lowest terms.
   std::string ToString() const;
   /// Closest double.
   double ToDouble() const;
 
   Rational operator-() const;
   Rational Abs() const;
-  Rational operator+(const Rational& o) const;
-  Rational operator-(const Rational& o) const;
-  Rational operator*(const Rational& o) const;
+  Rational operator+(const Rational& o) const {
+    Rational out = *this;
+    out += o;
+    return out;
+  }
+  Rational operator-(const Rational& o) const {
+    Rational out = *this;
+    out -= o;
+    return out;
+  }
+  Rational operator*(const Rational& o) const {
+    Rational out = *this;
+    out *= o;
+    return out;
+  }
   /// Fails on division by zero.
   static Result<Rational> Divide(const Rational& num, const Rational& den);
   /// Reciprocal; fails when zero.
@@ -60,9 +89,9 @@ class Rational {
   /// this^exp; exp may be negative (then fails when zero).
   Result<Rational> Pow(int64_t exp) const;
 
-  Rational& operator+=(const Rational& o) { return *this = *this + o; }
-  Rational& operator-=(const Rational& o) { return *this = *this - o; }
-  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
 
   /// Three-way compare: -1, 0, +1.
   int Compare(const Rational& o) const;
@@ -74,14 +103,19 @@ class Rational {
   bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
 
  private:
-  Rational(BigInt num, BigInt den, bool /*normalized_tag*/)
-      : num_(std::move(num)), den_(std::move(den)) {}
+  Rational(BigInt num, BigInt den, bool reduced)
+      : num_(std::move(num)), den_(std::move(den)), reduced_(reduced) {}
 
-  /// Divides out gcd and moves the sign to the numerator.
-  void Reduce();
+  /// Restores the positive-denominator invariant after an arithmetic op and
+  /// reduces immediately when cheap (both parts small) or defers otherwise.
+  void Normalize();
 
-  BigInt num_;
-  BigInt den_;  // always positive
+  /// Forces the canonical lowest-terms form.
+  void Reduce() const;
+
+  mutable BigInt num_;
+  mutable BigInt den_;  // always positive
+  mutable bool reduced_ = true;
 };
 
 }  // namespace geopriv

@@ -1,5 +1,6 @@
 #include "lp/exact_simplex.h"
 
+#include <cassert>
 #include <utility>
 
 namespace geopriv {
@@ -10,16 +11,39 @@ int ExactLpProblem::AddVariable(std::string name, Rational cost) {
   return static_cast<int>(costs_.size()) - 1;
 }
 
-int ExactLpProblem::AddConstraint(RowRelation relation, Rational rhs,
-                                  std::vector<ExactLpTerm> terms) {
-  rows_.push_back(Row{relation, std::move(rhs), std::move(terms)});
+int ExactLpProblem::BeginConstraint(RowRelation relation, Rational rhs) {
+  rows_.push_back(RowMeta{relation, std::move(rhs), terms_.size()});
   return static_cast<int>(rows_.size()) - 1;
 }
 
+void ExactLpProblem::AddTerm(int var, Rational coeff) {
+  // Terms belong to the row opened by the latest BeginConstraint; a term
+  // streamed before any row exists would be silently orphaned.
+  assert(!rows_.empty() && "AddTerm requires an open constraint row");
+  terms_.push_back(ExactLpTerm{var, std::move(coeff)});
+}
+
+int ExactLpProblem::AddConstraint(RowRelation relation, Rational rhs,
+                                  std::vector<ExactLpTerm> terms) {
+  int index = BeginConstraint(relation, std::move(rhs));
+  for (ExactLpTerm& t : terms) terms_.push_back(std::move(t));
+  return index;
+}
+
+ExactLpProblem::RowView ExactLpProblem::row(int i) const {
+  const RowMeta& meta = rows_[static_cast<size_t>(i)];
+  const size_t end = static_cast<size_t>(i) + 1 < rows_.size()
+                         ? rows_[static_cast<size_t>(i) + 1].terms_begin
+                         : terms_.size();
+  return RowView{meta.relation, &meta.rhs, terms_.data() + meta.terms_begin,
+                 end - meta.terms_begin};
+}
+
 Status ExactLpProblem::Validate() const {
-  for (const Row& row : rows_) {
-    for (const ExactLpTerm& t : row.terms) {
-      if (t.var < 0 || t.var >= num_variables()) {
+  for (int i = 0; i < num_constraints(); ++i) {
+    RowView r = row(i);
+    for (size_t k = 0; k < r.num_terms; ++k) {
+      if (r.terms[k].var < 0 || r.terms[k].var >= num_variables()) {
         return Status::InvalidArgument(
             "constraint references an unknown variable");
       }
@@ -29,6 +53,423 @@ Status ExactLpProblem::Validate() const {
 }
 
 namespace {
+
+// Standard-form layout shared by both engines: per-row relation after the
+// rhs >= 0 normalization, plus the slack/artificial column census.
+struct StandardShape {
+  std::vector<RowRelation> relation;  // post-normalization, one per row
+  std::vector<bool> negate;           // row was multiplied by -1
+  size_t num_slack = 0;
+  size_t num_artificial = 0;
+};
+
+StandardShape AnalyzeShape(const ExactLpProblem& problem) {
+  StandardShape shape;
+  const int m = problem.num_constraints();
+  shape.relation.reserve(static_cast<size_t>(m));
+  shape.negate.reserve(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    ExactLpProblem::RowView src = problem.row(i);
+    bool neg = src.rhs->IsNegative();
+    RowRelation rel = src.relation;
+    if (neg) {
+      if (rel == RowRelation::kLessEqual) {
+        rel = RowRelation::kGreaterEqual;
+      } else if (rel == RowRelation::kGreaterEqual) {
+        rel = RowRelation::kLessEqual;
+      }
+    }
+    // A ">= 0" row needs no artificial: its negation "<= 0" starts feasible
+    // with the slack basic at zero.  The paper's LPs are dominated by such
+    // rows (all O(n²) DP-ratio constraints), so this collapses Phase 1 to
+    // the handful of equality rows.  Both engines share this shape, so
+    // their pivot sequences remain identical.
+    if (rel == RowRelation::kGreaterEqual && src.rhs->IsZero()) {
+      rel = RowRelation::kLessEqual;
+      neg = !neg;
+    }
+    switch (rel) {
+      case RowRelation::kLessEqual:
+        ++shape.num_slack;
+        break;
+      case RowRelation::kGreaterEqual:
+        ++shape.num_slack;
+        ++shape.num_artificial;
+        break;
+      case RowRelation::kEqual:
+        ++shape.num_artificial;
+        break;
+    }
+    shape.relation.push_back(rel);
+    shape.negate.push_back(neg);
+  }
+  return shape;
+}
+
+// Recomputes the objective from the structural values (both engines report
+// the objective the same way, independent of tableau scaling).
+Rational RecomputeObjective(const ExactLpProblem& problem,
+                            const std::vector<Rational>& values) {
+  Rational objective(0);
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    objective += problem.cost(j) * values[static_cast<size_t>(j)];
+  }
+  return objective;
+}
+
+// ---------------------------------------------------------------------------
+// Fraction-free engine.
+//
+// Every tableau row i keeps integer numerators a[j] (plus rhs) over one
+// shared positive denominator den: the rational tableau entry is a[j]/den.
+// A pivot on (r, c) with pivot numerator p = a_r[c] maps
+//     row r:   a_r[j] / p                  (numerators unchanged, den := p)
+//     row i:   (a_i[j]*p - a_i[c]*a_r[j]) / (den_i * p)
+// which is all-integer; the common content of each updated row is stripped
+// with a gcd pass, so entries stay at the size of reduced rationals instead
+// of compounding.  Rows with a_i[c] == 0 are skipped untouched, and columns
+// where the pivot row holds a zero only rescale (zeros stay zero).
+// ---------------------------------------------------------------------------
+
+// One integer tableau row with its shared denominator.
+struct FfRow {
+  std::vector<BigInt> a;  // numerators, one per tableau column
+  BigInt rhs;             // rhs numerator
+  BigInt den{1};          // shared denominator, always positive
+};
+
+const BigInt kOne(1);
+
+// lcm of two positive integers.
+BigInt LcmPositive(const BigInt& a, const BigInt& b) {
+  BigInt g = BigInt::Gcd(a, b);
+  return *BigInt::Divide(a, g) * b;
+}
+
+void NegateRow(FfRow* row) {
+  row->den = -row->den;
+  row->rhs = -row->rhs;
+  for (BigInt& x : row->a) {
+    if (!x.IsZero()) x = -x;
+  }
+}
+
+// Divides the whole row by gcd(den, rhs, a[0..]); bails out as soon as the
+// running gcd hits 1 (the common case after the first few pivots).
+void StripContent(FfRow* row) {
+  BigInt g = row->den;
+  if (!row->rhs.IsZero()) g = BigInt::Gcd(g, row->rhs);
+  for (const BigInt& x : row->a) {
+    if (g == kOne) return;
+    if (!x.IsZero()) g = BigInt::Gcd(g, x);
+  }
+  if (g == kOne) return;
+  row->den = *BigInt::Divide(row->den, g);
+  row->rhs = *BigInt::Divide(row->rhs, g);
+  for (BigInt& x : row->a) {
+    if (!x.IsZero()) x = *BigInt::Divide(x, g);
+  }
+}
+
+// Integer-preserving pivot on (r, c) over constraint rows + objective row.
+void FfPivot(std::vector<FfRow>* rows, FfRow* obj, size_t r, size_t c) {
+  FfRow& prow = (*rows)[r];
+  const BigInt piv = prow.a[c];  // copied: prow.den is rewritten below
+
+  auto update = [&](FfRow& row) {
+    const BigInt f = row.a[c];  // copied: overwritten mid-loop
+    if (f.IsZero()) return;     // structurally untouched by this pivot
+    const size_t width = row.a.size();
+    for (size_t j = 0; j < width; ++j) {
+      const BigInt& p = prow.a[j];
+      BigInt& x = row.a[j];
+      if (p.IsZero()) {
+        // Pivot row has a structural zero here: the entry only rescales,
+        // and zeros stay zero.
+        if (!x.IsZero()) x *= piv;
+      } else {
+        x *= piv;
+        x -= f * p;
+      }
+    }
+    if (prow.rhs.IsZero()) {
+      if (!row.rhs.IsZero()) row.rhs *= piv;
+    } else {
+      row.rhs *= piv;
+      row.rhs -= f * prow.rhs;
+    }
+    row.den *= piv;
+    if (row.den.IsNegative()) NegateRow(&row);
+    StripContent(&row);
+  };
+
+  for (size_t i = 0; i < rows->size(); ++i) {
+    if (i != r) update((*rows)[i]);
+  }
+  update(*obj);
+
+  // Pivot row last: the other rows read its (unchanged) numerators above.
+  prow.den = piv;
+  if (prow.den.IsNegative()) NegateRow(&prow);
+  StripContent(&prow);
+}
+
+Result<ExactLpSolution> SolveFractionFree(const ExactLpProblem& problem) {
+  const size_t num_struct = static_cast<size_t>(problem.num_variables());
+  const size_t m = static_cast<size_t>(problem.num_constraints());
+  const StandardShape shape = AnalyzeShape(problem);
+  const size_t n_std = num_struct + shape.num_slack + shape.num_artificial;
+  const size_t artificial_begin = n_std - shape.num_artificial;
+
+  std::vector<FfRow> rows(m);
+  FfRow obj;
+  obj.a.assign(n_std, BigInt());
+  std::vector<size_t> basis(m);
+
+  // ---- Build the integer tableau row by row. ----------------------------
+  {
+    // Scratch accumulator for duplicate term indices (dense over columns,
+    // cleared via the touched list).
+    std::vector<Rational> cell(num_struct);
+    std::vector<char> used(num_struct, 0);
+    std::vector<int> touched;
+    size_t slack_cursor = num_struct;
+    size_t art_cursor = artificial_begin;
+    for (size_t i = 0; i < m; ++i) {
+      ExactLpProblem::RowView src = problem.row(static_cast<int>(i));
+      const bool neg = shape.negate[i];
+      touched.clear();
+      for (size_t k = 0; k < src.num_terms; ++k) {
+        const ExactLpTerm& t = src.terms[k];
+        Rational coeff = neg ? -t.coeff : t.coeff;
+        const size_t v = static_cast<size_t>(t.var);
+        if (!used[v]) {
+          used[v] = 1;
+          touched.push_back(t.var);
+          cell[v] = std::move(coeff);
+        } else {
+          cell[v] += coeff;
+        }
+      }
+      Rational rrhs = neg ? -*src.rhs : *src.rhs;
+
+      FfRow& row = rows[i];
+      row.a.assign(n_std, BigInt());
+      BigInt den = rrhs.denominator();
+      for (int v : touched) {
+        den = LcmPositive(den, cell[static_cast<size_t>(v)].denominator());
+      }
+      row.den = den;
+      row.rhs = rrhs.numerator() * *BigInt::Divide(den, rrhs.denominator());
+      for (int v : touched) {
+        const Rational& c = cell[static_cast<size_t>(v)];
+        row.a[static_cast<size_t>(v)] =
+            c.numerator() * *BigInt::Divide(den, c.denominator());
+        used[static_cast<size_t>(v)] = 0;
+        cell[static_cast<size_t>(v)] = Rational();
+      }
+      switch (shape.relation[i]) {
+        case RowRelation::kLessEqual:
+          row.a[slack_cursor] = den;
+          basis[i] = slack_cursor++;
+          break;
+        case RowRelation::kGreaterEqual:
+          row.a[slack_cursor] = -den;
+          ++slack_cursor;
+          row.a[art_cursor] = den;
+          basis[i] = art_cursor++;
+          break;
+        case RowRelation::kEqual:
+          row.a[art_cursor] = den;
+          basis[i] = art_cursor++;
+          break;
+      }
+      StripContent(&row);
+    }
+  }
+
+  ExactLpSolution solution;
+  int iterations = 0;
+
+  // Bland's rule phase runner on the integer tableau: smallest-index
+  // entering column with negative reduced cost (sign of the numerator,
+  // denominators are positive); leaving row by exact minimum ratio
+  // rhs_i/a_i[enter] — the per-row denominator cancels inside the ratio, so
+  // candidates compare by BigInt cross-multiplication — with smallest basis
+  // index on ties.  Identical pivot decisions to the dense engine.
+  auto run_phase = [&](size_t allowed_end, bool* unbounded) {
+    *unbounded = false;
+    for (;;) {
+      size_t enter = n_std;
+      for (size_t j = 0; j < allowed_end; ++j) {
+        if (obj.a[j].IsNegative()) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n_std) return;  // optimal for this phase
+
+      size_t leave = m;
+      BigInt best_num, best_den;  // best ratio = best_num / best_den
+      for (size_t i = 0; i < m; ++i) {
+        const BigInt& a = rows[i].a[enter];
+        if (a.Sign() > 0) {
+          bool take;
+          if (leave == m) {
+            take = true;
+          } else if (rows[i].rhs.IsZero()) {
+            // Zero ratio: beats everything except another zero (tie on
+            // basis index).
+            take = !best_num.IsZero() || basis[i] < basis[leave];
+          } else if (best_num.IsZero()) {
+            take = false;
+          } else {
+            // Bit-length prefilter: the products lie in
+            // [2^(l-2), 2^l), so a gap of >= 2 decides the comparison
+            // without materializing the (large) cross products.
+            size_t l1 = rows[i].rhs.BitLength() + best_den.BitLength();
+            size_t l2 = best_num.BitLength() + a.BitLength();
+            if (l1 >= l2 + 2) {
+              take = false;
+            } else if (l2 >= l1 + 2) {
+              take = true;
+            } else {
+              int cmp = (rows[i].rhs * best_den).Compare(best_num * a);
+              take = cmp < 0 || (cmp == 0 && basis[i] < basis[leave]);
+            }
+          }
+          if (take) {
+            leave = i;
+            best_num = rows[i].rhs;
+            best_den = a;
+          }
+        }
+      }
+      if (leave == m) {
+        *unbounded = true;
+        return;
+      }
+      FfPivot(&rows, &obj, leave, enter);
+      basis[leave] = enter;
+      ++iterations;
+    }
+  };
+
+  // ---- Phase 1. ---------------------------------------------------------
+  if (shape.num_artificial > 0) {
+    // Objective = sum of artificials, reduced over the (artificial) basis:
+    // obj_j = [j artificial] - sum over artificial-basic rows of x_ij.
+    BigInt den(1);
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= artificial_begin) den = LcmPositive(den, rows[i].den);
+    }
+    obj.den = den;
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] < artificial_begin) continue;
+      BigInt f = *BigInt::Divide(den, rows[i].den);
+      for (size_t j = 0; j < n_std; ++j) {
+        if (!rows[i].a[j].IsZero()) obj.a[j] -= rows[i].a[j] * f;
+      }
+      if (!rows[i].rhs.IsZero()) obj.rhs -= rows[i].rhs * f;
+    }
+    for (size_t j = artificial_begin; j < n_std; ++j) obj.a[j] += den;
+    StripContent(&obj);
+
+    bool unbounded = false;
+    run_phase(n_std, &unbounded);
+    // Phase-1 objective value is stored negated in the corner cell; it is
+    // zero iff the rhs numerator is zero.
+    if (!obj.rhs.IsZero()) {
+      solution.status = LpStatus::kInfeasible;
+      solution.iterations = iterations;
+      return solution;
+    }
+    // Pivot leftover basic artificials out where possible; rows that
+    // cannot be pivoted are exactly redundant (all structural and slack
+    // coefficients are zero) and can be ignored.
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] < artificial_begin) continue;
+      for (size_t j = 0; j < artificial_begin; ++j) {
+        if (!rows[i].a[j].IsZero()) {
+          FfPivot(&rows, &obj, i, j);
+          basis[i] = j;
+          ++iterations;
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Drop the artificial columns: Phase 2 never enters them, so there
+  // is no reason to keep rescaling them on every pivot. -------------------
+  const size_t width = artificial_begin;
+  for (FfRow& row : rows) row.a.resize(width);
+  obj.a.assign(width, BigInt());
+  obj.rhs = BigInt();
+  obj.den = BigInt(1);
+
+  // ---- Phase 2. ---------------------------------------------------------
+  {
+    BigInt den(1);
+    for (size_t j = 0; j < num_struct; ++j) {
+      den = LcmPositive(den, problem.cost(static_cast<int>(j)).denominator());
+    }
+    obj.den = den;
+    for (size_t j = 0; j < num_struct; ++j) {
+      const Rational& c = problem.cost(static_cast<int>(j));
+      if (!c.IsZero()) {
+        obj.a[j] = c.numerator() * *BigInt::Divide(den, c.denominator());
+      }
+    }
+    // Reduce the objective row over the current basis.
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= width) continue;  // redundant row, artificial basis
+      const BigInt cb = obj.a[basis[i]];
+      if (cb.IsZero()) continue;
+      const FfRow& row = rows[i];
+      for (size_t j = 0; j < width; ++j) {
+        BigInt& x = obj.a[j];
+        if (row.a[j].IsZero()) {
+          if (!x.IsZero()) x *= row.den;
+        } else {
+          x *= row.den;
+          x -= cb * row.a[j];
+        }
+      }
+      if (row.rhs.IsZero()) {
+        if (!obj.rhs.IsZero()) obj.rhs *= row.den;
+      } else {
+        obj.rhs *= row.den;
+        obj.rhs -= cb * row.rhs;
+      }
+      obj.den *= row.den;
+      StripContent(&obj);
+    }
+  }
+  bool unbounded = false;
+  run_phase(width, &unbounded);
+  if (unbounded) {
+    solution.status = LpStatus::kUnbounded;
+    solution.iterations = iterations;
+    return solution;
+  }
+
+  solution.values.assign(num_struct, Rational(0));
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < num_struct) {
+      solution.values[basis[i]] = *Rational::Create(rows[i].rhs, rows[i].den);
+    }
+  }
+  solution.status = LpStatus::kOptimal;
+  solution.objective = RecomputeObjective(problem, solution.values);
+  solution.iterations = iterations;
+  return solution;
+}
+
+// ---------------------------------------------------------------------------
+// Dense Rational reference engine (the original implementation, preserved
+// for bit-identical regression checks against the fraction-free tableau).
+// ---------------------------------------------------------------------------
 
 // Dense exact tableau with the objective in the last row and the rhs in
 // the last column, mirroring lp/simplex.cc but over Rational and with
@@ -66,53 +507,12 @@ class ExactTableau {
   std::vector<Rational> cells_;
 };
 
-}  // namespace
-
-Result<ExactLpSolution> ExactSimplexSolver::Solve(
-    const ExactLpProblem& problem) const {
-  GEOPRIV_RETURN_IF_ERROR(problem.Validate());
-
+Result<ExactLpSolution> SolveDenseRational(const ExactLpProblem& problem) {
   const size_t num_struct = static_cast<size_t>(problem.num_variables());
   const size_t m = static_cast<size_t>(problem.num_constraints());
-
-  // Normalize rows to rhs >= 0 and count slack/artificial columns.
-  struct NormRow {
-    std::vector<ExactLpTerm> terms;
-    RowRelation relation;
-    Rational rhs;
-  };
-  std::vector<NormRow> rows;
-  rows.reserve(m);
-  size_t num_slack = 0, num_artificial = 0;
-  for (int i = 0; i < problem.num_constraints(); ++i) {
-    const ExactLpProblem::Row& src = problem.row(i);
-    NormRow row{src.terms, src.relation, src.rhs};
-    if (row.rhs.IsNegative()) {
-      for (ExactLpTerm& t : row.terms) t.coeff = -t.coeff;
-      row.rhs = -row.rhs;
-      if (row.relation == RowRelation::kLessEqual) {
-        row.relation = RowRelation::kGreaterEqual;
-      } else if (row.relation == RowRelation::kGreaterEqual) {
-        row.relation = RowRelation::kLessEqual;
-      }
-    }
-    switch (row.relation) {
-      case RowRelation::kLessEqual:
-        ++num_slack;
-        break;
-      case RowRelation::kGreaterEqual:
-        ++num_slack;
-        ++num_artificial;
-        break;
-      case RowRelation::kEqual:
-        ++num_artificial;
-        break;
-    }
-    rows.push_back(std::move(row));
-  }
-
-  const size_t n_std = num_struct + num_slack + num_artificial;
-  const size_t artificial_begin = n_std - num_artificial;
+  const StandardShape shape = AnalyzeShape(problem);
+  const size_t n_std = num_struct + shape.num_slack + shape.num_artificial;
+  const size_t artificial_begin = n_std - shape.num_artificial;
 
   ExactTableau tab(m, n_std);
   std::vector<size_t> basis(m);
@@ -120,11 +520,15 @@ Result<ExactLpSolution> ExactSimplexSolver::Solve(
     size_t slack_cursor = num_struct;
     size_t art_cursor = artificial_begin;
     for (size_t i = 0; i < m; ++i) {
-      for (const ExactLpTerm& t : rows[i].terms) {
-        tab.At(i, static_cast<size_t>(t.var)) += t.coeff;
+      ExactLpProblem::RowView src = problem.row(static_cast<int>(i));
+      const bool neg = shape.negate[i];
+      for (size_t k = 0; k < src.num_terms; ++k) {
+        const ExactLpTerm& t = src.terms[k];
+        Rational coeff = neg ? -t.coeff : t.coeff;
+        tab.At(i, static_cast<size_t>(t.var)) += coeff;
       }
-      tab.Rhs(i) = rows[i].rhs;
-      switch (rows[i].relation) {
+      tab.Rhs(i) = neg ? -*src.rhs : *src.rhs;
+      switch (shape.relation[i]) {
         case RowRelation::kLessEqual:
           tab.At(i, slack_cursor) = Rational(1);
           basis[i] = slack_cursor++;
@@ -185,7 +589,7 @@ Result<ExactLpSolution> ExactSimplexSolver::Solve(
   };
 
   // Phase 1.
-  if (num_artificial > 0) {
+  if (shape.num_artificial > 0) {
     for (size_t j = artificial_begin; j < n_std; ++j) {
       tab.Obj(j) = Rational(1);
     }
@@ -247,14 +651,24 @@ Result<ExactLpSolution> ExactSimplexSolver::Solve(
       solution.values[basis[i]] = tab.Rhs(i);
     }
   }
-  Rational objective(0);
-  for (int j = 0; j < problem.num_variables(); ++j) {
-    objective += problem.cost(j) * solution.values[static_cast<size_t>(j)];
-  }
   solution.status = LpStatus::kOptimal;
-  solution.objective = std::move(objective);
+  solution.objective = RecomputeObjective(problem, solution.values);
   solution.iterations = iterations;
   return solution;
+}
+
+}  // namespace
+
+Result<ExactLpSolution> ExactSimplexSolver::Solve(
+    const ExactLpProblem& problem) const {
+  GEOPRIV_RETURN_IF_ERROR(problem.Validate());
+  switch (engine_) {
+    case ExactPivotEngine::kDenseRational:
+      return SolveDenseRational(problem);
+    case ExactPivotEngine::kFractionFree:
+      break;
+  }
+  return SolveFractionFree(problem);
 }
 
 }  // namespace geopriv

@@ -5,9 +5,21 @@
 // over Q with Bland's rule removes every numerical question at once:
 // termination is guaranteed, optimality certificates are exact, and
 // Theorem 1's loss equality can be asserted with operator== instead of a
-// tolerance.  Intended for the paper-scale instances (tens of variables);
-// for larger numeric instances use SimplexSolver (simplex.h) or
-// RevisedSimplexSolver (revised_simplex.h).
+// tolerance.
+//
+// Two pivot engines are provided:
+//   * kFractionFree (default): an integer-preserving tableau in the style of
+//     Edmonds / Bartels-Golub.  Every row stores integer numerators plus one
+//     shared positive denominator; a pivot combines rows with integer
+//     multiply-subtract and strips the common content with a gcd, so the
+//     per-entry gcd storm of a dense Rational tableau disappears.  Rows with
+//     a structural zero in the pivot column are skipped entirely, and the
+//     artificial columns are dropped after Phase 1.
+//   * kDenseRational: the original dense Rational tableau, kept as the
+//     bit-identical reference implementation for regression tests.
+// Both engines follow the same Bland pivot order on the same rational
+// tableau values, so they return identical solutions (see
+// tests/exact_simplex_regression_test.cc).
 //
 // Model restrictions relative to LpProblem: all variables are >= 0 and
 // unbounded above (exactly what the paper's LPs need — the epigraph
@@ -33,6 +45,10 @@ struct ExactLpTerm {
 };
 
 /// LP model with exact rational data; all variables are non-negative.
+/// Constraint terms live in one flat arena (CSR layout), so building a model
+/// with thousands of rows performs no per-row vector allocations: stream
+/// terms with BeginConstraint()/AddTerm(), or pass a prebuilt vector to the
+/// AddConstraint() convenience wrapper.
 class ExactLpProblem {
  public:
   ExactLpProblem() = default;
@@ -40,6 +56,14 @@ class ExactLpProblem {
   /// Adds a variable with bounds [0, +inf) and objective coefficient
   /// `cost` (minimization).  Returns its column index.
   int AddVariable(std::string name, Rational cost);
+
+  /// Opens a new constraint row `... <relation> rhs` and returns its index.
+  /// Terms are appended with AddTerm(); the row closes when the next row is
+  /// opened (or the model is solved).
+  int BeginConstraint(RowRelation relation, Rational rhs);
+
+  /// Appends `coeff * x_var` to the most recently opened constraint.
+  void AddTerm(int var, Rational coeff);
 
   /// Adds a constraint `terms · x <relation> rhs`.  Returns its row index.
   int AddConstraint(RowRelation relation, Rational rhs,
@@ -55,20 +79,29 @@ class ExactLpProblem {
     return costs_[static_cast<size_t>(var)];
   }
 
-  struct Row {
+  /// Borrowed view of one constraint row inside the term arena.
+  struct RowView {
     RowRelation relation;
-    Rational rhs;
-    std::vector<ExactLpTerm> terms;
+    const Rational* rhs;
+    const ExactLpTerm* terms;
+    size_t num_terms;
   };
-  const Row& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  RowView row(int i) const;
 
   /// First structural problem found (bad variable indices), or OK.
   Status Validate() const;
 
  private:
+  struct RowMeta {
+    RowRelation relation;
+    Rational rhs;
+    size_t terms_begin;  // offset into terms_
+  };
+
   std::vector<std::string> names_;
   std::vector<Rational> costs_;
-  std::vector<Row> rows_;
+  std::vector<RowMeta> rows_;
+  std::vector<ExactLpTerm> terms_;  // CSR arena shared by all rows
 };
 
 /// Exact primal solution.
@@ -79,15 +112,25 @@ struct ExactLpSolution {
   int iterations = 0;
 };
 
+/// Pivoting backend for ExactSimplexSolver.
+enum class ExactPivotEngine {
+  kFractionFree,   ///< integer tableau, one shared denominator per row
+  kDenseRational,  ///< reference dense Rational tableau (seed implementation)
+};
+
 /// Two-phase primal simplex with Bland's rule over Q.  Deterministic,
 /// tolerance-free, guaranteed to terminate.
 class ExactSimplexSolver {
  public:
   ExactSimplexSolver() = default;
+  explicit ExactSimplexSolver(ExactPivotEngine engine) : engine_(engine) {}
 
   /// Solves `problem` to provable optimality (or reports infeasible /
   /// unbounded exactly).
   Result<ExactLpSolution> Solve(const ExactLpProblem& problem) const;
+
+ private:
+  ExactPivotEngine engine_ = ExactPivotEngine::kFractionFree;
 };
 
 }  // namespace geopriv

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace geopriv {
@@ -39,26 +40,59 @@ class Tableau {
   size_t n() const { return n_; }
 
   // Performs a pivot on (row, col): scales the pivot row and eliminates the
-  // column from every other row including the objective row.
+  // column from every other row including the objective row.  The inner
+  // elimination only visits the pivot row's structurally nonzero columns —
+  // LP tableaus of the paper's block-structured models stay fairly sparse,
+  // so this skips a large fraction of the multiply-subtract work.
   void Pivot(size_t row, size_t col) {
     double inv = 1.0 / At(row, col);
     double* prow = &cells_[row * (n_ + 1)];
-    for (size_t j = 0; j <= n_; ++j) prow[j] *= inv;
+    nonzero_.clear();
+    for (size_t j = 0; j <= n_; ++j) {
+      if (prow[j] != 0.0) {
+        prow[j] *= inv;
+        nonzero_.push_back(static_cast<uint32_t>(j));
+      }
+    }
     prow[col] = 1.0;
+    // Dense pivot rows are eliminated with a contiguous (vectorizable)
+    // loop; sparse ones via the nonzero index list.
+    const bool dense = nonzero_.size() * 2 >= n_ + 1;
     for (size_t i = 0; i <= m_; ++i) {
       if (i == row) continue;
       double factor = At(i, col);
       if (factor == 0.0) continue;
       double* irow = &cells_[i * (n_ + 1)];
-      for (size_t j = 0; j <= n_; ++j) irow[j] -= factor * prow[j];
+      if (dense) {
+        for (size_t j = 0; j <= n_; ++j) irow[j] -= factor * prow[j];
+      } else {
+        for (uint32_t j : nonzero_) irow[j] -= factor * prow[j];
+      }
       irow[col] = 0.0;
     }
+  }
+
+  // Repacks the tableau to the first `new_n` columns plus the rhs column,
+  // dropping everything in between (used to discard artificial columns
+  // after Phase 1; requires that no dropped column is basic).
+  void ShrinkToWidth(size_t new_n) {
+    if (new_n >= n_) return;
+    for (size_t i = 0; i <= m_; ++i) {
+      double* src = &cells_[i * (n_ + 1)];
+      double* dst = &cells_[i * (new_n + 1)];
+      // dst <= src for every i, and j ascends, so the in-place copy is safe.
+      for (size_t j = 0; j < new_n; ++j) dst[j] = src[j];
+      dst[new_n] = src[n_];
+    }
+    n_ = new_n;
+    cells_.resize((m_ + 1) * (n_ + 1));
   }
 
  private:
   size_t m_;
   size_t n_;
   std::vector<double> cells_;
+  std::vector<uint32_t> nonzero_;  // pivot-row scratch
 };
 
 }  // namespace
@@ -136,6 +170,14 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
         row.relation = RowRelation::kLessEqual;
       }
     }
+    // A ">= 0" row needs no artificial: its negation "<= 0" starts feasible
+    // with the slack basic at zero.  The paper's LPs are dominated by such
+    // rows (all O(n²) DP-ratio constraints), so this collapses Phase 1 from
+    // thousands of artificials to the handful of equality rows.
+    if (row.relation == RowRelation::kGreaterEqual && row.rhs == 0.0) {
+      for (double& c : row.coeffs) c = -c;
+      row.relation = RowRelation::kLessEqual;
+    }
   }
 
   // ---- 3. Count slack / artificial columns and lay out the tableau. -------
@@ -205,9 +247,10 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     bool bland = false;
     int stall = 0;
     double last_obj = tab.ObjValue();
+    const size_t no_col = tab.n() + 1;
     while (iterations < max_iters) {
       // Entering column.
-      size_t enter = n_std;
+      size_t enter = no_col;
       if (bland) {
         for (size_t j = 0; j < allowed_end; ++j) {
           if (tab.Obj(j) < -tol) {
@@ -224,7 +267,7 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
           }
         }
       }
-      if (enter == n_std) return;  // optimal
+      if (enter == no_col) return;  // optimal
 
       // Leaving row: two-pass Harris ratio test.  Pass 1 computes the
       // loosest step theta_max that keeps every basic value above
@@ -340,10 +383,17 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     for (size_t i = 0; i < m; ++i) {
       if (basis[i] >= artificial_begin) ++solution.residual_artificials;
     }
+    // With no artificial left in the basis the artificial columns are dead
+    // weight: drop them so every Phase-2 pivot touches ~40% fewer cells.
+    // (When residuals remain, keep the columns — their basis indices must
+    // stay addressable — and rely on allowed_end to freeze them.)
+    if (solution.residual_artificials == 0) {
+      tab.ShrinkToWidth(artificial_begin);
+    }
   }
 
   // ---- 5. Phase 2: optimize the real objective. ----------------------------
-  for (size_t j = 0; j <= n_std; ++j) tab.Obj(j) = 0.0;
+  for (size_t j = 0; j <= tab.n(); ++j) tab.Obj(j) = 0.0;
   for (int j = 0; j < num_vars; ++j) {
     double c = problem.cost(j) * (maximize ? -1.0 : 1.0);
     const VarMap& vm = vmap[static_cast<size_t>(j)];
@@ -357,7 +407,7 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
   for (size_t i = 0; i < m; ++i) {
     double c = tab.Obj(basis[i]);
     if (c == 0.0) continue;
-    for (size_t j = 0; j <= n_std; ++j) {
+    for (size_t j = 0; j <= tab.n(); ++j) {
       tab.Obj(j) -= c * tab.At(i, j);
     }
   }

@@ -1,0 +1,199 @@
+// Tests for the BigInt small-value fast path: promotion/demotion across the
+// single-word boundary, INT64_MIN edge cases, carries at 2^32, gcd of mixed
+// small/large operands, and a randomized cross-check of the fast paths
+// against reference arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "exact/bigint.h"
+
+namespace geopriv {
+namespace {
+
+BigInt FromString(const std::string& s) {
+  auto r = BigInt::FromString(s);
+  EXPECT_TRUE(r.ok()) << s;
+  return *r;
+}
+
+TEST(BigIntFastPathTest, Int64BoundaryPromotion) {
+  BigInt max(INT64_MAX);
+  EXPECT_TRUE(max.FitsInt64());
+
+  BigInt promoted = max + BigInt(1);  // 2^63: first value past the boundary
+  EXPECT_FALSE(promoted.FitsInt64());
+  EXPECT_EQ(promoted.ToString(), "9223372036854775808");
+  EXPECT_FALSE(promoted.ToInt64().ok());
+
+  // Demotion: subtracting back crosses into the inline representation.
+  BigInt demoted = promoted - BigInt(1);
+  EXPECT_TRUE(demoted.FitsInt64());
+  EXPECT_EQ(*demoted.ToInt64(), INT64_MAX);
+  EXPECT_EQ(demoted, max);
+}
+
+TEST(BigIntFastPathTest, Int64MinEdgeCases) {
+  BigInt min(INT64_MIN);
+  EXPECT_TRUE(min.FitsInt64());
+  EXPECT_EQ(*min.ToInt64(), INT64_MIN);
+  EXPECT_EQ(min.BitLength(), 64u);
+
+  // -INT64_MIN == 2^63 does not fit; negating back demotes again.
+  BigInt negated = -min;
+  EXPECT_FALSE(negated.FitsInt64());
+  EXPECT_EQ(negated.ToString(), "9223372036854775808");
+  EXPECT_EQ(-negated, min);
+  EXPECT_EQ(min.Abs(), negated);
+
+  // The lone overflowing small/small quotient and its remainder.
+  EXPECT_EQ(*BigInt::Divide(min, BigInt(-1)), negated);
+  EXPECT_EQ(*BigInt::Remainder(min, BigInt(-1)), BigInt(0));
+
+  // Compound subtraction hitting the negate-INT64_MIN slow path.
+  BigInt x(0);
+  x -= min;
+  EXPECT_EQ(x, negated);
+}
+
+TEST(BigIntFastPathTest, CarriesAtLimbBoundary) {
+  const int64_t two32 = int64_t{1} << 32;
+  EXPECT_EQ(BigInt(two32 - 1) + BigInt(1), BigInt(two32));
+  EXPECT_EQ(BigInt(two32) - BigInt(1), BigInt(two32 - 1));
+
+  // Carries across the two-limb boundary (2^64) in large space.
+  BigInt two64 = FromString("18446744073709551616");
+  EXPECT_EQ(BigInt(two32 - 1) * BigInt(two32 + 1), two64 - BigInt(1));
+  EXPECT_EQ(FromString("18446744073709551615") + BigInt(1), two64);
+  EXPECT_EQ(two64 - BigInt(1), FromString("18446744073709551615"));
+  EXPECT_EQ(BigInt(two32) * BigInt(two32), two64);
+}
+
+TEST(BigIntFastPathTest, GcdMixedSmallLarge) {
+  // gcd(3 * 2^80, 48) = 48 exercises the large/small mixed path.
+  BigInt large = BigInt::Pow(BigInt(2), 80) * BigInt(3);
+  EXPECT_FALSE(large.FitsInt64());
+  EXPECT_EQ(BigInt::Gcd(large, BigInt(48)), BigInt(48));
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), large), BigInt(48));
+
+  // Coprime mixed operands.
+  EXPECT_EQ(BigInt::Gcd(large, BigInt(7)), BigInt(1));
+
+  // Zero handling in both positions.
+  EXPECT_EQ(BigInt::Gcd(large, BigInt(0)), large);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), large), large);
+
+  // gcd whose value is exactly 2^63 must promote (it exceeds INT64_MAX).
+  BigInt two63 = BigInt(INT64_MIN).Abs();
+  EXPECT_EQ(BigInt::Gcd(two63, two63), two63);
+  EXPECT_FALSE(BigInt::Gcd(two63, two63).FitsInt64());
+
+  // Large/large reduced by the Euclid loop.
+  BigInt a = BigInt::Pow(BigInt(10), 30) * BigInt(36);
+  BigInt b = BigInt::Pow(BigInt(10), 30) * BigInt(48);
+  EXPECT_EQ(BigInt::Gcd(a, b), BigInt::Pow(BigInt(10), 30) * BigInt(12));
+}
+
+TEST(BigIntFastPathTest, CompoundOpsMutateInPlace) {
+  BigInt x(41);
+  x += BigInt(1);
+  EXPECT_EQ(x, BigInt(42));
+  x -= BigInt(2);
+  EXPECT_EQ(x, BigInt(40));
+  x *= BigInt(-3);
+  EXPECT_EQ(x, BigInt(-120));
+
+  // Self-aliased compound ops.
+  x = BigInt(INT64_MAX);
+  x += x;  // promotes
+  EXPECT_EQ(x, FromString("18446744073709551614"));
+  x -= x;  // back to zero, demotes
+  EXPECT_TRUE(x.IsZero());
+  EXPECT_TRUE(x.FitsInt64());
+
+  BigInt big = BigInt::Pow(BigInt(7), 40);
+  BigInt expected = big * big;
+  big *= big;
+  EXPECT_EQ(big, expected);
+}
+
+TEST(BigIntFastPathTest, RandomizedFastVsSlowCrossCheck) {
+  // Deterministic xorshift; operands straddle the small/large boundary so
+  // fast paths, promotions and demotions all fire.  Each op is validated
+  // with representation-independent algebraic identities, and small results
+  // additionally against native __int128 arithmetic.
+  uint64_t s = 0x243f6a8885a308d3ULL;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (int trial = 0; trial < 20000; ++trial) {
+    int64_t av = static_cast<int64_t>(next());
+    int64_t bv = static_cast<int64_t>(next());
+    BigInt a(av), b(bv);
+    switch (trial % 4) {
+      case 0:  // keep both small-ish
+        a = BigInt(av % 1000000);
+        b = BigInt(bv % 1000000);
+        break;
+      case 1:  // a large
+        a = a * b + BigInt(av % 97);
+        break;
+      case 2:  // both large
+        a = a * b;
+        b = b * b;
+        break;
+      default:  // boundary values
+        a = BigInt(trial % 2 == 0 ? INT64_MAX : INT64_MIN);
+        break;
+    }
+
+    // Small results must agree with native arithmetic.
+    __int128 wide_sum = static_cast<__int128>(0);
+    if (a.FitsInt64() && b.FitsInt64()) {
+      wide_sum = static_cast<__int128>(*a.ToInt64()) + *b.ToInt64();
+      BigInt sum = a + b;
+      if (wide_sum >= INT64_MIN && wide_sum <= INT64_MAX) {
+        ASSERT_TRUE(sum.FitsInt64()) << trial;
+        ASSERT_EQ(*sum.ToInt64(), static_cast<int64_t>(wide_sum)) << trial;
+      } else {
+        ASSERT_FALSE(sum.FitsInt64()) << trial;
+      }
+    }
+
+    // Identities that hold in every representation.
+    ASSERT_EQ((a + b) - b, a) << trial;
+    ASSERT_EQ((a - b) + b, a) << trial;
+    BigInt c = a;
+    c += b;
+    ASSERT_EQ(c, a + b) << trial;
+    c = a;
+    c -= b;
+    ASSERT_EQ(c, a - b) << trial;
+    c = a;
+    c *= b;
+    ASSERT_EQ(c, a * b) << trial;
+    if (!b.IsZero()) {
+      BigInt q = *BigInt::Divide(a, b);
+      BigInt r = *BigInt::Remainder(a, b);
+      ASSERT_EQ(q * b + r, a) << trial;
+      ASSERT_TRUE(r.Abs() < b.Abs()) << trial;
+      if (!r.IsZero()) {
+        ASSERT_EQ(r.IsNegative(), a.IsNegative()) << trial;
+      }
+    }
+    BigInt g = BigInt::Gcd(a, b);
+    if (!g.IsZero()) {
+      ASSERT_TRUE((*BigInt::Remainder(a, g)).IsZero()) << trial;
+      ASSERT_TRUE((*BigInt::Remainder(b, g)).IsZero()) << trial;
+    }
+    ASSERT_EQ(*BigInt::FromString(a.ToString()), a) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,111 @@
+// Regression tests pinning the fraction-free exact simplex to the dense
+// Rational reference engine (the seed implementation): both engines follow
+// the same Bland pivot order, so objective, per-variable values and the
+// iteration count must be bit-identical — not merely equal as reals.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/optimal_exact.h"
+#include "lp/exact_simplex.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+// The production Section 2.5 optimal-mechanism LP over Q (alpha = 1/2,
+// absolute loss, S = {0..n}) — the same model SolveOptimalMechanismExact
+// solves, so the regression gate covers exactly what production runs.
+ExactLpProblem OptimalMechanismLp(int n) {
+  auto lp = BuildOptimalMechanismLpExact(n, R(1, 2),
+                                         ExactLossFunction::AbsoluteError(),
+                                         SideInformation::All(n));
+  EXPECT_TRUE(lp.ok());
+  return *std::move(lp);
+}
+
+void ExpectIdenticalSolutions(const ExactLpProblem& lp,
+                              const std::string& label) {
+  ExactSimplexSolver fraction_free(ExactPivotEngine::kFractionFree);
+  ExactSimplexSolver dense(ExactPivotEngine::kDenseRational);
+  auto ff = fraction_free.Solve(lp);
+  auto dn = dense.Solve(lp);
+  ASSERT_TRUE(ff.ok()) << label;
+  ASSERT_TRUE(dn.ok()) << label;
+  EXPECT_EQ(ff->status, dn->status) << label;
+  EXPECT_EQ(ff->iterations, dn->iterations) << label;
+  if (ff->status != LpStatus::kOptimal) return;
+  // Bit-identical: canonical numerator and denominator strings must match,
+  // not just the rational values.
+  EXPECT_EQ(ff->objective.ToString(), dn->objective.ToString()) << label;
+  ASSERT_EQ(ff->values.size(), dn->values.size()) << label;
+  for (size_t j = 0; j < ff->values.size(); ++j) {
+    EXPECT_EQ(ff->values[j].ToString(), dn->values[j].ToString())
+        << label << " variable " << j;
+  }
+}
+
+TEST(ExactSimplexRegressionTest, OptimalMechanismLpsMatchDenseReference) {
+  for (int n : {2, 4, 8}) {
+    ExpectIdenticalSolutions(OptimalMechanismLp(n),
+                             "optimal-mechanism n=" + std::to_string(n));
+  }
+}
+
+TEST(ExactSimplexRegressionTest, KnownOptimaUnchanged) {
+  // The n = 2, 4 Section 2.5 optima as solved by the seed dense engine.
+  ExactSimplexSolver solver;
+  auto s2 = solver.Solve(OptimalMechanismLp(2));
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s2->status, LpStatus::kOptimal);
+  EXPECT_EQ(s2->objective.ToString(), "4/7");
+  auto s4 = solver.Solve(OptimalMechanismLp(4));
+  ASSERT_TRUE(s4.ok());
+  ASSERT_EQ(s4->status, LpStatus::kOptimal);
+  EXPECT_EQ(s4->objective.ToString(), "36/43");
+}
+
+TEST(ExactSimplexRegressionTest, InfeasibleMatchesDenseReference) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x, R(1)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(2), {{x, R(1)}});
+  ExpectIdenticalSolutions(lp, "infeasible");
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kInfeasible);
+}
+
+TEST(ExactSimplexRegressionTest, UnboundedMatchesDenseReference) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(-1));
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(1), {{x, R(1)}});
+  ExpectIdenticalSolutions(lp, "unbounded");
+  ExactSimplexSolver solver;
+  auto s = solver.Solve(lp);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kUnbounded);
+}
+
+TEST(ExactSimplexRegressionTest, FractionalDataMatchesDenseReference) {
+  // Fractional costs/rhs force nontrivial row denominators in the
+  // fraction-free tableau.
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1, 3));
+  int y = lp.AddVariable("y", R(-2, 5));
+  lp.AddConstraint(RowRelation::kLessEqual, R(7, 2),
+                   {{x, R(2, 3)}, {y, R(1, 4)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(-1, 6),
+                   {{x, R(-1, 2)}, {y, R(5, 7)}});
+  lp.AddConstraint(RowRelation::kEqual, R(3, 4),
+                   {{x, R(1, 5)}, {y, R(1, 8)}});
+  ExpectIdenticalSolutions(lp, "fractional");
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Builds and runs the full benchmark suite with fixed settings and
+# consolidates every suite's JSON into BENCH_exact.json, so perf can be
+# diffed across PRs.
+#
+# Usage:
+#   tools/run_benches.sh [--large] [bench_name ...]
+#
+#   --large        also run the expensive gated cases (exact LP at n=12/16,
+#                  dense reference at n=8, double LP at n=20/24)
+#   bench_name     restrict to specific suites (default: all bench_* targets)
+#
+# Environment:
+#   BUILD_DIR  (default: <repo>/build)
+#   OUT_FILE   (default: <repo>/BENCH_exact.json)
+#   GEOPRIV_BENCH_REPS / _WARMUP / _MIN_REP_MS / _BUDGET_MS are forwarded to
+#   the harness (see bench/harness.h); the defaults below make runs
+#   reproducible across machines of similar speed.
+#
+# All benchmark workloads use fixed RNG seeds internally, so reruns measure
+# the same computation.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+OUT_FILE="${OUT_FILE:-$ROOT/BENCH_exact.json}"
+JSON_DIR="$BUILD_DIR/bench_json"
+
+LARGE=""
+SUITES=()
+for arg in "$@"; do
+  case "$arg" in
+    --large) LARGE="--large" ;;
+    *) SUITES+=("$arg") ;;
+  esac
+done
+
+export GEOPRIV_BENCH_REPS="${GEOPRIV_BENCH_REPS:-7}"
+export GEOPRIV_BENCH_WARMUP="${GEOPRIV_BENCH_WARMUP:-1}"
+export GEOPRIV_BENCH_MIN_REP_MS="${GEOPRIV_BENCH_MIN_REP_MS:-20}"
+export GEOPRIV_BENCH_BUDGET_MS="${GEOPRIV_BENCH_BUDGET_MS:-3000}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench -j"$(nproc)"
+
+if [ "${#SUITES[@]}" -eq 0 ]; then
+  for bin in "$BUILD_DIR"/bench_*; do
+    [ -x "$bin" ] && [ -f "$bin" ] && SUITES+=("$(basename "$bin")")
+  done
+fi
+
+mkdir -p "$JSON_DIR"
+for suite in "${SUITES[@]}"; do
+  bin="$BUILD_DIR/$suite"
+  if [ ! -x "$bin" ]; then
+    echo "skipping unknown suite: $suite" >&2
+    continue
+  fi
+  echo "== $suite"
+  GEOPRIV_BENCH_JSON="$JSON_DIR/$suite.json" \
+      "$bin" $LARGE > "$JSON_DIR/$suite.log" 2>&1 || {
+    echo "   FAILED (see $JSON_DIR/$suite.log)" >&2
+    exit 1
+  }
+  tail -n +1 "$JSON_DIR/$suite.log" | grep -E "^# $suite" || true
+done
+
+shopt -s nullglob
+JSON_FILES=("$JSON_DIR"/*.json)
+shopt -u nullglob
+if [ "${#JSON_FILES[@]}" -eq 0 ]; then
+  echo "no suite JSON produced under $JSON_DIR; nothing to consolidate" >&2
+  exit 1
+fi
+
+python3 - "$OUT_FILE" "${JSON_FILES[@]}" <<'PY'
+import json, sys, datetime, platform
+
+out_path, paths = sys.argv[1], sys.argv[2:]
+suites = []
+for path in sorted(paths):
+    with open(path) as f:
+        suites.append(json.load(f))
+consolidated = {
+    "generated_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "machine": platform.machine(),
+    "suites": suites,
+}
+with open(out_path, "w") as f:
+    json.dump(consolidated, f, indent=2)
+    f.write("\n")
+total = sum(len(s.get("benchmarks", [])) for s in suites)
+print(f"wrote {out_path}: {len(suites)} suites, {total} benchmarks")
+PY
