@@ -70,14 +70,19 @@ void PrintExactResults() {
   std::printf("%s\n", interaction->matrix.ToString().c_str());
 }
 
-// The production Section 2.5 LP over Q through a specific pivot engine.
-void SolveExactLp(int n, ExactPivotEngine engine) {
+// The production Section 2.5 LP over Q through a specific pivot engine and
+// pricing rule (the solver default is kDevex).
+void SolveExactLp(int n, ExactPivotEngine engine,
+                  PivotRule rule = PivotRule::kDevex) {
   Rational half = *Rational::FromInts(1, 2);
   auto lp = BuildOptimalMechanismLpExact(n, half,
                                          ExactLossFunction::AbsoluteError(),
                                          SideInformation::All(n));
   if (!lp.ok()) return;
-  ExactSimplexSolver solver(engine);
+  ExactSimplexOptions options;
+  options.engine = engine;
+  options.rule = rule;
+  ExactSimplexSolver solver(options);
   geopriv::bench::DoNotOptimize(solver.Solve(*lp));
 }
 
@@ -90,6 +95,15 @@ int main(int argc, char** argv) {
   for (int n : {2, 3, 4, 5, 8}) {
     h.Run("ExactOptimalMechanismLp/fraction_free/n=" + std::to_string(n),
           [n] { SolveExactLp(n, ExactPivotEngine::kFractionFree); });
+  }
+  // The Bland baseline on the same engine, so BENCH_exact.json records the
+  // pricing-rule win (the unnamed entries above run the kDevex default).
+  for (int n : {4, 5, 8}) {
+    h.Run("ExactOptimalMechanismLp/fraction_free_bland/n=" + std::to_string(n),
+          [n] {
+            SolveExactLp(n, ExactPivotEngine::kFractionFree,
+                         PivotRule::kBland);
+          });
   }
   // The dense reference (the seed implementation) is quadratically more
   // expensive per pivot; keep its sweep short by default.

@@ -122,19 +122,20 @@ Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
           "x_" + std::to_string(i) + "_" + std::to_string(r), c);
     }
   }
+  // Rows are streamed straight into the model's CSR term arena.
   for (int i = 0; i + 1 < size; ++i) {
     for (int r = 0; r < size; ++r) {
-      lp.AddConstraint("dp_down", RowRelation::kGreaterEqual, 0.0,
-                       {{cell(i, r), 1.0}, {cell(i + 1, r), -alpha}});
-      lp.AddConstraint("dp_up", RowRelation::kGreaterEqual, 0.0,
-                       {{cell(i + 1, r), 1.0}, {cell(i, r), -alpha}});
+      lp.BeginConstraint("dp_down", RowRelation::kGreaterEqual, 0.0);
+      lp.AddTerm(cell(i, r), 1.0);
+      lp.AddTerm(cell(i + 1, r), -alpha);
+      lp.BeginConstraint("dp_up", RowRelation::kGreaterEqual, 0.0);
+      lp.AddTerm(cell(i + 1, r), 1.0);
+      lp.AddTerm(cell(i, r), -alpha);
     }
   }
   for (int i = 0; i < size; ++i) {
-    std::vector<LpTerm> terms;
-    for (int r = 0; r < size; ++r) terms.push_back({cell(i, r), 1.0});
-    lp.AddConstraint("row_" + std::to_string(i), RowRelation::kEqual, 1.0,
-                     std::move(terms));
+    lp.BeginConstraint("row_" + std::to_string(i), RowRelation::kEqual, 1.0);
+    for (int r = 0; r < size; ++r) lp.AddTerm(cell(i, r), 1.0);
   }
 
   SimplexSolver solver(options);

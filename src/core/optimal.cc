@@ -72,40 +72,41 @@ Result<LpProblem> BuildOptimalMechanismLp(int n, double alpha,
   }
   const int d_var = lp.AddNonNegativeVariable("d", 1.0);  // objective: min d
 
+  // Rows are streamed straight into the model's term arena (the same CSR
+  // layout ExactLpProblem uses); no intermediate term vectors are
+  // materialized.
+  //
   // Epigraph rows: Σ_r l(i,r)·x[i][r] - d <= 0 for each i in S.
   for (int i : consumer.side_information().members()) {
-    std::vector<LpTerm> terms;
-    terms.reserve(static_cast<size_t>(size) + 1);
+    lp.BeginConstraint("loss_" + std::to_string(i), RowRelation::kLessEqual,
+                       0.0);
     for (int r = 0; r < size; ++r) {
       double l = consumer.loss()(i, r);
-      if (l != 0.0) terms.push_back({CellVar(i, r, n), l});
+      if (l != 0.0) lp.AddTerm(CellVar(i, r, n), l);
     }
-    terms.push_back({d_var, -1.0});
-    lp.AddConstraint("loss_" + std::to_string(i), RowRelation::kLessEqual,
-                     0.0, std::move(terms));
+    lp.AddTerm(d_var, -1.0);
   }
 
   // Differential privacy (Definition 2), per adjacent input pair and column.
   for (int i = 0; i + 1 < size; ++i) {
     for (int r = 0; r < size; ++r) {
-      lp.AddConstraint(
-          "dp_down_" + std::to_string(i) + "_" + std::to_string(r),
-          RowRelation::kGreaterEqual, 0.0,
-          {{CellVar(i, r, n), 1.0}, {CellVar(i + 1, r, n), -alpha}});
-      lp.AddConstraint(
-          "dp_up_" + std::to_string(i) + "_" + std::to_string(r),
-          RowRelation::kGreaterEqual, 0.0,
-          {{CellVar(i + 1, r, n), 1.0}, {CellVar(i, r, n), -alpha}});
+      lp.BeginConstraint("dp_down_" + std::to_string(i) + "_" +
+                             std::to_string(r),
+                         RowRelation::kGreaterEqual, 0.0);
+      lp.AddTerm(CellVar(i, r, n), 1.0);
+      lp.AddTerm(CellVar(i + 1, r, n), -alpha);
+      lp.BeginConstraint("dp_up_" + std::to_string(i) + "_" +
+                             std::to_string(r),
+                         RowRelation::kGreaterEqual, 0.0);
+      lp.AddTerm(CellVar(i + 1, r, n), 1.0);
+      lp.AddTerm(CellVar(i, r, n), -alpha);
     }
   }
 
   // Row-stochasticity.
   for (int i = 0; i < size; ++i) {
-    std::vector<LpTerm> terms;
-    terms.reserve(static_cast<size_t>(size));
-    for (int r = 0; r < size; ++r) terms.push_back({CellVar(i, r, n), 1.0});
-    lp.AddConstraint("row_" + std::to_string(i), RowRelation::kEqual, 1.0,
-                     std::move(terms));
+    lp.BeginConstraint("row_" + std::to_string(i), RowRelation::kEqual, 1.0);
+    for (int r = 0; r < size; ++r) lp.AddTerm(CellVar(i, r, n), 1.0);
   }
 
   *d_var_out = d_var;
@@ -214,30 +215,26 @@ Result<OptimalInteractionResult> SolveOptimalInteraction(
   }
   const int d_var = lp.AddNonNegativeVariable("d", 1.0);
 
-  // Induced loss rows: for i in S,
+  // Induced loss rows, streamed into the term arena: for i in S,
   //   Σ_{r'} l(i,r')·Σ_r y[i][r]·T[r][r']  <=  d.
   for (int i : consumer.side_information().members()) {
-    std::vector<LpTerm> terms;
+    lp.BeginConstraint("loss_" + std::to_string(i), RowRelation::kLessEqual,
+                       0.0);
     for (int r = 0; r < size; ++r) {
       double y = deployed.Probability(i, r);
       if (y == 0.0) continue;
       for (int rp = 0; rp < size; ++rp) {
         double l = consumer.loss()(i, rp);
-        if (l != 0.0) terms.push_back({CellVar(r, rp, n), y * l});
+        if (l != 0.0) lp.AddTerm(CellVar(r, rp, n), y * l);
       }
     }
-    terms.push_back({d_var, -1.0});
-    lp.AddConstraint("loss_" + std::to_string(i), RowRelation::kLessEqual,
-                     0.0, std::move(terms));
+    lp.AddTerm(d_var, -1.0);
   }
 
   // T is row-stochastic.
   for (int r = 0; r < size; ++r) {
-    std::vector<LpTerm> terms;
-    terms.reserve(static_cast<size_t>(size));
-    for (int rp = 0; rp < size; ++rp) terms.push_back({CellVar(r, rp, n), 1.0});
-    lp.AddConstraint("rowT_" + std::to_string(r), RowRelation::kEqual, 1.0,
-                     std::move(terms));
+    lp.BeginConstraint("rowT_" + std::to_string(r), RowRelation::kEqual, 1.0);
+    for (int rp = 0; rp < size; ++rp) lp.AddTerm(CellVar(r, rp, n), 1.0);
   }
 
   SimplexSolver solver(options);

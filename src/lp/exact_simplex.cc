@@ -1,7 +1,11 @@
 #include "lp/exact_simplex.h"
 
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <utility>
+
+#include "lp/simplex_core.h"
 
 namespace geopriv {
 
@@ -40,6 +44,12 @@ ExactLpProblem::RowView ExactLpProblem::row(int i) const {
 }
 
 Status ExactLpProblem::Validate() const {
+  // Terms streamed before the first BeginConstraint belong to no row (see
+  // the assert in AddTerm); keep the misuse loud in NDEBUG builds too.
+  if (!terms_.empty() && (rows_.empty() || rows_.front().terms_begin != 0)) {
+    return Status::InvalidArgument(
+        "terms were streamed before any constraint row was opened");
+  }
   for (int i = 0; i < num_constraints(); ++i) {
     RowView r = row(i);
     for (size_t k = 0; k < r.num_terms; ++k) {
@@ -53,6 +63,8 @@ Status ExactLpProblem::Validate() const {
 }
 
 namespace {
+
+using lp_internal::kNoIndex;
 
 // Standard-form layout shared by both engines: per-row relation after the
 // rhs >= 0 normalization, plus the slack/artificial column census.
@@ -117,8 +129,20 @@ Rational RecomputeObjective(const ExactLpProblem& problem,
   return objective;
 }
 
+// log2 |x| for pricing keys.  Exact within double rounding for values in
+// double range; beyond ~1000 bits the bit length itself is accurate to
+// better than 0.1% — plenty for a pricing heuristic that never affects
+// correctness, while never overflowing to infinity/NaN.
+double Log2Abs(const BigInt& x) {
+  const size_t bits = x.BitLength();
+  if (bits <= 1000) return std::log2(std::fabs(x.ToDouble()));
+  return static_cast<double>(bits);
+}
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
 // ---------------------------------------------------------------------------
-// Fraction-free engine.
+// Fraction-free kernel.
 //
 // Every tableau row i keeps integer numerators a[j] (plus rhs) over one
 // shared positive denominator den: the rational tableau entry is a[j]/den.
@@ -214,30 +238,32 @@ void FfPivot(std::vector<FfRow>* rows, FfRow* obj, size_t r, size_t c) {
   StripContent(&prow);
 }
 
-Result<ExactLpSolution> SolveFractionFree(const ExactLpProblem& problem) {
-  const size_t num_struct = static_cast<size_t>(problem.num_variables());
-  const size_t m = static_cast<size_t>(problem.num_constraints());
-  const StandardShape shape = AnalyzeShape(problem);
-  const size_t n_std = num_struct + shape.num_slack + shape.num_artificial;
-  const size_t artificial_begin = n_std - shape.num_artificial;
+// Fraction-free kernel for the shared two-phase driver.
+class FractionFreeKernel {
+ public:
+  explicit FractionFreeKernel(const ExactLpProblem& problem)
+      : problem_(problem),
+        num_struct_(static_cast<size_t>(problem.num_variables())),
+        m_(static_cast<size_t>(problem.num_constraints())),
+        shape_(AnalyzeShape(problem)),
+        n_std_(num_struct_ + shape_.num_slack + shape_.num_artificial),
+        artificial_begin_(n_std_ - shape_.num_artificial),
+        rows_(m_),
+        basis_(m_),
+        pricing_width_(n_std_) {
+    obj_.a.assign(n_std_, BigInt());
 
-  std::vector<FfRow> rows(m);
-  FfRow obj;
-  obj.a.assign(n_std, BigInt());
-  std::vector<size_t> basis(m);
-
-  // ---- Build the integer tableau row by row. ----------------------------
-  {
+    // ---- Build the integer tableau row by row. ----------------------------
     // Scratch accumulator for duplicate term indices (dense over columns,
     // cleared via the touched list).
-    std::vector<Rational> cell(num_struct);
-    std::vector<char> used(num_struct, 0);
+    std::vector<Rational> cell(num_struct_);
+    std::vector<char> used(num_struct_, 0);
     std::vector<int> touched;
-    size_t slack_cursor = num_struct;
-    size_t art_cursor = artificial_begin;
-    for (size_t i = 0; i < m; ++i) {
+    size_t slack_cursor = num_struct_;
+    size_t art_cursor = artificial_begin_;
+    for (size_t i = 0; i < m_; ++i) {
       ExactLpProblem::RowView src = problem.row(static_cast<int>(i));
-      const bool neg = shape.negate[i];
+      const bool neg = shape_.negate[i];
       touched.clear();
       for (size_t k = 0; k < src.num_terms; ++k) {
         const ExactLpTerm& t = src.terms[k];
@@ -253,8 +279,8 @@ Result<ExactLpSolution> SolveFractionFree(const ExactLpProblem& problem) {
       }
       Rational rrhs = neg ? -*src.rhs : *src.rhs;
 
-      FfRow& row = rows[i];
-      row.a.assign(n_std, BigInt());
+      FfRow& row = rows_[i];
+      row.a.assign(n_std_, BigInt());
       BigInt den = rrhs.denominator();
       for (int v : touched) {
         den = LcmPositive(den, cell[static_cast<size_t>(v)].denominator());
@@ -268,167 +294,171 @@ Result<ExactLpSolution> SolveFractionFree(const ExactLpProblem& problem) {
         used[static_cast<size_t>(v)] = 0;
         cell[static_cast<size_t>(v)] = Rational();
       }
-      switch (shape.relation[i]) {
+      switch (shape_.relation[i]) {
         case RowRelation::kLessEqual:
           row.a[slack_cursor] = den;
-          basis[i] = slack_cursor++;
+          basis_[i] = slack_cursor++;
           break;
         case RowRelation::kGreaterEqual:
           row.a[slack_cursor] = -den;
           ++slack_cursor;
           row.a[art_cursor] = den;
-          basis[i] = art_cursor++;
+          basis_[i] = art_cursor++;
           break;
         case RowRelation::kEqual:
           row.a[art_cursor] = den;
-          basis[i] = art_cursor++;
+          basis_[i] = art_cursor++;
           break;
       }
       StripContent(&row);
     }
   }
 
-  ExactLpSolution solution;
-  int iterations = 0;
+  // ---- Pricing signals (denominators are positive, so the numerator sign
+  // is the reduced-cost sign; the shared objective denominator cancels in
+  // magnitude comparisons across columns). ----
+  size_t pricing_width() const { return pricing_width_; }
+  bool Eligible(size_t j) const { return obj_.a[j].IsNegative(); }
+  double PricingKey(size_t j) const { return Log2Abs(obj_.a[j]); }
+  double DantzigKey(size_t j) const { return PricingKey(j); }
+  size_t BasisColumn(size_t row) const { return basis_[row]; }
+  double PivotRowLog2(size_t leave, size_t j) const {
+    const BigInt& a = rows_[leave].a[j];
+    return a.IsZero() ? kNegInf : Log2Abs(a);
+  }
 
-  // Bland's rule phase runner on the integer tableau: smallest-index
-  // entering column with negative reduced cost (sign of the numerator,
-  // denominators are positive); leaving row by exact minimum ratio
-  // rhs_i/a_i[enter] — the per-row denominator cancels inside the ratio, so
-  // candidates compare by BigInt cross-multiplication — with smallest basis
-  // index on ties.  Identical pivot decisions to the dense engine.
-  auto run_phase = [&](size_t allowed_end, bool* unbounded) {
-    *unbounded = false;
-    for (;;) {
-      size_t enter = n_std;
-      for (size_t j = 0; j < allowed_end; ++j) {
-        if (obj.a[j].IsNegative()) {
-          enter = j;
-          break;
-        }
-      }
-      if (enter == n_std) return;  // optimal for this phase
-
-      size_t leave = m;
-      BigInt best_num, best_den;  // best ratio = best_num / best_den
-      for (size_t i = 0; i < m; ++i) {
-        const BigInt& a = rows[i].a[enter];
-        if (a.Sign() > 0) {
-          bool take;
-          if (leave == m) {
-            take = true;
-          } else if (rows[i].rhs.IsZero()) {
-            // Zero ratio: beats everything except another zero (tie on
-            // basis index).
-            take = !best_num.IsZero() || basis[i] < basis[leave];
-          } else if (best_num.IsZero()) {
+  // Leaving row by exact minimum ratio rhs_i/a_i[enter] — the per-row
+  // denominator cancels inside the ratio, so candidates compare by BigInt
+  // cross-multiplication — with smallest basis index on ties.  Identical
+  // pivot decisions to the dense engine.
+  size_t SelectLeaving(size_t enter) const {
+    size_t leave = kNoIndex;
+    BigInt best_num, best_den;  // best ratio = best_num / best_den
+    for (size_t i = 0; i < m_; ++i) {
+      const BigInt& a = rows_[i].a[enter];
+      if (a.Sign() > 0) {
+        bool take;
+        if (leave == kNoIndex) {
+          take = true;
+        } else if (rows_[i].rhs.IsZero()) {
+          // Zero ratio: beats everything except another zero (tie on
+          // basis index).
+          take = !best_num.IsZero() || basis_[i] < basis_[leave];
+        } else if (best_num.IsZero()) {
+          take = false;
+        } else {
+          // Bit-length prefilter: the products lie in
+          // [2^(l-2), 2^l), so a gap of >= 2 decides the comparison
+          // without materializing the (large) cross products.
+          size_t l1 = rows_[i].rhs.BitLength() + best_den.BitLength();
+          size_t l2 = best_num.BitLength() + a.BitLength();
+          if (l1 >= l2 + 2) {
             take = false;
+          } else if (l2 >= l1 + 2) {
+            take = true;
           } else {
-            // Bit-length prefilter: the products lie in
-            // [2^(l-2), 2^l), so a gap of >= 2 decides the comparison
-            // without materializing the (large) cross products.
-            size_t l1 = rows[i].rhs.BitLength() + best_den.BitLength();
-            size_t l2 = best_num.BitLength() + a.BitLength();
-            if (l1 >= l2 + 2) {
-              take = false;
-            } else if (l2 >= l1 + 2) {
-              take = true;
-            } else {
-              int cmp = (rows[i].rhs * best_den).Compare(best_num * a);
-              take = cmp < 0 || (cmp == 0 && basis[i] < basis[leave]);
-            }
-          }
-          if (take) {
-            leave = i;
-            best_num = rows[i].rhs;
-            best_den = a;
+            int cmp = (rows_[i].rhs * best_den).Compare(best_num * a);
+            take = cmp < 0 || (cmp == 0 && basis_[i] < basis_[leave]);
           }
         }
+        if (take) {
+          leave = i;
+          best_num = rows_[i].rhs;
+          best_den = a;
+        }
       }
-      if (leave == m) {
-        *unbounded = true;
-        return;
-      }
-      FfPivot(&rows, &obj, leave, enter);
-      basis[leave] = enter;
-      ++iterations;
     }
-  };
+    return leave;
+  }
 
-  // ---- Phase 1. ---------------------------------------------------------
-  if (shape.num_artificial > 0) {
+  bool DegeneratePivot(size_t leave, size_t /*enter*/) const {
+    // Over Q a pivot changes the objective iff the leaving rhs is nonzero.
+    return rows_[leave].rhs.IsZero();
+  }
+
+  void Pivot(size_t leave, size_t enter) {
+    FfPivot(&rows_, &obj_, leave, enter);
+    basis_[leave] = enter;
+  }
+
+  // ---- Phase hooks. ----
+  bool NeedsPhase1() const { return shape_.num_artificial > 0; }
+
+  void SetupPhase1Objective() {
     // Objective = sum of artificials, reduced over the (artificial) basis:
     // obj_j = [j artificial] - sum over artificial-basic rows of x_ij.
     BigInt den(1);
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] >= artificial_begin) den = LcmPositive(den, rows[i].den);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= artificial_begin_) den = LcmPositive(den, rows_[i].den);
     }
-    obj.den = den;
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] < artificial_begin) continue;
-      BigInt f = *BigInt::Divide(den, rows[i].den);
-      for (size_t j = 0; j < n_std; ++j) {
-        if (!rows[i].a[j].IsZero()) obj.a[j] -= rows[i].a[j] * f;
+    obj_.den = den;
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < artificial_begin_) continue;
+      BigInt f = *BigInt::Divide(den, rows_[i].den);
+      for (size_t j = 0; j < n_std_; ++j) {
+        if (!rows_[i].a[j].IsZero()) obj_.a[j] -= rows_[i].a[j] * f;
       }
-      if (!rows[i].rhs.IsZero()) obj.rhs -= rows[i].rhs * f;
+      if (!rows_[i].rhs.IsZero()) obj_.rhs -= rows_[i].rhs * f;
     }
-    for (size_t j = artificial_begin; j < n_std; ++j) obj.a[j] += den;
-    StripContent(&obj);
+    for (size_t j = artificial_begin_; j < n_std_; ++j) obj_.a[j] += den;
+    StripContent(&obj_);
+  }
 
-    bool unbounded = false;
-    run_phase(n_std, &unbounded);
+  bool Phase1Feasible() {
     // Phase-1 objective value is stored negated in the corner cell; it is
     // zero iff the rhs numerator is zero.
-    if (!obj.rhs.IsZero()) {
-      solution.status = LpStatus::kInfeasible;
-      solution.iterations = iterations;
-      return solution;
-    }
-    // Pivot leftover basic artificials out where possible; rows that
-    // cannot be pivoted are exactly redundant (all structural and slack
-    // coefficients are zero) and can be ignored.
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] < artificial_begin) continue;
-      for (size_t j = 0; j < artificial_begin; ++j) {
-        if (!rows[i].a[j].IsZero()) {
-          FfPivot(&rows, &obj, i, j);
-          basis[i] = j;
-          ++iterations;
+    return obj_.rhs.IsZero();
+  }
+
+  // Pivots leftover basic artificials out where possible; rows that
+  // cannot be pivoted are exactly redundant (all structural and slack
+  // coefficients are zero) and can be ignored.
+  bool DriveOutArtificials(long budget, int* iterations) {
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < artificial_begin_) continue;
+      for (size_t j = 0; j < artificial_begin_; ++j) {
+        if (!rows_[i].a[j].IsZero()) {
+          if (budget == 0) return false;  // pivot budget exhausted
+          if (budget > 0) --budget;
+          FfPivot(&rows_, &obj_, i, j);
+          basis_[i] = j;
+          ++*iterations;
           break;
         }
       }
     }
+    return true;
   }
 
-  // ---- Drop the artificial columns: Phase 2 never enters them, so there
-  // is no reason to keep rescaling them on every pivot. -------------------
-  const size_t width = artificial_begin;
-  for (FfRow& row : rows) row.a.resize(width);
-  obj.a.assign(width, BigInt());
-  obj.rhs = BigInt();
-  obj.den = BigInt(1);
+  void PreparePhase2() {
+    // Drop the artificial columns: Phase 2 never enters them, so there is
+    // no reason to keep rescaling them on every pivot.
+    const size_t width = artificial_begin_;
+    for (FfRow& row : rows_) row.a.resize(width);
+    obj_.a.assign(width, BigInt());
+    obj_.rhs = BigInt();
+    obj_.den = BigInt(1);
+    pricing_width_ = width;
 
-  // ---- Phase 2. ---------------------------------------------------------
-  {
     BigInt den(1);
-    for (size_t j = 0; j < num_struct; ++j) {
-      den = LcmPositive(den, problem.cost(static_cast<int>(j)).denominator());
+    for (size_t j = 0; j < num_struct_; ++j) {
+      den = LcmPositive(den, problem_.cost(static_cast<int>(j)).denominator());
     }
-    obj.den = den;
-    for (size_t j = 0; j < num_struct; ++j) {
-      const Rational& c = problem.cost(static_cast<int>(j));
+    obj_.den = den;
+    for (size_t j = 0; j < num_struct_; ++j) {
+      const Rational& c = problem_.cost(static_cast<int>(j));
       if (!c.IsZero()) {
-        obj.a[j] = c.numerator() * *BigInt::Divide(den, c.denominator());
+        obj_.a[j] = c.numerator() * *BigInt::Divide(den, c.denominator());
       }
     }
     // Reduce the objective row over the current basis.
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] >= width) continue;  // redundant row, artificial basis
-      const BigInt cb = obj.a[basis[i]];
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= width) continue;  // redundant row, artificial basis
+      const BigInt cb = obj_.a[basis_[i]];
       if (cb.IsZero()) continue;
-      const FfRow& row = rows[i];
+      const FfRow& row = rows_[i];
       for (size_t j = 0; j < width; ++j) {
-        BigInt& x = obj.a[j];
+        BigInt& x = obj_.a[j];
         if (row.a[j].IsZero()) {
           if (!x.IsZero()) x *= row.den;
         } else {
@@ -437,43 +467,48 @@ Result<ExactLpSolution> SolveFractionFree(const ExactLpProblem& problem) {
         }
       }
       if (row.rhs.IsZero()) {
-        if (!obj.rhs.IsZero()) obj.rhs *= row.den;
+        if (!obj_.rhs.IsZero()) obj_.rhs *= row.den;
       } else {
-        obj.rhs *= row.den;
-        obj.rhs -= cb * row.rhs;
+        obj_.rhs *= row.den;
+        obj_.rhs -= cb * row.rhs;
       }
-      obj.den *= row.den;
-      StripContent(&obj);
+      obj_.den *= row.den;
+      StripContent(&obj_);
     }
-  }
-  bool unbounded = false;
-  run_phase(width, &unbounded);
-  if (unbounded) {
-    solution.status = LpStatus::kUnbounded;
-    solution.iterations = iterations;
-    return solution;
   }
 
-  solution.values.assign(num_struct, Rational(0));
-  for (size_t i = 0; i < m; ++i) {
-    if (basis[i] < num_struct) {
-      solution.values[basis[i]] = *Rational::Create(rows[i].rhs, rows[i].den);
+  // ---- Solution readout. ----
+  std::vector<Rational> ExtractValues() const {
+    std::vector<Rational> values(num_struct_, Rational(0));
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < num_struct_) {
+        values[basis_[i]] = *Rational::Create(rows_[i].rhs, rows_[i].den);
+      }
     }
+    return values;
   }
-  solution.status = LpStatus::kOptimal;
-  solution.objective = RecomputeObjective(problem, solution.values);
-  solution.iterations = iterations;
-  return solution;
-}
+
+ private:
+  const ExactLpProblem& problem_;
+  size_t num_struct_;
+  size_t m_;
+  StandardShape shape_;
+  size_t n_std_;
+  size_t artificial_begin_;
+  std::vector<FfRow> rows_;
+  FfRow obj_;
+  std::vector<size_t> basis_;
+  size_t pricing_width_;
+};
 
 // ---------------------------------------------------------------------------
-// Dense Rational reference engine (the original implementation, preserved
+// Dense Rational reference kernel (the original implementation, preserved
 // for bit-identical regression checks against the fraction-free tableau).
 // ---------------------------------------------------------------------------
 
 // Dense exact tableau with the objective in the last row and the rhs in
-// the last column, mirroring lp/simplex.cc but over Rational and with
-// Bland's pivoting rule throughout (no tolerances, no cycling).
+// the last column, mirroring lp/simplex.cc but over Rational with no
+// tolerances.
 class ExactTableau {
  public:
   ExactTableau(size_t m, size_t n)
@@ -484,7 +519,9 @@ class ExactTableau {
     return cells_[i * (n_ + 1) + j];
   }
   Rational& Rhs(size_t i) { return cells_[i * (n_ + 1) + n_]; }
+  const Rational& Rhs(size_t i) const { return cells_[i * (n_ + 1) + n_]; }
   Rational& Obj(size_t j) { return cells_[m_ * (n_ + 1) + j]; }
+  const Rational& Obj(size_t j) const { return cells_[m_ * (n_ + 1) + j]; }
 
   void Pivot(size_t row, size_t col) {
     Rational inv = *At(row, col).Inverse();
@@ -507,153 +544,213 @@ class ExactTableau {
   std::vector<Rational> cells_;
 };
 
-Result<ExactLpSolution> SolveDenseRational(const ExactLpProblem& problem) {
-  const size_t num_struct = static_cast<size_t>(problem.num_variables());
-  const size_t m = static_cast<size_t>(problem.num_constraints());
-  const StandardShape shape = AnalyzeShape(problem);
-  const size_t n_std = num_struct + shape.num_slack + shape.num_artificial;
-  const size_t artificial_begin = n_std - shape.num_artificial;
-
-  ExactTableau tab(m, n_std);
-  std::vector<size_t> basis(m);
-  {
-    size_t slack_cursor = num_struct;
-    size_t art_cursor = artificial_begin;
-    for (size_t i = 0; i < m; ++i) {
+// Dense Rational kernel for the shared two-phase driver.  Under
+// PivotRule::kBland its pivot sequence is bit-identical to the
+// fraction-free kernel's (same shape analysis, same exact comparisons).
+class DenseRationalKernel {
+ public:
+  explicit DenseRationalKernel(const ExactLpProblem& problem)
+      : problem_(problem),
+        num_struct_(static_cast<size_t>(problem.num_variables())),
+        m_(static_cast<size_t>(problem.num_constraints())),
+        shape_(AnalyzeShape(problem)),
+        n_std_(num_struct_ + shape_.num_slack + shape_.num_artificial),
+        artificial_begin_(n_std_ - shape_.num_artificial),
+        tab_(m_, n_std_),
+        basis_(m_),
+        pricing_width_(n_std_) {
+    size_t slack_cursor = num_struct_;
+    size_t art_cursor = artificial_begin_;
+    for (size_t i = 0; i < m_; ++i) {
       ExactLpProblem::RowView src = problem.row(static_cast<int>(i));
-      const bool neg = shape.negate[i];
+      const bool neg = shape_.negate[i];
       for (size_t k = 0; k < src.num_terms; ++k) {
         const ExactLpTerm& t = src.terms[k];
         Rational coeff = neg ? -t.coeff : t.coeff;
-        tab.At(i, static_cast<size_t>(t.var)) += coeff;
+        tab_.At(i, static_cast<size_t>(t.var)) += coeff;
       }
-      tab.Rhs(i) = neg ? -*src.rhs : *src.rhs;
-      switch (shape.relation[i]) {
+      tab_.Rhs(i) = neg ? -*src.rhs : *src.rhs;
+      switch (shape_.relation[i]) {
         case RowRelation::kLessEqual:
-          tab.At(i, slack_cursor) = Rational(1);
-          basis[i] = slack_cursor++;
+          tab_.At(i, slack_cursor) = Rational(1);
+          basis_[i] = slack_cursor++;
           break;
         case RowRelation::kGreaterEqual:
-          tab.At(i, slack_cursor) = Rational(-1);
+          tab_.At(i, slack_cursor) = Rational(-1);
           ++slack_cursor;
-          tab.At(i, art_cursor) = Rational(1);
-          basis[i] = art_cursor++;
+          tab_.At(i, art_cursor) = Rational(1);
+          basis_[i] = art_cursor++;
           break;
         case RowRelation::kEqual:
-          tab.At(i, art_cursor) = Rational(1);
-          basis[i] = art_cursor++;
+          tab_.At(i, art_cursor) = Rational(1);
+          basis_[i] = art_cursor++;
           break;
       }
     }
   }
+
+  // ---- Pricing signals. ----
+  size_t pricing_width() const { return pricing_width_; }
+  bool Eligible(size_t j) const { return tab_.Obj(j).IsNegative(); }
+  double PricingKey(size_t j) const {
+    const Rational& d = tab_.Obj(j);
+    return Log2Abs(d.numerator()) - Log2Abs(d.denominator());
+  }
+  double DantzigKey(size_t j) const { return PricingKey(j); }
+  size_t BasisColumn(size_t row) const { return basis_[row]; }
+  double PivotRowLog2(size_t leave, size_t j) const {
+    const Rational& a = tab_.At(leave, j);
+    if (a.IsZero()) return kNegInf;
+    return Log2Abs(a.numerator()) - Log2Abs(a.denominator());
+  }
+
+  // Leaving row by exact minimum ratio with smallest basis index on ties.
+  size_t SelectLeaving(size_t enter) const {
+    size_t leave = kNoIndex;
+    Rational best_ratio;
+    for (size_t i = 0; i < m_; ++i) {
+      const Rational& a = tab_.At(i, enter);
+      if (a.Sign() > 0) {
+        Rational ratio = *Rational::Divide(tab_.Rhs(i), a);
+        if (leave == kNoIndex || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[i] < basis_[leave])) {
+          leave = i;
+          best_ratio = std::move(ratio);
+        }
+      }
+    }
+    return leave;
+  }
+
+  bool DegeneratePivot(size_t leave, size_t /*enter*/) const {
+    // Over Q a pivot changes the objective iff the leaving rhs is nonzero.
+    return tab_.Rhs(leave).IsZero();
+  }
+
+  void Pivot(size_t leave, size_t enter) {
+    tab_.Pivot(leave, enter);
+    basis_[leave] = enter;
+  }
+
+  // ---- Phase hooks. ----
+  bool NeedsPhase1() const { return shape_.num_artificial > 0; }
+
+  void SetupPhase1Objective() {
+    for (size_t j = artificial_begin_; j < n_std_; ++j) {
+      tab_.Obj(j) = Rational(1);
+    }
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= artificial_begin_) {
+        for (size_t j = 0; j <= n_std_; ++j) {
+          tab_.Obj(j) -= tab_.At(i, j);
+        }
+      }
+    }
+  }
+
+  bool Phase1Feasible() {
+    // Phase-1 objective value is stored negated in the corner cell.
+    return tab_.Obj(n_std_).IsZero();
+  }
+
+  // Pivots leftover basic artificials out where possible; rows that
+  // cannot be pivoted are exactly redundant (all structural and slack
+  // coefficients are zero) and can be ignored.
+  bool DriveOutArtificials(long budget, int* iterations) {
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < artificial_begin_) continue;
+      for (size_t j = 0; j < artificial_begin_; ++j) {
+        if (!tab_.At(i, j).IsZero()) {
+          if (budget == 0) return false;  // pivot budget exhausted
+          if (budget > 0) --budget;
+          tab_.Pivot(i, j);
+          basis_[i] = j;
+          ++*iterations;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  void PreparePhase2() {
+    pricing_width_ = artificial_begin_;
+    for (size_t j = 0; j <= n_std_; ++j) tab_.Obj(j) = Rational(0);
+    for (int j = 0; j < problem_.num_variables(); ++j) {
+      tab_.Obj(static_cast<size_t>(j)) = problem_.cost(j);
+    }
+    for (size_t i = 0; i < m_; ++i) {
+      Rational c = tab_.Obj(basis_[i]);
+      if (c.IsZero()) continue;
+      for (size_t j = 0; j <= n_std_; ++j) {
+        if (!tab_.At(i, j).IsZero()) tab_.Obj(j) -= c * tab_.At(i, j);
+      }
+    }
+  }
+
+  // ---- Solution readout. ----
+  std::vector<Rational> ExtractValues() const {
+    std::vector<Rational> values(num_struct_, Rational(0));
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < num_struct_) {
+        values[basis_[i]] = tab_.Rhs(i);
+      }
+    }
+    return values;
+  }
+
+ private:
+  const ExactLpProblem& problem_;
+  size_t num_struct_;
+  size_t m_;
+  StandardShape shape_;
+  size_t n_std_;
+  size_t artificial_begin_;
+  ExactTableau tab_;
+  std::vector<size_t> basis_;
+  size_t pricing_width_;
+};
+
+// Runs the shared driver over either exact kernel and assembles the
+// solution; the two engines differ only in the kernel type.
+template <class Kernel>
+Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
+                                        const ExactSimplexOptions& options) {
+  Kernel kernel(problem);
+
+  lp_internal::PhaseConfig config;
+  config.rule = options.rule;
+  config.stall_threshold = options.stall_threshold;
+  // Over Q the configured rule may re-arm after every improving pivot (see
+  // simplex_core.h); termination stays guaranteed.
+  config.sticky_fallback = false;
+  config.max_iterations = options.max_iterations;
+
+  lp_internal::TwoPhaseStats stats;
+  const lp_internal::SolveOutcome outcome =
+      lp_internal::RunTwoPhase(kernel, config, &stats);
 
   ExactLpSolution solution;
-  int iterations = 0;
-
-  // Bland's rule phase runner: smallest-index entering column with
-  // negative reduced cost; leaving row by exact minimum ratio with
-  // smallest basis index on ties.  Cannot cycle, so it always terminates.
-  auto run_phase = [&](size_t allowed_end, bool* unbounded) {
-    *unbounded = false;
-    for (;;) {
-      size_t enter = n_std;
-      for (size_t j = 0; j < allowed_end; ++j) {
-        if (tab.Obj(j).IsNegative()) {
-          enter = j;
-          break;
-        }
-      }
-      if (enter == n_std) return;  // optimal for this phase
-
-      size_t leave = m;
-      Rational best_ratio;
-      for (size_t i = 0; i < m; ++i) {
-        const Rational& a = tab.At(i, enter);
-        if (a.Sign() > 0) {
-          Rational ratio = *Rational::Divide(tab.Rhs(i), a);
-          if (leave == m || ratio < best_ratio ||
-              (ratio == best_ratio && basis[i] < basis[leave])) {
-            leave = i;
-            best_ratio = std::move(ratio);
-          }
-        }
-      }
-      if (leave == m) {
-        *unbounded = true;
-        return;
-      }
-      tab.Pivot(leave, enter);
-      basis[leave] = enter;
-      ++iterations;
-    }
-  };
-
-  // Phase 1.
-  if (shape.num_artificial > 0) {
-    for (size_t j = artificial_begin; j < n_std; ++j) {
-      tab.Obj(j) = Rational(1);
-    }
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] >= artificial_begin) {
-        for (size_t j = 0; j <= n_std; ++j) {
-          tab.Obj(j) -= tab.At(i, j);
-        }
-      }
-    }
-    bool unbounded = false;
-    run_phase(n_std, &unbounded);
-    // Phase-1 objective value is stored negated in the corner cell.
-    Rational phase1 = -tab.Obj(n_std);
-    if (!phase1.IsZero()) {
-      solution.status = LpStatus::kInfeasible;
-      solution.iterations = iterations;
+  solution.rule = options.rule;
+  solution.iterations = stats.total();
+  solution.phase1_iterations = stats.phase1_iterations;
+  solution.phase2_iterations = stats.phase2_iterations;
+  switch (outcome) {
+    case lp_internal::SolveOutcome::kIterationLimit:
+      solution.status = LpStatus::kIterationLimit;
       return solution;
-    }
-    // Pivot leftover basic artificials out where possible; rows that
-    // cannot be pivoted are exactly redundant (all structural and slack
-    // coefficients are zero) and can be ignored.
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] < artificial_begin) continue;
-      for (size_t j = 0; j < artificial_begin; ++j) {
-        if (!tab.At(i, j).IsZero()) {
-          tab.Pivot(i, j);
-          basis[i] = j;
-          ++iterations;
-          break;
-        }
-      }
-    }
-  }
-
-  // Phase 2.
-  for (size_t j = 0; j <= n_std; ++j) tab.Obj(j) = Rational(0);
-  for (int j = 0; j < problem.num_variables(); ++j) {
-    tab.Obj(static_cast<size_t>(j)) = problem.cost(j);
-  }
-  for (size_t i = 0; i < m; ++i) {
-    Rational c = tab.Obj(basis[i]);
-    if (c.IsZero()) continue;
-    for (size_t j = 0; j <= n_std; ++j) {
-      if (!tab.At(i, j).IsZero()) tab.Obj(j) -= c * tab.At(i, j);
-    }
-  }
-  bool unbounded = false;
-  run_phase(artificial_begin, &unbounded);
-  if (unbounded) {
-    solution.status = LpStatus::kUnbounded;
-    solution.iterations = iterations;
-    return solution;
-  }
-
-  solution.values.assign(num_struct, Rational(0));
-  for (size_t i = 0; i < m; ++i) {
-    if (basis[i] < num_struct) {
-      solution.values[basis[i]] = tab.Rhs(i);
-    }
+    case lp_internal::SolveOutcome::kInfeasible:
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    case lp_internal::SolveOutcome::kUnbounded:
+      solution.status = LpStatus::kUnbounded;
+      return solution;
+    case lp_internal::SolveOutcome::kOptimal:
+      break;
   }
   solution.status = LpStatus::kOptimal;
+  solution.values = kernel.ExtractValues();
   solution.objective = RecomputeObjective(problem, solution.values);
-  solution.iterations = iterations;
   return solution;
 }
 
@@ -662,13 +759,13 @@ Result<ExactLpSolution> SolveDenseRational(const ExactLpProblem& problem) {
 Result<ExactLpSolution> ExactSimplexSolver::Solve(
     const ExactLpProblem& problem) const {
   GEOPRIV_RETURN_IF_ERROR(problem.Validate());
-  switch (engine_) {
+  switch (options_.engine) {
     case ExactPivotEngine::kDenseRational:
-      return SolveDenseRational(problem);
+      return SolveWithKernel<DenseRationalKernel>(problem, options_);
     case ExactPivotEngine::kFractionFree:
       break;
   }
-  return SolveFractionFree(problem);
+  return SolveWithKernel<FractionFreeKernel>(problem, options_);
 }
 
 }  // namespace geopriv

@@ -2,12 +2,12 @@
 //
 // The paper's LPs (Sections 2.4.3 and 2.5) have rational data whenever the
 // privacy parameter alpha and the loss values are rational.  Solving them
-// over Q with Bland's rule removes every numerical question at once:
-// termination is guaranteed, optimality certificates are exact, and
-// Theorem 1's loss equality can be asserted with operator== instead of a
-// tolerance.
+// over Q removes every numerical question at once: termination is
+// guaranteed, optimality certificates are exact, and Theorem 1's loss
+// equality can be asserted with operator== instead of a tolerance.
 //
-// Two pivot engines are provided:
+// The two-phase driver is the shared engine in lp/simplex_core.h; two
+// field-specific pivot kernels plug into it (ExactSimplexOptions::engine):
 //   * kFractionFree (default): an integer-preserving tableau in the style of
 //     Edmonds / Bartels-Golub.  Every row stores integer numerators plus one
 //     shared positive denominator; a pivot combines rows with integer
@@ -17,9 +17,12 @@
 //     artificial columns are dropped after Phase 1.
 //   * kDenseRational: the original dense Rational tableau, kept as the
 //     bit-identical reference implementation for regression tests.
-// Both engines follow the same Bland pivot order on the same rational
-// tableau values, so they return identical solutions (see
-// tests/exact_simplex_regression_test.cc).
+// Under PivotRule::kBland both engines follow the same pivot order on the
+// same rational tableau values, so they return identical solutions (see
+// tests/exact_simplex_regression_test.cc).  The default rule is kDevex
+// (reference-weight pricing with an anti-cycling fallback to Bland), which
+// cuts pivot counts by roughly an order of magnitude on the degenerate
+// n=16 optimal-mechanism LP while certifying the same exact optimum.
 //
 // Model restrictions relative to LpProblem: all variables are >= 0 and
 // unbounded above (exactly what the paper's LPs need — the epigraph
@@ -34,6 +37,7 @@
 #include "exact/rational.h"
 #include "lp/problem.h"
 #include "lp/simplex.h"  // for LpStatus
+#include "lp/simplex_core.h"
 #include "util/result.h"
 
 namespace geopriv {
@@ -109,7 +113,15 @@ struct ExactLpSolution {
   LpStatus status = LpStatus::kOptimal;
   Rational objective;
   std::vector<Rational> values;  ///< one per variable, exact
+  /// Simplex pivots performed across both phases.
   int iterations = 0;
+  /// Pivots spent in phase 1 (including artificial drive-out pivots) and
+  /// phase 2, so benches and tests can assert on pricing behavior.
+  int phase1_iterations = 0;
+  int phase2_iterations = 0;
+  /// The pricing rule this solve was configured with (the anti-cycling
+  /// Bland fallback may still engage transiently under degeneracy).
+  PivotRule rule = PivotRule::kDevex;
 };
 
 /// Pivoting backend for ExactSimplexSolver.
@@ -118,19 +130,37 @@ enum class ExactPivotEngine {
   kDenseRational,  ///< reference dense Rational tableau (seed implementation)
 };
 
-/// Two-phase primal simplex with Bland's rule over Q.  Deterministic,
-/// tolerance-free, guaranteed to terminate.
+/// Tuning knobs for ExactSimplexSolver, mirroring SimplexOptions.
+struct ExactSimplexOptions {
+  /// Tableau backend; both produce identical results under kBland.
+  ExactPivotEngine engine = ExactPivotEngine::kFractionFree;
+  /// Entering-column pricing policy (see lp/simplex_core.h).  Any rule
+  /// certifies the same exact optimum; only the pivot count differs.
+  PivotRule rule = PivotRule::kDevex;
+  /// Consecutive degenerate pivots before the anti-cycling Bland fallback
+  /// engages (the configured rule re-arms on the next improving pivot).
+  int stall_threshold = 64;
+  /// Hard cap on total pivots; 0 means unlimited (exact simplex under
+  /// Bland provably terminates, so no automatic cap is imposed).
+  int max_iterations = 0;
+};
+
+/// Two-phase primal simplex over Q.  Deterministic, tolerance-free,
+/// guaranteed to terminate.  The solver itself is stateless and safe to
+/// reuse across solves, but concurrent solves must not share one
+/// ExactLpProblem instance: reading the model's lazily-reduced rationals
+/// caches their canonical form in place (see exact/rational.h).
 class ExactSimplexSolver {
  public:
-  ExactSimplexSolver() = default;
-  explicit ExactSimplexSolver(ExactPivotEngine engine) : engine_(engine) {}
+  explicit ExactSimplexSolver(ExactSimplexOptions options = {})
+      : options_(options) {}
 
   /// Solves `problem` to provable optimality (or reports infeasible /
   /// unbounded exactly).
   Result<ExactLpSolution> Solve(const ExactLpProblem& problem) const;
 
  private:
-  ExactPivotEngine engine_ = ExactPivotEngine::kFractionFree;
+  ExactSimplexOptions options_;
 };
 
 }  // namespace geopriv

@@ -1,6 +1,8 @@
 #include "lp/problem.h"
 
+#include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace geopriv {
 
@@ -13,13 +15,44 @@ int LpProblem::AddVariable(std::string name, double lb, double ub,
   return static_cast<int>(costs_.size()) - 1;
 }
 
-int LpProblem::AddConstraint(std::string name, RowRelation relation,
-                             double rhs, std::vector<LpTerm> terms) {
-  rows_.push_back(Row{std::move(name), relation, rhs, std::move(terms)});
+int LpProblem::BeginConstraint(std::string name, RowRelation relation,
+                               double rhs) {
+  rows_.push_back(RowMeta{std::move(name), relation, rhs, terms_.size()});
   return static_cast<int>(rows_.size()) - 1;
 }
 
+void LpProblem::AddTerm(int var, double coeff) {
+  // Terms belong to the row opened by the latest BeginConstraint; a term
+  // streamed before any row exists would be silently orphaned.
+  assert(!rows_.empty() && "AddTerm requires an open constraint row");
+  terms_.push_back(LpTerm{var, coeff});
+}
+
+int LpProblem::AddConstraint(std::string name, RowRelation relation,
+                             double rhs, std::vector<LpTerm> terms) {
+  int index = BeginConstraint(std::move(name), relation, rhs);
+  terms_.insert(terms_.end(), terms.begin(), terms.end());
+  return index;
+}
+
+LpProblem::RowView LpProblem::row(int i) const {
+  const RowMeta& meta = rows_[static_cast<size_t>(i)];
+  const size_t end = static_cast<size_t>(i) + 1 < rows_.size()
+                         ? rows_[static_cast<size_t>(i) + 1].terms_begin
+                         : terms_.size();
+  return RowView{&meta.name, meta.relation, meta.rhs,
+                 terms_.data() + meta.terms_begin, end - meta.terms_begin};
+}
+
 Status LpProblem::Validate() const {
+  // Terms streamed before the first BeginConstraint belong to no row: they
+  // sit below row 0's arena range and would silently vanish from every
+  // RowView.  The assert in AddTerm catches this in debug builds; this
+  // check keeps the misuse loud when NDEBUG strips the assert.
+  if (!terms_.empty() && (rows_.empty() || rows_.front().terms_begin != 0)) {
+    return Status::InvalidArgument(
+        "terms were streamed before any constraint row was opened");
+  }
   const int n = num_variables();
   for (int j = 0; j < n; ++j) {
     double lb = lb_[static_cast<size_t>(j)];
@@ -37,18 +70,20 @@ Status LpProblem::Validate() const {
                                      var_names_[static_cast<size_t>(j)]);
     }
   }
-  for (const Row& row : rows_) {
-    if (!std::isfinite(row.rhs)) {
-      return Status::InvalidArgument("non-finite rhs in row " + row.name);
+  for (int i = 0; i < num_constraints(); ++i) {
+    RowView r = row(i);
+    if (!std::isfinite(r.rhs)) {
+      return Status::InvalidArgument("non-finite rhs in row " + *r.name);
     }
-    for (const LpTerm& t : row.terms) {
+    for (size_t k = 0; k < r.num_terms; ++k) {
+      const LpTerm& t = r.terms[k];
       if (t.var < 0 || t.var >= n) {
         return Status::InvalidArgument("term references unknown variable in " +
-                                       row.name);
+                                       *r.name);
       }
       if (!std::isfinite(t.coeff)) {
         return Status::InvalidArgument("non-finite coefficient in row " +
-                                       row.name);
+                                       *r.name);
       }
     }
   }

@@ -10,6 +10,11 @@
 // Model:   minimize (or maximize)  c'x
 //          subject to  row_lo_i <=/=/>= a_i'x  (per-row relation vs rhs)
 //                      lb_j <= x_j <= ub_j     (bounds; may be infinite)
+//
+// Constraint terms live in one flat arena (CSR layout), mirroring
+// ExactLpProblem: building a model with thousands of rows performs no
+// per-row vector allocations.  Stream terms with BeginConstraint()/
+// AddTerm(), or pass a prebuilt vector to the AddConstraint() wrapper.
 
 #ifndef GEOPRIV_LP_PROBLEM_H_
 #define GEOPRIV_LP_PROBLEM_H_
@@ -41,7 +46,8 @@ struct LpTerm {
   double coeff;
 };
 
-/// Mutable LP model.  Build with AddVariable / AddConstraint, then hand to
+/// Mutable LP model.  Build with AddVariable / AddConstraint (or the
+/// streaming BeginConstraint / AddTerm pair), then hand to
 /// SimplexSolver::Solve.
 class LpProblem {
  public:
@@ -56,7 +62,15 @@ class LpProblem {
     return AddVariable(std::move(name), 0.0, kLpInfinity, cost);
   }
 
-  /// Adds a constraint `terms · x  <relation>  rhs`.  Returns its row index.
+  /// Opens a new constraint row `... <relation> rhs` and returns its index.
+  /// Terms are appended with AddTerm(); the row closes when the next row is
+  /// opened (or the model is solved).
+  int BeginConstraint(std::string name, RowRelation relation, double rhs);
+
+  /// Appends `coeff * x_var` to the most recently opened constraint.
+  void AddTerm(int var, double coeff);
+
+  /// Adds a constraint `terms · x <relation> rhs`.  Returns its row index.
   /// Terms referencing out-of-range variables make Validate() fail.
   int AddConstraint(std::string name, RowRelation relation, double rhs,
                     std::vector<LpTerm> terms);
@@ -79,25 +93,35 @@ class LpProblem {
   double upper_bound(int var) const { return ub_[static_cast<size_t>(var)]; }
   double cost(int var) const { return costs_[static_cast<size_t>(var)]; }
 
-  struct Row {
-    std::string name;
+  /// Borrowed view of one constraint row inside the term arena.
+  struct RowView {
+    const std::string* name;
     RowRelation relation;
     double rhs;
-    std::vector<LpTerm> terms;
+    const LpTerm* terms;
+    size_t num_terms;
   };
-  const Row& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  RowView row(int i) const;
 
   /// Checks internal consistency (indices in range, finite coefficients,
   /// lb <= ub).  Returns the first problem found.
   Status Validate() const;
 
  private:
+  struct RowMeta {
+    std::string name;
+    RowRelation relation;
+    double rhs;
+    size_t terms_begin;  // offset into terms_
+  };
+
   LpSense sense_ = LpSense::kMinimize;
   std::vector<std::string> var_names_;
   std::vector<double> lb_;
   std::vector<double> ub_;
   std::vector<double> costs_;
-  std::vector<Row> rows_;
+  std::vector<RowMeta> rows_;
+  std::vector<LpTerm> terms_;  // CSR arena shared by all rows
 };
 
 }  // namespace geopriv

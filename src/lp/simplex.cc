@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "lp/simplex_core.h"
 
 namespace geopriv {
 
 namespace {
+
+using lp_internal::kNoIndex;
 
 // How a model variable was rewritten into standard-form columns.
 struct VarMap {
@@ -95,12 +100,196 @@ class Tableau {
   std::vector<uint32_t> nonzero_;  // pivot-row scratch
 };
 
+// Double-precision kernel for the shared two-phase driver
+// (lp/simplex_core.h): tolerance-aware pricing signals, the Harris
+// two-pass ratio test, and the round-off hygiene (rhs clamping, magnitude
+// thresholds in artificial drive-out) that exact arithmetic never needs.
+class DoubleKernel {
+ public:
+  DoubleKernel(Tableau tableau, std::vector<size_t> basis, size_t num_struct,
+               size_t num_artificial, std::vector<double> costs,
+               const SimplexOptions& options)
+      : tab_(std::move(tableau)),
+        basis_(std::move(basis)),
+        num_struct_(num_struct),
+        artificial_begin_(tab_.n() - num_artificial),
+        num_artificial_(num_artificial),
+        costs_(std::move(costs)),
+        options_(options),
+        pricing_width_(tab_.n()) {}
+
+  // ---- Pricing signals. ----
+  size_t pricing_width() const { return pricing_width_; }
+  bool Eligible(size_t j) const { return tab_.Obj(j) < -options_.tol; }
+  double PricingKey(size_t j) const { return std::log2(-tab_.Obj(j)); }
+  double DantzigKey(size_t j) const { return -tab_.Obj(j); }
+  size_t BasisColumn(size_t row) const { return basis_[row]; }
+  double PivotRowLog2(size_t leave, size_t j) const {
+    const double a = tab_.At(leave, j);
+    return a == 0.0 ? -std::numeric_limits<double>::infinity()
+                    : std::log2(std::abs(a));
+  }
+
+  // ---- Ratio test: two-pass Harris.  Pass 1 computes the loosest step
+  // theta_max that keeps every basic value above -delta (a tiny
+  // feasibility slack).  Pass 2 picks, among rows whose exact ratio fits
+  // under theta_max, the LARGEST pivot element; ties go to the smallest
+  // basis index (anti-cycling).  The slack is the whole point: when the
+  // exact minimum ratio is attained only by a near-zero coefficient,
+  // pivoting on it would amplify round-off by 1/coefficient and corrupt
+  // the tableau.  Harris instead admits a slightly longer step on a
+  // well-scaled pivot, paying at most delta of transient infeasibility.
+  size_t SelectLeaving(size_t enter) const {
+    const double tol = options_.tol;
+    const double delta = tol;  // per-pivot feasibility slack
+    const size_t m = tab_.m();
+    double theta_max = -1.0;
+    for (size_t i = 0; i < m; ++i) {
+      double a = tab_.At(i, enter);
+      if (a > tol) {
+        double ratio = (std::max(tab_.Rhs(i), 0.0) + delta) / a;
+        if (theta_max < 0.0 || ratio < theta_max) theta_max = ratio;
+      }
+    }
+    if (theta_max < 0.0) return kNoIndex;  // unbounded
+    size_t leave = kNoIndex;
+    double best_pivot = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      double a = tab_.At(i, enter);
+      if (a <= tol) continue;
+      double ratio = std::max(tab_.Rhs(i), 0.0) / a;
+      if (ratio > theta_max) continue;
+      if (leave == kNoIndex || a > best_pivot * (1.0 + 1e-9) ||
+          (a >= best_pivot * (1.0 - 1e-9) && basis_[i] < basis_[leave])) {
+        leave = i;
+        best_pivot = a;
+      }
+    }
+    return leave;
+  }
+
+  // The objective step of this pivot is |reduced cost| * theta; counting
+  // pivots whose step stays under tol reproduces the historical
+  // objective-stall watchdog (a pivot can move the basis without moving
+  // the objective when either factor is tiny, not only when rhs is).
+  bool DegeneratePivot(size_t leave, size_t enter) const {
+    const double theta =
+        std::max(tab_.Rhs(leave), 0.0) / tab_.At(leave, enter);
+    return -tab_.Obj(enter) * theta <= options_.tol;
+  }
+
+  void Pivot(size_t leave, size_t enter) {
+    tab_.Pivot(leave, enter);
+    basis_[leave] = enter;
+    // Clamp tiny negative right-hand sides introduced by round-off so
+    // later ratio tests cannot amplify them.
+    for (size_t i = 0; i < tab_.m(); ++i) {
+      if (tab_.Rhs(i) < 0.0 && tab_.Rhs(i) > -1e-11) tab_.Rhs(i) = 0.0;
+    }
+  }
+
+  // ---- Phase hooks. ----
+  bool NeedsPhase1() const { return num_artificial_ > 0; }
+
+  void SetupPhase1Objective() {
+    for (size_t j = artificial_begin_; j < tab_.n(); ++j) tab_.Obj(j) = 1.0;
+    // Reduce: basic artificials carry cost 1, so subtract their rows.
+    for (size_t i = 0; i < tab_.m(); ++i) {
+      if (basis_[i] >= artificial_begin_) {
+        for (size_t j = 0; j <= tab_.n(); ++j) {
+          tab_.Obj(j) = tab_.Obj(j) - tab_.At(i, j);
+        }
+      }
+    }
+  }
+
+  bool Phase1Feasible() {
+    // Objective row stores -z; the phase-1 optimum must be ~0.
+    phase1_objective_ = -tab_.ObjValue();
+    return phase1_objective_ <= options_.feasibility_tol;
+  }
+
+  // Drives remaining basic artificials out (they sit at value ~0).  The
+  // pivot column must be chosen by largest magnitude: a near-zero pivot
+  // here would create elimination factors of 1/pivot and corrupt the
+  // whole tableau.  The row's rhs is phase-1 residual noise (<=
+  // feasibility_tol); zero it before pivoting so the noise cannot be
+  // smeared into other rows.
+  bool DriveOutArtificials(long budget, int* iterations) {
+    for (size_t i = 0; i < tab_.m(); ++i) {
+      if (basis_[i] < artificial_begin_) continue;
+      size_t pivot_col = kNoIndex;
+      double best_abs = 1e-5;  // refuse pivots smaller than this
+      for (size_t j = 0; j < artificial_begin_; ++j) {
+        double a = std::abs(tab_.At(i, j));
+        if (a > best_abs) {
+          best_abs = a;
+          pivot_col = j;
+        }
+      }
+      if (pivot_col != kNoIndex) {
+        if (budget == 0) return false;  // pivot budget exhausted
+        if (budget > 0) --budget;
+        tab_.Rhs(i) = 0.0;
+        tab_.Pivot(i, pivot_col);
+        basis_[i] = pivot_col;
+        ++*iterations;
+      }
+      // Otherwise the row is (numerically) redundant; the artificial stays
+      // basic at ~0 and the pricing width freezes artificial columns in
+      // phase 2, so it can never grow.
+    }
+    for (size_t i = 0; i < tab_.m(); ++i) {
+      if (basis_[i] >= artificial_begin_) ++residual_artificials_;
+    }
+    return true;
+  }
+
+  void PreparePhase2() {
+    // With no artificial left in the basis the artificial columns are dead
+    // weight: drop them so every phase-2 pivot touches ~40% fewer cells.
+    // (When residuals remain, keep the columns — their basis indices must
+    // stay addressable — and rely on the pricing width to freeze them.)
+    if (num_artificial_ > 0 && residual_artificials_ == 0) {
+      tab_.ShrinkToWidth(artificial_begin_);
+    }
+    pricing_width_ = artificial_begin_;
+    for (size_t j = 0; j <= tab_.n(); ++j) tab_.Obj(j) = 0.0;
+    for (size_t j = 0; j < num_struct_; ++j) tab_.Obj(j) = costs_[j];
+    // Reduce the objective row over the current basis.
+    for (size_t i = 0; i < tab_.m(); ++i) {
+      double c = tab_.Obj(basis_[i]);
+      if (c == 0.0) continue;
+      for (size_t j = 0; j <= tab_.n(); ++j) {
+        tab_.Obj(j) -= c * tab_.At(i, j);
+      }
+    }
+  }
+
+  // ---- Solution readout. ----
+  const Tableau& tableau() const { return tab_; }
+  const std::vector<size_t>& basis() const { return basis_; }
+  double phase1_objective() const { return phase1_objective_; }
+  int residual_artificials() const { return residual_artificials_; }
+
+ private:
+  Tableau tab_;
+  std::vector<size_t> basis_;
+  size_t num_struct_;
+  size_t artificial_begin_;
+  size_t num_artificial_;
+  std::vector<double> costs_;  // phase-2 costs per standard column
+  SimplexOptions options_;
+  size_t pricing_width_;
+  double phase1_objective_ = 0.0;
+  int residual_artificials_ = 0;
+};
+
 }  // namespace
 
 Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
   GEOPRIV_RETURN_IF_ERROR(problem.Validate());
 
-  const double tol = options_.tol;
   const int num_vars = problem.num_variables();
   const bool maximize = problem.sense() == LpSense::kMaximize;
 
@@ -134,12 +323,13 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
   rows.reserve(static_cast<size_t>(problem.num_constraints()) +
                upper_rows.size());
   for (int i = 0; i < problem.num_constraints(); ++i) {
-    const LpProblem::Row& row = problem.row(i);
+    const LpProblem::RowView row = problem.row(i);
     StandardRow srow;
     srow.coeffs.assign(static_cast<size_t>(num_struct_cols), 0.0);
     srow.relation = row.relation;
     srow.rhs = row.rhs;
-    for (const LpTerm& t : row.terms) {
+    for (size_t k = 0; k < row.num_terms; ++k) {
+      const LpTerm& t = row.terms[k];
       const VarMap& vm = vmap[static_cast<size_t>(t.var)];
       double sign = vm.negated ? -1.0 : 1.0;
       srow.coeffs[static_cast<size_t>(vm.col_plus)] += sign * t.coeff;
@@ -231,202 +421,67 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     }
   }
 
-  int max_iters = options_.max_iterations;
-  if (max_iters <= 0) {
-    max_iters = 200 * static_cast<int>(m + n_std) + 2000;
-  }
-
-  LpSolution solution;
-  int iterations = 0;
-
-  // Runs simplex iterations until optimality for the objective currently in
-  // the tableau's objective row.  `allowed_end` caps entering columns (used
-  // to freeze artificials in phase 2).  Returns false on unboundedness.
-  auto run_phase = [&](size_t allowed_end, bool* unbounded) {
-    *unbounded = false;
-    bool bland = false;
-    int stall = 0;
-    double last_obj = tab.ObjValue();
-    const size_t no_col = tab.n() + 1;
-    while (iterations < max_iters) {
-      // Entering column.
-      size_t enter = no_col;
-      if (bland) {
-        for (size_t j = 0; j < allowed_end; ++j) {
-          if (tab.Obj(j) < -tol) {
-            enter = j;
-            break;
-          }
-        }
-      } else {
-        double best = -tol;
-        for (size_t j = 0; j < allowed_end; ++j) {
-          if (tab.Obj(j) < best) {
-            best = tab.Obj(j);
-            enter = j;
-          }
-        }
-      }
-      if (enter == no_col) return;  // optimal
-
-      // Leaving row: two-pass Harris ratio test.  Pass 1 computes the
-      // loosest step theta_max that keeps every basic value above
-      // -delta (a tiny feasibility slack).  Pass 2 picks, among rows
-      // whose exact ratio fits under theta_max, the LARGEST pivot
-      // element; ties go to the smallest basis index (anti-cycling).
-      // The slack is the whole point: when the exact minimum ratio is
-      // attained only by a near-zero coefficient, pivoting on it would
-      // amplify round-off by 1/coefficient and corrupt the tableau.
-      // Harris instead admits a slightly longer step on a well-scaled
-      // pivot, paying at most delta of transient infeasibility.
-      const double delta = tol;  // per-pivot feasibility slack
-      double theta_max = -1.0;
-      for (size_t i = 0; i < m; ++i) {
-        double a = tab.At(i, enter);
-        if (a > tol) {
-          double ratio = (std::max(tab.Rhs(i), 0.0) + delta) / a;
-          if (theta_max < 0.0 || ratio < theta_max) theta_max = ratio;
-        }
-      }
-      if (theta_max < 0.0) {
-        *unbounded = true;
-        return;
-      }
-      size_t leave = m;
-      double best_pivot = 0.0;
-      for (size_t i = 0; i < m; ++i) {
-        double a = tab.At(i, enter);
-        if (a <= tol) continue;
-        double ratio = std::max(tab.Rhs(i), 0.0) / a;
-        if (ratio > theta_max) continue;
-        if (leave == m || a > best_pivot * (1.0 + 1e-9) ||
-            (a >= best_pivot * (1.0 - 1e-9) && basis[i] < basis[leave])) {
-          leave = i;
-          best_pivot = a;
-        }
-      }
-
-      tab.Pivot(leave, enter);
-      basis[leave] = enter;
-      // Clamp tiny negative right-hand sides introduced by round-off so
-      // later ratio tests cannot amplify them.
-      for (size_t i = 0; i < m; ++i) {
-        if (tab.Rhs(i) < 0.0 && tab.Rhs(i) > -1e-11) tab.Rhs(i) = 0.0;
-      }
-      ++iterations;
-
-      // Degeneracy watchdog: if the objective stops moving, fall back to
-      // Bland's rule, which cannot cycle.
-      double obj = tab.ObjValue();
-      if (std::abs(obj - last_obj) <= tol) {
-        if (++stall >= options_.stall_threshold) bland = true;
-      } else {
-        stall = 0;
-        last_obj = obj;
-      }
-    }
-  };
-
-  // ---- 4. Phase 1: minimize the sum of artificials. ------------------------
-  if (num_artificial > 0) {
-    for (size_t j = artificial_begin; j < n_std; ++j) tab.Obj(j) = 1.0;
-    // Reduce: basic artificials carry cost 1, so subtract their rows.
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] >= artificial_begin) {
-        for (size_t j = 0; j <= n_std; ++j) {
-          tab.Obj(j) = tab.Obj(j) - tab.At(i, j);
-        }
-      }
-    }
-    bool unbounded = false;
-    run_phase(n_std, &unbounded);
-    if (iterations >= max_iters) {
-      solution.status = LpStatus::kIterationLimit;
-      solution.iterations = iterations;
-      return solution;
-    }
-    // Objective row stores -z; phase-1 optimum must be ~0 for feasibility.
-    double phase1 = -tab.ObjValue();
-    solution.phase1_objective = phase1;
-    if (phase1 > options_.feasibility_tol) {
-      solution.status = LpStatus::kInfeasible;
-      solution.iterations = iterations;
-      return solution;
-    }
-    // Drive remaining basic artificials out (they sit at value ~0).  The
-    // pivot column must be chosen by largest magnitude: a near-zero pivot
-    // here would create elimination factors of 1/pivot and corrupt the
-    // whole tableau.  The row's rhs is phase-1 residual noise (<=
-    // feasibility_tol); zero it before pivoting so the noise cannot be
-    // smeared into other rows.
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] < artificial_begin) continue;
-      size_t pivot_col = n_std;
-      double best_abs = 1e-5;  // refuse pivots smaller than this
-      for (size_t j = 0; j < artificial_begin; ++j) {
-        double a = std::abs(tab.At(i, j));
-        if (a > best_abs) {
-          best_abs = a;
-          pivot_col = j;
-        }
-      }
-      if (pivot_col != n_std) {
-        tab.Rhs(i) = 0.0;
-        tab.Pivot(i, pivot_col);
-        basis[i] = pivot_col;
-        ++iterations;
-      }
-      // Otherwise the row is (numerically) redundant; the artificial stays
-      // basic at ~0 and artificial columns are frozen below, so it can
-      // never grow.
-    }
-    for (size_t i = 0; i < m; ++i) {
-      if (basis[i] >= artificial_begin) ++solution.residual_artificials;
-    }
-    // With no artificial left in the basis the artificial columns are dead
-    // weight: drop them so every Phase-2 pivot touches ~40% fewer cells.
-    // (When residuals remain, keep the columns — their basis indices must
-    // stay addressable — and rely on allowed_end to freeze them.)
-    if (solution.residual_artificials == 0) {
-      tab.ShrinkToWidth(artificial_begin);
-    }
-  }
-
-  // ---- 5. Phase 2: optimize the real objective. ----------------------------
-  for (size_t j = 0; j <= tab.n(); ++j) tab.Obj(j) = 0.0;
+  // Phase-2 objective over standard columns (sense- and shift-adjusted).
+  std::vector<double> std_costs(static_cast<size_t>(num_struct_cols), 0.0);
   for (int j = 0; j < num_vars; ++j) {
     double c = problem.cost(j) * (maximize ? -1.0 : 1.0);
     const VarMap& vm = vmap[static_cast<size_t>(j)];
     double sign = vm.negated ? -1.0 : 1.0;
-    tab.Obj(static_cast<size_t>(vm.col_plus)) += sign * c;
+    std_costs[static_cast<size_t>(vm.col_plus)] += sign * c;
     if (vm.col_minus >= 0) {
-      tab.Obj(static_cast<size_t>(vm.col_minus)) -= c;
+      std_costs[static_cast<size_t>(vm.col_minus)] -= c;
     }
   }
-  // Reduce the objective row over the current basis.
-  for (size_t i = 0; i < m; ++i) {
-    double c = tab.Obj(basis[i]);
-    if (c == 0.0) continue;
-    for (size_t j = 0; j <= tab.n(); ++j) {
-      tab.Obj(j) -= c * tab.At(i, j);
-    }
-  }
-  bool unbounded = false;
-  run_phase(artificial_begin, &unbounded);
-  if (iterations >= max_iters) {
-    solution.status = LpStatus::kIterationLimit;
-    solution.iterations = iterations;
-    return solution;
-  }
-  if (unbounded) {
-    solution.status = LpStatus::kUnbounded;
-    solution.iterations = iterations;
-    return solution;
+
+  // ---- 4/5. Run the shared two-phase driver over the double kernel. -------
+  lp_internal::PhaseConfig config;
+  config.rule = options_.rule;
+  config.stall_threshold = options_.stall_threshold;
+  // With round-off in play, flip-flopping between rules near a stall risks
+  // revisiting bases; once Bland engages, keep it for the phase.
+  config.sticky_fallback = true;
+  config.max_iterations =
+      options_.max_iterations > 0
+          ? options_.max_iterations
+          : 200 * static_cast<long>(m + n_std) + 2000;
+
+  DoubleKernel kernel(std::move(tab), std::move(basis),
+                      static_cast<size_t>(num_struct_cols), num_artificial,
+                      std::move(std_costs), options_);
+  lp_internal::TwoPhaseStats stats;
+  const lp_internal::SolveOutcome outcome =
+      lp_internal::RunTwoPhase(kernel, config, &stats);
+
+  LpSolution solution;
+  solution.rule = options_.rule;
+  solution.iterations = stats.total();
+  solution.phase1_iterations = stats.phase1_iterations;
+  solution.phase2_iterations = stats.phase2_iterations;
+  solution.phase1_objective = kernel.phase1_objective();
+  solution.residual_artificials = kernel.residual_artificials();
+  switch (outcome) {
+    case lp_internal::SolveOutcome::kIterationLimit:
+      solution.status = LpStatus::kIterationLimit;
+      return solution;
+    case lp_internal::SolveOutcome::kInfeasible:
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    case lp_internal::SolveOutcome::kUnbounded:
+      solution.status = LpStatus::kUnbounded;
+      return solution;
+    case lp_internal::SolveOutcome::kOptimal:
+      break;
   }
 
   // ---- 6. Read the solution back through the variable map. ----------------
-  std::vector<double> std_values(n_std, 0.0);
-  for (size_t i = 0; i < m; ++i) std_values[basis[i]] = tab.Rhs(i);
+  const Tableau& final_tab = kernel.tableau();
+  const std::vector<size_t>& final_basis = kernel.basis();
+  std::vector<double> std_values(final_tab.n(), 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (final_basis[i] < std_values.size()) {
+      std_values[final_basis[i]] = final_tab.Rhs(i);
+    }
+  }
   solution.values.assign(static_cast<size_t>(num_vars), 0.0);
   double objective = 0.0;
   for (int j = 0; j < num_vars; ++j) {
@@ -445,17 +500,17 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
   }
   solution.status = LpStatus::kOptimal;
   solution.objective = objective;
-  solution.iterations = iterations;
 
   // Recompute residuals against the ORIGINAL model — the tableau's own
   // feasibility can silently drift over thousands of pivots, and callers
   // need a trustworthy signal.
   double violation = 0.0;
   for (int i = 0; i < problem.num_constraints(); ++i) {
-    const LpProblem::Row& row = problem.row(i);
+    const LpProblem::RowView row = problem.row(i);
     double lhs = 0.0;
-    for (const LpTerm& t : row.terms) {
-      lhs += t.coeff * solution.values[static_cast<size_t>(t.var)];
+    for (size_t k = 0; k < row.num_terms; ++k) {
+      lhs += row.terms[k].coeff *
+             solution.values[static_cast<size_t>(row.terms[k].var)];
     }
     switch (row.relation) {
       case RowRelation::kLessEqual:

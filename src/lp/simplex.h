@@ -4,8 +4,12 @@
 // non-negative, finite upper bounds become extra rows, then slack and
 // artificial columns are appended.  Phase 1 minimizes the sum of the
 // artificials to find a basic feasible point; phase 2 optimizes the real
-// objective.  Pricing is Dantzig's rule with an automatic switch to Bland's
-// rule (which provably terminates) once degeneracy stalls progress.
+// objective.  The two-phase driver itself lives in lp/simplex_core.h and is
+// shared with the exact solver; this class contributes the double-precision
+// kernel (tolerance-aware pricing, Harris ratio test, round-off hygiene).
+// Pricing defaults to Dantzig's rule with an automatic switch to Bland's
+// rule (which provably terminates) once degeneracy stalls progress;
+// SimplexOptions::rule selects Bland or Devex instead.
 //
 // This is the library's substitute for GLPK/CPLEX (see problem.h).  The
 // paper's LPs have (n+1)^2 + 1 variables and O(n^2) rows, well within what
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "lp/problem.h"
+#include "lp/simplex_core.h"
 #include "util/result.h"
 
 namespace geopriv {
@@ -38,6 +43,13 @@ struct LpSolution {
   std::vector<double> values;
   /// Simplex pivots performed across both phases.
   int iterations = 0;
+  /// Pivots spent in phase 1 (including artificial drive-out pivots) and
+  /// phase 2, so benches and tests can assert on pricing behavior.
+  int phase1_iterations = 0;
+  int phase2_iterations = 0;
+  /// The pricing rule this solve was configured with (the anti-cycling
+  /// Bland fallback may still engage transiently under degeneracy).
+  PivotRule rule = PivotRule::kDantzig;
   /// Largest violation of any original constraint or bound at `values`,
   /// recomputed from the model (not the tableau) after the solve.  A value
   /// far above the tolerances signals numerical trouble.
@@ -51,6 +63,8 @@ struct LpSolution {
 
 /// Tuning knobs for SimplexSolver.
 struct SimplexOptions {
+  /// Entering-column pricing policy (see lp/simplex_core.h).
+  PivotRule rule = PivotRule::kDantzig;
   /// Anything with |value| below this is treated as zero in pricing/ratio.
   double tol = 1e-9;
   /// Minimum magnitude of an acceptable pivot element.  Pivoting on tiny
@@ -61,7 +75,8 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;
   /// Hard cap on total pivots (0 means "choose automatically").
   int max_iterations = 0;
-  /// Pivots of no objective progress before switching to Bland's rule.
+  /// Consecutive pivots whose objective step stays within `tol` before
+  /// the anti-cycling fallback to Bland's rule engages for the phase.
   int stall_threshold = 64;
 };
 

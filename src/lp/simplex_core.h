@@ -1,0 +1,273 @@
+// Shared two-phase primal simplex engine.
+//
+// Both LP solvers in this library — the double-tolerance tableau
+// (lp/simplex.h) and the exact rational solver with its fraction-free and
+// dense-Rational backends (lp/exact_simplex.h) — run the same algorithm:
+// phase 1 minimizes the sum of artificial variables to find a basic
+// feasible point, leftover basic artificials are driven out or declared
+// redundant, the artificial columns are dropped, and phase 2 optimizes the
+// real objective.  This header holds that driver once, templated over a
+// *kernel* that owns the tableau storage and the field-specific pivot
+// arithmetic, so a new pricing rule or phase feature lands in every solver
+// simultaneously.
+//
+// A kernel models:
+//
+//   size_t pricing_width() const;        // columns priceable this phase
+//   bool   Eligible(size_t j) const;     // reduced cost negative (tol-aware)
+//   double PricingKey(size_t j) const;   // log2 |reduced cost|, j eligible
+//   double DantzigKey(size_t j) const;   // any monotone function of
+//                                        // |reduced cost| (Dantzig compares
+//                                        // keys, so kernels with cheap raw
+//                                        // magnitudes can skip the log2)
+//   size_t SelectLeaving(size_t enter) const;   // ratio test; kNoIndex =
+//                                               // unbounded in `enter`
+//   bool   DegeneratePivot(size_t leave, size_t enter) const;
+//                                               // pre-pivot: would this
+//                                               // pivot make ~no progress?
+//   double PivotRowLog2(size_t leave, size_t j) const;  // log2 |alpha_rj| of
+//                                               // the pre-pivot pivot row;
+//                                               // -infinity when zero
+//   size_t BasisColumn(size_t row) const;       // column basic in `row`
+//   void   Pivot(size_t leave, size_t enter);   // pivot + basis bookkeeping
+//   bool   NeedsPhase1() const;                 // any artificial columns?
+//   void   SetupPhase1Objective();
+//   bool   Phase1Feasible();             // called once, after phase 1
+//   bool   DriveOutArtificials(long budget, int* iterations);
+//                                        // false = pivot budget exhausted
+//                                        // (budget < 0 means unlimited)
+//   void   PreparePhase2();              // drop artificials, set objective
+//
+// Pricing works on double-precision *magnitudes* (log2 of |reduced cost| /
+// |pivot-row entry|) even for the exact kernels: the choice of entering
+// column is a heuristic that never affects correctness, only the pivot
+// count, so approximate keys are safe — termination is still guaranteed by
+// the Bland fallback, and optimality is certified by the field-exact
+// reduced costs behind Eligible().
+
+#ifndef GEOPRIV_LP_SIMPLEX_CORE_H_
+#define GEOPRIV_LP_SIMPLEX_CORE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace geopriv {
+
+/// Pricing policy for selecting the entering column.
+enum class PivotRule {
+  /// Most negative reduced cost.  Cheap and usually effective, but blind to
+  /// column scaling; the double solver's historical default.
+  kDantzig,
+  /// Smallest eligible index.  Provably terminating (no cycling), which
+  /// makes it the reference rule for the exact path and the anti-cycling
+  /// fallback for the others.
+  kBland,
+  /// Devex reference-weight pricing (Forrest & Goldfarb): approximates
+  /// steepest-edge by maintaining multiplicative weights per column,
+  /// typically cutting pivot counts by an order of magnitude on degenerate
+  /// models.  Falls back to Bland after a stall and re-arms on progress.
+  kDevex,
+};
+
+namespace lp_internal {
+
+inline constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+/// Per-solve tuning shared by every kernel.
+struct PhaseConfig {
+  PivotRule rule = PivotRule::kBland;
+  /// Consecutive degenerate pivots tolerated before the anti-cycling
+  /// fallback to Bland engages.
+  int stall_threshold = 64;
+  /// Once fallen back to Bland, stay there for the rest of the phase.  The
+  /// double kernel sets this: with round-off in play, flip-flopping between
+  /// rules near a stall risks revisiting bases.  The exact kernels re-arm
+  /// the configured rule after every non-degenerate pivot instead — sound
+  /// over Q because each re-arm requires a strict objective decrease, and a
+  /// strictly decreasing exact objective can only change finitely often.
+  bool sticky_fallback = false;
+  /// Cap on total pivots across both phases; 0 means unlimited.
+  long max_iterations = 0;
+};
+
+enum class PhaseOutcome { kOptimal, kUnbounded, kIterationLimit };
+enum class SolveOutcome { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Devex reference weights, kept in log2 space so the multiplicative
+/// updates (w_j := max(w_j, (alpha_j/alpha_q)^2 w_q)) cannot overflow even
+/// when the exact kernels hand us magnitudes of thousand-bit integers.
+class DevexPricer {
+ public:
+  /// Starts a fresh reference framework: every weight is 1 (log2 = 0).
+  void Reset(size_t width) { log2_w_.assign(width, 0.0); }
+
+  /// Entering column: maximize the steepest-edge proxy d_j^2 / w_j, i.e.
+  /// 2·log2|d_j| − log2 w_j.  Ties resolve to the smallest index, keeping
+  /// selection deterministic across kernels.
+  template <class Kernel>
+  size_t SelectEntering(const Kernel& kernel) const {
+    const size_t width = std::min(kernel.pricing_width(), log2_w_.size());
+    size_t best = kNoIndex;
+    double best_score = 0.0;
+    for (size_t j = 0; j < width; ++j) {
+      if (!kernel.Eligible(j)) continue;
+      const double score = 2.0 * kernel.PricingKey(j) - log2_w_[j];
+      if (best == kNoIndex || score > best_score) {
+        best = j;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  /// Weight update for a pivot on (leave, enter), using the pre-pivot pivot
+  /// row.  Resets the reference framework when any weight outgrows 2^40 —
+  /// beyond that the weights no longer resemble steepest-edge norms.
+  template <class Kernel>
+  void Update(const Kernel& kernel, size_t leave, size_t enter) {
+    const double log2_alpha_q = kernel.PivotRowLog2(leave, enter);
+    const double log2_w_q = log2_w_[enter];
+    double log2_w_max = 0.0;
+    for (size_t j = 0; j < log2_w_.size(); ++j) {
+      if (j == enter) continue;
+      const double log2_alpha_j = kernel.PivotRowLog2(leave, j);
+      if (!std::isfinite(log2_alpha_j)) continue;  // structural zero
+      const double candidate =
+          log2_w_q + 2.0 * (log2_alpha_j - log2_alpha_q);
+      if (candidate > log2_w_[j]) log2_w_[j] = candidate;
+      log2_w_max = std::max(log2_w_max, log2_w_[j]);
+    }
+    const size_t leaving_col = kernel.BasisColumn(leave);
+    if (leaving_col < log2_w_.size()) {
+      log2_w_[leaving_col] = std::max(log2_w_q - 2.0 * log2_alpha_q, 0.0);
+      log2_w_max = std::max(log2_w_max, log2_w_[leaving_col]);
+    }
+    if (log2_w_max > kResetLog2) Reset(log2_w_.size());
+  }
+
+ private:
+  static constexpr double kResetLog2 = 40.0;
+  std::vector<double> log2_w_;  // log2 of the reference weights
+};
+
+/// Runs simplex pivots until the current phase's objective is optimal.
+/// `budget` caps pivots within this call (< 0 means unlimited);
+/// `*iterations` is incremented per pivot.
+template <class Kernel>
+PhaseOutcome RunPhase(Kernel& kernel, const PhaseConfig& config, long budget,
+                      int* iterations) {
+  DevexPricer devex;
+  if (config.rule == PivotRule::kDevex) devex.Reset(kernel.pricing_width());
+  bool bland = config.rule == PivotRule::kBland;
+  int stall = 0;
+  long spent = 0;
+  for (;;) {
+    // ---- Entering column (the pricing policy lives here). ----
+    size_t enter = kNoIndex;
+    if (bland) {
+      const size_t width = kernel.pricing_width();
+      for (size_t j = 0; j < width; ++j) {
+        if (kernel.Eligible(j)) {
+          enter = j;
+          break;
+        }
+      }
+    } else if (config.rule == PivotRule::kDantzig) {
+      const size_t width = kernel.pricing_width();
+      double best_key = 0.0;
+      for (size_t j = 0; j < width; ++j) {
+        if (!kernel.Eligible(j)) continue;
+        const double key = kernel.DantzigKey(j);
+        if (enter == kNoIndex || key > best_key) {
+          enter = j;
+          best_key = key;
+        }
+      }
+    } else {
+      enter = devex.SelectEntering(kernel);
+    }
+    if (enter == kNoIndex) return PhaseOutcome::kOptimal;
+    // Budget is checked only once a pivot is actually needed, so a solve
+    // that reaches optimality in exactly `budget` pivots reports optimal.
+    if (budget >= 0 && spent >= budget) return PhaseOutcome::kIterationLimit;
+
+    // ---- Leaving row (the ratio test lives in the kernel). ----
+    const size_t leave = kernel.SelectLeaving(enter);
+    if (leave == kNoIndex) return PhaseOutcome::kUnbounded;
+
+    const bool degenerate = kernel.DegeneratePivot(leave, enter);
+    // The weight update is rule-independent, so keep the reference
+    // framework current even while the Bland fallback is active —
+    // otherwise a re-armed Devex would price with stale weights.
+    if (config.rule == PivotRule::kDevex) {
+      devex.Update(kernel, leave, enter);
+    }
+    kernel.Pivot(leave, enter);
+    ++*iterations;
+    ++spent;
+
+    // ---- Anti-cycling watchdog. ----
+    if (degenerate) {
+      if (++stall >= config.stall_threshold) bland = true;
+    } else {
+      stall = 0;
+      if (!config.sticky_fallback) bland = config.rule == PivotRule::kBland;
+    }
+  }
+}
+
+/// Per-phase pivot counts of one solve.
+struct TwoPhaseStats {
+  int phase1_iterations = 0;  // includes artificial drive-out pivots
+  int phase2_iterations = 0;
+  int total() const { return phase1_iterations + phase2_iterations; }
+};
+
+/// The shared two-phase driver.  On return the kernel holds the final
+/// tableau and basis; callers extract the solution from it.
+template <class Kernel>
+SolveOutcome RunTwoPhase(Kernel& kernel, const PhaseConfig& config,
+                         TwoPhaseStats* stats) {
+  if (kernel.NeedsPhase1()) {
+    kernel.SetupPhase1Objective();
+    const long budget =
+        config.max_iterations > 0 ? config.max_iterations : -1;
+    // Phase 1 cannot be unbounded: its objective is a sum of non-negative
+    // variables, bounded below by zero.
+    const PhaseOutcome outcome =
+        RunPhase(kernel, config, budget, &stats->phase1_iterations);
+    if (outcome == PhaseOutcome::kIterationLimit) {
+      return SolveOutcome::kIterationLimit;
+    }
+    if (!kernel.Phase1Feasible()) return SolveOutcome::kInfeasible;
+    // Drive-out pivots count against the same total budget, keeping
+    // max_iterations a true hard cap on pivots of every kind.
+    const long remaining =
+        config.max_iterations > 0
+            ? std::max<long>(0, config.max_iterations -
+                                    stats->phase1_iterations)
+            : -1;
+    if (!kernel.DriveOutArtificials(remaining, &stats->phase1_iterations)) {
+      return SolveOutcome::kIterationLimit;
+    }
+  }
+  kernel.PreparePhase2();
+  const long budget =
+      config.max_iterations > 0
+          ? std::max<long>(0, config.max_iterations - stats->phase1_iterations)
+          : -1;
+  const PhaseOutcome outcome =
+      RunPhase(kernel, config, budget, &stats->phase2_iterations);
+  if (outcome == PhaseOutcome::kIterationLimit) {
+    return SolveOutcome::kIterationLimit;
+  }
+  if (outcome == PhaseOutcome::kUnbounded) return SolveOutcome::kUnbounded;
+  return SolveOutcome::kOptimal;
+}
+
+}  // namespace lp_internal
+}  // namespace geopriv
+
+#endif  // GEOPRIV_LP_SIMPLEX_CORE_H_

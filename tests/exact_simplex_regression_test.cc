@@ -30,8 +30,18 @@ ExactLpProblem OptimalMechanismLp(int n) {
 
 void ExpectIdenticalSolutions(const ExactLpProblem& lp,
                               const std::string& label) {
-  ExactSimplexSolver fraction_free(ExactPivotEngine::kFractionFree);
-  ExactSimplexSolver dense(ExactPivotEngine::kDenseRational);
+  // Pin Bland's rule: the bit-identity guarantee between the engines is a
+  // property of the fully deterministic reference rule (Devex consults
+  // floating-point magnitude keys whose rounding may differ between the
+  // integer and rational tableau representations).
+  ExactSimplexOptions ff_options;
+  ff_options.engine = ExactPivotEngine::kFractionFree;
+  ff_options.rule = PivotRule::kBland;
+  ExactSimplexOptions dense_options;
+  dense_options.engine = ExactPivotEngine::kDenseRational;
+  dense_options.rule = PivotRule::kBland;
+  ExactSimplexSolver fraction_free(ff_options);
+  ExactSimplexSolver dense(dense_options);
   auto ff = fraction_free.Solve(lp);
   auto dn = dense.Solve(lp);
   ASSERT_TRUE(ff.ok()) << label;

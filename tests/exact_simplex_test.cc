@@ -1,4 +1,7 @@
-// Tests for the exact rational simplex (Bland's rule over Q).
+// Tests for the exact rational simplex over Q.  These run the solver's
+// defaults (fraction-free engine, Devex pricing with Bland fallback);
+// rule-specific behavior is covered in pivot_rule_test.cc and the
+// engine-equivalence guarantee in exact_simplex_regression_test.cc.
 
 #include <gtest/gtest.h>
 
@@ -115,7 +118,8 @@ TEST(ExactSimplexTest, NegativeRhsNormalization) {
 
 TEST(ExactSimplexTest, BlandTerminatesOnCyclingExample) {
   // Chvatal's cycling instance (Dantzig pricing cycles without
-  // safeguards); Bland must terminate with optimum 1.
+  // safeguards); the solver must terminate with optimum 1 under its
+  // default rule thanks to the anti-cycling Bland fallback.
   ExactLpProblem lp;
   int x1 = lp.AddVariable("x1", R(-10));
   int x2 = lp.AddVariable("x2", R(57));

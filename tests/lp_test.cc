@@ -39,6 +39,58 @@ TEST(LpProblemTest, ValidateCatchesBadModels) {
                         std::numeric_limits<double>::infinity(),
                         {{y, 1.0}});
   EXPECT_FALSE(bad_rhs.Validate().ok());
+
+#ifdef NDEBUG
+  // A term streamed before any row is opened belongs to no constraint;
+  // Validate must reject it rather than let the solver silently drop it.
+  // (Debug builds already die on the assert inside AddTerm, so this
+  // misuse path only exists with NDEBUG.)
+  LpProblem orphan;
+  orphan.AddNonNegativeVariable("x", 1.0);
+  orphan.AddTerm(0, 1.0);
+  orphan.BeginConstraint("late", RowRelation::kLessEqual, 1.0);
+  EXPECT_FALSE(orphan.Validate().ok());
+#endif
+}
+
+TEST(LpProblemTest, StreamedRowsMatchVectorRows) {
+  // BeginConstraint/AddTerm streams terms into the CSR arena; the result
+  // must be indistinguishable from the AddConstraint vector wrapper.
+  LpProblem streamed;
+  LpProblem wrapped;
+  for (LpProblem* lp : {&streamed, &wrapped}) {
+    lp->AddNonNegativeVariable("x", 2.0);
+    lp->AddNonNegativeVariable("y", 3.0);
+  }
+  streamed.BeginConstraint("c1", RowRelation::kGreaterEqual, 4.0);
+  streamed.AddTerm(0, 1.0);
+  streamed.AddTerm(1, 1.0);
+  streamed.BeginConstraint("c2", RowRelation::kGreaterEqual, 6.0);
+  streamed.AddTerm(0, 1.0);
+  streamed.AddTerm(1, 3.0);
+  wrapped.AddConstraint("c1", RowRelation::kGreaterEqual, 4.0,
+                        {{0, 1.0}, {1, 1.0}});
+  wrapped.AddConstraint("c2", RowRelation::kGreaterEqual, 6.0,
+                        {{0, 1.0}, {1, 3.0}});
+
+  ASSERT_EQ(streamed.num_constraints(), wrapped.num_constraints());
+  for (int i = 0; i < streamed.num_constraints(); ++i) {
+    LpProblem::RowView a = streamed.row(i);
+    LpProblem::RowView b = wrapped.row(i);
+    EXPECT_EQ(*a.name, *b.name);
+    EXPECT_EQ(a.relation, b.relation);
+    EXPECT_EQ(a.rhs, b.rhs);
+    ASSERT_EQ(a.num_terms, b.num_terms);
+    for (size_t k = 0; k < a.num_terms; ++k) {
+      EXPECT_EQ(a.terms[k].var, b.terms[k].var);
+      EXPECT_EQ(a.terms[k].coeff, b.terms[k].coeff);
+    }
+  }
+  LpSolution sa = SolveOrDie(streamed);
+  LpSolution sb = SolveOrDie(wrapped);
+  ASSERT_EQ(sa.status, LpStatus::kOptimal);
+  EXPECT_EQ(sa.objective, sb.objective);
+  EXPECT_EQ(sa.iterations, sb.iterations);
 }
 
 TEST(SimplexTest, TextbookMaximization) {

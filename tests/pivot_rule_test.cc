@@ -1,0 +1,229 @@
+// Devex vs Bland pricing on the shared simplex core: both rules must
+// certify the same exact optimum (bit-identical rationals on the exact
+// path), Devex must never need more pivots than Bland on the paper's
+// optimal-mechanism LPs, and the infeasible/unbounded/degenerate paths
+// must classify identically under either rule.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/optimal_exact.h"
+#include "lp/exact_simplex.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+ExactLpProblem OptimalMechanismLp(int n) {
+  auto lp = BuildOptimalMechanismLpExact(n, R(1, 2),
+                                         ExactLossFunction::AbsoluteError(),
+                                         SideInformation::All(n));
+  EXPECT_TRUE(lp.ok());
+  return *std::move(lp);
+}
+
+ExactLpSolution SolveExact(const ExactLpProblem& lp, PivotRule rule,
+                           ExactPivotEngine engine =
+                               ExactPivotEngine::kFractionFree) {
+  ExactSimplexOptions options;
+  options.engine = engine;
+  options.rule = rule;
+  auto s = ExactSimplexSolver(options).Solve(lp);
+  EXPECT_TRUE(s.ok());
+  return *std::move(s);
+}
+
+TEST(PivotRuleTest, DevexMatchesBlandBitIdenticallyOnOptimalMechanismLps) {
+  for (int n : {2, 4, 8}) {
+    const std::string label = "n=" + std::to_string(n);
+    ExactLpProblem lp = OptimalMechanismLp(n);
+    ExactLpSolution bland = SolveExact(lp, PivotRule::kBland);
+    ExactLpSolution devex = SolveExact(lp, PivotRule::kDevex);
+    ASSERT_EQ(bland.status, LpStatus::kOptimal) << label;
+    ASSERT_EQ(devex.status, LpStatus::kOptimal) << label;
+    // Bit-identical exact optimum: canonical numerator/denominator strings,
+    // not merely equal values — for the objective AND every variable (these
+    // degenerate LPs have multiple optimal bases, so identical values are a
+    // property worth pinning, not a given).
+    EXPECT_EQ(devex.objective.ToString(), bland.objective.ToString()) << label;
+    ASSERT_EQ(devex.values.size(), bland.values.size()) << label;
+    for (size_t j = 0; j < devex.values.size(); ++j) {
+      EXPECT_EQ(devex.values[j].ToString(), bland.values[j].ToString())
+          << label << " variable " << j;
+    }
+    // The pricing rule must be reported so callers can assert on it.
+    EXPECT_EQ(bland.rule, PivotRule::kBland) << label;
+    EXPECT_EQ(devex.rule, PivotRule::kDevex) << label;
+  }
+}
+
+TEST(PivotRuleTest, DevexNeverNeedsMorePivotsThanBland) {
+  // The whole point of reference-weight pricing: on these degenerate LPs
+  // Devex must do no worse than Bland, and by n=8 it should be winning by
+  // a wide margin (686 vs 99 pivots when this test was written).
+  for (int n : {2, 4, 8}) {
+    const std::string label = "n=" + std::to_string(n);
+    ExactLpProblem lp = OptimalMechanismLp(n);
+    ExactLpSolution bland = SolveExact(lp, PivotRule::kBland);
+    ExactLpSolution devex = SolveExact(lp, PivotRule::kDevex);
+    EXPECT_LE(devex.iterations, bland.iterations) << label;
+    // Per-phase counts must add up to the reported total.
+    EXPECT_EQ(devex.iterations,
+              devex.phase1_iterations + devex.phase2_iterations)
+        << label;
+    EXPECT_EQ(bland.iterations,
+              bland.phase1_iterations + bland.phase2_iterations)
+        << label;
+  }
+  // The asymptotic gap, pinned loosely at n=8 so a pricing regression
+  // (e.g. Devex silently degrading to Bland) fails loudly.
+  ExactLpProblem lp = OptimalMechanismLp(8);
+  ExactLpSolution bland = SolveExact(lp, PivotRule::kBland);
+  ExactLpSolution devex = SolveExact(lp, PivotRule::kDevex);
+  EXPECT_LE(devex.iterations * 3, bland.iterations)
+      << "Devex lost its pivot-count advantage at n=8";
+}
+
+TEST(PivotRuleTest, RulesAgreeOnBothExactEngines) {
+  ExactLpProblem lp = OptimalMechanismLp(4);
+  const std::string expected =
+      SolveExact(lp, PivotRule::kBland).objective.ToString();
+  for (ExactPivotEngine engine :
+       {ExactPivotEngine::kFractionFree, ExactPivotEngine::kDenseRational}) {
+    for (PivotRule rule :
+         {PivotRule::kBland, PivotRule::kDantzig, PivotRule::kDevex}) {
+      ExactLpSolution s = SolveExact(lp, rule, engine);
+      ASSERT_EQ(s.status, LpStatus::kOptimal);
+      EXPECT_EQ(s.objective.ToString(), expected);
+    }
+  }
+}
+
+TEST(PivotRuleTest, InfeasibleClassifiedIdenticallyUnderEveryRule) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x, R(1)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(2), {{x, R(1)}});
+  for (PivotRule rule :
+       {PivotRule::kBland, PivotRule::kDantzig, PivotRule::kDevex}) {
+    EXPECT_EQ(SolveExact(lp, rule).status, LpStatus::kInfeasible);
+  }
+}
+
+TEST(PivotRuleTest, UnboundedClassifiedIdenticallyUnderEveryRule) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(-1));
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(0), {{x, R(1)}});
+  for (PivotRule rule :
+       {PivotRule::kBland, PivotRule::kDantzig, PivotRule::kDevex}) {
+    EXPECT_EQ(SolveExact(lp, rule).status, LpStatus::kUnbounded);
+  }
+}
+
+TEST(PivotRuleTest, DevexTerminatesOnDegenerateCyclingExample) {
+  // Chvatal's cycling instance: Dantzig pricing cycles without safeguards.
+  // Devex must ride its anti-cycling Bland fallback to the optimum -1 and
+  // agree with Bland exactly.
+  ExactLpProblem lp;
+  int x1 = lp.AddVariable("x1", R(-10));
+  int x2 = lp.AddVariable("x2", R(57));
+  int x3 = lp.AddVariable("x3", R(9));
+  int x4 = lp.AddVariable("x4", R(24));
+  lp.AddConstraint(RowRelation::kLessEqual, R(0),
+                   {{x1, R(1, 2)}, {x2, R(-11, 2)}, {x3, R(-5, 2)}, {x4, R(9)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(0),
+                   {{x1, R(1, 2)}, {x2, R(-3, 2)}, {x3, R(-1, 2)}, {x4, R(1)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x1, R(1)}});
+  for (PivotRule rule :
+       {PivotRule::kBland, PivotRule::kDantzig, PivotRule::kDevex}) {
+    ExactLpSolution s = SolveExact(lp, rule);
+    ASSERT_EQ(s.status, LpStatus::kOptimal);
+    EXPECT_EQ(s.objective, R(-1));
+  }
+}
+
+TEST(PivotRuleTest, ExactIterationCapReportsIterationLimit) {
+  ExactLpProblem lp = OptimalMechanismLp(4);
+  ExactSimplexOptions options;
+  options.rule = PivotRule::kBland;
+  options.max_iterations = 3;  // far below the ~67 pivots this LP needs
+  auto s = ExactSimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kIterationLimit);
+  EXPECT_EQ(s->iterations, 3);
+}
+
+TEST(PivotRuleTest, CapEqualToRequiredPivotsStillReportsOptimal) {
+  // The budget is checked only when another pivot is needed, so a solve
+  // that reaches optimality in exactly max_iterations pivots must not be
+  // misclassified as hitting the limit.
+  ExactLpProblem lp = OptimalMechanismLp(2);
+  ExactSimplexOptions options;
+  options.rule = PivotRule::kBland;
+  ExactLpSolution uncapped = *ExactSimplexSolver(options).Solve(lp);
+  ASSERT_EQ(uncapped.status, LpStatus::kOptimal);
+  options.max_iterations = uncapped.iterations;
+  auto capped = ExactSimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->status, LpStatus::kOptimal);
+  EXPECT_EQ(capped->objective, uncapped.objective);
+  EXPECT_EQ(capped->iterations, uncapped.iterations);
+}
+
+TEST(PivotRuleTest, DoubleSolverSupportsAllRulesAndReportsPhases) {
+  // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: optimum -36 at (2,6).
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", -3.0);
+  int y = lp.AddNonNegativeVariable("y", -5.0);
+  lp.AddConstraint("c1", RowRelation::kLessEqual, 4.0, {{x, 1.0}});
+  lp.AddConstraint("c2", RowRelation::kLessEqual, 12.0, {{y, 2.0}});
+  lp.AddConstraint("c3", RowRelation::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  for (PivotRule rule :
+       {PivotRule::kDantzig, PivotRule::kBland, PivotRule::kDevex}) {
+    SimplexOptions options;
+    options.rule = rule;
+    auto s = SimplexSolver(options).Solve(lp);
+    ASSERT_TRUE(s.ok());
+    ASSERT_EQ(s->status, LpStatus::kOptimal);
+    EXPECT_NEAR(s->objective, -36.0, 1e-9);
+    EXPECT_NEAR(s->values[static_cast<size_t>(x)], 2.0, 1e-9);
+    EXPECT_NEAR(s->values[static_cast<size_t>(y)], 6.0, 1e-9);
+    EXPECT_EQ(s->rule, rule);
+    EXPECT_EQ(s->iterations, s->phase1_iterations + s->phase2_iterations);
+    // No equality/>= rows here, so everything is phase-2 work.
+    EXPECT_EQ(s->phase1_iterations, 0);
+    EXPECT_GT(s->phase2_iterations, 0);
+  }
+}
+
+// Large-instance acceptance gate (n=16 Bland needs ~half an hour of CPU in
+// debug containers), opt-in via GEOPRIV_LARGE_TESTS=1: Devex must beat
+// Bland by >= 5x in pivots with a bit-identical optimum.
+TEST(PivotRuleTest, LargeDevexBeatsBlandFiveFold) {
+  if (const char* env = std::getenv("GEOPRIV_LARGE_TESTS");
+      env == nullptr || std::string(env) != "1") {
+    GTEST_SKIP() << "set GEOPRIV_LARGE_TESTS=1 to run the n=16 gate";
+  }
+  ExactLpProblem lp = OptimalMechanismLp(16);
+  ExactLpSolution bland = SolveExact(lp, PivotRule::kBland);
+  ExactLpSolution devex = SolveExact(lp, PivotRule::kDevex);
+  ASSERT_EQ(bland.status, LpStatus::kOptimal);
+  ASSERT_EQ(devex.status, LpStatus::kOptimal);
+  EXPECT_EQ(devex.objective.ToString(), bland.objective.ToString());
+  ASSERT_EQ(devex.values.size(), bland.values.size());
+  for (size_t j = 0; j < devex.values.size(); ++j) {
+    EXPECT_EQ(devex.values[j].ToString(), bland.values[j].ToString())
+        << "variable " << j;
+  }
+  EXPECT_LE(devex.iterations * 5, bland.iterations);
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -4,10 +4,14 @@
 # diffed across PRs.
 #
 # Usage:
-#   tools/run_benches.sh [--large] [bench_name ...]
+#   tools/run_benches.sh [--large] [--compare SNAPSHOT] [bench_name ...]
 #
 #   --large        also run the expensive gated cases (exact LP at n=12/16,
 #                  dense reference at n=8, double LP at n=20/24)
+#   --compare F    after running, diff medians against the committed
+#                  snapshot F (e.g. BENCH_exact.json) and exit nonzero if
+#                  any shared benchmark regressed by more than 25%.  The
+#                  fresh results go to a scratch file, not over F.
 #   bench_name     restrict to specific suites (default: all bench_* targets)
 #
 # Environment:
@@ -28,13 +32,38 @@ OUT_FILE="${OUT_FILE:-$ROOT/BENCH_exact.json}"
 JSON_DIR="$BUILD_DIR/bench_json"
 
 LARGE=""
+COMPARE_FILE=""
 SUITES=()
+RUN_SUITES=()
+expect_compare=0
 for arg in "$@"; do
+  if [ "$expect_compare" -eq 1 ]; then
+    COMPARE_FILE="$arg"
+    expect_compare=0
+    continue
+  fi
   case "$arg" in
     --large) LARGE="--large" ;;
+    --compare) expect_compare=1 ;;
+    --compare=*) COMPARE_FILE="${arg#--compare=}" ;;
     *) SUITES+=("$arg") ;;
   esac
 done
+if [ "$expect_compare" -eq 1 ]; then
+  echo "--compare requires a snapshot file argument" >&2
+  exit 2
+fi
+if [ -n "$COMPARE_FILE" ]; then
+  if [ ! -f "$COMPARE_FILE" ]; then
+    echo "snapshot not found: $COMPARE_FILE" >&2
+    exit 2
+  fi
+  # Comparison runs must not clobber the committed snapshot they diff
+  # against (unless the caller explicitly redirected OUT_FILE already).
+  if [ "$(readlink -f "$COMPARE_FILE")" = "$(readlink -f "$OUT_FILE")" ]; then
+    OUT_FILE="$BUILD_DIR/BENCH_compare.json"
+  fi
+fi
 
 export GEOPRIV_BENCH_REPS="${GEOPRIV_BENCH_REPS:-7}"
 export GEOPRIV_BENCH_WARMUP="${GEOPRIV_BENCH_WARMUP:-1}"
@@ -63,6 +92,7 @@ for suite in "${SUITES[@]}"; do
     echo "   FAILED (see $JSON_DIR/$suite.log)" >&2
     exit 1
   }
+  RUN_SUITES+=("$suite")
   tail -n +1 "$JSON_DIR/$suite.log" | grep -E "^# $suite" || true
 done
 
@@ -94,3 +124,58 @@ with open(out_path, "w") as f:
 total = sum(len(s.get("benchmarks", [])) for s in suites)
 print(f"wrote {out_path}: {len(suites)} suites, {total} benchmarks")
 PY
+
+if [ -n "$COMPARE_FILE" ]; then
+  # Only the suites executed by THIS invocation are diffed: $JSON_DIR may
+  # hold leftover results from earlier runs (the consolidation above
+  # deliberately merges them so partial reruns can refresh a snapshot in
+  # place), and comparing stale data would mask real regressions.
+  python3 - "$COMPARE_FILE" "$OUT_FILE" "${RUN_SUITES[@]}" <<'PY'
+import json, sys
+
+THRESHOLD = 0.25  # fractional median slowdown tolerated before failing
+
+snapshot_path, fresh_path = sys.argv[1], sys.argv[2]
+ran_suites = set(sys.argv[3:])
+
+def medians(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for suite in data.get("suites", []):
+        for b in suite.get("benchmarks", []):
+            out[(suite.get("suite", "?"), b["name"])] = b["median_ms"]
+    return out
+
+base = medians(snapshot_path)
+fresh = medians(fresh_path)
+shared = sorted(k for k in set(base) & set(fresh)
+                if not ran_suites or k[0] in ran_suites)
+if not shared:
+    print(f"no shared benchmarks between {snapshot_path} and {fresh_path} "
+          f"for the suites run in this invocation", file=sys.stderr)
+    sys.exit(2)
+
+regressions = []
+print(f"comparing {len(shared)} shared benchmarks against {snapshot_path} "
+      f"(fail threshold: +{THRESHOLD:.0%} median)")
+for key in shared:
+    old, new = base[key], fresh[key]
+    delta = (new - old) / old if old > 0 else 0.0
+    flag = ""
+    if delta > THRESHOLD:
+        regressions.append((key, old, new, delta))
+        flag = "  <-- REGRESSION"
+    print(f"  {key[0]}/{key[1]}: {old:.6f} -> {new:.6f} ms "
+          f"({delta:+.1%}){flag}")
+
+if regressions:
+    print(f"\n{len(regressions)} benchmark(s) regressed by more than "
+          f"{THRESHOLD:.0%}:", file=sys.stderr)
+    for (suite, name), old, new, delta in regressions:
+        print(f"  {suite}/{name}: {old:.6f} -> {new:.6f} ms ({delta:+.1%})",
+              file=sys.stderr)
+    sys.exit(1)
+print("no regressions beyond threshold")
+PY
+fi
