@@ -1,0 +1,143 @@
+// The warm-start and threading headline benchmark: the paper's LP
+// *families* (the optimal-mechanism LP re-solved across an ε/α grid)
+// solved cold — N independent solves, each paying phase 1 from scratch —
+// versus streamed through one warm-started solver
+// (ExactSimplexSolver::SolveSequence), plus the single-solve serial vs
+// parallel fraction-free pivot kernel.
+//
+// Default cases run the n = 8 family; pass --large (or
+// GEOPRIV_BENCH_LARGE=1) for the n = 16 acceptance-gate cases.  Thread
+// counts are fixed per benchmark (1 vs 4) so BENCH_exact.json records the
+// scaling on whatever machine ran it; on a single-core container the
+// 4-thread entry measures pool overhead, not speedup.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/optimal.h"
+#include "core/optimal_exact.h"
+#include "lp/exact_simplex.h"
+
+namespace {
+
+using namespace geopriv;
+
+// A 5-point α grid (the rational stand-in for an ε sweep, α = e^-ε):
+// ε from ~0.51 to ~0.92 around the paper's α = 1/2 operating point.
+std::vector<Rational> AlphaGrid() {
+  std::vector<Rational> alphas;
+  for (int num : {8, 9, 10, 11, 12}) {
+    alphas.push_back(*Rational::FromInts(num, 20));
+  }
+  return alphas;
+}
+
+std::vector<ExactLpProblem> BuildFamily(int n) {
+  std::vector<ExactLpProblem> family;
+  for (const Rational& alpha : AlphaGrid()) {
+    family.push_back(*BuildOptimalMechanismLpExact(
+        n, alpha, ExactLossFunction::AbsoluteError(), SideInformation::All(n)));
+  }
+  return family;
+}
+
+// Cold baseline: N independent solves, each building and solving from
+// scratch (what every caller did before the warm-start machinery).
+void SolveFamilyCold(int n) {
+  for (const Rational& alpha : AlphaGrid()) {
+    geopriv::bench::DoNotOptimize(SolveOptimalMechanismExact(
+        n, alpha, ExactLossFunction::AbsoluteError(), SideInformation::All(n)));
+  }
+}
+
+// Warm pipeline: the sweep driver anchors at the cheapest α and chains
+// each solved basis into its grid neighbors (builds included, as above).
+void SolveFamilyWarm(int n) {
+  geopriv::bench::DoNotOptimize(SolveOptimalMechanismExactSweep(
+      n, AlphaGrid(), ExactLossFunction::AbsoluteError(),
+      SideInformation::All(n)));
+}
+
+void SolveSingle(const ExactLpProblem& lp, int threads) {
+  ExactSimplexOptions options;
+  options.threads = threads;
+  geopriv::bench::DoNotOptimize(ExactSimplexSolver(options).Solve(lp));
+}
+
+// Prints the family artifact once: per-point pivot counts cold vs warm,
+// so the JSON numbers have a human-readable anchor in the bench log.
+void PrintSweepAnatomy(int n) {
+  std::vector<ExactLpProblem> family = BuildFamily(n);
+  ExactSimplexSolver solver;
+  auto warm = solver.SolveSequence(family);
+  if (!warm.ok()) return;
+  std::printf(
+      "# n=%d alpha sweep anatomy (phase1+phase2 pivots; warm points also "
+      "show basis-load eliminations):\n",
+      n);
+  for (size_t k = 0; k < warm->size(); ++k) {
+    auto cold = solver.Solve(family[k]);
+    if (!cold.ok()) return;
+    std::printf(
+        "#   point %zu: cold %3d+%-3d   warm %3d+%-3d (load %3d, patched "
+        "%d)\n",
+        k, cold->phase1_iterations, cold->phase2_iterations,
+        (*warm)[k].phase1_iterations, (*warm)[k].phase2_iterations,
+        (*warm)[k].warm_load_pivots, (*warm)[k].warm_patched_rows);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSweepAnatomy(8);
+
+  geopriv::bench::Harness h("bench_epsilon_sweep", argc, argv);
+
+  {
+    std::vector<ExactLpProblem> family = BuildFamily(8);
+    h.Run("ExactEpsilonSweep/cold/n=8", [&] { SolveFamilyCold(8); });
+    h.Run("ExactEpsilonSweep/warm/n=8", [&] { SolveFamilyWarm(8); });
+    h.Run("ExactSingleSolve/threads=1/n=8",
+          [&] { SolveSingle(family[2], 1); });
+    h.Run("ExactSingleSolve/threads=4/n=8",
+          [&] { SolveSingle(family[2], 4); });
+  }
+
+  if (h.large()) {
+    // The acceptance-gate cases: a 5-point n=16 sweep, cold vs warm, and
+    // the single n=16 solve at 1 vs 4 threads.
+    std::vector<ExactLpProblem> family = BuildFamily(16);
+    geopriv::bench::RunOptions big{/*repetitions=*/3, /*warmup=*/0,
+                                   /*min_rep_ms=*/0.0,
+                                   /*budget_ms=*/3600000.0};
+    h.Run("ExactEpsilonSweep/cold/n=16", [&] { SolveFamilyCold(16); }, big);
+    h.Run("ExactEpsilonSweep/warm/n=16", [&] { SolveFamilyWarm(16); }, big);
+    h.Run("ExactSingleSolve/threads=1/n=16",
+          [&] { SolveSingle(family[2], 1); }, big);
+    h.Run("ExactSingleSolve/threads=4/n=16",
+          [&] { SolveSingle(family[2], 4); }, big);
+  }
+
+  // The double-precision family through the same warm-start machinery.
+  {
+    const int n = 12;
+    auto consumer = *MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                             SideInformation::All(n));
+    std::vector<double> alphas = {0.40, 0.45, 0.50, 0.55, 0.60};
+    h.Run("DoubleAlphaSweep/cold/n=12", [&] {
+      for (double alpha : alphas) {
+        geopriv::bench::DoNotOptimize(SolveOptimalMechanism(n, alpha,
+                                                            consumer));
+      }
+    });
+    h.Run("DoubleAlphaSweep/warm/n=12", [&] {
+      geopriv::bench::DoNotOptimize(
+          SolveOptimalMechanismSweep(n, alphas, consumer));
+    });
+  }
+
+  return h.Finish();
+}

@@ -44,17 +44,23 @@ void PrintUniversalityTable() {
   std::vector<SideEntry> sides = {{"{0..8}", 0, 8}, {"{3..8}", 3, 8},
                                   {"{2..5}", 2, 5}};
 
+  const std::vector<double> alphas = {0.3, 0.6};
   for (const auto& loss : losses) {
     for (const auto& side : sides) {
-      for (double alpha : {0.3, 0.6}) {
-        auto consumer = MinimaxConsumer::Create(
-            loss.fn, *SideInformation::Interval(side.lo, side.hi, n));
-        if (!consumer.ok()) return;
-        auto optimal = SolveOptimalMechanism(n, alpha, *consumer);
+      auto consumer = MinimaxConsumer::Create(
+          loss.fn, *SideInformation::Interval(side.lo, side.hi, n));
+      if (!consumer.ok()) return;
+      // The per-consumer α family streams through one warm-started solver
+      // (the second point reuses the first point's basis).
+      auto optimal_sweep = SolveOptimalMechanismSweep(n, alphas, *consumer);
+      if (!optimal_sweep.ok()) return;
+      for (size_t a = 0; a < alphas.size(); ++a) {
+        const double alpha = alphas[a];
+        const auto& optimal = (*optimal_sweep)[a];
         auto geo = GeometricMechanism::Create(n, alpha)->ToMechanism();
         auto lap = DiscretizedLaplaceMechanism(n, alpha);
         auto rr = RandomizedResponseMechanism(n, alpha);
-        if (!optimal.ok() || !geo.ok() || !lap.ok() || !rr.ok()) return;
+        if (!geo.ok() || !lap.ok() || !rr.ok()) return;
         auto from_geo = SolveOptimalInteraction(*geo, *consumer);
         auto from_lap = SolveOptimalInteraction(*lap, *consumer);
         auto from_rr = SolveOptimalInteraction(*rr, *consumer);
@@ -62,7 +68,7 @@ void PrintUniversalityTable() {
         if (!from_geo.ok() || !from_lap.ok() || !from_rr.ok() || !naive.ok())
           return;
         std::printf("  %-9s %-8s %6.2f | %9.5f %9.5f | %9.5f %9.5f %9.5f\n",
-                    loss.name, side.name, alpha, optimal->loss,
+                    loss.name, side.name, alpha, optimal.loss,
                     from_geo->loss, *naive, from_lap->loss, from_rr->loss);
       }
     }

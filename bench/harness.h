@@ -219,8 +219,12 @@ class Harness {
   bool WriteJson() const {
     std::FILE* f = std::fopen(json_path_.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"benchmarks\": [\n",
-                 Escape(suite_).c_str());
+    // The `large` flag records whether the gated cases were requested, so
+    // consumers diffing snapshots can tell a gated case that was not run
+    // from one that silently disappeared.
+    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"large\": %s,\n"
+                 "  \"benchmarks\": [\n",
+                 Escape(suite_).c_str(), large_ ? "true" : "false");
     for (size_t i = 0; i < results_.size(); ++i) {
       const BenchResult& r = results_[i];
       std::fprintf(f,

@@ -99,9 +99,12 @@ Result<double> BayesianConsumer::LossAfterOptimalRemap(
   return ExpectedLoss(induced);
 }
 
-Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
-    int n, double alpha, const BayesianConsumer& consumer,
-    const SimplexOptions& options) {
+namespace {
+
+// Builds the Bayesian analogue of the Section 2.5 LP (linear objective
+// p_i·l(i,r); DP and row-stochasticity constraints).
+Result<LpProblem> BuildBayesianLp(int n, double alpha,
+                                  const BayesianConsumer& consumer) {
   if (n < 0) return Status::InvalidArgument("n must be non-negative");
   if (!(alpha >= 0.0 && alpha <= 1.0)) {
     return Status::InvalidArgument("alpha must lie in [0, 1]");
@@ -137,19 +140,23 @@ Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
     lp.BeginConstraint("row_" + std::to_string(i), RowRelation::kEqual, 1.0);
     for (int r = 0; r < size; ++r) lp.AddTerm(cell(i, r), 1.0);
   }
+  return lp;
+}
 
-  SimplexSolver solver(options);
-  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+// Solution -> mechanism result, absorbing simplex round-off (clip
+// negatives, renormalize rows).
+Result<OptimalBayesianMechanismResult> PackBayesianSolution(
+    const LpSolution& solution, int n) {
   if (solution.status != LpStatus::kOptimal) {
     return Status::NumericalError(
         "simplex did not reach optimality on the Bayesian LP");
   }
-  // Absorb simplex round-off: clip negatives and renormalize rows.
+  const int size = n + 1;
   Matrix probs(static_cast<size_t>(size), static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) {
     double row_sum = 0.0;
     for (int r = 0; r < size; ++r) {
-      double v = solution.values[static_cast<size_t>(cell(i, r))];
+      double v = solution.values[static_cast<size_t>(i * size + r)];
       if (v < 0.0) v = 0.0;
       probs.At(static_cast<size_t>(i), static_cast<size_t>(r)) = v;
       row_sum += v;
@@ -167,6 +174,40 @@ Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
   return OptimalBayesianMechanismResult{std::move(mechanism),
                                         solution.objective,
                                         solution.iterations};
+}
+
+}  // namespace
+
+Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
+    int n, double alpha, const BayesianConsumer& consumer,
+    const SimplexOptions& options) {
+  GEOPRIV_ASSIGN_OR_RETURN(LpProblem lp, BuildBayesianLp(n, alpha, consumer));
+  SimplexSolver solver(options);
+  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+  return PackBayesianSolution(solution, n);
+}
+
+Result<std::vector<OptimalBayesianMechanismResult>>
+SolveOptimalBayesianMechanismSweep(int n, const std::vector<double>& alphas,
+                                   const BayesianConsumer& consumer,
+                                   const SimplexOptions& options) {
+  std::vector<LpProblem> family;
+  family.reserve(alphas.size());
+  for (double alpha : alphas) {
+    GEOPRIV_ASSIGN_OR_RETURN(LpProblem lp,
+                             BuildBayesianLp(n, alpha, consumer));
+    family.push_back(std::move(lp));
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(std::vector<LpSolution> solutions,
+                           SimplexSolver(options).SolveSequence(family));
+  std::vector<OptimalBayesianMechanismResult> out;
+  out.reserve(solutions.size());
+  for (const LpSolution& solution : solutions) {
+    GEOPRIV_ASSIGN_OR_RETURN(OptimalBayesianMechanismResult result,
+                             PackBayesianSolution(solution, n));
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
 }  // namespace geopriv

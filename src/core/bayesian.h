@@ -75,6 +75,14 @@ Result<OptimalBayesianMechanismResult> SolveOptimalBayesianMechanism(
     int n, double alpha, const BayesianConsumer& consumer,
     const SimplexOptions& options = {});
 
+/// The α-sweep family of the Bayesian LP (the X5 baseline curves): one
+/// result per entry of `alphas`, streamed through a single warm-started
+/// solver (SimplexSolver::SolveSequence) instead of N cold solves.
+Result<std::vector<OptimalBayesianMechanismResult>>
+SolveOptimalBayesianMechanismSweep(int n, const std::vector<double>& alphas,
+                                   const BayesianConsumer& consumer,
+                                   const SimplexOptions& options = {});
+
 }  // namespace geopriv
 
 #endif  // GEOPRIV_CORE_BAYESIAN_H_

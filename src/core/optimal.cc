@@ -115,15 +115,14 @@ Result<LpProblem> BuildOptimalMechanismLp(int n, double alpha,
 
 }  // namespace
 
-Result<OptimalMechanismResult> SolveOptimalMechanism(
-    int n, double alpha, const MinimaxConsumer& consumer,
-    const SimplexOptions& options) {
-  int d_var = -1;
-  GEOPRIV_ASSIGN_OR_RETURN(
-      LpProblem lp, BuildOptimalMechanismLp(n, alpha, consumer, &d_var));
+namespace {
 
-  SimplexSolver solver(options);
-  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+// Solution -> OptimalMechanismResult with the shared validation: the
+// returned loss is recomputed from the cleaned mechanism, and a large
+// disagreement with the LP objective means the tableau drifted — fail
+// loudly rather than return garbage.
+Result<OptimalMechanismResult> PackMechanismSolution(
+    const LpSolution& solution, int n, const MinimaxConsumer& consumer) {
   if (solution.status == LpStatus::kInfeasible) {
     return Status::Infeasible(
         "optimal-mechanism LP infeasible (should never happen: the uniform "
@@ -133,14 +132,10 @@ Result<OptimalMechanismResult> SolveOptimalMechanism(
     return Status::NumericalError(
         "simplex did not reach optimality on the optimal-mechanism LP");
   }
-
   GEOPRIV_ASSIGN_OR_RETURN(Matrix probs,
                            ExtractStochasticMatrix(solution.values, n));
   GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism,
                            Mechanism::Create(std::move(probs), 1e-9));
-  // Ground-truth the objective: the returned loss is recomputed from the
-  // cleaned mechanism, and a large disagreement with the LP objective
-  // means the tableau drifted — fail loudly rather than return garbage.
   GEOPRIV_ASSIGN_OR_RETURN(double actual_loss,
                            consumer.WorstCaseLoss(mechanism));
   if (std::abs(actual_loss - solution.objective) >
@@ -151,6 +146,43 @@ Result<OptimalMechanismResult> SolveOptimalMechanism(
   }
   return OptimalMechanismResult{std::move(mechanism), actual_loss,
                                 solution.iterations};
+}
+
+}  // namespace
+
+Result<OptimalMechanismResult> SolveOptimalMechanism(
+    int n, double alpha, const MinimaxConsumer& consumer,
+    const SimplexOptions& options) {
+  int d_var = -1;
+  GEOPRIV_ASSIGN_OR_RETURN(
+      LpProblem lp, BuildOptimalMechanismLp(n, alpha, consumer, &d_var));
+
+  SimplexSolver solver(options);
+  GEOPRIV_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+  return PackMechanismSolution(solution, n, consumer);
+}
+
+Result<std::vector<OptimalMechanismResult>> SolveOptimalMechanismSweep(
+    int n, const std::vector<double>& alphas, const MinimaxConsumer& consumer,
+    const SimplexOptions& options) {
+  std::vector<LpProblem> family;
+  family.reserve(alphas.size());
+  for (double alpha : alphas) {
+    int d_var = -1;
+    GEOPRIV_ASSIGN_OR_RETURN(
+        LpProblem lp, BuildOptimalMechanismLp(n, alpha, consumer, &d_var));
+    family.push_back(std::move(lp));
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(std::vector<LpSolution> solutions,
+                           SimplexSolver(options).SolveSequence(family));
+  std::vector<OptimalMechanismResult> out;
+  out.reserve(solutions.size());
+  for (const LpSolution& solution : solutions) {
+    GEOPRIV_ASSIGN_OR_RETURN(OptimalMechanismResult result,
+                             PackMechanismSolution(solution, n, consumer));
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
 Result<OptimalMechanismResult> SolveCanonicalOptimalMechanism(

@@ -43,6 +43,14 @@ Result<OptimalMechanismResult> SolveOptimalMechanism(
     int n, double alpha, const MinimaxConsumer& consumer,
     const SimplexOptions& options = {});
 
+/// The α-sweep family of LP 1 (Figure 1's curves, ε grids): one result per
+/// entry of `alphas`, in order.  The family streams through a single
+/// warm-started solver (SimplexSolver::SolveSequence) — each solved basis
+/// seeds the next point instead of every point paying a cold phase 1.
+Result<std::vector<OptimalMechanismResult>> SolveOptimalMechanismSweep(
+    int n, const std::vector<double>& alphas, const MinimaxConsumer& consumer,
+    const SimplexOptions& options = {});
+
 /// Result of the Section 2.4.3 LP.
 struct OptimalInteractionResult {
   Matrix interaction;    ///< row-stochastic T, (n+1)x(n+1)

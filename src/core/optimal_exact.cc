@@ -156,13 +156,12 @@ Result<ExactLpProblem> BuildOptimalMechanismLpExact(
   return lp;
 }
 
-Result<ExactOptimalResult> SolveOptimalMechanismExact(
-    int n, const Rational& alpha, const ExactLossFunction& loss,
-    const SideInformation& side) {
-  GEOPRIV_ASSIGN_OR_RETURN(ExactLpProblem lp,
-                           BuildOptimalMechanismLpExact(n, alpha, loss, side));
-  ExactSimplexSolver solver;
-  GEOPRIV_ASSIGN_OR_RETURN(ExactLpSolution solution, solver.Solve(lp));
+namespace {
+
+// Solution -> ExactOptimalResult, shared by the single solve and the
+// warm-started sweeps.
+Result<ExactOptimalResult> PackMechanismResult(ExactLpSolution solution,
+                                               int n) {
   if (solution.status != LpStatus::kOptimal) {
     return Status::Infeasible("exact optimal-mechanism LP did not solve");
   }
@@ -172,7 +171,120 @@ Result<ExactOptimalResult> SolveOptimalMechanismExact(
   }
   return ExactOptimalResult{std::move(mechanism),
                             std::move(solution.objective),
-                            solution.iterations};
+                            solution.iterations, solution.warm_started};
+}
+
+}  // namespace
+
+Result<ExactOptimalResult> SolveOptimalMechanismExact(
+    int n, const Rational& alpha, const ExactLossFunction& loss,
+    const SideInformation& side, const ExactSimplexOptions& options) {
+  GEOPRIV_ASSIGN_OR_RETURN(ExactLpProblem lp,
+                           BuildOptimalMechanismLpExact(n, alpha, loss, side));
+  ExactSimplexSolver solver(options);
+  GEOPRIV_ASSIGN_OR_RETURN(ExactLpSolution solution, solver.Solve(lp));
+  return PackMechanismResult(std::move(solution), n);
+}
+
+Result<std::vector<ExactOptimalResult>> SolveOptimalMechanismExactSweep(
+    int n, const std::vector<Rational>& alphas, const ExactLossFunction& loss,
+    const SideInformation& side, const ExactSimplexOptions& options) {
+  std::vector<ExactLpProblem> family;
+  family.reserve(alphas.size());
+  for (const Rational& alpha : alphas) {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        ExactLpProblem lp, BuildOptimalMechanismLpExact(n, alpha, loss, side));
+    family.push_back(std::move(lp));
+  }
+
+  if (family.empty()) return std::vector<ExactOptimalResult>{};
+
+  // The cold anchor solve dominates a warm-started sweep (the warm points
+  // cost only their basis-load eliminations), and exact cold-solve time
+  // varies by an order of magnitude with the bit size of α — α = 1/2 at
+  // n = 16 solves ~6x faster cold than α = 9/20.  So: anchor at the α
+  // with the smallest denominator (cheapest exact arithmetic), then chain
+  // outward through the α-sorted neighbors in both directions so every
+  // warm seed comes from an adjacent grid point.  Results return in
+  // input order; every optimum is certified exactly as if solved cold.
+  const size_t count = alphas.size();
+  std::vector<size_t> sorted(count);
+  for (size_t k = 0; k < count; ++k) sorted[k] = k;
+  std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+    return alphas[a] < alphas[b];
+  });
+  size_t anchor_pos = 0;
+  for (size_t p = 1; p < count; ++p) {
+    const size_t best_bits =
+        alphas[sorted[anchor_pos]].denominator().BitLength();
+    const size_t bits = alphas[sorted[p]].denominator().BitLength();
+    // Tie-break toward the middle of the grid: it seeds both chains with
+    // the nearest possible neighbor.
+    const size_t mid = (count - 1) / 2;
+    const size_t best_dist =
+        anchor_pos > mid ? anchor_pos - mid : mid - anchor_pos;
+    const size_t dist = p > mid ? p - mid : mid - p;
+    if (bits < best_bits || (bits == best_bits && dist < best_dist)) {
+      anchor_pos = p;
+    }
+  }
+
+  std::vector<ExactLpSolution> solutions(count);
+  ExactSimplexOptions chain_options = options;
+  {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        ExactLpSolution anchor,
+        ExactSimplexSolver(chain_options).Solve(family[sorted[anchor_pos]]));
+    solutions[sorted[anchor_pos]] = std::move(anchor);
+  }
+  const LpBasis anchor_basis = solutions[sorted[anchor_pos]].basis;
+  for (int direction : {+1, -1}) {
+    LpBasis seed = anchor_basis;
+    for (size_t step = 1;; ++step) {
+      const size_t offset = direction > 0 ? anchor_pos + step : step;
+      if (direction > 0 ? offset >= count : step > anchor_pos) break;
+      const size_t p = direction > 0 ? offset : anchor_pos - step;
+      chain_options.warm_start = seed.empty() ? nullptr : &seed;
+      GEOPRIV_ASSIGN_OR_RETURN(
+          ExactLpSolution solution,
+          ExactSimplexSolver(chain_options).Solve(family[sorted[p]]));
+      seed = solution.status == LpStatus::kOptimal ? solution.basis
+                                                   : LpBasis{};
+      solutions[sorted[p]] = std::move(solution);
+    }
+  }
+
+  std::vector<ExactOptimalResult> out;
+  out.reserve(count);
+  for (ExactLpSolution& solution : solutions) {
+    GEOPRIV_ASSIGN_OR_RETURN(ExactOptimalResult result,
+                             PackMechanismResult(std::move(solution), n));
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+Result<std::vector<ExactOptimalResult>> SolveOptimalMechanismExactLossSweep(
+    int n, const Rational& alpha,
+    const std::vector<ExactLossFunction>& losses, const SideInformation& side,
+    const ExactSimplexOptions& options) {
+  std::vector<ExactLpProblem> family;
+  family.reserve(losses.size());
+  for (const ExactLossFunction& loss : losses) {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        ExactLpProblem lp, BuildOptimalMechanismLpExact(n, alpha, loss, side));
+    family.push_back(std::move(lp));
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(std::vector<ExactLpSolution> solutions,
+                           ExactSimplexSolver(options).SolveSequence(family));
+  std::vector<ExactOptimalResult> out;
+  out.reserve(solutions.size());
+  for (ExactLpSolution& solution : solutions) {
+    GEOPRIV_ASSIGN_OR_RETURN(ExactOptimalResult result,
+                             PackMechanismResult(std::move(solution), n));
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
 Result<ExactOptimalResult> SolveOptimalInteractionExact(

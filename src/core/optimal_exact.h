@@ -63,13 +63,32 @@ struct ExactOptimalResult {
   RationalMatrix matrix;  ///< the mechanism (Sec 2.5) or interaction T (2.4.3)
   Rational loss;          ///< the exact optimal minimax loss
   int lp_iterations = 0;
+  bool warm_started = false;  ///< solved from a prior family member's basis
 };
 
 /// Section 2.5 LP over Q: the optimal alpha-DP mechanism for the consumer
 /// (loss, side).  alpha must lie in [0, 1].
 Result<ExactOptimalResult> SolveOptimalMechanismExact(
     int n, const Rational& alpha, const ExactLossFunction& loss,
-    const SideInformation& side);
+    const SideInformation& side, const ExactSimplexOptions& options = {});
+
+/// The α/ε-sweep family of the Section 2.5 LP: one result per entry of
+/// `alphas`, in order.  All members share one structural shape, so the
+/// whole family streams through a single warm-started solver — each
+/// solved basis seeds the next solve (ExactSimplexSolver::SolveSequence)
+/// instead of every point paying a cold phase 1.  Exact optima are
+/// identical to per-point cold solves.
+Result<std::vector<ExactOptimalResult>> SolveOptimalMechanismExactSweep(
+    int n, const std::vector<Rational>& alphas, const ExactLossFunction& loss,
+    const SideInformation& side, const ExactSimplexOptions& options = {});
+
+/// The loss-function-sweep family of the Section 2.5 LP at a fixed alpha
+/// (Table 1's absolute/squared/zero-one columns): one result per entry of
+/// `losses`, warm-chained exactly like the α-sweep.
+Result<std::vector<ExactOptimalResult>> SolveOptimalMechanismExactLossSweep(
+    int n, const Rational& alpha,
+    const std::vector<ExactLossFunction>& losses, const SideInformation& side,
+    const ExactSimplexOptions& options = {});
 
 /// Builds (but does not solve) the Section 2.5 LP over Q.  Shared by
 /// SolveOptimalMechanismExact and by benchmarks/tests that want to run the

@@ -1,11 +1,15 @@
 #include "lp/exact_simplex.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <utility>
 
 #include "lp/simplex_core.h"
+#include "lp/solve_sequence.h"
+#include "util/thread_pool.h"
 
 namespace geopriv {
 
@@ -67,10 +71,15 @@ namespace {
 using lp_internal::kNoIndex;
 
 // Standard-form layout shared by both engines: per-row relation after the
-// rhs >= 0 normalization, plus the slack/artificial column census.
+// rhs >= 0 normalization, the slack/artificial column census, and the
+// per-row ordinals of those columns (kNoIndex where a row has none) —
+// the warm-start loader and the dual readout both need to find a given
+// row's slack or artificial column without replaying the cursor logic.
 struct StandardShape {
   std::vector<RowRelation> relation;  // post-normalization, one per row
   std::vector<bool> negate;           // row was multiplied by -1
+  std::vector<size_t> slack_of_row;   // ordinal among slack columns
+  std::vector<size_t> art_of_row;     // ordinal among artificial columns
   size_t num_slack = 0;
   size_t num_artificial = 0;
 };
@@ -80,6 +89,8 @@ StandardShape AnalyzeShape(const ExactLpProblem& problem) {
   const int m = problem.num_constraints();
   shape.relation.reserve(static_cast<size_t>(m));
   shape.negate.reserve(static_cast<size_t>(m));
+  shape.slack_of_row.reserve(static_cast<size_t>(m));
+  shape.art_of_row.reserve(static_cast<size_t>(m));
   for (int i = 0; i < m; ++i) {
     ExactLpProblem::RowView src = problem.row(i);
     bool neg = src.rhs->IsNegative();
@@ -100,23 +111,37 @@ StandardShape AnalyzeShape(const ExactLpProblem& problem) {
       rel = RowRelation::kLessEqual;
       neg = !neg;
     }
+    size_t slack = lp_internal::kNoIndex;
+    size_t art = lp_internal::kNoIndex;
     switch (rel) {
       case RowRelation::kLessEqual:
-        ++shape.num_slack;
+        slack = shape.num_slack++;
         break;
       case RowRelation::kGreaterEqual:
-        ++shape.num_slack;
-        ++shape.num_artificial;
+        slack = shape.num_slack++;
+        art = shape.num_artificial++;
         break;
       case RowRelation::kEqual:
-        ++shape.num_artificial;
+        art = shape.num_artificial++;
         break;
     }
     shape.relation.push_back(rel);
     shape.negate.push_back(neg);
+    shape.slack_of_row.push_back(slack);
+    shape.art_of_row.push_back(art);
   }
   return shape;
 }
+
+// How a kernel is instantiated by SolveWithKernel: warm starts skip the
+// initial artificial basis (LoadBasis re-establishes the prior one),
+// compute_duals keeps identity-marker columns through phase 2, and the
+// pool (may be null) parallelizes the fraction-free per-row eliminations.
+struct KernelSetup {
+  bool warm = false;
+  bool compute_duals = false;
+  ThreadPool* pool = nullptr;
+};
 
 // Recomputes the objective from the structural values (both engines report
 // the objective the same way, independent of tableau scaling).
@@ -164,6 +189,11 @@ struct FfRow {
 
 const BigInt kOne(1);
 
+// Below this tableau height the per-pivot handoff to the thread pool
+// costs more than the row work it distributes (the n<=5 LPs pivot in
+// microseconds); solves under it never construct a pool at all.
+constexpr size_t kMinRowsForPool = 32;
+
 // lcm of two positive integers.
 BigInt LcmPositive(const BigInt& a, const BigInt& b) {
   BigInt g = BigInt::Gcd(a, b);
@@ -172,6 +202,18 @@ BigInt LcmPositive(const BigInt& a, const BigInt& b) {
 
 void NegateRow(FfRow* row) {
   row->den = -row->den;
+  row->rhs = -row->rhs;
+  for (BigInt& x : row->a) {
+    if (!x.IsZero()) x = -x;
+  }
+}
+
+// Multiplies the row *equation* by -1: numerators and rhs flip, the
+// (positive) denominator stays.  Unlike NegateRow — which rewrites the
+// representation without changing any entry's value — this changes the
+// row's values; the warm-start loader uses it to restore rhs >= 0 on
+// rows the prior basis leaves primal-infeasible.
+void FlipRowSign(FfRow* row) {
   row->rhs = -row->rhs;
   for (BigInt& x : row->a) {
     if (!x.IsZero()) x = -x;
@@ -196,7 +238,15 @@ void StripContent(FfRow* row) {
 }
 
 // Integer-preserving pivot on (r, c) over constraint rows + objective row.
-void FfPivot(std::vector<FfRow>* rows, FfRow* obj, size_t r, size_t c) {
+// Every non-pivot row's update (multiply-subtract against the unchanged
+// pivot row, then the content-gcd strip) touches only that row, so the
+// updates are independent and `pool` — when non-null and the tableau is
+// tall enough to amortize the handoff — runs them in parallel.  The
+// result is bit-identical to the serial loop: each row's new entries are
+// a function of its own old entries and the pivot row alone, and no
+// iteration reads another's output.
+void FfPivot(std::vector<FfRow>* rows, FfRow* obj, size_t r, size_t c,
+             ThreadPool* pool = nullptr) {
   FfRow& prow = (*rows)[r];
   const BigInt piv = prow.a[c];  // copied: prow.den is rewritten below
 
@@ -227,10 +277,22 @@ void FfPivot(std::vector<FfRow>* rows, FfRow* obj, size_t r, size_t c) {
     StripContent(&row);
   };
 
-  for (size_t i = 0; i < rows->size(); ++i) {
-    if (i != r) update((*rows)[i]);
+  const size_t m = rows->size();
+  if (pool != nullptr && m + 1 >= kMinRowsForPool) {
+    // Task m is the objective row; tasks [0, m) are the constraint rows.
+    pool->ParallelFor(m + 1, [&](size_t i) {
+      if (i == m) {
+        update(*obj);
+      } else if (i != r) {
+        update((*rows)[i]);
+      }
+    });
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      if (i != r) update((*rows)[i]);
+    }
+    update(*obj);
   }
-  update(*obj);
 
   // Pivot row last: the other rows read its (unchanged) numerators above.
   prow.den = piv;
@@ -241,15 +303,31 @@ void FfPivot(std::vector<FfRow>* rows, FfRow* obj, size_t r, size_t c) {
 // Fraction-free kernel for the shared two-phase driver.
 class FractionFreeKernel {
  public:
-  explicit FractionFreeKernel(const ExactLpProblem& problem)
+  static constexpr bool kSupportsWarmStart = true;
+  static constexpr bool kUsesThreadPool = true;
+
+  FractionFreeKernel(const ExactLpProblem& problem, const KernelSetup& setup)
       : problem_(problem),
         num_struct_(static_cast<size_t>(problem.num_variables())),
         m_(static_cast<size_t>(problem.num_constraints())),
         shape_(AnalyzeShape(problem)),
-        n_std_(num_struct_ + shape_.num_slack + shape_.num_artificial),
-        artificial_begin_(n_std_ - shape_.num_artificial),
+        warm_(setup.warm),
+        compute_duals_(setup.compute_duals),
+        pool_(setup.pool),
+        // Cold solves allocate the artificial block up front (one column
+        // per >=/= row, all basic).  Warm solves start without it — the
+        // loaded basis replaces phase 1 — unless duals were requested, in
+        // which case the same columns are allocated as never-basic
+        // identity markers so the dual readout works in every mode.
+        // Warm-load patches are appended after LoadBasis as needed.
+        n_std_(num_struct_ + shape_.num_slack +
+               (setup.warm && !setup.compute_duals ? 0
+                                                   : shape_.num_artificial)),
+        artificial_begin_(num_struct_ + shape_.num_slack),
+        marker_end_(n_std_),
+        needs_phase1_(!setup.warm && shape_.num_artificial > 0),
         rows_(m_),
-        basis_(m_),
+        basis_(m_, kNoIndex),
         pricing_width_(n_std_) {
     obj_.a.assign(n_std_, BigInt());
 
@@ -259,8 +337,6 @@ class FractionFreeKernel {
     std::vector<Rational> cell(num_struct_);
     std::vector<char> used(num_struct_, 0);
     std::vector<int> touched;
-    size_t slack_cursor = num_struct_;
-    size_t art_cursor = artificial_begin_;
     for (size_t i = 0; i < m_; ++i) {
       ExactLpProblem::RowView src = problem.row(static_cast<int>(i));
       const bool neg = shape_.negate[i];
@@ -294,20 +370,26 @@ class FractionFreeKernel {
         used[static_cast<size_t>(v)] = 0;
         cell[static_cast<size_t>(v)] = Rational();
       }
+      const size_t slack_col = shape_.slack_of_row[i] == kNoIndex
+                                   ? kNoIndex
+                                   : num_struct_ + shape_.slack_of_row[i];
+      const size_t art_col =
+          shape_.art_of_row[i] == kNoIndex || artificial_begin_ >= n_std_
+              ? kNoIndex
+              : artificial_begin_ + shape_.art_of_row[i];
       switch (shape_.relation[i]) {
         case RowRelation::kLessEqual:
-          row.a[slack_cursor] = den;
-          basis_[i] = slack_cursor++;
+          row.a[slack_col] = den;
+          if (!warm_) basis_[i] = slack_col;
           break;
         case RowRelation::kGreaterEqual:
-          row.a[slack_cursor] = -den;
-          ++slack_cursor;
-          row.a[art_cursor] = den;
-          basis_[i] = art_cursor++;
+          row.a[slack_col] = -den;
+          if (art_col != kNoIndex) row.a[art_col] = den;
+          if (!warm_) basis_[i] = art_col;
           break;
         case RowRelation::kEqual:
-          row.a[art_cursor] = den;
-          basis_[i] = art_cursor++;
+          if (art_col != kNoIndex) row.a[art_col] = den;
+          if (!warm_) basis_[i] = art_col;
           break;
       }
       StripContent(&row);
@@ -318,7 +400,16 @@ class FractionFreeKernel {
   // is the reduced-cost sign; the shared objective denominator cancels in
   // magnitude comparisons across columns). ----
   size_t pricing_width() const { return pricing_width_; }
-  bool Eligible(size_t j) const { return obj_.a[j].IsNegative(); }
+  bool Eligible(size_t j) const {
+    // Warm solves must price exactly the columns a duals-off build has:
+    // the identity markers in [artificial_begin_, marker_end_) exist only
+    // for the dual readout, so letting a patch-cleanup phase 1 enter one
+    // would make the pivot sequence depend on compute_duals.  (Cold
+    // solves have no gate — there the block holds real artificials,
+    // present and priced identically in both modes.)
+    if (warm_ && j >= artificial_begin_ && j < marker_end_) return false;
+    return obj_.a[j].IsNegative();
+  }
   double PricingKey(size_t j) const { return Log2Abs(obj_.a[j]); }
   double DantzigKey(size_t j) const { return PricingKey(j); }
   size_t BasisColumn(size_t row) const { return basis_[row]; }
@@ -377,12 +468,140 @@ class FractionFreeKernel {
   }
 
   void Pivot(size_t leave, size_t enter) {
-    FfPivot(&rows_, &obj_, leave, enter);
+    FfPivot(&rows_, &obj_, leave, enter, pool_);
     basis_[leave] = enter;
   }
 
+  // ---- Warm start. ----
+
+  /// The current basic column set, in standard-form indices (structural
+  /// columns first, then slacks).  Artificial-basic (redundant) rows and
+  /// rows without a basis contribute nothing.
+  LpBasis ExtractBasis() const {
+    LpBasis out;
+    out.basic_columns.reserve(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] != kNoIndex && basis_[i] < artificial_begin_) {
+        out.basic_columns.push_back(basis_[i]);
+      }
+    }
+    std::sort(out.basic_columns.begin(), out.basic_columns.end());
+    return out;
+  }
+
+  /// Re-establishes a prior basis on the freshly built tableau: slacks in
+  /// the set become basic in their home rows for free, structural columns
+  /// are pivoted in sparsest-first, and every row the loaded basis leaves
+  /// primal-infeasible for the new data — or without any basic column
+  /// (the set was singular here, or simply short) — is patched with a
+  /// fresh basic artificial for a short phase-1 cleanup.  Returns the
+  /// number of patched rows, or -1 when the set cannot belong to this
+  /// LP's standard form.  A stale or even wrong basis only costs pivots,
+  /// never correctness: the two-phase driver certifies the result exactly
+  /// as in a cold solve.
+  int LoadBasis(const LpBasis& basis, int* load_pivots) {
+    if (basis.basic_columns.size() > m_) return -1;
+    std::vector<char> want_slack(shape_.num_slack, 0);
+    std::vector<size_t> structural;
+    size_t prev = kNoIndex;
+    for (size_t c : basis.basic_columns) {
+      if (c >= artificial_begin_) return -1;          // not a warm column
+      if (prev != kNoIndex && c <= prev) return -1;   // unsorted/duplicate
+      prev = c;
+      if (c < num_struct_) {
+        structural.push_back(c);
+      } else {
+        want_slack[c - num_struct_] = 1;
+      }
+    }
+
+    // 1. Slacks: still ±den·e_i at build time, so making one basic in its
+    // home row needs no pivot (>= rows flip sign first so the basic value
+    // is rhs/den).
+    for (size_t i = 0; i < m_; ++i) {
+      const size_t s = shape_.slack_of_row[i];
+      if (s == kNoIndex || !want_slack[s]) continue;
+      const size_t col = num_struct_ + s;
+      if (rows_[i].a[col].IsNegative()) FlipRowSign(&rows_[i]);
+      basis_[i] = col;
+    }
+
+    // 2. Structural columns, by a greedy Markowitz-style order: at every
+    // step eliminate the column with the fewest nonzeros over the still
+    // available rows (recounted on the current tableau, so fill created
+    // by earlier pivots is accounted for), pivoting in the available row
+    // with the fewest nonzeros.  This roughly halves the BigInt work of
+    // the load versus a static sparsest-first order — fill begets entry
+    // growth begets gcd cost, so keeping the working set sparse pays
+    // twice.  The nonzero counting is plain pointer-chasing over inline
+    // BigInts, far below the pivots' arithmetic cost.  Columns left with
+    // no eligible nonzero are singular for the new data and are skipped;
+    // step 3 patches their rows.
+    std::vector<size_t> cols = structural;
+    for (size_t step = 0; step < cols.size(); ++step) {
+      size_t best_col = kNoIndex;
+      size_t best_col_nnz = 0;
+      for (size_t c : cols) {
+        if (c == kNoIndex) continue;
+        size_t cnnz = 0;
+        for (size_t i = 0; i < m_; ++i) {
+          if (basis_[i] == kNoIndex && !rows_[i].a[c].IsZero()) ++cnnz;
+        }
+        if (cnnz == 0) continue;
+        if (best_col == kNoIndex || cnnz < best_col_nnz) {
+          best_col = c;
+          best_col_nnz = cnnz;
+        }
+      }
+      if (best_col == kNoIndex) break;  // rest are singular; patched below
+      for (size_t& c : cols) {
+        if (c == best_col) c = kNoIndex;
+      }
+      size_t best_row = kNoIndex;
+      size_t best_row_nnz = 0;
+      for (size_t i = 0; i < m_; ++i) {
+        if (basis_[i] != kNoIndex || rows_[i].a[best_col].IsZero()) continue;
+        size_t nnz = 0;
+        for (const BigInt& x : rows_[i].a) {
+          if (!x.IsZero()) ++nnz;
+        }
+        if (best_row == kNoIndex || nnz < best_row_nnz) {
+          best_row = i;
+          best_row_nnz = nnz;
+        }
+      }
+      FfPivot(&rows_, &obj_, best_row, best_col, pool_);
+      basis_[best_row] = best_col;
+      ++*load_pivots;
+    }
+
+    // 3. Patch rows the load left infeasible or basisless.
+    std::vector<size_t> patch_rows;
+    for (size_t i = 0; i < m_; ++i) {
+      const bool basisless = basis_[i] == kNoIndex;
+      const bool infeasible = rows_[i].rhs.IsNegative();
+      if (!basisless && !infeasible) continue;
+      if (infeasible) FlipRowSign(&rows_[i]);
+      patch_rows.push_back(i);
+    }
+    if (!patch_rows.empty()) {
+      const size_t new_width = n_std_ + patch_rows.size();
+      for (FfRow& row : rows_) row.a.resize(new_width);
+      obj_.a.resize(new_width);
+      for (size_t k = 0; k < patch_rows.size(); ++k) {
+        const size_t i = patch_rows[k];
+        rows_[i].a[n_std_ + k] = rows_[i].den;
+        basis_[i] = n_std_ + k;
+      }
+      n_std_ = new_width;
+    }
+    pricing_width_ = n_std_;
+    needs_phase1_ = !patch_rows.empty();
+    return static_cast<int>(patch_rows.size());
+  }
+
   // ---- Phase hooks. ----
-  bool NeedsPhase1() const { return shape_.num_artificial > 0; }
+  bool NeedsPhase1() const { return needs_phase1_; }
 
   void SetupPhase1Objective() {
     // Objective = sum of artificials, reduced over the (artificial) basis:
@@ -415,12 +634,12 @@ class FractionFreeKernel {
   // coefficients are zero) and can be ignored.
   bool DriveOutArtificials(long budget, int* iterations) {
     for (size_t i = 0; i < m_; ++i) {
-      if (basis_[i] < artificial_begin_) continue;
+      if (basis_[i] == kNoIndex || basis_[i] < artificial_begin_) continue;
       for (size_t j = 0; j < artificial_begin_; ++j) {
         if (!rows_[i].a[j].IsZero()) {
           if (budget == 0) return false;  // pivot budget exhausted
           if (budget > 0) --budget;
-          FfPivot(&rows_, &obj_, i, j);
+          FfPivot(&rows_, &obj_, i, j, pool_);
           basis_[i] = j;
           ++*iterations;
           break;
@@ -432,13 +651,19 @@ class FractionFreeKernel {
 
   void PreparePhase2() {
     // Drop the artificial columns: Phase 2 never enters them, so there is
-    // no reason to keep rescaling them on every pivot.
-    const size_t width = artificial_begin_;
-    for (FfRow& row : rows_) row.a.resize(width);
+    // no reason to keep rescaling them on every pivot.  When duals were
+    // requested they stay as identity markers — the dual readout needs
+    // their reduced costs — and only the pricing width shrinks, which
+    // keeps the pivot sequence identical either way.
+    const size_t width = compute_duals_ ? n_std_ : artificial_begin_;
+    if (!compute_duals_) {
+      for (FfRow& row : rows_) row.a.resize(width);
+      n_std_ = width;
+    }
     obj_.a.assign(width, BigInt());
     obj_.rhs = BigInt();
     obj_.den = BigInt(1);
-    pricing_width_ = width;
+    pricing_width_ = artificial_begin_;
 
     BigInt den(1);
     for (size_t j = 0; j < num_struct_; ++j) {
@@ -451,9 +676,11 @@ class FractionFreeKernel {
         obj_.a[j] = c.numerator() * *BigInt::Divide(den, c.denominator());
       }
     }
-    // Reduce the objective row over the current basis.
+    // Reduce the objective row over the current basis.  Artificial-basic
+    // (redundant) rows and any marker columns carry zero cost, so the
+    // reduction only ever subtracts rows whose basic column is priced.
     for (size_t i = 0; i < m_; ++i) {
-      if (basis_[i] >= width) continue;  // redundant row, artificial basis
+      if (basis_[i] == kNoIndex || basis_[i] >= artificial_begin_) continue;
       const BigInt cb = obj_.a[basis_[i]];
       if (cb.IsZero()) continue;
       const FfRow& row = rows_[i];
@@ -488,13 +715,52 @@ class FractionFreeKernel {
     return values;
   }
 
+  /// Dual value per original row and reduced cost per variable, read off
+  /// the optimal phase-2 objective row.  Requires compute_duals (the
+  /// identity-marker columns must have been kept).  Every row's marker
+  /// column started as sign·e_i in the rhs-normalized system, so its
+  /// reduced cost is -sign·y_i; mid-solve row operations (including the
+  /// warm loader's sign flips) never change that reading, and build-time
+  /// row negations are undone via shape_.negate.
+  void ExtractDuals(std::vector<Rational>* duals,
+                    std::vector<Rational>* reduced_costs) const {
+    duals->assign(m_, Rational(0));
+    for (size_t i = 0; i < m_; ++i) {
+      size_t col;
+      int sign;
+      if (shape_.art_of_row[i] != kNoIndex) {
+        col = artificial_begin_ + shape_.art_of_row[i];  // artificial: +e_i
+        sign = 1;
+      } else {
+        col = num_struct_ + shape_.slack_of_row[i];
+        sign = shape_.relation[i] == RowRelation::kGreaterEqual ? -1 : 1;
+      }
+      Rational rc = *Rational::Create(obj_.a[col], obj_.den);
+      Rational y = sign > 0 ? -rc : std::move(rc);
+      (*duals)[i] = shape_.negate[i] ? -y : std::move(y);
+    }
+    reduced_costs->assign(num_struct_, Rational(0));
+    for (size_t j = 0; j < num_struct_; ++j) {
+      (*reduced_costs)[j] = *Rational::Create(obj_.a[j], obj_.den);
+    }
+  }
+
  private:
   const ExactLpProblem& problem_;
   size_t num_struct_;
   size_t m_;
   StandardShape shape_;
+  bool warm_;
+  bool compute_duals_;
+  ThreadPool* pool_;
   size_t n_std_;
   size_t artificial_begin_;
+  // End of the identity-marker block in a warm compute_duals build
+  // (markers live in [artificial_begin_, marker_end_); warm-load patches
+  // are appended at and beyond marker_end_).  In cold builds this equals
+  // n_std_ and the block holds the ordinary basic artificials.
+  size_t marker_end_;
+  bool needs_phase1_;
   std::vector<FfRow> rows_;
   FfRow obj_;
   std::vector<size_t> basis_;
@@ -549,7 +815,12 @@ class ExactTableau {
 // fraction-free kernel's (same shape analysis, same exact comparisons).
 class DenseRationalKernel {
  public:
-  explicit DenseRationalKernel(const ExactLpProblem& problem)
+  // The reference engine stays cold-only and serial: its job is to pin
+  // the bit-identical baseline the optimized kernel is tested against.
+  static constexpr bool kSupportsWarmStart = false;
+  static constexpr bool kUsesThreadPool = false;
+
+  DenseRationalKernel(const ExactLpProblem& problem, const KernelSetup&)
       : problem_(problem),
         num_struct_(static_cast<size_t>(problem.num_variables())),
         m_(static_cast<size_t>(problem.num_constraints())),
@@ -699,6 +970,44 @@ class DenseRationalKernel {
     return values;
   }
 
+  /// The current basic column set (structural + slack columns only), for
+  /// API parity with the fraction-free kernel: a dense-reference solve can
+  /// seed a fraction-free warm start.
+  LpBasis ExtractBasis() const {
+    LpBasis out;
+    out.basic_columns.reserve(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < artificial_begin_) out.basic_columns.push_back(basis_[i]);
+    }
+    std::sort(out.basic_columns.begin(), out.basic_columns.end());
+    return out;
+  }
+
+  /// Same readout as the fraction-free kernel; this engine never drops
+  /// its artificial columns, so the markers are always available.
+  void ExtractDuals(std::vector<Rational>* duals,
+                    std::vector<Rational>* reduced_costs) const {
+    duals->assign(m_, Rational(0));
+    for (size_t i = 0; i < m_; ++i) {
+      size_t col;
+      int sign;
+      if (shape_.art_of_row[i] != kNoIndex) {
+        col = artificial_begin_ + shape_.art_of_row[i];
+        sign = 1;
+      } else {
+        col = num_struct_ + shape_.slack_of_row[i];
+        sign = shape_.relation[i] == RowRelation::kGreaterEqual ? -1 : 1;
+      }
+      Rational rc = tab_.Obj(col);
+      Rational y = sign > 0 ? -rc : std::move(rc);
+      (*duals)[i] = shape_.negate[i] ? -y : std::move(y);
+    }
+    reduced_costs->assign(num_struct_, Rational(0));
+    for (size_t j = 0; j < num_struct_; ++j) {
+      (*reduced_costs)[j] = tab_.Obj(j);
+    }
+  }
+
  private:
   const ExactLpProblem& problem_;
   size_t num_struct_;
@@ -716,7 +1025,38 @@ class DenseRationalKernel {
 template <class Kernel>
 Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
                                         const ExactSimplexOptions& options) {
-  Kernel kernel(problem);
+  KernelSetup setup;
+  setup.compute_duals = options.compute_duals;
+  setup.warm = Kernel::kSupportsWarmStart && options.warm_start != nullptr &&
+               !options.warm_start->empty();
+  std::unique_ptr<ThreadPool> pool;
+  if (Kernel::kUsesThreadPool &&
+      static_cast<size_t>(problem.num_constraints()) + 1 >=
+          kMinRowsForPool) {
+    const int threads = ThreadPool::ConfiguredThreads(options.threads);
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  }
+  setup.pool = pool.get();
+
+  Kernel kernel(problem, setup);
+
+  ExactLpSolution solution;
+  solution.rule = options.rule;
+
+  if constexpr (Kernel::kSupportsWarmStart) {
+    if (setup.warm) {
+      int load_pivots = 0;
+      const int patched = kernel.LoadBasis(*options.warm_start, &load_pivots);
+      if (patched < 0) {
+        return Status::InvalidArgument(
+            "warm-start basis does not fit this LP's standard form "
+            "(the family members must be structurally identical)");
+      }
+      solution.warm_started = true;
+      solution.warm_load_pivots = load_pivots;
+      solution.warm_patched_rows = patched;
+    }
+  }
 
   lp_internal::PhaseConfig config;
   config.rule = options.rule;
@@ -730,8 +1070,6 @@ Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
   const lp_internal::SolveOutcome outcome =
       lp_internal::RunTwoPhase(kernel, config, &stats);
 
-  ExactLpSolution solution;
-  solution.rule = options.rule;
   solution.iterations = stats.total();
   solution.phase1_iterations = stats.phase1_iterations;
   solution.phase2_iterations = stats.phase2_iterations;
@@ -751,6 +1089,10 @@ Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
   solution.status = LpStatus::kOptimal;
   solution.values = kernel.ExtractValues();
   solution.objective = RecomputeObjective(problem, solution.values);
+  solution.basis = kernel.ExtractBasis();
+  if (options.compute_duals) {
+    kernel.ExtractDuals(&solution.duals, &solution.reduced_costs);
+  }
   return solution;
 }
 
@@ -766,6 +1108,13 @@ Result<ExactLpSolution> ExactSimplexSolver::Solve(
       break;
   }
   return SolveWithKernel<FractionFreeKernel>(problem, options_);
+}
+
+Result<std::vector<ExactLpSolution>> ExactSimplexSolver::SolveSequence(
+    const std::vector<ExactLpProblem>& problems) const {
+  return lp_internal::ChainWarmStarts<ExactSimplexSolver, ExactSimplexOptions,
+                                      ExactLpProblem, ExactLpSolution>(
+      options_, problems);
 }
 
 }  // namespace geopriv

@@ -122,6 +122,30 @@ struct ExactLpSolution {
   /// The pricing rule this solve was configured with (the anti-cycling
   /// Bland fallback may still engage transiently under degeneracy).
   PivotRule rule = PivotRule::kDevex;
+  /// The optimal basis (standard-form column set), fit to seed the next
+  /// solve of a structurally identical LP via
+  /// ExactSimplexOptions::warm_start.  Empty unless status is kOptimal.
+  LpBasis basis;
+  /// True when this solve was seeded from a prior basis.
+  bool warm_started = false;
+  /// Elimination pivots spent re-establishing the warm basis (not counted
+  /// in `iterations`, which keeps its "simplex pivots" meaning).
+  int warm_load_pivots = 0;
+  /// Rows the warm load had to patch with a fresh artificial because the
+  /// prior basis was primal-infeasible (or singular) for the new data;
+  /// positive means a short phase-1 cleanup ran.
+  int warm_patched_rows = 0;
+  /// Exact dual value per original constraint row, and exact reduced cost
+  /// per variable, at optimality.  Sign convention for the minimization
+  ///   min c'x  s.t.  a_i'x {<=,>=,==} b_i,  x >= 0:
+  /// duals satisfy  c'x == duals'b  (strong duality),
+  /// duals[i]*(a_i'x - b_i) == 0 and reduced_costs[j]*x[j] == 0
+  /// (complementary slackness), and
+  /// reduced_costs[j] == c[j] - duals'A_col_j >= 0.
+  /// Populated only when ExactSimplexOptions::compute_duals is set and the
+  /// status is kOptimal.
+  std::vector<Rational> duals;
+  std::vector<Rational> reduced_costs;
 };
 
 /// Pivoting backend for ExactSimplexSolver.
@@ -143,6 +167,27 @@ struct ExactSimplexOptions {
   /// Hard cap on total pivots; 0 means unlimited (exact simplex under
   /// Bland provably terminates, so no automatic cap is imposed).
   int max_iterations = 0;
+  /// Optional warm start: the basis of a prior solve of a *structurally
+  /// identical* LP (same variables and rows, different numeric data).
+  /// The solver re-establishes it by elimination, skips phase 1 entirely
+  /// when the basis is still primal-feasible, and otherwise patches the
+  /// offending rows with fresh artificials and runs a short phase-1
+  /// cleanup.  Any result is certified exactly as in a cold solve.  The
+  /// pointed-to basis must outlive the Solve call; it is not owned.
+  /// Supported by kFractionFree; the kDenseRational reference engine
+  /// ignores it and always solves cold (it exists to pin cold-path
+  /// behavior bit-for-bit).
+  const LpBasis* warm_start = nullptr;
+  /// When set, the solver keeps one identity-marker column per row through
+  /// phase 2 and fills ExactLpSolution::duals / reduced_costs at
+  /// optimality.  The pivot sequence — and therefore the primal solution —
+  /// is bit-identical with the flag on or off; the only cost is updating
+  /// the marker columns on every pivot.
+  bool compute_duals = false;
+  /// Worker threads for the fraction-free pivot's per-row eliminations.
+  /// 0 (default) defers to the GEOPRIV_THREADS environment variable, else
+  /// 1 (serial).  Results are bit-identical for every thread count.
+  int threads = 0;
 };
 
 /// Two-phase primal simplex over Q.  Deterministic, tolerance-free,
@@ -158,6 +203,16 @@ class ExactSimplexSolver {
   /// Solves `problem` to provable optimality (or reports infeasible /
   /// unbounded exactly).
   Result<ExactLpSolution> Solve(const ExactLpProblem& problem) const;
+
+  /// Solves a *family* of structurally identical LPs (an α/ε or
+  /// loss-function sweep), streaming each solved basis into the next solve
+  /// as a warm start.  problems[0] is solved cold (or from
+  /// options.warm_start when set); every optimal solve seeds its
+  /// successor.  Non-optimal members simply break the warm chain — their
+  /// successors fall back to a cold start.  Results come back in input
+  /// order, one per problem.
+  Result<std::vector<ExactLpSolution>> SolveSequence(
+      const std::vector<ExactLpProblem>& problems) const;
 
  private:
   ExactSimplexOptions options_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lp/simplex_core.h"
+#include "lp/solve_sequence.h"
 
 namespace geopriv {
 
@@ -26,6 +27,17 @@ struct StandardRow {
   std::vector<double> coeffs;  // dense over standard columns
   RowRelation relation;
   double rhs;
+  bool negate = false;  // row was multiplied by -1 during normalization
+};
+
+// Per-row standard-form bookkeeping the warm-start loader and the dual
+// readout need: which slack/artificial column belongs to the row (kNoIndex
+// when none) and whether the row was negated relative to the model.
+struct RowShape {
+  size_t slack_col = lp_internal::kNoIndex;
+  size_t art_col = lp_internal::kNoIndex;
+  RowRelation relation = RowRelation::kLessEqual;  // post-normalization
+  bool negate = false;
 };
 
 // Dense simplex tableau: `rows` working rows plus one objective row.
@@ -77,6 +89,22 @@ class Tableau {
     }
   }
 
+  // Appends `extra` zero columns just before the rhs column (used by the
+  // warm-start loader to patch infeasible rows with fresh artificials).
+  void AppendColumns(size_t extra) {
+    if (extra == 0) return;
+    const size_t new_n = n_ + extra;
+    std::vector<double> cells((m_ + 1) * (new_n + 1), 0.0);
+    for (size_t i = 0; i <= m_; ++i) {
+      const double* src = &cells_[i * (n_ + 1)];
+      double* dst = &cells[i * (new_n + 1)];
+      for (size_t j = 0; j < n_; ++j) dst[j] = src[j];
+      dst[new_n] = src[n_];
+    }
+    n_ = new_n;
+    cells_ = std::move(cells);
+  }
+
   // Repacks the tableau to the first `new_n` columns plus the rhs column,
   // dropping everything in between (used to discard artificial columns
   // after Phase 1; requires that no dropped column is basic).
@@ -108,6 +136,7 @@ class DoubleKernel {
  public:
   DoubleKernel(Tableau tableau, std::vector<size_t> basis, size_t num_struct,
                size_t num_artificial, std::vector<double> costs,
+               std::vector<RowShape> shape, bool warm, bool compute_duals,
                const SimplexOptions& options)
       : tab_(std::move(tableau)),
         basis_(std::move(basis)),
@@ -115,12 +144,25 @@ class DoubleKernel {
         artificial_begin_(tab_.n() - num_artificial),
         num_artificial_(num_artificial),
         costs_(std::move(costs)),
+        shape_(std::move(shape)),
+        warm_(warm),
+        compute_duals_(compute_duals),
+        marker_end_(tab_.n()),
+        needs_phase1_(!warm && num_artificial > 0),
         options_(options),
         pricing_width_(tab_.n()) {}
 
   // ---- Pricing signals. ----
   size_t pricing_width() const { return pricing_width_; }
-  bool Eligible(size_t j) const { return tab_.Obj(j) < -options_.tol; }
+  bool Eligible(size_t j) const {
+    // Warm solves: the identity markers in [artificial_begin_,
+    // marker_end_) exist only when compute_duals is set, so they must be
+    // invisible to pricing or the pivot sequence would depend on the
+    // flag (cold builds hold real artificials there, priced in both
+    // modes).
+    if (warm_ && j >= artificial_begin_ && j < marker_end_) return false;
+    return tab_.Obj(j) < -options_.tol;
+  }
   double PricingKey(size_t j) const { return std::log2(-tab_.Obj(j)); }
   double DantzigKey(size_t j) const { return -tab_.Obj(j); }
   size_t BasisColumn(size_t row) const { return basis_[row]; }
@@ -188,8 +230,115 @@ class DoubleKernel {
     }
   }
 
+  // ---- Warm start. ----
+
+  /// The current basic column set (structural + slack columns only).
+  LpBasis ExtractBasis() const {
+    LpBasis out;
+    out.basic_columns.reserve(tab_.m());
+    for (size_t i = 0; i < tab_.m(); ++i) {
+      if (basis_[i] != kNoIndex && basis_[i] < artificial_begin_) {
+        out.basic_columns.push_back(basis_[i]);
+      }
+    }
+    std::sort(out.basic_columns.begin(), out.basic_columns.end());
+    return out;
+  }
+
+  /// Re-establishes a prior basis by elimination: slacks assign in place,
+  /// structural columns pivot into the row with the largest-magnitude
+  /// coefficient (stability first — dense double pivots are cheap, tiny
+  /// pivots are not), and rows left infeasible beyond the feasibility
+  /// tolerance — or without a basic column — are patched with fresh basic
+  /// artificials appended behind the existing columns.  Returns the patch
+  /// count, or -1 when the set cannot belong to this standard form.
+  int LoadBasis(const LpBasis& basis, int* load_pivots) {
+    const size_t m = tab_.m();
+    if (basis.basic_columns.size() > m) return -1;
+    std::vector<char> want(artificial_begin_, 0);
+    size_t prev = kNoIndex;
+    for (size_t c : basis.basic_columns) {
+      if (c >= artificial_begin_) return -1;
+      if (prev != kNoIndex && c <= prev) return -1;
+      prev = c;
+      want[c] = 1;
+    }
+
+    // 1. Slacks in place (their columns are still ±e_i at build time).
+    for (size_t i = 0; i < m; ++i) {
+      const size_t s = shape_[i].slack_col;
+      if (s == kNoIndex || !want[s]) continue;
+      if (tab_.At(i, s) < 0.0) NegateRow(i);
+      basis_[i] = s;
+    }
+
+    // 2. Structural columns, largest available pivot each.
+    for (size_t c = 0; c < num_struct_; ++c) {
+      if (!want[c]) continue;
+      size_t best = kNoIndex;
+      double best_abs = options_.pivot_tol;  // refuse near-singular pivots
+      for (size_t i = 0; i < m; ++i) {
+        if (basis_[i] != kNoIndex) continue;
+        const double a = std::abs(tab_.At(i, c));
+        if (a > best_abs) {
+          best = i;
+          best_abs = a;
+        }
+      }
+      if (best == kNoIndex) continue;  // singular here; patched below
+      tab_.Pivot(best, c);
+      basis_[best] = c;
+      ++*load_pivots;
+    }
+
+    // 3. Patch infeasible or basisless rows.
+    std::vector<size_t> patch_rows;
+    for (size_t i = 0; i < m; ++i) {
+      double& rhs = tab_.Rhs(i);
+      if (rhs < 0.0 && rhs >= -options_.feasibility_tol) rhs = 0.0;
+      const bool basisless = basis_[i] == kNoIndex;
+      const bool infeasible = rhs < 0.0;
+      if (!basisless && !infeasible) continue;
+      if (infeasible) NegateRow(i);
+      patch_rows.push_back(i);
+    }
+    if (!patch_rows.empty()) {
+      const size_t first_patch = tab_.n();
+      tab_.AppendColumns(patch_rows.size());
+      for (size_t k = 0; k < patch_rows.size(); ++k) {
+        tab_.At(patch_rows[k], first_patch + k) = 1.0;
+        basis_[patch_rows[k]] = first_patch + k;
+      }
+      num_artificial_ += patch_rows.size();
+    }
+    pricing_width_ = tab_.n();
+    needs_phase1_ = !patch_rows.empty();
+    return static_cast<int>(patch_rows.size());
+  }
+
+  /// Dual value per standard-form row, read off the identity-marker
+  /// columns (requires compute_duals so the markers survive phase 2).
+  /// The caller maps standard rows back to model rows and senses.
+  std::vector<double> ExtractStandardDuals() const {
+    std::vector<double> duals(tab_.m(), 0.0);
+    for (size_t i = 0; i < tab_.m(); ++i) {
+      size_t col;
+      double sign;
+      if (shape_[i].art_col != kNoIndex) {
+        col = shape_[i].art_col;  // artificial: +e_i
+        sign = 1.0;
+      } else {
+        col = shape_[i].slack_col;
+        sign = shape_[i].relation == RowRelation::kGreaterEqual ? -1.0 : 1.0;
+      }
+      const double y = -sign * tab_.Obj(col);
+      duals[i] = shape_[i].negate ? -y : y;
+    }
+    return duals;
+  }
+
   // ---- Phase hooks. ----
-  bool NeedsPhase1() const { return num_artificial_ > 0; }
+  bool NeedsPhase1() const { return needs_phase1_; }
 
   void SetupPhase1Objective() {
     for (size_t j = artificial_begin_; j < tab_.n(); ++j) tab_.Obj(j) = 1.0;
@@ -249,8 +398,12 @@ class DoubleKernel {
     // With no artificial left in the basis the artificial columns are dead
     // weight: drop them so every phase-2 pivot touches ~40% fewer cells.
     // (When residuals remain, keep the columns — their basis indices must
-    // stay addressable — and rely on the pricing width to freeze them.)
-    if (num_artificial_ > 0 && residual_artificials_ == 0) {
+    // stay addressable — and rely on the pricing width to freeze them.
+    // When duals were requested they survive as identity markers for the
+    // dual readout; only the pricing width shrinks, so the pivot sequence
+    // is unchanged.)
+    if (num_artificial_ > 0 && residual_artificials_ == 0 &&
+        !compute_duals_) {
       tab_.ShrinkToWidth(artificial_begin_);
     }
     pricing_width_ = artificial_begin_;
@@ -273,12 +426,28 @@ class DoubleKernel {
   int residual_artificials() const { return residual_artificials_; }
 
  private:
+  // Multiplies the row equation by -1 (cells and rhs), used by the warm
+  // loader to restore rhs >= 0 on rows the prior basis leaves infeasible.
+  void NegateRow(size_t i) {
+    for (size_t j = 0; j <= tab_.n(); ++j) {
+      if (tab_.At(i, j) != 0.0) tab_.At(i, j) = -tab_.At(i, j);
+    }
+  }
+
   Tableau tab_;
   std::vector<size_t> basis_;
   size_t num_struct_;
   size_t artificial_begin_;
   size_t num_artificial_;
   std::vector<double> costs_;  // phase-2 costs per standard column
+  std::vector<RowShape> shape_;
+  bool warm_;
+  bool compute_duals_;
+  // End of the identity-marker block in a warm compute_duals build
+  // (warm-load patches are appended at and beyond it); equals the build
+  // width in cold builds, where the block holds real artificials.
+  size_t marker_end_;
+  bool needs_phase1_;
   SimplexOptions options_;
   size_t pricing_width_;
   double phase1_objective_ = 0.0;
@@ -296,8 +465,15 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
   // ---- 1. Rewrite variables so every standard column is >= 0. -------------
   std::vector<VarMap> vmap(static_cast<size_t>(num_vars));
   int next_col = 0;
-  // Extra rows produced by finite two-sided bounds: x' <= ub - lb.
-  std::vector<std::pair<int, double>> upper_rows;  // (column, bound)
+  // Extra rows produced by finite two-sided bounds: x' <= ub - lb.  The
+  // model variable rides along so the dual readout can fold the bound
+  // row's multiplier into that variable's reduced cost.
+  struct UpperRow {
+    int var;
+    int col;
+    double bound;
+  };
+  std::vector<UpperRow> upper_rows;
   for (int j = 0; j < num_vars; ++j) {
     double lb = problem.lower_bound(j);
     double ub = problem.upper_bound(j);
@@ -308,7 +484,9 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     } else if (!std::isinf(lb)) {
       vm.col_plus = next_col++;
       vm.shift = lb;
-      if (!std::isinf(ub)) upper_rows.emplace_back(vm.col_plus, ub - lb);
+      if (!std::isinf(ub)) {
+        upper_rows.push_back(UpperRow{j, vm.col_plus, ub - lb});
+      }
     } else {
       // lb == -inf, finite ub: x = ub - x'.
       vm.col_plus = next_col++;
@@ -340,20 +518,21 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     }
     rows.push_back(std::move(srow));
   }
-  for (const auto& [col, bound] : upper_rows) {
+  for (const UpperRow& ur : upper_rows) {
     StandardRow srow;
     srow.coeffs.assign(static_cast<size_t>(num_struct_cols), 0.0);
-    srow.coeffs[static_cast<size_t>(col)] = 1.0;
+    srow.coeffs[static_cast<size_t>(ur.col)] = 1.0;
     srow.relation = RowRelation::kLessEqual;
-    srow.rhs = bound;
+    srow.rhs = ur.bound;
     rows.push_back(std::move(srow));
   }
 
-  // Normalize to rhs >= 0.
+  // Normalize to rhs >= 0 (recording the flip for the dual readout).
   for (StandardRow& row : rows) {
     if (row.rhs < 0.0) {
       for (double& c : row.coeffs) c = -c;
       row.rhs = -row.rhs;
+      row.negate = !row.negate;
       if (row.relation == RowRelation::kLessEqual) {
         row.relation = RowRelation::kGreaterEqual;
       } else if (row.relation == RowRelation::kGreaterEqual) {
@@ -367,6 +546,7 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     if (row.relation == RowRelation::kGreaterEqual && row.rhs == 0.0) {
       for (double& c : row.coeffs) c = -c;
       row.relation = RowRelation::kLessEqual;
+      row.negate = !row.negate;
     }
   }
 
@@ -387,35 +567,58 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
         break;
     }
   }
-  const size_t n_std = static_cast<size_t>(num_struct_cols) + num_slack +
-                       num_artificial;
-  const size_t artificial_begin = n_std - num_artificial;
+  // Warm starts build without the artificial block — LoadBasis replaces
+  // phase 1 and patches what it must — unless duals were requested, in
+  // which case the same columns come along as never-basic identity
+  // markers (exactly as in the exact solver's kernels).
+  const bool warm = options_.warm_start != nullptr &&
+                    !options_.warm_start->empty();
+  const size_t num_art_cols =
+      warm && !options_.compute_duals ? 0 : num_artificial;
+  const size_t n_std =
+      static_cast<size_t>(num_struct_cols) + num_slack + num_art_cols;
+  const size_t artificial_begin = n_std - num_art_cols;
 
   Tableau tab(m, n_std);
-  std::vector<size_t> basis(m);
+  std::vector<size_t> basis(m, kNoIndex);
+  std::vector<RowShape> shape(m);
   {
     size_t slack_cursor = static_cast<size_t>(num_struct_cols);
     size_t art_cursor = artificial_begin;
     for (size_t i = 0; i < m; ++i) {
       const StandardRow& row = rows[i];
+      RowShape& rs = shape[i];
+      rs.relation = row.relation;
+      rs.negate = row.negate;
       for (size_t j = 0; j < static_cast<size_t>(num_struct_cols); ++j) {
         tab.At(i, j) = row.coeffs[j];
       }
       tab.Rhs(i) = row.rhs;
       switch (row.relation) {
         case RowRelation::kLessEqual:
+          rs.slack_col = slack_cursor;
           tab.At(i, slack_cursor) = 1.0;
-          basis[i] = slack_cursor++;
+          if (!warm) basis[i] = slack_cursor;
+          ++slack_cursor;
           break;
         case RowRelation::kGreaterEqual:
+          rs.slack_col = slack_cursor;
           tab.At(i, slack_cursor) = -1.0;
           ++slack_cursor;
-          tab.At(i, art_cursor) = 1.0;
-          basis[i] = art_cursor++;
+          if (num_art_cols > 0) {
+            rs.art_col = art_cursor;
+            tab.At(i, art_cursor) = 1.0;
+          }
+          if (!warm) basis[i] = art_cursor;
+          ++art_cursor;
           break;
         case RowRelation::kEqual:
-          tab.At(i, art_cursor) = 1.0;
-          basis[i] = art_cursor++;
+          if (num_art_cols > 0) {
+            rs.art_col = art_cursor;
+            tab.At(i, art_cursor) = 1.0;
+          }
+          if (!warm) basis[i] = art_cursor;
+          ++art_cursor;
           break;
       }
     }
@@ -446,14 +649,29 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
           : 200 * static_cast<long>(m + n_std) + 2000;
 
   DoubleKernel kernel(std::move(tab), std::move(basis),
-                      static_cast<size_t>(num_struct_cols), num_artificial,
-                      std::move(std_costs), options_);
-  lp_internal::TwoPhaseStats stats;
-  const lp_internal::SolveOutcome outcome =
-      lp_internal::RunTwoPhase(kernel, config, &stats);
+                      static_cast<size_t>(num_struct_cols), num_art_cols,
+                      std::move(std_costs), std::move(shape), warm,
+                      options_.compute_duals, options_);
 
   LpSolution solution;
   solution.rule = options_.rule;
+
+  if (warm) {
+    int load_pivots = 0;
+    const int patched = kernel.LoadBasis(*options_.warm_start, &load_pivots);
+    if (patched < 0) {
+      return Status::InvalidArgument(
+          "warm-start basis does not fit this LP's standard form "
+          "(the family members must be structurally identical)");
+    }
+    solution.warm_started = true;
+    solution.warm_load_pivots = load_pivots;
+    solution.warm_patched_rows = patched;
+  }
+
+  lp_internal::TwoPhaseStats stats;
+  const lp_internal::SolveOutcome outcome =
+      lp_internal::RunTwoPhase(kernel, config, &stats);
   solution.iterations = stats.total();
   solution.phase1_iterations = stats.phase1_iterations;
   solution.phase2_iterations = stats.phase2_iterations;
@@ -534,7 +752,54 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     }
   }
   solution.max_violation = violation;
+  solution.basis = kernel.ExtractBasis();
+
+  if (options_.compute_duals) {
+    // Standard-form duals (per standard row, min sense) -> model duals in
+    // the problem's own sense; the upper-bound rows appended in step 1
+    // carry internal duals that are not reported.
+    const std::vector<double> std_duals = kernel.ExtractStandardDuals();
+    const double sense = maximize ? -1.0 : 1.0;
+    solution.duals.assign(
+        static_cast<size_t>(problem.num_constraints()), 0.0);
+    for (int i = 0; i < problem.num_constraints(); ++i) {
+      solution.duals[static_cast<size_t>(i)] =
+          sense * std_duals[static_cast<size_t>(i)];
+    }
+    // Reduced costs recomputed from the original model data, c - A'y: in
+    // the problem's own sense they are >= -tol for minimization and
+    // <= tol for maximization at optimality.
+    solution.reduced_costs.assign(static_cast<size_t>(num_vars), 0.0);
+    for (int j = 0; j < num_vars; ++j) {
+      solution.reduced_costs[static_cast<size_t>(j)] = problem.cost(j);
+    }
+    for (int i = 0; i < problem.num_constraints(); ++i) {
+      const LpProblem::RowView row = problem.row(i);
+      const double y = solution.duals[static_cast<size_t>(i)];
+      if (y == 0.0) continue;
+      for (size_t k = 0; k < row.num_terms; ++k) {
+        solution.reduced_costs[static_cast<size_t>(row.terms[k].var)] -=
+            y * row.terms[k].coeff;
+      }
+    }
+    // Internal upper-bound rows carry the bound multipliers: fold each
+    // into its variable's reduced cost, so a variable tight at a finite
+    // upper bound still satisfies rc >= -tol and rc * x ~= 0 (its bound
+    // row's dual absorbs the negative cost gradient).
+    for (size_t k = 0; k < upper_rows.size(); ++k) {
+      const double y =
+          sense *
+          std_duals[static_cast<size_t>(problem.num_constraints()) + k];
+      solution.reduced_costs[static_cast<size_t>(upper_rows[k].var)] -= y;
+    }
+  }
   return solution;
+}
+
+Result<std::vector<LpSolution>> SimplexSolver::SolveSequence(
+    const std::vector<LpProblem>& problems) const {
+  return lp_internal::ChainWarmStarts<SimplexSolver, SimplexOptions, LpProblem,
+                                      LpSolution>(options_, problems);
 }
 
 }  // namespace geopriv

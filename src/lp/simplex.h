@@ -59,6 +59,32 @@ struct LpSolution {
   /// Artificial variables still basic after phase 1's drive-out pass
   /// (redundant or near-redundant rows).
   int residual_artificials = 0;
+  /// The optimal basis (standard-form column set), fit to seed the next
+  /// solve of a structurally identical LP via SimplexOptions::warm_start.
+  /// Empty unless status is kOptimal.
+  LpBasis basis;
+  /// True when this solve was seeded from a prior basis.
+  bool warm_started = false;
+  /// Elimination pivots spent re-establishing the warm basis (not counted
+  /// in `iterations`).
+  int warm_load_pivots = 0;
+  /// Rows the warm load patched with a fresh artificial (prior basis
+  /// primal-infeasible or singular for the new data); positive means a
+  /// short phase-1 cleanup ran.
+  int warm_patched_rows = 0;
+  /// Dual value per original constraint row and reduced cost per variable
+  /// at optimality, in the problem's own sense.  For a minimization with
+  /// x >= 0: duals'b == objective (strong duality, up to round-off),
+  /// duals[i]*(a_i'x - b_i) ~= 0, reduced_costs[j] >= -tol with
+  /// reduced_costs[j]*x[j] ~= 0.  Rows added internally for finite upper
+  /// bounds are not reported as duals; their multipliers are folded into
+  /// the affected variables' reduced costs (so a variable tight at its
+  /// upper bound has reduced cost ~0, and with finite upper bounds
+  /// present duals'b excludes the bound terms and may fall short of the
+  /// objective by exactly those contributions).  Populated only when
+  /// SimplexOptions::compute_duals is set and the status is kOptimal.
+  std::vector<double> duals;
+  std::vector<double> reduced_costs;
 };
 
 /// Tuning knobs for SimplexSolver.
@@ -78,6 +104,17 @@ struct SimplexOptions {
   /// Consecutive pivots whose objective step stays within `tol` before
   /// the anti-cycling fallback to Bland's rule engages for the phase.
   int stall_threshold = 64;
+  /// Optional warm start: the basis of a prior solve of a *structurally
+  /// identical* LP (same variables and rows, different numeric data).
+  /// Feasible-enough bases skip phase 1; rows the loaded basis leaves
+  /// infeasible beyond feasibility_tol are patched with artificials and
+  /// cleaned up by a short phase 1.  The pointed-to basis must outlive
+  /// the Solve call; it is not owned.
+  const LpBasis* warm_start = nullptr;
+  /// When set, keeps one identity-marker column per row through phase 2
+  /// and fills LpSolution::duals / reduced_costs at optimality.  The
+  /// pivot sequence is identical with the flag on or off.
+  bool compute_duals = false;
 };
 
 /// Solves LpProblem instances.  Stateless; safe to reuse across solves.
@@ -88,6 +125,12 @@ class SimplexSolver {
   /// Solves `problem`.  Returns a Status error only for malformed models;
   /// infeasibility/unboundedness are reported inside LpSolution.
   Result<LpSolution> Solve(const LpProblem& problem) const;
+
+  /// Solves a family of structurally identical LPs, streaming each solved
+  /// basis into the next solve as a warm start (see
+  /// ExactSimplexSolver::SolveSequence for the chaining rules).
+  Result<std::vector<LpSolution>> SolveSequence(
+      const std::vector<LpProblem>& problems) const;
 
  private:
   SimplexOptions options_;

@@ -38,6 +38,31 @@
 //                                        // (budget < 0 means unlimited)
 //   void   PreparePhase2();              // drop artificials, set objective
 //
+// Kernels that support warm starts additionally model:
+//
+//   LpBasis ExtractBasis() const;        // the basic column set at the
+//                                        // current (normally final) basis,
+//                                        // in standard-form column indices;
+//                                        // artificial-basic (redundant)
+//                                        // rows contribute no column
+//   int  LoadBasis(const LpBasis&, int* pivots);
+//                                        // re-establishes a prior basis on
+//                                        // a freshly built tableau by
+//                                        // elimination pivots (counted into
+//                                        // *pivots), then patches every row
+//                                        // that is primal-infeasible for
+//                                        // the new data — or ended up with
+//                                        // no basic column at all — with a
+//                                        // fresh basic artificial.  Returns
+//                                        // the number of patched rows; a
+//                                        // positive return means the solve
+//                                        // still needs a (short) phase 1.
+//
+// A warm start never changes what the solve certifies: the driver runs the
+// same two-phase algorithm, phase 1 merely starts from |patched| artificials
+// instead of one per equality/>= row, and phase 2 from the loaded basis
+// instead of the all-slack one.
+//
 // Pricing works on double-precision *magnitudes* (log2 of |reduced cost| /
 // |pivot-row entry|) even for the exact kernels: the choice of entering
 // column is a heuristic that never affects correctness, only the pivot
@@ -69,6 +94,22 @@ enum class PivotRule {
   /// typically cutting pivot counts by an order of magnitude on degenerate
   /// models.  Falls back to Bland after a stall and re-arms on progress.
   kDevex,
+};
+
+/// A simplex basis, exported from one solve and loadable into the next
+/// solve of a *structurally identical* LP (same variables, same rows in the
+/// same order, same relations) whose numeric data changed — the α/ε and
+/// loss-function families of the paper's Section 2.5 / 2.7 programs.
+///
+/// The representation is the SET of basic columns in standard-form column
+/// space (structural columns first, then slacks, in model order).  The set
+/// — not a per-row assignment — determines the basic solution, so loading
+/// is free to realize it with any elimination order; redundant rows whose
+/// basic column was an artificial contribute nothing and simply re-derive
+/// an artificial on load.
+struct LpBasis {
+  std::vector<size_t> basic_columns;  ///< sorted, duplicate-free
+  bool empty() const { return basic_columns.empty(); }
 };
 
 namespace lp_internal {

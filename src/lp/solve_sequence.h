@@ -1,0 +1,47 @@
+// The warm-start chaining loop shared by SimplexSolver::SolveSequence and
+// ExactSimplexSolver::SolveSequence: solve a family of structurally
+// identical LPs in order, seeding each solve with the previous member's
+// optimal basis, and let a non-optimal member break the chain (its
+// successor starts cold).  Lives in lp_internal — callers use the
+// solvers' SolveSequence methods.
+
+#ifndef GEOPRIV_LP_SOLVE_SEQUENCE_H_
+#define GEOPRIV_LP_SOLVE_SEQUENCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "lp/simplex.h"  // LpStatus
+#include "lp/simplex_core.h"
+#include "util/result.h"
+
+namespace geopriv {
+namespace lp_internal {
+
+/// `Options` must carry a `const LpBasis* warm_start`; `Solution` must
+/// expose `status` and `basis`.  Both solvers' option/solution types do.
+template <class Solver, class Options, class Problem, class Solution>
+Result<std::vector<Solution>> ChainWarmStarts(
+    const Options& base_options, const std::vector<Problem>& problems) {
+  std::vector<Solution> out;
+  out.reserve(problems.size());
+  Options options = base_options;
+  LpBasis chain;  // last optimal basis, owned here across iterations
+  for (const Problem& problem : problems) {
+    GEOPRIV_ASSIGN_OR_RETURN(Solution solution, Solver(options).Solve(problem));
+    if (solution.status == LpStatus::kOptimal && !solution.basis.empty()) {
+      chain = solution.basis;
+      options.warm_start = &chain;
+    } else {
+      // A non-optimal member breaks the chain; its successor starts cold.
+      options.warm_start = nullptr;
+    }
+    out.push_back(std::move(solution));
+  }
+  return out;
+}
+
+}  // namespace lp_internal
+}  // namespace geopriv
+
+#endif  // GEOPRIV_LP_SOLVE_SEQUENCE_H_

@@ -1,0 +1,151 @@
+// ThreadPool: a small reusable worker pool for data-parallel loops.
+//
+// The exact simplex spends nearly all of its time in the fraction-free
+// pivot, whose per-row eliminations are independent BigInt computations
+// (lp/exact_simplex.cc).  This pool parallelizes such loops without
+// spawning threads per pivot: workers are created once and parked on a
+// condition variable between jobs, and ParallelFor hands out indices
+// through an atomic counter so rows with wildly different BigInt sizes
+// balance dynamically.  Determinism note: ParallelFor imposes no ordering
+// between iterations — callers get bit-identical results only when each
+// iteration writes state no other iteration reads, which is exactly the
+// contract of the pivot's row updates.
+//
+// Thread count policy (ThreadPool::ConfiguredThreads):
+//   explicit option value > 0   --> that many threads
+//   option 0 (the default)      --> the GEOPRIV_THREADS environment
+//                                   variable, else 1 (serial)
+// A count of 1 means "no pool": callers skip construction entirely and
+// run the plain serial loop, so single-threaded behavior is byte-for-byte
+// the pre-threading code path.
+
+#ifndef GEOPRIV_UTIL_THREAD_POOL_H_
+#define GEOPRIV_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geopriv {
+
+class ThreadPool {
+ public:
+  /// Resolves the effective thread count: `option` if positive, else the
+  /// GEOPRIV_THREADS environment variable, else 1.  Values below 1 clamp
+  /// to 1; absurd values clamp to 256 (a fork-bomb guard, not a target).
+  static int ConfiguredThreads(int option) {
+    int threads = option;
+    if (threads <= 0) {
+      const char* env = std::getenv("GEOPRIV_THREADS");
+      threads = env != nullptr ? std::atoi(env) : 1;
+    }
+    if (threads < 1) threads = 1;
+    if (threads > 256) threads = 256;
+    return threads;
+  }
+
+  /// Creates `threads - 1` workers (the calling thread is the remaining
+  /// lane: it always participates in ParallelFor, so a pool of size N uses
+  /// exactly N threads of compute).
+  explicit ThreadPool(int threads)
+      : workers_(static_cast<size_t>(threads > 1 ? threads - 1 : 0)) {
+    for (std::thread& w : workers_) {
+      w = std::thread([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// Total compute lanes (workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices across the
+  /// workers and the calling thread; returns when all iterations finished.
+  /// Iterations must be independent (no iteration may read state another
+  /// writes).  Not reentrant: one ParallelFor at a time per pool.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_fn_ = &fn;
+      job_count_ = count;
+      next_.store(0, std::memory_order_relaxed);
+      acks_ = 0;
+      ++generation_;
+    }
+    wake_.notify_all();
+    Drain(fn, count);
+    // Every worker acknowledges the job exactly once, *after* finishing
+    // its share of iterations.  Waiting for all acknowledgements before
+    // returning (and before any next job can be posted) guarantees no
+    // worker can ever touch a stale job's function or index counter.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return acks_ == workers_.size(); });
+    job_fn_ = nullptr;
+  }
+
+ private:
+  void Drain(const std::function<void(size_t)>& fn, size_t count) {
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(size_t)>* fn = nullptr;
+      size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        fn = job_fn_;
+        count = job_count_;
+      }
+      Drain(*fn, count);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++acks_;
+        if (acks_ == workers_.size()) done_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_count_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t acks_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_UTIL_THREAD_POOL_H_

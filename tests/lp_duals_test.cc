@@ -1,0 +1,315 @@
+// Dual values and reduced costs at optimality, from every kernel.
+//
+// Over Q the certificates are exact: strong duality (c'x == y'b),
+// complementary slackness (y_i * slack_i == 0 and d_j * x_j == 0), dual
+// feasibility (d_j >= 0 for a minimization, y_i <= 0 on <= rows and
+// y_i >= 0 on >= rows), and the definition d_j == c_j - y'A_j recomputed
+// independently from the model data.  The double kernel asserts the same
+// up to its tolerances.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/optimal_exact.h"
+#include "lp/exact_simplex.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+ExactLpProblem OptimalMechanismLp(int n) {
+  auto lp = BuildOptimalMechanismLpExact(n, R(1, 2),
+                                         ExactLossFunction::AbsoluteError(),
+                                         SideInformation::All(n));
+  EXPECT_TRUE(lp.ok());
+  return *std::move(lp);
+}
+
+// Asserts every exact optimality certificate on (lp, solution).
+void ExpectExactCertificates(const ExactLpProblem& lp,
+                             const ExactLpSolution& s,
+                             const std::string& label) {
+  ASSERT_EQ(s.status, LpStatus::kOptimal) << label;
+  ASSERT_EQ(s.duals.size(), static_cast<size_t>(lp.num_constraints()))
+      << label;
+  ASSERT_EQ(s.reduced_costs.size(), static_cast<size_t>(lp.num_variables()))
+      << label;
+
+  // Strong duality: y'b == c'x, exactly.
+  Rational yb(0);
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    yb += s.duals[static_cast<size_t>(i)] * *lp.row(i).rhs;
+  }
+  EXPECT_EQ(yb, s.objective) << label << " (strong duality)";
+
+  // Definition of the reduced costs, recomputed from the model:
+  // d_j == c_j - y'A_col_j; and dual feasibility d_j >= 0.
+  std::vector<Rational> d(static_cast<size_t>(lp.num_variables()));
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    d[static_cast<size_t>(j)] = lp.cost(j);
+  }
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    ExactLpProblem::RowView row = lp.row(i);
+    const Rational& y = s.duals[static_cast<size_t>(i)];
+    if (y.IsZero()) continue;
+    for (size_t k = 0; k < row.num_terms; ++k) {
+      d[static_cast<size_t>(row.terms[k].var)] -= y * row.terms[k].coeff;
+    }
+  }
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    EXPECT_EQ(s.reduced_costs[static_cast<size_t>(j)],
+              d[static_cast<size_t>(j)])
+        << label << " rc definition, variable " << j;
+    EXPECT_FALSE(s.reduced_costs[static_cast<size_t>(j)].IsNegative())
+        << label << " dual feasibility, variable " << j;
+    // Complementary slackness on variables: d_j * x_j == 0.
+    EXPECT_TRUE((s.reduced_costs[static_cast<size_t>(j)] *
+                 s.values[static_cast<size_t>(j)])
+                    .IsZero())
+        << label << " CS, variable " << j;
+  }
+
+  // Row-side complementary slackness and dual sign conditions.
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    ExactLpProblem::RowView row = lp.row(i);
+    Rational lhs(0);
+    for (size_t k = 0; k < row.num_terms; ++k) {
+      lhs += row.terms[k].coeff *
+             s.values[static_cast<size_t>(row.terms[k].var)];
+    }
+    const Rational& y = s.duals[static_cast<size_t>(i)];
+    const Rational slack = lhs - *row.rhs;
+    EXPECT_TRUE((y * slack).IsZero()) << label << " CS, row " << i;
+    switch (row.relation) {
+      case RowRelation::kLessEqual:
+        // min problem: y <= 0 on <= rows.
+        EXPECT_LE(y, R(0)) << label << " dual sign, row " << i;
+        break;
+      case RowRelation::kGreaterEqual:
+        EXPECT_GE(y, R(0)) << label << " dual sign, row " << i;
+        break;
+      case RowRelation::kEqual:
+        break;  // free sign
+    }
+  }
+}
+
+TEST(LpDualsTest, ExactCertificatesHoldOnOptimalMechanismLps) {
+  for (int n : {2, 4}) {
+    ExactLpProblem lp = OptimalMechanismLp(n);
+    for (ExactPivotEngine engine :
+         {ExactPivotEngine::kFractionFree, ExactPivotEngine::kDenseRational}) {
+      ExactSimplexOptions options;
+      options.engine = engine;
+      options.compute_duals = true;
+      auto s = ExactSimplexSolver(options).Solve(lp);
+      ASSERT_TRUE(s.ok());
+      ExpectExactCertificates(
+          lp, *s,
+          "n=" + std::to_string(n) +
+              (engine == ExactPivotEngine::kFractionFree ? " ff" : " dense"));
+    }
+  }
+}
+
+TEST(LpDualsTest, ExactCertificatesHoldOnFractionalMixedRelationLp) {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1, 3));
+  int y = lp.AddVariable("y", R(-2, 5));
+  lp.AddConstraint(RowRelation::kLessEqual, R(7, 2),
+                   {{x, R(2, 3)}, {y, R(1, 4)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(-1, 6),
+                   {{x, R(-1, 2)}, {y, R(5, 7)}});
+  lp.AddConstraint(RowRelation::kEqual, R(3, 4),
+                   {{x, R(1, 5)}, {y, R(1, 8)}});
+  ExactSimplexOptions options;
+  options.compute_duals = true;
+  auto s = ExactSimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ExpectExactCertificates(lp, *s, "fractional");
+}
+
+TEST(LpDualsTest, DualsSurviveWarmStart) {
+  // Warm-started solves must produce the same valid certificates — the
+  // marker columns are allocated and tracked through the loaded basis.
+  ExactLpProblem lp_a = OptimalMechanismLp(4);
+  auto lp_b_or = BuildOptimalMechanismLpExact(
+      4, R(11, 20), ExactLossFunction::AbsoluteError(), SideInformation::All(4));
+  ASSERT_TRUE(lp_b_or.ok());
+  ExactLpProblem lp_b = *std::move(lp_b_or);
+  ExactSimplexOptions options;
+  options.compute_duals = true;
+  auto seed = ExactSimplexSolver(options).Solve(lp_a);
+  ASSERT_TRUE(seed.ok());
+  ExpectExactCertificates(lp_a, *seed, "cold seed");
+  options.warm_start = &seed->basis;
+  auto warm = ExactSimplexSolver(options).Solve(lp_b);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->warm_started);
+  ExpectExactCertificates(lp_b, *warm, "warm");
+}
+
+TEST(LpDualsTest, DualsSurviveWarmStartWithPhase1Patch) {
+  // Exercises the hardest combination: a warm start whose prior basis is
+  // primal-infeasible for the new data (rows patched, short phase 1 ran)
+  // with duals requested — the marker columns must track through the
+  // load, the patch pivots and the cleanup.
+  auto build = [](int64_t b) {
+    ExactLpProblem lp;
+    int x = lp.AddVariable("x", R(1));
+    int y = lp.AddVariable("y", R(1));
+    lp.AddConstraint(RowRelation::kEqual, R(b), {{x, R(1)}, {y, R(-1)}});
+    lp.AddConstraint(RowRelation::kLessEqual, R(1), {{y, R(1)}});
+    return lp;
+  };
+  ExactLpProblem lp_a = build(1);
+  ExactLpProblem lp_b = build(-1);
+  ExactSimplexOptions options;
+  options.compute_duals = true;
+  auto seed = ExactSimplexSolver(options).Solve(lp_a);
+  ASSERT_TRUE(seed.ok());
+  options.warm_start = &seed->basis;
+  auto warm = ExactSimplexSolver(options).Solve(lp_b);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->warm_started);
+  ASSERT_GT(warm->warm_patched_rows, 0);
+  ExpectExactCertificates(lp_b, *warm, "warm+patch");
+
+  // The marker columns must stay invisible to the patch-cleanup phase 1:
+  // the same warm solve without duals must take the identical pivot path
+  // (same counts, bit-identical values), or the primal result would
+  // depend on whether duals were requested.
+  ExactSimplexOptions plain = options;
+  plain.compute_duals = false;
+  plain.warm_start = &seed->basis;
+  auto warm_plain = ExactSimplexSolver(plain).Solve(lp_b);
+  ASSERT_TRUE(warm_plain.ok());
+  EXPECT_EQ(warm_plain->iterations, warm->iterations);
+  EXPECT_EQ(warm_plain->phase1_iterations, warm->phase1_iterations);
+  EXPECT_EQ(warm_plain->objective.ToString(), warm->objective.ToString());
+  for (size_t j = 0; j < warm->values.size(); ++j) {
+    EXPECT_EQ(warm_plain->values[j].ToString(), warm->values[j].ToString());
+  }
+}
+
+TEST(LpDualsTest, ComputeDualsDoesNotChangeThePivotSequence) {
+  ExactLpProblem lp = OptimalMechanismLp(4);
+  auto plain = ExactSimplexSolver().Solve(lp);
+  ExactSimplexOptions options;
+  options.compute_duals = true;
+  auto with_duals = ExactSimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with_duals.ok());
+  EXPECT_EQ(plain->iterations, with_duals->iterations);
+  EXPECT_EQ(plain->objective.ToString(), with_duals->objective.ToString());
+  for (size_t j = 0; j < plain->values.size(); ++j) {
+    EXPECT_EQ(plain->values[j].ToString(), with_duals->values[j].ToString());
+  }
+}
+
+TEST(LpDualsTest, DoubleKernelCertificatesHoldWithinTolerance) {
+  // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: optimum -36 at
+  // (2, 6), duals (0, -3/2, -1).
+  LpProblem lp;
+  int x = lp.AddNonNegativeVariable("x", -3.0);
+  int y = lp.AddNonNegativeVariable("y", -5.0);
+  lp.AddConstraint("c1", RowRelation::kLessEqual, 4.0, {{x, 1.0}});
+  lp.AddConstraint("c2", RowRelation::kLessEqual, 12.0, {{y, 2.0}});
+  lp.AddConstraint("c3", RowRelation::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  SimplexOptions options;
+  options.compute_duals = true;
+  auto s = SimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  ASSERT_EQ(s->duals.size(), 3u);
+  EXPECT_NEAR(s->duals[0], 0.0, 1e-9);
+  EXPECT_NEAR(s->duals[1], -1.5, 1e-9);
+  EXPECT_NEAR(s->duals[2], -1.0, 1e-9);
+  // Strong duality: y'b == objective.
+  EXPECT_NEAR(s->duals[0] * 4.0 + s->duals[1] * 12.0 + s->duals[2] * 18.0,
+              s->objective, 1e-9);
+  // Reduced costs vanish on the basic (positive) variables.
+  ASSERT_EQ(s->reduced_costs.size(), 2u);
+  EXPECT_NEAR(s->reduced_costs[0], 0.0, 1e-9);
+  EXPECT_NEAR(s->reduced_costs[1], 0.0, 1e-9);
+}
+
+TEST(LpDualsTest, UpperBoundMultiplierFoldsIntoReducedCost) {
+  // min -x with 0 <= x <= 1: optimum x = 1.  The bound is enforced by an
+  // internal row whose multiplier must fold into x's reduced cost, so
+  // the ub-tight variable still certifies rc ~= 0 (not rc = c = -1).
+  LpProblem lp;
+  int x = lp.AddVariable("x", 0.0, 1.0, -1.0);
+  lp.AddConstraint("c", RowRelation::kLessEqual, 10.0, {{x, 1.0}});
+  SimplexOptions options;
+  options.compute_duals = true;
+  auto s = SimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(s->values[0], 1.0, 1e-9);
+  EXPECT_NEAR(s->reduced_costs[0], 0.0, 1e-9);
+  EXPECT_NEAR(s->reduced_costs[0] * s->values[0], 0.0, 1e-9);
+}
+
+TEST(LpDualsTest, DoubleKernelCertificatesOnOptimalMechanismLp) {
+  // The production Section 2.5 LP at n=4: strong duality and CS within
+  // solver tolerances, with duals from the mixed <=/>=/= row census.
+  const int n = 4;
+  const int size = n + 1;
+  LpProblem lp;
+  for (int i = 0; i < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.AddNonNegativeVariable("x", 0.0);
+    }
+  }
+  const int d_var = lp.AddNonNegativeVariable("d", 1.0);
+  auto cell = [&](int i, int r) { return i * size + r; };
+  for (int i = 0; i < size; ++i) {
+    lp.BeginConstraint("loss", RowRelation::kLessEqual, 0.0);
+    for (int r = 0; r < size; ++r) {
+      if (i != r) lp.AddTerm(cell(i, r), std::abs(i - r));
+    }
+    lp.AddTerm(d_var, -1.0);
+  }
+  for (int i = 0; i + 1 < size; ++i) {
+    for (int r = 0; r < size; ++r) {
+      lp.BeginConstraint("dp_down", RowRelation::kGreaterEqual, 0.0);
+      lp.AddTerm(cell(i, r), 1.0);
+      lp.AddTerm(cell(i + 1, r), -0.5);
+      lp.BeginConstraint("dp_up", RowRelation::kGreaterEqual, 0.0);
+      lp.AddTerm(cell(i + 1, r), 1.0);
+      lp.AddTerm(cell(i, r), -0.5);
+    }
+  }
+  for (int i = 0; i < size; ++i) {
+    lp.BeginConstraint("row", RowRelation::kEqual, 1.0);
+    for (int r = 0; r < size; ++r) lp.AddTerm(cell(i, r), 1.0);
+  }
+  SimplexOptions options;
+  options.compute_duals = true;
+  auto s = SimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  double yb = 0.0;
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    yb += s->duals[static_cast<size_t>(i)] * lp.row(i).rhs;
+  }
+  EXPECT_NEAR(yb, s->objective, 1e-6);
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    EXPECT_GE(s->reduced_costs[static_cast<size_t>(j)], -1e-7) << j;
+    EXPECT_NEAR(s->reduced_costs[static_cast<size_t>(j)] *
+                    s->values[static_cast<size_t>(j)],
+                0.0, 1e-6)
+        << j;
+  }
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,191 @@
+// Parallel fraction-free pivots must be BIT-identical to the serial
+// kernel for every thread count: each non-pivot row's elimination writes
+// only its own row, so the schedule cannot change a single bit of the
+// tableau — this suite pins that contract on the paper's LPs and on the
+// degenerate/infeasible/unbounded corpus, under both the explicit
+// ExactSimplexOptions::threads knob and the GEOPRIV_THREADS environment
+// variable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/optimal_exact.h"
+#include "lp/exact_simplex.h"
+#include "util/thread_pool.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+ExactLpProblem OptimalMechanismLp(int n) {
+  auto lp = BuildOptimalMechanismLpExact(n, R(1, 2),
+                                         ExactLossFunction::AbsoluteError(),
+                                         SideInformation::All(n));
+  EXPECT_TRUE(lp.ok());
+  return *std::move(lp);
+}
+
+// Chvatal's degenerate cycling instance (see pivot_rule_test.cc).
+ExactLpProblem DegenerateLp() {
+  ExactLpProblem lp;
+  int x1 = lp.AddVariable("x1", R(-10));
+  int x2 = lp.AddVariable("x2", R(57));
+  int x3 = lp.AddVariable("x3", R(9));
+  int x4 = lp.AddVariable("x4", R(24));
+  lp.AddConstraint(RowRelation::kLessEqual, R(0),
+                   {{x1, R(1, 2)}, {x2, R(-11, 2)}, {x3, R(-5, 2)}, {x4, R(9)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(0),
+                   {{x1, R(1, 2)}, {x2, R(-3, 2)}, {x3, R(-1, 2)}, {x4, R(1)}});
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x1, R(1)}});
+  return lp;
+}
+
+ExactLpProblem InfeasibleLp() {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(1));
+  lp.AddConstraint(RowRelation::kLessEqual, R(1), {{x, R(1)}});
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(2), {{x, R(1)}});
+  return lp;
+}
+
+ExactLpProblem UnboundedLp() {
+  ExactLpProblem lp;
+  int x = lp.AddVariable("x", R(-1));
+  lp.AddConstraint(RowRelation::kGreaterEqual, R(1), {{x, R(1)}});
+  return lp;
+}
+
+ExactLpSolution SolveWithThreads(const ExactLpProblem& lp, int threads) {
+  ExactSimplexOptions options;
+  options.threads = threads;
+  auto s = ExactSimplexSolver(options).Solve(lp);
+  EXPECT_TRUE(s.ok());
+  return *std::move(s);
+}
+
+void ExpectBitIdentical(const ExactLpSolution& a, const ExactLpSolution& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.status, b.status) << label;
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  EXPECT_EQ(a.phase1_iterations, b.phase1_iterations) << label;
+  EXPECT_EQ(a.phase2_iterations, b.phase2_iterations) << label;
+  if (a.status != LpStatus::kOptimal) return;
+  EXPECT_EQ(a.objective.ToString(), b.objective.ToString()) << label;
+  ASSERT_EQ(a.values.size(), b.values.size()) << label;
+  for (size_t j = 0; j < a.values.size(); ++j) {
+    EXPECT_EQ(a.values[j].ToString(), b.values[j].ToString())
+        << label << " variable " << j;
+  }
+  ASSERT_EQ(a.basis.basic_columns.size(), b.basis.basic_columns.size())
+      << label;
+  for (size_t k = 0; k < a.basis.basic_columns.size(); ++k) {
+    EXPECT_EQ(a.basis.basic_columns[k], b.basis.basic_columns[k]) << label;
+  }
+}
+
+TEST(ParallelPivotTest, OptimalMechanismLpsBitIdenticalAcrossThreadCounts) {
+  for (int n : {2, 4, 8}) {
+    ExactLpProblem lp = OptimalMechanismLp(n);
+    ExactLpSolution serial = SolveWithThreads(lp, 1);
+    for (int threads : {2, 8}) {
+      ExpectBitIdentical(serial, SolveWithThreads(lp, threads),
+                         "n=" + std::to_string(n) +
+                             " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelPivotTest, DegenerateInfeasibleUnboundedCorpusBitIdentical) {
+  struct Case {
+    const char* name;
+    ExactLpProblem lp;
+  };
+  std::vector<Case> corpus;
+  corpus.push_back({"degenerate", DegenerateLp()});
+  corpus.push_back({"infeasible", InfeasibleLp()});
+  corpus.push_back({"unbounded", UnboundedLp()});
+  for (Case& c : corpus) {
+    ExactLpSolution serial = SolveWithThreads(c.lp, 1);
+    for (int threads : {2, 8}) {
+      ExpectBitIdentical(serial, SolveWithThreads(c.lp, threads),
+                         std::string(c.name) +
+                             " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelPivotTest, WarmStartedSweepBitIdenticalUnderThreads) {
+  std::vector<ExactLpProblem> family;
+  for (int num : {2, 9, 10, 11, 12}) {
+    auto lp = BuildOptimalMechanismLpExact(4, R(num, 20),
+                                           ExactLossFunction::AbsoluteError(),
+                                           SideInformation::All(4));
+    ASSERT_TRUE(lp.ok());
+    family.push_back(*std::move(lp));
+  }
+  ExactSimplexOptions serial_opts;
+  serial_opts.threads = 1;
+  auto serial = ExactSimplexSolver(serial_opts).SolveSequence(family);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 8}) {
+    ExactSimplexOptions options;
+    options.threads = threads;
+    auto parallel = ExactSimplexSolver(options).SolveSequence(family);
+    ASSERT_TRUE(parallel.ok());
+    for (size_t k = 0; k < family.size(); ++k) {
+      ExpectBitIdentical((*serial)[k], (*parallel)[k],
+                         "k=" + std::to_string(k) +
+                             " threads=" + std::to_string(threads));
+      EXPECT_EQ((*serial)[k].warm_load_pivots, (*parallel)[k].warm_load_pivots);
+    }
+  }
+}
+
+TEST(ParallelPivotTest, GeopriveThreadsEnvironmentVariableIsHonored) {
+  ExactLpProblem lp = OptimalMechanismLp(4);
+  ExactLpSolution serial = SolveWithThreads(lp, 1);
+  ASSERT_EQ(setenv("GEOPRIV_THREADS", "4", 1), 0);
+  // threads=0 defers to the environment.
+  ExactLpSolution via_env = SolveWithThreads(lp, 0);
+  ASSERT_EQ(unsetenv("GEOPRIV_THREADS"), 0);
+  ExpectBitIdentical(serial, via_env, "GEOPRIV_THREADS=4");
+}
+
+TEST(ParallelPivotTest, ConfiguredThreadsPolicy) {
+  ASSERT_EQ(unsetenv("GEOPRIV_THREADS"), 0);
+  EXPECT_EQ(ThreadPool::ConfiguredThreads(0), 1);   // no env, no option
+  EXPECT_EQ(ThreadPool::ConfiguredThreads(3), 3);   // option wins
+  EXPECT_EQ(ThreadPool::ConfiguredThreads(-7), 1);  // clamped
+  ASSERT_EQ(setenv("GEOPRIV_THREADS", "6", 1), 0);
+  EXPECT_EQ(ThreadPool::ConfiguredThreads(0), 6);   // env fallback
+  EXPECT_EQ(ThreadPool::ConfiguredThreads(2), 2);   // option still wins
+  ASSERT_EQ(unsetenv("GEOPRIV_THREADS"), 0);
+}
+
+TEST(ParallelPivotTest, ThreadPoolParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // Reuse across jobs must work (workers are parked, not joined).
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(64, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50 * 64);
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -1,0 +1,210 @@
+// Warm-started LP families: a sweep streamed through one solver
+// (SolveSequence / the core sweep drivers) must certify exactly the same
+// optima as per-point cold solves — bit-identical objectives over Q — and
+// the primal-infeasible fallback must patch the offending rows and run a
+// short phase-1 cleanup rather than fail or return garbage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/optimal.h"
+#include "core/optimal_exact.h"
+#include "lp/exact_simplex.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+std::vector<Rational> AlphaFamily() {
+  return {R(2, 5), R(9, 20), R(1, 2), R(11, 20), R(3, 5)};
+}
+
+ExactLpProblem MechanismLp(int n, const Rational& alpha) {
+  auto lp = BuildOptimalMechanismLpExact(n, alpha,
+                                         ExactLossFunction::AbsoluteError(),
+                                         SideInformation::All(n));
+  EXPECT_TRUE(lp.ok());
+  return *std::move(lp);
+}
+
+TEST(WarmStartTest, ExactSweepMatchesColdSolvesBitIdentically) {
+  for (int n : {2, 4, 8}) {
+    const std::string label = "n=" + std::to_string(n);
+    std::vector<ExactLpProblem> family;
+    for (const Rational& alpha : AlphaFamily()) {
+      family.push_back(MechanismLp(n, alpha));
+    }
+    ExactSimplexSolver solver;
+    auto warm = solver.SolveSequence(family);
+    ASSERT_TRUE(warm.ok()) << label;
+    ASSERT_EQ(warm->size(), family.size()) << label;
+    for (size_t k = 0; k < family.size(); ++k) {
+      auto cold = solver.Solve(family[k]);
+      ASSERT_TRUE(cold.ok()) << label;
+      ASSERT_EQ((*warm)[k].status, LpStatus::kOptimal) << label << " k=" << k;
+      // The optimal VALUE over Q is unique, so the warm chain must
+      // reproduce it to the bit even when it lands on a different
+      // (equally optimal) vertex of these degenerate LPs.
+      EXPECT_EQ((*warm)[k].objective.ToString(), cold->objective.ToString())
+          << label << " k=" << k;
+      EXPECT_EQ((*warm)[k].warm_started, k > 0) << label << " k=" << k;
+    }
+    // The warm points must actually skip phase 1: the family's prior
+    // bases stay primal-feasible across these alpha steps.
+    for (size_t k = 1; k < family.size(); ++k) {
+      EXPECT_EQ((*warm)[k].warm_patched_rows, 0) << label << " k=" << k;
+      EXPECT_EQ((*warm)[k].phase1_iterations, 0) << label << " k=" << k;
+      EXPECT_GT((*warm)[k].warm_load_pivots, 0) << label << " k=" << k;
+    }
+  }
+}
+
+TEST(WarmStartTest, ExactSweepDriverMatchesSingleSolves) {
+  const int n = 4;
+  auto sweep = SolveOptimalMechanismExactSweep(
+      n, AlphaFamily(), ExactLossFunction::AbsoluteError(),
+      SideInformation::All(n));
+  ASSERT_TRUE(sweep.ok());
+  for (size_t k = 0; k < AlphaFamily().size(); ++k) {
+    auto single = SolveOptimalMechanismExact(n, AlphaFamily()[k],
+                                             ExactLossFunction::AbsoluteError(),
+                                             SideInformation::All(n));
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*sweep)[k].loss.ToString(), single->loss.ToString())
+        << "k=" << k;
+  }
+}
+
+TEST(WarmStartTest, ExactLossSweepMatchesSingleSolves) {
+  const int n = 4;
+  std::vector<ExactLossFunction> losses = {ExactLossFunction::AbsoluteError(),
+                                           ExactLossFunction::SquaredError(),
+                                           ExactLossFunction::ZeroOne()};
+  auto sweep = SolveOptimalMechanismExactLossSweep(n, R(1, 2), losses,
+                                                   SideInformation::All(n));
+  ASSERT_TRUE(sweep.ok());
+  for (size_t k = 0; k < losses.size(); ++k) {
+    auto single = SolveOptimalMechanismExact(n, R(1, 2), losses[k],
+                                             SideInformation::All(n));
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*sweep)[k].loss.ToString(), single->loss.ToString())
+        << losses[k].name();
+  }
+}
+
+TEST(WarmStartTest, InfeasiblePriorBasisPatchesAndRecovers) {
+  // Family of structurally identical LPs where the first member's optimal
+  // basis is primal-INFEASIBLE for the second (the equality row's rhs
+  // flips sign):  min x + y  s.t.  x - y == b,  y <= 1.
+  //   b = +1: optimum (1, 0), basis {x, slack}.
+  //   b = -1: loading {x, slack} gives x = -1 < 0, so the loader must
+  //           patch the row and phase 1 must walk to the optimum (0, 1).
+  auto build = [](int64_t b) {
+    ExactLpProblem lp;
+    int x = lp.AddVariable("x", R(1));
+    int y = lp.AddVariable("y", R(1));
+    lp.AddConstraint(RowRelation::kEqual, R(b), {{x, R(1)}, {y, R(-1)}});
+    lp.AddConstraint(RowRelation::kLessEqual, R(1), {{y, R(1)}});
+    return lp;
+  };
+  std::vector<ExactLpProblem> family;
+  family.push_back(build(1));
+  family.push_back(build(-1));
+  auto seq = ExactSimplexSolver().SolveSequence(family);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_EQ((*seq)[0].status, LpStatus::kOptimal);
+  EXPECT_EQ((*seq)[0].objective.ToString(), "1");
+  ASSERT_EQ((*seq)[1].status, LpStatus::kOptimal);
+  EXPECT_TRUE((*seq)[1].warm_started);
+  EXPECT_GT((*seq)[1].warm_patched_rows, 0);
+  EXPECT_GT((*seq)[1].phase1_iterations, 0);  // the short cleanup ran
+  EXPECT_EQ((*seq)[1].objective.ToString(), "1");  // optimum (0, 1)
+}
+
+TEST(WarmStartTest, GarbageWarmBasisIsRejectedLoudly) {
+  ExactLpProblem lp = MechanismLp(2, R(1, 2));
+  LpBasis garbage;
+  garbage.basic_columns = {0, 0};  // duplicate
+  ExactSimplexOptions options;
+  options.warm_start = &garbage;
+  EXPECT_FALSE(ExactSimplexSolver(options).Solve(lp).ok());
+  garbage.basic_columns = {1 << 20};  // out of range
+  EXPECT_FALSE(ExactSimplexSolver(options).Solve(lp).ok());
+}
+
+TEST(WarmStartTest, DenseReferenceEngineIgnoresWarmStart) {
+  ExactLpProblem lp = MechanismLp(2, R(1, 2));
+  auto cold = ExactSimplexSolver().Solve(lp);
+  ASSERT_TRUE(cold.ok());
+  ExactSimplexOptions options;
+  options.engine = ExactPivotEngine::kDenseRational;
+  options.warm_start = &cold->basis;
+  auto s = ExactSimplexSolver(options).Solve(lp);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->warm_started);
+  EXPECT_EQ(s->objective.ToString(), cold->objective.ToString());
+}
+
+TEST(WarmStartTest, DenseBasisCanSeedFractionFreeWarmStart) {
+  // The two engines share the standard-form layout, so a reference-engine
+  // basis is a valid warm seed for the optimized kernel.
+  ExactLpProblem lp4 = MechanismLp(4, R(1, 2));
+  ExactSimplexOptions dense;
+  dense.engine = ExactPivotEngine::kDenseRational;
+  auto seed = ExactSimplexSolver(dense).Solve(lp4);
+  ASSERT_TRUE(seed.ok());
+  ExactLpProblem lp4b = MechanismLp(4, R(11, 20));
+  ExactSimplexOptions warm;
+  warm.warm_start = &seed->basis;
+  auto s = ExactSimplexSolver(warm).Solve(lp4b);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->warm_started);
+  auto cold = ExactSimplexSolver().Solve(lp4b);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(s->objective.ToString(), cold->objective.ToString());
+}
+
+TEST(WarmStartTest, DoubleSweepMatchesColdSolves) {
+  const int n = 6;
+  auto consumer = MinimaxConsumer::Create(LossFunction::AbsoluteError(),
+                                          SideInformation::All(n));
+  ASSERT_TRUE(consumer.ok());
+  std::vector<double> alphas = {0.3, 0.4, 0.5, 0.6, 0.7};
+  auto sweep = SolveOptimalMechanismSweep(n, alphas, *consumer);
+  ASSERT_TRUE(sweep.ok());
+  for (size_t k = 0; k < alphas.size(); ++k) {
+    auto cold = SolveOptimalMechanism(n, alphas[k], *consumer);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_NEAR((*sweep)[k].loss, cold->loss, 1e-7) << "k=" << k;
+  }
+}
+
+TEST(WarmStartTest, DoubleWarmStartPatchesInfeasiblePrior) {
+  auto build = [](double b) {
+    LpProblem lp;
+    int x = lp.AddNonNegativeVariable("x", 1.0);
+    int y = lp.AddNonNegativeVariable("y", 1.0);
+    lp.AddConstraint("eq", RowRelation::kEqual, b, {{x, 1.0}, {y, -1.0}});
+    lp.AddConstraint("cap", RowRelation::kLessEqual, 1.0, {{y, 1.0}});
+    return lp;
+  };
+  std::vector<LpProblem> family;
+  family.push_back(build(1.0));
+  family.push_back(build(-1.0));
+  auto seq = SimplexSolver().SolveSequence(family);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_EQ((*seq)[1].status, LpStatus::kOptimal);
+  EXPECT_TRUE((*seq)[1].warm_started);
+  EXPECT_GT((*seq)[1].warm_patched_rows, 0);
+  EXPECT_NEAR((*seq)[1].objective, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace geopriv

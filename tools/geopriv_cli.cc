@@ -96,22 +96,27 @@ int CmdRelease(const Args& args) {
   return 0;
 }
 
+// Parses a comma-separated list like "0.3,0.5,0.8" (--alphas values).
+std::vector<double> ParseDoubleList(const std::string& spec) {
+  std::vector<double> values;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    values.push_back(std::atof(spec.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return values;
+}
+
 int CmdMultilevel(const Args& args) {
   int n = args.GetInt("n", 100);
   int count = args.GetInt("count", -1);
   if (count < 0) {
     return Fail(Status::InvalidArgument("--count is required"));
   }
-  // --alphas "0.3,0.5,0.8"
-  std::vector<double> alphas;
-  std::string spec = args.GetString("alphas", "0.3,0.6");
-  size_t pos = 0;
-  while (pos < spec.size()) {
-    size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    alphas.push_back(std::atof(spec.substr(pos, comma - pos).c_str()));
-    pos = comma + 1;
-  }
+  std::vector<double> alphas =
+      ParseDoubleList(args.GetString("alphas", "0.3,0.6"));
   auto release = MultiLevelRelease::Create(n, alphas);
   if (!release.ok()) return Fail(release.status());
   Xoshiro256 rng(static_cast<uint64_t>(args.GetInt("seed", 1)));
@@ -140,6 +145,25 @@ int CmdOptimal(const Args& args) {
                 args.GetString("out", "").c_str());
   } else {
     std::printf("%s", result->mechanism.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdSweep(const Args& args) {
+  // The α family streams through one warm-started solver: each point's
+  // optimal basis seeds the next (SolveOptimalMechanismSweep), so a dense
+  // ε grid costs far less than per-point cold solves.
+  int n = args.GetInt("n", 8);
+  std::vector<double> alphas =
+      ParseDoubleList(args.GetString("alphas", "0.3,0.5,0.7"));
+  auto consumer = ConsumerFromArgs(args, n);
+  if (!consumer.ok()) return Fail(consumer.status());
+  auto results = SolveOptimalMechanismSweep(n, alphas, *consumer);
+  if (!results.ok()) return Fail(results.status());
+  std::printf("%8s %15s %8s\n", "alpha", "optimal-loss", "pivots");
+  for (size_t k = 0; k < alphas.size(); ++k) {
+    std::printf("%8.4f %15.9f %8d\n", alphas[k], (*results)[k].loss,
+                (*results)[k].lp_iterations);
   }
   return 0;
 }
@@ -202,6 +226,8 @@ void PrintUsage() {
       "  multilevel --n N --alphas a1,a2,... --count C [--seed S]\n"
       "  optimal    --n N --alpha A [--loss absolute|squared|zero-one]\n"
       "             [--lo L --hi H] [--out FILE]\n"
+      "  sweep      --n N --alphas a1,a2,... [--loss ...] [--lo L --hi H]\n"
+      "             (warm-started: each point seeds the next solve)\n"
       "  interact   --file FILE [--loss ...] [--lo L --hi H]\n"
       "  check      --file FILE --alpha A\n"
       "  analyze    --file FILE\n");
@@ -219,6 +245,7 @@ int main(int argc, char** argv) {
   if (command == "release") return CmdRelease(args);
   if (command == "multilevel") return CmdMultilevel(args);
   if (command == "optimal") return CmdOptimal(args);
+  if (command == "sweep") return CmdSweep(args);
   if (command == "interact") return CmdInteract(args);
   if (command == "check") return CmdCheck(args);
   if (command == "analyze") return CmdAnalyze(args);

@@ -10,8 +10,13 @@
 #                  dense reference at n=8, double LP at n=20/24)
 #   --compare F    after running, diff medians against the committed
 #                  snapshot F (e.g. BENCH_exact.json) and exit nonzero if
-#                  any shared benchmark regressed by more than 25%.  The
-#                  fresh results go to a scratch file, not over F.
+#                  any shared benchmark regressed by more than 25% OR any
+#                  snapshot benchmark of an executed suite is missing from
+#                  the fresh results (a bench that silently disappears is
+#                  a gate failure, not a pass).  On full runs (no explicit
+#                  suite list) a snapshot suite with no fresh counterpart
+#                  fails too.  The fresh results go to a scratch file, not
+#                  over F.
 #   bench_name     restrict to specific suites (default: all bench_* targets)
 #
 # Environment:
@@ -53,6 +58,10 @@ if [ "$expect_compare" -eq 1 ]; then
   echo "--compare requires a snapshot file argument" >&2
   exit 2
 fi
+# Captured before the no-arg autofill below: the compare gate must know
+# whether the CALLER restricted the suites (a full run flags snapshot
+# suites that produced no fresh results; an explicit list does not).
+EXPLICIT_SUITES="${#SUITES[@]}"
 if [ -n "$COMPARE_FILE" ]; then
   if [ ! -f "$COMPARE_FILE" ]; then
     echo "snapshot not found: $COMPARE_FILE" >&2
@@ -83,6 +92,13 @@ mkdir -p "$JSON_DIR"
 for suite in "${SUITES[@]}"; do
   bin="$BUILD_DIR/$suite"
   if [ ! -x "$bin" ]; then
+    if [ -n "$COMPARE_FILE" ]; then
+      # In compare mode a requested suite with no binary is a gate
+      # failure, not a skip — it is exactly the "bench silently
+      # disappeared" case the comparison exists to catch.
+      echo "requested suite has no binary: $suite" >&2
+      exit 1
+    fi
     echo "skipping unknown suite: $suite" >&2
     continue
   fi
@@ -116,6 +132,14 @@ consolidated = {
     "generated_utc": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
     "machine": platform.machine(),
+    # Whether the consolidated results include --large-gated cases.  This
+    # must describe the merged CONTENT — per-suite JSON may be carried
+    # over from an earlier --large run even when THIS invocation was not
+    # --large — so it is derived from the suites' own flags (written by
+    # bench/harness.h), not from this run's arguments.  The --compare
+    # missing-case check keys off it so a non---large rerun is not blamed
+    # for "losing" the gated cases.
+    "large_run": any(s.get("large", False) for s in suites),
     "suites": suites,
 }
 with open(out_path, "w") as f:
@@ -130,31 +154,57 @@ if [ -n "$COMPARE_FILE" ]; then
   # hold leftover results from earlier runs (the consolidation above
   # deliberately merges them so partial reruns can refresh a snapshot in
   # place), and comparing stale data would mask real regressions.
-  python3 - "$COMPARE_FILE" "$OUT_FILE" "${RUN_SUITES[@]}" <<'PY'
+  # EXPLICIT_SUITES (captured before the autofill) tells the checker
+  # whether the caller restricted the run: on a full run, snapshot suites
+  # that produced no fresh results at all (deleted binary, build break)
+  # must fail the gate as well.
+  python3 - "$COMPARE_FILE" "$OUT_FILE" "$EXPLICIT_SUITES" \
+      "${RUN_SUITES[@]}" <<'PY'
 import json, sys
 
 THRESHOLD = 0.25  # fractional median slowdown tolerated before failing
 
 snapshot_path, fresh_path = sys.argv[1], sys.argv[2]
-ran_suites = set(sys.argv[3:])
+explicit_suites = int(sys.argv[3]) > 0
+ran_suites = set(sys.argv[4:])
 
-def medians(path):
+def load(path):
     with open(path) as f:
         data = json.load(f)
     out = {}
     for suite in data.get("suites", []):
         for b in suite.get("benchmarks", []):
             out[(suite.get("suite", "?"), b["name"])] = b["median_ms"]
-    return out
+    return out, data.get("large_run", False)
 
-base = medians(snapshot_path)
-fresh = medians(fresh_path)
+base, base_large = load(snapshot_path)
+fresh, fresh_large = load(fresh_path)
 shared = sorted(k for k in set(base) & set(fresh)
                 if not ran_suites or k[0] in ran_suites)
 if not shared:
     print(f"no shared benchmarks between {snapshot_path} and {fresh_path} "
           f"for the suites run in this invocation", file=sys.stderr)
     sys.exit(2)
+
+# A benchmark present in the snapshot but absent from a suite that DID run
+# means the case silently disappeared (renamed, dropped, or no longer
+# reached) — flag it instead of letting the gate pass by omission.  The
+# per-case check only applies when this run's --large gating covers the
+# snapshot's (a non---large rerun legitimately lacks the gated cases); the
+# suite-level check below applies regardless.  On full runs, a snapshot
+# suite with no fresh results at all is also a failure.
+fresh_suites = {suite for suite, _ in fresh}
+missing = []
+if fresh_large or not base_large:
+    missing = sorted(k for k in set(base) - set(fresh)
+                     if k[0] in ran_suites and k[0] in fresh_suites)
+else:
+    print("note: snapshot includes --large cases but this run did not "
+          "request them; per-case missing check skipped")
+missing_suites = []
+if not explicit_suites:
+    missing_suites = sorted({suite for suite, _ in base}
+                            - fresh_suites)
 
 regressions = []
 print(f"comparing {len(shared)} shared benchmarks against {snapshot_path} "
@@ -169,13 +219,28 @@ for key in shared:
     print(f"  {key[0]}/{key[1]}: {old:.6f} -> {new:.6f} ms "
           f"({delta:+.1%}){flag}")
 
+failed = False
+if missing:
+    failed = True
+    print(f"\n{len(missing)} snapshot benchmark(s) missing from the fresh "
+          f"results of executed suites:", file=sys.stderr)
+    for suite, name in missing:
+        print(f"  {suite}/{name}", file=sys.stderr)
+if missing_suites:
+    failed = True
+    print(f"\n{len(missing_suites)} snapshot suite(s) produced no fresh "
+          f"results on this full run:", file=sys.stderr)
+    for suite in missing_suites:
+        print(f"  {suite}", file=sys.stderr)
 if regressions:
+    failed = True
     print(f"\n{len(regressions)} benchmark(s) regressed by more than "
           f"{THRESHOLD:.0%}:", file=sys.stderr)
     for (suite, name), old, new, delta in regressions:
         print(f"  {suite}/{name}: {old:.6f} -> {new:.6f} ms ({delta:+.1%})",
               file=sys.stderr)
+if failed:
     sys.exit(1)
-print("no regressions beyond threshold")
+print("no regressions beyond threshold; no missing cases")
 PY
 fi
