@@ -1,0 +1,159 @@
+// Service-layer throughput: what the sharded solve cache, the batched
+// pipeline and the line protocol cost per query.
+//
+// The headline comparison is CachedQuery vs SolvePerQuery on a repeated
+// signature — the gap IS the cache (the acceptance gate asks for >= 5x;
+// in practice it is orders of magnitude, a map lookup against an exact LP
+// solve).  MissWarmSweep vs MissColdSweep isolates what warm-starting
+// misses from the nearest cached basis saves while an alpha grid fills.
+// A fresh RNG stream per query keeps every workload deterministic.
+//
+// n=8 always runs (so the CI bench-smoke compare always has shared
+// cases); --large adds the same workloads at n=12.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+#include "service/server.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace geopriv;
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+MechanismSignature Sig(int n, const Rational& alpha) {
+  return *MechanismSignature::Create(n, alpha, "absolute", 0, n,
+                                     ServeMode::kExactOptimal);
+}
+
+std::vector<ServiceQuery> RepeatedBatch(int n, size_t count) {
+  std::vector<ServiceQuery> batch;
+  for (size_t q = 0; q < count; ++q) {
+    ServiceQuery query;
+    query.consumer = "load-" + std::to_string(q % 8);
+    query.signature = Sig(n, R(1, 2));
+    query.true_count = static_cast<int>(q % (static_cast<size_t>(n) + 1));
+    query.seed = 0x5eed + q;
+    batch.push_back(query);
+  }
+  return batch;
+}
+
+std::vector<Rational> AlphaGrid() {
+  return {R(2, 5), R(9, 20), R(1, 2), R(11, 20), R(3, 5)};
+}
+
+// A solver failure must surface as a diagnosable message, not a segfault
+// through an error Result.
+std::shared_ptr<const ServedMechanism> MustEntry(
+    Result<std::shared_ptr<const ServedMechanism>> entry) {
+  if (!entry.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 entry.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(entry);
+}
+
+void RunWorkloads(bench::Harness& harness, int n) {
+  const std::string label = "/n=" + std::to_string(n);
+
+  // --- repeated-signature workload: cache vs solve-per-query ---------------
+  MechanismCache cache;
+  QueryPipeline pipeline(&cache, nullptr, 1);
+  const std::vector<ServiceQuery> one = RepeatedBatch(n, 1);
+  (void)pipeline.ExecuteBatch(one);  // prime: the one cold solve
+
+  harness.Run("CachedQuery" + label, [&] {
+    bench::DoNotOptimize(pipeline.ExecuteBatch(one).front().released);
+  });
+
+  harness.Run(
+      "SolvePerQuery" + label,
+      [&] {
+        auto entry = MustEntry(cache.SolveUncached(one.front().signature));
+        Xoshiro256 rng(one.front().seed);
+        bench::DoNotOptimize(
+            entry->mechanism.Sample(one.front().true_count, rng));
+      },
+      {/*repetitions=*/5, /*warmup=*/0, /*min_rep_ms=*/0.0,
+       /*budget_ms=*/-1.0});
+
+  // --- batched sampling fan-out --------------------------------------------
+  const std::vector<ServiceQuery> batch64 = RepeatedBatch(n, 64);
+  harness.Run("CachedBatch64" + label, [&] {
+    bench::DoNotOptimize(pipeline.ExecuteBatch(batch64).back().released);
+  });
+  {
+    QueryPipeline threaded(&cache, nullptr, 4);
+    harness.Run("CachedBatch64/threads=4" + label, [&] {
+      bench::DoNotOptimize(threaded.ExecuteBatch(batch64).back().released);
+    });
+  }
+
+  // --- the line protocol on the hit path -----------------------------------
+  {
+    MechanismService service;
+    bool shutdown = false;
+    const std::string line =
+        "{\"op\":\"query\",\"consumer\":\"wire\",\"n\":" + std::to_string(n) +
+        ",\"alpha\":\"1/2\",\"count\":3,\"seed\":17}";
+    (void)service.HandleLine(line, &shutdown);  // prime
+    harness.Run("ProtocolQuery" + label, [&] {
+      bench::DoNotOptimize(service.HandleLine(line, &shutdown));
+    });
+  }
+
+  // --- miss handling: warm-started grid fill vs cold grid fill -------------
+  const auto fill = [&](bool cached) {
+    MechanismCache fresh;
+    int pivots = 0;
+    for (const Rational& alpha : AlphaGrid()) {
+      auto entry = MustEntry(cached ? fresh.GetOrSolve(Sig(n, alpha))
+                                    : fresh.SolveUncached(Sig(n, alpha)));
+      pivots += entry->lp_iterations;
+    }
+    return pivots;
+  };
+  const bench::RunOptions slow{/*repetitions=*/3, /*warmup=*/0,
+                               /*min_rep_ms=*/0.0, /*budget_ms=*/-1.0};
+  harness.Run("MissWarmSweep" + label,
+              [&] { bench::DoNotOptimize(fill(true)); }, slow);
+  harness.Run("MissColdSweep" + label,
+              [&] { bench::DoNotOptimize(fill(false)); }, slow);
+
+  // --- acceptance evidence: the cache speedup on a repeated signature ------
+  {
+    Stopwatch cold_watch;
+    (void)cache.SolveUncached(one.front().signature);
+    const double cold_ms = cold_watch.ElapsedMillis();
+    const int reps = 1000;
+    Stopwatch hit_watch;
+    for (int r = 0; r < reps; ++r) {
+      bench::DoNotOptimize(pipeline.ExecuteBatch(one).front().released);
+    }
+    const double hit_ms = hit_watch.ElapsedMillis() / reps;
+    std::printf(
+        "  repeated-signature speedup through the cache (n=%d): %.0fx "
+        "(%.3f ms solve-per-query vs %.6f ms cached)\n",
+        n, cold_ms / hit_ms, cold_ms, hit_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness harness("bench_service_throughput", argc, argv);
+  RunWorkloads(harness, 8);
+  if (harness.large()) RunWorkloads(harness, 12);
+  return harness.Finish();
+}

@@ -30,5 +30,11 @@
 #include "core/privacy.h"          // IWYU pragma: export
 #include "db/database.h"           // IWYU pragma: export
 #include "db/synthetic.h"          // IWYU pragma: export
+#include "service/budget_ledger.h"   // IWYU pragma: export
+#include "service/mechanism_cache.h" // IWYU pragma: export
+#include "service/protocol.h"        // IWYU pragma: export
+#include "service/query_pipeline.h"  // IWYU pragma: export
+#include "service/server.h"          // IWYU pragma: export
+#include "service/signature.h"       // IWYU pragma: export
 
 #endif  // GEOPRIV_CORE_GEOPRIV_H_

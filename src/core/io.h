@@ -2,14 +2,25 @@
 //
 // A deployed mechanism is an artifact that gets reviewed, versioned and
 // shipped between the data owner and consumers, so the library provides a
-// stable, human-readable format:
+// stable, human-readable format.  Two versions exist:
 //
 //   geopriv-mechanism v1
 //   n <n>
 //   row <p_0> <p_1> ... <p_n>     (n+1 rows, each a distribution)
 //
-// Probabilities are written with 17 significant digits (round-trip safe
-// for doubles).  Parsing validates shape and stochasticity.
+// with probabilities written with 17 significant digits (round-trip safe
+// for doubles), and
+//
+//   geopriv-mechanism v2
+//   n <n>
+//   row <p_0> <p_1> ... <p_n>     (entries are exact rationals "p/q")
+//
+// whose entries round-trip *losslessly*: v2 is what the mechanism
+// service's solve cache persists, so an exact LP optimum reloaded after a
+// restart is bit-identical (operator==) to the freshly solved one.
+// Parsing validates shape and stochasticity; ParseMechanism accepts both
+// versions (v2 entries are converted to doubles), ParseExactMechanism
+// requires v2.
 
 #ifndef GEOPRIV_CORE_IO_H_
 #define GEOPRIV_CORE_IO_H_
@@ -17,6 +28,7 @@
 #include <string>
 
 #include "core/mechanism.h"
+#include "exact/rational_matrix.h"
 #include "util/result.h"
 
 namespace geopriv {
@@ -24,7 +36,8 @@ namespace geopriv {
 /// Serializes a mechanism to the v1 text format.
 std::string SerializeMechanism(const Mechanism& mechanism);
 
-/// Parses the v1 text format; validates header, shape and stochasticity.
+/// Parses the v1 or v2 text format; validates header, shape and
+/// stochasticity.  v2 entries are converted to the closest doubles.
 Result<Mechanism> ParseMechanism(const std::string& text);
 
 /// Writes a mechanism to `path` (overwrites).  Fails on I/O errors.
@@ -32,6 +45,24 @@ Status SaveMechanism(const Mechanism& mechanism, const std::string& path);
 
 /// Reads a mechanism from `path`.
 Result<Mechanism> LoadMechanism(const std::string& path);
+
+// ---- exact (v2) format ------------------------------------------------------
+
+/// Serializes an exact row-stochastic matrix to the v2 text format with
+/// lossless "p/q" entries (lowest terms).
+std::string SerializeExactMechanism(const RationalMatrix& mechanism);
+
+/// Parses the v2 text format; validates the header, shape, and *exact*
+/// row-stochasticity (every row sums to exactly 1, entries >= 0).
+Result<RationalMatrix> ParseExactMechanism(const std::string& text);
+
+/// Writes an exact mechanism to `path` (overwrites).  Fails on I/O errors
+/// and on non-stochastic input.
+Status SaveExactMechanism(const RationalMatrix& mechanism,
+                          const std::string& path);
+
+/// Reads an exact mechanism from `path`.
+Result<RationalMatrix> LoadExactMechanism(const std::string& path);
 
 }  // namespace geopriv
 

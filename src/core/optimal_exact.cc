@@ -1,9 +1,11 @@
 #include "core/optimal_exact.h"
 
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "lp/exact_simplex.h"
+#include "util/thread_pool.h"
 
 namespace geopriv {
 
@@ -171,7 +173,8 @@ Result<ExactOptimalResult> PackMechanismResult(ExactLpSolution solution,
   }
   return ExactOptimalResult{std::move(mechanism),
                             std::move(solution.objective),
-                            solution.iterations, solution.warm_started};
+                            solution.iterations, solution.warm_started,
+                            std::move(solution.basis)};
 }
 
 }  // namespace
@@ -231,6 +234,10 @@ Result<std::vector<ExactOptimalResult>> SolveOptimalMechanismExactSweep(
 
   std::vector<ExactLpSolution> solutions(count);
   ExactSimplexOptions chain_options = options;
+  // The whole sweep shares one worker pool: spawn threads once per family,
+  // not once per member (see ExactSimplexOptions::pool).
+  std::unique_ptr<ThreadPool> sweep_pool = MakeChainPool(chain_options, count);
+  if (sweep_pool != nullptr) chain_options.pool = sweep_pool.get();
   {
     GEOPRIV_ASSIGN_OR_RETURN(
         ExactLpSolution anchor,
@@ -346,7 +353,8 @@ Result<ExactOptimalResult> SolveOptimalInteractionExact(
     return Status::Internal("exact LP produced a non-stochastic interaction");
   }
   return ExactOptimalResult{std::move(t), std::move(solution.objective),
-                            solution.iterations};
+                            solution.iterations, false,
+                            std::move(solution.basis)};
 }
 
 }  // namespace geopriv

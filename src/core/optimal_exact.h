@@ -64,6 +64,11 @@ struct ExactOptimalResult {
   Rational loss;          ///< the exact optimal minimax loss
   int lp_iterations = 0;
   bool warm_started = false;  ///< solved from a prior family member's basis
+  /// The optimal basis, fit to warm-start a structurally identical solve
+  /// (ExactSimplexOptions::warm_start).  The mechanism service's solve
+  /// cache keeps it per entry so a cache miss can seed from the nearest
+  /// cached neighbor instead of solving cold.
+  LpBasis basis;
 };
 
 /// Section 2.5 LP over Q: the optimal alpha-DP mechanism for the consumer

@@ -1029,14 +1029,22 @@ Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
   setup.compute_duals = options.compute_duals;
   setup.warm = Kernel::kSupportsWarmStart && options.warm_start != nullptr &&
                !options.warm_start->empty();
-  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<ThreadPool> owned_pool;
   if (Kernel::kUsesThreadPool &&
       static_cast<size_t>(problem.num_constraints()) + 1 >=
           kMinRowsForPool) {
-    const int threads = ThreadPool::ConfiguredThreads(options.threads);
-    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    if (options.pool != nullptr) {
+      // A chain driver (SolveSequence, the sweep drivers, the service's
+      // solve cache) owns the pool; borrow it for this member's pivots.
+      if (options.pool->size() > 1) setup.pool = options.pool;
+    } else {
+      const int threads = ThreadPool::ConfiguredThreads(options.threads);
+      if (threads > 1) {
+        owned_pool = std::make_unique<ThreadPool>(threads);
+        setup.pool = owned_pool.get();
+      }
+    }
   }
-  setup.pool = pool.get();
 
   Kernel kernel(problem, setup);
 
@@ -1110,11 +1118,25 @@ Result<ExactLpSolution> ExactSimplexSolver::Solve(
   return SolveWithKernel<FractionFreeKernel>(problem, options_);
 }
 
+std::unique_ptr<ThreadPool> MakeChainPool(const ExactSimplexOptions& options,
+                                          size_t members) {
+  if (options.pool != nullptr || members < 2) return nullptr;
+  const int threads = ThreadPool::ConfiguredThreads(options.threads);
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
 Result<std::vector<ExactLpSolution>> ExactSimplexSolver::SolveSequence(
     const std::vector<ExactLpProblem>& problems) const {
+  // One pool serves the whole chain: workers are spawned once here instead
+  // of once per member (each Solve would otherwise construct its own).
+  ExactSimplexOptions options = options_;
+  std::unique_ptr<ThreadPool> chain_pool = MakeChainPool(options,
+                                                         problems.size());
+  if (chain_pool != nullptr) options.pool = chain_pool.get();
   return lp_internal::ChainWarmStarts<ExactSimplexSolver, ExactSimplexOptions,
                                       ExactLpProblem, ExactLpSolution>(
-      options_, problems);
+      options, problems);
 }
 
 }  // namespace geopriv

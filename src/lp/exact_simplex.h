@@ -31,6 +31,7 @@
 #ifndef GEOPRIV_LP_EXACT_SIMPLEX_H_
 #define GEOPRIV_LP_EXACT_SIMPLEX_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,8 @@
 #include "util/result.h"
 
 namespace geopriv {
+
+class ThreadPool;  // util/thread_pool.h; pointed to by ExactSimplexOptions
 
 /// A sparse coefficient in an exact constraint row.
 struct ExactLpTerm {
@@ -188,7 +191,25 @@ struct ExactSimplexOptions {
   /// 0 (default) defers to the GEOPRIV_THREADS environment variable, else
   /// 1 (serial).  Results are bit-identical for every thread count.
   int threads = 0;
+  /// Optional externally owned worker pool.  When set it takes precedence
+  /// over `threads`: the solve borrows this pool for its parallel row
+  /// eliminations instead of constructing one.  SolveSequence and the core
+  /// sweep drivers set it so a whole warm-started family shares one pool
+  /// (one thread spawn per chain, not per member); long-lived callers —
+  /// the mechanism service's solve cache — keep a pool for their entire
+  /// lifetime and pass it down here.  The pool must outlive the Solve call
+  /// and must not be used concurrently by another solve (ThreadPool is not
+  /// reentrant).  Results are bit-identical with or without a shared pool.
+  ThreadPool* pool = nullptr;
 };
+
+/// The chain drivers' shared-pool policy in one place: returns the pool a
+/// chain of `members` solves should construct and share, or null when the
+/// options already carry a pool, the chain is trivial, or the configured
+/// thread count is 1.  Callers keep the returned pool alive for the whole
+/// chain and point every member's options.pool at it.
+std::unique_ptr<ThreadPool> MakeChainPool(const ExactSimplexOptions& options,
+                                          size_t members);
 
 /// Two-phase primal simplex over Q.  Deterministic, tolerance-free,
 /// guaranteed to terminate.  The solver itself is stateless and safe to

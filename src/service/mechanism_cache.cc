@@ -1,0 +1,405 @@
+#include "service/mechanism_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/geometric.h"
+#include "core/io.h"
+#include "core/optimal_exact.h"
+
+namespace geopriv {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kEntryHeader[] = "geopriv-service-entry v1";
+
+std::string HashFileName(const MechanismSignature& signature) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    SignatureHash(signature.CanonicalKey())));
+  return std::string(buf) + ".entry";
+}
+
+bool StructurallyCompatible(const MechanismSignature& a,
+                            const MechanismSignature& b) {
+  return a.mode == b.mode && a.n == b.n && a.lo == b.lo && a.hi == b.hi;
+}
+
+}  // namespace
+
+MechanismCache::MechanismCache(CacheOptions options)
+    : options_(std::move(options)),
+      shards_(options_.shards == 0 ? 1 : options_.shards) {
+  const int threads = ThreadPool::ConfiguredThreads(options_.threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+MechanismCache::Shard& MechanismCache::ShardFor(
+    const MechanismSignature& signature) {
+  return shards_[SignatureHash(signature.StructuralKey()) % shards_.size()];
+}
+
+const MechanismCache::Shard& MechanismCache::ShardFor(
+    const MechanismSignature& signature) const {
+  return shards_[SignatureHash(signature.StructuralKey()) % shards_.size()];
+}
+
+Result<ServedMechanism> MechanismCache::SolveLocked(
+    const MechanismSignature& signature, const LpBasis* warm_seed) const {
+  GEOPRIV_ASSIGN_OR_RETURN(ExactLossFunction loss, signature.ResolveLoss());
+  GEOPRIV_ASSIGN_OR_RETURN(SideInformation side, signature.ResolveSide());
+
+  ServedMechanism entry;
+  entry.signature = signature;
+
+  if (signature.mode == ServeMode::kGeometric) {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        RationalMatrix matrix,
+        GeometricMechanism::BuildExactMatrix(signature.n, signature.alpha));
+    GEOPRIV_ASSIGN_OR_RETURN(Rational worst,
+                             ExactWorstCaseLoss(matrix, loss, side));
+    entry.exact = std::move(matrix);
+    entry.loss = std::move(worst);
+  } else {
+    ExactSimplexOptions solver = options_.solver;
+    solver.warm_start = warm_seed;
+    solver.pool = pool_.get();
+    solver.threads = 1;  // never spawn per-solve workers; pool_ is the pool
+    Result<ExactOptimalResult> solved = SolveOptimalMechanismExact(
+        signature.n, signature.alpha, loss, side, solver);
+    if (!solved.ok() && warm_seed != nullptr) {
+      // A seed that does not fit (or drove the solver into a corner) must
+      // never cost correctness: fall back to the cold path once.
+      solver.warm_start = nullptr;
+      solved = SolveOptimalMechanismExact(signature.n, signature.alpha, loss,
+                                          side, solver);
+    }
+    GEOPRIV_ASSIGN_OR_RETURN(ExactOptimalResult result, std::move(solved));
+    entry.exact = std::move(result.matrix);
+    entry.loss = std::move(result.loss);
+    entry.basis = std::move(result.basis);
+    entry.lp_iterations = result.lp_iterations;
+    entry.warm_started = result.warm_started;
+  }
+
+  GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism,
+                           Mechanism::FromExact(entry.exact));
+  GEOPRIV_RETURN_IF_ERROR(mechanism.PrepareSamplers());
+  entry.mechanism = std::move(mechanism);
+  return entry;
+}
+
+std::shared_ptr<const ServedMechanism> MechanismCache::Peek(
+    const MechanismSignature& signature) {
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(signature.CanonicalKey());
+  if (it == shard.entries.end()) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
+    const MechanismSignature& signature, bool* was_hit) {
+  Shard& shard = ShardFor(signature);
+  const std::string key = signature.CanonicalKey();
+
+  std::shared_ptr<const ServedMechanism> seed_entry;
+  {
+    std::unique_lock<std::mutex> shard_lock(shard.mu);
+    // Wait out a concurrent solve of the same signature: each signature is
+    // solved at most once, and waiters come back as hits (or retry the
+    // solve themselves if the first attempt failed and vanished).
+    for (;;) {
+      auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (was_hit != nullptr) *was_hit = true;
+        return it->second;
+      }
+      if (shard.in_flight.count(key) == 0) break;
+      shard.solved.wait(shard_lock);
+    }
+    if (was_hit != nullptr) *was_hit = false;
+    shard.in_flight.insert(key);
+
+    // Pick the warm seed before unlocking.  Only entries of the same
+    // structural family fit (warm starts require identical LP shape), only
+    // LP entries carry a basis, and the nearest alpha gives the seed whose
+    // optimal basis most likely still prices out optimal (ties prefer the
+    // same loss, then the smaller key for determinism).  Holding the
+    // shared_ptr keeps the seed's basis alive after the lock drops.
+    if (signature.mode == ServeMode::kExactOptimal) {
+      for (const auto& [other_key, other] : shard.entries) {
+        if (!StructurallyCompatible(other->signature, signature)) continue;
+        if (other->basis.empty()) continue;
+        if (seed_entry == nullptr) {
+          seed_entry = other;
+          continue;
+        }
+        const Rational cand_dist =
+            (other->signature.alpha - signature.alpha).Abs();
+        const Rational seed_dist =
+            (seed_entry->signature.alpha - signature.alpha).Abs();
+        const int cmp = cand_dist.Compare(seed_dist);
+        if (cmp < 0) {
+          seed_entry = other;
+        } else if (cmp == 0) {
+          const bool cand_same = other->signature.loss == signature.loss;
+          const bool seed_same = seed_entry->signature.loss == signature.loss;
+          if ((cand_same && !seed_same) ||
+              (cand_same == seed_same &&
+               other->signature.CanonicalKey() <
+                   seed_entry->signature.CanonicalKey())) {
+            seed_entry = other;
+          }
+        }
+      }
+    }
+  }
+
+  // The shard lock is released while the solve grinds, so concurrent hits
+  // on this shard (and GetStats) stay cheap; the in_flight marker keeps
+  // duplicate solves of this signature out.
+  Result<ServedMechanism> solved = Status::Internal("unreachable");
+  {
+    std::lock_guard<std::mutex> solve_lock(solve_mu_);
+    solved = SolveLocked(signature,
+                         seed_entry != nullptr ? &seed_entry->basis : nullptr);
+  }
+
+  std::lock_guard<std::mutex> shard_lock(shard.mu);
+  shard.in_flight.erase(key);
+  shard.solved.notify_all();
+  if (!solved.ok()) return solved.status();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (solved->warm_started) {
+    warm_starts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto entry = std::make_shared<const ServedMechanism>(std::move(*solved));
+  shard.entries.emplace(key, entry);
+  return entry;
+}
+
+Result<std::shared_ptr<const ServedMechanism>> MechanismCache::SolveUncached(
+    const MechanismSignature& signature) const {
+  std::lock_guard<std::mutex> solve_lock(solve_mu_);
+  GEOPRIV_ASSIGN_OR_RETURN(ServedMechanism solved,
+                           SolveLocked(signature, nullptr));
+  return std::make_shared<const ServedMechanism>(std::move(solved));
+}
+
+MechanismCache::Stats MechanismCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.entries.size();
+  }
+  return stats;
+}
+
+Status MechanismCache::SaveToDirectory(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + dir + "': " + ec.message());
+  }
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      const MechanismSignature& sig = entry->signature;
+      // Write-then-rename: LoadFromDirectory treats malformed entries as
+      // fatal (by design — a tampered matrix must not load), so a crash
+      // mid-write must never leave a torn file that bricks the next start.
+      const std::string path =
+          (fs::path(dir) / HashFileName(sig)).string();
+      const std::string tmp = path + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) return Status::NotFound("cannot open '" + tmp + "'");
+        out << kEntryHeader << "\n"
+            << "key " << key << "\n"
+            << "mode " << ServeModeName(sig.mode) << "\n"
+            << "n " << sig.n << "\n"
+            << "lo " << sig.lo << "\n"
+            << "hi " << sig.hi << "\n"
+            << "loss " << sig.loss << "\n"
+            << "alpha " << sig.alpha.ToString() << "\n"
+            << SerializeExactMechanism(entry->exact);
+        out.flush();
+        if (!out) return Status::Internal("write to '" + tmp + "' failed");
+      }
+      std::error_code rename_ec;
+      fs::rename(tmp, path, rename_ec);
+      if (rename_ec) {
+        return Status::Internal("cannot rename '" + tmp +
+                                "': " + rename_ec.message());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// One persisted entry -> (signature, exact matrix).  The signature is
+// rebuilt through MechanismSignature::Create so a tampered or stale file
+// re-validates from scratch; the loss value is recomputed, not trusted.
+// Every field extraction is checked: a truncated "alpha" line defaulting
+// to 0 would make the load-time alpha-DP re-validation vacuous (any
+// non-negative matrix is 0-DP), so missing-or-malformed fields are
+// errors, never defaults.
+Result<MechanismSignature> ParseEntryHeader(std::istringstream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kEntryHeader) {
+    return Status::InvalidArgument("missing '" + std::string(kEntryHeader) +
+                                   "' header");
+  }
+  std::string mode_name, loss_name, alpha_text;
+  int n = -1, lo = -1, hi = -1;
+  bool saw_alpha = false;
+  while (!saw_alpha && std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string field;
+    fields >> field;
+    bool parsed = true;
+    if (field == "key") {
+      continue;  // informational; identity is re-derived from the fields
+    } else if (field == "mode") {
+      parsed = static_cast<bool>(fields >> mode_name);
+    } else if (field == "n") {
+      parsed = static_cast<bool>(fields >> n);
+    } else if (field == "lo") {
+      parsed = static_cast<bool>(fields >> lo);
+    } else if (field == "hi") {
+      parsed = static_cast<bool>(fields >> hi);
+    } else if (field == "loss") {
+      parsed = static_cast<bool>(fields >> loss_name);
+    } else if (field == "alpha") {
+      parsed = static_cast<bool>(fields >> alpha_text);
+      saw_alpha = parsed;  // alpha closes the header; the v2 block follows
+    } else {
+      return Status::InvalidArgument("unknown entry field '" + field + "'");
+    }
+    if (!parsed) {
+      return Status::InvalidArgument("malformed entry field '" + field +
+                                     "'");
+    }
+  }
+  if (!saw_alpha || mode_name.empty() || loss_name.empty()) {
+    return Status::InvalidArgument(
+        "entry header is missing required fields (mode/loss/alpha)");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(ServeMode mode, ServeModeFromString(mode_name));
+  GEOPRIV_ASSIGN_OR_RETURN(Rational alpha, Rational::FromString(alpha_text));
+  return MechanismSignature::Create(n, std::move(alpha), loss_name, lo, hi,
+                                    mode);
+}
+
+}  // namespace
+
+Result<int> MechanismCache::LoadFromDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  int loaded = 0;
+  std::vector<fs::path> paths;
+  for (const auto& dirent : fs::directory_iterator(dir, ec)) {
+    if (dirent.path().extension() == ".entry") paths.push_back(dirent.path());
+  }
+  if (ec) {
+    return Status::Internal("cannot list '" + dir + "': " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    std::ifstream file(path);
+    if (!file) return Status::NotFound("cannot open '" + path.string() + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    std::istringstream in(buffer.str());
+
+    Result<MechanismSignature> signature = ParseEntryHeader(in);
+    if (!signature.ok()) {
+      return Status::InvalidArgument(path.string() + ": " +
+                                     signature.status().message());
+    }
+    // Everything after the header fields is one io-v2 document.
+    if (in.tellg() < 0) {
+      return Status::InvalidArgument(path.string() +
+                                     ": missing v2 mechanism block");
+    }
+    std::string rest(buffer.str().substr(static_cast<size_t>(in.tellg())));
+    Result<RationalMatrix> exact = ParseExactMechanism(rest);
+    if (!exact.ok()) {
+      return Status::InvalidArgument(path.string() + ": " +
+                                     exact.status().message());
+    }
+    if (exact->rows() != static_cast<size_t>(signature->n) + 1) {
+      return Status::InvalidArgument(path.string() +
+                                     ": matrix size does not match n");
+    }
+
+    // Safety re-validation: the signature's alpha-DP claim is what the
+    // ledger charges for, so a tampered or corrupted matrix must never be
+    // served under it (a file swapped for the identity matrix would turn
+    // the service into a plaintext oracle billed at alpha).  Geometric
+    // entries must equal the closed form exactly; LP entries must satisfy
+    // Definition 2 exactly (a tampered-but-DP matrix can only cost
+    // utility, never privacy).
+    if (signature->mode == ServeMode::kGeometric) {
+      GEOPRIV_ASSIGN_OR_RETURN(
+          RationalMatrix expected,
+          GeometricMechanism::BuildExactMatrix(signature->n,
+                                               signature->alpha));
+      if (!(*exact == expected)) {
+        return Status::InvalidArgument(
+            path.string() + ": matrix is not G_{n,alpha} for its signature");
+      }
+    } else {
+      const size_t size = exact->rows();
+      for (size_t i = 0; i + 1 < size; ++i) {
+        for (size_t r = 0; r < size; ++r) {
+          const Rational& a = exact->At(i, r);
+          const Rational& b = exact->At(i + 1, r);
+          if (a < signature->alpha * b || b < signature->alpha * a) {
+            return Status::InvalidArgument(
+                path.string() +
+                ": matrix violates the alpha-DP level its signature claims");
+          }
+        }
+      }
+    }
+
+    ServedMechanism entry;
+    entry.signature = *signature;
+    GEOPRIV_ASSIGN_OR_RETURN(ExactLossFunction loss, signature->ResolveLoss());
+    GEOPRIV_ASSIGN_OR_RETURN(SideInformation side, signature->ResolveSide());
+    GEOPRIV_ASSIGN_OR_RETURN(Rational worst,
+                             ExactWorstCaseLoss(*exact, loss, side));
+    entry.loss = std::move(worst);
+    GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism,
+                             Mechanism::FromExact(*exact));
+    GEOPRIV_RETURN_IF_ERROR(mechanism.PrepareSamplers());
+    entry.exact = std::move(*exact);
+    entry.mechanism = std::move(mechanism);
+
+    Shard& shard = ShardFor(entry.signature);
+    const std::string key = entry.signature.CanonicalKey();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries[key] =
+        std::make_shared<const ServedMechanism>(std::move(entry));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace geopriv

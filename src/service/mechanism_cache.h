@@ -1,0 +1,151 @@
+// Sharded solve cache: the mechanism service's hot core.
+//
+// Solving the Section 2.5 LP over Q costs milliseconds to minutes; looking
+// a solved mechanism up costs a hash and a mutex.  A data owner serving
+// many consumers sees the same problems over and over — the same (n, alpha,
+// loss, side) tuples negotiated into contracts — so the service keeps every
+// solved mechanism, keyed by its canonical signature (signature.h).
+//
+// Sharding is by *structural* key (n, side, mode): all members of one LP
+// family land in one shard, which buys two things at once — map contention
+// spreads across families, and a cache miss can scan its own shard, under
+// its own lock, for the structurally compatible neighbor whose basis warm-
+// starts the new solve (nearest alpha wins; a warm load typically
+// re-optimizes in zero pivots, see docs/PERFORMANCE.md).  Misses serialize
+// on one solver mutex: exact solves are memory-hungry and share one worker
+// pool (ExactSimplexOptions::pool), so running them one at a time is the
+// deliberate policy; hits never touch the solver mutex.
+//
+// Entries are immutable once published and handed out as
+// shared_ptr<const ServedMechanism>, so readers never hold a lock while
+// sampling.  SaveToDirectory/LoadFromDirectory persist the exact matrices
+// in the io v2 format: a reloaded entry is bit-identical (operator==) to
+// the solve that produced it.
+
+#ifndef GEOPRIV_SERVICE_MECHANISM_CACHE_H_
+#define GEOPRIV_SERVICE_MECHANISM_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "exact/rational_matrix.h"
+#include "lp/exact_simplex.h"
+#include "service/signature.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace geopriv {
+
+/// One solved, immutable, ready-to-sample cache entry.
+struct ServedMechanism {
+  MechanismSignature signature;
+  /// Exact row-stochastic matrix (LP optimum or G); the placeholder shape
+  /// is replaced before an entry is published.
+  RationalMatrix exact{0, 0};
+  Rational loss;          ///< exact minimax loss over the signature's side
+  Mechanism mechanism = Mechanism::Identity(0);  ///< double view, prepared
+  LpBasis basis;          ///< warm-start seed for neighbors (may be empty)
+  int lp_iterations = 0;  ///< pivots of the producing solve (0 = no LP)
+  bool warm_started = false;  ///< solved from a cached neighbor's basis
+};
+
+struct CacheOptions {
+  /// Shard count; structural families map to shards by stable hash.
+  size_t shards = 8;
+  /// Worker threads for miss solves (0 defers to GEOPRIV_THREADS, else 1).
+  /// The cache owns one pool for its lifetime and passes it into every
+  /// solve — the service's warm-start path never re-spawns workers.
+  int threads = 0;
+  /// Base solver configuration for miss solves (engine, pivot rule, ...).
+  /// warm_start/pool/threads are managed by the cache and ignored here.
+  ExactSimplexOptions solver;
+};
+
+class MechanismCache {
+ public:
+  explicit MechanismCache(CacheOptions options = {});
+
+  MechanismCache(const MechanismCache&) = delete;
+  MechanismCache& operator=(const MechanismCache&) = delete;
+
+  /// Returns the cached entry for `signature`, solving (and publishing) it
+  /// on a miss.  Miss handling warm-starts from the nearest structurally
+  /// compatible cached basis when one exists.  `was_hit`, when non-null,
+  /// reports whether the entry was already present.  Thread-safe; each
+  /// signature is solved at most once (concurrent requests for an
+  /// in-flight signature wait for its solve and come back as hits), and
+  /// the shard lock is NOT held during a solve, so hits and stats stay
+  /// cheap while misses grind.
+  Result<std::shared_ptr<const ServedMechanism>> GetOrSolve(
+      const MechanismSignature& signature, bool* was_hit = nullptr);
+
+  /// Lookup-only: the cached entry, or null on a miss (no solve, no
+  /// waiting).  A found entry counts as a hit.  The pipeline uses this to
+  /// serve already-solved signatures to consumers whose budget admission
+  /// would never justify a fresh solve.
+  std::shared_ptr<const ServedMechanism> Peek(
+      const MechanismSignature& signature);
+
+  /// Solves `signature` cold, bypassing the cache in both directions
+  /// (nothing read, nothing published).  The solve-per-query baseline the
+  /// throughput bench and the bit-identity tests compare against.
+  Result<std::shared_ptr<const ServedMechanism>> SolveUncached(
+      const MechanismSignature& signature) const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;        ///< misses that ran a solve
+    uint64_t warm_starts = 0;   ///< misses seeded from a cached basis
+    uint64_t entries = 0;
+  };
+  Stats GetStats() const;
+
+  /// Persists every entry to `dir` (created if missing), one io-v2 file
+  /// per entry named by the stable signature hash.  Existing entry files
+  /// are overwritten; foreign files are left alone.
+  Status SaveToDirectory(const std::string& dir) const;
+
+  /// Loads every "*.entry" file under `dir` into the cache; returns the
+  /// number loaded.  Loaded entries carry no LP basis (a basis cannot be
+  /// reconstructed from the matrix), so they serve hits but do not seed
+  /// warm starts.  Malformed files fail the load; a missing directory
+  /// loads nothing.
+  Result<int> LoadFromDirectory(const std::string& dir);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable solved;  ///< signaled when an in-flight key lands
+    std::unordered_map<std::string, std::shared_ptr<const ServedMechanism>>
+        entries;
+    std::unordered_set<std::string> in_flight;  ///< keys being solved now
+  };
+
+  Shard& ShardFor(const MechanismSignature& signature);
+  const Shard& ShardFor(const MechanismSignature& signature) const;
+
+  /// Solves `signature` with an optional warm seed.  Caller must hold
+  /// solve_mu_ (the pool is not reentrant).
+  Result<ServedMechanism> SolveLocked(const MechanismSignature& signature,
+                                      const LpBasis* warm_seed) const;
+
+  CacheOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // shared by every miss solve
+  mutable std::mutex solve_mu_;       // serializes solves / guards pool_
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> warm_starts_{0};
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_SERVICE_MECHANISM_CACHE_H_

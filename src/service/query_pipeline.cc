@@ -1,0 +1,158 @@
+#include "service/query_pipeline.h"
+
+#include <map>
+#include <utility>
+
+#include "rng/engine.h"
+
+namespace geopriv {
+
+QueryPipeline::QueryPipeline(MechanismCache* cache, BudgetLedger* ledger,
+                             int threads)
+    : cache_(cache), ledger_(ledger) {
+  const int count = ThreadPool::ConfiguredThreads(threads);
+  if (count > 1) pool_ = std::make_unique<ThreadPool>(count);
+}
+
+std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
+    const std::vector<ServiceQuery>& queries) {
+  std::vector<ServiceReply> replies(queries.size());
+
+  // Stage 1 — group by canonical signature and resolve each group through
+  // the cache once.  std::map keeps group iteration deterministic.
+  struct Group {
+    std::shared_ptr<const ServedMechanism> entry;
+    Status status = Status::OK();
+    const char* cache = "none";
+    std::vector<size_t> members;
+  };
+  std::map<std::string, Group> groups;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    groups[queries[q].signature.CanonicalKey()].members.push_back(q);
+  }
+  // Per-query group pointers (map nodes are stable): the later stages
+  // never rebuild a canonical key or re-search the map.
+  std::vector<const Group*> group_of(queries.size());
+  for (auto& [key, group] : groups) {
+    for (size_t q : group.members) group_of[q] = &group;
+  }
+  for (auto& [key, group] : groups) {
+    const ServiceQuery& first = queries[group.members.front()];
+    // Already-solved signatures are served to everyone: a lookup is free.
+    group.entry = cache_->Peek(first.signature);
+    if (group.entry != nullptr) {
+      group.cache = "hit";
+      continue;
+    }
+    // A fresh solve is only justified when at least one member could be
+    // admitted by the ledger right now.  Charges never raise a level, so
+    // a group with no admissible member can never need the entry — its
+    // members are headed for budget rejections either way, and solving
+    // first would let an over-budget consumer burn unbounded solver time
+    // (and the solve mutex) for free.
+    bool worth_solving = ledger_ == nullptr;
+    for (size_t q : group.members) {
+      if (worth_solving) break;
+      Result<BudgetDecision> preview =
+          ledger_->Preview(queries[q].consumer,
+                           queries[q].signature.alpha.ToDouble());
+      worth_solving = preview.ok() && preview->allowed;
+    }
+    if (!worth_solving) {
+      group.cache = "skipped";  // entry stays null; charges reject below
+      continue;
+    }
+    bool hit = false;
+    Result<std::shared_ptr<const ServedMechanism>> entry =
+        cache_->GetOrSolve(first.signature, &hit);
+    if (!entry.ok()) {
+      group.status = entry.status();
+      continue;
+    }
+    group.entry = std::move(*entry);
+    group.cache = hit ? "hit" : (group.entry->warm_started ? "warm" : "cold");
+  }
+
+  // Stage 2 — budget admission, strictly in input order (the ledger is
+  // sequential state: a batch's earlier queries shrink the budget its
+  // later ones see, exactly as if they had arrived one by one).
+  std::vector<const ServedMechanism*> admitted(queries.size(), nullptr);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const ServiceQuery& query = queries[q];
+    ServiceReply& reply = replies[q];
+    if (ledger_ != nullptr) reply.budget = ledger_->budget();
+    const Group& group = *group_of[q];
+    if (!group.status.ok()) {
+      reply.status = group.status;
+      continue;
+    }
+    reply.cache = group.cache;
+    if (group.entry != nullptr) {
+      reply.optimal_loss = group.entry->loss;
+      reply.lp_iterations = group.entry->lp_iterations;
+    }
+    if (query.true_count < 0 || query.true_count > query.signature.n) {
+      reply.status =
+          Status::OutOfRange("true count outside {0..n} for this signature");
+      continue;
+    }
+    if (ledger_ != nullptr) {
+      // Always sequential composition: a pipeline release is a fresh
+      // independent sample, never part of an Algorithm-1 chain.
+      Result<BudgetDecision> decision = ledger_->Charge(
+          query.consumer, query.signature.alpha.ToDouble());
+      if (!decision.ok()) {
+        reply.status = decision.status();
+        continue;
+      }
+      reply.composed_level = decision->composed_level;
+      reply.budget = decision->budget;
+      if (!decision->allowed) {
+        reply.level_after = decision->current_level;
+        reply.status = Status::FailedPrecondition(
+            "privacy budget exceeded: release would compose consumer '" +
+            query.consumer + "' to level " +
+            std::to_string(decision->composed_level) + " < budget " +
+            std::to_string(decision->budget));
+        continue;
+      }
+      reply.level_after = decision->composed_level;
+      reply.charged = true;
+    } else {
+      reply.composed_level = query.signature.alpha.ToDouble();
+      reply.level_after = reply.composed_level;
+    }
+    if (group.entry == nullptr) {
+      // Unreachable by construction: a skipped group had no admissible
+      // member at batch start, and charges only lower levels — but never
+      // sample from nothing if the invariant is ever broken.
+      reply.status = Status::Internal(
+          "query admitted for a signature whose solve was skipped");
+      continue;
+    }
+    admitted[q] = group.entry.get();
+  }
+
+  // Stage 3 — sample the admitted requests.  Each iteration owns its
+  // reply slot and draws from its own seeded stream; iterations share
+  // nothing mutable, so the pool's scheduling cannot change any result.
+  auto sample_one = [&](size_t q) {
+    const ServedMechanism* entry = admitted[q];
+    if (entry == nullptr) return;
+    Xoshiro256 rng(queries[q].seed);
+    Result<int> released = entry->mechanism.Sample(queries[q].true_count, rng);
+    if (!released.ok()) {
+      replies[q].status = released.status();
+      return;
+    }
+    replies[q].released = *released;
+  };
+  if (pool_ != nullptr && queries.size() > 1) {
+    pool_->ParallelFor(queries.size(), sample_one);
+  } else {
+    for (size_t q = 0; q < queries.size(); ++q) sample_one(q);
+  }
+  return replies;
+}
+
+}  // namespace geopriv

@@ -1,0 +1,87 @@
+// Batched query pipeline: amortize solves, fan out samples.
+//
+// Under load the service sees many concurrent queries, and most share a
+// signature (one negotiated contract, many data points).  The pipeline
+// exploits that: a batch is grouped by canonical signature, each distinct
+// signature is resolved through the solve cache exactly once (so a batch
+// of 1000 queries against one contract pays one lookup — or one solve on
+// the first ever batch), the budget ledger is charged in input order
+// (deterministic: the ledger is sequential state), and sampling fans out
+// across a worker pool.
+//
+// Determinism: every request carries its own seed, and its sample is drawn
+// from a fresh Xoshiro256 stream seeded with it.  No request reads another
+// request's RNG state, so ParallelFor's arbitrary interleaving cannot
+// change any released value — the reply vector is bit-identical for every
+// thread count, which tests/service_test.cc pins.
+
+#ifndef GEOPRIV_SERVICE_QUERY_PIPELINE_H_
+#define GEOPRIV_SERVICE_QUERY_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exact/rational.h"
+#include "service/budget_ledger.h"
+#include "service/mechanism_cache.h"
+#include "service/signature.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace geopriv {
+
+/// One count-query release request.  Every pipeline release is a FRESH
+/// independent sample, so it always composes sequentially (product) —
+/// there is deliberately no way to request Lemma-4 min-composition here:
+/// that discount is only sound for an actual Algorithm-1 chain (each
+/// release a post-processing of the previous one), which this pipeline
+/// does not construct.  BudgetLedger keeps its chained API for a future
+/// multilevel-serving op that really does chain.
+struct ServiceQuery {
+  std::string consumer;
+  MechanismSignature signature;
+  int true_count = 0;
+  uint64_t seed = 1;  ///< per-request RNG stream seed
+};
+
+/// One per-request outcome.  `status` carries budget rejections and input
+/// errors; the budget fields are reported either way.
+struct ServiceReply {
+  Status status;
+  int released = -1;             ///< sampled value (when status is OK)
+  double level_after = 1.0;      ///< consumer's composed level after charge
+  double composed_level = 1.0;   ///< level the release composes/composed to
+  double budget = 0.0;           ///< the ledger's floor
+  Rational optimal_loss;         ///< the served mechanism's exact loss
+  const char* cache = "none";    ///< "hit" | "warm" | "cold" | "skipped" | "none"
+  int lp_iterations = 0;
+  /// True when the ledger recorded this release (the service only
+  /// rewrites the persisted ledger when some reply in the batch charged).
+  bool charged = false;
+};
+
+class QueryPipeline {
+ public:
+  /// The cache and ledger are borrowed and must outlive the pipeline.
+  /// `threads` sizes the sampling pool (0 defers to GEOPRIV_THREADS).
+  QueryPipeline(MechanismCache* cache, BudgetLedger* ledger, int threads = 0);
+
+  /// Executes a batch: group by signature -> resolve each signature once
+  /// through the cache -> charge the ledger in input order -> sample the
+  /// admitted requests in parallel.  Replies come back in input order.
+  /// Per-request failures land in the reply's status; the call itself only
+  /// fails on internal errors.
+  std::vector<ServiceReply> ExecuteBatch(
+      const std::vector<ServiceQuery>& queries);
+
+ private:
+  MechanismCache* cache_;
+  BudgetLedger* ledger_;
+  std::unique_ptr<ThreadPool> pool_;  // sampling fan-out (may be null)
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_SERVICE_QUERY_PIPELINE_H_

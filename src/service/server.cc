@@ -1,0 +1,446 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace geopriv {
+
+// The cache (solve pool) and pipeline (sampling pool) each own a worker
+// pool on purpose: ThreadPool is not reentrant, and while THIS service
+// drives them strictly sequentially, both components are public API that
+// embedders may drive from concurrent threads — sharing one pool would
+// trade idle-thread memory for a correctness landmine.  Idle workers park
+// on a condition variable and cost no CPU.
+MechanismService::MechanismService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(CacheOptions{options_.shards, options_.threads,
+                          options_.solver}),
+      ledger_(options_.budget_alpha),
+      pipeline_(&cache_, &ledger_, options_.threads) {}
+
+namespace {
+
+constexpr char kLedgerFile[] = "ledger.jsonl";
+constexpr char kLedgerHeader[] = "geopriv-ledger v1";
+
+// The ledger persists as JSONL through the same flat-JSON code path the
+// wire protocol uses: a header line, then one line per consumer with the
+// running composition aggregates.  Spent budget MUST survive restarts —
+// a floor that resets with the process would admit unbounded cumulative
+// epsilon across restarts — so the service rewrites this small file after
+// every batch that may have charged, not only at graceful shutdown.
+std::string SerializeLedger(const BudgetLedger& ledger) {
+  std::string out =
+      std::string("{\"ledger\":\"") + kLedgerHeader + "\"}\n";
+  char buf[64];
+  for (const BudgetLedger::AccountSnapshot& account : ledger.Snapshot()) {
+    out += "{\"consumer\":\"" + JsonEscape(account.consumer) + "\"";
+    std::snprintf(buf, sizeof(buf), ",\"level\":%.17g",
+                  account.independent_level);
+    out += buf;
+    out += ",\"releases\":" + std::to_string(account.independent_releases);
+    std::snprintf(buf, sizeof(buf), ",\"chained_level\":%.17g",
+                  account.chained_level);
+    out += buf;
+    out += ",\"chained_releases\":" +
+           std::to_string(account.chained_releases) + "}\n";
+  }
+  return out;
+}
+
+Status ParseLedger(std::istream& in, BudgetLedger* ledger) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty ledger file");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(JsonObject header, JsonObject::Parse(line));
+  GEOPRIV_ASSIGN_OR_RETURN(std::string version, header.GetString("ledger"));
+  if (version != kLedgerHeader) {
+    return Status::InvalidArgument("unknown ledger version '" + version +
+                                   "'");
+  }
+  std::vector<BudgetLedger::AccountSnapshot> accounts;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    GEOPRIV_ASSIGN_OR_RETURN(JsonObject object, JsonObject::Parse(line));
+    BudgetLedger::AccountSnapshot account;
+    GEOPRIV_ASSIGN_OR_RETURN(account.consumer,
+                             object.GetString("consumer"));
+    GEOPRIV_ASSIGN_OR_RETURN(account.independent_level,
+                             object.GetDouble("level"));
+    GEOPRIV_ASSIGN_OR_RETURN(int64_t releases, object.GetInt("releases"));
+    GEOPRIV_ASSIGN_OR_RETURN(account.chained_level,
+                             object.GetDouble("chained_level"));
+    GEOPRIV_ASSIGN_OR_RETURN(int64_t chained_releases,
+                             object.GetInt("chained_releases"));
+    if (releases < 0 || chained_releases < 0) {
+      return Status::InvalidArgument("negative release count for consumer '" +
+                                     account.consumer + "'");
+    }
+    account.independent_releases = static_cast<uint64_t>(releases);
+    account.chained_releases = static_cast<uint64_t>(chained_releases);
+    accounts.push_back(std::move(account));
+  }
+  return ledger->Restore(accounts);
+}
+
+}  // namespace
+
+Result<int> MechanismService::LoadPersisted() {
+  if (options_.persist_dir.empty()) return 0;
+  GEOPRIV_ASSIGN_OR_RETURN(int loaded,
+                           cache_.LoadFromDirectory(options_.persist_dir));
+  const std::string path = options_.persist_dir + "/" + kLedgerFile;
+  std::ifstream in(path);
+  if (in) {
+    Status parsed = ParseLedger(in, &ledger_);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(path + ": " + parsed.message());
+    }
+  }
+  return loaded;
+}
+
+Status MechanismService::PersistLedger() {
+  if (options_.persist_dir.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.persist_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + options_.persist_dir +
+                            "': " + ec.message());
+  }
+  // Write-then-rename: a crash mid-rewrite must leave the previous
+  // snapshot intact, never an empty/torn file that bricks the next start
+  // (whose only manual recovery — deleting the ledger — would reset every
+  // consumer's spent budget).
+  const std::string path = options_.persist_dir + "/" + kLedgerFile;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open '" + tmp + "' for write");
+    out << SerializeLedger(ledger_);
+    out.flush();
+    if (!out) return Status::Internal("write to '" + tmp + "' failed");
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename '" + tmp + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status MechanismService::Persist() {
+  if (options_.persist_dir.empty()) return Status::OK();
+  GEOPRIV_RETURN_IF_ERROR(cache_.SaveToDirectory(options_.persist_dir));
+  return PersistLedger();
+}
+
+std::string MechanismService::HandleLine(const std::string& line,
+                                         bool* shutdown) {
+  if (shutdown != nullptr) *shutdown = false;
+  // Blank lines are keep-alives, not requests.
+  if (line.find_first_not_of(" \t\r\n") == std::string::npos) return "";
+  Result<ServiceRequest> request = ParseRequestLine(line);
+  if (!request.ok()) return FormatErrorReply("parse", request.status());
+  return HandleParsed(*request, shutdown);
+}
+
+std::string MechanismService::HandleParsed(const ServiceRequest& request,
+                                           bool* shutdown) {
+  switch (request.op) {
+    case ServiceOp::kPing:
+      return "{\"op\":\"ping\",\"ok\":true}";
+
+    case ServiceOp::kShutdown: {
+      if (shutdown != nullptr) *shutdown = true;
+      std::string out;
+      if (in_batch_) {
+        // Queries already acknowledged as "queued" must not vanish
+        // silently: tell the client its window died unexecuted.
+        out += FormatErrorReply(
+                   "batch_end",
+                   Status::FailedPrecondition(
+                       "batch aborted by shutdown; " +
+                       std::to_string(pending_.size()) +
+                       " queued queries dropped uncharged")) +
+               "\n";
+        ResetBatch();
+      }
+      Status persisted = Persist();
+      if (!persisted.ok()) return out + FormatErrorReply("shutdown", persisted);
+      return out + "{\"op\":\"shutdown\",\"ok\":true}";
+    }
+
+    case ServiceOp::kStats: {
+      const MechanismCache::Stats stats = cache_.GetStats();
+      std::ostringstream out;
+      out << "{\"op\":\"stats\",\"ok\":true,\"entries\":" << stats.entries
+          << ",\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+          << ",\"warm_starts\":" << stats.warm_starts << "}";
+      return out.str();
+    }
+
+    case ServiceOp::kBudget: {
+      char buf[64];
+      std::string out = "{\"op\":\"budget\",\"ok\":true,\"consumer\":\"" +
+                        JsonEscape(request.consumer) + "\"";
+      std::snprintf(buf, sizeof(buf), ",\"level\":%.17g",
+                    ledger_.Level(request.consumer));
+      out += buf;
+      out += ",\"releases\":" + std::to_string(
+                                    ledger_.Releases(request.consumer));
+      std::snprintf(buf, sizeof(buf), ",\"budget\":%.17g", ledger_.budget());
+      out += buf;
+      return out + "}";
+    }
+
+    case ServiceOp::kBatchBegin:
+      if (in_batch_) {
+        return FormatErrorReply(
+            "batch_begin",
+            Status::FailedPrecondition("a batch is already open"));
+      }
+      in_batch_ = true;
+      pending_.clear();
+      return "{\"op\":\"batch_begin\",\"ok\":true}";
+
+    case ServiceOp::kBatchEnd: {
+      if (!in_batch_) {
+        return FormatErrorReply(
+            "batch_end", Status::FailedPrecondition("no batch is open"));
+      }
+      in_batch_ = false;
+      std::vector<ServiceQuery> batch = std::move(pending_);
+      pending_.clear();
+      const std::vector<ServiceReply> replies = pipeline_.ExecuteBatch(batch);
+      Status persisted = PersistLedgerIfCharged(replies);
+      if (!persisted.ok()) {
+        // The charges happened but could not be made durable: withhold the
+        // released values rather than risk re-admitting them after a crash.
+        return FormatErrorReply("persist", persisted);
+      }
+      std::string out;
+      for (size_t q = 0; q < batch.size(); ++q) {
+        out += FormatQueryReply(batch[q], replies[q]);
+        out += "\n";
+      }
+      out += "{\"op\":\"batch_end\",\"ok\":true,\"batched\":" +
+             std::to_string(batch.size()) + "}";
+      return out;
+    }
+
+    case ServiceOp::kQuery:
+      break;
+  }
+
+  if (in_batch_) {
+    // Bounded window: an endless stream of queued queries must not grow
+    // daemon memory without limit (same unauthenticated-DoS class as the
+    // protocol's n ceiling).
+    constexpr size_t kMaxBatch = 4096;
+    if (pending_.size() >= kMaxBatch) {
+      return FormatErrorReply(
+          "query", Status::FailedPrecondition(
+                       "batch window is full (" +
+                       std::to_string(kMaxBatch) +
+                       " queries); send batch_end"));
+    }
+    pending_.push_back(request.query);
+    return "{\"op\":\"queued\",\"ok\":true,\"index\":" +
+           std::to_string(pending_.size() - 1) + "}";
+  }
+  const std::vector<ServiceReply> replies =
+      pipeline_.ExecuteBatch({request.query});
+  Status persisted = PersistLedgerIfCharged(replies);
+  if (!persisted.ok()) return FormatErrorReply("persist", persisted);
+  return FormatQueryReply(request.query, replies.front());
+}
+
+Status MechanismService::PersistLedgerIfCharged(
+    const std::vector<ServiceReply>& replies) {
+  // Rejected-only batches changed no ledger state: skip the rewrite so an
+  // over-budget consumer cannot put disk I/O on the hot path.
+  for (const ServiceReply& reply : replies) {
+    if (reply.charged) return PersistLedger();
+  }
+  return Status::OK();
+}
+
+Status RunServeLoop(std::istream& in, std::ostream& out,
+                    MechanismService& service) {
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(in, line)) {
+    const std::string response = service.HandleLine(line, &shutdown);
+    if (!response.empty()) out << response << "\n" << std::flush;
+  }
+  // EOF without an explicit shutdown still persists: a drained stdin is
+  // the daemon's normal exit in scripted (CI) sessions.  An open batch
+  // window dies with the stream (nothing is listening for its replies).
+  if (!shutdown) {
+    service.ResetBatch();
+    return service.Persist();
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// RAII for a POSIX fd.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a client that disconnected without reading must yield
+    // EPIPE (drop that client), not SIGPIPE (kill the daemon).
+    const ssize_t k = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (k <= 0) return Status::Internal("send failed");
+    sent += static_cast<size_t>(k);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ServeTcp(int port, MechanismService& service, std::ostream& announce) {
+  // Transport failures must not lose charged budget: persist before every
+  // error return (the per-batch ledger writes cover the common case; this
+  // covers the solve cache too).
+  const auto fail = [&service](Status status) {
+    (void)service.Persist();
+    return status;
+  };
+  Fd server;
+  server.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server.fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(server.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(server.fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal("bind to 127.0.0.1:" + std::to_string(port) +
+                            " failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(server.fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::Internal("getsockname failed");
+  }
+  const int bound_port = ntohs(addr.sin_port);
+  if (::listen(server.fd, 16) != 0) return Status::Internal("listen failed");
+  announce << "geopriv_serve listening on 127.0.0.1:" << bound_port << "\n"
+           << std::flush;
+
+  bool shutdown = false;
+  while (!shutdown) {
+    Fd client;
+    client.fd = ::accept(server.fd, nullptr, nullptr);
+    if (client.fd < 0) {
+      // Transient per-connection failures (a client aborting between the
+      // handshake and our accept) must not take the daemon down.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return fail(Status::Internal("accept failed"));
+    }
+    // A send failure likewise drops only this client, never the daemon.
+    bool client_alive = true;
+    const auto respond = [&](const std::string& line) {
+      const std::string response = service.HandleLine(line, &shutdown);
+      if (!response.empty()) {
+        client_alive = SendAll(client.fd, response + "\n").ok();
+      }
+    };
+    // One protocol line is small; a client streaming unbounded bytes with
+    // no newline is the same DoS class as an unbounded batch window.
+    constexpr size_t kMaxLineBytes = 1 << 20;
+    std::string buffer;
+    char chunk[4096];
+    while (client_alive && !shutdown) {
+      const ssize_t k = ::recv(client.fd, chunk, sizeof(chunk), 0);
+      if (k <= 0) break;  // client closed its write side (or error)
+      buffer.append(chunk, static_cast<size_t>(k));
+      if (buffer.size() > kMaxLineBytes &&
+          buffer.find('\n') == std::string::npos) {
+        (void)SendAll(client.fd,
+                      FormatErrorReply(
+                          "parse", Status::InvalidArgument(
+                                       "request line exceeds 1 MiB")) +
+                          "\n");
+        client_alive = false;
+        break;
+      }
+      size_t newline;
+      while (client_alive && !shutdown &&
+             (newline = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        respond(line);
+      }
+    }
+    // A client that half-closes without a trailing newline still sent a
+    // complete request; answer it before dropping the connection.
+    if (client_alive && !shutdown && !buffer.empty()) respond(buffer);
+    // Whatever batch window the client left open dies with it: the next
+    // client must neither inherit queueing mode nor be able to flush (and
+    // budget-charge) a stranger's buffered queries.
+    service.ResetBatch();
+  }
+  return service.Persist();
+}
+
+Result<std::string> TcpRequest(const std::string& host, int port,
+                               const std::string& line) {
+  Fd sock;
+  sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock.fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + host +
+                                   "' (dotted IPv4 only)");
+  }
+  if (::connect(sock.fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::NotFound("cannot connect to " + host + ":" +
+                            std::to_string(port));
+  }
+  GEOPRIV_RETURN_IF_ERROR(SendAll(sock.fd, line + "\n"));
+  // Half-close: tells the server this client has no further requests, so
+  // it answers what it has and closes — the client reads until EOF.
+  ::shutdown(sock.fd, SHUT_WR);
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t k = ::recv(sock.fd, chunk, sizeof(chunk), 0);
+    if (k == 0) break;  // orderly EOF: the server answered and closed
+    if (k < 0) {
+      // A reset mid-response must not masquerade as a complete reply.
+      return Status::Internal("connection lost while reading the response");
+    }
+    response.append(chunk, static_cast<size_t>(k));
+  }
+  while (!response.empty() && response.back() == '\n') response.pop_back();
+  return response;
+}
+
+}  // namespace geopriv

@@ -1,0 +1,118 @@
+// MechanismService: the deployable front of the library.
+//
+// Owns the three service pieces — sharded solve cache, privacy-budget
+// ledger, batched query pipeline — and speaks the JSONL protocol
+// (protocol.h) one line at a time.  The same HandleLine drives every
+// transport: the geopriv_serve daemon's stdin loop, its TCP loop, the
+// geopriv_cli `serve`/`query` subcommands, and the in-process tests.
+//
+// Batching over the wire: lines between {"op":"batch_begin"} and
+// {"op":"batch_end"} are buffered (each acknowledged with op "queued") and
+// executed as ONE pipeline batch at batch_end — grouped by signature,
+// solved once per distinct signature, budget-charged in arrival order,
+// sampled in parallel.  Queries outside a batch window execute
+// immediately as a batch of one.
+
+#ifndef GEOPRIV_SERVICE_SERVER_H_
+#define GEOPRIV_SERVICE_SERVER_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "service/budget_ledger.h"
+#include "service/mechanism_cache.h"
+#include "service/protocol.h"
+#include "service/query_pipeline.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+struct ServiceOptions {
+  /// Budget floor: no consumer's composed level may drop below this.
+  /// 0 disables enforcement (levels are still tracked).
+  double budget_alpha = 0.0;
+  /// Cache shard count.
+  size_t shards = 8;
+  /// Worker threads for solves and sampling fan-out (0 defers to
+  /// GEOPRIV_THREADS, else serial).
+  int threads = 0;
+  /// When non-empty: entries are loaded from here on LoadPersisted() and
+  /// written back on Persist() (the daemon persists at shutdown/EOF).
+  std::string persist_dir;
+  /// Base exact-solver configuration for cache misses.
+  ExactSimplexOptions solver;
+};
+
+class MechanismService {
+ public:
+  explicit MechanismService(ServiceOptions options = {});
+
+  /// Handles one protocol line and returns the response — usually one
+  /// line, but batch_end returns one reply line per buffered query plus a
+  /// summary line (separated by '\n', no trailing newline).  Blank input
+  /// returns an empty string (no response).  Sets *shutdown on a shutdown
+  /// request.
+  std::string HandleLine(const std::string& line, bool* shutdown);
+
+  /// Discards an open batch window (buffered queries are dropped
+  /// uncharged).  Transports call this when a client disconnects so a
+  /// dropped connection's half-built batch can neither wedge the service
+  /// in queueing mode nor be flushed — and budget-charged — by the NEXT
+  /// client's batch_end.
+  void ResetBatch() {
+    in_batch_ = false;
+    pending_.clear();
+  }
+
+  /// Loads persisted cache entries (no-op without persist_dir).
+  Result<int> LoadPersisted();
+  /// Writes cache entries back (no-op without persist_dir).
+  Status Persist();
+
+  MechanismCache& cache() { return cache_; }
+  BudgetLedger& ledger() { return ledger_; }
+  QueryPipeline& pipeline() { return pipeline_; }
+
+ private:
+  std::string HandleParsed(const ServiceRequest& request, bool* shutdown);
+
+  /// Rewrites just the ledger file (cheap: one line per consumer).
+  /// Called after every batch that charged, so a crash between batches
+  /// never resets spent budget; the solve cache, which is a pure
+  /// performance artifact, still persists only at shutdown/EOF.
+  Status PersistLedger();
+  /// PersistLedger, skipped when no reply in the batch recorded a charge.
+  Status PersistLedgerIfCharged(const std::vector<ServiceReply>& replies);
+
+  ServiceOptions options_;
+  MechanismCache cache_;
+  BudgetLedger ledger_;
+  QueryPipeline pipeline_;
+  bool in_batch_ = false;
+  std::vector<ServiceQuery> pending_;
+};
+
+/// Reads request lines from `in` until EOF or shutdown, writing each
+/// response chunk (plus newline) to `out` and flushing per line.  Persists
+/// the cache on exit when configured.  The daemon's stdin transport and
+/// the tests' harness.
+Status RunServeLoop(std::istream& in, std::ostream& out,
+                    MechanismService& service);
+
+/// Serves the same protocol over TCP on 127.0.0.1:`port` (0 picks a free
+/// port).  Announces "geopriv_serve listening on 127.0.0.1:<port>" on
+/// `announce` before accepting.  Clients are served one at a time; the
+/// loop returns after a shutdown request (persisting when configured).
+Status ServeTcp(int port, MechanismService& service, std::ostream& announce);
+
+/// One-shot client for the daemon's TCP transport: sends `line`, returns
+/// the response chunk (batch replies arrive as multiple lines).
+Result<std::string> TcpRequest(const std::string& host, int port,
+                               const std::string& line);
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_SERVICE_SERVER_H_

@@ -1,7 +1,10 @@
 #include "util/string_util.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 
 namespace geopriv {
 
@@ -42,6 +45,23 @@ std::string FormatMatrix(const std::vector<double>& data, int rows, int cols,
     out += " ]\n";
   }
   return out;
+}
+
+
+bool ParseIntStrict(const std::string& text, int* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
 }
 
 }  // namespace geopriv

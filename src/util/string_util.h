@@ -20,6 +20,15 @@ std::string Join(const std::vector<std::string>& parts,
 std::string FormatMatrix(const std::vector<double>& data, int rows, int cols,
                          int precision = 4);
 
+/// Strict whole-string integer parse: trailing garbage, empty input and
+/// out-of-int-range values all fail (a flag typo must be fatal, never a
+/// silently different setting).  Shared by the tools' flag parsers.
+bool ParseIntStrict(const std::string& text, int* out);
+
+/// Strict whole-string double parse; NaN/infinity are accepted only as the
+/// literal spellings strtod takes — callers range-check the value.
+bool ParseDoubleStrict(const std::string& text, double* out);
+
 }  // namespace geopriv
 
 #endif  // GEOPRIV_UTIL_STRING_UTIL_H_

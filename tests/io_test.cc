@@ -70,5 +70,83 @@ TEST(IoTest, SerializedFormIsStable) {
   EXPECT_EQ(text, "geopriv-mechanism v1\nn 1\nrow 1 0\nrow 0 1\n");
 }
 
+// ---- v2 (exact rational) format ---------------------------------------------
+
+RationalMatrix ThirdsMatrix() {
+  RationalMatrix m(2, 2);
+  m.At(0, 0) = *Rational::FromInts(1, 3);
+  m.At(0, 1) = *Rational::FromInts(2, 3);
+  m.At(1, 0) = *Rational::FromInts(2, 7);
+  m.At(1, 1) = *Rational::FromInts(5, 7);
+  return m;
+}
+
+TEST(IoTest, ExactRoundTripIsLossless) {
+  // 1/3 and 2/7 have no finite binary expansion: only the v2 format can
+  // round-trip them; operator== is exact equality over Q.
+  RationalMatrix m = ThirdsMatrix();
+  std::string text = SerializeExactMechanism(m);
+  EXPECT_EQ(text,
+            "geopriv-mechanism v2\nn 1\nrow 1/3 2/3\nrow 2/7 5/7\n");
+  auto back = ParseExactMechanism(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == m);
+}
+
+TEST(IoTest, ExactGeometricMechanismRoundTrips) {
+  auto g = GeometricMechanism::BuildExactMatrix(6, *Rational::FromInts(1, 3));
+  ASSERT_TRUE(g.ok());
+  auto back = ParseExactMechanism(SerializeExactMechanism(*g));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == *g);
+}
+
+TEST(IoTest, ParseMechanismAcceptsV2) {
+  // The v1 entry point reads v2 documents too (converted to doubles), so
+  // every existing consumer of saved mechanisms understands cache files.
+  auto m = ParseMechanism(SerializeExactMechanism(ThirdsMatrix()));
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_DOUBLE_EQ(m->Probability(0, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m->Probability(1, 1), 5.0 / 7.0);
+}
+
+TEST(IoTest, V2MalformedInputsAreRejected) {
+  const std::string base = "geopriv-mechanism v2\n";
+  // v1 header is not a v2 document.
+  EXPECT_FALSE(ParseExactMechanism("geopriv-mechanism v1\nn 0\nrow 1\n").ok());
+  EXPECT_FALSE(ParseExactMechanism(base + "m 1\n").ok());
+  EXPECT_FALSE(ParseExactMechanism(base + "n -2\n").ok());
+  EXPECT_FALSE(ParseExactMechanism(base + "n 1\nrow 1/2\n").ok());  // short
+  EXPECT_FALSE(
+      ParseExactMechanism(base + "n 1\nrow 1/2 1/2\n").ok());  // missing row
+  EXPECT_FALSE(ParseExactMechanism(base + "n 0\nrow x/y\n").ok());  // token
+  EXPECT_FALSE(ParseExactMechanism(base + "n 0\nrow 1/0\n").ok());  // div 0
+  // Exactly stochastic is required: 1/3 + 1/3 != 1.
+  EXPECT_FALSE(
+      ParseExactMechanism(base + "n 1\nrow 1/3 1/3\nrow 0 1\n").ok());
+  // Negative entries are not probabilities.
+  EXPECT_FALSE(
+      ParseExactMechanism(base + "n 1\nrow -1/2 3/2\nrow 0 1\n").ok());
+  // Trailing content after the last row.
+  EXPECT_FALSE(
+      ParseExactMechanism(base + "n 0\nrow 1\nrow 1\n").ok());
+}
+
+TEST(IoTest, SaveAndLoadExactFile) {
+  RationalMatrix m = ThirdsMatrix();
+  std::string path = ::testing::TempDir() + "/geopriv_io_test.mech2";
+  ASSERT_TRUE(SaveExactMechanism(m, path).ok());
+  auto back = LoadExactMechanism(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == m);
+  std::remove(path.c_str());
+
+  RationalMatrix bogus(1, 1);
+  bogus.At(0, 0) = *Rational::FromInts(2, 1);
+  EXPECT_FALSE(SaveExactMechanism(bogus, path).ok());
+  // The empty matrix would serialize to an unparseable document.
+  EXPECT_FALSE(SaveExactMechanism(RationalMatrix(0, 0), path).ok());
+}
+
 }  // namespace
 }  // namespace geopriv

@@ -1,0 +1,705 @@
+// The mechanism service layer: sharded solve cache (hit/warm/cold paths,
+// persistence), privacy-budget ledger (composition arithmetic must match
+// core/accounting.h exactly), batched query pipeline (one solve per
+// distinct signature, thread-count-independent sampling), and the JSONL
+// protocol (parsing, formatting, malformed-input rejection).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/geometric.h"
+#include "core/optimal_exact.h"
+#include "rng/engine.h"
+#include "service/server.h"
+
+namespace geopriv {
+namespace {
+
+Rational R(int64_t num, int64_t den = 1) {
+  return *Rational::FromInts(num, den);
+}
+
+MechanismSignature Sig(int n, const Rational& alpha,
+                       const std::string& loss = "absolute",
+                       ServeMode mode = ServeMode::kExactOptimal) {
+  auto sig = MechanismSignature::Create(n, alpha, loss, 0, n, mode);
+  EXPECT_TRUE(sig.ok()) << sig.status().ToString();
+  return *sig;
+}
+
+// ---- signatures -------------------------------------------------------------
+
+TEST(SignatureTest, CanonicalizesEquivalentSpellings) {
+  MechanismSignature a = Sig(5, R(2, 4));          // reduces to 1/2
+  MechanismSignature b = Sig(5, R(1, 2), "absolute");
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+  EXPECT_EQ(a.CanonicalKey(),
+            "mode=exact;n=5;side=0..5;loss=absolute;alpha=1/2");
+  EXPECT_EQ(a.StructuralKey(), "mode=exact;n=5;side=0..5");
+  // "zeroone" is the CLI spelling of "zero-one".
+  EXPECT_EQ(Sig(5, R(1, 2), "zeroone").CanonicalKey(),
+            Sig(5, R(1, 2), "zero-one").CanonicalKey());
+  // Same structure, different alpha: shard key collides, map key differs.
+  MechanismSignature c = Sig(5, R(2, 5));
+  EXPECT_EQ(a.StructuralKey(), c.StructuralKey());
+  EXPECT_NE(a.CanonicalKey(), c.CanonicalKey());
+}
+
+TEST(SignatureTest, RejectsMalformedProblems) {
+  EXPECT_FALSE(
+      MechanismSignature::Create(-1, R(1, 2), "absolute", 0, 0,
+                                 ServeMode::kExactOptimal).ok());
+  EXPECT_FALSE(MechanismSignature::Create(5, R(3, 2), "absolute", 0, 5,
+                                          ServeMode::kExactOptimal).ok());
+  EXPECT_FALSE(MechanismSignature::Create(5, R(1, 2), "huber", 0, 5,
+                                          ServeMode::kExactOptimal).ok());
+  EXPECT_FALSE(MechanismSignature::Create(5, R(1, 2), "absolute", 3, 2,
+                                          ServeMode::kExactOptimal).ok());
+  EXPECT_FALSE(MechanismSignature::Create(5, R(1, 2), "absolute", 0, 6,
+                                          ServeMode::kExactOptimal).ok());
+  // alpha == 1 has no geometric mechanism (but is a valid LP level).
+  EXPECT_FALSE(MechanismSignature::Create(5, R(1), "absolute", 0, 5,
+                                          ServeMode::kGeometric).ok());
+  EXPECT_TRUE(MechanismSignature::Create(5, R(1), "absolute", 0, 5,
+                                         ServeMode::kExactOptimal).ok());
+}
+
+TEST(SignatureTest, HashIsStableAcrossRuns) {
+  // Persistence filenames and shard placement key off this value; it must
+  // never drift with the standard library or the platform.
+  EXPECT_EQ(SignatureHash(""), 1469598103934665603ULL);
+  EXPECT_EQ(SignatureHash("mode=exact;n=5;side=0..5"),
+            SignatureHash("mode=exact;n=5;side=0..5"));
+  EXPECT_NE(SignatureHash("a"), SignatureHash("b"));
+}
+
+// ---- cache ------------------------------------------------------------------
+
+TEST(MechanismCacheTest, HitReturnsBitIdenticalMechanismToColdSolve) {
+  MechanismCache cache;
+  const MechanismSignature sig = Sig(5, R(1, 2));
+
+  // The reference answer: a plain cold solve outside the cache.
+  auto reference = SolveOptimalMechanismExact(
+      5, R(1, 2), ExactLossFunction::AbsoluteError(), SideInformation::All(5));
+  ASSERT_TRUE(reference.ok());
+
+  bool hit = true;
+  auto first = cache.GetOrSolve(sig, &hit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE((*first)->exact == reference->matrix);       // operator==, exact
+  EXPECT_TRUE((*first)->loss == reference->loss);
+
+  auto second = cache.GetOrSolve(sig, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first->get(), second->get());  // the same immutable entry
+  EXPECT_TRUE((*second)->exact == reference->matrix);
+
+  const MechanismCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // SolveUncached bypasses the cache but must agree bit-for-bit.
+  auto uncached = cache.SolveUncached(sig);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_TRUE((*uncached)->exact == (*first)->exact);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(MechanismCacheTest, MissWarmStartsFromNearestCachedBasis) {
+  MechanismCache cache;
+  (void)cache.GetOrSolve(Sig(5, R(1, 5))).status();   // far neighbor
+  (void)cache.GetOrSolve(Sig(5, R(9, 20))).status();  // near neighbor
+  auto warm = cache.GetOrSolve(Sig(5, R(1, 2)));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE((*warm)->warm_started);
+  // Every solve after the first found a structurally compatible neighbor.
+  EXPECT_EQ(cache.GetStats().warm_starts, 2u);
+
+  // Warm starts may land on a different (equally optimal) vertex, but the
+  // optimal VALUE over Q is unique — and the result must be a genuine
+  // mechanism for the signature.
+  auto cold = cache.SolveUncached(Sig(5, R(1, 2)));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE((*warm)->loss == (*cold)->loss);
+  EXPECT_TRUE((*warm)->exact.IsRowStochastic());
+}
+
+TEST(MechanismCacheTest, GeometricModeServesClosedForm) {
+  MechanismCache cache;
+  const MechanismSignature sig =
+      Sig(6, R(1, 3), "absolute", ServeMode::kGeometric);
+  auto entry = cache.GetOrSolve(sig);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  auto expected = GeometricMechanism::BuildExactMatrix(6, R(1, 3));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE((*entry)->exact == *expected);
+  EXPECT_EQ((*entry)->lp_iterations, 0);
+  // The geometric mechanism can never beat the per-consumer LP optimum
+  // (Theorem 1: it matches it only after the consumer's interaction).
+  auto optimum = cache.GetOrSolve(Sig(6, R(1, 3)));
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_TRUE((*optimum)->loss <= (*entry)->loss);
+}
+
+TEST(MechanismCacheTest, PersistsAndReloadsBitIdentically) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/geopriv_cache_test";
+  fs::remove_all(dir);
+
+  RationalMatrix original(0, 0);
+  {
+    MechanismCache cache;
+    auto lp_entry = cache.GetOrSolve(Sig(4, R(1, 2)));
+    ASSERT_TRUE(lp_entry.ok());
+    original = (*lp_entry)->exact;
+    ASSERT_TRUE(
+        cache.GetOrSolve(Sig(6, R(1, 3), "squared", ServeMode::kGeometric))
+            .ok());
+    ASSERT_TRUE(cache.SaveToDirectory(dir).ok());
+  }
+
+  MechanismCache reloaded;
+  auto loaded = reloaded.LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2);
+  bool hit = false;
+  auto entry = reloaded.GetOrSolve(Sig(4, R(1, 2)), &hit);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(hit);  // no solve ran: the persisted entry answered
+  EXPECT_TRUE((*entry)->exact == original);
+  EXPECT_EQ(reloaded.GetStats().misses, 0u);
+
+  // Malformed persisted data must fail the load, not corrupt the cache.
+  {
+    std::ofstream bad(dir + "/deadbeef00000000.entry");
+    bad << "geopriv-service-entry v1\nmode exact\nn 1\nlo 0\nhi 1\n"
+           "loss absolute\nalpha 1/2\n"
+           "geopriv-mechanism v2\nn 1\nrow 1/3 1/3\nrow 0 1\n";
+  }
+  MechanismCache strict;
+  EXPECT_FALSE(strict.LoadFromDirectory(dir).ok());
+  fs::remove(dir + "/deadbeef00000000.entry");
+
+  // A tampered matrix that parses fine but violates the signature's
+  // alpha-DP claim must be refused: serving the identity matrix under an
+  // alpha=1/2 signature would bill a plaintext oracle at level 1/2.
+  {
+    std::ofstream tampered(dir + "/deadbeef00000001.entry");
+    tampered << "geopriv-service-entry v1\nmode exact\nn 1\nlo 0\nhi 1\n"
+                "loss absolute\nalpha 1/2\n"
+                "geopriv-mechanism v2\nn 1\nrow 1 0\nrow 0 1\n";
+  }
+  MechanismCache dp_strict;
+  auto tampered_load = dp_strict.LoadFromDirectory(dir);
+  EXPECT_FALSE(tampered_load.ok());
+  EXPECT_NE(tampered_load.status().message().find("alpha-DP"),
+            std::string::npos);
+  fs::remove(dir + "/deadbeef00000001.entry");
+
+  // Same for geometric entries: the matrix must BE G_{n,alpha}.
+  {
+    std::ofstream wrong(dir + "/deadbeef00000002.entry");
+    wrong << "geopriv-service-entry v1\nmode geometric\nn 1\nlo 0\nhi 1\n"
+             "loss absolute\nalpha 1/2\n"
+             "geopriv-mechanism v2\nn 1\nrow 1/2 1/2\nrow 1/2 1/2\n";
+  }
+  MechanismCache geo_strict;
+  EXPECT_FALSE(geo_strict.LoadFromDirectory(dir).ok());
+  fs::remove(dir + "/deadbeef00000002.entry");
+
+  // A truncated alpha line must not default to alpha=0, which would make
+  // the DP re-validation vacuous (any non-negative matrix is 0-DP).
+  {
+    std::ofstream truncated(dir + "/deadbeef00000003.entry");
+    truncated << "geopriv-service-entry v1\nmode exact\nn 1\nlo 0\nhi 1\n"
+                 "loss absolute\nalpha\n"
+                 "geopriv-mechanism v2\nn 1\nrow 1 0\nrow 0 1\n";
+  }
+  MechanismCache field_strict;
+  EXPECT_FALSE(field_strict.LoadFromDirectory(dir).ok());
+  fs::remove_all(dir);
+}
+
+TEST(MechanismCacheTest, ConcurrentGetOrSolveIsSafe) {
+  // Hammer one cache from many threads: same signature (hit storms),
+  // plus a second signature (cross-shard or same-shard miss).  Geometric
+  // mode keeps each solve cheap; the interesting part is the locking,
+  // which the CI ThreadSanitizer job runs this test under.
+  MechanismCache cache;
+  const MechanismSignature a =
+      Sig(6, R(1, 3), "absolute", ServeMode::kGeometric);
+  const MechanismSignature b =
+      Sig(6, R(1, 2), "absolute", ServeMode::kGeometric);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 8; ++round) {
+        auto entry = cache.GetOrSolve((t + round) % 2 == 0 ? a : b);
+        if (!entry.ok() || !(*entry)->exact.IsRowStochastic()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const MechanismCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits + stats.misses, 64u);
+  EXPECT_EQ(stats.misses, 2u);  // each signature solved exactly once
+}
+
+// ---- budget ledger ----------------------------------------------------------
+
+TEST(BudgetLedgerTest, CompositionMatchesComposeSequential) {
+  BudgetLedger ledger(0.25);
+  auto first = ledger.Charge("alice", 0.5);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->allowed);
+  auto second = ledger.Charge("alice", 0.6);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->allowed);
+  // The ledger's arithmetic IS ComposeSequential — exact double equality.
+  EXPECT_EQ(second->composed_level, *ComposeSequential({0.5, 0.6}));
+  EXPECT_EQ(ledger.Level("alice"), *ComposeSequential({0.5, 0.6}));
+
+  // 0.3 * 0.5 = 0.15 < 0.25: rejected, reported exactly, NOT charged.
+  auto third = ledger.Charge("alice", 0.5);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->allowed);
+  EXPECT_EQ(third->composed_level, *ComposeSequential({0.5, 0.6, 0.5}));
+  EXPECT_EQ(ledger.Level("alice"), *ComposeSequential({0.5, 0.6}));
+  EXPECT_EQ(ledger.Releases("alice"), 2u);
+
+  // Other consumers have independent budgets.
+  auto bob = ledger.Charge("bob", 0.5);
+  ASSERT_TRUE(bob.ok());
+  EXPECT_TRUE(bob->allowed);
+  EXPECT_EQ(ledger.Level("bob"), 0.5);
+
+  EXPECT_FALSE(ledger.Charge("alice", 1.5).ok());  // not a level
+}
+
+TEST(BudgetLedgerTest, ChainedReleasesComposeByMin) {
+  BudgetLedger ledger(0.0);
+  ASSERT_TRUE(ledger.Charge("carol", 0.3, /*chained=*/true).ok());
+  ASSERT_TRUE(ledger.Charge("carol", 0.5, /*chained=*/true).ok());
+  // Lemma 4: the chain costs its most trusted level, not the product.
+  EXPECT_EQ(ledger.Level("carol"), *ComposeChained({0.3, 0.5}));
+  // An independent release multiplies on top of the chain's level.
+  ASSERT_TRUE(ledger.Charge("carol", 0.5, /*chained=*/false).ok());
+  EXPECT_EQ(ledger.Level("carol"),
+            *ComposeSequential({0.5}) * *ComposeChained({0.3, 0.5}));
+}
+
+TEST(BudgetLedgerTest, PreviewDoesNotCharge) {
+  BudgetLedger ledger(0.25);
+  auto preview = ledger.Preview("dave", 0.5);
+  ASSERT_TRUE(preview.ok());
+  EXPECT_TRUE(preview->allowed);
+  EXPECT_EQ(preview->composed_level, 0.5);
+  EXPECT_EQ(ledger.Releases("dave"), 0u);
+  EXPECT_EQ(ledger.Level("dave"), 1.0);
+}
+
+TEST(BudgetLedgerTest, RejectedChargesCreateNoAccountState) {
+  // A stream of unique rejected consumer names must not grow the ledger
+  // (and its persisted file) without bound.
+  BudgetLedger ledger(0.5);
+  for (int k = 0; k < 8; ++k) {
+    auto rejected =
+        ledger.Charge("ghost-" + std::to_string(k), 0.3);  // 0.3 < 0.5
+    ASSERT_TRUE(rejected.ok());
+    EXPECT_FALSE(rejected->allowed);
+  }
+  EXPECT_TRUE(ledger.Snapshot().empty());
+  ASSERT_TRUE(ledger.Charge("real", 0.6).ok());
+  EXPECT_EQ(ledger.Snapshot().size(), 1u);
+}
+
+// ---- pipeline ---------------------------------------------------------------
+
+std::vector<ServiceQuery> RepeatedSignatureBatch(size_t count) {
+  std::vector<ServiceQuery> batch;
+  for (size_t q = 0; q < count; ++q) {
+    ServiceQuery query;
+    query.consumer = "load-" + std::to_string(q % 3);
+    query.signature = q % 2 == 0
+                          ? Sig(6, R(1, 3), "absolute", ServeMode::kGeometric)
+                          : Sig(6, R(1, 2), "absolute", ServeMode::kGeometric);
+    query.true_count = static_cast<int>(q % 7);
+    query.seed = 1000 + q;
+    batch.push_back(query);
+  }
+  return batch;
+}
+
+TEST(QueryPipelineTest, BatchSolvesEachSignatureOnce) {
+  MechanismCache cache;
+  QueryPipeline pipeline(&cache, nullptr, 1);
+  const std::vector<ServiceReply> replies =
+      pipeline.ExecuteBatch(RepeatedSignatureBatch(16));
+  ASSERT_EQ(replies.size(), 16u);
+  for (const ServiceReply& reply : replies) {
+    EXPECT_TRUE(reply.status.ok()) << reply.status.ToString();
+    EXPECT_GE(reply.released, 0);
+  }
+  // 16 queries, 2 distinct signatures: exactly 2 solves ran.
+  EXPECT_EQ(cache.GetStats().misses, 2u);
+  EXPECT_EQ(cache.GetStats().hits, 0u);
+}
+
+TEST(QueryPipelineTest, SamplingIsDeterministicForEveryThreadCount) {
+  const std::vector<ServiceQuery> batch = RepeatedSignatureBatch(32);
+  std::vector<int> serial_released;
+  {
+    MechanismCache cache;
+    QueryPipeline pipeline(&cache, nullptr, 1);
+    for (const ServiceReply& reply : pipeline.ExecuteBatch(batch)) {
+      ASSERT_TRUE(reply.status.ok());
+      serial_released.push_back(reply.released);
+    }
+  }
+  for (int threads : {2, 8}) {
+    MechanismCache cache;
+    QueryPipeline pipeline(&cache, nullptr, threads);
+    const std::vector<ServiceReply> replies = pipeline.ExecuteBatch(batch);
+    for (size_t q = 0; q < batch.size(); ++q) {
+      ASSERT_TRUE(replies[q].status.ok());
+      EXPECT_EQ(replies[q].released, serial_released[q])
+          << "threads=" << threads << " q=" << q;
+    }
+  }
+  // The per-request seed fully determines each sample: drawing directly
+  // from the mechanism with the same seed reproduces the pipeline.
+  MechanismCache cache;
+  auto entry = cache.GetOrSolve(batch[0].signature);
+  ASSERT_TRUE(entry.ok());
+  Xoshiro256 rng(batch[0].seed);
+  auto direct = (*entry)->mechanism.Sample(batch[0].true_count, rng);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*direct, serial_released[0]);
+}
+
+TEST(QueryPipelineTest, OverBudgetQueriesAreRejectedWithComposedLevel) {
+  MechanismCache cache;
+  BudgetLedger ledger(0.25);
+  QueryPipeline pipeline(&cache, &ledger, 1);
+  std::vector<ServiceQuery> batch;
+  for (int q = 0; q < 3; ++q) {
+    ServiceQuery query;
+    query.consumer = "eve";
+    query.signature = Sig(6, R(1, 2), "absolute", ServeMode::kGeometric);
+    query.true_count = 1;
+    query.seed = 7 + static_cast<uint64_t>(q);
+    batch.push_back(query);
+  }
+  const std::vector<ServiceReply> replies = pipeline.ExecuteBatch(batch);
+  EXPECT_TRUE(replies[0].status.ok());   // level 1/2
+  EXPECT_TRUE(replies[1].status.ok());   // level 1/4 == budget: admitted
+  EXPECT_FALSE(replies[2].status.ok());  // level 1/8 < 1/4: rejected
+  EXPECT_TRUE(replies[2].status.IsFailedPrecondition());
+  EXPECT_EQ(replies[2].composed_level, *ComposeSequential({0.5, 0.5, 0.5}));
+  EXPECT_EQ(replies[2].released, -1);  // nothing sampled, nothing leaked
+  EXPECT_EQ(ledger.Level("eve"), 0.25);
+}
+
+TEST(QueryPipelineTest, OverBudgetConsumerCannotForceFreshSolves) {
+  MechanismCache cache;
+  BudgetLedger ledger(0.5);
+  QueryPipeline pipeline(&cache, &ledger, 1);
+  ASSERT_TRUE(ledger.Charge("mallory", 0.5).ok());  // now exactly at the floor
+
+  ServiceQuery query;
+  query.consumer = "mallory";
+  query.signature = Sig(5, R(1, 2));  // uncached: would cost an exact solve
+  query.true_count = 1;
+  query.seed = 3;
+  const std::vector<ServiceReply> replies = pipeline.ExecuteBatch({query});
+  // Rejected for budget — and, crucially, WITHOUT running the solve: an
+  // over-budget consumer must not be able to burn solver time for free.
+  EXPECT_TRUE(replies[0].status.IsFailedPrecondition());
+  EXPECT_STREQ(replies[0].cache, "skipped");
+  EXPECT_EQ(cache.GetStats().misses, 0u);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+
+  // An already-cached signature is still looked up (lookups are free).
+  ASSERT_TRUE(cache
+                  .GetOrSolve(Sig(6, R(1, 2), "absolute",
+                                  ServeMode::kGeometric))
+                  .ok());
+  ServiceQuery cached = query;
+  cached.signature = Sig(6, R(1, 2), "absolute", ServeMode::kGeometric);
+  const std::vector<ServiceReply> second = pipeline.ExecuteBatch({cached});
+  EXPECT_TRUE(second[0].status.IsFailedPrecondition());
+  EXPECT_STREQ(second[0].cache, "hit");
+}
+
+// ---- protocol ---------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesQueriesWithExactAlpha) {
+  auto request = ParseRequestLine(
+      "{\"op\":\"query\",\"consumer\":\"alice\",\"n\":8,\"alpha\":\"1/3\","
+      "\"loss\":\"zeroone\",\"lo\":2,\"hi\":6,\"count\":4,\"seed\":9,"
+      "\"chained\":false,\"mode\":\"geometric\"}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(static_cast<int>(request->op),
+            static_cast<int>(ServiceOp::kQuery));
+  const ServiceQuery& query = request->query;
+  EXPECT_EQ(query.consumer, "alice");
+  EXPECT_EQ(query.signature.n, 8);
+  EXPECT_TRUE(query.signature.alpha == R(1, 3));
+  EXPECT_EQ(query.signature.loss, "zero-one");
+  EXPECT_EQ(query.signature.lo, 2);
+  EXPECT_EQ(query.signature.hi, 6);
+  EXPECT_EQ(query.true_count, 4);
+  EXPECT_EQ(query.seed, 9u);
+  // Client-declared chained accounting would be a budget bypass (min
+  // instead of product for independent samples): refused at parse time.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"op\":\"query\",\"consumer\":\"alice\",\"n\":8,"
+                   "\"alpha\":\"1/3\",\"count\":4,\"chained\":true}")
+                   .ok());
+
+  // A JSON number is parsed as an exact decimal: 0.3 means 3/10.
+  auto decimal = ParseRequestLine(
+      "{\"op\":\"query\",\"consumer\":\"c\",\"n\":4,\"alpha\":0.3,"
+      "\"count\":1}");
+  ASSERT_TRUE(decimal.ok()) << decimal.status().ToString();
+  EXPECT_TRUE(decimal->query.signature.alpha == R(3, 10));
+}
+
+TEST(ProtocolTest, MalformedLinesAreRejected) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("not json").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"query\"}").ok());  // missing fields
+  EXPECT_FALSE(ParseRequestLine("{\"op\":17}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"warp\"}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"ping\"} extra").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"ping\",\"op\":\"ping\"}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"ping\",\"x\":null}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"ping\",\"x\":[1]}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"ping\",\"x\":{\"y\":1}}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"ping\",\"x\":\"\\q\"}").ok());
+  // Bad query payloads fail signature validation, not just JSON parsing.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"op\":\"query\",\"consumer\":\"a\",\"n\":4,"
+                   "\"alpha\":\"5/4\",\"count\":1}")
+                   .ok());
+}
+
+TEST(ProtocolTest, OutOfRangeAndMistypedFieldsAreErrorsNotDefaults) {
+  const std::string head =
+      "{\"op\":\"query\",\"consumer\":\"a\",\"alpha\":\"1/2\"";
+  // n=2^32+5 must not truncate into the valid problem n=5.
+  EXPECT_FALSE(ParseRequestLine(head + ",\"n\":4294967301,\"count\":1}").ok());
+  EXPECT_FALSE(ParseRequestLine(head + ",\"n\":-1,\"count\":0}").ok());
+  // The n ceiling is per mode: what one entry materializes differs by
+  // orders of magnitude between the exact LP and the geometric closed
+  // form, and a huge geometric n would be a one-line OOM.
+  EXPECT_FALSE(ParseRequestLine(head + ",\"n\":300,\"count\":1}").ok());
+  EXPECT_TRUE(ParseRequestLine(
+                  head + ",\"n\":300,\"count\":1,\"mode\":\"geometric\"}")
+                  .ok());
+  EXPECT_FALSE(ParseRequestLine(
+                   head + ",\"n\":2000,\"count\":1,\"mode\":\"geometric\"}")
+                   .ok());
+  // count outside [0, n] is rejected at parse time (before any int cast).
+  EXPECT_FALSE(
+      ParseRequestLine(head + ",\"n\":4,\"count\":4294967297}").ok());
+  EXPECT_FALSE(ParseRequestLine(head + ",\"n\":4,\"count\":-1}").ok());
+  // A present-but-mistyped optional field is an error, never a default:
+  // hi=3.7 must not silently serve the unrestricted mechanism, a string
+  // seed must not silently become seed 1, chained="true" must not charge
+  // product-composition.
+  const std::string ok_head = head + ",\"n\":4,\"count\":1";
+  EXPECT_TRUE(ParseRequestLine(ok_head + "}").ok());
+  EXPECT_FALSE(ParseRequestLine(ok_head + ",\"hi\":3.7}").ok());
+  EXPECT_FALSE(ParseRequestLine(ok_head + ",\"lo\":\"0\"}").ok());
+  EXPECT_FALSE(ParseRequestLine(ok_head + ",\"seed\":\"7\"}").ok());
+  EXPECT_FALSE(ParseRequestLine(ok_head + ",\"chained\":\"true\"}").ok());
+  EXPECT_FALSE(ParseRequestLine(ok_head + ",\"mode\":7}").ok());
+  EXPECT_FALSE(ParseRequestLine(ok_head + ",\"loss\":7}").ok());
+}
+
+TEST(ProtocolTest, EscapingRoundTripsThroughTheParser) {
+  // Includes control characters (escaped as \uXXXX): a persisted ledger
+  // whose consumer name the parser could not re-read would brick restart.
+  const std::string raw = "a\"b\\c\nd\te\x08f\x01g";
+  auto object = JsonObject::Parse("{\"k\":\"" + JsonEscape(raw) + "\"}");
+  ASSERT_TRUE(object.ok()) << object.status().ToString();
+  auto value = object->GetString("k");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, raw);
+  // Non-BMP-surrogate \u escapes decode to UTF-8; malformed ones fail.
+  auto unicode = JsonObject::Parse("{\"k\":\"\\u00e9\\u20ac\"}");
+  ASSERT_TRUE(unicode.ok());
+  EXPECT_EQ(*unicode->GetString("k"), "\xc3\xa9\xe2\x82\xac");
+  EXPECT_FALSE(JsonObject::Parse("{\"k\":\"\\u12\"}").ok());
+  EXPECT_FALSE(JsonObject::Parse("{\"k\":\"\\uzzzz\"}").ok());
+  EXPECT_FALSE(JsonObject::Parse("{\"k\":\"\\ud800\"}").ok());
+}
+
+// ---- service facade (in-process protocol sessions) --------------------------
+
+TEST(MechanismServiceTest, ScriptedSessionEnforcesBudget) {
+  ServiceOptions options;
+  options.budget_alpha = 0.3;
+  MechanismService service(options);
+  bool shutdown = false;
+
+  EXPECT_EQ(service.HandleLine("{\"op\":\"ping\"}", &shutdown),
+            "{\"op\":\"ping\",\"ok\":true}");
+
+  const std::string query =
+      "{\"op\":\"query\",\"consumer\":\"alice\",\"n\":5,\"alpha\":\"1/2\","
+      "\"loss\":\"absolute\",\"count\":2,\"seed\":11}";
+  const std::string first = service.HandleLine(query, &shutdown);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"cache\":\"cold\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"level\":0.5"), std::string::npos) << first;
+
+  // Second release composes to 1/4 < 0.3: rejected with the exact level.
+  const std::string second = service.HandleLine(query, &shutdown);
+  EXPECT_NE(second.find("\"ok\":false"), std::string::npos) << second;
+  EXPECT_NE(second.find("FailedPrecondition"), std::string::npos) << second;
+  EXPECT_NE(second.find("\"composed_level\":0.25"), std::string::npos)
+      << second;
+  EXPECT_NE(second.find("\"cache\":\"hit\""), std::string::npos) << second;
+
+  const std::string budget = service.HandleLine(
+      "{\"op\":\"budget\",\"consumer\":\"alice\"}", &shutdown);
+  EXPECT_NE(budget.find("\"level\":0.5"), std::string::npos) << budget;
+  EXPECT_NE(budget.find("\"releases\":1"), std::string::npos) << budget;
+
+  EXPECT_FALSE(shutdown);
+  const std::string bye =
+      service.HandleLine("{\"op\":\"shutdown\"}", &shutdown);
+  EXPECT_TRUE(shutdown);
+  EXPECT_NE(bye.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(MechanismServiceTest, BatchWindowBuffersAndExecutesInOrder) {
+  MechanismService service;
+  bool shutdown = false;
+  EXPECT_NE(service.HandleLine("{\"op\":\"batch_begin\"}", &shutdown)
+                .find("\"ok\":true"),
+            std::string::npos);
+  for (int q = 0; q < 3; ++q) {
+    const std::string queued = service.HandleLine(
+        "{\"op\":\"query\",\"consumer\":\"b\",\"n\":6,\"alpha\":\"1/3\","
+        "\"mode\":\"geometric\",\"count\":" + std::to_string(q) +
+            ",\"seed\":" + std::to_string(q + 40) + "}",
+        &shutdown);
+    EXPECT_NE(queued.find("\"op\":\"queued\""), std::string::npos);
+    EXPECT_NE(queued.find("\"index\":" + std::to_string(q)),
+              std::string::npos);
+  }
+  const std::string chunk =
+      service.HandleLine("{\"op\":\"batch_end\"}", &shutdown);
+  std::istringstream lines(chunk);
+  std::string line;
+  int replies = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("\"op\":\"query\"") != std::string::npos) ++replies;
+  }
+  EXPECT_EQ(replies, 3);
+  EXPECT_NE(chunk.find("\"batched\":3"), std::string::npos);
+  // One distinct signature across the batch: exactly one solve.
+  EXPECT_EQ(service.cache().GetStats().misses, 1u);
+  // A second batch_end without a window is an error, not a crash.
+  EXPECT_NE(service.HandleLine("{\"op\":\"batch_end\"}", &shutdown)
+                .find("\"ok\":false"),
+            std::string::npos);
+
+  // Shutdown with an open window reports the aborted batch instead of
+  // silently dropping queries that were already acknowledged as queued.
+  (void)service.HandleLine("{\"op\":\"batch_begin\"}", &shutdown);
+  (void)service.HandleLine(
+      "{\"op\":\"query\",\"consumer\":\"b\",\"n\":6,\"alpha\":\"1/3\","
+      "\"mode\":\"geometric\",\"count\":1,\"seed\":50}",
+      &shutdown);
+  const std::string bye =
+      service.HandleLine("{\"op\":\"shutdown\"}", &shutdown);
+  EXPECT_TRUE(shutdown);
+  EXPECT_NE(bye.find("batch aborted by shutdown"), std::string::npos) << bye;
+  EXPECT_NE(bye.find("\"op\":\"shutdown\",\"ok\":true"), std::string::npos)
+      << bye;
+}
+
+TEST(MechanismServiceTest, LedgerPersistsAcrossRestarts) {
+  // Spent budget must survive a daemon restart: a floor that resets with
+  // the process would admit unbounded cumulative epsilon.
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/geopriv_ledger_persist";
+  fs::remove_all(dir);
+  ServiceOptions options;
+  options.budget_alpha = 0.3;
+  options.persist_dir = dir;
+  const std::string query =
+      "{\"op\":\"query\",\"consumer\":\"alice\",\"n\":6,\"alpha\":\"1/2\","
+      "\"mode\":\"geometric\",\"count\":2,\"seed\":5}";
+  bool shutdown = false;
+  {
+    MechanismService service(options);
+    ASSERT_TRUE(service.LoadPersisted().ok());
+    const std::string first = service.HandleLine(query, &shutdown);
+    EXPECT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+    (void)service.HandleLine("{\"op\":\"shutdown\"}", &shutdown);  // persists
+  }
+  {
+    MechanismService service(options);
+    auto loaded = service.LoadPersisted();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(*loaded, 1);  // the cache entry came back too
+    EXPECT_EQ(service.ledger().Level("alice"), 0.5);
+    // 0.5 * 0.5 = 0.25 < 0.3: the restart did not refill the budget.
+    const std::string second = service.HandleLine(query, &shutdown);
+    EXPECT_NE(second.find("\"ok\":false"), std::string::npos) << second;
+    EXPECT_NE(second.find("\"composed_level\":0.25"), std::string::npos)
+        << second;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(MechanismServiceTest, ServeLoopRunsAScriptedSession) {
+  std::istringstream in(
+      "{\"op\":\"ping\"}\n"
+      "\n"
+      "{\"op\":\"query\",\"consumer\":\"s\",\"n\":6,\"alpha\":\"1/3\","
+      "\"mode\":\"geometric\",\"count\":3,\"seed\":5}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"ping\"}\n");  // after shutdown: must not be processed
+  std::ostringstream out;
+  MechanismService service;
+  ASSERT_TRUE(RunServeLoop(in, out, service).ok());
+  const std::string transcript = out.str();
+  EXPECT_NE(transcript.find("\"op\":\"ping\",\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(transcript.find("\"op\":\"query\",\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(transcript.find("\"entries\":1"), std::string::npos);
+  EXPECT_NE(transcript.find("\"op\":\"shutdown\""), std::string::npos);
+  // Exactly one ping response: the loop stopped at shutdown.
+  EXPECT_EQ(transcript.find("\"op\":\"ping\""),
+            transcript.rfind("\"op\":\"ping\""));
+}
+
+}  // namespace
+}  // namespace geopriv

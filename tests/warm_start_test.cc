@@ -14,6 +14,7 @@
 #include "lp/exact_simplex.h"
 #include "lp/problem.h"
 #include "lp/simplex.h"
+#include "util/thread_pool.h"
 
 namespace geopriv {
 namespace {
@@ -204,6 +205,42 @@ TEST(WarmStartTest, DoubleWarmStartPatchesInfeasiblePrior) {
   EXPECT_TRUE((*seq)[1].warm_started);
   EXPECT_GT((*seq)[1].warm_patched_rows, 0);
   EXPECT_NEAR((*seq)[1].objective, 1.0, 1e-9);
+}
+
+TEST(WarmStartTest, SharedPoolChainIsBitIdenticalToSerial) {
+  // SolveSequence now constructs ONE pool for the whole chain
+  // (ExactSimplexOptions::pool) instead of one per member, and callers may
+  // pass their own long-lived pool (the service's solve cache does).
+  // Either way every member must stay byte-for-byte the serial chain.
+  std::vector<ExactLpProblem> family;
+  for (const Rational& alpha : AlphaFamily()) {
+    family.push_back(MechanismLp(4, alpha));
+  }
+  auto serial = ExactSimplexSolver().SolveSequence(family);
+  ASSERT_TRUE(serial.ok());
+
+  ExactSimplexOptions threaded;
+  threaded.threads = 2;
+  auto pooled = ExactSimplexSolver(threaded).SolveSequence(family);
+  ASSERT_TRUE(pooled.ok());
+
+  ThreadPool external(3);
+  ExactSimplexOptions borrowed;
+  borrowed.pool = &external;
+  auto via_external = ExactSimplexSolver(borrowed).SolveSequence(family);
+  ASSERT_TRUE(via_external.ok());
+
+  for (size_t k = 0; k < family.size(); ++k) {
+    ASSERT_EQ((*pooled)[k].status, LpStatus::kOptimal) << "k=" << k;
+    EXPECT_TRUE((*pooled)[k].objective == (*serial)[k].objective)
+        << "k=" << k;
+    EXPECT_TRUE((*pooled)[k].values == (*serial)[k].values) << "k=" << k;
+    EXPECT_EQ((*pooled)[k].iterations, (*serial)[k].iterations) << "k=" << k;
+    EXPECT_TRUE((*via_external)[k].objective == (*serial)[k].objective)
+        << "k=" << k;
+    EXPECT_TRUE((*via_external)[k].values == (*serial)[k].values)
+        << "k=" << k;
+  }
 }
 
 }  // namespace

@@ -7,15 +7,21 @@
 //   interact   solve the Section 2.4.3 LP against a saved mechanism
 //   check      verify differential privacy of a saved mechanism
 //   analyze    print error statistics of a saved mechanism
+//   serve      run the mechanism service (JSONL over stdin or TCP)
+//   query      one-shot client for the service's line protocol
 //
 // Example:
 //   geopriv optimal --n 8 --alpha 0.5 --loss absolute --out mech.txt
 //   geopriv check --file mech.txt --alpha 0.5
 //   geopriv release --n 100 --alpha 0.5 --count 42 --seed 7
+//   geopriv query --consumer alice --n 8 --alpha 1/2 --count 3 --seed 7
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -23,6 +29,8 @@
 #include "core/analysis.h"
 #include "core/geopriv.h"
 #include "core/io.h"
+#include "service/server.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -33,9 +41,53 @@ class Args {
  public:
   Args(int argc, char** argv, int begin) {
     for (int i = begin; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        // A stray token in key position desynchronizes the pair walk and
+        // silently drops every later flag; record it so the strict
+        // subcommands can reject the whole line.
+        if (stray_.empty()) stray_ = argv[i];
+        continue;
+      }
       values_[argv[i] + 2] = argv[i + 1];
+      // A "value" that is itself a flag means the real value was
+      // forgotten mid-line ("--consumer --n 8"): record the valueless
+      // flag so the strict subcommands can reject the whole line.
+      if (dangling_.empty() && std::strncmp(argv[i + 1], "--", 2) == 0) {
+        dangling_ = argv[i] + 2;
+      }
     }
+    // A lone trailing flag pairs with nothing: the loop above advances two
+    // tokens at a time, so an odd remainder whose last token is a flag
+    // means its value was forgotten.
+    if (dangling_.empty() && begin < argc && (argc - begin) % 2 == 1 &&
+        std::strncmp(argv[argc - 1], "--", 2) == 0) {
+      dangling_ = argv[argc - 1] + 2;
+    }
+  }
+
+  /// A trailing flag with no value ("--persist<EOL>"), or empty.  Legacy
+  /// subcommands tolerate it; the service subcommands treat it as fatal.
+  const std::string& dangling() const { return dangling_; }
+
+  /// A non-flag token found where a flag was expected, or empty.
+  const std::string& stray() const { return stray_; }
+
+  /// First provided key not in `allowed`, or empty.  Lets the service
+  /// subcommands reject typoed flags ("--budgte") instead of silently
+  /// running without them.
+  std::string FirstUnknownKey(
+      const std::vector<std::string>& allowed) const {
+    for (const auto& [key, value] : values_) {
+      bool known = false;
+      for (const std::string& candidate : allowed) {
+        if (key == candidate) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) return key;
+    }
+    return "";
   }
 
   std::string GetString(const std::string& key,
@@ -55,6 +107,8 @@ class Args {
 
  private:
   std::map<std::string, std::string> values_;
+  std::string dangling_;
+  std::string stray_;
 };
 
 int Fail(const Status& status) {
@@ -217,6 +271,144 @@ int CmdAnalyze(const Args& args) {
   return 0;
 }
 
+// Strict integer flag for the service subcommands: the daemon treats a
+// malformed or out-of-range numeric flag as fatal (a typo must not bind
+// the service to the wrong port or misconfigure enforcement), and the CLI
+// wrappers must match (shared helper in util/string_util.h).
+Result<int> StrictIntArg(const Args& args, const std::string& key,
+                         int fallback) {
+  if (!args.Has(key)) return fallback;
+  const std::string text = args.GetString(key, "");
+  int value = 0;
+  if (!ParseIntStrict(text, &value)) {
+    return Status::InvalidArgument("malformed --" + key + " value '" + text +
+                                   "'");
+  }
+  return value;
+}
+
+// The service subcommands reject unknown and dangling flags outright: a
+// typoed or valueless --budget silently running with enforcement off is
+// the exact failure the daemon's strict parser exists to prevent.
+Status RequireKnownFlags(const Args& args,
+                         const std::vector<std::string>& allowed) {
+  if (!args.stray().empty()) {
+    return Status::InvalidArgument(
+        "unexpected argument '" + args.stray() +
+        "' (flags are --key value pairs)");
+  }
+  if (!args.dangling().empty()) {
+    return Status::InvalidArgument("flag --" + args.dangling() +
+                                   " needs a value");
+  }
+  const std::string unknown = args.FirstUnknownKey(allowed);
+  if (!unknown.empty()) {
+    return Status::InvalidArgument("unknown flag --" + unknown);
+  }
+  return Status::OK();
+}
+
+Result<ServiceOptions> ServiceOptionsFromArgs(const Args& args) {
+  ServiceOptions options;
+  if (args.Has("budget")) {
+    // Strict, like the geopriv_serve daemon: a --budget typo that atof
+    // would map to 0 silently disables privacy enforcement.
+    const std::string text = args.GetString("budget", "");
+    if (!ParseDoubleStrict(text, &options.budget_alpha) ||
+        !(options.budget_alpha >= 0.0 && options.budget_alpha <= 1.0)) {
+      return Status::InvalidArgument("malformed --budget value '" + text +
+                                     "' (a level in [0, 1])");
+    }
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(int shards, StrictIntArg(args, "shards", 8));
+  if (shards < 1) {
+    return Status::InvalidArgument("--shards must be positive");
+  }
+  options.shards = static_cast<size_t>(shards);
+  GEOPRIV_ASSIGN_OR_RETURN(options.threads, StrictIntArg(args, "threads", 0));
+  options.persist_dir = args.GetString("persist", "");
+  return options;
+}
+
+int CmdServe(const Args& args) {
+  // The daemon loop lives in service/server.h; this subcommand is the same
+  // process as `geopriv_serve`, reachable without a second binary.
+  Status flags = RequireKnownFlags(
+      args, {"budget", "shards", "threads", "persist", "port"});
+  if (!flags.ok()) return Fail(flags);
+  auto options = ServiceOptionsFromArgs(args);
+  if (!options.ok()) return Fail(options.status());
+  MechanismService service(*options);
+  auto loaded = service.LoadPersisted();
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto port = StrictIntArg(args, "port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (args.Has("port") && (*port < 0 || *port > 65535)) {
+    return Fail(Status::InvalidArgument("--port must lie in [0, 65535]"));
+  }
+  const Status status = args.Has("port")
+                            ? ServeTcp(*port, service, std::cout)
+                            : RunServeLoop(std::cin, std::cout, service);
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  Status flags = RequireKnownFlags(
+      args, {"line", "consumer", "n", "alpha", "loss", "lo", "hi", "mode",
+             "count", "seed", "port", "host", "budget", "shards", "threads",
+             "persist"});
+  if (!flags.ok()) return Fail(flags);
+  // Build one protocol line from the flags (or take it verbatim).
+  std::string line = args.GetString("line", "");
+  if (line.empty()) {
+    auto n = StrictIntArg(args, "n", 8);
+    if (!n.ok()) return Fail(n.status());
+    auto lo = StrictIntArg(args, "lo", 0);
+    if (!lo.ok()) return Fail(lo.status());
+    auto hi = StrictIntArg(args, "hi", *n);
+    if (!hi.ok()) return Fail(hi.status());
+    auto count = StrictIntArg(args, "count", 0);
+    if (!count.ok()) return Fail(count.status());
+    auto seed = StrictIntArg(args, "seed", 1);
+    if (!seed.ok()) return Fail(seed.status());
+    line = "{\"op\":\"query\",\"consumer\":\"" +
+           JsonEscape(args.GetString("consumer", "cli")) + "\"" +
+           ",\"n\":" + std::to_string(*n) + ",\"alpha\":\"" +
+           JsonEscape(args.GetString("alpha", "1/2")) + "\"" +
+           ",\"loss\":\"" + JsonEscape(args.GetString("loss", "absolute")) +
+           "\"" + ",\"lo\":" + std::to_string(*lo) +
+           ",\"hi\":" + std::to_string(*hi) +
+           ",\"mode\":\"" + JsonEscape(args.GetString("mode", "exact")) +
+           "\"" + ",\"count\":" + std::to_string(*count) +
+           ",\"seed\":" + std::to_string(*seed) + "}";
+  }
+  if (args.Has("port")) {
+    // Single-shot client against a running daemon.
+    auto port = StrictIntArg(args, "port", 0);
+    if (!port.ok()) return Fail(port.status());
+    if (*port < 0 || *port > 65535) {
+      return Fail(Status::InvalidArgument("--port must lie in [0, 65535]"));
+    }
+    auto response = TcpRequest(args.GetString("host", "127.0.0.1"),
+                               *port, line);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", response->c_str());
+    return 0;
+  }
+  // No daemon: answer in-process with a fresh (or persisted) service.
+  auto options = ServiceOptionsFromArgs(args);
+  if (!options.ok()) return Fail(options.status());
+  MechanismService service(*options);
+  auto loaded = service.LoadPersisted();
+  if (!loaded.ok()) return Fail(loaded.status());
+  bool shutdown = false;
+  std::printf("%s\n", service.HandleLine(line, &shutdown).c_str());
+  Status persisted = service.Persist();
+  if (!persisted.ok()) return Fail(persisted);
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "usage: geopriv <command> [--key value ...]\n"
@@ -230,7 +422,12 @@ void PrintUsage() {
       "             (warm-started: each point seeds the next solve)\n"
       "  interact   --file FILE [--loss ...] [--lo L --hi H]\n"
       "  check      --file FILE --alpha A\n"
-      "  analyze    --file FILE\n");
+      "  analyze    --file FILE\n"
+      "  serve      [--budget B] [--shards K] [--threads T]\n"
+      "             [--persist DIR] [--port P]   (JSONL mechanism service)\n"
+      "  query      --consumer C --n N --alpha A --count K [--seed S]\n"
+      "             [--loss ...] [--lo L --hi H] [--mode exact|geometric]\n"
+      "             [--port P [--host H]]  (or --line '<raw json>')\n");
 }
 
 }  // namespace
@@ -249,6 +446,8 @@ int main(int argc, char** argv) {
   if (command == "interact") return CmdInteract(args);
   if (command == "check") return CmdCheck(args);
   if (command == "analyze") return CmdAnalyze(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "query") return CmdQuery(args);
   PrintUsage();
   return 1;
 }

@@ -1,0 +1,99 @@
+// geopriv_serve — the mechanism service daemon.
+//
+// Speaks the JSONL protocol (docs/SERVICE.md) over stdin/stdout by
+// default, or over a loopback TCP socket with --port.  One process owns
+// the sharded solve cache, the privacy-budget ledger and the batched
+// query pipeline; consumers drive it with one JSON object per line:
+//
+//   echo '{"op":"query","consumer":"alice","n":8,"alpha":"1/2",
+//          "loss":"absolute","count":3,"seed":7}' | geopriv_serve
+//
+// Flags (all --key value):
+//   --budget B     budget floor alpha_B in [0,1]; 0 disables (default 0)
+//   --shards K     cache shard count (default 8)
+//   --threads T    solver/sampling worker threads (default: GEOPRIV_THREADS)
+//   --persist DIR  load cache entries from DIR at start, write them back
+//                  at shutdown/EOF
+//   --port P       serve TCP on 127.0.0.1:P instead of stdin (0 = pick a
+//                  free port; the chosen port is announced on stdout)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/server.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace geopriv;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strict numeric parsing (util/string_util.h): a daemon whose --budget
+  // typo silently became 0 would serve with privacy enforcement off, and
+  // an out-of-range --port must not truncate into a different valid port,
+  // so malformed values are fatal.
+  ServiceOptions options;
+  int port = -1;
+  const auto usage = [](const char* problem, const char* flag) {
+    std::fprintf(stderr,
+                 "%s '%s'\n"
+                 "usage: geopriv_serve [--budget B] [--shards K] "
+                 "[--threads T] [--persist DIR] [--port P]\n",
+                 problem, flag);
+    return 2;
+  };
+  for (int i = 1; i < argc; i += 2) {
+    const std::string key = argv[i];
+    // A dangling flag (e.g. a forgotten --persist directory) must be an
+    // error, not a silently dropped option — including mid-line, where
+    // the "value" would otherwise swallow the next flag.
+    if (i + 1 >= argc) return usage("flag needs a value:", key.c_str());
+    const std::string value = argv[i + 1];
+    if (value.rfind("--", 0) == 0) {
+      return usage("flag needs a value:", key.c_str());
+    }
+    bool ok = true;
+    int parsed = 0;
+    if (key == "--budget") {
+      // Range-checked: NaN and negatives would clamp to 0 in the ledger,
+      // i.e. silently disable enforcement.
+      ok = ParseDoubleStrict(value, &options.budget_alpha) &&
+           options.budget_alpha >= 0.0 && options.budget_alpha <= 1.0;
+    } else if (key == "--shards") {
+      ok = ParseIntStrict(value, &parsed) && parsed > 0;
+      options.shards = static_cast<size_t>(parsed);
+    } else if (key == "--threads") {
+      ok = ParseIntStrict(value, &options.threads);
+    } else if (key == "--persist") {
+      options.persist_dir = value;
+    } else if (key == "--port") {
+      ok = ParseIntStrict(value, &port) && port >= 0 && port <= 65535;
+    } else {
+      return usage("unknown flag", key.c_str());
+    }
+    if (!ok) return usage("malformed value for", key.c_str());
+  }
+
+  MechanismService service(options);
+  Result<int> loaded = service.LoadPersisted();
+  if (!loaded.ok()) return Fail(loaded.status());
+  if (*loaded > 0) {
+    std::fprintf(stderr, "geopriv_serve: reloaded %d cached mechanism(s)\n",
+                 *loaded);
+  }
+
+  const Status status = port >= 0 ? ServeTcp(port, service, std::cout)
+                                  : RunServeLoop(std::cin, std::cout, service);
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
