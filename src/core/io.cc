@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exact/rational.h"
+#include "util/fault_injection.h"
 
 namespace geopriv {
 
@@ -126,6 +127,10 @@ Result<Mechanism> ParseMechanism(const std::string& text) {
 }
 
 Status SaveMechanism(const Mechanism& mechanism, const std::string& path) {
+  // Fired before the file is opened: unlike the service's write-then-
+  // rename persistence, these CLI-facing saves truncate in place, so the
+  // only crash-safe point to inject is before the destination is touched.
+  GEOPRIV_INJECT_FAULT("io.save.write");
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::NotFound("cannot open '" + path + "' for write");
   out << SerializeMechanism(mechanism);
@@ -179,6 +184,7 @@ Status SaveExactMechanism(const RationalMatrix& mechanism,
         "refusing to save an empty, non-square or non-row-stochastic "
         "exact mechanism");
   }
+  GEOPRIV_INJECT_FAULT("io.save.write");
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::NotFound("cannot open '" + path + "' for write");
   out << SerializeExactMechanism(mechanism);

@@ -164,6 +164,13 @@ namespace {
 // warm-started sweeps.
 Result<ExactOptimalResult> PackMechanismResult(ExactLpSolution solution,
                                                int n) {
+  if (solution.status == LpStatus::kCancelled) {
+    // A timed-out solve proved nothing about feasibility; reporting it as
+    // Infeasible would let a transient deadline masquerade as a property
+    // of the LP.
+    return Status::DeadlineExceeded(
+        "exact optimal-mechanism LP hit its solve deadline");
+  }
   if (solution.status != LpStatus::kOptimal) {
     return Status::Infeasible("exact optimal-mechanism LP did not solve");
   }

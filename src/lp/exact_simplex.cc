@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -1025,6 +1026,13 @@ class DenseRationalKernel {
 template <class Kernel>
 Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
                                         const ExactSimplexOptions& options) {
+  // The deadline clock starts before the tableau is built: construction
+  // cost scales with the same problem dimensions as the pivots, and a
+  // caller's wall-clock budget has no reason to exclude it.  (The check
+  // itself still runs per pivot — construction is not interruptible.)
+  const std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options.deadline_ms);
   KernelSetup setup;
   setup.compute_duals = options.compute_duals;
   setup.warm = Kernel::kSupportsWarmStart && options.warm_start != nullptr &&
@@ -1073,6 +1081,11 @@ Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
   // simplex_core.h); termination stays guaranteed.
   config.sticky_fallback = false;
   config.max_iterations = options.max_iterations;
+  config.cancel = options.cancel;
+  if (options.deadline_ms > 0) {
+    config.has_deadline = true;
+    config.deadline = deadline;
+  }
 
   lp_internal::TwoPhaseStats stats;
   const lp_internal::SolveOutcome outcome =
@@ -1090,6 +1103,9 @@ Result<ExactLpSolution> SolveWithKernel(const ExactLpProblem& problem,
       return solution;
     case lp_internal::SolveOutcome::kUnbounded:
       solution.status = LpStatus::kUnbounded;
+      return solution;
+    case lp_internal::SolveOutcome::kCancelled:
+      solution.status = LpStatus::kCancelled;
       return solution;
     case lp_internal::SolveOutcome::kOptimal:
       break;

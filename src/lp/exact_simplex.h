@@ -31,6 +31,8 @@
 #ifndef GEOPRIV_LP_EXACT_SIMPLEX_H_
 #define GEOPRIV_LP_EXACT_SIMPLEX_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -201,6 +203,15 @@ struct ExactSimplexOptions {
   /// and must not be used concurrently by another solve (ThreadPool is not
   /// reentrant).  Results are bit-identical with or without a shared pool.
   ThreadPool* pool = nullptr;
+  /// Wall-clock budget per solve in milliseconds; 0 means none.  Checked
+  /// cooperatively at every pivot boundary (overshoot is bounded by one
+  /// pivot), and the solve returns LpStatus::kCancelled with nothing
+  /// certified.  In SolveSequence the budget applies per member.  A solve
+  /// that finishes in time is bit-identical to one with no deadline.
+  int64_t deadline_ms = 0;
+  /// Optional external kill switch, checked alongside the deadline at
+  /// every pivot.  Not owned; must outlive the Solve call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// The chain drivers' shared-pool policy in one place: returns the pool a

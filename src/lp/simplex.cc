@@ -687,6 +687,9 @@ Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     case lp_internal::SolveOutcome::kUnbounded:
       solution.status = LpStatus::kUnbounded;
       return solution;
+    case lp_internal::SolveOutcome::kCancelled:
+      solution.status = LpStatus::kCancelled;
+      return solution;
     case lp_internal::SolveOutcome::kOptimal:
       break;
   }

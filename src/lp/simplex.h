@@ -32,6 +32,9 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  /// The solve hit its wall-clock deadline or an external cancel flag
+  /// (lp_internal::PhaseConfig) before certifying anything.
+  kCancelled,
 };
 
 /// Primal solution of an LP.

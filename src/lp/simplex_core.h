@@ -74,6 +74,8 @@
 #define GEOPRIV_LP_SIMPLEX_CORE_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -131,10 +133,32 @@ struct PhaseConfig {
   bool sticky_fallback = false;
   /// Cap on total pivots across both phases; 0 means unlimited.
   long max_iterations = 0;
+  /// Cooperative cancellation, checked once per pivot like the iteration
+  /// budget.  `cancel` is an external kill switch (a watchdog or a caller
+  /// that stopped caring); `deadline` bounds wall-clock time.  Either
+  /// trips the solve into kCancelled at the next pivot boundary — the
+  /// tableau stays consistent, nothing is certified.  Both default off,
+  /// so a solve without a deadline is byte-for-byte the old code path.
+  const std::atomic<bool>* cancel = nullptr;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool Cancelled() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
-enum class PhaseOutcome { kOptimal, kUnbounded, kIterationLimit };
-enum class SolveOutcome { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class PhaseOutcome { kOptimal, kUnbounded, kIterationLimit, kCancelled };
+enum class SolveOutcome {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kCancelled,
+};
 
 /// Devex reference weights, kept in log2 space so the multiplicative
 /// updates (w_j := max(w_j, (alpha_j/alpha_q)^2 w_q)) cannot overflow even
@@ -233,6 +257,10 @@ PhaseOutcome RunPhase(Kernel& kernel, const PhaseConfig& config, long budget,
     // Budget is checked only once a pivot is actually needed, so a solve
     // that reaches optimality in exactly `budget` pivots reports optimal.
     if (budget >= 0 && spent >= budget) return PhaseOutcome::kIterationLimit;
+    // Deadline/cancel likewise: a solve that finishes on time is never
+    // reported cancelled.  Checking per pivot bounds the overshoot past a
+    // deadline by one pivot's wall-clock cost.
+    if (config.Cancelled()) return PhaseOutcome::kCancelled;
 
     // ---- Leaving row (the ratio test lives in the kernel). ----
     const size_t leave = kernel.SelectLeaving(enter);
@@ -282,6 +310,7 @@ SolveOutcome RunTwoPhase(Kernel& kernel, const PhaseConfig& config,
     if (outcome == PhaseOutcome::kIterationLimit) {
       return SolveOutcome::kIterationLimit;
     }
+    if (outcome == PhaseOutcome::kCancelled) return SolveOutcome::kCancelled;
     if (!kernel.Phase1Feasible()) return SolveOutcome::kInfeasible;
     // Drive-out pivots count against the same total budget, keeping
     // max_iterations a true hard cap on pivots of every kind.
@@ -304,6 +333,7 @@ SolveOutcome RunTwoPhase(Kernel& kernel, const PhaseConfig& config,
   if (outcome == PhaseOutcome::kIterationLimit) {
     return SolveOutcome::kIterationLimit;
   }
+  if (outcome == PhaseOutcome::kCancelled) return SolveOutcome::kCancelled;
   if (outcome == PhaseOutcome::kUnbounded) return SolveOutcome::kUnbounded;
   return SolveOutcome::kOptimal;
 }

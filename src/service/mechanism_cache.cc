@@ -1,6 +1,7 @@
 #include "service/mechanism_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +11,7 @@
 #include "core/geometric.h"
 #include "core/io.h"
 #include "core/optimal_exact.h"
+#include "util/fault_injection.h"
 
 namespace geopriv {
 
@@ -17,7 +19,18 @@ namespace {
 
 namespace fs = std::filesystem;
 
+using SteadyClock = std::chrono::steady_clock;
+
 constexpr char kEntryHeader[] = "geopriv-service-entry v1";
+
+// Milliseconds left before `deadline`, floored at 1 so a nearly-expired
+// deadline still reaches the per-pivot check instead of rounding to
+// "unlimited" (0 means "no deadline" everywhere downstream).
+int64_t RemainingMs(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  return std::max<int64_t>(1, left.count());
+}
 
 std::string HashFileName(const MechanismSignature& signature) {
   char buf[24];
@@ -52,7 +65,8 @@ const MechanismCache::Shard& MechanismCache::ShardFor(
 }
 
 Result<ServedMechanism> MechanismCache::SolveLocked(
-    const MechanismSignature& signature, const LpBasis* warm_seed) const {
+    const MechanismSignature& signature, const LpBasis* warm_seed,
+    int64_t deadline_ms) const {
   GEOPRIV_ASSIGN_OR_RETURN(ExactLossFunction loss, signature.ResolveLoss());
   GEOPRIV_ASSIGN_OR_RETURN(SideInformation side, signature.ResolveSide());
 
@@ -72,11 +86,15 @@ Result<ServedMechanism> MechanismCache::SolveLocked(
     solver.warm_start = warm_seed;
     solver.pool = pool_.get();
     solver.threads = 1;  // never spawn per-solve workers; pool_ is the pool
+    solver.deadline_ms = deadline_ms;
     Result<ExactOptimalResult> solved = SolveOptimalMechanismExact(
         signature.n, signature.alpha, loss, side, solver);
-    if (!solved.ok() && warm_seed != nullptr) {
+    if (!solved.ok() && !solved.status().IsDeadlineExceeded() &&
+        warm_seed != nullptr) {
       // A seed that does not fit (or drove the solver into a corner) must
-      // never cost correctness: fall back to the cold path once.
+      // never cost correctness: fall back to the cold path once.  A timed-
+      // out warm attempt is the one exception — retrying cold would spend
+      // the deadline twice.
       solver.warm_start = nullptr;
       solved = SolveOptimalMechanismExact(signature.n, signature.alpha, loss,
                                           side, solver);
@@ -107,9 +125,14 @@ std::shared_ptr<const ServedMechanism> MechanismCache::Peek(
 }
 
 Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
-    const MechanismSignature& signature, bool* was_hit) {
+    const MechanismSignature& signature, bool* was_hit, int64_t deadline_ms) {
   Shard& shard = ShardFor(signature);
   const std::string key = signature.CanonicalKey();
+  // One deadline covers the whole call: waiting on a duplicate in-flight
+  // solve, queueing on the solver mutex, and the solve's own pivots.
+  const bool has_deadline = deadline_ms > 0;
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() + std::chrono::milliseconds(deadline_ms);
 
   std::shared_ptr<const ServedMechanism> seed_entry;
   {
@@ -125,9 +148,31 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
         return it->second;
       }
       if (shard.in_flight.count(key) == 0) break;
-      shard.solved.wait(shard_lock);
+      if (!has_deadline) {
+        shard.solved.wait(shard_lock);
+      } else if (shard.solved.wait_until(shard_lock, deadline) ==
+                 std::cv_status::timeout) {
+        // Only this waiter gives up; the in-flight solve it was watching
+        // continues and will still publish for later callers.
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::DeadlineExceeded(
+            "deadline expired waiting for an in-flight solve of '" + key +
+            "'");
+      }
     }
     if (was_hit != nullptr) *was_hit = false;
+    // Overload admission: shed this miss rather than join an unbounded
+    // convoy on the solver mutex.  Checked before the in-flight marker so
+    // a shed call leaves no state to clean up.
+    if (options_.max_pending > 0 &&
+        pending_solves_.load(std::memory_order_relaxed) >=
+            options_.max_pending) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "solve queue is full (max_pending=" +
+          std::to_string(options_.max_pending) + "); retry later");
+    }
+    pending_solves_.fetch_add(1, std::memory_order_relaxed);
     shard.in_flight.insert(key);
 
     // Pick the warm seed before unlocking.  Only entries of the same
@@ -170,15 +215,33 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
   // duplicate solves of this signature out.
   Result<ServedMechanism> solved = Status::Internal("unreachable");
   {
-    std::lock_guard<std::mutex> solve_lock(solve_mu_);
-    solved = SolveLocked(signature,
-                         seed_entry != nullptr ? &seed_entry->basis : nullptr);
+    std::unique_lock<std::timed_mutex> solve_lock(solve_mu_, std::defer_lock);
+    if (!has_deadline) {
+      solve_lock.lock();
+      solved = SolveLocked(
+          signature, seed_entry != nullptr ? &seed_entry->basis : nullptr,
+          /*deadline_ms=*/0);
+    } else if (solve_lock.try_lock_until(deadline)) {
+      // Whatever deadline survives the queue bounds the solve's pivots.
+      solved = SolveLocked(
+          signature, seed_entry != nullptr ? &seed_entry->basis : nullptr,
+          RemainingMs(deadline));
+    } else {
+      solved = Status::DeadlineExceeded(
+          "deadline expired queueing for the solver mutex on '" + key + "'");
+    }
   }
 
   std::lock_guard<std::mutex> shard_lock(shard.mu);
   shard.in_flight.erase(key);
+  pending_solves_.fetch_sub(1, std::memory_order_relaxed);
   shard.solved.notify_all();
-  if (!solved.ok()) return solved.status();
+  if (!solved.ok()) {
+    if (solved.status().IsDeadlineExceeded()) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return solved.status();
+  }
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (solved->warm_started) {
     warm_starts_.fetch_add(1, std::memory_order_relaxed);
@@ -190,9 +253,10 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
 
 Result<std::shared_ptr<const ServedMechanism>> MechanismCache::SolveUncached(
     const MechanismSignature& signature) const {
-  std::lock_guard<std::mutex> solve_lock(solve_mu_);
-  GEOPRIV_ASSIGN_OR_RETURN(ServedMechanism solved,
-                           SolveLocked(signature, nullptr));
+  std::lock_guard<std::timed_mutex> solve_lock(solve_mu_);
+  GEOPRIV_ASSIGN_OR_RETURN(
+      ServedMechanism solved,
+      SolveLocked(signature, nullptr, /*deadline_ms=*/0));
   return std::make_shared<const ServedMechanism>(std::move(solved));
 }
 
@@ -201,6 +265,8 @@ MechanismCache::Stats MechanismCache::GetStats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.entries += shard.entries.size();
@@ -234,11 +300,20 @@ Status MechanismCache::SaveToDirectory(const std::string& dir) const {
             << "lo " << sig.lo << "\n"
             << "hi " << sig.hi << "\n"
             << "loss " << sig.loss << "\n"
-            << "alpha " << sig.alpha.ToString() << "\n"
-            << SerializeExactMechanism(entry->exact);
+            << "alpha " << sig.alpha.ToString() << "\n";
+        // Crash point between the header and the matrix: an abort here
+        // leaves a torn tmp file on disk — which the next start must skip
+        // and clean up, never load (the flush pins the torn bytes so the
+        // harness exercises a real partial write, not an empty file).
+        out.flush();
+        GEOPRIV_INJECT_FAULT("cache.entry.write");
+        out << SerializeExactMechanism(entry->exact);
         out.flush();
         if (!out) return Status::Internal("write to '" + tmp + "' failed");
       }
+      // Crash point between a complete tmp and the publishing rename: the
+      // previous version of the entry (or its absence) must survive intact.
+      GEOPRIV_INJECT_FAULT("cache.entry.rename");
       std::error_code rename_ec;
       fs::rename(tmp, path, rename_ec);
       if (rename_ec) {
@@ -313,11 +388,24 @@ Result<int> MechanismCache::LoadFromDirectory(const std::string& dir) {
   if (!fs::is_directory(dir, ec)) return 0;
   int loaded = 0;
   std::vector<fs::path> paths;
+  std::vector<fs::path> stale_tmps;
   for (const auto& dirent : fs::directory_iterator(dir, ec)) {
     if (dirent.path().extension() == ".entry") paths.push_back(dirent.path());
+    // A leftover "*.entry.tmp" is a write that never reached its rename —
+    // a crash mid-persist.  Its content is untrusted (possibly torn), the
+    // committed ".entry" beside it (if any) is intact; remove the debris
+    // so it cannot accumulate or confuse a later inspection.
+    if (dirent.path().extension() == ".tmp" &&
+        dirent.path().stem().extension() == ".entry") {
+      stale_tmps.push_back(dirent.path());
+    }
   }
   if (ec) {
     return Status::Internal("cannot list '" + dir + "': " + ec.message());
+  }
+  for (const fs::path& tmp : stale_tmps) {
+    std::error_code remove_ec;
+    fs::remove(tmp, remove_ec);
   }
   std::sort(paths.begin(), paths.end());
   for (const fs::path& path : paths) {

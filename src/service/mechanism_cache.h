@@ -67,6 +67,11 @@ struct CacheOptions {
   /// Base solver configuration for miss solves (engine, pivot rule, ...).
   /// warm_start/pool/threads are managed by the cache and ignored here.
   ExactSimplexOptions solver;
+  /// Overload admission: the maximum number of solves allowed to be
+  /// running or queued on the solver mutex at once; further misses are
+  /// shed with Status::Unavailable instead of joining the convoy.  0
+  /// means unbounded (the historical behavior).  Hits are never shed.
+  size_t max_pending = 0;
 };
 
 class MechanismCache {
@@ -84,8 +89,19 @@ class MechanismCache {
   /// in-flight signature wait for its solve and come back as hits), and
   /// the shard lock is NOT held during a solve, so hits and stats stay
   /// cheap while misses grind.
+  ///
+  /// `deadline_ms > 0` bounds the whole call in wall-clock time: waiting
+  /// on an in-flight duplicate, queueing on the solver mutex, and the
+  /// solve's own pivots (cooperative cancellation, lp/simplex_core.h) all
+  /// run against one deadline, and an expired call returns
+  /// Status::DeadlineExceeded with the solver mutex released.  An expired
+  /// waiter abandons only its own wait — the in-flight solve it was
+  /// watching continues and still publishes.  Under CacheOptions::
+  /// max_pending an over-subscribed miss returns Status::Unavailable
+  /// without solving.
   Result<std::shared_ptr<const ServedMechanism>> GetOrSolve(
-      const MechanismSignature& signature, bool* was_hit = nullptr);
+      const MechanismSignature& signature, bool* was_hit = nullptr,
+      int64_t deadline_ms = 0);
 
   /// Lookup-only: the cached entry, or null on a miss (no solve, no
   /// waiting).  A found entry counts as a hit.  The pipeline uses this to
@@ -105,8 +121,16 @@ class MechanismCache {
     uint64_t misses = 0;        ///< misses that ran a solve
     uint64_t warm_starts = 0;   ///< misses seeded from a cached basis
     uint64_t entries = 0;
+    uint64_t shed = 0;          ///< misses rejected by the admission cap
+    uint64_t timeouts = 0;      ///< calls that hit their deadline
   };
   Stats GetStats() const;
+
+  /// Solves currently running or queued on the solver mutex (the load
+  /// signal behind admission and the server's retry_after_ms hint).
+  size_t PendingSolves() const {
+    return pending_solves_.load(std::memory_order_relaxed);
+  }
 
   /// Persists every entry to `dir` (created if missing), one io-v2 file
   /// per entry named by the stable signature hash.  Existing entry files
@@ -133,17 +157,22 @@ class MechanismCache {
   const Shard& ShardFor(const MechanismSignature& signature) const;
 
   /// Solves `signature` with an optional warm seed.  Caller must hold
-  /// solve_mu_ (the pool is not reentrant).
+  /// solve_mu_ (the pool is not reentrant).  `deadline_ms > 0` bounds the
+  /// solve's pivots (ExactSimplexOptions::deadline_ms).
   Result<ServedMechanism> SolveLocked(const MechanismSignature& signature,
-                                      const LpBasis* warm_seed) const;
+                                      const LpBasis* warm_seed,
+                                      int64_t deadline_ms) const;
 
   CacheOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // shared by every miss solve
-  mutable std::mutex solve_mu_;       // serializes solves / guards pool_
+  mutable std::timed_mutex solve_mu_;  // serializes solves / guards pool_
   std::vector<Shard> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> warm_starts_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<size_t> pending_solves_{0};
 };
 
 }  // namespace geopriv

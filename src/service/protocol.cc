@@ -367,6 +367,16 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
   if (object.Has("seed")) {
     GEOPRIV_ASSIGN_OR_RETURN(seed, object.GetInt("seed"));
   }
+  int64_t deadline_ms = 0;
+  if (object.Has("deadline_ms")) {
+    GEOPRIV_ASSIGN_OR_RETURN(deadline_ms, object.GetInt("deadline_ms"));
+    // Capped at 10 minutes: a huge "deadline" is a typo, not a bound, and
+    // 0 (= none) is the spelling for unbounded.
+    if (deadline_ms < 0 || deadline_ms > 600000) {
+      return Status::InvalidArgument(
+          "field 'deadline_ms' must lie in [0, 600000]");
+    }
+  }
   if (object.Has("chained")) {
     // Min-composition is only sound for an actual Algorithm-1 chain; a
     // client-declared flag on independent samples would be a budget
@@ -387,6 +397,7 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
                                  static_cast<int>(hi), mode));
   query.true_count = static_cast<int>(count);
   query.seed = static_cast<uint64_t>(seed);
+  query.deadline_ms = deadline_ms;
   return request;
 }
 
@@ -414,6 +425,9 @@ std::string FormatQueryReply(const ServiceQuery& query,
   out += buf;
   std::snprintf(buf, sizeof(buf), ",\"budget\":%.17g", reply.budget);
   out += buf;
+  if (reply.retry_after_ms > 0) {
+    out += ",\"retry_after_ms\":" + std::to_string(reply.retry_after_ms);
+  }
   out += std::string(",\"cache\":\"") + reply.cache + "\"}";
   return out;
 }

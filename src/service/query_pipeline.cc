@@ -1,5 +1,6 @@
 #include "service/query_pipeline.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
@@ -8,9 +9,9 @@
 namespace geopriv {
 
 QueryPipeline::QueryPipeline(MechanismCache* cache, BudgetLedger* ledger,
-                             int threads)
-    : cache_(cache), ledger_(ledger) {
-  const int count = ThreadPool::ConfiguredThreads(threads);
+                             PipelineOptions options)
+    : cache_(cache), ledger_(ledger), options_(options) {
+  const int count = ThreadPool::ConfiguredThreads(options_.threads);
   if (count > 1) pool_ = std::make_unique<ThreadPool>(count);
 }
 
@@ -36,7 +37,32 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
   for (auto& [key, group] : groups) {
     for (size_t q : group.members) group_of[q] = &group;
   }
-  for (auto& [key, group] : groups) {
+  // Resolve the batch's distinct signatures as one warm family: structural
+  // families together, alpha ascending within a family, so every exact
+  // miss after the first warm-starts from the just-published nearest-alpha
+  // neighbor (the cache's seed search) instead of paying a cold phase 1.
+  // The order is deterministic (structure, then exact alpha compare, then
+  // canonical key) and only affects solve cost, never results: replies are
+  // keyed by query index and charging below stays in input order.
+  std::vector<std::pair<const std::string*, Group*>> solve_order;
+  solve_order.reserve(groups.size());
+  for (auto& [key, group] : groups) solve_order.push_back({&key, &group});
+  std::sort(solve_order.begin(), solve_order.end(),
+            [&](const auto& a, const auto& b) {
+              const MechanismSignature& sa =
+                  queries[a.second->members.front()].signature;
+              const MechanismSignature& sb =
+                  queries[b.second->members.front()].signature;
+              const std::string ka = sa.StructuralKey();
+              const std::string kb = sb.StructuralKey();
+              if (ka != kb) return ka < kb;
+              const int cmp = sa.alpha.Compare(sb.alpha);
+              if (cmp != 0) return cmp < 0;
+              return *a.first < *b.first;
+            });
+  size_t batch_solves = 0;
+  for (auto& [key_ptr, group_ptr] : solve_order) {
+    Group& group = *group_ptr;
     const ServiceQuery& first = queries[group.members.front()];
     // Already-solved signatures are served to everyone: a lookup is free.
     group.entry = cache_->Peek(first.signature);
@@ -55,17 +81,50 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
       if (worth_solving) break;
       Result<BudgetDecision> preview =
           ledger_->Preview(queries[q].consumer,
-                           queries[q].signature.alpha.ToDouble());
+                          queries[q].signature.alpha.ToDouble());
       worth_solving = preview.ok() && preview->allowed;
     }
     if (!worth_solving) {
       group.cache = "skipped";  // entry stays null; charges reject below
       continue;
     }
+    // Overload shedding: in cached_only degraded mode no miss may solve,
+    // and under max_batch_solves only the first K miss groups (in the
+    // deterministic solve order above) are admitted.  Shed groups answer
+    // Unavailable with a backoff hint; cached service above is untouched.
+    if (options_.cached_only ||
+        (options_.max_batch_solves > 0 &&
+         batch_solves >= options_.max_batch_solves)) {
+      group.cache = "shed";
+      group.status = Status::Unavailable(
+          options_.cached_only
+              ? "service is in cached-only degraded mode; signature is not "
+                "cached"
+              : "batch solve budget exhausted; retry later");
+      continue;
+    }
+    // The group's deadline: the laxest among its members (one solve serves
+    // them all; a member with no deadline means the solve may run
+    // unbounded).  Queries without their own deadline inherit the default.
+    int64_t deadline_ms = 0;
+    bool unbounded = false;
+    for (size_t q : group.members) {
+      int64_t member_ms = queries[q].deadline_ms > 0
+                              ? queries[q].deadline_ms
+                              : options_.default_deadline_ms;
+      if (member_ms <= 0) {
+        unbounded = true;
+        break;
+      }
+      deadline_ms = std::max(deadline_ms, member_ms);
+    }
+    if (unbounded) deadline_ms = 0;
+    ++batch_solves;
     bool hit = false;
     Result<std::shared_ptr<const ServedMechanism>> entry =
-        cache_->GetOrSolve(first.signature, &hit);
+        cache_->GetOrSolve(first.signature, &hit, deadline_ms);
     if (!entry.ok()) {
+      if (entry.status().IsUnavailable()) group.cache = "shed";
       group.status = entry.status();
       continue;
     }
@@ -84,6 +143,10 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     const Group& group = *group_of[q];
     if (!group.status.ok()) {
       reply.status = group.status;
+      reply.cache = group.cache;
+      if (group.status.IsUnavailable()) {
+        reply.retry_after_ms = options_.retry_after_ms;
+      }
       continue;
     }
     reply.cache = group.cache;

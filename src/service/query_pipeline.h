@@ -44,6 +44,13 @@ struct ServiceQuery {
   MechanismSignature signature;
   int true_count = 0;
   uint64_t seed = 1;  ///< per-request RNG stream seed
+  /// Wall-clock bound on any fresh solve this query may trigger, in
+  /// milliseconds; 0 defers to PipelineOptions::default_deadline_ms (and
+  /// 0 there means none).  Cached lookups are never bounded — they are
+  /// microseconds.  One solve serves a whole signature group, so the
+  /// group's effective deadline is the laxest among its members (a member
+  /// with no deadline lifts the bound for the shared solve).
+  int64_t deadline_ms = 0;
 };
 
 /// One per-request outcome.  `status` carries budget rejections and input
@@ -55,30 +62,62 @@ struct ServiceReply {
   double composed_level = 1.0;   ///< level the release composes/composed to
   double budget = 0.0;           ///< the ledger's floor
   Rational optimal_loss;         ///< the served mechanism's exact loss
-  const char* cache = "none";    ///< "hit" | "warm" | "cold" | "skipped" | "none"
+  /// "hit" | "warm" | "cold" | "skipped" | "shed" | "none"
+  const char* cache = "none";
   int lp_iterations = 0;
   /// True when the ledger recorded this release (the service only
   /// rewrites the persisted ledger when some reply in the batch charged).
   bool charged = false;
+  /// Nonzero on shed replies (status Unavailable): the client should back
+  /// off at least this long before retrying.
+  int64_t retry_after_ms = 0;
+};
+
+/// Pipeline tuning; all defaults preserve the historical behavior.
+struct PipelineOptions {
+  /// Sampling pool size (0 defers to GEOPRIV_THREADS).
+  int threads = 0;
+  /// Overload admission: at most this many fresh solves per batch; later
+  /// miss groups are shed with Status::Unavailable and retry_after_ms.
+  /// 0 means unbounded.
+  size_t max_batch_solves = 0;
+  /// Degraded mode: serve cached entries only; every miss group is shed.
+  /// The switch an operator flips (or a future overload controller sets)
+  /// when solver capacity must be protected.
+  bool cached_only = false;
+  /// Backoff hint attached to shed replies.
+  int64_t retry_after_ms = 1000;
+  /// Deadline applied to queries that do not carry their own; 0 = none.
+  int64_t default_deadline_ms = 0;
 };
 
 class QueryPipeline {
  public:
   /// The cache and ledger are borrowed and must outlive the pipeline.
-  /// `threads` sizes the sampling pool (0 defers to GEOPRIV_THREADS).
-  QueryPipeline(MechanismCache* cache, BudgetLedger* ledger, int threads = 0);
+  QueryPipeline(MechanismCache* cache, BudgetLedger* ledger,
+                PipelineOptions options = {});
+  /// Convenience overload: only the sampling pool size.
+  QueryPipeline(MechanismCache* cache, BudgetLedger* ledger, int threads)
+      : QueryPipeline(cache, ledger, PipelineOptions{threads, 0, false,
+                                                     1000, 0}) {}
 
   /// Executes a batch: group by signature -> resolve each signature once
   /// through the cache -> charge the ledger in input order -> sample the
   /// admitted requests in parallel.  Replies come back in input order.
   /// Per-request failures land in the reply's status; the call itself only
   /// fails on internal errors.
+  ///
+  /// Miss groups resolve as one warm family: distinct unsolved signatures
+  /// are taken in (structure, alpha) order, so each exact solve seeds the
+  /// next via the cache's nearest-alpha warm start — a cold batch over an
+  /// alpha grid pays one cold phase 1, not one per signature.
   std::vector<ServiceReply> ExecuteBatch(
       const std::vector<ServiceQuery>& queries);
 
  private:
   MechanismCache* cache_;
   BudgetLedger* ledger_;
+  PipelineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // sampling fan-out (may be null)
 };
 

@@ -1,16 +1,24 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
+
+#include "rng/engine.h"
+#include "util/fault_injection.h"
 
 namespace geopriv {
 
@@ -23,9 +31,12 @@ namespace geopriv {
 MechanismService::MechanismService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(CacheOptions{options_.shards, options_.threads,
-                          options_.solver}),
+                          options_.solver, options_.max_pending}),
       ledger_(options_.budget_alpha),
-      pipeline_(&cache_, &ledger_, options_.threads) {}
+      pipeline_(&cache_, &ledger_,
+                PipelineOptions{options_.threads, /*max_batch_solves=*/0,
+                                options_.cached_only, options_.retry_after_ms,
+                                options_.default_deadline_ms}) {}
 
 namespace {
 
@@ -69,8 +80,12 @@ Status ParseLedger(std::istream& in, BudgetLedger* ledger) {
                                    "'");
   }
   std::vector<BudgetLedger::AccountSnapshot> accounts;
+  std::unordered_map<std::string, size_t> index;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    // A torn/unparseable line is a hard error, never skipped: this file is
+    // the budget floor's memory, and guessing at damaged accounting could
+    // only err toward admitting releases the floor should refuse.
     GEOPRIV_ASSIGN_OR_RETURN(JsonObject object, JsonObject::Parse(line));
     BudgetLedger::AccountSnapshot account;
     GEOPRIV_ASSIGN_OR_RETURN(account.consumer,
@@ -88,7 +103,25 @@ Status ParseLedger(std::istream& in, BudgetLedger* ledger) {
     }
     account.independent_releases = static_cast<uint64_t>(releases);
     account.chained_releases = static_cast<uint64_t>(chained_releases);
-    accounts.push_back(std::move(account));
+    // Duplicated consumer lines (a crash replayed into a concatenation, a
+    // hand-merged file) keep the MOST-charged view of every field: levels
+    // only fall and release counts only rise as budget is spent, so min
+    // level / max count can over-charge but never under-charge — the only
+    // safe direction for a privacy floor.
+    auto [it, inserted] = index.emplace(account.consumer, accounts.size());
+    if (inserted) {
+      accounts.push_back(std::move(account));
+    } else {
+      BudgetLedger::AccountSnapshot& kept = accounts[it->second];
+      kept.independent_level =
+          std::min(kept.independent_level, account.independent_level);
+      kept.independent_releases =
+          std::max(kept.independent_releases, account.independent_releases);
+      kept.chained_level =
+          std::min(kept.chained_level, account.chained_level);
+      kept.chained_releases =
+          std::max(kept.chained_releases, account.chained_releases);
+    }
   }
   return ledger->Restore(accounts);
 }
@@ -100,6 +133,13 @@ Result<int> MechanismService::LoadPersisted() {
   GEOPRIV_ASSIGN_OR_RETURN(int loaded,
                            cache_.LoadFromDirectory(options_.persist_dir));
   const std::string path = options_.persist_dir + "/" + kLedgerFile;
+  // A leftover .tmp is an uncommitted rewrite from a crash mid-persist.
+  // The batch it described never replied (replies only go out after the
+  // rename lands), so the committed file is the consistent state; the
+  // debris must go or a later crash-between-open-and-write could rename
+  // stale bytes over a newer ledger.
+  std::error_code ec;
+  std::filesystem::remove(path + ".tmp", ec);
   std::ifstream in(path);
   if (in) {
     Status parsed = ParseLedger(in, &ledger_);
@@ -127,10 +167,20 @@ Status MechanismService::PersistLedger() {
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return Status::NotFound("cannot open '" + tmp + "' for write");
-    out << SerializeLedger(ledger_);
+    const std::string serialized = SerializeLedger(ledger_);
+    // Two flushes straddling the fault point so "ledger.write" aborts with
+    // the tmp genuinely torn on disk (header landed, accounts did not) —
+    // the exact artifact write-then-rename exists to survive.
+    const size_t header_end = serialized.find('\n') + 1;
+    out.write(serialized.data(), static_cast<std::streamsize>(header_end));
+    out.flush();
+    GEOPRIV_INJECT_FAULT("ledger.write");
+    out.write(serialized.data() + header_end,
+              static_cast<std::streamsize>(serialized.size() - header_end));
     out.flush();
     if (!out) return Status::Internal("write to '" + tmp + "' failed");
   }
+  GEOPRIV_INJECT_FAULT("ledger.rename");
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     return Status::Internal("cannot rename '" + tmp + "': " + ec.message());
@@ -304,6 +354,10 @@ struct Fd {
 };
 
 Status SendAll(int fd, const std::string& data) {
+  // Fires for every protocol send in this process — the daemon's replies
+  // and the one-shot client's request alike; tests arm it against
+  // whichever side the process under test is playing.
+  GEOPRIV_INJECT_FAULT("server.send");
   size_t sent = 0;
   while (sent < data.size()) {
     // MSG_NOSIGNAL: a client that disconnected without reading must yield
@@ -361,6 +415,22 @@ Status ServeTcp(int port, MechanismService& service, std::ostream& announce) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return fail(Status::Internal("accept failed"));
     }
+    if (fault_injection::Armed()) {
+      // An injected accept failure plays the client that aborted right
+      // after the handshake: this connection is dropped, the daemon lives.
+      if (!fault_injection::Fire("server.accept").ok()) continue;
+    }
+    // Idle clients must not pin the single-threaded accept loop forever:
+    // with a timeout configured, a connection that sends nothing for that
+    // long is dropped (recv fails with EAGAIN below) and the daemon moves
+    // on to the next accept.
+    const int64_t idle_ms = service.options().idle_timeout_ms;
+    if (idle_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(idle_ms / 1000);
+      tv.tv_usec = static_cast<suseconds_t>((idle_ms % 1000) * 1000);
+      ::setsockopt(client.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
     // A send failure likewise drops only this client, never the daemon.
     bool client_alive = true;
     const auto respond = [&](const std::string& line) {
@@ -375,7 +445,19 @@ Status ServeTcp(int port, MechanismService& service, std::ostream& announce) {
     std::string buffer;
     char chunk[4096];
     while (client_alive && !shutdown) {
+      if (fault_injection::Armed() &&
+          !fault_injection::Fire("server.recv").ok()) {
+        // Injected receive failure: the connection "died" mid-request.
+        client_alive = false;
+        break;
+      }
       const ssize_t k = ::recv(client.fd, chunk, sizeof(chunk), 0);
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Idle timeout fired.  Drop without answering: a half-received
+        // line is not a request, and the client stopped talking.
+        client_alive = false;
+        break;
+      }
       if (k <= 0) break;  // client closed its write side (or error)
       buffer.append(chunk, static_cast<size_t>(k));
       if (buffer.size() > kMaxLineBytes &&
@@ -441,6 +523,72 @@ Result<std::string> TcpRequest(const std::string& host, int port,
   }
   while (!response.empty() && response.back() == '\n') response.pop_back();
   return response;
+}
+
+namespace {
+
+// A reply is worth retrying only when the server itself marked it
+// transient: shed replies carry "error":"Unavailable".  Everything else —
+// parse errors, budget rejections, deadline timeouts — is deterministic
+// for this request and retrying would just repeat (or re-charge) it.
+bool ReplyIsTransient(const std::string& response) {
+  return response.find("\"error\":\"Unavailable\"") != std::string::npos;
+}
+
+// The server's backoff hint from a shed reply; 0 when absent.
+int64_t ParseRetryAfterMs(const std::string& response) {
+  const size_t at = response.find("\"retry_after_ms\":");
+  if (at == std::string::npos) return 0;
+  int64_t value = 0;
+  size_t p = at + sizeof("\"retry_after_ms\":") - 1;
+  while (p < response.size() && response[p] >= '0' && response[p] <= '9') {
+    value = value * 10 + (response[p] - '0');
+    if (value > 600000) return 600000;  // cap a hostile/corrupt hint
+    ++p;
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::string> TcpRequestWithRetry(const std::string& host, int port,
+                                        const std::string& line,
+                                        const RetryOptions& retry) {
+  const int attempts = std::max(1, retry.attempts);
+  Xoshiro256 jitter(retry.jitter_seed);
+  int64_t backoff = std::max<int64_t>(1, retry.base_backoff_ms);
+  const int64_t cap = std::max<int64_t>(1, retry.max_backoff_ms);
+  Status last = Status::Internal("retry loop made no attempt");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Result<std::string> response = TcpRequest(host, port, line);
+    int64_t floor_ms = 0;
+    if (response.ok()) {
+      if (!ReplyIsTransient(*response)) return response;
+      if (attempt + 1 == attempts) {
+        // Out of attempts: hand back the shed reply itself, not a
+        // client-invented error — it carries the server's own hint.
+        return response;
+      }
+      floor_ms = ParseRetryAfterMs(*response);
+      last = Status::Unavailable("server shed the request");
+    } else {
+      // Bad host is the caller's bug, not the network's; fail fast.
+      if (response.status().code() == StatusCode::kInvalidArgument) {
+        return response;
+      }
+      last = response.status();
+    }
+    if (attempt + 1 == attempts) break;
+    // Capped exponential backoff with FULL jitter — uniform in
+    // [0, backoff], floored at the server's retry_after_ms so a shed herd
+    // spreads out instead of re-converging on the same tick.
+    const int64_t jittered =
+        static_cast<int64_t>(jitter.Next() % static_cast<uint64_t>(backoff + 1));
+    const int64_t wait = std::max(jittered, floor_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    backoff = std::min(backoff * 2, cap);
+  }
+  return last;
 }
 
 }  // namespace geopriv

@@ -16,6 +16,7 @@
 #ifndef GEOPRIV_SERVICE_SERVER_H_
 #define GEOPRIV_SERVICE_SERVER_H_
 
+#include <cstdint>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -44,6 +45,18 @@ struct ServiceOptions {
   std::string persist_dir;
   /// Base exact-solver configuration for cache misses.
   ExactSimplexOptions solver;
+  /// Deadline applied to queries that carry none of their own; 0 = none.
+  int64_t default_deadline_ms = 0;
+  /// Solve-admission bound passed to the cache: at most this many solves
+  /// may be pending at once before further misses are shed.  0 = unbounded.
+  size_t max_pending = 0;
+  /// Backoff hint attached to shed (Unavailable) replies, milliseconds.
+  int64_t retry_after_ms = 1000;
+  /// TCP transport: drop a client that sends nothing for this long.
+  /// 0 = wait forever (the historical behavior).
+  int64_t idle_timeout_ms = 0;
+  /// Degraded mode: serve cached entries only, shed every miss.
+  bool cached_only = false;
 };
 
 class MechanismService {
@@ -75,6 +88,7 @@ class MechanismService {
   MechanismCache& cache() { return cache_; }
   BudgetLedger& ledger() { return ledger_; }
   QueryPipeline& pipeline() { return pipeline_; }
+  const ServiceOptions& options() const { return options_; }
 
  private:
   std::string HandleParsed(const ServiceRequest& request, bool* shutdown);
@@ -112,6 +126,29 @@ Status ServeTcp(int port, MechanismService& service, std::ostream& announce);
 /// the response chunk (batch replies arrive as multiple lines).
 Result<std::string> TcpRequest(const std::string& host, int port,
                                const std::string& line);
+
+/// Client-side retry policy for TcpRequestWithRetry.
+struct RetryOptions {
+  /// Total attempts (first try included).  1 degenerates to TcpRequest.
+  int attempts = 3;
+  /// First backoff; each retry doubles it, capped at max_backoff_ms.
+  int64_t base_backoff_ms = 100;
+  int64_t max_backoff_ms = 2000;
+  /// Jitter stream seed.  Full jitter (uniform in [0, backoff]) keeps a
+  /// thundering herd of shed clients from re-converging on the same tick.
+  uint64_t jitter_seed = 1;
+};
+
+/// TcpRequest wrapped in capped exponential backoff with full jitter.
+/// Retries transport failures (connect refused, connection lost) and
+/// replies the server marked transient (op-level Unavailable shed replies
+/// carrying "retry_after_ms"); when the reply names a retry_after_ms, the
+/// wait honors it as the backoff floor.  Permanent errors — parse errors,
+/// budget rejections, deadline timeouts — return immediately: retrying
+/// them would spend budget or wall-clock for an identical answer.
+Result<std::string> TcpRequestWithRetry(const std::string& host, int port,
+                                        const std::string& line,
+                                        const RetryOptions& retry = {});
 
 }  // namespace geopriv
 

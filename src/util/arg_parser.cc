@@ -1,0 +1,184 @@
+#include "util/arg_parser.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace geopriv {
+
+namespace {
+
+// Strict whole-string int64 parse (ParseIntStrict is int-ranged; ports and
+// byte counts fit, but deadline/backoff milliseconds get the wider type).
+bool ParseInt64Strict(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+ArgParser& ArgParser::AddInt(const std::string& name, int* target,
+                             long min_value, long max_value,
+                             const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kInt;
+  flag.help = help;
+  flag.int_target = target;
+  flag.int_min = min_value;
+  flag.int_max = max_value;
+  flags_.push_back(std::move(flag));
+  return *this;
+}
+
+ArgParser& ArgParser::AddInt64(const std::string& name, int64_t* target,
+                               int64_t min_value, int64_t max_value,
+                               const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kInt64;
+  flag.help = help;
+  flag.int64_target = target;
+  flag.int_min = min_value;
+  flag.int_max = max_value;
+  flags_.push_back(std::move(flag));
+  return *this;
+}
+
+ArgParser& ArgParser::AddDouble(const std::string& name, double* target,
+                                double min_value, double max_value,
+                                const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kDouble;
+  flag.help = help;
+  flag.double_target = target;
+  flag.double_min = min_value;
+  flag.double_max = max_value;
+  flags_.push_back(std::move(flag));
+  return *this;
+}
+
+ArgParser& ArgParser::AddString(const std::string& name, std::string* target,
+                                const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kString;
+  flag.help = help;
+  flag.string_target = target;
+  flags_.push_back(std::move(flag));
+  return *this;
+}
+
+ArgParser& ArgParser::AddBool(const std::string& name, bool* target,
+                              const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kBool;
+  flag.help = help;
+  flag.bool_target = target;
+  flags_.push_back(std::move(flag));
+  return *this;
+}
+
+Status ArgParser::Apply(const Flag& flag, const std::string& value) {
+  const auto malformed = [&flag, &value]() {
+    return Status::InvalidArgument("malformed value for --" + flag.name +
+                                   ": '" + value + "'");
+  };
+  switch (flag.kind) {
+    case Kind::kInt: {
+      int parsed = 0;
+      if (!ParseIntStrict(value, &parsed) || parsed < flag.int_min ||
+          parsed > flag.int_max) {
+        return malformed();
+      }
+      *flag.int_target = parsed;
+      return Status::OK();
+    }
+    case Kind::kInt64: {
+      int64_t parsed = 0;
+      if (!ParseInt64Strict(value, &parsed) || parsed < flag.int_min ||
+          parsed > flag.int_max) {
+        return malformed();
+      }
+      *flag.int64_target = parsed;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      double parsed = 0.0;
+      // The range check is written to also reject NaN.
+      if (!ParseDoubleStrict(value, &parsed) ||
+          !(parsed >= flag.double_min && parsed <= flag.double_max)) {
+        return malformed();
+      }
+      *flag.double_target = parsed;
+      return Status::OK();
+    }
+    case Kind::kString:
+      *flag.string_target = value;
+      return Status::OK();
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *flag.bool_target = true;
+      } else if (value == "false" || value == "0") {
+        *flag.bool_target = false;
+      } else {
+        return malformed();
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status ArgParser::Parse(int argc, char** argv, int begin) {
+  provided_.clear();
+  for (int i = begin; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + key +
+                                     "' (flags are --key value pairs)");
+    }
+    const std::string name = key.substr(2);
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + name + " needs a value");
+    }
+    const std::string value = argv[i + 1];
+    if (value.rfind("--", 0) == 0) {
+      // "--consumer --n" means the real value was forgotten mid-line; the
+      // flag in value position must not be swallowed as a string.
+      return Status::InvalidArgument("flag --" + name + " needs a value");
+    }
+    const Flag* match = nullptr;
+    for (const Flag& flag : flags_) {
+      if (flag.name == name) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    GEOPRIV_RETURN_IF_ERROR(Apply(*match, value));
+    provided_.insert(name);
+  }
+  return Status::OK();
+}
+
+std::string ArgParser::Usage() const {
+  std::string out;
+  for (const Flag& flag : flags_) {
+    out += "  --" + flag.name + " " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace geopriv

@@ -1,0 +1,86 @@
+// ArgParser: one declarative --key value flag table for the tools.
+//
+// geopriv_serve and geopriv_cli's service subcommands grew parallel
+// hand-rolled parsers with the same strictness rules (a malformed
+// --budget must be fatal, a dangling flag must not swallow the next one,
+// an unknown flag must not silently run without its setting).  This class
+// centralizes those rules so a new flag is declared once — with its type,
+// range and help text — and both binaries inherit identical parsing and
+// identical usage strings.
+//
+// Strictness contract (matches the historical daemon parser):
+//   * flags are --key value pairs; a bare token in key position is fatal
+//   * a flag whose "value" is itself a flag, or a trailing flag with no
+//     value, is fatal ("--persist<EOL>" must not drop the option)
+//   * unknown flags are fatal
+//   * numeric values parse strictly (whole string, range-checked)
+
+#ifndef GEOPRIV_UTIL_ARG_PARSER_H_
+#define GEOPRIV_UTIL_ARG_PARSER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geopriv {
+
+class ArgParser {
+ public:
+  /// Registration: `name` is the flag without the leading "--"; numeric
+  /// flags are range-checked against [min_value, max_value] inclusive.
+  /// Targets must outlive Parse; defaults are whatever the target holds.
+  ArgParser& AddInt(const std::string& name, int* target, long min_value,
+                    long max_value, const std::string& help);
+  ArgParser& AddInt64(const std::string& name, int64_t* target,
+                      int64_t min_value, int64_t max_value,
+                      const std::string& help);
+  ArgParser& AddDouble(const std::string& name, double* target,
+                       double min_value, double max_value,
+                       const std::string& help);
+  ArgParser& AddString(const std::string& name, std::string* target,
+                       const std::string& help);
+  /// Bool flags still take a value (true/false/1/0) to keep the uniform
+  /// --key value grammar the pair-walk strictness depends on.
+  ArgParser& AddBool(const std::string& name, bool* target,
+                     const std::string& help);
+
+  /// Parses argv[begin..) strictly (contract above).  On success every
+  /// provided flag's target holds its parsed value; on error targets may
+  /// be partially written and the caller should abort.
+  Status Parse(int argc, char** argv, int begin);
+
+  /// True iff --name appeared in the last Parse call.
+  bool Provided(const std::string& name) const {
+    return provided_.count(name) > 0;
+  }
+
+  /// One "  --name HELP" line per registered flag, in registration order.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kInt64, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind = Kind::kString;
+    std::string help;
+    int* int_target = nullptr;
+    int64_t* int64_target = nullptr;
+    double* double_target = nullptr;
+    std::string* string_target = nullptr;
+    bool* bool_target = nullptr;
+    int64_t int_min = 0, int_max = 0;
+    double double_min = 0.0, double_max = 0.0;
+  };
+
+  Status Apply(const Flag& flag, const std::string& value);
+
+  std::vector<Flag> flags_;
+  std::set<std::string> provided_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_UTIL_ARG_PARSER_H_

@@ -24,6 +24,8 @@ enum class StatusCode {
   kUnbounded,         ///< optimization objective is unbounded below
   kNumericalError,    ///< numerical breakdown (singular matrix, overflow...)
   kInternal,          ///< invariant violation inside the library
+  kDeadlineExceeded,  ///< operation abandoned at its wall-clock deadline
+  kUnavailable,       ///< transient overload; safe to retry after a backoff
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -61,6 +63,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// Predicates --------------------------------------------------------------
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -78,6 +86,10 @@ class Status {
     return code_ == StatusCode::kNumericalError;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

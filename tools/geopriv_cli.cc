@@ -18,6 +18,7 @@
 
 #include <cerrno>
 #include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,8 @@
 #include "core/geopriv.h"
 #include "core/io.h"
 #include "service/server.h"
+#include "service/service_flags.h"
+#include "util/arg_parser.h"
 #include "util/string_util.h"
 
 namespace {
@@ -271,135 +274,89 @@ int CmdAnalyze(const Args& args) {
   return 0;
 }
 
-// Strict integer flag for the service subcommands: the daemon treats a
-// malformed or out-of-range numeric flag as fatal (a typo must not bind
-// the service to the wrong port or misconfigure enforcement), and the CLI
-// wrappers must match (shared helper in util/string_util.h).
-Result<int> StrictIntArg(const Args& args, const std::string& key,
-                         int fallback) {
-  if (!args.Has(key)) return fallback;
-  const std::string text = args.GetString(key, "");
-  int value = 0;
-  if (!ParseIntStrict(text, &value)) {
-    return Status::InvalidArgument("malformed --" + key + " value '" + text +
-                                   "'");
-  }
-  return value;
-}
+// The service subcommands parse with the shared strict table
+// (service/service_flags.h + util/arg_parser.h) instead of Args: a typoed
+// or valueless --budget silently running with enforcement off is the
+// exact failure the daemon's strict parser exists to prevent, and sharing
+// the table with geopriv_serve means a new service flag lands here for
+// free.  They take raw argv because ArgParser owns the walk.
 
-// The service subcommands reject unknown and dangling flags outright: a
-// typoed or valueless --budget silently running with enforcement off is
-// the exact failure the daemon's strict parser exists to prevent.
-Status RequireKnownFlags(const Args& args,
-                         const std::vector<std::string>& allowed) {
-  if (!args.stray().empty()) {
-    return Status::InvalidArgument(
-        "unexpected argument '" + args.stray() +
-        "' (flags are --key value pairs)");
-  }
-  if (!args.dangling().empty()) {
-    return Status::InvalidArgument("flag --" + args.dangling() +
-                                   " needs a value");
-  }
-  const std::string unknown = args.FirstUnknownKey(allowed);
-  if (!unknown.empty()) {
-    return Status::InvalidArgument("unknown flag --" + unknown);
-  }
-  return Status::OK();
-}
-
-Result<ServiceOptions> ServiceOptionsFromArgs(const Args& args) {
-  ServiceOptions options;
-  if (args.Has("budget")) {
-    // Strict, like the geopriv_serve daemon: a --budget typo that atof
-    // would map to 0 silently disables privacy enforcement.
-    const std::string text = args.GetString("budget", "");
-    if (!ParseDoubleStrict(text, &options.budget_alpha) ||
-        !(options.budget_alpha >= 0.0 && options.budget_alpha <= 1.0)) {
-      return Status::InvalidArgument("malformed --budget value '" + text +
-                                     "' (a level in [0, 1])");
-    }
-  }
-  GEOPRIV_ASSIGN_OR_RETURN(int shards, StrictIntArg(args, "shards", 8));
-  if (shards < 1) {
-    return Status::InvalidArgument("--shards must be positive");
-  }
-  options.shards = static_cast<size_t>(shards);
-  GEOPRIV_ASSIGN_OR_RETURN(options.threads, StrictIntArg(args, "threads", 0));
-  options.persist_dir = args.GetString("persist", "");
-  return options;
-}
-
-int CmdServe(const Args& args) {
+int CmdServe(int argc, char** argv) {
   // The daemon loop lives in service/server.h; this subcommand is the same
   // process as `geopriv_serve`, reachable without a second binary.
-  Status flags = RequireKnownFlags(
-      args, {"budget", "shards", "threads", "persist", "port"});
-  if (!flags.ok()) return Fail(flags);
-  auto options = ServiceOptionsFromArgs(args);
-  if (!options.ok()) return Fail(options.status());
-  MechanismService service(*options);
+  ServiceFlags flags;
+  ArgParser parser;
+  RegisterServiceFlags(&parser, &flags);
+  Status parsed = parser.Parse(argc, argv, 2);
+  if (!parsed.ok()) return Fail(parsed);
+  Status armed = ArmConfiguredFaults(flags);
+  if (!armed.ok()) return Fail(armed);
+  MechanismService service(ToServiceOptions(flags));
   auto loaded = service.LoadPersisted();
   if (!loaded.ok()) return Fail(loaded.status());
-  auto port = StrictIntArg(args, "port", 0);
-  if (!port.ok()) return Fail(port.status());
-  if (args.Has("port") && (*port < 0 || *port > 65535)) {
-    return Fail(Status::InvalidArgument("--port must lie in [0, 65535]"));
-  }
-  const Status status = args.Has("port")
-                            ? ServeTcp(*port, service, std::cout)
+  const Status status = parser.Provided("port")
+                            ? ServeTcp(flags.port, service, std::cout)
                             : RunServeLoop(std::cin, std::cout, service);
   if (!status.ok()) return Fail(status);
   return 0;
 }
 
-int CmdQuery(const Args& args) {
-  Status flags = RequireKnownFlags(
-      args, {"line", "consumer", "n", "alpha", "loss", "lo", "hi", "mode",
-             "count", "seed", "port", "host", "budget", "shards", "threads",
-             "persist"});
-  if (!flags.ok()) return Fail(flags);
+int CmdQuery(int argc, char** argv) {
+  ServiceFlags service_flags;
+  ArgParser parser;
+  RegisterServiceFlags(&parser, &service_flags);
+  std::string line, host = "127.0.0.1";
+  std::string consumer = "cli", alpha = "1/2", loss = "absolute";
+  std::string mode = "exact";
+  int n = 8, lo = 0, hi = 0, count = 0, retries = 3;
+  int64_t seed = 1;
+  parser.AddString("line", &line, "raw protocol line, sent verbatim")
+      .AddString("consumer", &consumer, "consumer identity for budgeting")
+      .AddInt("n", &n, 0, 1 << 20, "count-query domain size")
+      .AddString("alpha", &alpha, "privacy level (rational, e.g. 1/2)")
+      .AddString("loss", &loss, "absolute|squared|zero-one")
+      .AddInt("lo", &lo, 0, 1 << 20, "remap interval lower end")
+      .AddInt("hi", &hi, 0, 1 << 20, "remap interval upper end (default n)")
+      .AddString("mode", &mode, "exact|geometric")
+      .AddInt("count", &count, 0, 1 << 20, "true count to release")
+      .AddInt64("seed", &seed, 0, INT64_MAX, "per-request RNG stream seed")
+      .AddString("host", &host, "daemon address (dotted IPv4)")
+      .AddInt("retries", &retries, 1, 100,
+              "TCP attempts incl. the first; backoff honors the server's "
+              "retry_after_ms hint");
+  Status parsed = parser.Parse(argc, argv, 2);
+  if (!parsed.ok()) return Fail(parsed);
   // Build one protocol line from the flags (or take it verbatim).
-  std::string line = args.GetString("line", "");
   if (line.empty()) {
-    auto n = StrictIntArg(args, "n", 8);
-    if (!n.ok()) return Fail(n.status());
-    auto lo = StrictIntArg(args, "lo", 0);
-    if (!lo.ok()) return Fail(lo.status());
-    auto hi = StrictIntArg(args, "hi", *n);
-    if (!hi.ok()) return Fail(hi.status());
-    auto count = StrictIntArg(args, "count", 0);
-    if (!count.ok()) return Fail(count.status());
-    auto seed = StrictIntArg(args, "seed", 1);
-    if (!seed.ok()) return Fail(seed.status());
-    line = "{\"op\":\"query\",\"consumer\":\"" +
-           JsonEscape(args.GetString("consumer", "cli")) + "\"" +
-           ",\"n\":" + std::to_string(*n) + ",\"alpha\":\"" +
-           JsonEscape(args.GetString("alpha", "1/2")) + "\"" +
-           ",\"loss\":\"" + JsonEscape(args.GetString("loss", "absolute")) +
-           "\"" + ",\"lo\":" + std::to_string(*lo) +
-           ",\"hi\":" + std::to_string(*hi) +
-           ",\"mode\":\"" + JsonEscape(args.GetString("mode", "exact")) +
-           "\"" + ",\"count\":" + std::to_string(*count) +
-           ",\"seed\":" + std::to_string(*seed) + "}";
-  }
-  if (args.Has("port")) {
-    // Single-shot client against a running daemon.
-    auto port = StrictIntArg(args, "port", 0);
-    if (!port.ok()) return Fail(port.status());
-    if (*port < 0 || *port > 65535) {
-      return Fail(Status::InvalidArgument("--port must lie in [0, 65535]"));
+    line = "{\"op\":\"query\",\"consumer\":\"" + JsonEscape(consumer) +
+           "\"" + ",\"n\":" + std::to_string(n) + ",\"alpha\":\"" +
+           JsonEscape(alpha) + "\"" + ",\"loss\":\"" + JsonEscape(loss) +
+           "\"" + ",\"lo\":" + std::to_string(lo) + ",\"hi\":" +
+           std::to_string(parser.Provided("hi") ? hi : n) +
+           ",\"mode\":\"" + JsonEscape(mode) + "\"" +
+           ",\"count\":" + std::to_string(count) +
+           ",\"seed\":" + std::to_string(seed);
+    if (parser.Provided("deadline-ms")) {
+      line += ",\"deadline_ms\":" + std::to_string(service_flags.deadline_ms);
     }
-    auto response = TcpRequest(args.GetString("host", "127.0.0.1"),
-                               *port, line);
+    line += "}";
+  }
+  if (parser.Provided("port")) {
+    // Client against a running daemon, with capped-backoff retries for
+    // transient failures (connection refused/lost, shed replies).
+    RetryOptions retry;
+    retry.attempts = retries;
+    retry.jitter_seed = static_cast<uint64_t>(seed);
+    auto response =
+        TcpRequestWithRetry(host, service_flags.port, line, retry);
     if (!response.ok()) return Fail(response.status());
     std::printf("%s\n", response->c_str());
     return 0;
   }
   // No daemon: answer in-process with a fresh (or persisted) service.
-  auto options = ServiceOptionsFromArgs(args);
-  if (!options.ok()) return Fail(options.status());
-  MechanismService service(*options);
+  Status armed = ArmConfiguredFaults(service_flags);
+  if (!armed.ok()) return Fail(armed);
+  MechanismService service(ToServiceOptions(service_flags));
   auto loaded = service.LoadPersisted();
   if (!loaded.ok()) return Fail(loaded.status());
   bool shutdown = false;
@@ -424,10 +381,14 @@ void PrintUsage() {
       "  check      --file FILE --alpha A\n"
       "  analyze    --file FILE\n"
       "  serve      [--budget B] [--shards K] [--threads T]\n"
-      "             [--persist DIR] [--port P]   (JSONL mechanism service)\n"
+      "             [--persist DIR] [--port P] [--deadline-ms D]\n"
+      "             [--max-pending M] [--retry-after-ms R]\n"
+      "             [--idle-timeout-ms I] [--cached-only 1] [--fault SPEC]\n"
+      "             (JSONL mechanism service; same flags as geopriv_serve)\n"
       "  query      --consumer C --n N --alpha A --count K [--seed S]\n"
       "             [--loss ...] [--lo L --hi H] [--mode exact|geometric]\n"
-      "             [--port P [--host H]]  (or --line '<raw json>')\n");
+      "             [--deadline-ms D] [--port P [--host H] [--retries R]]\n"
+      "             (or --line '<raw json>')\n");
 }
 
 }  // namespace
@@ -446,8 +407,8 @@ int main(int argc, char** argv) {
   if (command == "interact") return CmdInteract(args);
   if (command == "check") return CmdCheck(args);
   if (command == "analyze") return CmdAnalyze(args);
-  if (command == "serve") return CmdServe(args);
-  if (command == "query") return CmdQuery(args);
+  if (command == "serve") return CmdServe(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
   PrintUsage();
   return 1;
 }

@@ -8,23 +8,20 @@
 //   echo '{"op":"query","consumer":"alice","n":8,"alpha":"1/2",
 //          "loss":"absolute","count":3,"seed":7}' | geopriv_serve
 //
-// Flags (all --key value):
-//   --budget B     budget floor alpha_B in [0,1]; 0 disables (default 0)
-//   --shards K     cache shard count (default 8)
-//   --threads T    solver/sampling worker threads (default: GEOPRIV_THREADS)
-//   --persist DIR  load cache entries from DIR at start, write them back
-//                  at shutdown/EOF
-//   --port P       serve TCP on 127.0.0.1:P instead of stdin (0 = pick a
-//                  free port; the chosen port is announced on stdout)
+// Flags are the shared service table (service/service_flags.h), so
+// geopriv_cli's serve/query subcommands accept the identical set; run
+// with --help for the generated list.  Strict parsing: a daemon whose
+// --budget typo silently became 0 would serve with privacy enforcement
+// off, so malformed values are fatal.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "service/server.h"
-#include "util/string_util.h"
+#include "service/service_flags.h"
+#include "util/arg_parser.h"
 
 namespace {
 
@@ -38,53 +35,25 @@ int Fail(const Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strict numeric parsing (util/string_util.h): a daemon whose --budget
-  // typo silently became 0 would serve with privacy enforcement off, and
-  // an out-of-range --port must not truncate into a different valid port,
-  // so malformed values are fatal.
-  ServiceOptions options;
-  int port = -1;
-  const auto usage = [](const char* problem, const char* flag) {
-    std::fprintf(stderr,
-                 "%s '%s'\n"
-                 "usage: geopriv_serve [--budget B] [--shards K] "
-                 "[--threads T] [--persist DIR] [--port P]\n",
-                 problem, flag);
-    return 2;
-  };
-  for (int i = 1; i < argc; i += 2) {
-    const std::string key = argv[i];
-    // A dangling flag (e.g. a forgotten --persist directory) must be an
-    // error, not a silently dropped option — including mid-line, where
-    // the "value" would otherwise swallow the next flag.
-    if (i + 1 >= argc) return usage("flag needs a value:", key.c_str());
-    const std::string value = argv[i + 1];
-    if (value.rfind("--", 0) == 0) {
-      return usage("flag needs a value:", key.c_str());
-    }
-    bool ok = true;
-    int parsed = 0;
-    if (key == "--budget") {
-      // Range-checked: NaN and negatives would clamp to 0 in the ledger,
-      // i.e. silently disable enforcement.
-      ok = ParseDoubleStrict(value, &options.budget_alpha) &&
-           options.budget_alpha >= 0.0 && options.budget_alpha <= 1.0;
-    } else if (key == "--shards") {
-      ok = ParseIntStrict(value, &parsed) && parsed > 0;
-      options.shards = static_cast<size_t>(parsed);
-    } else if (key == "--threads") {
-      ok = ParseIntStrict(value, &options.threads);
-    } else if (key == "--persist") {
-      options.persist_dir = value;
-    } else if (key == "--port") {
-      ok = ParseIntStrict(value, &port) && port >= 0 && port <= 65535;
-    } else {
-      return usage("unknown flag", key.c_str());
-    }
-    if (!ok) return usage("malformed value for", key.c_str());
+  ServiceFlags flags;
+  ArgParser parser;
+  RegisterServiceFlags(&parser, &flags);
+  if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::printf("usage: geopriv_serve [--key value ...]\n%s",
+                parser.Usage().c_str());
+    return 0;
   }
+  Status parsed = parser.Parse(argc, argv, 1);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\nusage: geopriv_serve [--key value ...]\n%s",
+                 parsed.ToString().c_str(), parser.Usage().c_str());
+    return 2;
+  }
+  Status armed = ArmConfiguredFaults(flags);
+  if (!armed.ok()) return Fail(armed);
 
-  MechanismService service(options);
+  MechanismService service(ToServiceOptions(flags));
   Result<int> loaded = service.LoadPersisted();
   if (!loaded.ok()) return Fail(loaded.status());
   if (*loaded > 0) {
@@ -92,8 +61,9 @@ int main(int argc, char** argv) {
                  *loaded);
   }
 
-  const Status status = port >= 0 ? ServeTcp(port, service, std::cout)
-                                  : RunServeLoop(std::cin, std::cout, service);
+  const Status status = parser.Provided("port")
+                            ? ServeTcp(flags.port, service, std::cout)
+                            : RunServeLoop(std::cin, std::cout, service);
   if (!status.ok()) return Fail(status);
   return 0;
 }
