@@ -160,6 +160,25 @@ class Harness {
     std::fflush(stdout);
   }
 
+  /// Records an externally measured metric under `name` — for benchmarks
+  /// that run their own measurement discipline (the load-latency suite's
+  /// open-loop percentiles) and only need the harness for reporting and
+  /// JSON emission.  The value lands in every stat field with one
+  /// repetition; `value_ms` is whatever unit the name advertises.
+  void Record(const std::string& name, double value_ms) {
+    BenchResult result;
+    result.name = name;
+    result.repetitions = 1;
+    result.batch = 1;
+    result.median_ms = value_ms;
+    result.p95_ms = value_ms;
+    result.min_ms = value_ms;
+    result.mean_ms = value_ms;
+    results_.push_back(result);
+    std::printf("  %-44s %12.6f ms (recorded)\n", name.c_str(), value_ms);
+    std::fflush(stdout);
+  }
+
   /// Prints the summary table and writes the suite JSON (if requested).
   /// Returns a process exit code.
   int Finish() {

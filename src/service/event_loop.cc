@@ -1,0 +1,815 @@
+#include "service/event_loop.h"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "service/protocol.h"
+#include "util/fault_injection.h"
+
+namespace geopriv {
+
+namespace {
+
+// One protocol line is small; a client streaming unbounded bytes with no
+// newline is the same DoS class as an unbounded batch window.  Same cap as
+// the serial loop.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+// Executor admission bound: decoded batches queued beyond this are shed
+// with Unavailable + retry_after_ms instead of growing an unbounded queue
+// behind a slow solve.  Shedding happens here, per admission — connections
+// themselves are always accepted.
+constexpr size_t kMaxQueuedJobs = 256;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// ---- Readiness demultiplexer: epoll with a poll(2) fallback -----------------
+//
+// epoll is O(ready) per wakeup and the natural Linux backend; the poll
+// path keeps the daemon portable and is runtime-selectable with
+// GEOPRIV_FORCE_POLL=1 so the fallback stays tested on Linux CI.
+class Poller {
+ public:
+  enum : uint32_t { kRead = 1u, kWrite = 2u };
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  // EPOLLERR/EPOLLHUP — the peer is gone or broken
+  };
+
+  Poller() {
+#ifdef __linux__
+    const char* force = std::getenv("GEOPRIV_FORCE_POLL");
+    if (force == nullptr || force[0] != '1') {
+      epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    }
+#endif
+  }
+  ~Poller() {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool Add(int fd, uint32_t mask) {
+    interest_[fd] = mask;
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event ev{};
+      ev.events = ToEpoll(mask);
+      ev.data.fd = fd;
+      return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+    }
+#endif
+    return true;
+  }
+
+  bool Modify(int fd, uint32_t mask) {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) return false;
+    if (it->second == mask) return true;
+    it->second = mask;
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event ev{};
+      ev.events = ToEpoll(mask);
+      ev.data.fd = fd;
+      return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+    }
+#endif
+    return true;
+  }
+
+  void Remove(int fd) {
+    interest_.erase(fd);
+#ifdef __linux__
+    if (epfd_ >= 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  }
+
+  /// Waits up to `timeout_ms` (-1 = forever) and fills `out` with the
+  /// ready set.  Returns false on an unrecoverable demultiplexer error.
+  bool Wait(int timeout_ms, std::vector<Event>* out) {
+    out->clear();
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      std::array<epoll_event, 256> ready;
+      const int n = ::epoll_wait(epfd_, ready.data(),
+                                 static_cast<int>(ready.size()), timeout_ms);
+      if (n < 0) return errno == EINTR;
+      for (int i = 0; i < n; ++i) {
+        Event event;
+        event.fd = ready[i].data.fd;
+        event.readable = (ready[i].events & EPOLLIN) != 0;
+        event.writable = (ready[i].events & EPOLLOUT) != 0;
+        event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        out->push_back(event);
+      }
+      return true;
+    }
+#endif
+    pollfds_.clear();
+    for (const auto& [fd, mask] : interest_) {
+      pollfd p{};
+      p.fd = fd;
+      if (mask & kRead) p.events |= POLLIN;
+      if (mask & kWrite) p.events |= POLLOUT;
+      pollfds_.push_back(p);
+    }
+    const int n = ::poll(pollfds_.data(),
+                         static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+    if (n < 0) return errno == EINTR;
+    for (const pollfd& p : pollfds_) {
+      if (p.revents == 0) continue;
+      Event event;
+      event.fd = p.fd;
+      event.readable = (p.revents & POLLIN) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(event);
+    }
+    return true;
+  }
+
+ private:
+#ifdef __linux__
+  static uint32_t ToEpoll(uint32_t mask) {
+    uint32_t events = 0;
+    if (mask & kRead) events |= EPOLLIN;
+    if (mask & kWrite) events |= EPOLLOUT;
+    return events;
+  }
+  int epfd_ = -1;
+#endif
+  std::unordered_map<int, uint32_t> interest_;
+  std::vector<pollfd> pollfds_;
+};
+
+// ---- Idle-connection timer wheel --------------------------------------------
+//
+// Replaces the serial loop's per-client SO_RCVTIMEO: one wheel holds every
+// idle deadline, Arm/Cancel are O(1), and each tick only touches the due
+// bucket.  Cancellation is lazy — a bucket entry whose stored deadline no
+// longer matches the armed deadline is stale and dropped when its bucket
+// comes due, so re-arming on every received byte costs no removal scan.
+class TimerWheel {
+ public:
+  explicit TimerWheel(int64_t timeout_ms)
+      : timeout_ms_(timeout_ms),
+        tick_ms_(std::max<int64_t>(1, timeout_ms / 16)) {}
+
+  int64_t tick_ms() const { return tick_ms_; }
+  bool AnyArmed() const { return !armed_.empty(); }
+
+  void Arm(int fd, int64_t now_ms) {
+    const int64_t deadline = now_ms + timeout_ms_;
+    armed_[fd] = deadline;
+    Bucket(deadline).push_back({fd, deadline});
+  }
+
+  void Cancel(int fd) { armed_.erase(fd); }
+
+  /// Appends every fd whose armed deadline passed to `expired` and disarms
+  /// it.  Sweeps only the buckets that became due since the last call
+  /// (capped at one full lap).
+  void Expire(int64_t now_ms, std::vector<int>* expired) {
+    if (last_ms_ == 0) last_ms_ = now_ms;
+    int64_t t = std::max(last_ms_,
+                         now_ms - tick_ms_ * static_cast<int64_t>(kBuckets - 1));
+    for (; t <= now_ms; t += tick_ms_) {
+      std::vector<std::pair<int, int64_t>>& bucket = Bucket(t);
+      size_t keep = 0;
+      for (const std::pair<int, int64_t>& entry : bucket) {
+        auto it = armed_.find(entry.first);
+        if (it == armed_.end() || it->second != entry.second) continue;
+        if (entry.second <= now_ms) {
+          armed_.erase(it);
+          expired->push_back(entry.first);
+        } else {
+          bucket[keep++] = entry;  // a future lap of the same slot
+        }
+      }
+      bucket.resize(keep);
+    }
+    last_ms_ = now_ms;
+  }
+
+ private:
+  static constexpr size_t kBuckets = 64;
+  std::vector<std::pair<int, int64_t>>& Bucket(int64_t ms) {
+    return buckets_[static_cast<size_t>((ms / tick_ms_) %
+                                        static_cast<int64_t>(kBuckets))];
+  }
+
+  int64_t timeout_ms_;
+  int64_t tick_ms_;
+  int64_t last_ms_ = 0;
+  std::array<std::vector<std::pair<int, int64_t>>, kBuckets> buckets_;
+  std::unordered_map<int, int64_t> armed_;
+};
+
+// ---- Batch executor ---------------------------------------------------------
+//
+// Solve-bearing work runs here so the I/O thread never blocks on the
+// solver mutex.  One job per connection may be in flight at a time (the
+// loop stops parsing a connection's buffer while it is busy), so a worker
+// owns the connection's BatchWindow for the duration of its job.
+struct Job {
+  int fd = -1;
+  ServiceRequest request;
+  BatchWindow* window = nullptr;
+};
+
+struct Completion {
+  int fd = -1;
+  std::string response;
+};
+
+class Executor {
+ public:
+  Executor(MechanismService& service, int workers, int wake_fd)
+      : service_(service), wake_fd_(wake_fd) {
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  ~Executor() { Stop(); }
+
+  /// Lets queued jobs finish, then joins the workers.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  size_t QueueDepth() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+  }
+
+  void Submit(Job job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+  }
+
+  std::vector<Completion> DrainCompletions() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(completions_);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stop requested and queue drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      // The shutdown op is classified inline-only, so workers never see it
+      // and the shutdown flag can be dropped here.
+      std::string response =
+          service_.HandleRequest(job.request, job.window, nullptr);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        completions_.push_back({job.fd, std::move(response)});
+      }
+      const char byte = 1;
+      // A full wake pipe is fine: the loop drains completions on every
+      // wakeup, so one pending byte already guarantees delivery.
+      (void)!::write(wake_fd_, &byte, 1);
+    }
+  }
+
+  MechanismService& service_;
+  const int wake_fd_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> jobs_;
+  std::vector<Completion> completions_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// ---- Per-connection state ---------------------------------------------------
+
+struct Connection {
+  int fd = -1;
+  BatchWindow window;
+  std::string inbox;   // received, not yet parsed
+  std::string outbox;  // formatted, not yet sent
+  size_t out_off = 0;
+  bool busy = false;     // a job for this connection is queued or running
+  bool eof = false;      // peer half-closed; answer what it sent, then close
+  bool closing = false;  // no further input; close once the outbox drains
+  bool doomed = false;   // hard drop (transport/fault failure); no flush owed
+  bool oversized = false;  // unterminated line exceeded the cap; error owed
+  uint32_t interest = 0;  // mask currently registered with the poller
+};
+
+// RAII for a POSIX fd.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// ---- The loop ---------------------------------------------------------------
+
+class EventLoopServer {
+ public:
+  EventLoopServer(MechanismService& service, std::ostream& announce)
+      : service_(service), announce_(announce) {}
+
+  Status Serve(int port) {
+    GEOPRIV_RETURN_IF_ERROR(Listen(port));
+    if (::pipe(wake_pipe_) != 0) {
+      return Status::Internal("pipe() failed");
+    }
+    Fd wake_rd{wake_pipe_[0]};
+    Fd wake_wr{wake_pipe_[1]};
+    SetNonBlocking(wake_rd.fd);
+    SetNonBlocking(wake_wr.fd);
+
+    poller_.Add(listen_.fd, Poller::kRead);
+    poller_.Add(wake_rd.fd, Poller::kRead);
+
+    const int64_t idle_ms = service_.options().idle_timeout_ms;
+    if (idle_ms > 0) wheel_ = std::make_unique<TimerWheel>(idle_ms);
+
+    Executor executor(service_, Workers(), wake_wr.fd);
+    executor_ = &executor;
+
+    std::vector<Poller::Event> events;
+    std::vector<int> expired;
+    while (!(draining_ && conns_.empty())) {
+      int timeout_ms = -1;
+      if (wheel_ != nullptr && wheel_->AnyArmed()) {
+        timeout_ms = static_cast<int>(wheel_->tick_ms());
+      }
+      // Drain is completion-driven, but a bounded tick keeps it live even
+      // if a wake byte is ever lost.
+      if (draining_) timeout_ms = 50;
+      if (!poller_.Wait(timeout_ms, &events)) {
+        break;  // demultiplexer failure: fall through to drain + persist
+      }
+      for (const Poller::Event& event : events) {
+        if (event.fd == wake_rd.fd) {
+          char sink[256];
+          while (::read(wake_rd.fd, sink, sizeof(sink)) > 0) {
+          }
+          continue;
+        }
+        if (event.fd == listen_.fd) {
+          AcceptReady();
+          continue;
+        }
+        HandleConnEvent(event);
+      }
+      for (Completion& done : executor.DrainCompletions()) {
+        HandleCompletion(done);
+      }
+      if (wheel_ != nullptr) {
+        expired.clear();
+        wheel_->Expire(NowMs(), &expired);
+        for (int fd : expired) HandleIdleExpiry(fd);
+      }
+    }
+
+    // All connections are gone; queued jobs (if any) finished with them.
+    executor.Stop();
+    executor_ = nullptr;
+    return service_.Persist();
+  }
+
+ private:
+  int Workers() const {
+    int workers = service_.options().workers;
+    if (workers <= 0) {
+      int hw = static_cast<int>(std::thread::hardware_concurrency());
+      if (hw < 1) hw = 1;
+      workers = std::min(8, std::max(2, hw / 2));
+    }
+    return workers;
+  }
+
+  Status Listen(int port) {
+    listen_.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_.fd < 0) return Status::Internal("socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(listen_.fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::Internal("bind to 127.0.0.1:" + std::to_string(port) +
+                              " failed");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_.fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      return Status::Internal("getsockname failed");
+    }
+    if (::listen(listen_.fd, 128) != 0) {
+      return Status::Internal("listen failed");
+    }
+    if (!SetNonBlocking(listen_.fd)) {
+      return Status::Internal("cannot make the listen socket nonblocking");
+    }
+    announce_ << "geopriv_serve listening on 127.0.0.1:"
+              << ntohs(addr.sin_port) << "\n"
+              << std::flush;
+    return Status::OK();
+  }
+
+  void AcceptReady() {
+    for (;;) {
+      const int cfd = ::accept(listen_.fd, nullptr, nullptr);
+      if (cfd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        // Transient per-connection failures (a client aborting between the
+        // handshake and our accept, fd pressure) never take the daemon
+        // down — there is no client to lose yet.
+        return;
+      }
+      if (fault_injection::Armed() &&
+          !fault_injection::Fire("server.accept").ok()) {
+        // An injected accept failure plays the client that aborted right
+        // after the handshake: this connection is dropped, the daemon
+        // lives.
+        ::close(cfd);
+        continue;
+      }
+      if (draining_ || !SetNonBlocking(cfd)) {
+        ::close(cfd);
+        continue;
+      }
+      auto conn = std::make_unique<Connection>();
+      conn->fd = cfd;
+      conn->interest = Poller::kRead;
+      poller_.Add(cfd, Poller::kRead);
+      if (wheel_ != nullptr) wheel_->Arm(cfd, NowMs());
+      conns_.emplace(cfd, std::move(conn));
+    }
+  }
+
+  void HandleConnEvent(const Poller::Event& event) {
+    auto it = conns_.find(event.fd);
+    if (it == conns_.end()) return;
+    Connection& conn = *it->second;
+    if (event.error) conn.doomed = true;
+    if (!conn.doomed && event.writable) {
+      if (!FlushOutbox(conn)) conn.doomed = true;
+    }
+    if (!conn.doomed && event.readable && !conn.closing) {
+      ReadReady(conn);
+    }
+    ProcessBuffered(conn);
+    Maintain(event.fd);
+  }
+
+  void ReadReady(Connection& conn) {
+    bool got_bytes = false;
+    char chunk[65536];
+    while (!conn.busy && !conn.doomed && !conn.eof && !conn.oversized) {
+      if (fault_injection::Armed() &&
+          !fault_injection::Fire("server.recv").ok()) {
+        // Injected receive failure: the connection "died" mid-request.  A
+        // half-received line is dropped unanswered, like the serial loop.
+        conn.doomed = true;
+        break;
+      }
+      const ssize_t k = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (k > 0) {
+        got_bytes = true;
+        conn.inbox.append(chunk, static_cast<size_t>(k));
+        // The cap is per LINE: the inbox may legitimately hold more than
+        // the cap as complete lines (buffered behind a busy batch), so
+        // only the unterminated tail counts.  Complete lines received
+        // ahead of the oversized tail are still answered — the error is
+        // queued by ProcessBuffered after they execute, like the serial
+        // loop's chunk-at-a-time ordering.
+        const size_t last_nl = conn.inbox.rfind('\n');
+        const size_t tail = last_nl == std::string::npos
+                                ? conn.inbox.size()
+                                : conn.inbox.size() - last_nl - 1;
+        if (tail > kMaxLineBytes) {
+          conn.oversized = true;
+          break;
+        }
+        continue;
+      }
+      if (k == 0) {
+        conn.eof = true;  // half-close: answer what was sent, then close
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.doomed = true;
+      break;
+    }
+    if (got_bytes && wheel_ != nullptr && !conn.doomed) {
+      wheel_->Arm(conn.fd, NowMs());
+    }
+  }
+
+  /// Parses as many buffered lines as possible.  Stops when the
+  /// connection goes busy (a job was dispatched — its reply must come
+  /// back before later lines may run, preserving per-connection order).
+  void ProcessBuffered(Connection& conn) {
+    while (!conn.busy && !conn.doomed && !conn.closing && !draining_) {
+      const size_t newline = conn.inbox.find('\n');
+      if (newline == std::string::npos) break;
+      std::string line = conn.inbox.substr(0, newline);
+      conn.inbox.erase(0, newline + 1);
+      HandleLine(conn, line);
+    }
+    // The oversized-line error goes out only after every complete line
+    // ahead of it was answered.
+    if (conn.oversized && !conn.busy && !conn.doomed && !conn.closing) {
+      QueueResponse(conn,
+                    FormatErrorReply("parse",
+                                     Status::InvalidArgument(
+                                         "request line exceeds 1 MiB")));
+      conn.inbox.clear();
+      conn.closing = true;
+    }
+    // A client that half-closes without a trailing newline still sent a
+    // complete request; answer it before dropping the connection.
+    if (conn.eof && !conn.busy && !conn.doomed && !conn.closing &&
+        !draining_ && !conn.inbox.empty() &&
+        conn.inbox.find('\n') == std::string::npos) {
+      std::string line = std::move(conn.inbox);
+      conn.inbox.clear();
+      HandleLine(conn, line);
+    }
+    if (conn.eof && !conn.busy && conn.inbox.empty()) conn.closing = true;
+    if (draining_) conn.closing = true;
+  }
+
+  void HandleLine(Connection& conn, const std::string& line) {
+    // Blank lines are keep-alives, not requests.
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) return;
+    Result<ServiceRequest> request = ParseRequestLine(line);
+    if (!request.ok()) {
+      QueueResponse(conn, FormatErrorReply("parse", request.status()));
+      return;
+    }
+    if (NeedsExecutor(*request, conn)) {
+      if (executor_->QueueDepth() >= kMaxQueuedJobs) {
+        QueueResponse(conn, ShedResponse(*request, conn));
+        return;
+      }
+      conn.busy = true;
+      executor_->Submit(Job{conn.fd, std::move(*request), &conn.window});
+      return;
+    }
+    bool shutdown = false;
+    QueueResponse(conn,
+                  service_.HandleRequest(*request, &conn.window, &shutdown));
+    if (shutdown) BeginDrain();
+  }
+
+  /// True when the request may run a solve: a query (or batch_end) whose
+  /// signature set is not fully cached.  Cached-signature work executes
+  /// inline on the I/O thread — microseconds — so it can never queue
+  /// behind another connection's slow solve.  Contains() can only flip
+  /// miss -> hit (entries are never evicted), so a stale answer merely
+  /// sends an already-cached batch to the executor, never the reverse.
+  bool NeedsExecutor(const ServiceRequest& request,
+                     const Connection& conn) const {
+    const MechanismCache& cache = service_.cache();
+    switch (request.op) {
+      case ServiceOp::kQuery:
+        if (conn.window.open) return false;  // a "queued" ack, no execution
+        return !cache.Contains(request.query.signature);
+      case ServiceOp::kBatchEnd: {
+        if (!conn.window.open) return false;  // protocol error, no execution
+        for (const ServiceQuery& query : conn.window.pending) {
+          if (!cache.Contains(query.signature)) return true;
+        }
+        return false;
+      }
+      default:
+        return false;  // control ops never block
+    }
+  }
+
+  /// Unavailable replies for an executor-queue shed, shaped exactly like
+  /// the pipeline's shed replies so clients need one retry path.
+  std::string ShedResponse(const ServiceRequest& request, Connection& conn) {
+    const int64_t retry_ms = service_.options().retry_after_ms;
+    const auto shed_one = [&](const ServiceQuery& query) {
+      ServiceReply reply;
+      reply.status = Status::Unavailable(
+          "service executor queue is full; retry later");
+      reply.retry_after_ms = retry_ms;
+      reply.cache = "shed";
+      reply.budget = service_.ledger().budget();
+      return FormatQueryReply(query, reply);
+    };
+    if (request.op == ServiceOp::kQuery) return shed_one(request.query);
+    // batch_end: shed every buffered query, close the window.
+    std::string out;
+    std::vector<ServiceQuery> batch = std::move(conn.window.pending);
+    conn.window.Reset();
+    for (const ServiceQuery& query : batch) {
+      out += shed_one(query) + "\n";
+    }
+    out += "{\"op\":\"batch_end\",\"ok\":true,\"batched\":" +
+           std::to_string(batch.size()) + "}";
+    return out;
+  }
+
+  void HandleCompletion(Completion& done) {
+    auto it = conns_.find(done.fd);
+    if (it == conns_.end()) return;  // cannot happen: busy conns are kept
+    Connection& conn = *it->second;
+    conn.busy = false;
+    if (!conn.doomed) {
+      QueueResponse(conn, done.response);
+      if (wheel_ != nullptr) wheel_->Arm(conn.fd, NowMs());
+      ProcessBuffered(conn);  // more lines may already be buffered
+    }
+    Maintain(done.fd);
+  }
+
+  void HandleIdleExpiry(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Connection& conn = *it->second;
+    if (conn.busy) {
+      // Not idle — the server owes this connection a reply.  Re-arm; the
+      // clock restarts when the reply is queued.
+      if (wheel_ != nullptr) wheel_->Arm(fd, NowMs());
+      return;
+    }
+    // Idle timeout: drop without answering.  A half-received line is not
+    // a request, and the client stopped talking — the slow-loris case.
+    conn.doomed = true;
+    Maintain(fd);
+  }
+
+  void QueueResponse(Connection& conn, const std::string& response) {
+    if (response.empty()) return;
+    conn.outbox += response;
+    conn.outbox += '\n';
+    if (!FlushOutbox(conn)) conn.doomed = true;
+  }
+
+  /// Sends as much of the outbox as the socket accepts; the rest waits
+  /// for writability (write backpressure).  False = the peer is gone.
+  bool FlushOutbox(Connection& conn) {
+    if (conn.out_off < conn.outbox.size() && fault_injection::Armed() &&
+        !fault_injection::Fire("server.send").ok()) {
+      // An injected send failure plays the peer that vanished mid-reply:
+      // this client is dropped, the daemon lives.
+      return false;
+    }
+    while (conn.out_off < conn.outbox.size()) {
+      const ssize_t k =
+          ::send(conn.fd, conn.outbox.data() + conn.out_off,
+                 conn.outbox.size() - conn.out_off, MSG_NOSIGNAL);
+      if (k > 0) {
+        conn.out_off += static_cast<size_t>(k);
+        continue;
+      }
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (k < 0 && errno == EINTR) continue;
+      return false;
+    }
+    if (conn.out_off == conn.outbox.size()) {
+      conn.outbox.clear();
+      conn.out_off = 0;
+    }
+    return true;
+  }
+
+  /// Re-registers the poller interest and closes the connection when it
+  /// has nothing left to do.  The single place a connection dies.
+  void Maintain(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Connection& conn = *it->second;
+    // A busy connection is kept alive even when doomed: its worker still
+    // holds the BatchWindow, so the object must survive until completion.
+    if (conn.busy) {
+      SetInterest(conn, conn.outbox.empty() ? 0u : Poller::kWrite);
+      return;
+    }
+    const bool flushed = conn.outbox.empty();
+    if (conn.doomed || (conn.closing && flushed)) {
+      poller_.Remove(fd);
+      if (wheel_ != nullptr) wheel_->Cancel(fd);
+      ::close(fd);
+      conns_.erase(it);
+      return;
+    }
+    uint32_t mask = 0;
+    if (!conn.closing && !conn.eof && !conn.oversized && !draining_) {
+      mask |= Poller::kRead;
+    }
+    if (!flushed) mask |= Poller::kWrite;
+    SetInterest(conn, mask);
+  }
+
+  void SetInterest(Connection& conn, uint32_t mask) {
+    if (conn.interest == mask) return;
+    conn.interest = mask;
+    poller_.Modify(conn.fd, mask);
+  }
+
+  /// Graceful drain: stop accepting, let in-flight batches finish, flush
+  /// every outbox, then close.  Buffered-but-unparsed input is dropped —
+  /// exactly like the serial loop, where shutdown stopped service for
+  /// every other client immediately.
+  void BeginDrain() {
+    if (draining_) return;
+    draining_ = true;
+    poller_.Remove(listen_.fd);
+    ::close(listen_.fd);
+    listen_.fd = -1;
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+    for (int fd : fds) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      it->second->closing = true;
+      Maintain(fd);
+    }
+  }
+
+  MechanismService& service_;
+  std::ostream& announce_;
+  Poller poller_;
+  Fd listen_;
+  int wake_pipe_[2] = {-1, -1};
+  std::unique_ptr<TimerWheel> wheel_;
+  Executor* executor_ = nullptr;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  bool draining_ = false;
+};
+
+}  // namespace
+
+Status ServeTcpEventLoop(int port, MechanismService& service,
+                         std::ostream& announce) {
+  EventLoopServer server(service, announce);
+  Status served = server.Serve(port);
+  if (!served.ok()) {
+    // Transport failures must not lose charged budget: persist before the
+    // error surfaces (mirrors the serial loop).
+    (void)service.Persist();
+  }
+  return served;
+}
+
+}  // namespace geopriv

@@ -114,6 +114,12 @@ Result<ServedMechanism> MechanismCache::SolveLocked(
   return entry;
 }
 
+bool MechanismCache::Contains(const MechanismSignature& signature) const {
+  const Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(signature.CanonicalKey()) > 0;
+}
+
 std::shared_ptr<const ServedMechanism> MechanismCache::Peek(
     const MechanismSignature& signature) {
   Shard& shard = ShardFor(signature);

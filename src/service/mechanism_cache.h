@@ -110,6 +110,12 @@ class MechanismCache {
   std::shared_ptr<const ServedMechanism> Peek(
       const MechanismSignature& signature);
 
+  /// Stats-neutral presence probe (no hit recorded, no solve, no wait).
+  /// Entries are never evicted, so a true answer stays true — the event
+  /// loop relies on that to classify a decoded batch as cached-only work
+  /// it can execute inline instead of queueing behind slow solves.
+  bool Contains(const MechanismSignature& signature) const;
+
   /// Solves `signature` cold, bypassing the cache in both directions
   /// (nothing read, nothing published).  The solve-per-query baseline the
   /// throughput bench and the bit-identity tests compare against.

@@ -211,6 +211,10 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     replies[q].released = *released;
   };
   if (pool_ != nullptr && queries.size() > 1) {
+    // The pool is not reentrant (one ParallelFor at a time), and the
+    // event-loop transport runs concurrent batches through one pipeline —
+    // serialize just the fan-out, not the cache/ledger stages above.
+    std::lock_guard<std::mutex> lock(pool_mu_);
     pool_->ParallelFor(queries.size(), sample_one);
   } else {
     for (size_t q = 0; q < queries.size(); ++q) sample_one(q);

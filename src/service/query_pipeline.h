@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,7 +106,10 @@ class QueryPipeline {
   /// through the cache -> charge the ledger in input order -> sample the
   /// admitted requests in parallel.  Replies come back in input order.
   /// Per-request failures land in the reply's status; the call itself only
-  /// fails on internal errors.
+  /// fails on internal errors.  Thread-safe: concurrent batches (the
+  /// event-loop transport's executor workers plus its inline cached path)
+  /// synchronize on the cache, the ledger, and the sampling pool; each
+  /// batch is internally deterministic regardless of what runs beside it.
   ///
   /// Miss groups resolve as one warm family: distinct unsolved signatures
   /// are taken in (structure, alpha) order, so each exact solve seeds the
@@ -119,6 +123,7 @@ class QueryPipeline {
   BudgetLedger* ledger_;
   PipelineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // sampling fan-out (may be null)
+  std::mutex pool_mu_;  // the pool is not reentrant; one fan-out at a time
 };
 
 }  // namespace geopriv

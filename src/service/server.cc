@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include "rng/engine.h"
+#include "service/event_loop.h"
 #include "util/fault_injection.h"
 
 namespace geopriv {
@@ -151,6 +152,11 @@ Result<int> MechanismService::LoadPersisted() {
 }
 
 Status MechanismService::PersistLedger() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  return PersistLedgerLocked();
+}
+
+Status MechanismService::PersistLedgerLocked() {
   if (options_.persist_dir.empty()) return Status::OK();
   std::error_code ec;
   std::filesystem::create_directories(options_.persist_dir, ec);
@@ -189,23 +195,32 @@ Status MechanismService::PersistLedger() {
 }
 
 Status MechanismService::Persist() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
   if (options_.persist_dir.empty()) return Status::OK();
   GEOPRIV_RETURN_IF_ERROR(cache_.SaveToDirectory(options_.persist_dir));
-  return PersistLedger();
+  return PersistLedgerLocked();
 }
 
 std::string MechanismService::HandleLine(const std::string& line,
+                                         bool* shutdown) {
+  return HandleLine(line, &default_window_, shutdown);
+}
+
+std::string MechanismService::HandleLine(const std::string& line,
+                                         BatchWindow* window,
                                          bool* shutdown) {
   if (shutdown != nullptr) *shutdown = false;
   // Blank lines are keep-alives, not requests.
   if (line.find_first_not_of(" \t\r\n") == std::string::npos) return "";
   Result<ServiceRequest> request = ParseRequestLine(line);
   if (!request.ok()) return FormatErrorReply("parse", request.status());
-  return HandleParsed(*request, shutdown);
+  return HandleRequest(*request, window, shutdown);
 }
 
-std::string MechanismService::HandleParsed(const ServiceRequest& request,
-                                           bool* shutdown) {
+std::string MechanismService::HandleRequest(const ServiceRequest& request,
+                                            BatchWindow* window,
+                                            bool* shutdown) {
+  if (shutdown != nullptr) *shutdown = false;
   switch (request.op) {
     case ServiceOp::kPing:
       return "{\"op\":\"ping\",\"ok\":true}";
@@ -213,17 +228,17 @@ std::string MechanismService::HandleParsed(const ServiceRequest& request,
     case ServiceOp::kShutdown: {
       if (shutdown != nullptr) *shutdown = true;
       std::string out;
-      if (in_batch_) {
+      if (window->open) {
         // Queries already acknowledged as "queued" must not vanish
         // silently: tell the client its window died unexecuted.
         out += FormatErrorReply(
                    "batch_end",
                    Status::FailedPrecondition(
                        "batch aborted by shutdown; " +
-                       std::to_string(pending_.size()) +
+                       std::to_string(window->pending.size()) +
                        " queued queries dropped uncharged")) +
                "\n";
-        ResetBatch();
+        window->Reset();
       }
       Status persisted = Persist();
       if (!persisted.ok()) return out + FormatErrorReply("shutdown", persisted);
@@ -254,23 +269,23 @@ std::string MechanismService::HandleParsed(const ServiceRequest& request,
     }
 
     case ServiceOp::kBatchBegin:
-      if (in_batch_) {
+      if (window->open) {
         return FormatErrorReply(
             "batch_begin",
             Status::FailedPrecondition("a batch is already open"));
       }
-      in_batch_ = true;
-      pending_.clear();
+      window->open = true;
+      window->pending.clear();
       return "{\"op\":\"batch_begin\",\"ok\":true}";
 
     case ServiceOp::kBatchEnd: {
-      if (!in_batch_) {
+      if (!window->open) {
         return FormatErrorReply(
             "batch_end", Status::FailedPrecondition("no batch is open"));
       }
-      in_batch_ = false;
-      std::vector<ServiceQuery> batch = std::move(pending_);
-      pending_.clear();
+      window->open = false;
+      std::vector<ServiceQuery> batch = std::move(window->pending);
+      window->pending.clear();
       const std::vector<ServiceReply> replies = pipeline_.ExecuteBatch(batch);
       Status persisted = PersistLedgerIfCharged(replies);
       if (!persisted.ok()) {
@@ -292,21 +307,22 @@ std::string MechanismService::HandleParsed(const ServiceRequest& request,
       break;
   }
 
-  if (in_batch_) {
+  if (window->open) {
     // Bounded window: an endless stream of queued queries must not grow
     // daemon memory without limit (same unauthenticated-DoS class as the
-    // protocol's n ceiling).
+    // protocol's n ceiling).  The cap is per connection — the event loop
+    // keeps many windows open at once, each bounded on its own.
     constexpr size_t kMaxBatch = 4096;
-    if (pending_.size() >= kMaxBatch) {
+    if (window->pending.size() >= kMaxBatch) {
       return FormatErrorReply(
           "query", Status::FailedPrecondition(
                        "batch window is full (" +
                        std::to_string(kMaxBatch) +
                        " queries); send batch_end"));
     }
-    pending_.push_back(request.query);
+    window->pending.push_back(request.query);
     return "{\"op\":\"queued\",\"ok\":true,\"index\":" +
-           std::to_string(pending_.size() - 1) + "}";
+           std::to_string(window->pending.size() - 1) + "}";
   }
   const std::vector<ServiceReply> replies =
       pipeline_.ExecuteBatch({request.query});
@@ -373,6 +389,14 @@ Status SendAll(int fd, const std::string& data) {
 }  // namespace
 
 Status ServeTcp(int port, MechanismService& service, std::ostream& announce) {
+  if (service.options().serial_accept) {
+    return ServeTcpSerial(port, service, announce);
+  }
+  return ServeTcpEventLoop(port, service, announce);
+}
+
+Status ServeTcpSerial(int port, MechanismService& service,
+                      std::ostream& announce) {
   // Transport failures must not lose charged budget: persist before every
   // error return (the per-batch ledger writes cover the common case; this
   // covers the solve cache too).

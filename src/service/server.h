@@ -12,6 +12,13 @@
 // solved once per distinct signature, budget-charged in arrival order,
 // sampled in parallel.  Queries outside a batch window execute
 // immediately as a batch of one.
+//
+// Concurrency: the batch window is SESSION state, not service state.  Each
+// transport connection owns a BatchWindow and hands it to HandleLine /
+// HandleRequest; the service itself (cache, ledger, pipeline, persistence)
+// is safe to drive from concurrent sessions, which is what the event-loop
+// TCP transport (event_loop.h) does.  The window-less HandleLine overload
+// keeps the historical single-session API for the stdin loop and tests.
 
 #ifndef GEOPRIV_SERVICE_SERVER_H_
 #define GEOPRIV_SERVICE_SERVER_H_
@@ -19,6 +26,7 @@
 #include <cstdint>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -57,6 +65,26 @@ struct ServiceOptions {
   int64_t idle_timeout_ms = 0;
   /// Degraded mode: serve cached entries only, shed every miss.
   bool cached_only = false;
+  /// Event-loop transport: batch-executor threads that run solve-bearing
+  /// work off the I/O thread, so a slow cold solve never stalls
+  /// cached-signature traffic on other connections.  0 picks a small
+  /// default (2, or more when the hardware has cores to spare).
+  int workers = 0;
+  /// Serve TCP with the historical one-client-at-a-time accept loop
+  /// instead of the event loop — the baseline the load bench compares
+  /// against, and an escape hatch if the event loop misbehaves.
+  bool serial_accept = false;
+};
+
+/// One protocol session's batch-window state.  Every transport connection
+/// owns one; the stdin loop uses the service's built-in default window.
+struct BatchWindow {
+  bool open = false;
+  std::vector<ServiceQuery> pending;
+  void Reset() {
+    open = false;
+    pending.clear();
+  }
 };
 
 class MechanismService {
@@ -67,18 +95,30 @@ class MechanismService {
   /// line, but batch_end returns one reply line per buffered query plus a
   /// summary line (separated by '\n', no trailing newline).  Blank input
   /// returns an empty string (no response).  Sets *shutdown on a shutdown
-  /// request.
+  /// request.  This overload uses the service's built-in default window
+  /// (the single-session API: stdin loop, CLI one-shots, tests) and must
+  /// not race with itself; concurrent transports use the overload below.
   std::string HandleLine(const std::string& line, bool* shutdown);
 
-  /// Discards an open batch window (buffered queries are dropped
-  /// uncharged).  Transports call this when a client disconnects so a
-  /// dropped connection's half-built batch can neither wedge the service
-  /// in queueing mode nor be flushed — and budget-charged — by the NEXT
-  /// client's batch_end.
-  void ResetBatch() {
-    in_batch_ = false;
-    pending_.clear();
-  }
+  /// Same, against a caller-owned batch window.  Safe to call from
+  /// concurrent threads as long as each window is driven by one thread at
+  /// a time — the shared pieces (cache, ledger, pipeline, ledger
+  /// persistence) synchronize internally.
+  std::string HandleLine(const std::string& line, BatchWindow* window,
+                         bool* shutdown);
+
+  /// The parsed-request entry point the event loop uses: it parses lines
+  /// itself (to classify cached-only work), then executes through here so
+  /// request semantics can never drift between transports.
+  std::string HandleRequest(const ServiceRequest& request, BatchWindow* window,
+                            bool* shutdown);
+
+  /// Discards the default window's open batch (buffered queries are
+  /// dropped uncharged).  Transports call this when a client disconnects
+  /// so a dropped connection's half-built batch can neither wedge the
+  /// service in queueing mode nor be flushed — and budget-charged — by the
+  /// NEXT client's batch_end.
+  void ResetBatch() { default_window_.Reset(); }
 
   /// Loads persisted cache entries (no-op without persist_dir).
   Result<int> LoadPersisted();
@@ -91,13 +131,14 @@ class MechanismService {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  std::string HandleParsed(const ServiceRequest& request, bool* shutdown);
-
   /// Rewrites just the ledger file (cheap: one line per consumer).
   /// Called after every batch that charged, so a crash between batches
   /// never resets spent budget; the solve cache, which is a pure
   /// performance artifact, still persists only at shutdown/EOF.
+  /// Serialized on persist_mu_ — concurrent sessions may both finish a
+  /// charging batch, and the write-then-rename dance must not interleave.
   Status PersistLedger();
+  Status PersistLedgerLocked();
   /// PersistLedger, skipped when no reply in the batch recorded a charge.
   Status PersistLedgerIfCharged(const std::vector<ServiceReply>& replies);
 
@@ -105,8 +146,8 @@ class MechanismService {
   MechanismCache cache_;
   BudgetLedger ledger_;
   QueryPipeline pipeline_;
-  bool in_batch_ = false;
-  std::vector<ServiceQuery> pending_;
+  BatchWindow default_window_;
+  std::mutex persist_mu_;
 };
 
 /// Reads request lines from `in` until EOF or shutdown, writing each
@@ -118,9 +159,19 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
 
 /// Serves the same protocol over TCP on 127.0.0.1:`port` (0 picks a free
 /// port).  Announces "geopriv_serve listening on 127.0.0.1:<port>" on
-/// `announce` before accepting.  Clients are served one at a time; the
-/// loop returns after a shutdown request (persisting when configured).
+/// `announce` before accepting.  By default this is the concurrent
+/// event-loop transport (event_loop.h: epoll with a poll fallback,
+/// per-connection batch windows, write backpressure, idle timer wheel,
+/// graceful drain); ServiceOptions::serial_accept selects the historical
+/// one-client-at-a-time loop.  Returns after a shutdown request
+/// (persisting when configured).
 Status ServeTcp(int port, MechanismService& service, std::ostream& announce);
+
+/// The historical serial accept loop: clients served one at a time, each
+/// to completion.  Kept as the load bench's baseline and as the
+/// --serial-accept escape hatch.
+Status ServeTcpSerial(int port, MechanismService& service,
+                      std::ostream& announce);
 
 /// One-shot client for the daemon's TCP transport: sends `line`, returns
 /// the response chunk (batch replies arrive as multiple lines).

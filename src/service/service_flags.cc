@@ -29,6 +29,10 @@ void RegisterServiceFlags(ArgParser* parser, ServiceFlags* flags) {
                    "drop a TCP client idle this long; 0 = never");
   parser->AddBool("cached-only", &flags->cached_only,
                   "degraded mode: serve cached entries only, shed misses");
+  parser->AddInt("workers", &flags->workers, 0, 256,
+                 "event-loop batch executor threads (0 = auto)");
+  parser->AddBool("serial-accept", &flags->serial_accept,
+                  "serve TCP with the historical one-client-at-a-time loop");
 }
 
 ServiceOptions ToServiceOptions(const ServiceFlags& flags) {
@@ -42,6 +46,8 @@ ServiceOptions ToServiceOptions(const ServiceFlags& flags) {
   options.retry_after_ms = flags.retry_after_ms;
   options.idle_timeout_ms = flags.idle_timeout_ms;
   options.cached_only = flags.cached_only;
+  options.workers = flags.workers;
+  options.serial_accept = flags.serial_accept;
   return options;
 }
 

@@ -33,6 +33,8 @@ struct ServiceFlags {
   int64_t retry_after_ms = 1000;  ///< --retry-after-ms: shed backoff hint
   int64_t idle_timeout_ms = 0;    ///< --idle-timeout-ms: TCP idle drop
   bool cached_only = false;   ///< --cached-only: degraded mode
+  int workers = 0;            ///< --workers: event-loop batch executors
+  bool serial_accept = false; ///< --serial-accept: historical TCP loop
 };
 
 /// Registers every service flag on `parser`, bound to `flags`.  Both must

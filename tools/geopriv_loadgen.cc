@@ -1,0 +1,110 @@
+// geopriv_loadgen — open-loop load generator for a live geopriv_serve.
+//
+// Drives N concurrent connections against the daemon's TCP transport with
+// Poisson arrivals at a fixed offered rate (the open-loop discipline that
+// makes queueing delay visible — see service/loadgen.h), or with a
+// closed-loop pipeline (--rate 0) to find the saturation throughput.
+// Every request is a cached-signature query, so the numbers measure the
+// transport and pipeline, not the LP solver.  Prints one flat JSON line:
+//
+//   geopriv_loadgen --port 45123 --connections 16 --rate 2000 \
+//       --duration-ms 2000
+//   {"connected":16,"sent":4003,"completed":4003,...,"p99_ms":1.9,...}
+//
+// CI's load-smoke job greps that line for completed > 0 and malformed ==
+// 0 against a freshly started daemon.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/loadgen.h"
+#include "util/arg_parser.h"
+
+namespace {
+
+using namespace geopriv;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 1;
+  double rate = 0.0;
+  int depth = 1;
+  int64_t duration_ms = 2000;
+  int64_t drain_ms = 2000;
+  int64_t seed = 1;
+  // The query the load is made of: n/alpha/loss pick the (cached)
+  // signature, count is the true value, consumer the ledger account.
+  int n = 5;
+  std::string alpha = "1/2";
+  std::string loss = "absolute";
+  int count = 2;
+  std::string consumer = "load";
+
+  ArgParser parser;
+  parser.AddString("host", &host, "daemon address (dotted IPv4)");
+  parser.AddInt("port", &port, 1, 65535, "daemon TCP port");
+  parser.AddInt("connections", &connections, 1, 4096,
+                "concurrent TCP connections");
+  parser.AddDouble("rate", &rate, 0.0, 1e9,
+                   "offered load, queries/second across all connections "
+                   "(Poisson arrivals); 0 = closed-loop saturation");
+  parser.AddInt("depth", &depth, 1, 4096,
+                "closed-loop outstanding requests per connection");
+  parser.AddInt64("duration-ms", &duration_ms, 1, 3600000,
+                  "arrival-generation window");
+  parser.AddInt64("drain-ms", &drain_ms, 0, 3600000,
+                  "extra wait for outstanding replies after the window");
+  parser.AddInt64("seed", &seed, 0, INT64_MAX,
+                  "arrival-process and request-seed base");
+  parser.AddInt("n", &n, 1, 1 << 20, "query signature: domain size");
+  parser.AddString("alpha", &alpha, "query signature: privacy level");
+  parser.AddString("loss", &loss, "query signature: loss function");
+  parser.AddInt("count", &count, 0, 1 << 20, "query: true count");
+  parser.AddString("consumer", &consumer, "query: ledger account");
+
+  if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::printf("usage: geopriv_loadgen --port P [--key value ...]\n%s",
+                parser.Usage().c_str());
+    return 0;
+  }
+  Status parsed = parser.Parse(argc, argv, 1);
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "error: %s\nusage: geopriv_loadgen --port P "
+                 "[--key value ...]\n%s",
+                 parsed.ToString().c_str(), parser.Usage().c_str());
+    return 2;
+  }
+  if (!parser.Provided("port")) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return 2;
+  }
+
+  LoadOptions options;
+  options.host = host;
+  options.port = port;
+  options.connections = connections;
+  options.rate = rate;
+  options.depth = depth;
+  options.duration_ms = duration_ms;
+  options.drain_ms = drain_ms;
+  options.seed = static_cast<uint64_t>(seed);
+  options.line_prefix = "{\"op\":\"query\",\"consumer\":\"" + consumer +
+                        "\",\"n\":" + std::to_string(n) + ",\"alpha\":\"" +
+                        alpha + "\",\"loss\":\"" + loss +
+                        "\",\"count\":" + std::to_string(count) +
+                        ",\"seed\":";
+
+  Result<LoadStats> stats = RunLoad(options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", FormatLoadStats(*stats).c_str());
+  return 0;
+}

@@ -121,17 +121,33 @@ if [ "${#JSON_FILES[@]}" -eq 0 ]; then
 fi
 
 python3 - "$OUT_FILE" "${JSON_FILES[@]}" <<'PY'
-import json, sys, datetime, platform
+import json, os, sys, datetime, platform
 
 out_path, paths = sys.argv[1], sys.argv[2:]
 suites = []
 for path in sorted(paths):
     with open(path) as f:
         suites.append(json.load(f))
+
+def cpu_model():
+    # /proc/cpuinfo's "model name" where available; the throughput and
+    # latency suites especially are meaningless without knowing what ran
+    # them.
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
 consolidated = {
     "generated_utc": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
     "machine": platform.machine(),
+    "cpu_count": os.cpu_count() or 0,
+    "cpu_model": cpu_model(),
     # Whether the consolidated results include --large-gated cases.  This
     # must describe the merged CONTENT — per-suite JSON may be carried
     # over from an earlier --large run even when THIS invocation was not
@@ -175,10 +191,24 @@ def load(path):
     for suite in data.get("suites", []):
         for b in suite.get("benchmarks", []):
             out[(suite.get("suite", "?"), b["name"])] = b["median_ms"]
-    return out, data.get("large_run", False)
+    return out, data.get("large_run", False), data
 
-base, base_large = load(snapshot_path)
-fresh, fresh_large = load(fresh_path)
+base, base_large, base_meta = load(snapshot_path)
+fresh, fresh_large, fresh_meta = load(fresh_path)
+
+# Core-count drift is the most common reason a concurrency benchmark
+# (load latency, service throughput) moves without a code change.  A
+# differing count is a WARNING, not a failure: the 25% threshold below
+# still decides, but the reader should know the machines differ.  Old
+# snapshots without the field are skipped, not blamed.
+base_cpus = base_meta.get("cpu_count")
+fresh_cpus = fresh_meta.get("cpu_count")
+if base_cpus and fresh_cpus and base_cpus != fresh_cpus:
+    print(f"WARNING: snapshot was taken on {base_cpus} core(s) "
+          f"({base_meta.get('cpu_model', 'unknown')}) but this run used "
+          f"{fresh_cpus} ({fresh_meta.get('cpu_model', 'unknown')}); "
+          f"concurrency benchmarks are not comparable across core counts",
+          file=sys.stderr)
 shared = sorted(k for k in set(base) & set(fresh)
                 if not ran_suites or k[0] in ran_suites)
 if not shared:
