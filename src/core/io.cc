@@ -14,6 +14,27 @@ namespace geopriv {
 namespace {
 constexpr char kHeaderV1[] = "geopriv-mechanism v1";
 constexpr char kHeaderV2[] = "geopriv-mechanism v2";
+constexpr char kHeaderV3[] = "geopriv-mechanism v3";
+constexpr char kBasisHeader[] = "geopriv-basis v1";
+
+// Reads a "checksum <16 hex>" line from `in` and verifies it against the
+// FNV-1a digest of everything that follows it.  On success leaves `in`
+// positioned at the body.
+Status ConsumeChecksumLine(std::istringstream& in, const std::string& what) {
+  std::string line;
+  if (!std::getline(in, line) || line.size() != 9 + 16 ||
+      line.compare(0, 9, "checksum ") != 0) {
+    return Status::InvalidArgument("missing 'checksum <16 hex>' line in " +
+                                   what);
+  }
+  const std::string stored = line.substr(9);
+  const std::string body = in.str().substr(static_cast<size_t>(in.tellg()));
+  if (Fnv1a64Hex(body) != stored) {
+    return Status::InvalidArgument(what + " checksum mismatch: stored " +
+                                   stored + ", computed " + Fnv1a64Hex(body));
+  }
+  return Status::OK();
+}
 
 // Shared v1/v2 body scaffolding: reads "n <n>" then n+1 "row ..." lines,
 // handing each entry token to `parse_entry(i, r)`; rejects trailing content.
@@ -98,7 +119,10 @@ Result<Mechanism> ParseMechanism(const std::string& text) {
     return Status::InvalidArgument(
         "missing 'geopriv-mechanism v1' (or v2) header");
   }
-  if (line == kHeaderV2) {
+  if (line == kHeaderV2 || line == kHeaderV3) {
+    if (line == kHeaderV3) {
+      GEOPRIV_RETURN_IF_ERROR(ConsumeChecksumLine(in, "v3 mechanism"));
+    }
     GEOPRIV_ASSIGN_OR_RETURN(RationalMatrix exact, ParseExactBody(in));
     return Mechanism::FromExact(exact);
   }
@@ -163,13 +187,98 @@ std::string SerializeExactMechanism(const RationalMatrix& mechanism) {
   return out;
 }
 
+std::string SerializeExactMechanismV3(const RationalMatrix& mechanism) {
+  // Reuse the v2 serializer for the body so v3 stays byte-compatible with
+  // the format ParseExactBody already understands.
+  const std::string v2 = SerializeExactMechanism(mechanism);
+  const std::string body = v2.substr(std::string(kHeaderV2).size() + 1);
+  std::string out = kHeaderV3;
+  out += "\nchecksum " + Fnv1a64Hex(body) + "\n";
+  out += body;
+  return out;
+}
+
 Result<RationalMatrix> ParseExactMechanism(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kHeaderV2) {
-    return Status::InvalidArgument("missing 'geopriv-mechanism v2' header");
+  if (!std::getline(in, line) || (line != kHeaderV2 && line != kHeaderV3)) {
+    return Status::InvalidArgument(
+        "missing 'geopriv-mechanism v2' (or v3) header");
+  }
+  if (line == kHeaderV3) {
+    GEOPRIV_RETURN_IF_ERROR(ConsumeChecksumLine(in, "v3 mechanism"));
   }
   return ParseExactBody(in);
+}
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string Fnv1a64Hex(const std::string& bytes) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(bytes)));
+  return std::string(buf);
+}
+
+std::string SerializeBasisDoc(const std::string& key,
+                              const std::vector<size_t>& basic_columns) {
+  std::string body = "key " + key + "\n";
+  body += "columns " + std::to_string(basic_columns.size());
+  for (const size_t column : basic_columns) {
+    body += " " + std::to_string(column);
+  }
+  body += "\n";
+  std::string out = kBasisHeader;
+  out += "\nchecksum " + Fnv1a64Hex(body) + "\n";
+  out += body;
+  return out;
+}
+
+Result<std::vector<size_t>> ParseBasisDoc(const std::string& text,
+                                          std::string* key_out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kBasisHeader) {
+    return Status::InvalidArgument("missing 'geopriv-basis v1' header");
+  }
+  GEOPRIV_RETURN_IF_ERROR(ConsumeChecksumLine(in, "basis document"));
+  if (!std::getline(in, line) || line.compare(0, 4, "key ") != 0) {
+    return Status::InvalidArgument("missing 'key <canonical key>' line in "
+                                   "basis document");
+  }
+  if (key_out != nullptr) *key_out = line.substr(4);
+  std::string keyword;
+  long long count = -1;
+  if (!(in >> keyword >> count) || keyword != "columns" || count < 0) {
+    return Status::InvalidArgument(
+        "missing or malformed 'columns <k> ...' line in basis document");
+  }
+  std::vector<size_t> columns;
+  columns.reserve(static_cast<size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    long long column = -1;
+    if (!(in >> column) || column < 0) {
+      return Status::InvalidArgument("basis document has fewer than " +
+                                     std::to_string(count) + " columns");
+    }
+    if (!columns.empty() && static_cast<size_t>(column) <= columns.back()) {
+      return Status::InvalidArgument(
+          "basis columns must be strictly increasing");
+    }
+    columns.push_back(static_cast<size_t>(column));
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::InvalidArgument("trailing content after basis columns");
+  }
+  return columns;
 }
 
 Status SaveExactMechanism(const RationalMatrix& mechanism,

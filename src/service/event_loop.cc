@@ -511,7 +511,7 @@ class EventLoopServer {
     if (!conn.doomed && event.readable && !conn.closing) {
       ReadReady(conn);
     }
-    ProcessBuffered(conn);
+    ProcessBuffered(event.fd);
     Maintain(event.fd);
   }
 
@@ -563,35 +563,50 @@ class EventLoopServer {
   /// Parses as many buffered lines as possible.  Stops when the
   /// connection goes busy (a job was dispatched — its reply must come
   /// back before later lines may run, preserving per-connection order).
-  void ProcessBuffered(Connection& conn) {
-    while (!conn.busy && !conn.doomed && !conn.closing && !draining_) {
-      const size_t newline = conn.inbox.find('\n');
+  ///
+  /// Looks the connection up by fd after every dispatched line: a
+  /// shutdown line triggers BeginDrain, which may close and erase THIS
+  /// connection before control returns here.
+  void ProcessBuffered(int fd) {
+    Connection* conn = FindConn(fd);
+    if (conn == nullptr) return;
+    while (!conn->busy && !conn->doomed && !conn->closing && !draining_) {
+      const size_t newline = conn->inbox.find('\n');
       if (newline == std::string::npos) break;
-      std::string line = conn.inbox.substr(0, newline);
-      conn.inbox.erase(0, newline + 1);
-      HandleLine(conn, line);
+      std::string line = conn->inbox.substr(0, newline);
+      conn->inbox.erase(0, newline + 1);
+      HandleLine(*conn, line);
+      conn = FindConn(fd);
+      if (conn == nullptr) return;
     }
     // The oversized-line error goes out only after every complete line
     // ahead of it was answered.
-    if (conn.oversized && !conn.busy && !conn.doomed && !conn.closing) {
-      QueueResponse(conn,
+    if (conn->oversized && !conn->busy && !conn->doomed && !conn->closing) {
+      QueueResponse(*conn,
                     FormatErrorReply("parse",
                                      Status::InvalidArgument(
                                          "request line exceeds 1 MiB")));
-      conn.inbox.clear();
-      conn.closing = true;
+      conn->inbox.clear();
+      conn->closing = true;
     }
     // A client that half-closes without a trailing newline still sent a
     // complete request; answer it before dropping the connection.
-    if (conn.eof && !conn.busy && !conn.doomed && !conn.closing &&
-        !draining_ && !conn.inbox.empty() &&
-        conn.inbox.find('\n') == std::string::npos) {
-      std::string line = std::move(conn.inbox);
-      conn.inbox.clear();
-      HandleLine(conn, line);
+    if (conn->eof && !conn->busy && !conn->doomed && !conn->closing &&
+        !draining_ && !conn->inbox.empty() &&
+        conn->inbox.find('\n') == std::string::npos) {
+      std::string line = std::move(conn->inbox);
+      conn->inbox.clear();
+      HandleLine(*conn, line);
+      conn = FindConn(fd);
+      if (conn == nullptr) return;
     }
-    if (conn.eof && !conn.busy && conn.inbox.empty()) conn.closing = true;
-    if (draining_) conn.closing = true;
+    if (conn->eof && !conn->busy && conn->inbox.empty()) conn->closing = true;
+    if (draining_) conn->closing = true;
+  }
+
+  Connection* FindConn(int fd) {
+    auto it = conns_.find(fd);
+    return it == conns_.end() ? nullptr : it->second.get();
   }
 
   void HandleLine(Connection& conn, const std::string& line) {
@@ -612,17 +627,30 @@ class EventLoopServer {
       return;
     }
     bool shutdown = false;
+    // cached_only=true: this work was classified as fully cached, but
+    // under eviction that classification can go stale before it executes.
+    // The flag makes the failure mode a transient Unavailable shed (the
+    // client's retry re-classifies — now a miss — and routes through the
+    // executor) instead of a cold solve stalling the I/O thread.
     QueueResponse(conn,
-                  service_.HandleRequest(*request, &conn.window, &shutdown));
+                  service_.HandleRequest(*request, &conn.window, &shutdown,
+                                         /*cached_only=*/true));
     if (shutdown) BeginDrain();
   }
 
   /// True when the request may run a solve: a query (or batch_end) whose
   /// signature set is not fully cached.  Cached-signature work executes
   /// inline on the I/O thread — microseconds — so it can never queue
-  /// behind another connection's slow solve.  Contains() can only flip
-  /// miss -> hit (entries are never evicted), so a stale answer merely
-  /// sends an already-cached batch to the executor, never the reverse.
+  /// behind another connection's slow solve.
+  ///
+  /// Post-eviction contract: Contains() is advisory in BOTH directions.
+  /// A stale false sends already-cached work to the executor (wasted
+  /// hand-off, harmless); a stale true — possible now that the LRU bound
+  /// can evict between this probe and execution — runs the inline path,
+  /// whose cached_only flag degrades the vanished entry to a transient
+  /// Unavailable shed rather than a wrong reply or an inline cold solve.
+  /// Misclassification may cost a re-route or a retry; it can never cost
+  /// correctness or stall the I/O thread.
   bool NeedsExecutor(const ServiceRequest& request,
                      const Connection& conn) const {
     const MechanismCache& cache = service_.cache();
@@ -676,7 +704,7 @@ class EventLoopServer {
     if (!conn.doomed) {
       QueueResponse(conn, done.response);
       if (wheel_ != nullptr) wheel_->Arm(conn.fd, NowMs());
-      ProcessBuffered(conn);  // more lines may already be buffered
+      ProcessBuffered(done.fd);  // more lines may already be buffered
     }
     Maintain(done.fd);
   }

@@ -22,6 +22,9 @@ namespace fs = std::filesystem;
 using SteadyClock = std::chrono::steady_clock;
 
 constexpr char kEntryHeader[] = "geopriv-service-entry v1";
+constexpr char kManifestHeader[] = "geopriv-manifest v1";
+constexpr char kManifestName[] = "manifest";
+constexpr char kQuarantineDir[] = "quarantine";
 
 // Milliseconds left before `deadline`, floored at 1 so a nearly-expired
 // deadline still reaches the per-pivot check instead of rounding to
@@ -32,17 +35,68 @@ int64_t RemainingMs(SteadyClock::time_point deadline) {
   return std::max<int64_t>(1, left.count());
 }
 
-std::string HashFileName(const MechanismSignature& signature) {
+// Stable on-disk identity of an entry: 16 hex digits of the canonical-key
+// hash.  The entry file is "<stem>.entry", its basis "<stem>.basis".
+std::string HashStem(const MechanismSignature& signature) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(
                     SignatureHash(signature.CanonicalKey())));
-  return std::string(buf) + ".entry";
+  return std::string(buf);
 }
 
 bool StructurallyCompatible(const MechanismSignature& a,
                             const MechanismSignature& b) {
   return a.mode == b.mode && a.n == b.n && a.lo == b.lo && a.hi == b.hi;
+}
+
+// Moves a failed-validation file into dir/quarantine/ so it is preserved
+// for inspection but can never be loaded (or re-quarantined) again.  Falls
+// back to deleting it if the rename fails — an unloadable file must not
+// brick every subsequent start.
+void QuarantineFile(const fs::path& dir, const fs::path& path) {
+  std::error_code ec;
+  fs::create_directories(dir / kQuarantineDir, ec);
+  fs::rename(path, dir / kQuarantineDir / path.filename(), ec);
+  if (ec) fs::remove(path, ec);
+}
+
+// The manifest is the authoritative index of live entries:
+//
+//   geopriv-manifest v1
+//   checksum <16 hex digits>
+//   entry <stem>
+//   ...
+//
+// with the checksum covering the entry lines.  A stem present on disk but
+// absent here is debris from a crashed eviction or a crashed publish and
+// must not be loaded; a stem listed here but missing on disk was half-
+// evicted and is skipped.
+Result<std::vector<std::string>> ParseManifest(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    return Status::InvalidArgument("missing 'geopriv-manifest v1' header");
+  }
+  if (!std::getline(in, line) || line.size() != 9 + 16 ||
+      line.compare(0, 9, "checksum ") != 0) {
+    return Status::InvalidArgument("missing 'checksum <16 hex>' line");
+  }
+  const std::string stored = line.substr(9);
+  const std::string body = text.substr(static_cast<size_t>(in.tellg()));
+  if (Fnv1a64Hex(body) != stored) {
+    return Status::InvalidArgument("manifest checksum mismatch");
+  }
+  std::vector<std::string> stems;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.compare(0, 6, "entry ") != 0 || line.size() == 6) {
+      return Status::InvalidArgument("malformed manifest line '" + line +
+                                     "'");
+    }
+    stems.push_back(line.substr(6));
+  }
+  return stems;
 }
 
 }  // namespace
@@ -127,7 +181,8 @@ std::shared_ptr<const ServedMechanism> MechanismCache::Peek(
   auto it = shard.entries.find(signature.CanonicalKey());
   if (it == shard.entries.end()) return nullptr;
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  it->second.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return it->second.entry;
 }
 
 Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
@@ -150,8 +205,10 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
       auto it = shard.entries.find(key);
       if (it != shard.entries.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        it->second.last_used =
+            tick_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (was_hit != nullptr) *was_hit = true;
-        return it->second;
+        return it->second.entry;
       }
       if (shard.in_flight.count(key) == 0) break;
       if (!has_deadline) {
@@ -188,7 +245,8 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
     // same loss, then the smaller key for determinism).  Holding the
     // shared_ptr keeps the seed's basis alive after the lock drops.
     if (signature.mode == ServeMode::kExactOptimal) {
-      for (const auto& [other_key, other] : shard.entries) {
+      for (const auto& [other_key, slot] : shard.entries) {
+        const std::shared_ptr<const ServedMechanism>& other = slot.entry;
         if (!StructurallyCompatible(other->signature, signature)) continue;
         if (other->basis.empty()) continue;
         if (seed_entry == nullptr) {
@@ -238,22 +296,55 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
     }
   }
 
-  std::lock_guard<std::mutex> shard_lock(shard.mu);
-  shard.in_flight.erase(key);
-  pending_solves_.fetch_sub(1, std::memory_order_relaxed);
-  shard.solved.notify_all();
-  if (!solved.ok()) {
-    if (solved.status().IsDeadlineExceeded()) {
-      timeouts_.fetch_add(1, std::memory_order_relaxed);
+  // Persist before publishing: files first, memory second, manifest last.
+  // A crash after the files but before the manifest leaves unmanifested
+  // files the next load removes as debris — the store can only lose the
+  // entry in flight, never serve a half-written one.  Persist failures
+  // degrade the entry to memory-only (the cache is a performance
+  // artifact); the query still succeeds.
+  std::shared_ptr<const ServedMechanism> entry;
+  size_t entry_bytes = 0;
+  if (solved.ok()) {
+    entry = std::make_shared<const ServedMechanism>(std::move(*solved));
+    if (!options_.persist_dir.empty()) {
+      const std::string serialized = SerializeExactMechanismV3(entry->exact);
+      entry_bytes = serialized.size();
+      if (!entry->basis.empty()) {
+        entry_bytes += SerializeBasisDoc(key, entry->basis.basic_columns)
+                           .size();
+      }
+      const Status persisted =
+          PersistEntryFiles(options_.persist_dir, *entry, serialized);
+      (void)persisted;  // memory-only degradation; see comment above
+    } else {
+      entry_bytes = SerializeExactMechanismV3(entry->exact).size();
     }
-    return solved.status();
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  if (solved->warm_started) {
-    warm_starts_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    shard.in_flight.erase(key);
+    pending_solves_.fetch_sub(1, std::memory_order_relaxed);
+    shard.solved.notify_all();
+    if (!solved.ok()) {
+      if (solved.status().IsDeadlineExceeded()) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return solved.status();
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (entry->warm_started) {
+      warm_starts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Slot slot;
+    slot.entry = entry;
+    slot.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    slot.bytes = entry_bytes;
+    shard.entries.emplace(key, std::move(slot));
+    bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
   }
-  auto entry = std::make_shared<const ServedMechanism>(std::move(*solved));
-  shard.entries.emplace(key, entry);
+  if (!options_.persist_dir.empty()) ManifestAdd(HashStem(entry->signature));
+  MaybeEvict();
   return entry;
 }
 
@@ -273,11 +364,131 @@ MechanismCache::Stats MechanismCache::GetStats() const {
   stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.quarantined = quarantined_.load(std::memory_order_relaxed);
+  stats.basis_warm_reloads =
+      basis_warm_reloads_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.entries += shard.entries.size();
   }
   return stats;
+}
+
+Status MechanismCache::PersistEntryFiles(const std::string& dir,
+                                         const ServedMechanism& entry,
+                                         const std::string& serialized) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + dir + "': " + ec.message());
+  }
+  const MechanismSignature& sig = entry.signature;
+  const std::string key = sig.CanonicalKey();
+  const std::string stem = HashStem(sig);
+  // Write-then-rename: a crash mid-write must never leave a torn file
+  // where the loader expects a committed one — torn bytes live only in
+  // "*.tmp", which the next start sweeps.
+  const std::string path = (fs::path(dir) / (stem + ".entry")).string();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open '" + tmp + "'");
+    out << kEntryHeader << "\n"
+        << "key " << key << "\n"
+        << "mode " << ServeModeName(sig.mode) << "\n"
+        << "n " << sig.n << "\n"
+        << "lo " << sig.lo << "\n"
+        << "hi " << sig.hi << "\n"
+        << "loss " << sig.loss << "\n"
+        << "alpha " << sig.alpha.ToString() << "\n";
+    // Crash point between the header and the matrix: an abort here leaves
+    // a torn tmp file on disk — which the next start must sweep, never
+    // load (the flush pins the torn bytes so the harness exercises a real
+    // partial write, not an empty file).
+    out.flush();
+    GEOPRIV_INJECT_FAULT("cache.entry.write");
+    out << serialized;
+    out.flush();
+    if (!out) return Status::Internal("write to '" + tmp + "' failed");
+  }
+  // Crash point between a complete tmp and the publishing rename: the
+  // previous version of the entry (or its absence) must survive intact.
+  GEOPRIV_INJECT_FAULT("cache.entry.rename");
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename '" + tmp + "': " + ec.message());
+  }
+  if (entry.basis.empty()) return Status::OK();
+  const std::string basis_doc = SerializeBasisDoc(key, entry.basis.basic_columns);
+  const std::string basis_path =
+      (fs::path(dir) / (stem + ".basis")).string();
+  const std::string basis_tmp = basis_path + ".tmp";
+  {
+    std::ofstream out(basis_tmp, std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open '" + basis_tmp + "'");
+    const size_t split = basis_doc.find('\n') + 1;
+    out << basis_doc.substr(0, split);
+    out.flush();
+    GEOPRIV_INJECT_FAULT("cache.basis.write");
+    out << basis_doc.substr(split);
+    out.flush();
+    if (!out) {
+      return Status::Internal("write to '" + basis_tmp + "' failed");
+    }
+  }
+  GEOPRIV_INJECT_FAULT("cache.basis.rename");
+  fs::rename(basis_tmp, basis_path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename '" + basis_tmp +
+                            "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status MechanismCache::WriteManifestLocked(
+    const std::string& dir, const std::set<std::string>& stems) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + dir + "': " + ec.message());
+  }
+  std::string body;
+  for (const std::string& stem : stems) body += "entry " + stem + "\n";
+  const std::string path = (fs::path(dir) / kManifestName).string();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open '" + tmp + "'");
+    out << kManifestHeader << "\nchecksum " << Fnv1a64Hex(body) << "\n";
+    // Crash point between the checksum and the entry lines: the torn tmp
+    // (or, if it were ever committed, the checksum mismatch) is what the
+    // loader's quarantine-and-fall-back path exists for.
+    out.flush();
+    GEOPRIV_INJECT_FAULT("cache.manifest.write");
+    out << body;
+    out.flush();
+    if (!out) return Status::Internal("write to '" + tmp + "' failed");
+  }
+  // Crash point between a complete tmp and the rename: the previous
+  // manifest stays authoritative, so files persisted after it are debris
+  // the next load removes — never resurrected entries.
+  GEOPRIV_INJECT_FAULT("cache.manifest.rename");
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename '" + tmp + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+void MechanismCache::ManifestAdd(const std::string& stem) {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  manifest_stems_.insert(stem);
+  const Status written =
+      WriteManifestLocked(options_.persist_dir, manifest_stems_);
+  (void)written;  // a failed commit leaves the new files unmanifested —
+                  // the next load removes them as debris and re-solves
 }
 
 Status MechanismCache::SaveToDirectory(const std::string& dir) const {
@@ -286,49 +497,160 @@ Status MechanismCache::SaveToDirectory(const std::string& dir) const {
   if (ec) {
     return Status::Internal("cannot create '" + dir + "': " + ec.message());
   }
+  std::set<std::string> stems;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [key, entry] : shard.entries) {
-      const MechanismSignature& sig = entry->signature;
-      // Write-then-rename: LoadFromDirectory treats malformed entries as
-      // fatal (by design — a tampered matrix must not load), so a crash
-      // mid-write must never leave a torn file that bricks the next start.
-      const std::string path =
-          (fs::path(dir) / HashFileName(sig)).string();
-      const std::string tmp = path + ".tmp";
-      {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) return Status::NotFound("cannot open '" + tmp + "'");
-        out << kEntryHeader << "\n"
-            << "key " << key << "\n"
-            << "mode " << ServeModeName(sig.mode) << "\n"
-            << "n " << sig.n << "\n"
-            << "lo " << sig.lo << "\n"
-            << "hi " << sig.hi << "\n"
-            << "loss " << sig.loss << "\n"
-            << "alpha " << sig.alpha.ToString() << "\n";
-        // Crash point between the header and the matrix: an abort here
-        // leaves a torn tmp file on disk — which the next start must skip
-        // and clean up, never load (the flush pins the torn bytes so the
-        // harness exercises a real partial write, not an empty file).
-        out.flush();
-        GEOPRIV_INJECT_FAULT("cache.entry.write");
-        out << SerializeExactMechanism(entry->exact);
-        out.flush();
-        if (!out) return Status::Internal("write to '" + tmp + "' failed");
-      }
-      // Crash point between a complete tmp and the publishing rename: the
-      // previous version of the entry (or its absence) must survive intact.
-      GEOPRIV_INJECT_FAULT("cache.entry.rename");
-      std::error_code rename_ec;
-      fs::rename(tmp, path, rename_ec);
-      if (rename_ec) {
-        return Status::Internal("cannot rename '" + tmp +
-                                "': " + rename_ec.message());
+    std::vector<std::shared_ptr<const ServedMechanism>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      snapshot.reserve(shard.entries.size());
+      for (const auto& [key, slot] : shard.entries) {
+        snapshot.push_back(slot.entry);
       }
     }
+    // Files are written outside the shard lock (entry pointers keep the
+    // data alive); hits on this shard stay cheap during a bulk save.
+    for (const auto& entry : snapshot) {
+      GEOPRIV_RETURN_IF_ERROR(PersistEntryFiles(
+          dir, *entry, SerializeExactMechanismV3(entry->exact)));
+      stems.insert(HashStem(entry->signature));
+    }
+  }
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  manifest_stems_.insert(stems.begin(), stems.end());
+  return WriteManifestLocked(dir, manifest_stems_);
+}
+
+namespace {
+
+// Unlinking runs last, after the manifest commit and the in-memory erase:
+// by then the files are unmanifested, so a crash (or an injected failure)
+// anywhere in this loop only leaves debris the next load removes.
+Status UnlinkEvictedFiles(const fs::path& dir,
+                          const std::vector<std::string>& stems) {
+  for (const std::string& stem : stems) {
+    GEOPRIV_INJECT_FAULT("cache.evict.unlink");
+    std::error_code ec;
+    fs::remove(dir / (stem + ".entry"), ec);
+    fs::remove(dir / (stem + ".basis"), ec);
   }
   return Status::OK();
+}
+
+}  // namespace
+
+void MechanismCache::MaybeEvict() {
+  if (options_.max_entries == 0 && options_.max_bytes == 0) return;
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  struct Item {
+    std::shared_ptr<const ServedMechanism> entry;
+    std::string key;
+    std::string struct_key;
+    uint64_t last_used = 0;
+    size_t bytes = 0;
+    size_t shard_index = 0;
+  };
+  std::vector<Item> items;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& [key, slot] : shards_[s].entries) {
+      items.push_back(Item{slot.entry, key,
+                           slot.entry->signature.StructuralKey(),
+                           slot.last_used, slot.bytes, s});
+    }
+  }
+  uint64_t total_bytes = 0;
+  for (const Item& item : items) total_bytes += item.bytes;
+  const auto over = [this](size_t count, uint64_t bytes) {
+    return (options_.max_entries > 0 && count > options_.max_entries) ||
+           (options_.max_bytes > 0 && bytes > options_.max_bytes);
+  };
+  if (!over(items.size(), total_bytes)) return;
+
+  // Pin each structural class's warm-start anchor: the smallest-
+  // denominator alpha (ties: smaller alpha, then smaller canonical key).
+  // Contract alphas negotiated from coarse grids (1/2, 2/5, ...) make the
+  // low-denominator entry the one whose basis seeds the rest of the
+  // class, so it is the entry eviction must never destroy.
+  std::unordered_map<std::string, size_t> anchors;
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto [it, inserted] = anchors.emplace(items[i].struct_key, i);
+    if (inserted) continue;
+    const Rational& cand = items[i].entry->signature.alpha;
+    const Rational& best = items[it->second].entry->signature.alpha;
+    const int denom_cmp = cand.denominator().Compare(best.denominator());
+    const int alpha_cmp = denom_cmp != 0 ? 0 : cand.Compare(best);
+    if (denom_cmp < 0 || (denom_cmp == 0 && alpha_cmp < 0) ||
+        (denom_cmp == 0 && alpha_cmp == 0 &&
+         items[i].key < items[it->second].key)) {
+      it->second = i;
+    }
+  }
+  // A class is as warm as its most recently used member; eviction drains
+  // the coldest class first so one hot family cannot starve another's
+  // warm-start neighborhood, then oldest-first within the class.
+  std::unordered_map<std::string, uint64_t> class_heat;
+  for (const Item& item : items) {
+    uint64_t& heat = class_heat[item.struct_key];
+    heat = std::max(heat, item.last_used);
+  }
+  std::unordered_set<size_t> pinned;
+  for (const auto& [struct_key, index] : anchors) pinned.insert(index);
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (pinned.count(i) == 0) candidates.push_back(i);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](size_t a, size_t b) {
+              const uint64_t heat_a = class_heat[items[a].struct_key];
+              const uint64_t heat_b = class_heat[items[b].struct_key];
+              if (heat_a != heat_b) return heat_a < heat_b;
+              if (items[a].last_used != items[b].last_used) {
+                return items[a].last_used < items[b].last_used;
+              }
+              return items[a].key < items[b].key;
+            });
+  size_t count = items.size();
+  uint64_t bytes = total_bytes;
+  std::vector<size_t> victims;
+  for (const size_t i : candidates) {
+    if (!over(count, bytes)) break;
+    victims.push_back(i);
+    --count;
+    bytes -= items[i].bytes;
+  }
+  if (victims.empty()) return;
+
+  // Commit to disk first: a manifest that no longer lists the victims is
+  // the point of no return.  A crash after it under-deletes (the files
+  // become debris the next load removes); a crash before it changes
+  // nothing — restart can never resurrect an evicted entry.
+  std::vector<std::string> victim_stems;
+  victim_stems.reserve(victims.size());
+  for (const size_t i : victims) {
+    victim_stems.push_back(HashStem(items[i].entry->signature));
+  }
+  if (!options_.persist_dir.empty()) {
+    std::set<std::string> shrunk = manifest_stems_;
+    for (const std::string& stem : victim_stems) shrunk.erase(stem);
+    if (!WriteManifestLocked(options_.persist_dir, shrunk).ok()) {
+      return;  // could not commit: evict nothing, retry at the next publish
+    }
+    manifest_stems_ = std::move(shrunk);
+  }
+  for (const size_t i : victims) {
+    Shard& shard = shards_[items[i].shard_index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(items[i].key);
+    if (it == shard.entries.end()) continue;
+    bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    shard.entries.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!options_.persist_dir.empty()) {
+    const Status unlinked =
+        UnlinkEvictedFiles(fs::path(options_.persist_dir), victim_stems);
+    (void)unlinked;  // failures leave unmanifested debris, removed on load
+  }
 }
 
 namespace {
@@ -339,8 +661,12 @@ namespace {
 // Every field extraction is checked: a truncated "alpha" line defaulting
 // to 0 would make the load-time alpha-DP re-validation vacuous (any
 // non-negative matrix is 0-DP), so missing-or-malformed fields are
-// errors, never defaults.
-Result<MechanismSignature> ParseEntryHeader(std::istringstream& in) {
+// errors, never defaults.  The embedded canonical key is returned through
+// `stored_key` so the caller can cross-check it against the key the
+// fields re-derive — a bit flip in any header field changes one side of
+// that comparison but not the other.
+Result<MechanismSignature> ParseEntryHeader(std::istringstream& in,
+                                            std::string* stored_key) {
   std::string line;
   if (!std::getline(in, line) || line != kEntryHeader) {
     return Status::InvalidArgument("missing '" + std::string(kEntryHeader) +
@@ -355,7 +681,7 @@ Result<MechanismSignature> ParseEntryHeader(std::istringstream& in) {
     fields >> field;
     bool parsed = true;
     if (field == "key") {
-      continue;  // informational; identity is re-derived from the fields
+      parsed = static_cast<bool>(fields >> *stored_key);
     } else if (field == "mode") {
       parsed = static_cast<bool>(fields >> mode_name);
     } else if (field == "n") {
@@ -387,23 +713,112 @@ Result<MechanismSignature> ParseEntryHeader(std::istringstream& in) {
                                     mode);
 }
 
+// Parses and fully re-validates one entry file.  Any failure means the
+// file must be quarantined, so everything that can reject a byte of it —
+// header fields, the key cross-check, the v2/v3 mechanism block (and its
+// v3 checksum), shape, and the alpha-DP claim — funnels through here.
+Result<ServedMechanism> ParseAndValidateEntry(const std::string& text) {
+  std::istringstream in(text);
+  std::string stored_key;
+  GEOPRIV_ASSIGN_OR_RETURN(MechanismSignature signature,
+                           ParseEntryHeader(in, &stored_key));
+  if (stored_key.empty()) {
+    return Status::InvalidArgument("entry header is missing its key line");
+  }
+  if (signature.CanonicalKey() != stored_key) {
+    return Status::InvalidArgument(
+        "entry key line does not match its header fields (stored '" +
+        stored_key + "', derived '" + signature.CanonicalKey() + "')");
+  }
+  // Everything after the header fields is one io v2/v3 document.
+  if (in.tellg() < 0) {
+    return Status::InvalidArgument("missing mechanism block");
+  }
+  const std::string rest(text.substr(static_cast<size_t>(in.tellg())));
+  GEOPRIV_ASSIGN_OR_RETURN(RationalMatrix exact, ParseExactMechanism(rest));
+  if (exact.rows() != static_cast<size_t>(signature.n) + 1) {
+    return Status::InvalidArgument("matrix size does not match n");
+  }
+
+  // Safety re-validation: the signature's alpha-DP claim is what the
+  // ledger charges for, so a tampered or corrupted matrix must never be
+  // served under it (a file swapped for the identity matrix would turn
+  // the service into a plaintext oracle billed at alpha).  Geometric
+  // entries must equal the closed form exactly; LP entries must satisfy
+  // Definition 2 exactly (a tampered-but-DP matrix can only cost
+  // utility, never privacy).
+  if (signature.mode == ServeMode::kGeometric) {
+    GEOPRIV_ASSIGN_OR_RETURN(
+        RationalMatrix expected,
+        GeometricMechanism::BuildExactMatrix(signature.n, signature.alpha));
+    if (!(exact == expected)) {
+      return Status::InvalidArgument(
+          "matrix is not G_{n,alpha} for its signature");
+    }
+  } else {
+    const size_t size = exact.rows();
+    for (size_t i = 0; i + 1 < size; ++i) {
+      for (size_t r = 0; r < size; ++r) {
+        const Rational& a = exact.At(i, r);
+        const Rational& b = exact.At(i + 1, r);
+        if (a < signature.alpha * b || b < signature.alpha * a) {
+          return Status::InvalidArgument(
+              "matrix violates the alpha-DP level its signature claims");
+        }
+      }
+    }
+  }
+
+  ServedMechanism entry;
+  entry.signature = signature;
+  GEOPRIV_ASSIGN_OR_RETURN(ExactLossFunction loss, signature.ResolveLoss());
+  GEOPRIV_ASSIGN_OR_RETURN(SideInformation side, signature.ResolveSide());
+  GEOPRIV_ASSIGN_OR_RETURN(Rational worst,
+                           ExactWorstCaseLoss(exact, loss, side));
+  entry.loss = std::move(worst);
+  GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism, Mechanism::FromExact(exact));
+  GEOPRIV_RETURN_IF_ERROR(mechanism.PrepareSamplers());
+  entry.exact = std::move(exact);
+  entry.mechanism = std::move(mechanism);
+  return entry;
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open '" + path.string() + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
 
-Result<int> MechanismCache::LoadFromDirectory(const std::string& dir) {
+Result<MechanismCache::LoadReport> MechanismCache::LoadFromDirectory(
+    const std::string& dir) {
+  LoadReport report;
   std::error_code ec;
-  if (!fs::is_directory(dir, ec)) return 0;
-  int loaded = 0;
-  std::vector<fs::path> paths;
+  if (!fs::is_directory(dir, ec)) return report;
+  const fs::path root(dir);
+
+  std::set<std::string> entry_stems;
+  std::set<std::string> basis_stems;
   std::vector<fs::path> stale_tmps;
   for (const auto& dirent : fs::directory_iterator(dir, ec)) {
-    if (dirent.path().extension() == ".entry") paths.push_back(dirent.path());
-    // A leftover "*.entry.tmp" is a write that never reached its rename —
-    // a crash mid-persist.  Its content is untrusted (possibly torn), the
-    // committed ".entry" beside it (if any) is intact; remove the debris
-    // so it cannot accumulate or confuse a later inspection.
-    if (dirent.path().extension() == ".tmp" &&
-        dirent.path().stem().extension() == ".entry") {
-      stale_tmps.push_back(dirent.path());
+    const fs::path& path = dirent.path();
+    if (path.extension() == ".entry") {
+      entry_stems.insert(path.stem().string());
+    } else if (path.extension() == ".basis") {
+      basis_stems.insert(path.stem().string());
+    } else if (path.extension() == ".tmp") {
+      // A leftover "*.tmp" is a write that never reached its rename — a
+      // crash mid-persist.  Its content is untrusted (possibly torn); the
+      // committed file beside it (if any) is intact.  Sweep our own kinds
+      // only — the ledger sweeps its own tmp.
+      const fs::path inner = path.stem();
+      if (inner.extension() == ".entry" || inner.extension() == ".basis" ||
+          inner.string() == kManifestName) {
+        stale_tmps.push_back(path);
+      }
     }
   }
   if (ec) {
@@ -412,88 +827,132 @@ Result<int> MechanismCache::LoadFromDirectory(const std::string& dir) {
   for (const fs::path& tmp : stale_tmps) {
     std::error_code remove_ec;
     fs::remove(tmp, remove_ec);
+    ++report.debris_removed;
   }
-  std::sort(paths.begin(), paths.end());
-  for (const fs::path& path : paths) {
-    std::ifstream file(path);
-    if (!file) return Status::NotFound("cannot open '" + path.string() + "'");
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    std::istringstream in(buffer.str());
 
-    Result<MechanismSignature> signature = ParseEntryHeader(in);
-    if (!signature.ok()) {
-      return Status::InvalidArgument(path.string() + ": " +
-                                     signature.status().message());
-    }
-    // Everything after the header fields is one io-v2 document.
-    if (in.tellg() < 0) {
-      return Status::InvalidArgument(path.string() +
-                                     ": missing v2 mechanism block");
-    }
-    std::string rest(buffer.str().substr(static_cast<size_t>(in.tellg())));
-    Result<RationalMatrix> exact = ParseExactMechanism(rest);
-    if (!exact.ok()) {
-      return Status::InvalidArgument(path.string() + ": " +
-                                     exact.status().message());
-    }
-    if (exact->rows() != static_cast<size_t>(signature->n) + 1) {
-      return Status::InvalidArgument(path.string() +
-                                     ": matrix size does not match n");
-    }
-
-    // Safety re-validation: the signature's alpha-DP claim is what the
-    // ledger charges for, so a tampered or corrupted matrix must never be
-    // served under it (a file swapped for the identity matrix would turn
-    // the service into a plaintext oracle billed at alpha).  Geometric
-    // entries must equal the closed form exactly; LP entries must satisfy
-    // Definition 2 exactly (a tampered-but-DP matrix can only cost
-    // utility, never privacy).
-    if (signature->mode == ServeMode::kGeometric) {
-      GEOPRIV_ASSIGN_OR_RETURN(
-          RationalMatrix expected,
-          GeometricMechanism::BuildExactMatrix(signature->n,
-                                               signature->alpha));
-      if (!(*exact == expected)) {
-        return Status::InvalidArgument(
-            path.string() + ": matrix is not G_{n,alpha} for its signature");
-      }
+  // The manifest decides what is live.  A corrupt or torn manifest is
+  // quarantined and the load falls back to adopting every entry that
+  // passes validation — over-loading is safe (every adopted entry is
+  // still fully re-validated), silently dropping the whole store is not.
+  // No manifest at all means a pre-manifest store: adopt it the same way.
+  std::set<std::string> live;
+  bool adopt_all = false;
+  const fs::path manifest_path = root / kManifestName;
+  if (fs::exists(manifest_path, ec)) {
+    Result<std::string> text = ReadFile(manifest_path);
+    Result<std::vector<std::string>> stems =
+        text.ok() ? ParseManifest(*text)
+                  : Result<std::vector<std::string>>(text.status());
+    if (stems.ok()) {
+      live.insert(stems->begin(), stems->end());
     } else {
-      const size_t size = exact->rows();
-      for (size_t i = 0; i + 1 < size; ++i) {
-        for (size_t r = 0; r < size; ++r) {
-          const Rational& a = exact->At(i, r);
-          const Rational& b = exact->At(i + 1, r);
-          if (a < signature->alpha * b || b < signature->alpha * a) {
-            return Status::InvalidArgument(
-                path.string() +
-                ": matrix violates the alpha-DP level its signature claims");
-          }
-        }
+      QuarantineFile(root, manifest_path);
+      ++report.quarantined;
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      adopt_all = true;
+    }
+  } else {
+    adopt_all = true;
+  }
+  if (adopt_all) live = entry_stems;
+
+  // An on-disk file the manifest does not list is debris: either a crash
+  // landed between persisting it and committing the manifest (the entry
+  // was never published to a client as durable) or between evicting it
+  // from the manifest and unlinking it.  Both must not load — the second
+  // would resurrect an evicted entry.
+  if (!adopt_all) {
+    for (const std::string& stem : entry_stems) {
+      if (live.count(stem) != 0) continue;
+      std::error_code remove_ec;
+      fs::remove(root / (stem + ".entry"), remove_ec);
+      ++report.debris_removed;
+    }
+    for (const std::string& stem : basis_stems) {
+      if (live.count(stem) != 0) continue;
+      std::error_code remove_ec;
+      fs::remove(root / (stem + ".basis"), remove_ec);
+      ++report.debris_removed;
+    }
+  }
+
+  std::set<std::string> adopted;
+  for (const std::string& stem : live) {
+    const fs::path path = root / (stem + ".entry");
+    Result<std::string> text = ReadFile(path);
+    if (!text.ok()) continue;  // manifested-but-missing: a half-done evict
+
+    Result<ServedMechanism> parsed = ParseAndValidateEntry(*text);
+    if (!parsed.ok()) {
+      QuarantineFile(root, path);
+      ++report.quarantined;
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      // The basis describes a mechanism that no longer loads; without its
+      // entry it is dead weight, not evidence — remove, don't quarantine,
+      // so the quarantined count stays one per corrupted artifact.
+      if (basis_stems.count(stem) != 0) {
+        std::error_code remove_ec;
+        fs::remove(root / (stem + ".basis"), remove_ec);
+        ++report.debris_removed;
       }
+      continue;
     }
 
-    ServedMechanism entry;
-    entry.signature = *signature;
-    GEOPRIV_ASSIGN_OR_RETURN(ExactLossFunction loss, signature->ResolveLoss());
-    GEOPRIV_ASSIGN_OR_RETURN(SideInformation side, signature->ResolveSide());
-    GEOPRIV_ASSIGN_OR_RETURN(Rational worst,
-                             ExactWorstCaseLoss(*exact, loss, side));
-    entry.loss = std::move(worst);
-    GEOPRIV_ASSIGN_OR_RETURN(Mechanism mechanism,
-                             Mechanism::FromExact(*exact));
-    GEOPRIV_RETURN_IF_ERROR(mechanism.PrepareSamplers());
-    entry.exact = std::move(*exact);
-    entry.mechanism = std::move(mechanism);
+    ServedMechanism entry = std::move(*parsed);
+    size_t slot_bytes = text->size();
+    if (basis_stems.count(stem) != 0) {
+      const fs::path basis_path = root / (stem + ".basis");
+      Result<std::string> basis_text = ReadFile(basis_path);
+      std::string basis_key;
+      Result<std::vector<size_t>> columns =
+          basis_text.ok()
+              ? ParseBasisDoc(*basis_text, &basis_key)
+              : Result<std::vector<size_t>>(basis_text.status());
+      if (columns.ok() && basis_key == entry.signature.CanonicalKey()) {
+        // A restored basis re-arms warm starts; a bad one could at worst
+        // cost a wasted warm attempt (SolveLocked falls back to cold),
+        // but the checksum means we never even try a corrupt one.
+        entry.basis.basic_columns = std::move(*columns);
+        slot_bytes += basis_text->size();
+        ++report.basis_reloads;
+        basis_warm_reloads_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        QuarantineFile(root, basis_path);
+        ++report.quarantined;
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
 
     Shard& shard = ShardFor(entry.signature);
     const std::string key = entry.signature.CanonicalKey();
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.entries[key] =
-        std::make_shared<const ServedMechanism>(std::move(entry));
-    ++loaded;
+    Slot slot;
+    slot.entry = std::make_shared<const ServedMechanism>(std::move(entry));
+    slot.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    slot.bytes = slot_bytes;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) {
+        bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+      }
+      shard.entries[key] = std::move(slot);
+    }
+    bytes_.fetch_add(slot_bytes, std::memory_order_relaxed);
+    adopted.insert(stem);
+    ++report.loaded;
   }
-  return loaded;
+
+  // Rewrite the manifest to exactly the set being served, so quarantined
+  // and skipped stems stop being listed and an adopted pre-manifest store
+  // becomes a manifested one.
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    manifest_stems_.insert(adopted.begin(), adopted.end());
+    const Status written = WriteManifestLocked(dir, manifest_stems_);
+    (void)written;  // best effort; the files themselves are committed
+  }
+  MaybeEvict();
+  return report;
 }
 
 }  // namespace geopriv

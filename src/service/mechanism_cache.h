@@ -18,9 +18,27 @@
 //
 // Entries are immutable once published and handed out as
 // shared_ptr<const ServedMechanism>, so readers never hold a lock while
-// sampling.  SaveToDirectory/LoadFromDirectory persist the exact matrices
-// in the io v2 format: a reloaded entry is bit-identical (operator==) to
-// the solve that produced it.
+// sampling.
+//
+// The cache doubles as a *durable, bounded* store:
+//
+//  - Durability.  With CacheOptions::persist_dir set, every newly solved
+//    entry is persisted at publish time — the exact matrix in the
+//    checksummed io v3 format, the optimal LP basis as a checksummed
+//    basis document — so a restarted daemon serves the same hits and
+//    warm-starts misses exactly as the live cache did.  A write-then-
+//    rename manifest indexes the live entries; restart never resurrects
+//    an evicted file or loads a half-deleted one.  Reloaded entries are
+//    bit-identical (operator==) to the solves that produced them.
+//  - Integrity.  Every persisted artifact carries an FNV-1a-64 checksum.
+//    On load, a corrupt, torn or claim-violating file is *quarantined*
+//    (moved to a quarantine/ subdir, counted, re-solved fresh on the next
+//    miss) — never served, never fatal to the load.
+//  - Bounds.  CacheOptions::max_entries / max_bytes cap the store with
+//    LRU eviction that respects structural shards: victims come from the
+//    coldest compatibility class first, and the warm-start anchor of each
+//    class (the smallest-denominator alpha) is pinned so eviction never
+//    destroys the seeds that make misses cheap.
 
 #ifndef GEOPRIV_SERVICE_MECHANISM_CACHE_H_
 #define GEOPRIV_SERVICE_MECHANISM_CACHE_H_
@@ -30,6 +48,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -72,6 +91,17 @@ struct CacheOptions {
   /// shed with Status::Unavailable instead of joining the convoy.  0
   /// means unbounded (the historical behavior).  Hits are never shed.
   size_t max_pending = 0;
+  /// When non-empty, each newly solved entry (and its basis) is persisted
+  /// here at publish time and the manifest is updated, so a SIGKILL'd
+  /// daemon loses at most the solve in flight.  Persist failures degrade
+  /// the entry to memory-only (the cache is a performance artifact, not a
+  /// correctness one); they never fail the query.
+  std::string persist_dir;
+  /// LRU bounds; 0 means unbounded.  max_entries is a soft bound: the
+  /// per-class warm-start anchors are pinned, so the store never shrinks
+  /// below one entry per structural compatibility class.
+  size_t max_entries = 0;
+  size_t max_bytes = 0;
 };
 
 class MechanismCache {
@@ -110,10 +140,13 @@ class MechanismCache {
   std::shared_ptr<const ServedMechanism> Peek(
       const MechanismSignature& signature);
 
-  /// Stats-neutral presence probe (no hit recorded, no solve, no wait).
-  /// Entries are never evicted, so a true answer stays true — the event
-  /// loop relies on that to classify a decoded batch as cached-only work
-  /// it can execute inline instead of queueing behind slow solves.
+  /// Stats-neutral presence probe (no hit recorded, no solve, no wait,
+  /// no LRU touch).  The answer is advisory only: under max_entries /
+  /// max_bytes an entry can be evicted between this probe and the lookup
+  /// it advised.  The event loop uses it to classify a decoded batch as
+  /// cached-only work — the post-eviction contract is that
+  /// misclassification may cost a re-route or a shed, never a wrong
+  /// reply or an inline cold solve (see event_loop.cc).
   bool Contains(const MechanismSignature& signature) const;
 
   /// Solves `signature` cold, bypassing the cache in both directions
@@ -129,6 +162,10 @@ class MechanismCache {
     uint64_t entries = 0;
     uint64_t shed = 0;          ///< misses rejected by the admission cap
     uint64_t timeouts = 0;      ///< calls that hit their deadline
+    uint64_t bytes = 0;         ///< serialized size of all live entries
+    uint64_t evictions = 0;     ///< entries removed by the LRU bound
+    uint64_t quarantined = 0;   ///< corrupt files moved to quarantine/
+    uint64_t basis_warm_reloads = 0;  ///< bases restored from disk on load
   };
   Stats GetStats() const;
 
@@ -138,24 +175,50 @@ class MechanismCache {
     return pending_solves_.load(std::memory_order_relaxed);
   }
 
-  /// Persists every entry to `dir` (created if missing), one io-v2 file
-  /// per entry named by the stable signature hash.  Existing entry files
-  /// are overwritten; foreign files are left alone.
+  /// Persists every entry to `dir` (created if missing): one checksummed
+  /// io-v3 entry file per entry named by the stable signature hash, one
+  /// basis document per LP entry with a non-empty basis, and a rewritten
+  /// manifest.  Existing files are overwritten; foreign files are left
+  /// alone.  Idempotent over entries already persisted at publish time.
   Status SaveToDirectory(const std::string& dir) const;
 
-  /// Loads every "*.entry" file under `dir` into the cache; returns the
-  /// number loaded.  Loaded entries carry no LP basis (a basis cannot be
-  /// reconstructed from the matrix), so they serve hits but do not seed
-  /// warm starts.  Malformed files fail the load; a missing directory
-  /// loads nothing.
-  Result<int> LoadFromDirectory(const std::string& dir);
+  /// What LoadFromDirectory found.  `quarantined` and `basis_reloads`
+  /// also accumulate into GetStats().
+  struct LoadReport {
+    int loaded = 0;         ///< entries now serving from this load
+    int quarantined = 0;    ///< corrupt/claim-violating files quarantined
+    int basis_reloads = 0;  ///< entries whose warm-start basis survived
+    int debris_removed = 0;  ///< stale *.tmp and unmanifested files removed
+  };
+
+  /// Loads the manifested entries under `dir` into the cache.  A corrupt,
+  /// torn or claim-violating entry/basis/manifest file is moved to
+  /// `dir`/quarantine/ and counted — never served, never fatal.  A
+  /// manifested-but-missing entry (a crash mid-eviction) is skipped; an
+  /// unmanifested entry or basis file (a crash between persist and
+  /// manifest commit, or mid-eviction unlink) is removed as debris so an
+  /// evicted entry can never resurrect.  A directory with entries but no
+  /// manifest (written before manifests existed) loads every valid entry
+  /// and adopts it.  Stale "*.tmp" files are swept.  After a successful
+  /// load the manifest is rewritten to match the loaded set.  A missing
+  /// directory loads nothing.
+  Result<LoadReport> LoadFromDirectory(const std::string& dir);
 
  private:
+  /// One published entry plus its LRU bookkeeping.  The entry itself
+  /// stays immutable and shared; recency and size live in the slot so
+  /// hits can bump `last_used` under the shard lock without touching the
+  /// shared object.
+  struct Slot {
+    std::shared_ptr<const ServedMechanism> entry;
+    uint64_t last_used = 0;  ///< global LRU tick at last hit/publish
+    size_t bytes = 0;        ///< serialized (entry + basis) size on disk
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable solved;  ///< signaled when an in-flight key lands
-    std::unordered_map<std::string, std::shared_ptr<const ServedMechanism>>
-        entries;
+    std::unordered_map<std::string, Slot> entries;
     std::unordered_set<std::string> in_flight;  ///< keys being solved now
   };
 
@@ -169,6 +232,27 @@ class MechanismCache {
                                       const LpBasis* warm_seed,
                                       int64_t deadline_ms) const;
 
+  /// Writes `entry`'s files under `dir` write-then-rename: the io-v3
+  /// entry document (with `serialized` as its mechanism block) and, for a
+  /// non-empty basis, the basis document.
+  Status PersistEntryFiles(const std::string& dir,
+                           const ServedMechanism& entry,
+                           const std::string& serialized) const;
+
+  /// Rewrites `dir`/manifest from `stems` write-then-rename.  Caller must
+  /// hold maintenance_mu_.
+  Status WriteManifestLocked(const std::string& dir,
+                             const std::set<std::string>& stems) const;
+
+  /// Adds `stem` to the live set and commits the manifest (best effort).
+  void ManifestAdd(const std::string& stem);
+
+  /// Enforces max_entries/max_bytes: picks victims from the coldest
+  /// structural class first, pins each class's warm-start anchor, commits
+  /// the shrunken manifest to disk *before* erasing from memory or
+  /// unlinking files (so a crash can only under-delete, never resurrect).
+  void MaybeEvict();
+
   CacheOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // shared by every miss solve
   mutable std::timed_mutex solve_mu_;  // serializes solves / guards pool_
@@ -179,6 +263,15 @@ class MechanismCache {
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> timeouts_{0};
   std::atomic<size_t> pending_solves_{0};
+  std::atomic<uint64_t> tick_{0};   // global LRU clock
+  std::atomic<uint64_t> bytes_{0};  // serialized size of live entries
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> quarantined_{0};
+  std::atomic<uint64_t> basis_warm_reloads_{0};
+  /// Serializes eviction and manifest commits; guards manifest_stems_.
+  /// Lock order: maintenance_mu_ before any shard.mu, never the reverse.
+  mutable std::mutex maintenance_mu_;
+  mutable std::set<std::string> manifest_stems_;  ///< live entry file stems
 };
 
 }  // namespace geopriv

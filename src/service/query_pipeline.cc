@@ -17,6 +17,12 @@ QueryPipeline::QueryPipeline(MechanismCache* cache, BudgetLedger* ledger,
 
 std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     const std::vector<ServiceQuery>& queries) {
+  return ExecuteBatch(queries, /*cached_only_override=*/false);
+}
+
+std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
+    const std::vector<ServiceQuery>& queries, bool cached_only_override) {
+  const bool cached_only = options_.cached_only || cached_only_override;
   std::vector<ServiceReply> replies(queries.size());
 
   // Stage 1 — group by canonical signature and resolve each group through
@@ -92,15 +98,21 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     // and under max_batch_solves only the first K miss groups (in the
     // deterministic solve order above) are admitted.  Shed groups answer
     // Unavailable with a backoff hint; cached service above is untouched.
-    if (options_.cached_only ||
+    // The per-call override is the event loop's eviction race showing up
+    // here: work classified as cached a moment ago missed after all, and
+    // the retry (off the I/O thread) is the place to solve it.
+    if (cached_only ||
         (options_.max_batch_solves > 0 &&
          batch_solves >= options_.max_batch_solves)) {
       group.cache = "shed";
       group.status = Status::Unavailable(
-          options_.cached_only
-              ? "service is in cached-only degraded mode; signature is not "
-                "cached"
-              : "batch solve budget exhausted; retry later");
+          cached_only_override
+              ? "signature is no longer cached (evicted since "
+                "classification); retry to solve it"
+              : options_.cached_only
+                    ? "service is in cached-only degraded mode; signature is "
+                      "not cached"
+                    : "batch solve budget exhausted; retry later");
       continue;
     }
     // The group's deadline: the laxest among its members (one solve serves

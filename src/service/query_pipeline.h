@@ -118,6 +118,16 @@ class QueryPipeline {
   std::vector<ServiceReply> ExecuteBatch(
       const std::vector<ServiceQuery>& queries);
 
+  /// Same, with a per-call cached-only override (effective mode is
+  /// options().cached_only || cached_only_override).  The event loop sets
+  /// the override when executing work it classified as fully cached on
+  /// the I/O thread: if an entry was evicted between classification and
+  /// execution, the miss is shed as transient Unavailable — the client's
+  /// retry re-routes through the executor — instead of cold-solving
+  /// inline or stalling the loop.
+  std::vector<ServiceReply> ExecuteBatch(
+      const std::vector<ServiceQuery>& queries, bool cached_only_override);
+
  private:
   MechanismCache* cache_;
   BudgetLedger* ledger_;

@@ -23,6 +23,24 @@
 
 namespace geopriv {
 
+namespace {
+
+CacheOptions MakeCacheOptions(const ServiceOptions& options) {
+  CacheOptions cache;
+  cache.shards = options.shards;
+  cache.threads = options.threads;
+  cache.solver = options.solver;
+  cache.max_pending = options.max_pending;
+  // The cache persists its own entries at publish time; the service's
+  // Persist() only needs to flush the ledger.
+  cache.persist_dir = options.persist_dir;
+  cache.max_entries = options.max_entries;
+  cache.max_bytes = options.max_bytes;
+  return cache;
+}
+
+}  // namespace
+
 // The cache (solve pool) and pipeline (sampling pool) each own a worker
 // pool on purpose: ThreadPool is not reentrant, and while THIS service
 // drives them strictly sequentially, both components are public API that
@@ -31,8 +49,7 @@ namespace geopriv {
 // on a condition variable and cost no CPU.
 MechanismService::MechanismService(ServiceOptions options)
     : options_(std::move(options)),
-      cache_(CacheOptions{options_.shards, options_.threads,
-                          options_.solver, options_.max_pending}),
+      cache_(MakeCacheOptions(options_)),
       ledger_(options_.budget_alpha),
       pipeline_(&cache_, &ledger_,
                 PipelineOptions{options_.threads, /*max_batch_solves=*/0,
@@ -131,8 +148,9 @@ Status ParseLedger(std::istream& in, BudgetLedger* ledger) {
 
 Result<int> MechanismService::LoadPersisted() {
   if (options_.persist_dir.empty()) return 0;
-  GEOPRIV_ASSIGN_OR_RETURN(int loaded,
+  GEOPRIV_ASSIGN_OR_RETURN(MechanismCache::LoadReport report,
                            cache_.LoadFromDirectory(options_.persist_dir));
+  const int loaded = report.loaded;
   const std::string path = options_.persist_dir + "/" + kLedgerFile;
   // A leftover .tmp is an uncommitted rewrite from a crash mid-persist.
   // The batch it described never replied (replies only go out after the
@@ -197,7 +215,9 @@ Status MechanismService::PersistLedgerLocked() {
 Status MechanismService::Persist() {
   std::lock_guard<std::mutex> lock(persist_mu_);
   if (options_.persist_dir.empty()) return Status::OK();
-  GEOPRIV_RETURN_IF_ERROR(cache_.SaveToDirectory(options_.persist_dir));
+  // Cache entries are already durable: each one persisted (entry, basis,
+  // manifest) when it was published.  Re-writing them here would only
+  // double the shutdown I/O, so shutdown flushes the ledger alone.
   return PersistLedgerLocked();
 }
 
@@ -219,7 +239,8 @@ std::string MechanismService::HandleLine(const std::string& line,
 
 std::string MechanismService::HandleRequest(const ServiceRequest& request,
                                             BatchWindow* window,
-                                            bool* shutdown) {
+                                            bool* shutdown,
+                                            bool cached_only) {
   if (shutdown != nullptr) *shutdown = false;
   switch (request.op) {
     case ServiceOp::kPing:
@@ -250,7 +271,11 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
       std::ostringstream out;
       out << "{\"op\":\"stats\",\"ok\":true,\"entries\":" << stats.entries
           << ",\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
-          << ",\"warm_starts\":" << stats.warm_starts << "}";
+          << ",\"warm_starts\":" << stats.warm_starts
+          << ",\"bytes\":" << stats.bytes
+          << ",\"evictions\":" << stats.evictions
+          << ",\"quarantined\":" << stats.quarantined
+          << ",\"basis_warm_reloads\":" << stats.basis_warm_reloads << "}";
       return out.str();
     }
 
@@ -286,7 +311,8 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
       window->open = false;
       std::vector<ServiceQuery> batch = std::move(window->pending);
       window->pending.clear();
-      const std::vector<ServiceReply> replies = pipeline_.ExecuteBatch(batch);
+      const std::vector<ServiceReply> replies =
+          pipeline_.ExecuteBatch(batch, cached_only);
       Status persisted = PersistLedgerIfCharged(replies);
       if (!persisted.ok()) {
         // The charges happened but could not be made durable: withhold the
@@ -325,7 +351,7 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
            std::to_string(window->pending.size() - 1) + "}";
   }
   const std::vector<ServiceReply> replies =
-      pipeline_.ExecuteBatch({request.query});
+      pipeline_.ExecuteBatch({request.query}, cached_only);
   Status persisted = PersistLedgerIfCharged(replies);
   if (!persisted.ok()) return FormatErrorReply("persist", persisted);
   return FormatQueryReply(request.query, replies.front());

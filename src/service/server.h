@@ -58,6 +58,10 @@ struct ServiceOptions {
   /// Solve-admission bound passed to the cache: at most this many solves
   /// may be pending at once before further misses are shed.  0 = unbounded.
   size_t max_pending = 0;
+  /// Cache LRU bounds (CacheOptions::max_entries/max_bytes); 0 = unbounded.
+  /// Entry count is a soft bound: per-class warm-start anchors stay pinned.
+  size_t max_entries = 0;
+  size_t max_bytes = 0;
   /// Backoff hint attached to shed (Unavailable) replies, milliseconds.
   int64_t retry_after_ms = 1000;
   /// TCP transport: drop a client that sends nothing for this long.
@@ -110,8 +114,15 @@ class MechanismService {
   /// The parsed-request entry point the event loop uses: it parses lines
   /// itself (to classify cached-only work), then executes through here so
   /// request semantics can never drift between transports.
+  ///
+  /// `cached_only` is the event loop's inline-execution guard: work it
+  /// classified as fully cached runs on the I/O thread with the flag set,
+  /// so if an entry was evicted between classification and execution the
+  /// miss is shed as transient Unavailable (the client's retry re-routes
+  /// through the executor) instead of cold-solving on the I/O thread —
+  /// and never answered with the wrong mechanism.
   std::string HandleRequest(const ServiceRequest& request, BatchWindow* window,
-                            bool* shutdown);
+                            bool* shutdown, bool cached_only = false);
 
   /// Discards the default window's open batch (buffered queries are
   /// dropped uncharged).  Transports call this when a client disconnects
@@ -120,9 +131,13 @@ class MechanismService {
   /// NEXT client's batch_end.
   void ResetBatch() { default_window_.Reset(); }
 
-  /// Loads persisted cache entries (no-op without persist_dir).
+  /// Loads persisted cache entries and the ledger (no-op without
+  /// persist_dir); returns the number of entries loaded.  Corrupt cache
+  /// files are quarantined, not fatal (details in cache().GetStats());
+  /// a corrupt ledger IS fatal — it is the budget floor's memory.
   Result<int> LoadPersisted();
-  /// Writes cache entries back (no-op without persist_dir).
+  /// Flushes durable state (no-op without persist_dir).  Cache entries
+  /// persist continuously at publish time, so this is the ledger rewrite.
   Status Persist();
 
   MechanismCache& cache() { return cache_; }

@@ -23,6 +23,12 @@ void RegisterServiceFlags(ArgParser* parser, ServiceFlags* flags) {
   parser->AddInt64("max-pending", &flags->max_pending, 0, 1 << 20,
                    "max concurrently pending solves before shedding; "
                    "0 = unbounded");
+  parser->AddInt64("max-entries", &flags->max_entries, 0, INT64_C(1) << 40,
+                   "cache LRU bound on entry count (soft: per-class "
+                   "warm-start anchors stay pinned); 0 = unbounded");
+  parser->AddInt64("max-bytes", &flags->max_bytes, 0, INT64_C(1) << 50,
+                   "cache LRU bound on serialized entry bytes; "
+                   "0 = unbounded");
   parser->AddInt64("retry-after-ms", &flags->retry_after_ms, 0, 600000,
                    "backoff hint attached to shed replies");
   parser->AddInt64("idle-timeout-ms", &flags->idle_timeout_ms, 0, 86400000,
@@ -43,6 +49,8 @@ ServiceOptions ToServiceOptions(const ServiceFlags& flags) {
   options.persist_dir = flags.persist;
   options.default_deadline_ms = flags.deadline_ms;
   options.max_pending = static_cast<size_t>(flags.max_pending);
+  options.max_entries = static_cast<size_t>(flags.max_entries);
+  options.max_bytes = static_cast<size_t>(flags.max_bytes);
   options.retry_after_ms = flags.retry_after_ms;
   options.idle_timeout_ms = flags.idle_timeout_ms;
   options.cached_only = flags.cached_only;

@@ -30,6 +30,8 @@ struct ServiceFlags {
   std::string fault;          ///< --fault: injection spec (testing only)
   int64_t deadline_ms = 0;    ///< --deadline-ms: default solve deadline
   int64_t max_pending = 0;    ///< --max-pending: solve admission bound
+  int64_t max_entries = 0;    ///< --max-entries: cache LRU entry bound
+  int64_t max_bytes = 0;      ///< --max-bytes: cache LRU byte bound
   int64_t retry_after_ms = 1000;  ///< --retry-after-ms: shed backoff hint
   int64_t idle_timeout_ms = 0;    ///< --idle-timeout-ms: TCP idle drop
   bool cached_only = false;   ///< --cached-only: degraded mode

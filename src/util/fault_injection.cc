@@ -22,8 +22,13 @@ namespace {
 // tree must appear here: arming validates names against this list, and
 // docs/SERVICE.md documents the same catalog.  Keep both in sync.
 constexpr const char* kCatalog[] = {
+    "cache.basis.rename",  // mechanism_cache: before renaming tmp -> .basis
+    "cache.basis.write",   // mechanism_cache: mid-write of a basis tmp file
     "cache.entry.rename",  // mechanism_cache: before renaming tmp -> .entry
     "cache.entry.write",   // mechanism_cache: mid-write of an entry tmp file
+    "cache.evict.unlink",  // mechanism_cache: before each eviction unlink
+    "cache.manifest.rename",  // mechanism_cache: before tmp -> manifest
+    "cache.manifest.write",   // mechanism_cache: mid-write of manifest tmp
     "io.save.write",       // core/io: before a mechanism file write
     "ledger.rename",       // server: before renaming ledger tmp -> ledger
     "ledger.write",        // server: mid-write of the ledger tmp file

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -152,11 +153,15 @@ class EventLoopTest : public ::testing::Test {
   void Start(ServiceOptions options = {}) {
     options.threads = options.threads == 0 ? 2 : options.threads;
     service_ = std::make_unique<MechanismService>(options);
-    AnnouncedPort buffer;
-    std::future<int> announced = buffer.port();
+    // The server thread co-owns the announce buffer: Start() returns the
+    // moment the promise fires, which can be before the daemon finishes
+    // the `<< std::flush` that fired it — a stack-local buffer here would
+    // be written after this frame is gone.
+    auto buffer = std::make_shared<AnnouncedPort>();
+    std::future<int> announced = buffer->port();
     serve_status_ = Status::OK();
-    server_ = std::thread([this, &buffer] {
-      std::ostream announce(&buffer);
+    server_ = std::thread([this, buffer] {
+      std::ostream announce(buffer.get());
       serve_status_ = ServeTcp(0, *service_, announce);
     });
     port_ = announced.get();
@@ -357,6 +362,51 @@ TEST_F(EventLoopTest, PollFallbackBackendServesTheSameProtocol) {
             std::string::npos);
   ShutdownAndJoin();
   ::unsetenv("GEOPRIV_FORCE_POLL");
+}
+
+TEST_F(EventLoopTest, EvictionChurnNeverYieldsWrongOrLostReplies) {
+  // Post-eviction serving contract, end to end: with max_entries=1 the
+  // cache evicts on nearly every publish, so the Contains-based executor
+  // classification is stale all the time.  The contract is that a stale
+  // "cached" classification degrades to a transient shed the client's
+  // retry absorbs — every query eventually answers ok, none answers
+  // wrong, and the I/O thread never wedges.
+  ServiceOptions options;
+  options.max_entries = 1;
+  options.retry_after_ms = 1;
+  Start(options);
+  RetryOptions retry;
+  retry.attempts = 8;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 8;
+  // One structural class (fixed n), four alphas: the class anchor (the
+  // smallest denominator, 1/2) is pinned, so the other three churn
+  // through the single remaining slot.  Distinct n values would NOT
+  // churn — each n is its own class whose lone entry is its anchor.
+  const char* alphas[] = {"1/2", "1/3", "2/5", "3/7"};
+  for (int round = 0; round < 3; ++round) {
+    for (const char* alpha : alphas) {
+      const std::string line =
+          "{\"op\":\"query\",\"consumer\":\"alice\",\"n\":5,\"alpha\":\"" +
+          std::string(alpha) +
+          "\",\"mode\":\"geometric\",\"count\":1,"
+          "\"seed\":" + std::to_string(round) + "}";
+      auto reply = TcpRequestWithRetry("127.0.0.1", port_, line, retry);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_NE(reply->find("\"op\":\"query\",\"ok\":true"),
+                std::string::npos)
+          << *reply;
+      // The reply echoes the canonical signature: right answer, right
+      // signature, even while that signature churns in and out of cache.
+      EXPECT_NE(reply->find(";alpha=" + std::string(alpha)),
+                std::string::npos)
+          << *reply;
+    }
+  }
+  // The bound held (the anchor may pin one extra entry above it).
+  EXPECT_LE(service_->cache().GetStats().entries, 2u);
+  EXPECT_GE(service_->cache().GetStats().evictions, 1u);
+  ShutdownAndJoin();
 }
 
 TEST_F(EventLoopTest, SendFaultDropsOnlyThatClient) {

@@ -75,9 +75,10 @@ std::string FreshDir(const std::string& name) {
 }
 
 // A cheap charging query (geometric mode solves in microseconds).
-std::string GeometricQuery(const std::string& consumer, int seed) {
+std::string GeometricQuery(const std::string& consumer, int seed, int n = 6) {
   return "{\"op\":\"query\",\"consumer\":\"" + consumer +
-         "\",\"n\":6,\"alpha\":\"1/2\",\"mode\":\"geometric\",\"count\":2,"
+         "\",\"n\":" + std::to_string(n) +
+         ",\"alpha\":\"1/2\",\"mode\":\"geometric\",\"count\":2,"
          "\"seed\":" + std::to_string(seed) + "}";
 }
 
@@ -95,9 +96,10 @@ bool HasTmpDebris(const std::string& dir) {
 TEST_F(FaultInjectionTest, CatalogListsEveryRegisteredPoint) {
   const std::vector<std::string> points = fi::KnownPoints();
   for (const char* expected :
-       {"cache.entry.rename", "cache.entry.write", "io.save.write",
-        "ledger.rename", "ledger.write", "server.accept", "server.recv",
-        "server.send"}) {
+       {"cache.basis.rename", "cache.basis.write", "cache.entry.rename",
+        "cache.entry.write", "cache.evict.unlink", "cache.manifest.rename",
+        "cache.manifest.write", "io.save.write", "ledger.rename",
+        "ledger.write", "server.accept", "server.recv", "server.send"}) {
     EXPECT_NE(std::find(points.begin(), points.end(), expected),
               points.end())
         << expected;
@@ -180,7 +182,8 @@ TEST_F(FaultInjectionTest, CacheSaveFailureLeavesLoadableDirectory) {
   MechanismCache reloaded;
   auto loaded = reloaded.LoadFromDirectory(dir);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(*loaded, 1);
+  EXPECT_EQ(loaded->loaded, 1);
+  EXPECT_EQ(loaded->quarantined, 0);
   EXPECT_FALSE(HasTmpDebris(dir));
   fs::remove_all(dir);
 }
@@ -282,14 +285,16 @@ TEST_F(FaultInjectionTest, CrashBeforeLedgerRenameKeepsCommittedSnapshot) {
   LedgerCrashRoundTrip("ledger.rename");
 }
 
-// The cache side: a crash mid-entry-write (or pre-rename) must leave the
-// entry either absent or bit-identical — never torn.  LoadFromDirectory
-// re-validates every matrix, so "loads at all" certifies "not torn".
-void CacheEntryCrashRoundTrip(const std::string& point,
-                              int expected_entries) {
+// The cache side: entries persist at publish time (inside GetOrSolve),
+// so the crash fires mid-query, before the ledger charge and before any
+// reply.  A crash mid-entry-write (or pre-rename) must leave previously
+// committed entries intact and the in-flight entry simply absent — never
+// torn.  LoadFromDirectory re-validates every matrix, so "loads at all"
+// certifies "not torn".
+void CacheEntryCrashRoundTrip(const std::string& point) {
   const std::string dir = FreshDir("geopriv_crash_" + point);
-  // Run 1 (clean): commit one entry + one charge, so the crashing re-save
-  // in run 2 endangers a real committed file.
+  // Run 1 (clean): commit one entry + one charge, so the crashing publish
+  // in run 2 endangers a real committed store.
   {
     MechanismService service(SerialPersistOptions(dir));
     ASSERT_TRUE(service.LoadPersisted().ok());
@@ -299,49 +304,53 @@ void CacheEntryCrashRoundTrip(const std::string& point,
   }
   ASSERT_FALSE(HasTmpDebris(dir));
 
-  // Run 2: the same entry re-persists at shutdown and the child crashes
-  // at the armed point.
+  // Run 2: a query for a NEW signature publishes (and persists) a second
+  // entry; the child crashes at the armed point inside that persist —
+  // before the charge, before the reply.
   const int status = RunForked([&] {
     ASSERT_TRUE(fi::ArmFromSpec(point + "=abort").ok());
     MechanismService service(SerialPersistOptions(dir));
     ASSERT_TRUE(service.LoadPersisted().ok());
     bool shutdown = false;
-    (void)service.HandleLine("{\"op\":\"shutdown\"}", &shutdown);
+    (void)service.HandleLine(GeometricQuery("alice", 2, /*n=*/7), &shutdown);
   });
   ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of crashing";
   ASSERT_EQ(WTERMSIG(status), SIGABRT);
 
-  // Restart: the committed entry survived intact (a torn file would fail
-  // the load), the ledger still holds the committed charge, the debris is
-  // gone.
+  // Restart: the committed entry survived intact (a torn file would be
+  // quarantined, not loaded), the crashed entry is absent, the ledger
+  // still holds exactly the committed charge (the crashed query never
+  // replied, so it must not have charged), the debris is gone.
   MechanismService service(SerialPersistOptions(dir));
   auto loaded = service.LoadPersisted();
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(*loaded, expected_entries);
+  EXPECT_EQ(*loaded, 1);
+  EXPECT_EQ(service.cache().GetStats().quarantined, 0u);
   EXPECT_EQ(service.ledger().Level("alice"), 0.5);
   EXPECT_FALSE(HasTmpDebris(dir));
   fs::remove_all(dir);
 }
 
 TEST_F(FaultInjectionTest, CrashDuringCacheEntryWriteLeavesOldEntryIntact) {
-  CacheEntryCrashRoundTrip("cache.entry.write", 1);
+  CacheEntryCrashRoundTrip("cache.entry.write");
 }
 
 TEST_F(FaultInjectionTest, CrashBeforeCacheEntryRenameLeavesOldEntryIntact) {
-  CacheEntryCrashRoundTrip("cache.entry.rename", 1);
+  CacheEntryCrashRoundTrip("cache.entry.rename");
 }
 
-TEST_F(FaultInjectionTest, CrashOnFirstEverCacheSaveLeavesEntryAbsent) {
+TEST_F(FaultInjectionTest, CrashOnFirstEverEntryPersistLeavesStoreEmpty) {
   // No committed version exists: after the crash the entry must simply be
-  // absent (and its torn tmp swept), never half-loaded.
-  const std::string dir = FreshDir("geopriv_crash_first_save");
+  // absent (and its torn tmp swept), never half-loaded.  The crash fires
+  // at publish time, before the ledger charge, so the consumer stays
+  // uncharged for the reply that never went out.
+  const std::string dir = FreshDir("geopriv_crash_first_persist");
   const int status = RunForked([&] {
     ASSERT_TRUE(fi::ArmFromSpec("cache.entry.write=abort").ok());
     MechanismService service(SerialPersistOptions(dir));
     ASSERT_TRUE(service.LoadPersisted().ok());
     bool shutdown = false;
     (void)service.HandleLine(GeometricQuery("alice", 1), &shutdown);
-    (void)service.HandleLine("{\"op\":\"shutdown\"}", &shutdown);
   });
   ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of crashing";
   ASSERT_EQ(WTERMSIG(status), SIGABRT);
@@ -350,10 +359,119 @@ TEST_F(FaultInjectionTest, CrashOnFirstEverCacheSaveLeavesEntryAbsent) {
   auto loaded = service.LoadPersisted();
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(*loaded, 0);
-  // The ledger committed before the reply went out, so the charge is
-  // durable even though the cache entry is not.
-  EXPECT_EQ(service.ledger().Level("alice"), 0.5);
+  EXPECT_EQ(service.ledger().Level("alice"), 1.0);
   EXPECT_FALSE(HasTmpDebris(dir));
+  fs::remove_all(dir);
+}
+
+// ---- crash recovery: basis, manifest, eviction fault points -----------------
+
+CacheOptions PersistCacheOptions(const std::string& dir) {
+  CacheOptions options;
+  options.threads = 1;
+  options.persist_dir = dir;
+  return options;
+}
+
+// A crash while persisting the basis sidecar (mid-write or pre-rename)
+// happens AFTER the entry file committed but BEFORE the manifest listed
+// it.  Restart must still adopt the entry (first-ever store: no manifest
+// yet), sweep the torn basis tmp, and simply run without a warm-start
+// seed — a lost basis is a performance artifact, never an error.
+void BasisCrashRoundTrip(const std::string& point) {
+  const std::string dir = FreshDir("geopriv_crash_" + point);
+  const int status = RunForked([&] {
+    ASSERT_TRUE(fi::ArmFromSpec(point + "=abort").ok());
+    MechanismCache cache(PersistCacheOptions(dir));
+    // Exact mode: the only mode that carries an LP basis.
+    (void)cache.GetOrSolve(Sig(5, R(1, 2)));
+  });
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of crashing";
+  ASSERT_EQ(WTERMSIG(status), SIGABRT);
+
+  MechanismCache reloaded(PersistCacheOptions(dir));
+  auto report = reloaded.LoadFromDirectory(dir);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->loaded, 1);
+  EXPECT_EQ(report->basis_reloads, 0);
+  EXPECT_EQ(report->quarantined, 0);
+  EXPECT_TRUE(reloaded.Contains(Sig(5, R(1, 2))));
+  EXPECT_FALSE(HasTmpDebris(dir));
+  fs::remove_all(dir);
+}
+
+TEST_F(FaultInjectionTest, CrashDuringBasisWriteLeavesEntryServableSeedless) {
+  BasisCrashRoundTrip("cache.basis.write");
+}
+
+TEST_F(FaultInjectionTest, CrashBeforeBasisRenameLeavesEntryServableSeedless) {
+  BasisCrashRoundTrip("cache.basis.rename");
+}
+
+// A crash while committing the manifest leaves the just-persisted entry
+// files on disk with no manifest (first-ever store).  Restart adopts
+// them — fully re-validated — and rewrites the manifest.
+void ManifestCrashRoundTrip(const std::string& point) {
+  const std::string dir = FreshDir("geopriv_crash_" + point);
+  const int status = RunForked([&] {
+    ASSERT_TRUE(fi::ArmFromSpec(point + "=abort").ok());
+    MechanismCache cache(PersistCacheOptions(dir));
+    (void)cache.GetOrSolve(
+        Sig(6, R(1, 2), "absolute", ServeMode::kGeometric));
+  });
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of crashing";
+  ASSERT_EQ(WTERMSIG(status), SIGABRT);
+
+  MechanismCache reloaded(PersistCacheOptions(dir));
+  auto report = reloaded.LoadFromDirectory(dir);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->loaded, 1);
+  EXPECT_EQ(report->quarantined, 0);
+  EXPECT_TRUE(
+      reloaded.Contains(Sig(6, R(1, 2), "absolute", ServeMode::kGeometric)));
+  EXPECT_FALSE(HasTmpDebris(dir));
+  // The adopting load re-committed the manifest.
+  EXPECT_TRUE(fs::exists(dir + "/manifest"));
+  fs::remove_all(dir);
+}
+
+TEST_F(FaultInjectionTest, CrashDuringManifestWriteAdoptsFilesOnRestart) {
+  ManifestCrashRoundTrip("cache.manifest.write");
+}
+
+TEST_F(FaultInjectionTest, CrashBeforeManifestRenameAdoptsFilesOnRestart) {
+  ManifestCrashRoundTrip("cache.manifest.rename");
+}
+
+TEST_F(FaultInjectionTest, CrashBeforeEvictionUnlinkNeverResurrects) {
+  // Eviction commits the shrunken manifest BEFORE unlinking; a crash in
+  // between leaves the victim's files on disk but unmanifested.  Restart
+  // must remove them as debris — loading them would resurrect an entry
+  // the bound already evicted.
+  const std::string dir = FreshDir("geopriv_crash_evict_unlink");
+  const int status = RunForked([&] {
+    ASSERT_TRUE(fi::ArmFromSpec("cache.evict.unlink=abort").ok());
+    CacheOptions options = PersistCacheOptions(dir);
+    options.max_entries = 1;
+    MechanismCache cache(options);
+    // Anchor (denominator 2) survives; alpha=1/3 is the victim.
+    (void)cache.GetOrSolve(
+        Sig(6, R(1, 2), "absolute", ServeMode::kGeometric));
+    (void)cache.GetOrSolve(
+        Sig(6, R(1, 3), "absolute", ServeMode::kGeometric));
+  });
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of crashing";
+  ASSERT_EQ(WTERMSIG(status), SIGABRT);
+
+  MechanismCache reloaded(PersistCacheOptions(dir));
+  auto report = reloaded.LoadFromDirectory(dir);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->loaded, 1);
+  EXPECT_GE(report->debris_removed, 1);
+  EXPECT_TRUE(
+      reloaded.Contains(Sig(6, R(1, 2), "absolute", ServeMode::kGeometric)));
+  EXPECT_FALSE(
+      reloaded.Contains(Sig(6, R(1, 3), "absolute", ServeMode::kGeometric)));
   fs::remove_all(dir);
 }
 
@@ -679,7 +797,8 @@ TEST_F(FaultInjectionTest, ServiceFlagsMapOntoServiceOptions) {
                         "--deadline-ms",    "1500",            "--max-pending",
                         "3",                "--retry-after-ms", "250",
                         "--idle-timeout-ms", "9000",           "--cached-only",
-                        "true"};
+                        "true",             "--max-entries",   "64",
+                        "--max-bytes",      "1048576"};
   ASSERT_TRUE(parser
                   .Parse(static_cast<int>(std::size(argv)),
                          const_cast<char**>(argv), 1)
@@ -694,6 +813,8 @@ TEST_F(FaultInjectionTest, ServiceFlagsMapOntoServiceOptions) {
   EXPECT_EQ(options.retry_after_ms, 250);
   EXPECT_EQ(options.idle_timeout_ms, 9000);
   EXPECT_TRUE(options.cached_only);
+  EXPECT_EQ(options.max_entries, 64u);
+  EXPECT_EQ(options.max_bytes, 1048576u);
   EXPECT_FALSE(parser.Provided("port"));
 }
 
@@ -710,6 +831,8 @@ TEST_F(FaultInjectionTest, ServiceFlagsRejectMalformedValues) {
   };
   EXPECT_FALSE(parses({"--budget", "1.5"}));       // out of range
   EXPECT_FALSE(parses({"--budget", "abc"}));       // malformed
+  EXPECT_FALSE(parses({"--max-entries", "-1"}));   // below minimum
+  EXPECT_FALSE(parses({"--max-bytes", "lots"}));   // malformed
   EXPECT_FALSE(parses({"--port", "70000"}));       // out of range
   EXPECT_FALSE(parses({"--shards", "0"}));         // below minimum
   EXPECT_FALSE(parses({"--budgte", "0.5"}));       // unknown flag

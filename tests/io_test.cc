@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/geometric.h"
 #include "core/io.h"
@@ -130,6 +131,109 @@ TEST(IoTest, V2MalformedInputsAreRejected) {
   // Trailing content after the last row.
   EXPECT_FALSE(
       ParseExactMechanism(base + "n 0\nrow 1\nrow 1\n").ok());
+}
+
+// ---- v3 (checksummed) format ------------------------------------------------
+
+TEST(IoTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors; the checksum lines in v3 / basis docs
+  // and the persistence filenames all key off this exact function.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a"), 12638187200555641996ULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  EXPECT_EQ(Fnv1a64Hex("foobar"), "85944171f73967e8");
+  EXPECT_EQ(Fnv1a64Hex("").size(), 16u);
+}
+
+TEST(IoTest, V3RoundTripsWithChecksum) {
+  RationalMatrix m = ThirdsMatrix();
+  const std::string text = SerializeExactMechanismV3(m);
+  // The v3 document is the v2 body behind a header + checksum line.
+  EXPECT_EQ(text.compare(0, 20, "geopriv-mechanism v3"), 0);
+  EXPECT_NE(text.find("\nchecksum "), std::string::npos);
+  EXPECT_NE(text.find("row 1/3 2/3"), std::string::npos);
+  auto back = ParseExactMechanism(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == m);
+  // The double-precision entry point reads v3 too.
+  auto doubles = ParseMechanism(text);
+  ASSERT_TRUE(doubles.ok()) << doubles.status().ToString();
+  EXPECT_DOUBLE_EQ(doubles->Probability(0, 0), 1.0 / 3.0);
+}
+
+TEST(IoTest, V3DetectsCorruptionThatV2CannotSee) {
+  // Swapping two digits keeps the document parseable and stochastic —
+  // only the checksum catches it.
+  std::string text = SerializeExactMechanismV3(ThirdsMatrix());
+  const size_t pos = text.find("2/7 5/7");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "5/7 2/7");
+  auto back = ParseExactMechanism(text);
+  EXPECT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("checksum"), std::string::npos)
+      << back.status().ToString();
+}
+
+TEST(IoTest, V3MalformedChecksumLinesAreRejected) {
+  const std::string good = SerializeExactMechanismV3(ThirdsMatrix());
+  // Truncated mid-checksum line.
+  EXPECT_FALSE(ParseExactMechanism("geopriv-mechanism v3\nchecksum 0123")
+                   .ok());
+  // Missing checksum line entirely (a v2 body behind a v3 header).
+  EXPECT_FALSE(
+      ParseExactMechanism("geopriv-mechanism v3\nn 1\nrow 1 0\nrow 0 1\n")
+          .ok());
+  // Wrong checksum value.
+  std::string bad = good;
+  const size_t pos = bad.find("checksum ") + 9;
+  bad[pos] = bad[pos] == '0' ? '1' : '0';
+  EXPECT_FALSE(ParseExactMechanism(bad).ok());
+}
+
+// ---- basis sidecar documents ------------------------------------------------
+
+TEST(IoTest, BasisDocRoundTrips) {
+  const std::string key = "mode=exact;n=4;side=0..4;loss=absolute;alpha=1/2";
+  const std::vector<size_t> columns = {0, 3, 7, 12, 13};
+  const std::string doc = SerializeBasisDoc(key, columns);
+  EXPECT_EQ(doc.compare(0, 16, "geopriv-basis v1"), 0);
+  std::string key_out;
+  auto back = ParseBasisDoc(doc, &key_out);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, columns);
+  EXPECT_EQ(key_out, key);
+}
+
+TEST(IoTest, BasisDocRejectsCorruptionAndMalformedShapes) {
+  const std::string key = "mode=exact;n=4;side=0..4;loss=absolute;alpha=1/2";
+  const std::string doc = SerializeBasisDoc(key, {1, 2, 5});
+  std::string key_out;
+
+  // A flipped digit in the column list breaks the checksum.
+  std::string flipped = doc;
+  flipped[flipped.size() - 2] = '9';
+  EXPECT_FALSE(ParseBasisDoc(flipped, &key_out).ok());
+
+  // Truncation breaks it too — a torn basis can never be half-loaded.
+  EXPECT_FALSE(
+      ParseBasisDoc(doc.substr(0, doc.size() - 1), &key_out).ok());
+
+  // Hand-built documents with a correct checksum but a bad body: the
+  // column list must be strictly increasing and complete.
+  const auto with_checksum = [](const std::string& body) {
+    return "geopriv-basis v1\nchecksum " + Fnv1a64Hex(body) + "\n" + body;
+  };
+  EXPECT_FALSE(ParseBasisDoc(with_checksum("key k\ncolumns 3 1 2\n"),
+                             &key_out).ok());  // count < list... short list
+  EXPECT_FALSE(ParseBasisDoc(with_checksum("key k\ncolumns 2 5 5\n"),
+                             &key_out).ok());  // not strictly increasing
+  EXPECT_FALSE(ParseBasisDoc(with_checksum("key k\ncolumns 2 5 3\n"),
+                             &key_out).ok());  // decreasing
+  EXPECT_FALSE(ParseBasisDoc(with_checksum("columns 1 0\n"),
+                             &key_out).ok());  // missing key line
+  EXPECT_TRUE(ParseBasisDoc(with_checksum("key k\ncolumns 2 3 5\n"),
+                            &key_out).ok());
+  EXPECT_EQ(key_out, "k");
 }
 
 TEST(IoTest, SaveAndLoadExactFile) {

@@ -159,78 +159,184 @@ TEST(MechanismCacheTest, PersistsAndReloadsBitIdentically) {
   namespace fs = std::filesystem;
   const std::string dir = ::testing::TempDir() + "/geopriv_cache_test";
   fs::remove_all(dir);
+  const MechanismSignature exact_sig = Sig(4, R(1, 2));
+  const MechanismSignature geo_sig =
+      Sig(6, R(1, 3), "squared", ServeMode::kGeometric);
 
   RationalMatrix original(0, 0);
   {
     MechanismCache cache;
-    auto lp_entry = cache.GetOrSolve(Sig(4, R(1, 2)));
+    auto lp_entry = cache.GetOrSolve(exact_sig);
     ASSERT_TRUE(lp_entry.ok());
     original = (*lp_entry)->exact;
-    ASSERT_TRUE(
-        cache.GetOrSolve(Sig(6, R(1, 3), "squared", ServeMode::kGeometric))
-            .ok());
+    ASSERT_TRUE(cache.GetOrSolve(geo_sig).ok());
     ASSERT_TRUE(cache.SaveToDirectory(dir).ok());
   }
 
   MechanismCache reloaded;
   auto loaded = reloaded.LoadFromDirectory(dir);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(*loaded, 2);
+  EXPECT_EQ(loaded->loaded, 2);
+  EXPECT_EQ(loaded->quarantined, 0);
+  // The LP entry's basis came back with it, re-arming warm starts.
+  EXPECT_EQ(loaded->basis_reloads, 1);
+  EXPECT_EQ(reloaded.GetStats().basis_warm_reloads, 1u);
   bool hit = false;
-  auto entry = reloaded.GetOrSolve(Sig(4, R(1, 2)), &hit);
+  auto entry = reloaded.GetOrSolve(exact_sig, &hit);
   ASSERT_TRUE(entry.ok());
   EXPECT_TRUE(hit);  // no solve ran: the persisted entry answered
   EXPECT_TRUE((*entry)->exact == original);
   EXPECT_EQ(reloaded.GetStats().misses, 0u);
 
-  // Malformed persisted data must fail the load, not corrupt the cache.
+  // The two artifacts on disk: the LP entry has a .basis sidecar, the
+  // geometric one does not.
+  std::string exact_stem, geo_stem;
+  for (const auto& dirent : fs::directory_iterator(dir)) {
+    if (dirent.path().extension() == ".basis") {
+      exact_stem = dirent.path().stem().string();
+    }
+  }
+  for (const auto& dirent : fs::directory_iterator(dir)) {
+    if (dirent.path().extension() == ".entry" &&
+        dirent.path().stem().string() != exact_stem) {
+      geo_stem = dirent.path().stem().string();
+    }
+  }
+  ASSERT_FALSE(exact_stem.empty());
+  ASSERT_FALSE(geo_stem.empty());
+
+  // A file the manifest does not list is debris (a crashed publish or a
+  // half-done eviction), removed on load — never adopted, never fatal.
   {
     std::ofstream bad(dir + "/deadbeef00000000.entry");
     bad << "geopriv-service-entry v1\nmode exact\nn 1\nlo 0\nhi 1\n"
            "loss absolute\nalpha 1/2\n"
            "geopriv-mechanism v2\nn 1\nrow 1/3 1/3\nrow 0 1\n";
   }
-  MechanismCache strict;
-  EXPECT_FALSE(strict.LoadFromDirectory(dir).ok());
-  fs::remove(dir + "/deadbeef00000000.entry");
+  {
+    MechanismCache debris_tolerant;
+    auto report = debris_tolerant.LoadFromDirectory(dir);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->loaded, 2);
+    EXPECT_EQ(report->quarantined, 0);
+    EXPECT_GE(report->debris_removed, 1);
+    EXPECT_FALSE(fs::exists(dir + "/deadbeef00000000.entry"));
+  }
 
-  // A tampered matrix that parses fine but violates the signature's
-  // alpha-DP claim must be refused: serving the identity matrix under an
-  // alpha=1/2 signature would bill a plaintext oracle at level 1/2.
+  // A corrupted basis sidecar (checksum mismatch) is quarantined; its
+  // entry still loads and serves, just without a warm-start seed.
+  {
+    std::fstream basis(dir + "/" + exact_stem + ".basis",
+                       std::ios::in | std::ios::out);
+    basis.seekp(-2, std::ios::end);
+    basis << 'X';
+  }
+  {
+    MechanismCache basis_strict;
+    auto report = basis_strict.LoadFromDirectory(dir);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->loaded, 2);
+    EXPECT_EQ(report->basis_reloads, 0);
+    EXPECT_EQ(report->quarantined, 1);
+    EXPECT_TRUE(basis_strict.Contains(exact_sig));
+    EXPECT_FALSE(fs::exists(dir + "/" + exact_stem + ".basis"));
+    EXPECT_TRUE(
+        fs::exists(dir + "/quarantine/" + exact_stem + ".basis"));
+  }
+
+  // A manifested entry whose bytes are torn (truncated mid-matrix) is
+  // quarantined, not served and not fatal; the surviving entry loads and
+  // the lost one re-solves fresh as an ordinary miss.
+  {
+    const std::string path = dir + "/" + exact_stem + ".entry";
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    in.close();
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+  {
+    MechanismCache entry_strict;
+    auto report = entry_strict.LoadFromDirectory(dir);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->loaded, 1);
+    EXPECT_EQ(report->quarantined, 1);
+    EXPECT_EQ(entry_strict.GetStats().quarantined, 1u);
+    EXPECT_FALSE(entry_strict.Contains(exact_sig));
+    EXPECT_TRUE(entry_strict.Contains(geo_sig));
+    EXPECT_TRUE(
+        fs::exists(dir + "/quarantine/" + exact_stem + ".entry"));
+    // The quarantined signature re-solves fresh — and bit-identically.
+    bool was_hit = true;
+    auto resolved = entry_strict.GetOrSolve(exact_sig, &was_hit);
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+    EXPECT_FALSE(was_hit);
+    EXPECT_TRUE((*resolved)->exact == original);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(MechanismCacheTest, QuarantinesTamperedEntriesOnAdoption) {
+  // A store with no manifest (pre-manifest layout) is adopted, but every
+  // file still re-validates from scratch.  Four corruption shapes, all
+  // quarantined, none fatal, none served:
+  //   - a matrix that fails structural validation,
+  //   - a parseable matrix violating its signature's alpha-DP claim
+  //     (serving the identity under alpha=1/2 would bill a plaintext
+  //     oracle at level 1/2),
+  //   - a geometric entry whose matrix is not G_{n,alpha},
+  //   - a truncated alpha line (must not default to the vacuous alpha=0).
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/geopriv_cache_tampered";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string exact_key = Sig(1, R(1, 2)).CanonicalKey();
+  const std::string geo_key =
+      Sig(1, R(1, 2), "absolute", ServeMode::kGeometric).CanonicalKey();
+  {
+    std::ofstream bad(dir + "/deadbeef00000000.entry");
+    bad << "geopriv-service-entry v1\nkey " << exact_key
+        << "\nmode exact\nn 1\nlo 0\nhi 1\nloss absolute\nalpha 1/2\n"
+           "geopriv-mechanism v2\nn 1\nrow 1/3 1/3\nrow 0 1\n";
+  }
   {
     std::ofstream tampered(dir + "/deadbeef00000001.entry");
-    tampered << "geopriv-service-entry v1\nmode exact\nn 1\nlo 0\nhi 1\n"
-                "loss absolute\nalpha 1/2\n"
+    tampered << "geopriv-service-entry v1\nkey " << exact_key
+             << "\nmode exact\nn 1\nlo 0\nhi 1\nloss absolute\nalpha 1/2\n"
                 "geopriv-mechanism v2\nn 1\nrow 1 0\nrow 0 1\n";
   }
-  MechanismCache dp_strict;
-  auto tampered_load = dp_strict.LoadFromDirectory(dir);
-  EXPECT_FALSE(tampered_load.ok());
-  EXPECT_NE(tampered_load.status().message().find("alpha-DP"),
-            std::string::npos);
-  fs::remove(dir + "/deadbeef00000001.entry");
-
-  // Same for geometric entries: the matrix must BE G_{n,alpha}.
   {
     std::ofstream wrong(dir + "/deadbeef00000002.entry");
-    wrong << "geopriv-service-entry v1\nmode geometric\nn 1\nlo 0\nhi 1\n"
-             "loss absolute\nalpha 1/2\n"
+    wrong << "geopriv-service-entry v1\nkey " << geo_key
+          << "\nmode geometric\nn 1\nlo 0\nhi 1\nloss absolute\nalpha 1/2\n"
              "geopriv-mechanism v2\nn 1\nrow 1/2 1/2\nrow 1/2 1/2\n";
   }
-  MechanismCache geo_strict;
-  EXPECT_FALSE(geo_strict.LoadFromDirectory(dir).ok());
-  fs::remove(dir + "/deadbeef00000002.entry");
-
-  // A truncated alpha line must not default to alpha=0, which would make
-  // the DP re-validation vacuous (any non-negative matrix is 0-DP).
   {
     std::ofstream truncated(dir + "/deadbeef00000003.entry");
     truncated << "geopriv-service-entry v1\nmode exact\nn 1\nlo 0\nhi 1\n"
                  "loss absolute\nalpha\n"
                  "geopriv-mechanism v2\nn 1\nrow 1 0\nrow 0 1\n";
   }
-  MechanismCache field_strict;
-  EXPECT_FALSE(field_strict.LoadFromDirectory(dir).ok());
+  MechanismCache strict;
+  auto report = strict.LoadFromDirectory(dir);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->loaded, 0);
+  EXPECT_EQ(report->quarantined, 4);
+  EXPECT_EQ(strict.GetStats().entries, 0u);
+  int preserved = 0;
+  for (const auto& dirent : fs::directory_iterator(dir + "/quarantine")) {
+    (void)dirent;
+    ++preserved;
+  }
+  EXPECT_EQ(preserved, 4);
+  // A second start sees a clean (now manifested) directory.
+  MechanismCache again;
+  auto second = again.LoadFromDirectory(dir);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->loaded, 0);
+  EXPECT_EQ(second->quarantined, 0);
   fs::remove_all(dir);
 }
 

@@ -56,9 +56,14 @@ int main(int argc, char** argv) {
   MechanismService service(ToServiceOptions(flags));
   Result<int> loaded = service.LoadPersisted();
   if (!loaded.ok()) return Fail(loaded.status());
-  if (*loaded > 0) {
-    std::fprintf(stderr, "geopriv_serve: reloaded %d cached mechanism(s)\n",
-                 *loaded);
+  const MechanismCache::Stats startup = service.cache().GetStats();
+  if (*loaded > 0 || startup.quarantined > 0) {
+    std::fprintf(stderr,
+                 "geopriv_serve: reloaded %d cached mechanism(s) "
+                 "(%llu warm-start bases, %llu quarantined)\n",
+                 *loaded,
+                 static_cast<unsigned long long>(startup.basis_warm_reloads),
+                 static_cast<unsigned long long>(startup.quarantined));
   }
 
   const Status status = parser.Provided("port")
