@@ -21,6 +21,7 @@
 
 #include "bench/harness.h"
 #include "service/server.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -187,6 +188,39 @@ void RunWorkloads(bench::Harness& harness, int n) {
         "persisted bases keep a restarted store exactly as warm\n",
         n, restart_pivots, live_pivots);
     fs::remove_all(dir);
+  }
+
+  // --- registry overhead on the cached hot path ----------------------------
+  //
+  // The metrics design contract (util/metrics.h): an enabled update is a
+  // striped relaxed fetch_add, a disabled one is a single relaxed load, so
+  // the ~0.8us cached query must not regress measurably.  Measure the same
+  // CachedQuery workload with the registry off and on, and print the
+  // delta as acceptance evidence (the gate asks for < 5%).
+  {
+    metrics::SetEnabled(false);
+    harness.Run("CachedQuery/metrics=off" + label, [&] {
+      bench::DoNotOptimize(pipeline.ExecuteBatch(one).front().released);
+    });
+    metrics::SetEnabled(true);
+    const int reps = 20000;
+    const auto time_reps = [&] {
+      Stopwatch watch;
+      for (int r = 0; r < reps; ++r) {
+        bench::DoNotOptimize(pipeline.ExecuteBatch(one).front().released);
+      }
+      return watch.ElapsedMicros() / reps;
+    };
+    metrics::SetEnabled(false);
+    time_reps();  // warm both states once before measuring
+    const double off_us = time_reps();
+    metrics::SetEnabled(true);
+    time_reps();
+    const double on_us = time_reps();
+    std::printf(
+        "  registry overhead on the cached hot path (n=%d): %.3f us "
+        "disabled vs %.3f us enabled (%+.1f%%; acceptance gate < 5%%)\n",
+        n, off_us, on_us, (on_us - off_us) / off_us * 100.0);
   }
 
   // --- acceptance evidence: the cache speedup on a repeated signature ------

@@ -180,7 +180,10 @@ Result<ExactOptimalResult> PackMechanismResult(ExactLpSolution solution,
   }
   return ExactOptimalResult{std::move(mechanism),
                             std::move(solution.objective),
-                            solution.iterations, solution.warm_started,
+                            solution.iterations,
+                            solution.phase1_iterations,
+                            solution.phase2_iterations,
+                            solution.warm_started,
                             std::move(solution.basis)};
 }
 
@@ -360,7 +363,9 @@ Result<ExactOptimalResult> SolveOptimalInteractionExact(
     return Status::Internal("exact LP produced a non-stochastic interaction");
   }
   return ExactOptimalResult{std::move(t), std::move(solution.objective),
-                            solution.iterations, false,
+                            solution.iterations,
+                            solution.phase1_iterations,
+                            solution.phase2_iterations, false,
                             std::move(solution.basis)};
 }
 

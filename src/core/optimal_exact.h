@@ -63,6 +63,8 @@ struct ExactOptimalResult {
   RationalMatrix matrix;  ///< the mechanism (Sec 2.5) or interaction T (2.4.3)
   Rational loss;          ///< the exact optimal minimax loss
   int lp_iterations = 0;
+  int phase1_iterations = 0;  ///< pivots spent finding feasibility
+  int phase2_iterations = 0;  ///< pivots spent optimizing
   bool warm_started = false;  ///< solved from a prior family member's basis
   /// The optimal basis, fit to warm-start a structurally identical solve
   /// (ExactSimplexOptions::warm_start).  The mechanism service's solve

@@ -29,10 +29,57 @@
 
 #include "service/protocol.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 
 namespace geopriv {
 
 namespace {
+
+// Event-loop metrics, interned once.  Everything here updates off the
+// per-query hot path (loop wakeups, accepts, sheds, drops) except the
+// send histogram, whose two clock reads ride on a send(2) syscall.
+struct LoopMetrics {
+  metrics::Histogram* wait_us;
+  metrics::Histogram* send_us;
+  metrics::Gauge* queue_depth;
+  metrics::Gauge* connections_open;
+  metrics::Counter* connections_accepted;
+  metrics::Counter* idle_dropped;
+  metrics::Counter* backpressure;
+  metrics::Counter* shed_executor_queue;
+
+  static const LoopMetrics& Get() {
+    static const LoopMetrics m = [] {
+      metrics::Registry* registry = metrics::Registry::Default();
+      LoopMetrics out;
+      out.wait_us = registry->GetHistogram(
+          "geopriv_eventloop_wait_us",
+          "Time the I/O thread spent blocked in the poller per wakeup, "
+          "microseconds");
+      out.send_us = registry->GetHistogram(
+          "geopriv_send_us", "Reply send (outbox flush) time, microseconds");
+      out.queue_depth = registry->GetGauge(
+          "geopriv_executor_queue_depth",
+          "Batch-executor jobs queued at the last loop wakeup");
+      out.connections_open = registry->GetGauge(
+          "geopriv_connections_open", "Connections currently open");
+      out.connections_accepted = registry->GetCounter(
+          "geopriv_connections_accepted_total", "Connections accepted");
+      out.idle_dropped = registry->GetCounter(
+          "geopriv_connections_idle_dropped_total",
+          "Connections dropped by the idle timeout");
+      out.backpressure = registry->GetCounter(
+          "geopriv_outbox_backpressure_total",
+          "Reply flushes that left residual bytes waiting for writability");
+      out.shed_executor_queue = registry->GetCounter(
+          "geopriv_sheds_total", "Requests shed, by cause",
+          {{"cause", "executor_queue"}});
+      return out;
+    }();
+    return m;
+  }
+};
 
 // One protocol line is small; a client streaming unbounded bytes with no
 // newline is the same DoS class as an unbounded batch window.  Same cap as
@@ -47,6 +94,12 @@ constexpr size_t kMaxQueuedJobs = 256;
 
 int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -252,6 +305,7 @@ struct Job {
   int fd = -1;
   ServiceRequest request;
   BatchWindow* window = nullptr;
+  int64_t enqueued_us = 0;  ///< steady-clock stamp at Submit, for queue_us
 };
 
 struct Completion {
@@ -312,6 +366,14 @@ class Executor {
       }
       // The shutdown op is classified inline-only, so workers never see it
       // and the shutdown flag can be dropped here.
+      job.request.queue_us = NowMicros() - job.enqueued_us;
+      {
+        static metrics::Histogram* const queue_wait =
+            metrics::Registry::Default()->GetHistogram(
+                "geopriv_executor_queue_wait_us",
+                "Executor queue wait per dispatched job, microseconds");
+        queue_wait->Observe(job.request.queue_us);
+      }
       std::string response =
           service_.HandleRequest(job.request, job.window, nullptr);
       {
@@ -339,6 +401,7 @@ class Executor {
 
 struct Connection {
   int fd = -1;
+  bool http = false;  // a metrics-endpoint connection, not a protocol one
   BatchWindow window;
   std::string inbox;   // received, not yet parsed
   std::string outbox;  // formatted, not yet sent
@@ -368,6 +431,9 @@ class EventLoopServer {
 
   Status Serve(int port) {
     GEOPRIV_RETURN_IF_ERROR(Listen(port));
+    if (service_.options().metrics_port >= 0) {
+      GEOPRIV_RETURN_IF_ERROR(ListenMetrics(service_.options().metrics_port));
+    }
     if (::pipe(wake_pipe_) != 0) {
       return Status::Internal("pipe() failed");
     }
@@ -377,6 +443,7 @@ class EventLoopServer {
     SetNonBlocking(wake_wr.fd);
 
     poller_.Add(listen_.fd, Poller::kRead);
+    if (metrics_listen_.fd >= 0) poller_.Add(metrics_listen_.fd, Poller::kRead);
     poller_.Add(wake_rd.fd, Poller::kRead);
 
     const int64_t idle_ms = service_.options().idle_timeout_ms;
@@ -395,8 +462,16 @@ class EventLoopServer {
       // Drain is completion-driven, but a bounded tick keeps it live even
       // if a wake byte is ever lost.
       if (draining_) timeout_ms = 50;
+      Stopwatch wait_watch;
       if (!poller_.Wait(timeout_ms, &events)) {
         break;  // demultiplexer failure: fall through to drain + persist
+      }
+      const LoopMetrics& lm = LoopMetrics::Get();
+      if (metrics::Enabled()) {
+        lm.wait_us->Observe(
+            static_cast<int64_t>(wait_watch.ElapsedMicros()));
+        lm.queue_depth->Set(
+            static_cast<int64_t>(executor.QueueDepth()));
       }
       for (const Poller::Event& event : events) {
         if (event.fd == wake_rd.fd) {
@@ -406,7 +481,11 @@ class EventLoopServer {
           continue;
         }
         if (event.fd == listen_.fd) {
-          AcceptReady();
+          AcceptReady(listen_.fd, /*http=*/false);
+          continue;
+        }
+        if (metrics_listen_.fd >= 0 && event.fd == metrics_listen_.fd) {
+          AcceptReady(metrics_listen_.fd, /*http=*/true);
           continue;
         }
         HandleConnEvent(event);
@@ -469,9 +548,44 @@ class EventLoopServer {
     return Status::OK();
   }
 
-  void AcceptReady() {
+  /// Loopback HTTP listener for GET /metrics, served by the same loop.
+  Status ListenMetrics(int port) {
+    metrics_listen_.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (metrics_listen_.fd < 0) {
+      return Status::Internal("metrics socket() failed");
+    }
+    const int one = 1;
+    ::setsockopt(metrics_listen_.fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(metrics_listen_.fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::Internal("metrics bind to 127.0.0.1:" +
+                              std::to_string(port) + " failed");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(metrics_listen_.fd,
+                      reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return Status::Internal("metrics getsockname failed");
+    }
+    if (::listen(metrics_listen_.fd, 16) != 0) {
+      return Status::Internal("metrics listen failed");
+    }
+    if (!SetNonBlocking(metrics_listen_.fd)) {
+      return Status::Internal("cannot make the metrics socket nonblocking");
+    }
+    announce_ << "geopriv_serve metrics on 127.0.0.1:" << ntohs(addr.sin_port)
+              << "\n"
+              << std::flush;
+    return Status::OK();
+  }
+
+  void AcceptReady(int listen_fd, bool http) {
     for (;;) {
-      const int cfd = ::accept(listen_.fd, nullptr, nullptr);
+      const int cfd = ::accept(listen_fd, nullptr, nullptr);
       if (cfd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
         // Transient per-connection failures (a client aborting between the
@@ -493,10 +607,16 @@ class EventLoopServer {
       }
       auto conn = std::make_unique<Connection>();
       conn->fd = cfd;
+      conn->http = http;
       conn->interest = Poller::kRead;
       poller_.Add(cfd, Poller::kRead);
       if (wheel_ != nullptr) wheel_->Arm(cfd, NowMs());
       conns_.emplace(cfd, std::move(conn));
+      if (metrics::Enabled()) {
+        const LoopMetrics& lm = LoopMetrics::Get();
+        lm.connections_accepted->Increment();
+        lm.connections_open->Add(1);
+      }
     }
   }
 
@@ -570,6 +690,10 @@ class EventLoopServer {
   void ProcessBuffered(int fd) {
     Connection* conn = FindConn(fd);
     if (conn == nullptr) return;
+    if (conn->http) {
+      ProcessHttp(*conn);
+      return;
+    }
     while (!conn->busy && !conn->doomed && !conn->closing && !draining_) {
       const size_t newline = conn->inbox.find('\n');
       if (newline == std::string::npos) break;
@@ -609,21 +733,70 @@ class EventLoopServer {
     return it == conns_.end() ? nullptr : it->second.get();
   }
 
+  /// Minimal HTTP/1.0-style handler for the metrics listener: one request
+  /// per connection, `GET /metrics` answered with the Prometheus text
+  /// exposition, everything else with 404.  The response goes straight
+  /// into the outbox (no protocol newline framing) and the connection
+  /// closes once it drains — exactly what a scraper expects from
+  /// `Connection: close`.
+  void ProcessHttp(Connection& conn) {
+    if (conn.closing) return;
+    size_t header_end = conn.inbox.find("\r\n\r\n");
+    size_t skip = 4;
+    if (header_end == std::string::npos) {
+      header_end = conn.inbox.find("\n\n");
+      skip = 2;
+    }
+    if (header_end == std::string::npos) {
+      // Headers incomplete.  A half-closed or oversized connection will
+      // never complete them; drop it.
+      if (conn.eof || conn.oversized) conn.doomed = true;
+      return;
+    }
+    const std::string request_line =
+        conn.inbox.substr(0, conn.inbox.find_first_of("\r\n"));
+    conn.inbox.erase(0, header_end + skip);
+    std::string status_line;
+    std::string body;
+    if (request_line == "GET /metrics" ||
+        request_line.rfind("GET /metrics ", 0) == 0) {
+      status_line = "HTTP/1.0 200 OK";
+      body = service_.MetricsText();
+    } else {
+      status_line = "HTTP/1.0 404 Not Found";
+      body = "not found: only GET /metrics is served here\n";
+    }
+    conn.outbox += status_line;
+    conn.outbox +=
+        "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+        "\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+    conn.outbox += body;
+    conn.closing = true;
+    if (!FlushOutbox(conn)) conn.doomed = true;
+  }
+
   void HandleLine(Connection& conn, const std::string& line) {
     // Blank lines are keep-alives, not requests.
     if (line.find_first_not_of(" \t\r\n") == std::string::npos) return;
+    Stopwatch parse_watch;
     Result<ServiceRequest> request = ParseRequestLine(line);
     if (!request.ok()) {
       QueueResponse(conn, FormatErrorReply("parse", request.status()));
       return;
     }
+    request->parse_us = static_cast<int64_t>(parse_watch.ElapsedMicros());
     if (NeedsExecutor(*request, conn)) {
       if (executor_->QueueDepth() >= kMaxQueuedJobs) {
+        if (metrics::Enabled()) {
+          LoopMetrics::Get().shed_executor_queue->Increment();
+        }
         QueueResponse(conn, ShedResponse(*request, conn));
         return;
       }
       conn.busy = true;
-      executor_->Submit(Job{conn.fd, std::move(*request), &conn.window});
+      executor_->Submit(
+          Job{conn.fd, std::move(*request), &conn.window, NowMicros()});
       return;
     }
     bool shutdown = false;
@@ -721,6 +894,7 @@ class EventLoopServer {
     }
     // Idle timeout: drop without answering.  A half-received line is not
     // a request, and the client stopped talking — the slow-loris case.
+    if (metrics::Enabled()) LoopMetrics::Get().idle_dropped->Increment();
     conn.doomed = true;
     Maintain(fd);
   }
@@ -741,6 +915,8 @@ class EventLoopServer {
       // this client is dropped, the daemon lives.
       return false;
     }
+    const bool timed = metrics::Enabled() && conn.out_off < conn.outbox.size();
+    Stopwatch send_watch;
     while (conn.out_off < conn.outbox.size()) {
       const ssize_t k =
           ::send(conn.fd, conn.outbox.data() + conn.out_off,
@@ -752,6 +928,11 @@ class EventLoopServer {
       if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (k < 0 && errno == EINTR) continue;
       return false;
+    }
+    if (timed) {
+      const LoopMetrics& lm = LoopMetrics::Get();
+      lm.send_us->Observe(static_cast<int64_t>(send_watch.ElapsedMicros()));
+      if (conn.out_off < conn.outbox.size()) lm.backpressure->Increment();
     }
     if (conn.out_off == conn.outbox.size()) {
       conn.outbox.clear();
@@ -778,6 +959,7 @@ class EventLoopServer {
       if (wheel_ != nullptr) wheel_->Cancel(fd);
       ::close(fd);
       conns_.erase(it);
+      if (metrics::Enabled()) LoopMetrics::Get().connections_open->Add(-1);
       return;
     }
     uint32_t mask = 0;
@@ -804,6 +986,11 @@ class EventLoopServer {
     poller_.Remove(listen_.fd);
     ::close(listen_.fd);
     listen_.fd = -1;
+    if (metrics_listen_.fd >= 0) {
+      poller_.Remove(metrics_listen_.fd);
+      ::close(metrics_listen_.fd);
+      metrics_listen_.fd = -1;
+    }
     std::vector<int> fds;
     fds.reserve(conns_.size());
     for (const auto& [fd, conn] : conns_) fds.push_back(fd);
@@ -819,6 +1006,7 @@ class EventLoopServer {
   std::ostream& announce_;
   Poller poller_;
   Fd listen_;
+  Fd metrics_listen_;
   int wake_pipe_[2] = {-1, -1};
   std::unique_ptr<TimerWheel> wheel_;
   Executor* executor_ = nullptr;

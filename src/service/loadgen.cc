@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include "rng/engine.h"
+#include "util/metrics.h"
 
 namespace geopriv {
 
@@ -310,6 +311,14 @@ Result<LoadStats> RunLoad(const LoadOptions& options) {
     double sum = 0.0;
     for (double v : latencies) sum += v;
     stats.mean_ms = sum / static_cast<double>(latencies.size());
+    // Server-comparable histogram: same log2 microsecond buckets as
+    // util/metrics.h histograms.
+    stats.latency_us_buckets.assign(metrics::kBuckets + 1, 0);
+    for (double ms : latencies) {
+      const auto us = static_cast<int64_t>(ms * 1e3);
+      ++stats.latency_us_buckets[static_cast<size_t>(
+          metrics::Histogram::BucketFor(us))];
+    }
   }
   return stats;
 }
@@ -331,6 +340,34 @@ std::string FormatLoadStats(const LoadStats& stats) {
       stats.throughput_qps, stats.p50_ms, stats.p99_ms, stats.p999_ms,
       stats.mean_ms, stats.max_ms);
   return buf;
+}
+
+std::string FormatLatencyHistogram(const LoadStats& stats) {
+  // Cumulative counts (Prometheus `le` convention), flat keys so CI can
+  // grep bucket lines the same way it greps the stats line.  Empty bucket
+  // vector (no completed requests) renders all-zero.
+  std::string out = "{\"histogram\":\"latency_us\"";
+  uint64_t total = 0;
+  char buf[64];
+  for (int i = 0; i <= metrics::kBuckets; ++i) {
+    const uint64_t n = i < static_cast<int>(stats.latency_us_buckets.size())
+                           ? stats.latency_us_buckets[static_cast<size_t>(i)]
+                           : 0;
+    total += n;
+    if (i < metrics::kBuckets) {
+      std::snprintf(buf, sizeof(buf), ",\"le_%lldus\":%llu",
+                    static_cast<long long>(metrics::Histogram::BucketBound(i)),
+                    static_cast<unsigned long long>(total));
+    } else {
+      std::snprintf(buf, sizeof(buf), ",\"le_inf\":%llu",
+                    static_cast<unsigned long long>(total));
+    }
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ",\"count\":%llu}",
+                static_cast<unsigned long long>(total));
+  out += buf;
+  return out;
 }
 
 }  // namespace geopriv

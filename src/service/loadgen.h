@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/result.h"
 
@@ -70,6 +71,12 @@ struct LoadStats {
   double p999_ms = 0.0;
   double mean_ms = 0.0;
   double max_ms = 0.0;
+  /// Client-side latency histogram, microseconds, in the SAME log2
+  /// buckets as the server's metrics registry (util/metrics.h: bucket i
+  /// counts latencies in (2^(i-1), 2^i], bucket 0 counts <= 1µs; the last
+  /// slot is +Inf) — so a scraped server histogram and this one line up
+  /// bucket for bucket.
+  std::vector<uint64_t> latency_us_buckets;
 };
 
 /// Runs one load-generation session against a live daemon.  Fails only on
@@ -80,6 +87,12 @@ Result<LoadStats> RunLoad(const LoadOptions& options);
 /// Formats `stats` as one flat JSON line (the loadgen tool's output; CI
 /// greps it).
 std::string FormatLoadStats(const LoadStats& stats);
+
+/// Formats the client-side latency histogram as one flat JSON line with
+/// CUMULATIVE per-bucket counts (Prometheus-style `le`): keys "le_1us",
+/// "le_2us", ..., "le_inf", plus "count" and the percentile summary's
+/// source size.  Emitted by `geopriv_loadgen --dump-histogram 1`.
+std::string FormatLatencyHistogram(const LoadStats& stats);
 
 }  // namespace geopriv
 

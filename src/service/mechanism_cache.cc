@@ -12,6 +12,8 @@
 #include "core/io.h"
 #include "core/optimal_exact.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 
 namespace geopriv {
 
@@ -99,6 +101,42 @@ Result<std::vector<std::string>> ParseManifest(const std::string& text) {
   return stems;
 }
 
+// Miss solves are millisecond-scale, so the clock reads and interned
+// lookups below are noise there; the hit path records nothing.
+void RecordSolveMetrics(const ServedMechanism& entry, double micros) {
+  if (!metrics::Enabled()) return;
+  metrics::Registry* registry = metrics::Registry::Default();
+  static metrics::Histogram* const latency_warm = registry->GetHistogram(
+      "geopriv_cache_solve_latency_us",
+      "Miss solve wall time in microseconds, by warm-start outcome",
+      {{"start", "warm"}});
+  static metrics::Histogram* const latency_cold = registry->GetHistogram(
+      "geopriv_cache_solve_latency_us",
+      "Miss solve wall time in microseconds, by warm-start outcome",
+      {{"start", "cold"}});
+  static metrics::Histogram* const pivots_p1_warm = registry->GetHistogram(
+      "geopriv_solver_pivots",
+      "Simplex pivots per miss solve, by phase and warm-start outcome",
+      {{"phase", "1"}, {"start", "warm"}});
+  static metrics::Histogram* const pivots_p2_warm = registry->GetHistogram(
+      "geopriv_solver_pivots",
+      "Simplex pivots per miss solve, by phase and warm-start outcome",
+      {{"phase", "2"}, {"start", "warm"}});
+  static metrics::Histogram* const pivots_p1_cold = registry->GetHistogram(
+      "geopriv_solver_pivots",
+      "Simplex pivots per miss solve, by phase and warm-start outcome",
+      {{"phase", "1"}, {"start", "cold"}});
+  static metrics::Histogram* const pivots_p2_cold = registry->GetHistogram(
+      "geopriv_solver_pivots",
+      "Simplex pivots per miss solve, by phase and warm-start outcome",
+      {{"phase", "2"}, {"start", "cold"}});
+  const bool warm = entry.warm_started;
+  (warm ? latency_warm : latency_cold)
+      ->Observe(static_cast<int64_t>(micros));
+  (warm ? pivots_p1_warm : pivots_p1_cold)->Observe(entry.phase1_iterations);
+  (warm ? pivots_p2_warm : pivots_p2_cold)->Observe(entry.phase2_iterations);
+}
+
 }  // namespace
 
 MechanismCache::MechanismCache(CacheOptions options)
@@ -158,6 +196,8 @@ Result<ServedMechanism> MechanismCache::SolveLocked(
     entry.loss = std::move(result.loss);
     entry.basis = std::move(result.basis);
     entry.lp_iterations = result.lp_iterations;
+    entry.phase1_iterations = result.phase1_iterations;
+    entry.phase2_iterations = result.phase2_iterations;
     entry.warm_started = result.warm_started;
   }
 
@@ -278,6 +318,7 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
   // on this shard (and GetStats) stay cheap; the in_flight marker keeps
   // duplicate solves of this signature out.
   Result<ServedMechanism> solved = Status::Internal("unreachable");
+  Stopwatch solve_watch;
   {
     std::unique_lock<std::timed_mutex> solve_lock(solve_mu_, std::defer_lock);
     if (!has_deadline) {
@@ -306,6 +347,7 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
   size_t entry_bytes = 0;
   if (solved.ok()) {
     entry = std::make_shared<const ServedMechanism>(std::move(*solved));
+    RecordSolveMetrics(*entry, solve_watch.ElapsedMicros());
     if (!options_.persist_dir.empty()) {
       const std::string serialized = SerializeExactMechanismV3(entry->exact);
       entry_bytes = serialized.size();
@@ -315,7 +357,10 @@ Result<std::shared_ptr<const ServedMechanism>> MechanismCache::GetOrSolve(
       }
       const Status persisted =
           PersistEntryFiles(options_.persist_dir, *entry, serialized);
-      (void)persisted;  // memory-only degradation; see comment above
+      if (!persisted.ok()) {
+        // Memory-only degradation (see comment above), but visibly so.
+        persist_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       entry_bytes = SerializeExactMechanismV3(entry->exact).size();
     }
@@ -369,6 +414,7 @@ MechanismCache::Stats MechanismCache::GetStats() const {
   stats.quarantined = quarantined_.load(std::memory_order_relaxed);
   stats.basis_warm_reloads =
       basis_warm_reloads_.load(std::memory_order_relaxed);
+  stats.persist_failures = persist_failures_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.entries += shard.entries.size();

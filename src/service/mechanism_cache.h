@@ -73,6 +73,8 @@ struct ServedMechanism {
   Mechanism mechanism = Mechanism::Identity(0);  ///< double view, prepared
   LpBasis basis;          ///< warm-start seed for neighbors (may be empty)
   int lp_iterations = 0;  ///< pivots of the producing solve (0 = no LP)
+  int phase1_iterations = 0;  ///< pivots spent finding feasibility
+  int phase2_iterations = 0;  ///< pivots spent optimizing
   bool warm_started = false;  ///< solved from a cached neighbor's basis
 };
 
@@ -166,6 +168,7 @@ class MechanismCache {
     uint64_t evictions = 0;     ///< entries removed by the LRU bound
     uint64_t quarantined = 0;   ///< corrupt files moved to quarantine/
     uint64_t basis_warm_reloads = 0;  ///< bases restored from disk on load
+    uint64_t persist_failures = 0;  ///< entries degraded to memory-only
   };
   Stats GetStats() const;
 
@@ -268,6 +271,7 @@ class MechanismCache {
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> quarantined_{0};
   std::atomic<uint64_t> basis_warm_reloads_{0};
+  std::atomic<uint64_t> persist_failures_{0};
   /// Serializes eviction and manifest commits; guards manifest_stems_.
   /// Lock order: maintenance_mu_ before any shard.mu, never the reverse.
   mutable std::mutex maintenance_mu_;

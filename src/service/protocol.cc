@@ -6,6 +6,9 @@
 #include <cstdlib>
 #include <utility>
 
+#include "util/metrics.h"
+#include "util/stopwatch.h"
+
 namespace geopriv {
 
 namespace {
@@ -294,6 +297,10 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
     request.op = ServiceOp::kStats;
     return request;
   }
+  if (op == "metrics") {
+    request.op = ServiceOp::kMetrics;
+    return request;
+  }
   if (op == "batch_begin") {
     request.op = ServiceOp::kBatchBegin;
     return request;
@@ -377,6 +384,12 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
           "field 'deadline_ms' must lie in [0, 600000]");
     }
   }
+  if (object.Has("trace")) {
+    // Per-request tracing: the reply carries a per-stage timing breakdown
+    // (trace_*_us fields) and the pipeline times its stages for this
+    // batch.  "trace":false is tolerated and means untraced.
+    GEOPRIV_ASSIGN_OR_RETURN(query.trace, object.GetBool("trace"));
+  }
   if (object.Has("chained")) {
     // Min-composition is only sound for an actual Algorithm-1 chain; a
     // client-declared flag on independent samples would be a budget
@@ -403,6 +416,34 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
 
 std::string FormatQueryReply(const ServiceQuery& query,
                              const ServiceReply& reply) {
+  // Every query reply — pipeline-executed or shed at the transport —
+  // passes through here, so this is the one place the reply-result
+  // counters can be made to match what clients actually received.
+  if (metrics::Enabled()) {
+    metrics::Registry* registry = metrics::Registry::Default();
+    static metrics::Counter* const replies_ok = registry->GetCounter(
+        "geopriv_query_replies_total", "Query replies by result",
+        {{"result", "ok"}});
+    static metrics::Counter* const replies_rejected = registry->GetCounter(
+        "geopriv_query_replies_total", "Query replies by result",
+        {{"result", "rejected"}});
+    static metrics::Counter* const replies_shed = registry->GetCounter(
+        "geopriv_query_replies_total", "Query replies by result",
+        {{"result", "shed"}});
+    static metrics::Counter* const replies_error = registry->GetCounter(
+        "geopriv_query_replies_total", "Query replies by result",
+        {{"result", "error"}});
+    if (reply.status.ok()) {
+      replies_ok->Increment();
+    } else if (reply.status.IsFailedPrecondition()) {
+      replies_rejected->Increment();
+    } else if (reply.status.IsUnavailable()) {
+      replies_shed->Increment();
+    } else {
+      replies_error->Increment();
+    }
+  }
+  Stopwatch serialize_watch;
   char buf[64];
   std::string out = "{\"op\":\"query\",\"ok\":";
   out += reply.status.ok() ? "true" : "false";
@@ -428,7 +469,22 @@ std::string FormatQueryReply(const ServiceQuery& query,
   if (reply.retry_after_ms > 0) {
     out += ",\"retry_after_ms\":" + std::to_string(reply.retry_after_ms);
   }
-  out += std::string(",\"cache\":\"") + reply.cache + "\"}";
+  out += std::string(",\"cache\":\"") + reply.cache + "\"";
+  if (reply.traced) {
+    // Flat keys by protocol rule (no nesting).  The serialize span covers
+    // the formatting up to this point; the send span happens after the
+    // reply leaves this function and is recorded to histograms only.
+    out += ",\"trace_parse_us\":" + std::to_string(reply.trace_parse_us);
+    out += ",\"trace_queue_us\":" + std::to_string(reply.trace_queue_us);
+    out += ",\"trace_solve_us\":" + std::to_string(reply.trace_solve_us);
+    out += ",\"trace_charge_us\":" + std::to_string(reply.trace_charge_us);
+    out += ",\"trace_sample_us\":" + std::to_string(reply.trace_sample_us);
+    out += ",\"trace_persist_us\":" + std::to_string(reply.trace_persist_us);
+    out += ",\"trace_serialize_us\":" +
+           std::to_string(
+               static_cast<int64_t>(serialize_watch.ElapsedMicros()));
+  }
+  out += "}";
   return out;
 }
 

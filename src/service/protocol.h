@@ -71,6 +71,7 @@ enum class ServiceOp {
   kBatchEnd,
   kBudget,
   kStats,
+  kMetrics,
   kPing,
   kShutdown,
 };
@@ -80,6 +81,11 @@ struct ServiceRequest {
   ServiceOp op = ServiceOp::kPing;
   ServiceQuery query;    ///< populated for kQuery
   std::string consumer;  ///< populated for kBudget
+  /// Transport-filled trace spans, microseconds: time spent parsing the
+  /// request line, and (event-loop transport) waiting in the executor
+  /// queue.  Copied into traced replies and the slow-query log.
+  int64_t parse_us = 0;
+  int64_t queue_us = 0;
 };
 
 /// Parses and validates one request line (including the signature

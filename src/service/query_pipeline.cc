@@ -1,12 +1,66 @@
 #include "service/query_pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <utility>
 
 #include "rng/engine.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 
 namespace geopriv {
+
+namespace {
+
+// Pipeline instrumentation.  Counters are always-on (striped fetch_adds,
+// nanoseconds); the per-stage clock reads are taken only for traced
+// batches and a 1-in-64 sample of the rest, so the ~0.8us cached hot path
+// never pays three steady_clock reads per batch by default.
+struct PipelineMetrics {
+  metrics::Histogram* batch_size;
+  metrics::Histogram* stage_solve_us;
+  metrics::Histogram* stage_charge_us;
+  metrics::Histogram* stage_sample_us;
+  metrics::Counter* samples_total;
+  metrics::Counter* ledger_charges;
+  metrics::Counter* ledger_rejections;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics m = [] {
+      metrics::Registry* registry = metrics::Registry::Default();
+      PipelineMetrics out;
+      out.batch_size = registry->GetHistogram(
+          "geopriv_pipeline_batch_size", "Queries per executed batch");
+      out.stage_solve_us = registry->GetHistogram(
+          "geopriv_pipeline_stage_us",
+          "Batch-level pipeline stage wall time in microseconds (traced or "
+          "1-in-64 sampled batches)",
+          {{"stage", "solve"}});
+      out.stage_charge_us = registry->GetHistogram(
+          "geopriv_pipeline_stage_us",
+          "Batch-level pipeline stage wall time in microseconds (traced or "
+          "1-in-64 sampled batches)",
+          {{"stage", "charge"}});
+      out.stage_sample_us = registry->GetHistogram(
+          "geopriv_pipeline_stage_us",
+          "Batch-level pipeline stage wall time in microseconds (traced or "
+          "1-in-64 sampled batches)",
+          {{"stage", "sample"}});
+      out.samples_total = registry->GetCounter(
+          "geopriv_samples_total", "Released samples drawn from mechanisms");
+      out.ledger_charges = registry->GetCounter(
+          "geopriv_ledger_charges_total", "Budget charges recorded");
+      out.ledger_rejections = registry->GetCounter(
+          "geopriv_ledger_rejections_total",
+          "Releases rejected by the budget ledger");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 QueryPipeline::QueryPipeline(MechanismCache* cache, BudgetLedger* ledger,
                              PipelineOptions options)
@@ -24,6 +78,21 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     const std::vector<ServiceQuery>& queries, bool cached_only_override) {
   const bool cached_only = options_.cached_only || cached_only_override;
   std::vector<ServiceReply> replies(queries.size());
+
+  const PipelineMetrics& pm = PipelineMetrics::Get();
+  pm.batch_size->Observe(static_cast<int64_t>(queries.size()));
+  bool any_trace = false;
+  for (const ServiceQuery& query : queries) any_trace |= query.trace;
+  // Time the stages for traced batches and a 1-in-64 sample of the rest.
+  static std::atomic<uint64_t> batch_counter{0};
+  const bool timed =
+      any_trace || options_.time_stages ||
+      (metrics::Enabled() &&
+       (batch_counter.fetch_add(1, std::memory_order_relaxed) & 63) == 0);
+  Stopwatch stage_watch;
+  int64_t solve_us = 0;
+  int64_t charge_us = 0;
+  int64_t sample_us = 0;
 
   // Stage 1 — group by canonical signature and resolve each group through
   // the cache once.  std::map keeps group iteration deterministic.
@@ -67,6 +136,7 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
               return *a.first < *b.first;
             });
   size_t batch_solves = 0;
+  if (timed) stage_watch.Reset();
   for (auto& [key_ptr, group_ptr] : solve_order) {
     Group& group = *group_ptr;
     const ServiceQuery& first = queries[group.members.front()];
@@ -144,9 +214,16 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     group.cache = hit ? "hit" : (group.entry->warm_started ? "warm" : "cold");
   }
 
+  if (timed) {
+    solve_us = static_cast<int64_t>(stage_watch.ElapsedMicros());
+    stage_watch.Reset();
+  }
+
   // Stage 2 — budget admission, strictly in input order (the ledger is
   // sequential state: a batch's earlier queries shrink the budget its
   // later ones see, exactly as if they had arrived one by one).
+  int64_t charges = 0;
+  int64_t rejections = 0;
   std::vector<const ServedMechanism*> admitted(queries.size(), nullptr);
   for (size_t q = 0; q < queries.size(); ++q) {
     const ServiceQuery& query = queries[q];
@@ -183,6 +260,7 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
       reply.composed_level = decision->composed_level;
       reply.budget = decision->budget;
       if (!decision->allowed) {
+        ++rejections;
         reply.level_after = decision->current_level;
         reply.status = Status::FailedPrecondition(
             "privacy budget exceeded: release would compose consumer '" +
@@ -193,6 +271,7 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
       }
       reply.level_after = decision->composed_level;
       reply.charged = true;
+      ++charges;
     } else {
       reply.composed_level = query.signature.alpha.ToDouble();
       reply.level_after = reply.composed_level;
@@ -206,6 +285,10 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
       continue;
     }
     admitted[q] = group.entry.get();
+  }
+  if (timed) {
+    charge_us = static_cast<int64_t>(stage_watch.ElapsedMicros());
+    stage_watch.Reset();
   }
 
   // Stage 3 — sample the admitted requests.  Each iteration owns its
@@ -230,6 +313,31 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     pool_->ParallelFor(queries.size(), sample_one);
   } else {
     for (size_t q = 0; q < queries.size(); ++q) sample_one(q);
+  }
+  if (timed) sample_us = static_cast<int64_t>(stage_watch.ElapsedMicros());
+
+  int64_t samples = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (admitted[q] != nullptr && replies[q].status.ok()) ++samples;
+  }
+  pm.samples_total->Add(samples);
+  if (charges > 0) pm.ledger_charges->Add(charges);
+  if (rejections > 0) pm.ledger_rejections->Add(rejections);
+  if (timed && metrics::Enabled()) {
+    pm.stage_solve_us->Observe(solve_us);
+    pm.stage_charge_us->Observe(charge_us);
+    pm.stage_sample_us->Observe(sample_us);
+  }
+  if (timed) {
+    // Spans land in every reply (the slow-query log reads them even for
+    // untraced queries); the `traced` flag — which puts them on the wire —
+    // follows the request's own ask.
+    for (size_t q = 0; q < queries.size(); ++q) {
+      replies[q].traced = queries[q].trace;
+      replies[q].trace_solve_us = solve_us;
+      replies[q].trace_charge_us = charge_us;
+      replies[q].trace_sample_us = sample_us;
+    }
   }
   return replies;
 }

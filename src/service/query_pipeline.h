@@ -52,6 +52,9 @@ struct ServiceQuery {
   /// group's effective deadline is the laxest among its members (a member
   /// with no deadline lifts the bound for the shared solve).
   int64_t deadline_ms = 0;
+  /// Request-level tracing: when set, the pipeline times its stages and
+  /// the reply carries a per-stage breakdown (ServiceReply::traced).
+  bool trace = false;
 };
 
 /// One per-request outcome.  `status` carries budget rejections and input
@@ -72,6 +75,18 @@ struct ServiceReply {
   /// Nonzero on shed replies (status Unavailable): the client should back
   /// off at least this long before retrying.
   int64_t retry_after_ms = 0;
+  /// Per-stage timings, filled when the query set `trace`.  The pipeline
+  /// stages are batch-level spans (one solve/charge/sample pass serves the
+  /// whole batch); the transport adds its own spans (parse, queue wait,
+  /// persist, serialize) before the reply is formatted.
+  bool traced = false;
+  int64_t trace_solve_us = 0;   ///< stage 1: group + cache resolve
+  int64_t trace_charge_us = 0;  ///< stage 2: budget admission + charge
+  int64_t trace_sample_us = 0;  ///< stage 3: sampling fan-out
+  /// Transport spans, filled by the serving layer (not the pipeline):
+  int64_t trace_parse_us = 0;    ///< request line parse + validation
+  int64_t trace_queue_us = 0;    ///< event-loop executor queue wait
+  int64_t trace_persist_us = 0;  ///< ledger rewrite after the batch
 };
 
 /// Pipeline tuning; all defaults preserve the historical behavior.
@@ -90,6 +105,11 @@ struct PipelineOptions {
   int64_t retry_after_ms = 1000;
   /// Deadline applied to queries that do not carry their own; 0 = none.
   int64_t default_deadline_ms = 0;
+  /// Time the pipeline stages for EVERY batch (three clock reads per
+  /// batch) instead of only traced/sampled ones.  The server sets this
+  /// when a slow-query threshold is configured, so slow-query lines
+  /// always carry a full breakdown.
+  bool time_stages = false;
 };
 
 class QueryPipeline {

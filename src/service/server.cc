@@ -20,6 +20,8 @@
 #include "rng/engine.h"
 #include "service/event_loop.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 
 namespace geopriv {
 
@@ -39,6 +41,61 @@ CacheOptions MakeCacheOptions(const ServiceOptions& options) {
   return cache;
 }
 
+// Serializes a sync-then-read of the process registry, so two services
+// (or a stats op racing a /metrics scrape) can never interleave their
+// mirrored snapshots.  Process-wide on purpose: the registry it guards is.
+std::mutex& MetricsSyncMu() {
+  static std::mutex* const mu = new std::mutex;
+  return *mu;
+}
+
+// Per-op request counters, interned once.
+void RecordRequestOp(ServiceOp op) {
+  if (!metrics::Enabled()) return;
+  metrics::Registry* registry = metrics::Registry::Default();
+  static const char* const kHelp = "Protocol requests by op";
+  static metrics::Counter* const by_op[] = {
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "query"}}),
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "batch_begin"}}),
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "batch_end"}}),
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "budget"}}),
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "stats"}}),
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "metrics"}}),
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "ping"}}),
+      registry->GetCounter("geopriv_requests_total", kHelp,
+                           {{"op", "shutdown"}}),
+  };
+  by_op[static_cast<size_t>(op)]->Increment();
+}
+
+// The value of a (name, labels) pair in a Collect() snapshot; 0 if absent.
+int64_t RegistryValue(const std::vector<metrics::Sample>& samples,
+                      const std::string& name,
+                      const metrics::Labels& labels = {}) {
+  for (const metrics::Sample& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return sample.value;
+  }
+  return 0;
+}
+
+// Label values flattened into a stable key suffix for the flat-JSON
+// metrics op: geopriv_solver_pivots{phase="1",start="warm"} ->
+// "geopriv_solver_pivots_1_warm" (label keys are sorted by the map).
+std::string FlatKey(const metrics::Sample& sample) {
+  std::string key = sample.name;
+  for (const auto& [label, value] : sample.labels) {
+    key += "_" + value;
+  }
+  return key;
+}
+
 }  // namespace
 
 // The cache (solve pool) and pipeline (sampling pool) each own a worker
@@ -54,7 +111,8 @@ MechanismService::MechanismService(ServiceOptions options)
       pipeline_(&cache_, &ledger_,
                 PipelineOptions{options_.threads, /*max_batch_solves=*/0,
                                 options_.cached_only, options_.retry_after_ms,
-                                options_.default_deadline_ms}) {}
+                                options_.default_deadline_ms,
+                                /*time_stages=*/options_.slow_query_ms > 0}) {}
 
 namespace {
 
@@ -232,8 +290,10 @@ std::string MechanismService::HandleLine(const std::string& line,
   if (shutdown != nullptr) *shutdown = false;
   // Blank lines are keep-alives, not requests.
   if (line.find_first_not_of(" \t\r\n") == std::string::npos) return "";
+  Stopwatch parse_watch;
   Result<ServiceRequest> request = ParseRequestLine(line);
   if (!request.ok()) return FormatErrorReply("parse", request.status());
+  request->parse_us = static_cast<int64_t>(parse_watch.ElapsedMicros());
   return HandleRequest(*request, window, shutdown);
 }
 
@@ -242,6 +302,7 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
                                             bool* shutdown,
                                             bool cached_only) {
   if (shutdown != nullptr) *shutdown = false;
+  RecordRequestOp(request.op);
   switch (request.op) {
     case ServiceOp::kPing:
       return "{\"op\":\"ping\",\"ok\":true}";
@@ -267,17 +328,42 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
     }
 
     case ServiceOp::kStats: {
-      const MechanismCache::Stats stats = cache_.GetStats();
+      // The stats op IS a registry read: the cache aggregates are synced
+      // into the process registry and the reply is formatted from the
+      // snapshot, so `stats` and `metrics` can never disagree.  The
+      // sync-then-collect pair is atomic under the sync mutex.
+      std::vector<metrics::Sample> samples;
+      {
+        std::lock_guard<std::mutex> lock(MetricsSyncMu());
+        const bool was_enabled = metrics::Enabled();
+        // The stats op must answer even when recording is switched off
+        // for overhead measurement — force the sync writes through.
+        if (!was_enabled) metrics::SetEnabled(true);
+        SyncMetricsLocked();
+        samples = metrics::Registry::Default()->Collect();
+        if (!was_enabled) metrics::SetEnabled(false);
+      }
       std::ostringstream out;
-      out << "{\"op\":\"stats\",\"ok\":true,\"entries\":" << stats.entries
-          << ",\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
-          << ",\"warm_starts\":" << stats.warm_starts
-          << ",\"bytes\":" << stats.bytes
-          << ",\"evictions\":" << stats.evictions
-          << ",\"quarantined\":" << stats.quarantined
-          << ",\"basis_warm_reloads\":" << stats.basis_warm_reloads << "}";
+      out << "{\"op\":\"stats\",\"ok\":true,\"entries\":"
+          << RegistryValue(samples, "geopriv_cache_entries")
+          << ",\"hits\":" << RegistryValue(samples, "geopriv_cache_hits")
+          << ",\"misses\":" << RegistryValue(samples, "geopriv_cache_misses")
+          << ",\"warm_starts\":"
+          << RegistryValue(samples, "geopriv_cache_warm_starts")
+          << ",\"bytes\":" << RegistryValue(samples, "geopriv_cache_bytes")
+          << ",\"evictions\":"
+          << RegistryValue(samples, "geopriv_cache_evictions")
+          << ",\"quarantined\":"
+          << RegistryValue(samples, "geopriv_cache_quarantined")
+          << ",\"basis_warm_reloads\":"
+          << RegistryValue(samples, "geopriv_cache_basis_warm_reloads")
+          << ",\"persist_failures\":"
+          << RegistryValue(samples, "geopriv_cache_persist_failures") << "}";
       return out.str();
     }
+
+    case ServiceOp::kMetrics:
+      return MetricsJson();
 
     case ServiceOp::kBudget: {
       char buf[64];
@@ -311,17 +397,31 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
       window->open = false;
       std::vector<ServiceQuery> batch = std::move(window->pending);
       window->pending.clear();
-      const std::vector<ServiceReply> replies =
+      Stopwatch handle_watch;
+      std::vector<ServiceReply> replies =
           pipeline_.ExecuteBatch(batch, cached_only);
+      Stopwatch persist_watch;
       Status persisted = PersistLedgerIfCharged(replies);
       if (!persisted.ok()) {
         // The charges happened but could not be made durable: withhold the
         // released values rather than risk re-admitting them after a crash.
         return FormatErrorReply("persist", persisted);
       }
+      const int64_t persist_us =
+          static_cast<int64_t>(persist_watch.ElapsedMicros());
+      // Transport spans: parse/queue describe the batch_end line itself;
+      // the persist span is batch-level like the pipeline stages.
+      const int64_t total_us = request.parse_us + request.queue_us +
+                               static_cast<int64_t>(
+                                   handle_watch.ElapsedMicros());
       std::string out;
       for (size_t q = 0; q < batch.size(); ++q) {
-        out += FormatQueryReply(batch[q], replies[q]);
+        ServiceReply& reply = replies[q];
+        reply.trace_parse_us = request.parse_us;
+        reply.trace_queue_us = request.queue_us;
+        reply.trace_persist_us = persist_us;
+        MaybeLogSlowQuery(batch[q], reply, total_us);
+        out += FormatQueryReply(batch[q], reply);
         out += "\n";
       }
       out += "{\"op\":\"batch_end\",\"ok\":true,\"batched\":" +
@@ -350,11 +450,22 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
     return "{\"op\":\"queued\",\"ok\":true,\"index\":" +
            std::to_string(window->pending.size() - 1) + "}";
   }
-  const std::vector<ServiceReply> replies =
+  Stopwatch handle_watch;
+  std::vector<ServiceReply> replies =
       pipeline_.ExecuteBatch({request.query}, cached_only);
+  Stopwatch persist_watch;
   Status persisted = PersistLedgerIfCharged(replies);
   if (!persisted.ok()) return FormatErrorReply("persist", persisted);
-  return FormatQueryReply(request.query, replies.front());
+  ServiceReply& reply = replies.front();
+  reply.trace_parse_us = request.parse_us;
+  reply.trace_queue_us = request.queue_us;
+  reply.trace_persist_us = static_cast<int64_t>(persist_watch.ElapsedMicros());
+  if (options_.slow_query_ms > 0) {
+    MaybeLogSlowQuery(request.query, reply,
+                      request.parse_us + request.queue_us +
+                          static_cast<int64_t>(handle_watch.ElapsedMicros()));
+  }
+  return FormatQueryReply(request.query, reply);
 }
 
 Status MechanismService::PersistLedgerIfCharged(
@@ -365,6 +476,128 @@ Status MechanismService::PersistLedgerIfCharged(
     if (reply.charged) return PersistLedger();
   }
   return Status::OK();
+}
+
+void MechanismService::SyncMetricsLocked() {
+  // The cache keeps its own authoritative counters (tests assert on
+  // GetStats() directly); the registry carries mirrors, refreshed here so
+  // every exposition path — stats op, metrics op, GET /metrics — reads
+  // one source.  Mirrored values are gauges: they are set absolutely,
+  // and with several services in one process (tests) the last sync wins,
+  // which the sync mutex makes atomic per read.
+  metrics::Registry* registry = metrics::Registry::Default();
+  struct Mirror {
+    metrics::Gauge* entries;
+    metrics::Gauge* bytes;
+    metrics::Gauge* hits;
+    metrics::Gauge* misses;
+    metrics::Gauge* warm_starts;
+    metrics::Gauge* shed;
+    metrics::Gauge* timeouts;
+    metrics::Gauge* evictions;
+    metrics::Gauge* quarantined;
+    metrics::Gauge* basis_warm_reloads;
+    metrics::Gauge* persist_failures;
+    metrics::Gauge* pending_solves;
+    metrics::Gauge* ledger_consumers;
+  };
+  static const Mirror m = {
+      registry->GetGauge("geopriv_cache_entries", "Live cache entries"),
+      registry->GetGauge("geopriv_cache_bytes",
+                         "Serialized size of live cache entries"),
+      registry->GetGauge("geopriv_cache_hits", "Cache lookups served"),
+      registry->GetGauge("geopriv_cache_misses",
+                         "Cache misses that ran a solve"),
+      registry->GetGauge("geopriv_cache_warm_starts",
+                         "Misses seeded from a cached basis"),
+      registry->GetGauge("geopriv_cache_shed",
+                         "Misses rejected by the admission cap"),
+      registry->GetGauge("geopriv_cache_timeouts",
+                         "Cache calls that hit their deadline"),
+      registry->GetGauge("geopriv_cache_evictions",
+                         "Entries removed by the LRU bound"),
+      registry->GetGauge("geopriv_cache_quarantined",
+                         "Corrupt files moved to quarantine/"),
+      registry->GetGauge("geopriv_cache_basis_warm_reloads",
+                         "Bases restored from disk on load"),
+      registry->GetGauge("geopriv_cache_persist_failures",
+                         "Entries degraded to memory-only by a failed "
+                         "persist"),
+      registry->GetGauge("geopriv_cache_pending_solves",
+                         "Solves running or queued on the solver mutex"),
+      registry->GetGauge("geopriv_ledger_consumers",
+                         "Consumers with a ledger account"),
+  };
+  const MechanismCache::Stats stats = cache_.GetStats();
+  m.entries->Set(static_cast<int64_t>(stats.entries));
+  m.bytes->Set(static_cast<int64_t>(stats.bytes));
+  m.hits->Set(static_cast<int64_t>(stats.hits));
+  m.misses->Set(static_cast<int64_t>(stats.misses));
+  m.warm_starts->Set(static_cast<int64_t>(stats.warm_starts));
+  m.shed->Set(static_cast<int64_t>(stats.shed));
+  m.timeouts->Set(static_cast<int64_t>(stats.timeouts));
+  m.evictions->Set(static_cast<int64_t>(stats.evictions));
+  m.quarantined->Set(static_cast<int64_t>(stats.quarantined));
+  m.basis_warm_reloads->Set(static_cast<int64_t>(stats.basis_warm_reloads));
+  m.persist_failures->Set(static_cast<int64_t>(stats.persist_failures));
+  m.pending_solves->Set(static_cast<int64_t>(cache_.PendingSolves()));
+  m.ledger_consumers->Set(static_cast<int64_t>(ledger_.Snapshot().size()));
+}
+
+std::string MechanismService::MetricsText() {
+  std::lock_guard<std::mutex> lock(MetricsSyncMu());
+  SyncMetricsLocked();
+  return metrics::Registry::Default()->RenderPrometheus();
+}
+
+std::string MechanismService::MetricsJson() {
+  std::vector<metrics::Sample> samples;
+  {
+    std::lock_guard<std::mutex> lock(MetricsSyncMu());
+    SyncMetricsLocked();
+    samples = metrics::Registry::Default()->Collect();
+  }
+  std::string out = "{\"op\":\"metrics\",\"ok\":true";
+  for (const metrics::Sample& sample : samples) {
+    const std::string key = FlatKey(sample);
+    if (sample.type == "histogram") {
+      out += ",\"" + key + "_count\":" + std::to_string(sample.count);
+      out += ",\"" + key + "_sum\":" + std::to_string(sample.sum);
+    } else {
+      out += ",\"" + key + "\":" + std::to_string(sample.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void MechanismService::MaybeLogSlowQuery(const ServiceQuery& query,
+                                         const ServiceReply& reply,
+                                         int64_t total_us) {
+  if (options_.slow_query_ms <= 0) return;
+  if (total_us < options_.slow_query_ms * 1000) return;
+  std::string line = "{\"slow_query\":true";
+  line += ",\"consumer\":\"" + JsonEscape(query.consumer) + "\"";
+  line += ",\"signature\":\"" + JsonEscape(query.signature.CanonicalKey()) +
+          "\"";
+  line += std::string(",\"ok\":") + (reply.status.ok() ? "true" : "false");
+  line += std::string(",\"cache\":\"") + reply.cache + "\"";
+  line += ",\"total_us\":" + std::to_string(total_us);
+  line += ",\"parse_us\":" + std::to_string(reply.trace_parse_us);
+  line += ",\"queue_us\":" + std::to_string(reply.trace_queue_us);
+  line += ",\"solve_us\":" + std::to_string(reply.trace_solve_us);
+  line += ",\"charge_us\":" + std::to_string(reply.trace_charge_us);
+  line += ",\"sample_us\":" + std::to_string(reply.trace_sample_us);
+  line += ",\"persist_us\":" + std::to_string(reply.trace_persist_us);
+  line += "}\n";
+  std::ostream* sink = options_.slow_query_log;
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  if (sink != nullptr) {
+    *sink << line << std::flush;
+  } else {
+    std::fputs(line.c_str(), stderr);
+    std::fflush(stderr);
+  }
 }
 
 Status RunServeLoop(std::istream& in, std::ostream& out,

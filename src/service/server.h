@@ -78,6 +78,17 @@ struct ServiceOptions {
   /// instead of the event loop — the baseline the load bench compares
   /// against, and an escape hatch if the event loop misbehaves.
   bool serial_accept = false;
+  /// Loopback HTTP metrics endpoint: the event loop additionally listens
+  /// on 127.0.0.1:metrics_port and answers GET /metrics with the
+  /// Prometheus text exposition.  0 picks a free port; -1 (default)
+  /// disables the listener.  Ignored by the serial transport.
+  int metrics_port = -1;
+  /// Slow-query log: a query whose end-to-end handling (parse + queue +
+  /// pipeline + persist) takes at least this long is logged as one JSONL
+  /// line with its full stage breakdown.  0 (default) disables.
+  int64_t slow_query_ms = 0;
+  /// Slow-query log sink; nullptr means stderr.  Borrowed, not owned.
+  std::ostream* slow_query_log = nullptr;
 };
 
 /// One protocol session's batch-window state.  Every transport connection
@@ -145,6 +156,16 @@ class MechanismService {
   QueryPipeline& pipeline() { return pipeline_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// Prometheus text exposition of the process metrics registry, with
+  /// this service's cache and ledger aggregates synced in first.  What
+  /// the HTTP GET /metrics endpoint serves.
+  std::string MetricsText();
+
+  /// The `metrics` protocol op's reply body: the same registry as one
+  /// flat JSON line (labels flattened into key suffixes; histograms as
+  /// their _count/_sum aggregates — buckets are Prometheus-only).
+  std::string MetricsJson();
+
  private:
   /// Rewrites just the ledger file (cheap: one line per consumer).
   /// Called after every batch that charged, so a crash between batches
@@ -157,12 +178,24 @@ class MechanismService {
   /// PersistLedger, skipped when no reply in the batch recorded a charge.
   Status PersistLedgerIfCharged(const std::vector<ServiceReply>& replies);
 
+  /// Mirrors the cache/ledger aggregates into the process registry.
+  /// Caller must hold the process-wide metrics sync mutex (the stats and
+  /// metrics ops sync-then-read atomically so concurrent services cannot
+  /// interleave their snapshots).
+  void SyncMetricsLocked();
+
+  /// Emits one slow-query JSONL line when options_.slow_query_ms is set
+  /// and `total_us` crosses it.
+  void MaybeLogSlowQuery(const ServiceQuery& query, const ServiceReply& reply,
+                         int64_t total_us);
+
   ServiceOptions options_;
   MechanismCache cache_;
   BudgetLedger ledger_;
   QueryPipeline pipeline_;
   BatchWindow default_window_;
   std::mutex persist_mu_;
+  std::mutex slow_log_mu_;  ///< slow-query lines must not interleave
 };
 
 /// Reads request lines from `in` until EOF or shutdown, writing each

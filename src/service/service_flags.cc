@@ -39,6 +39,12 @@ void RegisterServiceFlags(ArgParser* parser, ServiceFlags* flags) {
                  "event-loop batch executor threads (0 = auto)");
   parser->AddBool("serial-accept", &flags->serial_accept,
                   "serve TCP with the historical one-client-at-a-time loop");
+  parser->AddInt("metrics-port", &flags->metrics_port, -1, 65535,
+                 "serve Prometheus GET /metrics over loopback HTTP "
+                 "(0 picks a free port, -1 disables; event loop only)");
+  parser->AddInt64("slow-query-ms", &flags->slow_query_ms, 0, 600000,
+                   "log a JSONL line to stderr for any query slower than "
+                   "this end to end; 0 disables");
 }
 
 ServiceOptions ToServiceOptions(const ServiceFlags& flags) {
@@ -56,6 +62,8 @@ ServiceOptions ToServiceOptions(const ServiceFlags& flags) {
   options.cached_only = flags.cached_only;
   options.workers = flags.workers;
   options.serial_accept = flags.serial_accept;
+  options.metrics_port = flags.metrics_port;
+  options.slow_query_ms = flags.slow_query_ms;
   return options;
 }
 

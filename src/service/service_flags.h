@@ -37,6 +37,8 @@ struct ServiceFlags {
   bool cached_only = false;   ///< --cached-only: degraded mode
   int workers = 0;            ///< --workers: event-loop batch executors
   bool serial_accept = false; ///< --serial-accept: historical TCP loop
+  int metrics_port = -1;      ///< --metrics-port: loopback HTTP /metrics
+  int64_t slow_query_ms = 0;  ///< --slow-query-ms: JSONL slow-query log
 };
 
 /// Registers every service flag on `parser`, bound to `flags`.  Both must

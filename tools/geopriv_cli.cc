@@ -9,6 +9,7 @@
 //   analyze    print error statistics of a saved mechanism
 //   serve      run the mechanism service (JSONL over stdin or TCP)
 //   query      one-shot client for the service's line protocol
+//   metrics    fetch the service metrics registry (daemon or in-process)
 //
 // Example:
 //   geopriv optimal --n 8 --alpha 0.5 --loss absolute --out mech.txt
@@ -366,6 +367,43 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+int CmdMetrics(int argc, char** argv) {
+  ServiceFlags service_flags;
+  ArgParser parser;
+  RegisterServiceFlags(&parser, &service_flags);
+  std::string host = "127.0.0.1", format = "json";
+  int retries = 3;
+  parser.AddString("host", &host, "daemon address (dotted IPv4)")
+      .AddString("format", &format,
+                 "json (the protocol's metrics op reply) | text "
+                 "(Prometheus exposition; in-process only)")
+      .AddInt("retries", &retries, 1, 100, "TCP attempts incl. the first");
+  Status parsed = parser.Parse(argc, argv, 2);
+  if (!parsed.ok()) return Fail(parsed);
+  if (parser.Provided("port")) {
+    // Against a daemon: the protocol op.  (For Prometheus text, scrape the
+    // daemon's --metrics-port endpoint instead.)
+    RetryOptions retry;
+    retry.attempts = retries;
+    auto response = TcpRequestWithRetry(host, service_flags.port,
+                                        "{\"op\":\"metrics\"}", retry);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", response->c_str());
+    return 0;
+  }
+  // No daemon: read the registry of a fresh in-process service (after
+  // LoadPersisted, so cache/ledger gauges reflect the persisted state).
+  MechanismService service(ToServiceOptions(service_flags));
+  auto loaded = service.LoadPersisted();
+  if (!loaded.ok()) return Fail(loaded.status());
+  if (format == "text") {
+    std::printf("%s", service.MetricsText().c_str());
+  } else {
+    std::printf("%s\n", service.MetricsJson().c_str());
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "usage: geopriv <command> [--key value ...]\n"
@@ -389,7 +427,10 @@ void PrintUsage() {
       "  query      --consumer C --n N --alpha A --count K [--seed S]\n"
       "             [--loss ...] [--lo L --hi H] [--mode exact|geometric]\n"
       "             [--deadline-ms D] [--port P [--host H] [--retries R]]\n"
-      "             (or --line '<raw json>')\n");
+      "             (or --line '<raw json>')\n"
+      "  metrics    [--port P [--host H] [--retries R]] [--format json|text]\n"
+      "             [--persist DIR]\n"
+      "             (registry snapshot: daemon op reply, or in-process)\n");
 }
 
 }  // namespace
@@ -410,6 +451,7 @@ int main(int argc, char** argv) {
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
+  if (command == "metrics") return CmdMetrics(argc, argv);
   PrintUsage();
   return 1;
 }

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   std::string loss = "absolute";
   int count = 2;
   std::string consumer = "load";
+  bool dump_histogram = false;
 
   ArgParser parser;
   parser.AddString("host", &host, "daemon address (dotted IPv4)");
@@ -65,6 +66,10 @@ int main(int argc, char** argv) {
   parser.AddString("loss", &loss, "query signature: loss function");
   parser.AddInt("count", &count, 0, 1 << 20, "query: true count");
   parser.AddString("consumer", &consumer, "query: ledger account");
+  parser.AddBool("dump-histogram", &dump_histogram,
+                 "also print the client-side latency histogram as a second "
+                 "JSON line (log2 microsecond buckets, cumulative counts — "
+                 "same buckets as the server's /metrics histograms)");
 
   if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
                     std::strcmp(argv[1], "-h") == 0)) {
@@ -106,5 +111,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%s\n", FormatLoadStats(*stats).c_str());
+  if (dump_histogram) {
+    std::printf("%s\n", FormatLatencyHistogram(*stats).c_str());
+  }
   return 0;
 }
