@@ -69,15 +69,45 @@ Result<int> Mechanism::Sample(int i, Xoshiro256& rng) const {
   return static_cast<int>(sampler.Sample(rng));
 }
 
+Status Mechanism::SampleBatch(const uint64_t* seeds, int i, size_t count,
+                              int32_t* out) const {
+  return SampleRuns(seeds, /*counts=*/nullptr, /*offsets=*/nullptr, i,
+                    count, out);
+}
+
+Status Mechanism::SampleRuns(const uint64_t* seeds, const int32_t* counts,
+                             const size_t* offsets, int i, size_t count,
+                             int32_t* out) const {
+  if (i < 0 || i > n()) {
+    return Status::OutOfRange("true count outside {0..n}");
+  }
+  if (!tables_.empty()) {
+    tables_[static_cast<size_t>(i)].SampleRuns(seeds, counts, offsets,
+                                               count, out);
+    return Status::OK();
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(
+      AliasTable table,
+      AliasTable::FromWeights(probs_.Row(static_cast<size_t>(i))));
+  table.SampleRuns(seeds, counts, offsets, count, out);
+  return Status::OK();
+}
+
 Status Mechanism::PrepareSamplers() {
   std::vector<AliasSampler> samplers;
+  std::vector<AliasTable> tables;
   samplers.reserve(probs_.rows());
+  tables.reserve(probs_.rows());
   for (size_t i = 0; i < probs_.rows(); ++i) {
     Result<AliasSampler> sampler = AliasSampler::Create(probs_.Row(i));
     if (!sampler.ok()) return sampler.status();
+    // The u64 threshold form is quantized here, once per row, so batch
+    // calls never pay a per-batch requantization.
+    tables.push_back(AliasTable::FromSampler(*sampler));
     samplers.push_back(std::move(sampler).value());
   }
   samplers_ = std::move(samplers);
+  tables_ = std::move(tables);
   return Status::OK();
 }
 

@@ -15,6 +15,7 @@
 
 #include "exact/rational_matrix.h"
 #include "linalg/matrix.h"
+#include "rng/batch_sampler.h"
 #include "rng/distributions.h"
 #include "rng/engine.h"
 #include "util/result.h"
@@ -65,8 +66,25 @@ class Mechanism {
   /// Samples a released value for true count i.  Fails when i ∉ {0..n}.
   Result<int> Sample(int i, Xoshiro256& rng) const;
 
-  /// Builds per-row alias samplers once; afterwards Sample is O(1)/draw.
-  /// (Sample works without this, constructing a sampler per call.)
+  /// Batched sampling for true count i: out[k] receives the draw of the
+  /// per-request stream seeded with seeds[k] — bit-identical to calling
+  /// Sample(i, Xoshiro256(seeds[k])) per request, but executed through
+  /// the columnar kernel (rng/batch_sampler.h), so one quantized alias
+  /// table serves the whole lane group.  Fails when i ∉ {0..n}.
+  Status SampleBatch(const uint64_t* seeds, int i, size_t count,
+                     int32_t* out) const;
+
+  /// Batched multi-draw sampling: counts[k] sequential draws from
+  /// request k's stream land in out[offsets[k]...] — bit-identical to
+  /// counts[k] Sample calls on one fresh stream per request.
+  Status SampleRuns(const uint64_t* seeds, const int32_t* counts,
+                    const size_t* offsets, int i, size_t count,
+                    int32_t* out) const;
+
+  /// Builds per-row alias samplers once — and their pre-quantized batch
+  /// tables — so Sample is O(1)/draw and SampleBatch skips the per-call
+  /// threshold quantization.  (Both work without this, constructing the
+  /// sampler/table per call.)
   Status PrepareSamplers();
 
   /// Total variation distance between this mechanism's and `other`'s output
@@ -83,6 +101,7 @@ class Mechanism {
 
   Matrix probs_;
   std::vector<AliasSampler> samplers_;  // empty until PrepareSamplers()
+  std::vector<AliasTable> tables_;      // quantized twins of samplers_
 };
 
 }  // namespace geopriv

@@ -1,0 +1,623 @@
+#include "rng/batch_sampler.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "rng/engine.h"
+
+// The AVX2 backend mirrors Lemire's __int128 bounded draw from
+// rng/engine.cc; without __int128 the scalar path takes the classic
+// rejection branch and the mirrored sequence would diverge, so the
+// vector backend is only built where both halves agree.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    defined(__SIZEOF_INT128__)
+#define GEOPRIV_BATCH_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace geopriv {
+
+namespace {
+
+SampleBackend ResolveBackend() {
+  const char* force = std::getenv("GEOPRIV_FORCE_SCALAR");
+  const bool forced =
+      force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0');
+  if (forced) return SampleBackend::kScalar;
+  if (Avx512Available()) return SampleBackend::kAvx512;
+  if (Avx2Available()) return SampleBackend::kAvx2;
+  return SampleBackend::kScalar;
+}
+
+std::atomic<int> g_backend{-1};
+
+}  // namespace
+
+bool Avx2Available() {
+#ifdef GEOPRIV_BATCH_AVX2
+  static const bool avx2 = __builtin_cpu_supports("avx2");
+  return avx2;
+#else
+  return false;
+#endif
+}
+
+bool Avx512Available() {
+#ifdef GEOPRIV_BATCH_AVX2
+  // F for the 512-bit lanes, gathers and rotates; DQ for vpmullq (the
+  // native 64-bit multiply that SplitMix64 seeding leans on).
+  static const bool avx512 = __builtin_cpu_supports("avx512f") &&
+                             __builtin_cpu_supports("avx512dq");
+  return avx512;
+#else
+  return false;
+#endif
+}
+
+SampleBackend ActiveSampleBackend() {
+  int backend = g_backend.load(std::memory_order_acquire);
+  if (backend < 0) {
+    backend = static_cast<int>(ResolveBackend());
+    g_backend.store(backend, std::memory_order_release);
+  }
+  return static_cast<SampleBackend>(backend);
+}
+
+void RefreshSampleBackend() {
+  g_backend.store(static_cast<int>(ResolveBackend()),
+                  std::memory_order_release);
+}
+
+AliasTable AliasTable::FromSampler(const AliasSampler& sampler) {
+  const std::vector<double>& prob = sampler.probabilities();
+  const std::vector<uint32_t>& alias = sampler.aliases();
+  AliasTable table;
+  const size_t n = prob.size();
+  table.size_ = static_cast<uint32_t>(n);
+  table.table_.resize(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    // ceil(prob * 2^53): the exact integer form of the scalar acceptance
+    // test (header comment).  prob == 1.0 lands on 2^53, above every
+    // 53-bit uniform, so full buckets always accept — as in the scalar
+    // path, whose compare (u * 2^-53 < 1.0) also always holds.
+    table.table_[2 * i] =
+        static_cast<uint64_t>(std::ceil(prob[i] * 0x1.0p53));
+    table.table_[2 * i + 1] = alias[i];
+  }
+  if (n > 0) {
+    const uint64_t bound = static_cast<uint64_t>(n);
+    table.reject_threshold_ = (0 - bound) % bound;
+  }
+  return table;
+}
+
+Result<AliasTable> AliasTable::FromWeights(
+    const std::vector<double>& weights) {
+  GEOPRIV_ASSIGN_OR_RETURN(AliasSampler sampler,
+                           AliasSampler::Create(weights));
+  return FromSampler(sampler);
+}
+
+void AliasTable::SampleBatch(const uint64_t* seeds, size_t count,
+                             int32_t* out, SampleBackend backend) const {
+  SampleRuns(seeds, /*counts=*/nullptr, /*offsets=*/nullptr, count, out,
+             backend);
+}
+
+void AliasTable::SampleRuns(const uint64_t* seeds, const int32_t* counts,
+                            const size_t* offsets, size_t count,
+                            int32_t* out, SampleBackend backend) const {
+  if (size_ == 0 || count == 0) return;
+#ifdef GEOPRIV_BATCH_AVX2
+  if (backend == SampleBackend::kAvx512 && Avx512Available() &&
+      counts == nullptr) {
+    SampleBatchAvx512(seeds, count, out);
+    return;
+  }
+  // kAvx512 with ragged per-lane counts, or requested-but-unavailable
+  // width, degrades to the AVX2 loop — bit-identical by contract.
+  if (backend != SampleBackend::kScalar && Avx2Available()) {
+    SampleRunsAvx2(seeds, counts, offsets, count, out);
+    return;
+  }
+#else
+  (void)backend;
+#endif
+  SampleRunsScalar(seeds, counts, offsets, count, out);
+}
+
+void AliasTable::SampleRunsScalar(const uint64_t* seeds,
+                                  const int32_t* counts,
+                                  const size_t* offsets, size_t count,
+                                  int32_t* out) const {
+  // The oracle: per lane, exactly what AliasSampler::Sample does on a
+  // fresh per-request stream — NextBounded via the engine itself, the
+  // acceptance via the quantized-threshold compare (provably the same
+  // branch the double compare takes).
+  for (size_t k = 0; k < count; ++k) {
+    Xoshiro256 rng(seeds[k]);
+    int32_t* dst = out + (offsets != nullptr ? offsets[k] : k);
+    const int32_t reps = counts != nullptr ? counts[k] : 1;
+    for (int32_t j = 0; j < reps; ++j) {
+      const uint64_t bucket = rng.NextBounded(size_);
+      const uint64_t u = rng.Next() >> 11;
+      const uint64_t* cell = table_.data() + 2 * bucket;
+      dst[j] = u < cell[0] ? static_cast<int32_t>(bucket)
+                           : static_cast<int32_t>(cell[1]);
+    }
+  }
+}
+
+#ifdef GEOPRIV_BATCH_AVX2
+
+namespace {
+
+// Scalar Xoshiro256++ step over raw state words, for the (essentially
+// never taken) per-lane Lemire rejection fix-up.  Must match
+// Xoshiro256::Next in rng/engine.h bit for bit.
+inline uint64_t ScalarRotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline uint64_t ScalarStep(uint64_t s[4]) {
+  const uint64_t result = ScalarRotl(s[0] + s[3], 23) + s[0];
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = ScalarRotl(s[3], 45);
+  return result;
+}
+
+__attribute__((target("avx2"))) inline __m256i Rotl64(__m256i v, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(v, k),
+                         _mm256_srli_epi64(v, 64 - k));
+}
+
+/// Lane-wise low 64 bits of a 64x64 multiply (AVX2 has no vpmullq):
+/// alo*blo + ((alo*bhi + ahi*blo) << 32).
+__attribute__((target("avx2"))) inline __m256i Mul64Lo(__m256i a,
+                                                       __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Four independent Xoshiro256++ streams in structure-of-arrays form:
+/// sN holds state word N of all four lanes.
+struct VecXoshiro {
+  __m256i s0, s1, s2, s3;
+};
+
+/// SplitMix64 seed expansion, lane-parallel; must match SplitMix64 in
+/// rng/engine.h bit for bit.
+__attribute__((target("avx2"))) inline VecXoshiro SeedLanes(
+    __m256i seeds) {
+  const __m256i golden =
+      _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m256i mix1 =
+      _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i mix2 =
+      _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL));
+  __m256i state = seeds;
+  __m256i word[4];
+  for (int j = 0; j < 4; ++j) {
+    state = _mm256_add_epi64(state, golden);
+    __m256i z = state;
+    z = Mul64Lo(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)), mix1);
+    z = Mul64Lo(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)), mix2);
+    word[j] = _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+  }
+  return {word[0], word[1], word[2], word[3]};
+}
+
+/// Lane-parallel Xoshiro256++ Next; must match Xoshiro256::Next.
+__attribute__((target("avx2"))) inline __m256i VecNext(VecXoshiro& v) {
+  const __m256i result =
+      _mm256_add_epi64(Rotl64(_mm256_add_epi64(v.s0, v.s3), 23), v.s0);
+  const __m256i t = _mm256_slli_epi64(v.s1, 17);
+  v.s2 = _mm256_xor_si256(v.s2, v.s0);
+  v.s3 = _mm256_xor_si256(v.s3, v.s1);
+  v.s1 = _mm256_xor_si256(v.s1, v.s2);
+  v.s0 = _mm256_xor_si256(v.s0, v.s3);
+  v.s2 = _mm256_xor_si256(v.s2, t);
+  v.s3 = Rotl64(v.s3, 45);
+  return result;
+}
+
+/// The vector constants every draw needs, hoisted once per kernel call.
+struct DrawConsts {
+  const long long* table;
+  __m256i bound;
+  __m256i sign;
+  __m256i low32;
+  __m256i one;
+  uint64_t reject_threshold;
+  uint32_t size;
+};
+
+/// The Lemire bounded draw for four lanes: bucket = hi64(x * size),
+/// size < 2^32, so the 128-bit product reduces to two 32x32 multiplies
+/// per lane.  Returns the rejection mask (nonzero lanes need the scalar
+/// fix-up — probability size/2^64 per lane).
+__attribute__((target("avx2"))) inline __m256i BoundedDraw(
+    VecXoshiro& rng, const DrawConsts& c, __m256i* lo, __m256i* bucket) {
+  const __m256i x = VecNext(rng);
+  const __m256i t = _mm256_mul_epu32(x, c.bound);
+  const __m256i mid = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(x, 32), c.bound),
+      _mm256_srli_epi64(t, 32));
+  *bucket = _mm256_srli_epi64(mid, 32);
+  *lo = _mm256_or_si256(_mm256_slli_epi64(mid, 32),
+                        _mm256_and_si256(t, c.low32));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(c.bound, c.sign),
+                            _mm256_xor_si256(*lo, c.sign));
+}
+
+/// Finishes rejecting lanes with the scalar redraw loop on the lane's
+/// own extracted state, so the redraw sequence is the scalar sequence
+/// by construction.  Cold by design; never inlined into the hot loop.
+__attribute__((target("avx2"), noinline)) void FixupRejectedLanes(
+    VecXoshiro& rng, const DrawConsts& c, __m256i lo, __m256i* bucket) {
+  alignas(32) uint64_t s0[4], s1[4], s2[4], s3[4], lo4[4], b4[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(s0), rng.s0);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(s1), rng.s1);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(s2), rng.s2);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(s3), rng.s3);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lo4), lo);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(b4), *bucket);
+  for (int lane = 0; lane < 4; ++lane) {
+    if (lo4[lane] >= static_cast<uint64_t>(c.size)) continue;
+    uint64_t st[4] = {s0[lane], s1[lane], s2[lane], s3[lane]};
+    uint64_t l64 = lo4[lane];
+    while (l64 < c.reject_threshold) {
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(ScalarStep(st)) * c.size;
+      l64 = static_cast<uint64_t>(m);
+      b4[lane] = static_cast<uint64_t>(m >> 64);
+    }
+    s0[lane] = st[0];
+    s1[lane] = st[1];
+    s2[lane] = st[2];
+    s3[lane] = st[3];
+  }
+  rng.s0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(s0));
+  rng.s1 = _mm256_load_si256(reinterpret_cast<const __m256i*>(s1));
+  rng.s2 = _mm256_load_si256(reinterpret_cast<const __m256i*>(s2));
+  rng.s3 = _mm256_load_si256(reinterpret_cast<const __m256i*>(s3));
+  *bucket = _mm256_load_si256(reinterpret_cast<const __m256i*>(b4));
+}
+
+/// The quantized-threshold acceptance for four lanes: two adjacent
+/// 8-byte gathers fetch each lane's {threshold, alias} pair; both the
+/// threshold and the 53-bit uniform fit in 62 bits, so the signed
+/// compare is exact.  (Four contiguous 128-bit pair loads + unpacks
+/// were measured slower than the gathers on Skylake-class cores — the
+/// store-forward of the bucket indices serializes what the gather unit
+/// pipelines.)
+__attribute__((target("avx2"))) inline __m256i AcceptDraw(
+    VecXoshiro& rng, const DrawConsts& c, __m256i bucket) {
+  const __m256i u = _mm256_srli_epi64(VecNext(rng), 11);
+  const __m256i idx = _mm256_slli_epi64(bucket, 1);
+  const __m256i thresh = _mm256_i64gather_epi64(c.table, idx, 8);
+  const __m256i alias =
+      _mm256_i64gather_epi64(c.table, _mm256_add_epi64(idx, c.one), 8);
+  const __m256i accept = _mm256_cmpgt_epi64(thresh, u);
+  return _mm256_blendv_epi8(alias, bucket, accept);
+}
+
+/// One draw for four lanes: bounded bucket, fix-up, acceptance.
+__attribute__((target("avx2"))) inline __m256i DrawVec(
+    VecXoshiro& rng, const DrawConsts& c) {
+  __m256i lo, bucket;
+  const __m256i reject = BoundedDraw(rng, c, &lo, &bucket);
+  if (__builtin_expect(_mm256_movemask_epi8(reject) != 0, 0)) {
+    FixupRejectedLanes(rng, c, lo, &bucket);
+  }
+  return AcceptDraw(rng, c, bucket);
+}
+
+}  // namespace
+
+__attribute__((target("avx2")))
+void AliasTable::SampleRunsAvx2(const uint64_t* seeds,
+                                const int32_t* counts,
+                                const size_t* offsets, size_t count,
+                                int32_t* out) const {
+  DrawConsts c;
+  c.table = reinterpret_cast<const long long*>(table_.data());
+  c.bound = _mm256_set1_epi64x(static_cast<long long>(size_));
+  c.sign = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  c.low32 = _mm256_set1_epi64x(0xffffffffLL);
+  c.one = _mm256_set1_epi64x(1);
+  c.reject_threshold = reject_threshold_;
+  c.size = size_;
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+
+  size_t k = 0;
+  if (counts == nullptr) {
+    // Single-draw batches (the columnar plane's common case): three
+    // 4-lane chunks interleaved per iteration.  Seeding is the bulk of
+    // a one-draw lane's work and is a chain of dependent vector ops;
+    // independent chains keep the multiply ports busy through each
+    // other's latency bubbles.
+    for (; k + 12 <= count; k += 12) {
+      VecXoshiro rng_a = SeedLanes(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(seeds + k)));
+      VecXoshiro rng_b = SeedLanes(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(seeds + k + 4)));
+      VecXoshiro rng_c = SeedLanes(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(seeds + k + 8)));
+      __m256i lo_a, lo_b, lo_c, bucket_a, bucket_b, bucket_c;
+      const __m256i rej_a = BoundedDraw(rng_a, c, &lo_a, &bucket_a);
+      const __m256i rej_b = BoundedDraw(rng_b, c, &lo_b, &bucket_b);
+      const __m256i rej_c = BoundedDraw(rng_c, c, &lo_c, &bucket_c);
+      // One branch decides all twelve lanes: the combined mask is still
+      // ~never set, and folding the three checks keeps the hot path one
+      // straight-line scheduling region.
+      const __m256i rej =
+          _mm256_or_si256(_mm256_or_si256(rej_a, rej_b), rej_c);
+      if (__builtin_expect(_mm256_movemask_epi8(rej) != 0, 0)) {
+        FixupRejectedLanes(rng_a, c, lo_a, &bucket_a);
+        FixupRejectedLanes(rng_b, c, lo_b, &bucket_b);
+        FixupRejectedLanes(rng_c, c, lo_c, &bucket_c);
+      }
+      const __m256i result_a = AcceptDraw(rng_a, c, bucket_a);
+      const __m256i result_b = AcceptDraw(rng_b, c, bucket_b);
+      const __m256i result_c = AcceptDraw(rng_c, c, bucket_c);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + k),
+          _mm256_castsi256_si128(
+              _mm256_permutevar8x32_epi32(result_a, pack)));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + k + 4),
+          _mm256_castsi256_si128(
+              _mm256_permutevar8x32_epi32(result_b, pack)));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + k + 8),
+          _mm256_castsi256_si128(
+              _mm256_permutevar8x32_epi32(result_c, pack)));
+    }
+  }
+  for (; k + 4 <= count; k += 4) {
+    VecXoshiro rng = SeedLanes(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(seeds + k)));
+    int32_t reps[4] = {1, 1, 1, 1};
+    int32_t max_reps = 1;
+    if (counts != nullptr) {
+      for (int lane = 0; lane < 4; ++lane) {
+        reps[lane] = counts[k + static_cast<size_t>(lane)];
+        if (reps[lane] > max_reps) max_reps = reps[lane];
+      }
+    }
+    for (int32_t draw = 0; draw < max_reps; ++draw) {
+      const __m256i result = DrawVec(rng, c);
+      if (counts == nullptr) {
+        // One draw per lane: pack the four i64 lanes to i32 and store.
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(out + k),
+            _mm256_castsi256_si128(
+                _mm256_permutevar8x32_epi32(result, pack)));
+      } else {
+        alignas(32) int64_t res4[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(res4), result);
+        for (int lane = 0; lane < 4; ++lane) {
+          // Lanes past their own count keep drawing (streams are
+          // per-lane, the extra values are simply not stored).
+          if (draw < reps[lane]) {
+            out[offsets[k + static_cast<size_t>(lane)] +
+                static_cast<size_t>(draw)] =
+                static_cast<int32_t>(res4[lane]);
+          }
+        }
+      }
+    }
+  }
+  if (k < count) {
+    SampleRunsScalar(seeds + k, counts != nullptr ? counts + k : nullptr,
+                     offsets != nullptr ? offsets + k : nullptr, count - k,
+                     counts != nullptr ? out : out + k);
+  }
+}
+
+// --- AVX-512 backend -------------------------------------------------
+//
+// Same three stages as the AVX2 kernel, twice the lanes, and the two
+// instructions AVX2 must emulate come native: vpmullq (64-bit multiply,
+// the heart of SplitMix64 seeding — 1 instruction vs a 6-op cross-term
+// dance) and vprolq (rotate, vs shift/shift/or).  Rejection and
+// acceptance decisions land in mask registers, so the unsigned compares
+// need no sign-flip trick and the never-taken fix-up branch is a single
+// kortest.  Bit-identity with the scalar oracle holds lane-for-lane by
+// the same arguments as the AVX2 backend (header comment).
+
+namespace {
+
+/// Eight independent Xoshiro256++ streams, one state word per vector.
+struct VecXoshiro512 {
+  __m512i s0, s1, s2, s3;
+};
+
+#define GEOPRIV_AVX512 __attribute__((target("avx512f,avx512dq")))
+
+/// SplitMix64 seed expansion, eight lanes; must match SplitMix64 in
+/// rng/engine.h bit for bit.
+GEOPRIV_AVX512 inline VecXoshiro512 SeedLanes512(__m512i seeds) {
+  const __m512i golden =
+      _mm512_set1_epi64(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m512i mix1 =
+      _mm512_set1_epi64(static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m512i mix2 =
+      _mm512_set1_epi64(static_cast<long long>(0x94d049bb133111ebULL));
+  __m512i state = seeds;
+  __m512i word[4];
+  for (int j = 0; j < 4; ++j) {
+    state = _mm512_add_epi64(state, golden);
+    __m512i z = state;
+    z = _mm512_mullo_epi64(
+        _mm512_xor_si512(z, _mm512_srli_epi64(z, 30)), mix1);
+    z = _mm512_mullo_epi64(
+        _mm512_xor_si512(z, _mm512_srli_epi64(z, 27)), mix2);
+    word[j] = _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+  }
+  return {word[0], word[1], word[2], word[3]};
+}
+
+/// Lane-parallel Xoshiro256++ Next; must match Xoshiro256::Next.
+GEOPRIV_AVX512 inline __m512i VecNext512(VecXoshiro512& v) {
+  const __m512i result = _mm512_add_epi64(
+      _mm512_rol_epi64(_mm512_add_epi64(v.s0, v.s3), 23), v.s0);
+  const __m512i t = _mm512_slli_epi64(v.s1, 17);
+  v.s2 = _mm512_xor_si512(v.s2, v.s0);
+  v.s3 = _mm512_xor_si512(v.s3, v.s1);
+  v.s1 = _mm512_xor_si512(v.s1, v.s2);
+  v.s0 = _mm512_xor_si512(v.s0, v.s3);
+  v.s2 = _mm512_xor_si512(v.s2, t);
+  v.s3 = _mm512_rol_epi64(v.s3, 45);
+  return result;
+}
+
+struct DrawConsts512 {
+  const long long* table;
+  __m512i bound;
+  __m512i low32;
+  __m512i one;
+  uint64_t reject_threshold;
+  uint32_t size;
+};
+
+/// Lemire bounded draw, eight lanes.  Returns the mask of lanes whose
+/// low product word fell under size (candidates for the scalar fix-up;
+/// probability size/2^64 per lane).
+GEOPRIV_AVX512 inline __mmask8 BoundedDraw512(VecXoshiro512& rng,
+                                              const DrawConsts512& c,
+                                              __m512i* lo,
+                                              __m512i* bucket) {
+  const __m512i x = VecNext512(rng);
+  const __m512i t = _mm512_mul_epu32(x, c.bound);
+  const __m512i mid = _mm512_add_epi64(
+      _mm512_mul_epu32(_mm512_srli_epi64(x, 32), c.bound),
+      _mm512_srli_epi64(t, 32));
+  *bucket = _mm512_srli_epi64(mid, 32);
+  *lo = _mm512_or_si512(_mm512_slli_epi64(mid, 32),
+                        _mm512_and_si512(t, c.low32));
+  return _mm512_cmplt_epu64_mask(*lo, c.bound);
+}
+
+/// Scalar redraw for flagged lanes on each lane's own extracted state —
+/// identical policy to the AVX2 fix-up, eight lanes wide.
+GEOPRIV_AVX512 __attribute__((noinline)) void FixupRejectedLanes512(
+    VecXoshiro512& rng, const DrawConsts512& c, __m512i lo,
+    __m512i* bucket) {
+  alignas(64) uint64_t s0[8], s1[8], s2[8], s3[8], lo8[8], b8[8];
+  _mm512_store_si512(reinterpret_cast<void*>(s0), rng.s0);
+  _mm512_store_si512(reinterpret_cast<void*>(s1), rng.s1);
+  _mm512_store_si512(reinterpret_cast<void*>(s2), rng.s2);
+  _mm512_store_si512(reinterpret_cast<void*>(s3), rng.s3);
+  _mm512_store_si512(reinterpret_cast<void*>(lo8), lo);
+  _mm512_store_si512(reinterpret_cast<void*>(b8), *bucket);
+  for (int lane = 0; lane < 8; ++lane) {
+    if (lo8[lane] >= static_cast<uint64_t>(c.size)) continue;
+    uint64_t st[4] = {s0[lane], s1[lane], s2[lane], s3[lane]};
+    uint64_t l64 = lo8[lane];
+    while (l64 < c.reject_threshold) {
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(ScalarStep(st)) * c.size;
+      l64 = static_cast<uint64_t>(m);
+      b8[lane] = static_cast<uint64_t>(m >> 64);
+    }
+    s0[lane] = st[0];
+    s1[lane] = st[1];
+    s2[lane] = st[2];
+    s3[lane] = st[3];
+  }
+  rng.s0 = _mm512_load_si512(reinterpret_cast<const void*>(s0));
+  rng.s1 = _mm512_load_si512(reinterpret_cast<const void*>(s1));
+  rng.s2 = _mm512_load_si512(reinterpret_cast<const void*>(s2));
+  rng.s3 = _mm512_load_si512(reinterpret_cast<const void*>(s3));
+  *bucket = _mm512_load_si512(reinterpret_cast<const void*>(b8));
+}
+
+/// Quantized-threshold acceptance, eight lanes: two adjacent 8-byte
+/// gathers per lane pair, unsigned mask compare, mask blend.
+GEOPRIV_AVX512 inline __m512i AcceptDraw512(VecXoshiro512& rng,
+                                            const DrawConsts512& c,
+                                            __m512i bucket) {
+  const __m512i u = _mm512_srli_epi64(VecNext512(rng), 11);
+  const __m512i idx = _mm512_slli_epi64(bucket, 1);
+  const __m512i thresh = _mm512_i64gather_epi64(idx, c.table, 8);
+  const __m512i alias =
+      _mm512_i64gather_epi64(_mm512_add_epi64(idx, c.one), c.table, 8);
+  const __mmask8 accept = _mm512_cmplt_epu64_mask(u, thresh);
+  return _mm512_mask_blend_epi64(accept, alias, bucket);
+}
+
+}  // namespace
+
+GEOPRIV_AVX512
+void AliasTable::SampleBatchAvx512(const uint64_t* seeds, size_t count,
+                                   int32_t* out) const {
+  DrawConsts512 c;
+  c.table = reinterpret_cast<const long long*>(table_.data());
+  c.bound = _mm512_set1_epi64(static_cast<long long>(size_));
+  c.low32 = _mm512_set1_epi64(0xffffffffLL);
+  c.one = _mm512_set1_epi64(1);
+  c.reject_threshold = reject_threshold_;
+  c.size = size_;
+
+  size_t k = 0;
+  // Two interleaved 8-lane chunks per iteration: the seeding chain is
+  // still latency-bound (vpmullq is high-latency even where native), so
+  // a second independent chain fills its bubbles.  One fused kortest
+  // decides all sixteen lanes' (essentially never taken) fix-up branch.
+  for (; k + 16 <= count; k += 16) {
+    VecXoshiro512 rng_a = SeedLanes512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(seeds + k)));
+    VecXoshiro512 rng_b = SeedLanes512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(seeds + k + 8)));
+    __m512i lo_a, lo_b, bucket_a, bucket_b;
+    const __mmask8 rej_a = BoundedDraw512(rng_a, c, &lo_a, &bucket_a);
+    const __mmask8 rej_b = BoundedDraw512(rng_b, c, &lo_b, &bucket_b);
+    if (__builtin_expect(
+            (static_cast<unsigned>(rej_a) | static_cast<unsigned>(rej_b)) !=
+                0,
+            0)) {
+      FixupRejectedLanes512(rng_a, c, lo_a, &bucket_a);
+      FixupRejectedLanes512(rng_b, c, lo_b, &bucket_b);
+    }
+    const __m512i result_a = AcceptDraw512(rng_a, c, bucket_a);
+    const __m512i result_b = AcceptDraw512(rng_b, c, bucket_b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                        _mm512_cvtepi64_epi32(result_a));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k + 8),
+                        _mm512_cvtepi64_epi32(result_b));
+  }
+  for (; k + 8 <= count; k += 8) {
+    VecXoshiro512 rng = SeedLanes512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(seeds + k)));
+    __m512i lo, bucket;
+    const __mmask8 rej = BoundedDraw512(rng, c, &lo, &bucket);
+    if (__builtin_expect(rej != 0, 0)) {
+      FixupRejectedLanes512(rng, c, lo, &bucket);
+    }
+    const __m512i result = AcceptDraw512(rng, c, bucket);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                        _mm512_cvtepi64_epi32(result));
+  }
+  if (k < count) {
+    SampleRunsScalar(seeds + k, /*counts=*/nullptr, /*offsets=*/nullptr,
+                     count - k, out + k);
+  }
+}
+
+#undef GEOPRIV_AVX512
+
+#endif  // GEOPRIV_BATCH_AVX2
+
+}  // namespace geopriv

@@ -1,0 +1,143 @@
+// Batched, vectorized alias sampling — the kernel under the columnar
+// sampling data plane (service/query_pipeline.cc stage 3).
+//
+// The contract (pinned by tests/sampling_batch_test.cc): lane k of a
+// batch reproduces EXACTLY the stream the scalar per-request path
+// produces for request k.  SampleBatch(seeds, count, out) must leave
+// out[k] equal to
+//
+//   Xoshiro256 rng(seeds[k]);
+//   size_t b = rng.NextBounded(size());
+//   out[k] = rng.NextDouble() < prob[b] ? b : alias[b];
+//
+// for every batch size, lane count and backend.  Two observations make
+// that compatible with SIMD:
+//
+//  * Acceptance quantizes exactly.  The scalar test compares
+//    (Next() >> 11) * 2^-53 against prob[b]; both sides are exact
+//    doubles (a 53-bit integer scaled by a power of two), so the test
+//    is equivalent to the integer compare
+//        (Next() >> 11) < ceil(prob[b] * 2^53)
+//    (prob * 2^53 is computed exactly — power-of-two scaling — and when
+//    it is not an integer, u < prob*2^53 iff u < ceil; when it is, ceil
+//    is the identity).  Quantizing once at table-build time makes every
+//    accept a branchless u64 compare with not one draw changed.
+//
+//  * The bounded draw's rejection is detectable per lane.  Lemire's
+//    method rejects only when the 128-bit product's low word falls
+//    under (2^64 - size) mod size — probability size/2^64 (< 2^-51 for
+//    every row this library serves).  The vector path computes all four
+//    low words, and the (essentially never taken) rejecting lanes are
+//    finished by the scalar code on the lane's own extracted state, so
+//    the redraw sequence is the scalar sequence by construction.
+//
+// Layout: one interleaved u64 array {threshold0, alias0, threshold1,
+// alias1, ...} (structure-of-arrays folded to pair-of-words) so a
+// lane's accept threshold and fallback index share a cache line and the
+// AVX2 backend fetches both with two adjacent 8-byte gathers.
+//
+// Dispatch: runtime CPUID (AVX2) with a bit-identical scalar fallback;
+// GEOPRIV_FORCE_SCALAR=1 in the environment forces the scalar backend.
+
+#ifndef GEOPRIV_RNG_BATCH_SAMPLER_H_
+#define GEOPRIV_RNG_BATCH_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rng/distributions.h"
+#include "util/result.h"
+
+namespace geopriv {
+
+/// The batched-sampling backends a kernel call can run on.
+enum class SampleBackend {
+  kScalar,  ///< portable; the oracle every other backend must match
+  kAvx2,    ///< 4 lanes per step via AVX2 gathers (x86-64 only)
+  kAvx512,  ///< 8 lanes per step; native 64-bit multiply/rotate (DQ)
+};
+
+/// True when the CPU executing this process supports AVX2.
+bool Avx2Available();
+
+/// True when the CPU supports AVX-512 F+DQ (native vpmullq/vprolq —
+/// the contract-pinned SplitMix64/Xoshiro recurrences are multiply-
+/// and rotate-heavy, which plain AVX2 must emulate).
+bool Avx512Available();
+
+/// The backend batched calls use by default: the widest the CPU has
+/// (kAvx512 > kAvx2 > kScalar), unless GEOPRIV_FORCE_SCALAR is set to a
+/// nonzero value.  Resolved once and cached.
+SampleBackend ActiveSampleBackend();
+
+/// Re-reads GEOPRIV_FORCE_SCALAR and CPUID (tests flip the environment
+/// mid-process; production code never needs this).
+void RefreshSampleBackend();
+
+/// An alias table pre-quantized for batched sampling: acceptance
+/// probabilities stored as u64 thresholds (ceil(prob * 2^53)), alias
+/// indices widened to u64, interleaved pairwise.  Immutable once built;
+/// safe to share across threads.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Quantizes an existing Vose construction.  Bit-identical draws to
+  /// `sampler` by the threshold argument above.
+  static AliasTable FromSampler(const AliasSampler& sampler);
+
+  /// Convenience: Vose construction + quantization in one step.  Same
+  /// validity requirements as AliasSampler::Create.
+  static Result<AliasTable> FromWeights(const std::vector<double>& weights);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// One draw per request stream: out[k] = the first draw of the stream
+  /// seeded with seeds[k].  Runs on ActiveSampleBackend().
+  void SampleBatch(const uint64_t* seeds, size_t count, int32_t* out) const {
+    SampleBatch(seeds, count, out, ActiveSampleBackend());
+  }
+
+  /// Same, on an explicit backend (tests compare backends in one
+  /// process).  A backend the CPU lacks falls back to the next-widest
+  /// available one — results are bit-identical either way.
+  void SampleBatch(const uint64_t* seeds, size_t count, int32_t* out,
+                   SampleBackend backend) const;
+
+  /// counts[k] sequential draws from request k's stream, written to
+  /// out[offsets[k] .. offsets[k] + counts[k]).  Lane k's j-th value is
+  /// what the scalar path's j-th Sample call on the same stream yields.
+  void SampleRuns(const uint64_t* seeds, const int32_t* counts,
+                  const size_t* offsets, size_t count, int32_t* out) const {
+    SampleRuns(seeds, counts, offsets, count, out, ActiveSampleBackend());
+  }
+
+  void SampleRuns(const uint64_t* seeds, const int32_t* counts,
+                  const size_t* offsets, size_t count, int32_t* out,
+                  SampleBackend backend) const;
+
+ private:
+  void SampleRunsScalar(const uint64_t* seeds, const int32_t* counts,
+                        const size_t* offsets, size_t count,
+                        int32_t* out) const;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  void SampleRunsAvx2(const uint64_t* seeds, const int32_t* counts,
+                      const size_t* offsets, size_t count,
+                      int32_t* out) const;
+  /// Single-draw (counts == nullptr) batches only; multi-draw runs on
+  /// the AVX-512 backend defer to the AVX2 loop (bit-identical, and the
+  /// ragged per-lane counts defeat 8-wide stores anyway).
+  void SampleBatchAvx512(const uint64_t* seeds, size_t count,
+                         int32_t* out) const;
+#endif
+
+  std::vector<uint64_t> table_;  // interleaved {threshold, alias} pairs
+  uint64_t reject_threshold_ = 0;  // Lemire: (2^64 - size) mod size
+  uint32_t size_ = 0;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_RNG_BATCH_SAMPLER_H_

@@ -132,18 +132,22 @@ Result<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {
   double total = 0.0;
   GEOPRIV_RETURN_IF_ERROR(ValidateWeights(weights, &total));
   const size_t n = weights.size();
-  std::vector<double> scaled(n);
+  // `prob` doubles as the scaled-weight work array: a small bucket's final
+  // acceptance probability IS its scaled weight at pop time, and a large
+  // bucket's residual lives in the same slot until it is popped, so the
+  // Vose loop runs in place — no separate `scaled` copy.
+  std::vector<double> prob;
+  prob.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    scaled[i] = weights[i] / total * static_cast<double>(n);
+    prob.push_back(weights[i] / total * static_cast<double>(n));
   }
 
-  std::vector<double> prob(n, 0.0);
   std::vector<uint32_t> alias(n, 0);
   std::vector<uint32_t> small, large;
   small.reserve(n);
   large.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    (prob[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
   }
 
   while (!small.empty() && !large.empty()) {
@@ -151,10 +155,9 @@ Result<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {
     small.pop_back();
     uint32_t l = large.back();
     large.pop_back();
-    prob[s] = scaled[s];
     alias[s] = l;
-    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-    (scaled[l] < 1.0 ? small : large).push_back(l);
+    prob[l] = (prob[l] + prob[s]) - 1.0;
+    (prob[l] < 1.0 ? small : large).push_back(l);
   }
   // Leftovers are 1.0 up to round-off.
   for (uint32_t l : large) prob[l] = 1.0;

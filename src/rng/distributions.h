@@ -115,6 +115,11 @@ class AliasSampler {
 
   size_t size() const { return prob_.size(); }
 
+  /// The Vose tables, exposed so the batched kernel (rng/batch_sampler.h)
+  /// can quantize them once instead of re-running the construction.
+  const std::vector<double>& probabilities() const { return prob_; }
+  const std::vector<uint32_t>& aliases() const { return alias_; }
+
  private:
   AliasSampler(std::vector<double> prob, std::vector<uint32_t> alias)
       : prob_(std::move(prob)), alias_(std::move(alias)) {}

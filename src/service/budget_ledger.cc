@@ -71,6 +71,47 @@ Result<BudgetDecision> BudgetLedger::Charge(const std::string& consumer,
   return decision;
 }
 
+Result<BudgetDecision> BudgetLedger::ChargeMany(const std::string& consumer,
+                                                double alpha, uint64_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument(
+        "a multi-release charge must cover at least one release");
+  }
+  if (k == 1) return Charge(consumer, alpha);
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("release level alpha must lie in [0, 1]");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  static const Account kEmpty;
+  auto it = accounts_.find(consumer);
+  const Account& account = it == accounts_.end() ? kEmpty : it->second;
+  BudgetDecision decision;
+  decision.budget = budget_;
+  decision.current_level =
+      account.independent_level * account.chained_level;
+  // Fold the k releases one at a time — the identical left-fold k
+  // sequential Charge calls would run, so an admitted ChargeMany leaves
+  // the account bit-identical to k admitted Charges.
+  Account folding = account;
+  FoldedLevels folded{account.independent_level, account.chained_level};
+  for (uint64_t j = 0; j < k; ++j) {
+    GEOPRIV_ASSIGN_OR_RETURN(folded,
+                             Fold(folding, alpha, /*chained=*/false));
+    folding.independent_level = folded.independent;
+    folding.chained_level = folded.chained;
+  }
+  decision.composed_level = folded.independent * folded.chained;
+  decision.allowed = decision.composed_level >= budget_;
+  if (decision.allowed) {
+    Account& stored =
+        it == accounts_.end() ? accounts_[consumer] : it->second;
+    stored.independent_level = folded.independent;
+    stored.chained_level = folded.chained;
+    stored.independent_releases += k;
+  }
+  return decision;
+}
+
 Result<BudgetDecision> BudgetLedger::Preview(const std::string& consumer,
                                              double alpha,
                                              bool chained) const {

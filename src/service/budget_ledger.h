@@ -56,6 +56,17 @@ class BudgetLedger {
   Result<BudgetDecision> Charge(const std::string& consumer, double alpha,
                                 bool chained = false);
 
+  /// Atomically records `k` independent releases at level `alpha` — the
+  /// multi-sample query's charge.  The k levels are folded sequentially
+  /// (the same left-fold k Charge calls would run, bit for bit; k == 1
+  /// IS Charge), and because sequential composition never raises a
+  /// level, checking the final composed level against the budget admits
+  /// exactly the set of k-step sequences whose every step fits.  All k
+  /// releases are admitted together or the account is left untouched:
+  /// a K-sample query never partially releases.
+  Result<BudgetDecision> ChargeMany(const std::string& consumer,
+                                    double alpha, uint64_t k);
+
   /// Same arithmetic as Charge without recording anything.
   Result<BudgetDecision> Preview(const std::string& consumer, double alpha,
                                  bool chained = false) const;

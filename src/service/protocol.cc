@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -374,6 +375,18 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
   if (object.Has("seed")) {
     GEOPRIV_ASSIGN_OR_RETURN(seed, object.GetInt("seed"));
   }
+  int64_t samples = 1;
+  if (object.Has("samples")) {
+    // K draws from the one per-request stream, charged as K releases
+    // atomically (all admitted or the query is rejected whole).  The cap
+    // bounds reply size and per-query ledger work the same way the batch
+    // window cap bounds daemon memory.
+    GEOPRIV_ASSIGN_OR_RETURN(samples, object.GetInt("samples"));
+    if (samples < 1 || samples > 4096) {
+      return Status::InvalidArgument(
+          "field 'samples' must lie in [1, 4096]");
+    }
+  }
   int64_t deadline_ms = 0;
   if (object.Has("deadline_ms")) {
     GEOPRIV_ASSIGN_OR_RETURN(deadline_ms, object.GetInt("deadline_ms"));
@@ -410,12 +423,27 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
                                  static_cast<int>(hi), mode));
   query.true_count = static_cast<int>(count);
   query.seed = static_cast<uint64_t>(seed);
+  query.samples = static_cast<int>(samples);
   query.deadline_ms = deadline_ms;
   return request;
 }
 
-std::string FormatQueryReply(const ServiceQuery& query,
-                             const ServiceReply& reply) {
+namespace {
+
+// to_chars-based integer append: the sampling path serializes one (or
+// samples-many) integers per reply, and a per-value std::to_string heap
+// string is measurable at batch sizes the columnar pipeline reaches.
+template <typename Int>
+void AppendInt(Int value, std::string* out) {
+  char buf[24];
+  const auto end = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, end.ptr);
+}
+
+}  // namespace
+
+void AppendQueryReply(const ServiceQuery& query, const ServiceReply& reply,
+                      std::string* out) {
   // Every query reply — pipeline-executed or shed at the transport —
   // passes through here, so this is the one place the reply-result
   // counters can be made to match what clients actually received.
@@ -445,46 +473,78 @@ std::string FormatQueryReply(const ServiceQuery& query,
   }
   Stopwatch serialize_watch;
   char buf[64];
-  std::string out = "{\"op\":\"query\",\"ok\":";
-  out += reply.status.ok() ? "true" : "false";
-  out += ",\"consumer\":\"" + JsonEscape(query.consumer) + "\"";
-  out += ",\"signature\":\"" + JsonEscape(query.signature.CanonicalKey()) +
-         "\"";
+  *out += "{\"op\":\"query\",\"ok\":";
+  *out += reply.status.ok() ? "true" : "false";
+  *out += ",\"consumer\":\"";
+  *out += JsonEscape(query.consumer);
+  *out += "\",\"signature\":\"";
+  *out += JsonEscape(query.signature.CanonicalKey());
+  *out += "\"";
   if (reply.status.ok()) {
-    out += ",\"released\":" + std::to_string(reply.released);
-    out += ",\"loss\":\"" + JsonEscape(reply.optimal_loss.ToString()) + "\"";
+    if (reply.released_values.size() > 1) {
+      // Multi-draw query: all values, in stream order.  Single-draw
+      // replies keep the historical scalar field byte for byte.
+      *out += ",\"released\":[";
+      for (size_t j = 0; j < reply.released_values.size(); ++j) {
+        if (j > 0) out->push_back(',');
+        AppendInt(reply.released_values[j], out);
+      }
+      out->push_back(']');
+    } else {
+      *out += ",\"released\":";
+      AppendInt(reply.released, out);
+    }
+    *out += ",\"loss\":\"";
+    *out += JsonEscape(reply.optimal_loss.ToString());
+    *out += "\"";
   } else {
-    out += ",\"error\":\"" +
-           JsonEscape(std::string(StatusCodeToString(reply.status.code()))) +
-           "\"";
-    out += ",\"message\":\"" + JsonEscape(reply.status.message()) + "\"";
+    *out += ",\"error\":\"";
+    *out += JsonEscape(std::string(StatusCodeToString(reply.status.code())));
+    *out += "\",\"message\":\"";
+    *out += JsonEscape(reply.status.message());
+    *out += "\"";
   }
   std::snprintf(buf, sizeof(buf), ",\"level\":%.17g", reply.level_after);
-  out += buf;
+  *out += buf;
   std::snprintf(buf, sizeof(buf), ",\"composed_level\":%.17g",
                 reply.composed_level);
-  out += buf;
+  *out += buf;
   std::snprintf(buf, sizeof(buf), ",\"budget\":%.17g", reply.budget);
-  out += buf;
+  *out += buf;
   if (reply.retry_after_ms > 0) {
-    out += ",\"retry_after_ms\":" + std::to_string(reply.retry_after_ms);
+    *out += ",\"retry_after_ms\":";
+    AppendInt(reply.retry_after_ms, out);
   }
-  out += std::string(",\"cache\":\"") + reply.cache + "\"";
+  *out += ",\"cache\":\"";
+  *out += reply.cache;
+  *out += "\"";
   if (reply.traced) {
     // Flat keys by protocol rule (no nesting).  The serialize span covers
     // the formatting up to this point; the send span happens after the
     // reply leaves this function and is recorded to histograms only.
-    out += ",\"trace_parse_us\":" + std::to_string(reply.trace_parse_us);
-    out += ",\"trace_queue_us\":" + std::to_string(reply.trace_queue_us);
-    out += ",\"trace_solve_us\":" + std::to_string(reply.trace_solve_us);
-    out += ",\"trace_charge_us\":" + std::to_string(reply.trace_charge_us);
-    out += ",\"trace_sample_us\":" + std::to_string(reply.trace_sample_us);
-    out += ",\"trace_persist_us\":" + std::to_string(reply.trace_persist_us);
-    out += ",\"trace_serialize_us\":" +
-           std::to_string(
-               static_cast<int64_t>(serialize_watch.ElapsedMicros()));
+    *out += ",\"trace_parse_us\":";
+    AppendInt(reply.trace_parse_us, out);
+    *out += ",\"trace_queue_us\":";
+    AppendInt(reply.trace_queue_us, out);
+    *out += ",\"trace_solve_us\":";
+    AppendInt(reply.trace_solve_us, out);
+    *out += ",\"trace_charge_us\":";
+    AppendInt(reply.trace_charge_us, out);
+    *out += ",\"trace_sample_us\":";
+    AppendInt(reply.trace_sample_us, out);
+    *out += ",\"trace_persist_us\":";
+    AppendInt(reply.trace_persist_us, out);
+    *out += ",\"trace_serialize_us\":";
+    AppendInt(static_cast<int64_t>(serialize_watch.ElapsedMicros()), out);
   }
-  out += "}";
+  *out += "}";
+}
+
+std::string FormatQueryReply(const ServiceQuery& query,
+                             const ServiceReply& reply) {
+  std::string out;
+  out.reserve(192);
+  AppendQueryReply(query, reply, &out);
   return out;
 }
 

@@ -93,6 +93,15 @@ struct ServiceRequest {
 Result<ServiceRequest> ParseRequestLine(const std::string& line);
 
 /// Response formatting: every reply is one JSON line.
+///
+/// AppendQueryReply is the batch-aware form: it serializes straight into
+/// `out` (integers via to_chars, no per-reply temporary strings), so a
+/// batch_end response builds one reserved buffer instead of
+/// concatenating per-reply strings.  Every query reply — batched,
+/// single, or shed at the transport — passes through it, which keeps
+/// the geopriv_query_replies_total choke-point accounting exact.
+void AppendQueryReply(const ServiceQuery& query, const ServiceReply& reply,
+                      std::string* out);
 std::string FormatQueryReply(const ServiceQuery& query,
                              const ServiceReply& reply);
 std::string FormatErrorReply(const std::string& op, const Status& status);

@@ -22,6 +22,8 @@ struct PipelineMetrics {
   metrics::Histogram* stage_solve_us;
   metrics::Histogram* stage_charge_us;
   metrics::Histogram* stage_sample_us;
+  metrics::Histogram* sample_batch_size;
+  metrics::Gauge* samples_per_sec;
   metrics::Counter* samples_total;
   metrics::Counter* ledger_charges;
   metrics::Counter* ledger_rejections;
@@ -47,6 +49,14 @@ struct PipelineMetrics {
           "Batch-level pipeline stage wall time in microseconds (traced or "
           "1-in-64 sampled batches)",
           {{"stage", "sample"}});
+      out.sample_batch_size = registry->GetHistogram(
+          "geopriv_sample_batch_size",
+          "Lanes per batched sampling kernel invocation (one row group — "
+          "queries sharing a mechanism and true-count row)");
+      out.samples_per_sec = registry->GetGauge(
+          "geopriv_samples_per_sec",
+          "Sampling throughput of the most recent timed batch (draws per "
+          "second through the sample stage)");
       out.samples_total = registry->GetCounter(
           "geopriv_samples_total", "Released samples drawn from mechanisms");
       out.ledger_charges = registry->GetCounter(
@@ -250,9 +260,12 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     }
     if (ledger_ != nullptr) {
       // Always sequential composition: a pipeline release is a fresh
-      // independent sample, never part of an Algorithm-1 chain.
-      Result<BudgetDecision> decision = ledger_->Charge(
-          query.consumer, query.signature.alpha.ToDouble());
+      // independent sample, never part of an Algorithm-1 chain.  A
+      // K-sample query is charged atomically for all K draws — admitted
+      // together or rejected together, never partially released.
+      Result<BudgetDecision> decision = ledger_->ChargeMany(
+          query.consumer, query.signature.alpha.ToDouble(),
+          static_cast<uint64_t>(std::max(1, query.samples)));
       if (!decision.ok()) {
         reply.status = decision.status();
         continue;
@@ -291,36 +304,141 @@ std::vector<ServiceReply> QueryPipeline::ExecuteBatch(
     stage_watch.Reset();
   }
 
-  // Stage 3 — sample the admitted requests.  Each iteration owns its
-  // reply slot and draws from its own seeded stream; iterations share
-  // nothing mutable, so the pool's scheduling cannot change any result.
-  auto sample_one = [&](size_t q) {
-    const ServedMechanism* entry = admitted[q];
-    if (entry == nullptr) return;
-    Xoshiro256 rng(queries[q].seed);
-    Result<int> released = entry->mechanism.Sample(queries[q].true_count, rng);
-    if (!released.ok()) {
-      replies[q].status = released.status();
-      return;
-    }
-    replies[q].released = *released;
+  // Stage 3 — the columnar sample plane.  Admitted requests are decoded
+  // into parallel arrays (seed, draw count, output offset) and
+  // partitioned by (mechanism, true-count row): one quantized alias
+  // table then serves a whole lane group through the batched kernel
+  // (rng/batch_sampler.h), and the fan-out parallelizes across row
+  // groups, each of which owns its members' reply slots exclusively.
+  // Bit-identity with the per-request scalar path is the kernel's
+  // contract — lane k reproduces exactly the stream Xoshiro256(seed_k)
+  // yields — so neither the decomposition nor the pool's scheduling of
+  // it can change any released value.
+  auto scatter = [&](size_t q, const int32_t* draws) {
+    ServiceReply& reply = replies[q];
+    const int reps = std::max(1, queries[q].samples);
+    reply.released = draws[0];
+    if (reps > 1) reply.released_values.assign(draws, draws + reps);
   };
-  if (pool_ != nullptr && queries.size() > 1) {
-    // The pool is not reentrant (one ParallelFor at a time), and the
-    // event-loop transport runs concurrent batches through one pipeline —
-    // serialize just the fan-out, not the cache/ledger stages above.
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    pool_->ParallelFor(queries.size(), sample_one);
+  if (queries.size() == 1) {
+    // Single-query fast path: a one-lane batch gains nothing from the
+    // columnar decode, and the ~0.8us cached hot path must not pay for
+    // the row-group scaffolding.  This IS the scalar oracle: one stream,
+    // `samples` sequential draws.
+    if (admitted[0] != nullptr) {
+      const ServiceQuery& query = queries[0];
+      const int reps = std::max(1, query.samples);
+      Xoshiro256 rng(query.seed);
+      if (reps == 1) {
+        // No draw buffer: the ~0.8us cached hot path must not pay a
+        // heap allocation for its one released value.
+        Result<int> released =
+            admitted[0]->mechanism.Sample(query.true_count, rng);
+        if (!released.ok()) {
+          replies[0].status = released.status();
+        } else {
+          replies[0].released = *released;
+          pm.sample_batch_size->Observe(1);
+        }
+      } else {
+        std::vector<int32_t>& draws = replies[0].released_values;
+        draws.resize(static_cast<size_t>(reps));
+        Status failed = Status::OK();
+        for (int j = 0; j < reps; ++j) {
+          Result<int> released =
+              admitted[0]->mechanism.Sample(query.true_count, rng);
+          if (!released.ok()) {
+            failed = released.status();
+            break;
+          }
+          draws[static_cast<size_t>(j)] = *released;
+        }
+        if (!failed.ok()) {
+          replies[0].status = failed;
+          replies[0].released_values.clear();
+        } else {
+          replies[0].released = draws[0];
+          pm.sample_batch_size->Observe(1);
+        }
+      }
+    }
   } else {
-    for (size_t q = 0; q < queries.size(); ++q) sample_one(q);
+    // One row group per (signature group, true-count row).  Group
+    // iteration follows the deterministic std::map order from stage 1,
+    // and rows ascend within a group, so the row-group list — and with
+    // it every kernel invocation — is independent of arrival timing.
+    struct RowGroup {
+      const ServedMechanism* entry = nullptr;
+      int row = 0;
+      std::vector<size_t> members;  // query indices, input order
+    };
+    std::vector<RowGroup> row_groups;
+    for (auto& [key, group] : groups) {
+      if (group.entry == nullptr) continue;
+      std::map<int, std::vector<size_t>> by_row;
+      for (size_t q : group.members) {
+        if (admitted[q] != nullptr) by_row[queries[q].true_count].push_back(q);
+      }
+      for (auto& [row, members] : by_row) {
+        row_groups.push_back({group.entry.get(), row, std::move(members)});
+      }
+    }
+    auto sample_group = [&](size_t g) {
+      const RowGroup& rg = row_groups[g];
+      const size_t lanes = rg.members.size();
+      std::vector<uint64_t> seeds(lanes);
+      std::vector<int32_t> counts(lanes);
+      std::vector<size_t> offsets(lanes);
+      size_t total = 0;
+      bool single_draw = true;
+      for (size_t j = 0; j < lanes; ++j) {
+        const ServiceQuery& query = queries[rg.members[j]];
+        seeds[j] = query.seed;
+        counts[j] = std::max(1, query.samples);
+        single_draw &= counts[j] == 1;
+        offsets[j] = total;
+        total += static_cast<size_t>(counts[j]);
+      }
+      std::vector<int32_t> draws(total);
+      const Status status =
+          single_draw
+              ? rg.entry->mechanism.SampleBatch(seeds.data(), rg.row, lanes,
+                                                draws.data())
+              : rg.entry->mechanism.SampleRuns(seeds.data(), counts.data(),
+                                               offsets.data(), rg.row, lanes,
+                                               draws.data());
+      if (!status.ok()) {
+        for (size_t q : rg.members) replies[q].status = status;
+        return;
+      }
+      for (size_t j = 0; j < lanes; ++j) {
+        scatter(rg.members[j], draws.data() + offsets[j]);
+      }
+      pm.sample_batch_size->Observe(static_cast<int64_t>(lanes));
+    };
+    if (pool_ != nullptr && row_groups.size() > 1) {
+      // The pool is not reentrant (one ParallelFor at a time), and the
+      // event-loop transport runs concurrent batches through one
+      // pipeline — serialize just the fan-out, not the stages above.
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      pool_->ParallelFor(row_groups.size(), sample_group);
+    } else {
+      for (size_t g = 0; g < row_groups.size(); ++g) sample_group(g);
+    }
   }
   if (timed) sample_us = static_cast<int64_t>(stage_watch.ElapsedMicros());
 
   int64_t samples = 0;
   for (size_t q = 0; q < queries.size(); ++q) {
-    if (admitted[q] != nullptr && replies[q].status.ok()) ++samples;
+    if (admitted[q] != nullptr && replies[q].status.ok()) {
+      samples += std::max(1, queries[q].samples);
+    }
   }
   pm.samples_total->Add(samples);
+  if (timed && metrics::Enabled() && samples > 0 && sample_us > 0) {
+    pm.samples_per_sec->Set(static_cast<int64_t>(
+        (static_cast<double>(samples) * 1e6) / static_cast<double>(sample_us)));
+  }
   if (charges > 0) pm.ledger_charges->Add(charges);
   if (rejections > 0) pm.ledger_rejections->Add(rejections);
   if (timed && metrics::Enabled()) {

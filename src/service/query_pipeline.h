@@ -45,6 +45,12 @@ struct ServiceQuery {
   MechanismSignature signature;
   int true_count = 0;
   uint64_t seed = 1;  ///< per-request RNG stream seed
+  /// Number of independent draws this query requests, all from the one
+  /// per-request stream (draw j is the stream's j-th Sample — the
+  /// scalar oracle order, which the batched kernel reproduces exactly).
+  /// Each draw is a release: a K-draw query is admitted atomically for
+  /// K sequential charges or rejected whole (BudgetLedger::ChargeMany).
+  int samples = 1;
   /// Wall-clock bound on any fresh solve this query may trigger, in
   /// milliseconds; 0 defers to PipelineOptions::default_deadline_ms (and
   /// 0 there means none).  Cached lookups are never bounded — they are
@@ -62,6 +68,10 @@ struct ServiceQuery {
 struct ServiceReply {
   Status status;
   int released = -1;             ///< sampled value (when status is OK)
+  /// All drawn values when the query asked for samples > 1 (released
+  /// mirrors the first); empty for single-draw queries, whose wire
+  /// replies must stay byte-identical to the historical format.
+  std::vector<int32_t> released_values;
   double level_after = 1.0;      ///< consumer's composed level after charge
   double composed_level = 1.0;   ///< level the release composes/composed to
   double budget = 0.0;           ///< the ledger's floor

@@ -414,15 +414,19 @@ std::string MechanismService::HandleRequest(const ServiceRequest& request,
       const int64_t total_us = request.parse_us + request.queue_us +
                                static_cast<int64_t>(
                                    handle_watch.ElapsedMicros());
+      // Columnar reply encoding: one reserved buffer, every reply
+      // serialized in place (protocol.h AppendQueryReply) — no per-reply
+      // temporary strings on the batch path.
       std::string out;
+      out.reserve(batch.size() * 192);
       for (size_t q = 0; q < batch.size(); ++q) {
         ServiceReply& reply = replies[q];
         reply.trace_parse_us = request.parse_us;
         reply.trace_queue_us = request.queue_us;
         reply.trace_persist_us = persist_us;
         MaybeLogSlowQuery(batch[q], reply, total_us);
-        out += FormatQueryReply(batch[q], reply);
-        out += "\n";
+        AppendQueryReply(batch[q], reply, &out);
+        out += '\n';
       }
       out += "{\"op\":\"batch_end\",\"ok\":true,\"batched\":" +
              std::to_string(batch.size()) + "}";

@@ -1,0 +1,526 @@
+// The batched sampling kernel's one non-negotiable property: bit-identity
+// with the scalar per-request path.  Lane k of any batch, on any backend,
+// must reproduce EXACTLY the draw sequence `Xoshiro256 rng(seed_k)` +
+// sequential AliasSampler::Sample calls yield — across batch sizes
+// (including non-multiples of the vector width), every row of a served
+// mechanism, the forced-scalar environment override, and the full
+// transport (1 vs 32 concurrent connections with multi-sample queries).
+// A chi-square check then confirms the quantized table still samples the
+// mechanism's PMF, so a systematic off-by-one in the threshold math
+// cannot hide behind determinism.
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/mechanism.h"
+#include "rng/batch_sampler.h"
+#include "rng/distributions.h"
+#include "rng/engine.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace geopriv {
+namespace {
+
+// Deterministic positive weights, n not restricted to vector multiples.
+std::vector<double> TestWeights(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Mix in occasional near-zero and dominant weights so alias cells get
+    // thresholds near 0, near 2^53 and in between.
+    const double u = rng.NextDouble();
+    weights[i] = u < 0.1 ? 1e-9 : (u > 0.9 ? 50.0 : 0.1 + u);
+  }
+  return weights;
+}
+
+// The scalar oracle: the exact per-request path the service ran before
+// batching existed — one engine per seed, sequential Sample calls.
+std::vector<int32_t> OracleDraws(const AliasSampler& sampler,
+                                 const std::vector<uint64_t>& seeds,
+                                 const std::vector<int32_t>& counts) {
+  std::vector<int32_t> out;
+  for (size_t k = 0; k < seeds.size(); ++k) {
+    Xoshiro256 rng(seeds[k]);
+    for (int32_t j = 0; j < counts[k]; ++j) {
+      out.push_back(static_cast<int32_t>(sampler.Sample(rng)));
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> TestSeeds(size_t count) {
+  std::vector<uint64_t> seeds(count);
+  for (size_t k = 0; k < count; ++k) {
+    // Adversarial-ish spread: small, huge, and bit-dense seeds.
+    seeds[k] = 0x9e3779b97f4a7c15ULL * (k + 1) ^ (k << 17) ^ 0xdeadbeefULL;
+  }
+  return seeds;
+}
+
+const char* BackendName(SampleBackend backend) {
+  switch (backend) {
+    case SampleBackend::kScalar:
+      return "scalar";
+    case SampleBackend::kAvx2:
+      return "avx2";
+    case SampleBackend::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+// Every backend, everywhere: a backend the CPU lacks falls back to the
+// next-widest available one inside the kernel, so requesting all three
+// is safe on any machine and exercises whatever silicon is present.
+constexpr SampleBackend kAllBackends[] = {
+    SampleBackend::kScalar, SampleBackend::kAvx2, SampleBackend::kAvx512};
+
+TEST(SampleBackendTest, DispatchReportsAConsistentBackend) {
+  RefreshSampleBackend();
+  const SampleBackend active = ActiveSampleBackend();
+  if (!Avx2Available()) {
+    EXPECT_EQ(active, SampleBackend::kScalar);
+  }
+  if (!Avx512Available()) {
+    EXPECT_NE(active, SampleBackend::kAvx512);
+  }
+  // Idempotent: repeated reads agree.
+  EXPECT_EQ(ActiveSampleBackend(), active);
+}
+
+TEST(AliasTableTest, MatchesAliasSamplerOnEveryBackend) {
+  // n deliberately covers 1, non-multiples of 4, and a power of two.
+  for (size_t n : {size_t{1}, size_t{3}, size_t{7}, size_t{16}, size_t{33}}) {
+    const std::vector<double> weights = TestWeights(n, 1000 + n);
+    Result<AliasSampler> sampler = AliasSampler::Create(weights);
+    ASSERT_TRUE(sampler.ok()) << sampler.status().ToString();
+    Result<AliasTable> table = AliasTable::FromWeights(weights);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    ASSERT_EQ(table->size(), n);
+
+    const std::vector<uint64_t> seeds = TestSeeds(257);
+    const std::vector<int32_t> counts(seeds.size(), 1);
+    const std::vector<int32_t> oracle = OracleDraws(*sampler, seeds, counts);
+    for (SampleBackend backend : kAllBackends) {
+      std::vector<int32_t> got(seeds.size(), -1);
+      table->SampleBatch(seeds.data(), seeds.size(), got.data(), backend);
+      EXPECT_EQ(got, oracle)
+          << "n=" << n << " backend=" << BackendName(backend);
+    }
+  }
+}
+
+TEST(AliasTableTest, BitIdenticalAcrossBatchSizes) {
+  const std::vector<double> weights = TestWeights(16, 77);
+  Result<AliasSampler> sampler = AliasSampler::Create(weights);
+  ASSERT_TRUE(sampler.ok());
+  Result<AliasTable> table = AliasTable::FromWeights(weights);
+  ASSERT_TRUE(table.ok());
+
+  for (size_t batch : {size_t{1}, size_t{2}, size_t{63}, size_t{64},
+                       size_t{65}, size_t{4096}}) {
+    const std::vector<uint64_t> seeds = TestSeeds(batch);
+    const std::vector<int32_t> counts(batch, 1);
+    const std::vector<int32_t> oracle = OracleDraws(*sampler, seeds, counts);
+    for (SampleBackend backend : kAllBackends) {
+      std::vector<int32_t> got(batch, -1);
+      table->SampleBatch(seeds.data(), batch, got.data(), backend);
+      EXPECT_EQ(got, oracle)
+          << "batch=" << batch << " backend=" << BackendName(backend);
+    }
+  }
+}
+
+TEST(AliasTableTest, SampleRunsMatchesSequentialScalarDraws) {
+  const std::vector<double> weights = TestWeights(9, 5);
+  Result<AliasSampler> sampler = AliasSampler::Create(weights);
+  ASSERT_TRUE(sampler.ok());
+  Result<AliasTable> table = AliasTable::FromWeights(weights);
+  ASSERT_TRUE(table.ok());
+
+  // Ragged run lengths, including runs crossing the 4-lane chunking.
+  const std::vector<uint64_t> seeds = TestSeeds(67);
+  std::vector<int32_t> counts(seeds.size());
+  std::vector<size_t> offsets(seeds.size());
+  size_t total = 0;
+  for (size_t k = 0; k < seeds.size(); ++k) {
+    counts[k] = static_cast<int32_t>(1 + (k * 13) % 7);
+    offsets[k] = total;
+    total += static_cast<size_t>(counts[k]);
+  }
+  const std::vector<int32_t> oracle = OracleDraws(*sampler, seeds, counts);
+  ASSERT_EQ(oracle.size(), total);
+  for (SampleBackend backend : kAllBackends) {
+    std::vector<int32_t> got(total, -1);
+    table->SampleRuns(seeds.data(), counts.data(), offsets.data(),
+                      seeds.size(), got.data(), backend);
+    EXPECT_EQ(got, oracle) << "backend=" << BackendName(backend);
+  }
+}
+
+Mechanism TestMechanism(int n) {
+  const int size = n + 1;
+  std::vector<double> rows;
+  rows.reserve(static_cast<size_t>(size) * static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    std::vector<double> w =
+        TestWeights(static_cast<size_t>(size), 400 + static_cast<uint64_t>(i));
+    double sum = 0.0;
+    for (double v : w) sum += v;
+    for (double v : w) rows.push_back(v / sum);
+  }
+  Result<Matrix> matrix = Matrix::FromRows(
+      static_cast<size_t>(size), static_cast<size_t>(size), rows);
+  EXPECT_TRUE(matrix.ok());
+  Result<Mechanism> mechanism = Mechanism::Create(*matrix, 1e-6);
+  EXPECT_TRUE(mechanism.ok()) << mechanism.status().ToString();
+  return *mechanism;
+}
+
+TEST(MechanismSampleBatchTest, EveryRowMatchesScalarSample) {
+  Mechanism prepared = TestMechanism(16);
+  ASSERT_TRUE(prepared.PrepareSamplers().ok());
+  Mechanism unprepared = TestMechanism(16);
+
+  const std::vector<uint64_t> seeds = TestSeeds(128);
+  for (int i = 0; i <= 16; ++i) {
+    std::vector<int32_t> oracle(seeds.size());
+    for (size_t k = 0; k < seeds.size(); ++k) {
+      Xoshiro256 rng(seeds[k]);
+      Result<int> draw = prepared.Sample(i, rng);
+      ASSERT_TRUE(draw.ok());
+      oracle[k] = static_cast<int32_t>(*draw);
+    }
+    std::vector<int32_t> batched(seeds.size(), -1);
+    ASSERT_TRUE(prepared
+                    .SampleBatch(seeds.data(), i, seeds.size(), batched.data())
+                    .ok());
+    EXPECT_EQ(batched, oracle) << "row " << i;
+    // The unprepared path builds a throwaway table; same draws.
+    std::vector<int32_t> lazy(seeds.size(), -1);
+    ASSERT_TRUE(
+        unprepared.SampleBatch(seeds.data(), i, seeds.size(), lazy.data())
+            .ok());
+    EXPECT_EQ(lazy, oracle) << "row " << i;
+  }
+  EXPECT_FALSE(prepared.SampleBatch(seeds.data(), -1, 1, nullptr).ok());
+  EXPECT_FALSE(prepared.SampleBatch(seeds.data(), 17, 1, nullptr).ok());
+}
+
+TEST(MechanismSampleBatchTest, ForcedScalarEnvOverrideIsBitIdentical) {
+  Mechanism mechanism = TestMechanism(8);
+  ASSERT_TRUE(mechanism.PrepareSamplers().ok());
+  const std::vector<uint64_t> seeds = TestSeeds(101);
+
+  std::vector<int32_t> dispatched(seeds.size(), -1);
+  RefreshSampleBackend();
+  ASSERT_TRUE(
+      mechanism.SampleBatch(seeds.data(), 3, seeds.size(), dispatched.data())
+          .ok());
+
+  ::setenv("GEOPRIV_FORCE_SCALAR", "1", 1);
+  RefreshSampleBackend();
+  EXPECT_EQ(ActiveSampleBackend(), SampleBackend::kScalar);
+  std::vector<int32_t> forced(seeds.size(), -1);
+  ASSERT_TRUE(
+      mechanism.SampleBatch(seeds.data(), 3, seeds.size(), forced.data())
+          .ok());
+  ::unsetenv("GEOPRIV_FORCE_SCALAR");
+  RefreshSampleBackend();
+
+  EXPECT_EQ(forced, dispatched);
+}
+
+TEST(MechanismSampleBatchTest, ChiSquareAgreesWithRowProbabilities) {
+  Mechanism mechanism = TestMechanism(16);
+  ASSERT_TRUE(mechanism.PrepareSamplers().ok());
+  const int row = 7;
+  const size_t kDraws = 200000;
+  const std::vector<uint64_t> seeds = TestSeeds(kDraws);
+  std::vector<int32_t> draws(kDraws, -1);
+  ASSERT_TRUE(
+      mechanism.SampleBatch(seeds.data(), row, kDraws, draws.data()).ok());
+
+  std::vector<size_t> counts(17, 0);
+  for (int32_t d : draws) {
+    ASSERT_GE(d, 0);
+    ASSERT_LE(d, 16);
+    ++counts[static_cast<size_t>(d)];
+  }
+  double chi_square = 0.0;
+  int dof = 0;
+  for (int r = 0; r <= 16; ++r) {
+    const double expected =
+        mechanism.Probability(row, r) * static_cast<double>(kDraws);
+    if (expected < 5.0) continue;  // standard small-cell exclusion
+    const double diff = static_cast<double>(counts[static_cast<size_t>(r)]) -
+                        expected;
+    chi_square += diff * diff / expected;
+    ++dof;
+  }
+  --dof;
+  ASSERT_GT(dof, 4);
+  // 99.99th percentile of chi-square at these dof is well under 3x dof +
+  // 30; a quantization bug (every threshold off by one ulp-of-2^53 scale
+  // would still pass, but an off-by-one in the *bucket* math would not).
+  EXPECT_LT(chi_square, 3.0 * dof + 30.0)
+      << "chi-square " << chi_square << " at " << dof << " dof";
+}
+
+TEST(ProtocolSamplesTest, ParserBoundsAndDefault) {
+  const std::string base =
+      "{\"op\":\"query\",\"consumer\":\"c\",\"n\":4,\"alpha\":\"1/2\","
+      "\"loss\":\"absolute\",\"count\":1,\"seed\":9";
+  Result<ServiceRequest> plain = ParseRequestLine(base + "}");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->query.samples, 1);
+  Result<ServiceRequest> multi = ParseRequestLine(base + ",\"samples\":32}");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->query.samples, 32);
+  EXPECT_FALSE(ParseRequestLine(base + ",\"samples\":0}").ok());
+  EXPECT_FALSE(ParseRequestLine(base + ",\"samples\":4097}").ok());
+  EXPECT_FALSE(ParseRequestLine(base + ",\"samples\":2.5}").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Transport-level bit-identity with multi-sample queries: a trimmed copy
+// of the event-loop test rig (tests/event_loop_test.cc owns the full
+// framing/drain coverage; here the rig only carries the K>1 contract).
+
+class AnnouncedPort : public std::stringbuf {
+ public:
+  std::future<int> port() { return port_.get_future(); }
+
+ protected:
+  int sync() override {
+    const std::string text = str();
+    const size_t nl = text.find('\n');
+    if (!set_ && nl != std::string::npos) {
+      const size_t colon = text.rfind(':', nl);
+      port_.set_value(std::atoi(text.c_str() + colon + 1));
+      set_ = true;
+    }
+    return 0;
+  }
+
+ private:
+  std::promise<int> port_;
+  bool set_ = false;
+};
+
+struct Client {
+  int fd = -1;
+  std::string buffered;
+
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool Connect(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+      return false;
+    }
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return true;
+  }
+
+  bool SendLine(const std::string& line) {
+    const std::string bytes = line + "\n";
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t k = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (k <= 0) return false;
+      sent += static_cast<size_t>(k);
+    }
+    return true;
+  }
+
+  std::string ReadLine() {
+    char chunk[4096];
+    for (;;) {
+      const size_t nl = buffered.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffered.substr(0, nl);
+        buffered.erase(0, nl + 1);
+        return line;
+      }
+      const ssize_t k = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (k <= 0) return "";
+      buffered.append(chunk, static_cast<size_t>(k));
+    }
+  }
+};
+
+std::string MultiSampleQuery(const std::string& consumer, uint64_t seed,
+                             int samples) {
+  std::string line = "{\"op\":\"query\",\"consumer\":\"" + consumer +
+                     "\",\"n\":4,\"alpha\":\"1/2\",\"loss\":\"absolute\","
+                     "\"count\":1,\"seed\":" + std::to_string(seed);
+  if (samples > 1) line += ",\"samples\":" + std::to_string(samples);
+  return line + "}";
+}
+
+class SamplingTransportTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (server_.joinable()) {
+      (void)TcpRequest("127.0.0.1", port_, "{\"op\":\"shutdown\"}");
+      server_.join();
+    }
+  }
+
+  void Start() {
+    ServiceOptions options;
+    options.threads = 4;
+    service_ = std::make_unique<MechanismService>(options);
+    auto buffer = std::make_shared<AnnouncedPort>();
+    std::future<int> announced = buffer->port();
+    server_ = std::thread([this, buffer] {
+      std::ostream announce(buffer.get());
+      serve_status_ = ServeTcp(0, *service_, announce);
+    });
+    port_ = announced.get();
+    ASSERT_GT(port_, 0);
+  }
+
+  void ShutdownAndJoin() {
+    auto bye = TcpRequest("127.0.0.1", port_, "{\"op\":\"shutdown\"}");
+    ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+    server_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  std::unique_ptr<MechanismService> service_;
+  std::thread server_;
+  Status serve_status_ = Status::OK();
+  int port_ = 0;
+};
+
+TEST_F(SamplingTransportTest, MultiSampleRepliesBitIdenticalAcross1And32Conns) {
+  constexpr int kQueries = 64;
+  constexpr int kConns = 32;
+  constexpr int kSamples = 3;
+  const auto run = [this](int conns) {
+    std::vector<std::string> replies(kQueries);
+    Client warm;
+    EXPECT_TRUE(warm.Connect(port_));
+    EXPECT_TRUE(warm.SendLine(MultiSampleQuery("warmup", 1, 1)));
+    EXPECT_NE(warm.ReadLine().find("\"ok\":true"), std::string::npos);
+    std::vector<std::thread> threads;
+    const int per_conn = kQueries / conns;
+    for (int c = 0; c < conns; ++c) {
+      threads.emplace_back([this, c, per_conn, &replies] {
+        Client client;
+        ASSERT_TRUE(client.Connect(port_));
+        for (int q = c * per_conn; q < (c + 1) * per_conn; ++q) {
+          ASSERT_TRUE(client.SendLine(
+              MultiSampleQuery("consumer-" + std::to_string(q),
+                               static_cast<uint64_t>(5000 + q), kSamples)));
+          replies[static_cast<size_t>(q)] = client.ReadLine();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    return replies;
+  };
+
+  Start();
+  std::vector<std::string> serial = run(1);
+  ShutdownAndJoin();
+  Start();  // fresh service: same ledger state as the first run saw
+  std::vector<std::string> concurrent = run(kConns);
+
+  for (int q = 0; q < kQueries; ++q) {
+    ASSERT_FALSE(serial[static_cast<size_t>(q)].empty());
+    // Every reply carries the K-sample array form.
+    EXPECT_NE(serial[static_cast<size_t>(q)].find("\"released\":["),
+              std::string::npos);
+    EXPECT_EQ(serial[static_cast<size_t>(q)],
+              concurrent[static_cast<size_t>(q)])
+        << "reply " << q << " differs between 1 and " << kConns
+        << " connections";
+  }
+}
+
+TEST_F(SamplingTransportTest, BatchedMultiSampleMatchesSingles) {
+  // The columnar batch path (one kernel call per row group) and the
+  // single-query fast path must release identical values for identical
+  // (seed, samples) requests, and a K=1 query keeps the historical
+  // scalar "released":N shape.
+  Start();
+  Client client;
+  ASSERT_TRUE(client.Connect(port_));
+  // Prewarm so every measured reply is a cache hit in both runs — the
+  // `cache` annotation is the one field allowed to depend on history.
+  ASSERT_TRUE(client.SendLine(MultiSampleQuery("warmup", 1, 1)));
+  EXPECT_NE(client.ReadLine().find("\"ok\":true"), std::string::npos);
+
+  std::vector<std::string> singles;
+  for (uint64_t s = 0; s < 6; ++s) {
+    ASSERT_TRUE(client.SendLine(
+        MultiSampleQuery("solo-" + std::to_string(s), 100 + s, 4)));
+    singles.push_back(client.ReadLine());
+    EXPECT_NE(singles.back().find("\"released\":["), std::string::npos);
+  }
+  ShutdownAndJoin();
+
+  Start();  // fresh ledger so the batch sees the same budget state
+  Client batcher;
+  ASSERT_TRUE(batcher.Connect(port_));
+  ASSERT_TRUE(batcher.SendLine(MultiSampleQuery("warmup", 1, 1)));
+  EXPECT_NE(batcher.ReadLine().find("\"ok\":true"), std::string::npos);
+  ASSERT_TRUE(batcher.SendLine("{\"op\":\"batch_begin\"}"));
+  EXPECT_NE(batcher.ReadLine().find("\"ok\":true"), std::string::npos);
+  for (uint64_t s = 0; s < 6; ++s) {
+    ASSERT_TRUE(batcher.SendLine(
+        MultiSampleQuery("solo-" + std::to_string(s), 100 + s, 4)));
+    EXPECT_NE(batcher.ReadLine().find("\"op\":\"queued\""), std::string::npos);
+  }
+  ASSERT_TRUE(batcher.SendLine("{\"op\":\"batch_end\"}"));
+  for (uint64_t s = 0; s < 6; ++s) {
+    const std::string reply = batcher.ReadLine();
+    EXPECT_EQ(reply, singles[s]) << "batched reply " << s;
+  }
+  EXPECT_NE(batcher.ReadLine().find("\"op\":\"batch_end\",\"ok\":true"),
+            std::string::npos);
+
+  // K=1 replies keep the scalar shape (no array) — the wire format for
+  // every pre-existing client is byte-for-byte unchanged.
+  Client scalar;
+  ASSERT_TRUE(scalar.Connect(port_));
+  ASSERT_TRUE(scalar.SendLine(MultiSampleQuery("k1", 42, 1)));
+  const std::string k1 = scalar.ReadLine();
+  EXPECT_EQ(k1.find("\"released\":["), std::string::npos);
+  EXPECT_NE(k1.find("\"released\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geopriv

@@ -309,7 +309,7 @@ int CmdQuery(int argc, char** argv) {
   std::string line, host = "127.0.0.1";
   std::string consumer = "cli", alpha = "1/2", loss = "absolute";
   std::string mode = "exact";
-  int n = 8, lo = 0, hi = 0, count = 0, retries = 3;
+  int n = 8, lo = 0, hi = 0, count = 0, retries = 3, samples = 1;
   int64_t seed = 1;
   parser.AddString("line", &line, "raw protocol line, sent verbatim")
       .AddString("consumer", &consumer, "consumer identity for budgeting")
@@ -321,6 +321,9 @@ int CmdQuery(int argc, char** argv) {
       .AddString("mode", &mode, "exact|geometric")
       .AddInt("count", &count, 0, 1 << 20, "true count to release")
       .AddInt64("seed", &seed, 0, INT64_MAX, "per-request RNG stream seed")
+      .AddInt("samples", &samples, 1, 4096,
+              "draws from the one seeded stream, charged atomically as "
+              "one K-fold composition; >1 replies \"released\":[...]")
       .AddString("host", &host, "daemon address (dotted IPv4)")
       .AddInt("retries", &retries, 1, 100,
               "TCP attempts incl. the first; backoff honors the server's "
@@ -337,6 +340,12 @@ int CmdQuery(int argc, char** argv) {
            ",\"mode\":\"" + JsonEscape(mode) + "\"" +
            ",\"count\":" + std::to_string(count) +
            ",\"seed\":" + std::to_string(seed);
+    if (samples > 1) {
+      // Only when requested: "samples":1 and an absent field are the
+      // same protocol object, and omitting it keeps the line (and the
+      // reply shape) byte-compatible with pre-PR-10 clients.
+      line += ",\"samples\":" + std::to_string(samples);
+    }
     if (parser.Provided("deadline-ms")) {
       line += ",\"deadline_ms\":" + std::to_string(service_flags.deadline_ms);
     }
@@ -425,6 +434,7 @@ void PrintUsage() {
       "             [--workers W] [--serial-accept 1]\n"
       "             (JSONL mechanism service; same flags as geopriv_serve)\n"
       "  query      --consumer C --n N --alpha A --count K [--seed S]\n"
+      "             [--samples K]\n"
       "             [--loss ...] [--lo L --hi H] [--mode exact|geometric]\n"
       "             [--deadline-ms D] [--port P [--host H] [--retries R]]\n"
       "             (or --line '<raw json>')\n"

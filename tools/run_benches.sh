@@ -142,12 +142,28 @@ def cpu_model():
         pass
     return platform.processor() or "unknown"
 
+def cpu_flags():
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("flags"):
+                    return set(line.split(":", 1)[1].split())
+    except OSError:
+        pass
+    return set()
+
+flags = cpu_flags()
 consolidated = {
     "generated_utc": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
     "machine": platform.machine(),
     "cpu_count": os.cpu_count() or 0,
     "cpu_model": cpu_model(),
+    # SIMD tiers the batched sampling kernel dispatches on: the
+    # bench_sampling throughput entries are not comparable across
+    # machines with different tiers (--compare warns on drift).
+    "avx2": "avx2" in flags,
+    "avx512": "avx512f" in flags and "avx512dq" in flags,
     # Whether the consolidated results include --large-gated cases.  This
     # must describe the merged CONTENT — per-suite JSON may be carried
     # over from an earlier --large run even when THIS invocation was not
@@ -209,6 +225,20 @@ if base_cpus and fresh_cpus and base_cpus != fresh_cpus:
           f"{fresh_cpus} ({fresh_meta.get('cpu_model', 'unknown')}); "
           f"concurrency benchmarks are not comparable across core counts",
           file=sys.stderr)
+# SIMD-tier drift is the sampling-suite analogue of core-count drift: the
+# batched kernel dispatches to the widest available tier, so its
+# throughput entries move by integer factors when AVX2/AVX-512
+# availability changes.  A WARNING, not a failure, like cpu_count above;
+# old snapshots without the fields are skipped, not blamed.
+for tier in ("avx2", "avx512"):
+    base_tier = base_meta.get(tier)
+    fresh_tier = fresh_meta.get(tier)
+    if base_tier is not None and fresh_tier is not None \
+            and base_tier != fresh_tier:
+        print(f"WARNING: snapshot was taken with {tier}={base_tier} but "
+              f"this run has {tier}={fresh_tier}; the batched sampling "
+              f"benchmarks are not comparable across SIMD tiers",
+              file=sys.stderr)
 shared = sorted(k for k in set(base) & set(fresh)
                 if not ran_suites or k[0] in ran_suites)
 if not shared:
@@ -243,10 +273,16 @@ for key in shared:
     old, new = base[key], fresh[key]
     delta = (new - old) / old if old > 0 else 0.0
     flag = ""
-    if delta > THRESHOLD:
+    # Record()-ed throughput entries (SamplesPerSec*) store a
+    # higher-is-better rate in the ms fields: a larger fresh value is an
+    # improvement, so the slower-is-regression rule does not apply.
+    # They still count for the missing-case checks above.
+    informational = "SamplesPerSec" in key[1]
+    if delta > THRESHOLD and not informational:
         regressions.append((key, old, new, delta))
         flag = "  <-- REGRESSION"
-    print(f"  {key[0]}/{key[1]}: {old:.6f} -> {new:.6f} ms "
+    unit = "samples/s (higher is better)" if informational else "ms"
+    print(f"  {key[0]}/{key[1]}: {old:.6f} -> {new:.6f} {unit} "
           f"({delta:+.1%}){flag}")
 
 failed = False
